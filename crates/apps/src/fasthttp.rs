@@ -1,0 +1,337 @@
+//! The FastHTTP workload (§6.2): "an industry-grade … performance-
+//! oriented HTTP server. … To prevent FastHTTP from accessing an
+//! application's sensitive resources, we create and run the server in an
+//! enclosure, only allowed to perform net-related system calls. The
+//! enclosure forwards requests to a trusted handler goroutine via go
+//! channels" — the secured-callback pattern.
+//!
+//! Two goroutines drive each request: the *enclosed* server (accept,
+//! read, parse, forward, reply) and the *trusted* handler (build the 13 KB
+//! page). The scheduler's `Execute` switches between their protection
+//! environments every hop.
+
+use enclosure_gofront::{sched::Recv, GoProgram, GoRuntime, GoSource, GoValue, Step};
+use enclosure_hw::Clock;
+use enclosure_kernel::net::SockAddr;
+use litterbox::{Backend, Fault, SysError};
+
+use crate::httpd::{ServeStats, PAGE_SIZE_BYTES};
+
+/// Server listen port.
+pub const FASTHTTP_PORT: u16 = 8081;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FastHttpConfig {
+    /// Parse compute per request. FastHTTP's zero-allocation parser is
+    /// much faster than net/http's ("FastHTTP service time to accept
+    /// connections and parse requests is significantly smaller").
+    pub parse_ns: u64,
+    /// Trusted handler compute per request.
+    pub handler_ns: u64,
+}
+
+impl Default for FastHttpConfig {
+    fn default() -> Self {
+        // Calibrated near the paper's 22,867 req/s baseline (43.7 µs).
+        FastHttpConfig {
+            parse_ns: 9_000,
+            handler_ns: 28_000,
+        }
+    }
+}
+
+/// The assembled FastHTTP application.
+#[derive(Debug)]
+pub struct FastHttpApp {
+    rt: GoRuntime,
+}
+
+enum ServerState {
+    Setup,
+    Running { listen: u32 },
+}
+
+fn stats_from(served: u64, ns: u64) -> ServeStats {
+    #[allow(clippy::cast_precision_loss)]
+    let reqs_per_sec = if ns == 0 {
+        0.0
+    } else {
+        served as f64 * 1e9 / ns as f64
+    };
+    ServeStats {
+        served,
+        ns,
+        reqs_per_sec,
+    }
+}
+
+fn io_fault(e: SysError) -> Fault {
+    match e {
+        SysError::Fault(f) => f,
+        SysError::Errno(e) => Fault::Init(format!("fasthttp io error: {e}")),
+    }
+}
+
+impl FastHttpApp {
+    /// Builds the application: `fasthttp` (374K LOC with its 3 public
+    /// deps) plus the 76-LOC main.
+    ///
+    /// # Errors
+    ///
+    /// Build faults.
+    pub fn new(backend: Backend) -> Result<FastHttpApp, Fault> {
+        let mut program = GoProgram::new();
+        program.add_source(GoSource::new("bytebufferpool").loc(40_000));
+        program.add_source(GoSource::new("compress").loc(80_000));
+        program.add_source(GoSource::new("tcplisten").loc(14_000));
+        program.add_source(
+            GoSource::new("fasthttp")
+                .imports(&["bytebufferpool", "compress", "tcplisten"])
+                .loc(240_000),
+        );
+        program.add_source(
+            GoSource::new("main")
+                .imports(&["fasthttp"])
+                .global("secretConfig", 64)
+                .loc(76)
+                // Server enclosure: socket operations plus the
+                // timestamps/futexes a server loop needs — no file
+                // system, no process control.
+                .enclosure("server_enc", "fasthttp.Serve", "net io time sync"),
+        );
+        let rt = program.build(backend)?;
+        Ok(FastHttpApp { rt })
+    }
+
+    /// The runtime.
+    #[must_use]
+    pub fn runtime(&self) -> &GoRuntime {
+        &self.rt
+    }
+
+    /// Mutable runtime access.
+    pub fn runtime_mut(&mut self) -> &mut GoRuntime {
+        &mut self.rt
+    }
+
+    /// Serves `n` requests through the enclosed-server / trusted-handler
+    /// goroutine pair and reports throughput. Client traffic runs on a
+    /// scratch clock (outside the measured machine).
+    ///
+    /// # Errors
+    ///
+    /// Any goroutine fault (including scheduler deadlock).
+    pub fn serve_requests(&mut self, n: u64, cfg: FastHttpConfig) -> Result<ServeStats, Fault> {
+        let req_ch = self.rt.make_chan(64);
+        let resp_ch = self.rt.make_chan(64);
+
+        // Enclosed server goroutine: listener setup, then per-request
+        // accept/read/parse/forward and reply/close.
+        let parse_ns = cfg.parse_ns;
+        let mut state = ServerState::Setup;
+        let mut accepted = 0u64;
+        let mut replied = 0u64;
+        self.rt
+            .spawn_enclosed("fasthttp-server", "server_enc", move |ctx| {
+                if let ServerState::Setup = state {
+                    let listen = ctx.lb_mut().sys_socket().map_err(io_fault)?;
+                    ctx.lb_mut()
+                        .sys_bind(listen, SockAddr::local(FASTHTTP_PORT))
+                        .map_err(io_fault)?;
+                    ctx.lb_mut().sys_listen(listen).map_err(io_fault)?;
+                    state = ServerState::Running { listen };
+                    return Ok(Step::Yield);
+                }
+                let ServerState::Running { listen } = state else {
+                    unreachable!()
+                };
+                // Accept + parse one request, forward to the trusted side.
+                if accepted < n {
+                    match ctx.lb_mut().sys_accept(listen) {
+                        Ok(conn) => {
+                            ctx.lb_mut().sys_clock_gettime().map_err(io_fault)?;
+                            let head = ctx.lb_mut().sys_recv(conn, 4096).map_err(io_fault)?;
+                            ctx.lb_mut().sys_clock_gettime().map_err(io_fault)?;
+                            ctx.compute(parse_ns);
+                            ctx.lb_mut().sys_futex().map_err(io_fault)?; // netpoll arm
+                            let ok = head.starts_with(b"GET ");
+                            if ctx.chan_send(
+                                req_ch,
+                                GoValue::Tuple(vec![
+                                    GoValue::Int(u64::from(conn)),
+                                    GoValue::Bool(ok),
+                                ]),
+                            )? {
+                                accepted += 1;
+                            }
+                        }
+                        Err(SysError::Errno(_)) => {}
+                        Err(e) => return Err(io_fault(e)),
+                    }
+                }
+                // Send out any finished response.
+                match ctx.chan_recv(resp_ch)? {
+                    Recv::Value(v) => {
+                        let parts = v.as_tuple()?;
+                        let conn = u32::try_from(parts[0].as_int()?).expect("fd fits");
+                        let body = parts[1].as_bytes()?;
+                        ctx.lb_mut().sys_futex().map_err(io_fault)?; // worker wake
+                        let (headers, rest) = body.split_at(body.len().min(128));
+                        ctx.lb_mut().sys_send(conn, headers).map_err(io_fault)?;
+                        ctx.lb_mut().sys_send(conn, rest).map_err(io_fault)?;
+                        ctx.lb_mut().sys_close(conn).map_err(io_fault)?;
+                        ctx.lb_mut().sys_futex().map_err(io_fault)?; // teardown wake
+                        ctx.lb_mut().sys_clock_gettime().map_err(io_fault)?;
+                        replied += 1;
+                    }
+                    Recv::Empty => {}
+                    Recv::Closed => return Ok(Step::Done),
+                }
+                if replied == n {
+                    ctx.chan_close(req_ch)?;
+                    return Ok(Step::Done);
+                }
+                Ok(Step::Yield)
+            })?;
+
+        // Trusted handler goroutine: in a real deployment it would read
+        // the private database the enclosure cannot see.
+        let handler_ns = cfg.handler_ns;
+        self.rt.spawn("trusted-handler", move |ctx| {
+            match ctx.chan_recv(req_ch)? {
+                Recv::Value(v) => {
+                    let parts = v.as_tuple()?;
+                    let conn = parts[0].clone();
+                    let ok = parts[1].as_bool()?;
+                    ctx.compute(handler_ns);
+                    let body: Vec<u8> = if ok {
+                        let mut response = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Length: {PAGE_SIZE_BYTES}\r\n\r\n"
+                        )
+                        .into_bytes();
+                        response.extend(
+                            b"<html>fast</html>"
+                                .iter()
+                                .copied()
+                                .cycle()
+                                .take(PAGE_SIZE_BYTES),
+                        );
+                        response
+                    } else {
+                        b"HTTP/1.1 400 Bad Request\r\n\r\n".to_vec()
+                    };
+                    ctx.chan_send(resp_ch, GoValue::Tuple(vec![conn, GoValue::Bytes(body)]))?;
+                    Ok(Step::Yield)
+                }
+                Recv::Empty => Ok(Step::Yield),
+                Recv::Closed => Ok(Step::Done),
+            }
+        });
+
+        // Load generator: connects once the listener exists, then feeds
+        // all n requests. Outside traffic — scratch clock.
+        let mut remaining: Vec<u64> = (0..n).collect();
+        self.rt.spawn("load-generator", move |ctx| {
+            if remaining.is_empty() {
+                return Ok(Step::Done);
+            }
+            let mut scratch = Clock::default();
+            let (kernel, _) = ctx.lb_mut().kernel_and_clock();
+            // Probe: is the listener up?
+            let probe = kernel.socket(&mut scratch);
+            if kernel
+                .connect(&mut scratch, probe, SockAddr::local(FASTHTTP_PORT))
+                .is_err()
+            {
+                let _ = kernel.close(&mut scratch, probe);
+                return Ok(Step::Yield);
+            }
+            kernel
+                .send(&mut scratch, probe, b"GET /fast/probe HTTP/1.1\r\n\r\n")
+                .map_err(|e| Fault::Init(format!("client send: {e}")))?;
+            remaining.pop();
+            for i in remaining.drain(..) {
+                let fd = kernel.socket(&mut scratch);
+                kernel
+                    .connect(&mut scratch, fd, SockAddr::local(FASTHTTP_PORT))
+                    .map_err(|e| Fault::Init(format!("client connect: {e}")))?;
+                kernel
+                    .send(
+                        &mut scratch,
+                        fd,
+                        format!("GET /fast/{i} HTTP/1.1\r\n\r\n").as_bytes(),
+                    )
+                    .map_err(|e| Fault::Init(format!("client send: {e}")))?;
+            }
+            Ok(Step::Done)
+        });
+
+        let t0 = self.rt.lb().now_ns();
+        self.rt.run_scheduler()?;
+        Ok(stats_from(n, self.rt.lb().now_ns() - t0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_all_requests_on_all_backends() {
+        for backend in [Backend::Baseline, Backend::Mpk, Backend::Vtx] {
+            let mut app = FastHttpApp::new(backend).unwrap();
+            let stats = app.serve_requests(8, FastHttpConfig::default()).unwrap();
+            assert_eq!(stats.served, 8, "{backend}");
+            assert!(stats.reqs_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn slowdown_ordering_matches_table2() {
+        // FastHTTP row: MPK ≈ 1.04×, VT-x ≈ 2× — and VT-x's slowdown here
+        // exceeds plain HTTP's because service time is smaller while the
+        // syscall overhead is unchanged.
+        let mut rates = Vec::new();
+        for backend in [Backend::Baseline, Backend::Mpk, Backend::Vtx] {
+            let mut app = FastHttpApp::new(backend).unwrap();
+            app.runtime_mut().lb_mut().clock_mut().reset();
+            rates.push(
+                app.serve_requests(20, FastHttpConfig::default())
+                    .unwrap()
+                    .reqs_per_sec,
+            );
+        }
+        let (base, mpk, vtx) = (rates[0], rates[1], rates[2]);
+        assert!(base / mpk < 1.15, "MPK close to baseline: {:.3}", base / mpk);
+        assert!(base / vtx > 1.5, "VT-x pays dearly: {:.3}", base / vtx);
+        assert!(base / vtx > base / mpk);
+    }
+
+    #[test]
+    fn enclosed_server_cannot_read_main_secret_or_open_files() {
+        let mut program = GoProgram::new();
+        program.add_source(GoSource::new("fasthttp").loc(240_000));
+        program.add_source(
+            GoSource::new("main")
+                .imports(&["fasthttp"])
+                .global("secretConfig", 64)
+                .enclosure("server_enc", "fasthttp.Serve", "net io"),
+        );
+        let mut rt = program.build(Backend::Vtx).unwrap();
+        let secret = rt.global_addr("main.secretConfig");
+        rt.register_fn("fasthttp.Serve", move |ctx, _arg| {
+            assert!(ctx.lb().load_u64(secret).is_err(), "secret unreachable");
+            // net is allowed…
+            let fd = ctx.lb_mut().sys_socket().map_err(io_fault)?;
+            // …files are not.
+            assert!(ctx
+                .lb_mut()
+                .sys_open("/etc/passwd", enclosure_kernel::fs::OpenFlags::read_only())
+                .unwrap_err()
+                .is_fault());
+            Ok(GoValue::Int(u64::from(fd)))
+        });
+        rt.call_enclosed("server_enc", GoValue::Unit).unwrap();
+    }
+}

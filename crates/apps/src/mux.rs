@@ -1,0 +1,124 @@
+//! A miniature of the gorilla/mux request router (§6.3): parses an HTTP
+//! request line and routes it to the wiki's view/save handlers.
+
+use serde::{Deserialize, Serialize};
+
+/// A routed wiki request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Route {
+    /// `GET /view/<title>`.
+    View {
+        /// The page title.
+        title: String,
+    },
+    /// `POST /save/<title>` with a body.
+    Save {
+        /// The page title.
+        title: String,
+        /// The new page body.
+        body: String,
+    },
+    /// Anything else.
+    NotFound,
+}
+
+/// Parses the raw request bytes into a [`Route`].
+///
+/// Tolerates missing bodies and malformed lines by routing to
+/// [`Route::NotFound`], as mux would 404.
+#[must_use]
+pub fn route(raw: &[u8]) -> Route {
+    let text = String::from_utf8_lossy(raw);
+    let mut lines = text.split("\r\n");
+    let Some(request_line) = lines.next() else {
+        return Route::NotFound;
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Route::NotFound;
+    };
+    match (method, path.split('/').collect::<Vec<_>>().as_slice()) {
+        ("GET", ["", "view", title]) if !title.is_empty() => Route::View {
+            title: (*title).to_owned(),
+        },
+        ("POST", ["", "save", title]) if !title.is_empty() => {
+            // Body follows the blank line.
+            let body = text
+                .split_once("\r\n\r\n")
+                .map(|(_, b)| b.to_owned())
+                .unwrap_or_default();
+            Route::Save {
+                title: (*title).to_owned(),
+                body,
+            }
+        }
+        _ => Route::NotFound,
+    }
+}
+
+/// Renders a wiki page into an HTML response.
+#[must_use]
+pub fn render_page(title: &str, body: &str) -> Vec<u8> {
+    let html = format!(
+        "<html><head><title>{title}</title></head><body><h1>{title}</h1><p>{body}</p></body></html>"
+    );
+    let mut response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nContent-Type: text/html\r\n\r\n",
+        html.len()
+    )
+    .into_bytes();
+    response.extend_from_slice(html.as_bytes());
+    response
+}
+
+/// Renders a 404.
+#[must_use]
+pub fn render_not_found() -> Vec<u8> {
+    b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_view_requests() {
+        let r = route(b"GET /view/HomePage HTTP/1.1\r\nHost: wiki\r\n\r\n");
+        assert_eq!(
+            r,
+            Route::View {
+                title: "HomePage".into()
+            }
+        );
+    }
+
+    #[test]
+    fn routes_save_requests_with_body() {
+        let r = route(b"POST /save/Notes HTTP/1.1\r\nHost: wiki\r\n\r\nhello world");
+        assert_eq!(
+            r,
+            Route::Save {
+                title: "Notes".into(),
+                body: "hello world".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_paths_404() {
+        assert_eq!(route(b"GET /admin HTTP/1.1\r\n\r\n"), Route::NotFound);
+        assert_eq!(route(b"DELETE /view/x HTTP/1.1\r\n\r\n"), Route::NotFound);
+        assert_eq!(route(b"GET /view/ HTTP/1.1\r\n\r\n"), Route::NotFound);
+        assert_eq!(route(b""), Route::NotFound);
+        assert_eq!(route(b"\xff\xfe garbage"), Route::NotFound);
+    }
+
+    #[test]
+    fn rendering_produces_valid_http() {
+        let page = render_page("T", "B");
+        let text = String::from_utf8(page).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("<h1>T</h1>"));
+        assert!(render_not_found().starts_with(b"HTTP/1.1 404"));
+    }
+}

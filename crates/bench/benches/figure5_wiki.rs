@@ -1,0 +1,16 @@
+//! Criterion wall-clock benchmark of the Figure 5 wiki study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enclosure_bench::wiki_exp;
+
+fn bench_wiki(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    group.bench_function("wiki_all_backends", |b| {
+        b.iter(|| wiki_exp::run(10).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wiki);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion wall-clock benchmarks of the Table 2 macro workloads
+//! (small scale; `repro table2` runs the full-scale simulated numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enclosure_bench::macrobench::{run_row, MacroBench, MacroScale};
+
+fn bench_macro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for bench in MacroBench::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("row", bench.name()),
+            &bench,
+            |b, &bench| b.iter(|| run_row(bench, MacroScale::quick()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_macro);
+criterion_main!(benches);

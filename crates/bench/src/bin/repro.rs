@@ -1,0 +1,237 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation from the simulated substrate.
+//!
+//! ```text
+//! repro table1 [--json]      Table 1 microbenchmarks
+//! repro table2 [--quick] [--json]  Table 2 macrobenchmarks
+//! repro table2-info          Table 2 information columns
+//! repro figure4              Figure 4 ELF layout dump
+//! repro wiki [--quick]       Figure 5 / §6.3 usability study
+//! repro python [--quick]     §6.4 Python experiments
+//! repro security             §6.5 recreated attacks
+//! repro filter-dump          compiled seccomp-BPF for the Figure 1 program
+//! repro ablations            design-choice studies
+//! repro all [--quick]        everything above
+//! ```
+
+use std::process::ExitCode;
+
+use enclosure_apps::plotlib::PlotConfig;
+use enclosure_bench::macrobench::{self, MacroScale};
+use enclosure_bench::{ablation, micro, python_exp, report, security_exp, wiki_exp};
+use enclosure_gofront::{GoProgram, GoSource};
+use litterbox::Backend;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let result = match command {
+        "table1" => table1(json),
+        "table2" => table2(quick, json),
+        "table2-info" => {
+            print!("{}", report::render_table2_info());
+            Ok(())
+        }
+        "figure4" => figure4(),
+        "wiki" => wiki(quick),
+        "python" => python(quick),
+        "security" => security(),
+        "filter-dump" => filter_dump(),
+        "ablations" => ablations(),
+        "all" => table1(json)
+            .and_then(|()| table2(quick, json))
+            .map(|()| print!("\n{}", report::render_table2_info()))
+            .and_then(|()| figure4())
+            .and_then(|()| wiki(quick))
+            .and_then(|()| python(quick))
+            .and_then(|()| security())
+            .and_then(|()| ablations()),
+        other => {
+            eprintln!("unknown command '{other}'; see the crate docs");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn table1(json: bool) -> Result<(), AnyError> {
+    let rows = micro::table1(1_000)?;
+    if json {
+        let value: Vec<_> = rows
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "op": r.name,
+                    "baseline_ns": r.baseline,
+                    "mpk_ns": r.mpk,
+                    "vtx_ns": r.vtx,
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&value)?);
+        return Ok(());
+    }
+    print!("\n{}", report::render_table1(&rows));
+    Ok(())
+}
+
+fn table2(quick: bool, json: bool) -> Result<(), AnyError> {
+    let scale = if quick {
+        MacroScale::quick()
+    } else {
+        MacroScale::default()
+    };
+    let rows = macrobench::table2(scale)?;
+    if json {
+        let value: Vec<_> = rows
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "benchmark": r.bench.name(),
+                    "unit": r.bench.unit(),
+                    "baseline": r.baseline.raw,
+                    "mpk": {"raw": r.mpk.raw, "slowdown": r.mpk.slowdown},
+                    "vtx": {"raw": r.vtx.raw, "slowdown": r.vtx.slowdown},
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&value)?);
+        return Ok(());
+    }
+    print!("\n{}", report::render_table2(&rows));
+    Ok(())
+}
+
+fn figure4() -> Result<(), AnyError> {
+    // Link the Figure 1 program and dump its layout (Figure 4).
+    let mut program = GoProgram::new();
+    program.add_source(GoSource::new("os").loc(3_000));
+    program.add_source(GoSource::new("img").loc(800));
+    program.add_source(GoSource::new("libfx").imports(&["img"]).loc(160_000));
+    program.add_source(
+        GoSource::new("secrets")
+            .imports(&["os"])
+            .global("original", 64)
+            .loc(50),
+    );
+    program.add_source(
+        GoSource::new("main")
+            .imports(&["img", "libfx", "secrets", "os"])
+            .global("privateKey", 32)
+            .constant("banner", b"figure-4")
+            .enclosure_with_uses("rcl", "libfx.Invert", &["img"], "secrets: R, none"),
+    );
+    let rt = program.build(Backend::Mpk)?;
+    println!("\nFigure 4: linked executable layout (Figure 1 program)");
+    print!("{}", rt.image().describe());
+    println!("marked packages: {:?}", rt.image().marked());
+    Ok(())
+}
+
+fn wiki(quick: bool) -> Result<(), AnyError> {
+    let requests = if quick { 20 } else { 500 };
+    let results = wiki_exp::run(requests)?;
+    print!("\n{}", report::render_wiki(&results));
+    Ok(())
+}
+
+fn python(quick: bool) -> Result<(), AnyError> {
+    let cfg = if quick {
+        PlotConfig {
+            points: 10_000,
+            ..PlotConfig::default()
+        }
+    } else {
+        PlotConfig::default()
+    };
+    let results = python_exp::run(cfg)?;
+    print!("\n{}", report::render_python(&results));
+    Ok(())
+}
+
+fn filter_dump() -> Result<(), AnyError> {
+    use enclosure_core::{App, Enclosure, Policy};
+    let mut app = App::builder("figure1")
+        .package("main", &["libfx", "secrets"])
+        .package("libfx", &[])
+        .package("secrets", &[])
+        .build(Backend::Mpk)?;
+    let _rcl: Enclosure<(), ()> = Enclosure::declare(
+        &mut app,
+        "rcl",
+        &["libfx"],
+        Policy::parse("secrets: R, none")?,
+        |_, ()| Ok(()),
+    )?;
+    println!("\nexecution environments:");
+    print!("{}", app.lb.describe_environments());
+    println!("\ncompiled seccomp-BPF filter (PKRU-indexed, kernel patch [45]):");
+    print!(
+        "{}",
+        app.lb
+            .seccomp_program()
+            .expect("MPK backend has a filter")
+            .disassemble()
+    );
+    Ok(())
+}
+
+fn security() -> Result<(), AnyError> {
+    let results = security_exp::run()?;
+    print!("\n{}", report::render_security(&results));
+    Ok(())
+}
+
+fn ablations() -> Result<(), AnyError> {
+    println!("\nAblation 1: meta-package clustering (§5.3)");
+    for deps in [5usize, 40, 100, 400] {
+        let s = ablation::clustering_study(deps);
+        println!(
+            "  {:>4} packages -> {} meta-packages (clustered fits 15 keys: {}; unclustered: {})",
+            s.packages, s.metas, s.fits_with_clustering, s.fits_without_clustering
+        );
+    }
+
+    println!("\nAblation 2: default-policy annotation burden (§3.1)");
+    let graph = ablation::fasthttp_shaped_graph(100);
+    let burden = ablation::policy_burden(&graph, &["fasthttp"], 1);
+    println!(
+        "  natural-deps default: {:>4} annotations | deny-all default: {:>4} | allow-all default: {:>4}",
+        burden.natural_default, burden.allowlist_default, burden.denylist_default
+    );
+
+    println!("\nAblation 2b: MPK key exhaustion (§5.3)");
+    let (max_ok, error) = ablation::key_exhaustion_study();
+    println!(
+        "  {max_ok} pairwise-disjoint enclosures fit LB_MPK; the next one fails with:\n    {error}"
+    );
+
+    println!("\nAblation 3: enclosure scoping vs switch-per-call (§7)");
+    for backend in [Backend::Mpk, Backend::Vtx] {
+        let s = ablation::scoping_study(backend, 1_000, 50)?;
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = s.per_call_ns as f64 / s.scoped_ns as f64;
+        println!(
+            "  {backend}: scoped {} ns vs per-call {} ns ({ratio:.1}x worse)",
+            s.scoped_ns, s.per_call_ns
+        );
+    }
+
+    println!("\nAblation 4: LB_VTX switch mechanism (§5.3)");
+    let s = ablation::vtx_switch_study()?;
+    println!(
+        "  guest-syscall CR3 switch: {} ns/call | hypothetical VM-per-enclosure (2 VM EXITs): {} ns/call",
+        s.syscall_switch_ns, s.vm_exit_switch_ns
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! **enclosure-bench** — the experiment harness.
+//!
+//! One module per paper artifact:
+//!
+//! * [`micro`] — Table 1 (call / transfer / syscall per backend);
+//! * [`macrobench`] — Table 2 (bild, HTTP, FastHTTP raw + slowdowns) and
+//!   its benchmark-information columns;
+//! * [`wiki_exp`] — the §6.3 / Figure 5 usability study;
+//! * [`python_exp`] — the §6.4 Python experiments (conservative vs
+//!   decoupled metadata, switch counts, init share);
+//! * [`security_exp`] — the §6.5 attack/defense matrix;
+//! * [`ablation`] — design-choice studies (meta-package clustering,
+//!   default-policy annotation burden, enclosure scoping vs
+//!   switch-per-call, VT-x switch mechanism);
+//! * [`report`] — table rendering shared by the `repro` binary.
+//!
+//! Every number is *simulated time* from the calibrated cost model; the
+//! Criterion benches under `benches/` additionally measure the wall-clock
+//! cost of the simulation itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod macrobench;
+pub mod micro;
+pub mod python_exp;
+pub mod report;
+pub mod security_exp;
+pub mod wiki_exp;
+
+pub use litterbox::Backend;
+
+/// The three measured configurations, in Table 1/2 column order.
+pub const BACKENDS: [Backend; 3] = [Backend::Baseline, Backend::Mpk, Backend::Vtx];

@@ -1,0 +1,211 @@
+//! Table 2 macrobenchmarks (§6.2): bild, HTTP, FastHTTP under every
+//! backend, raw numbers plus slowdowns, alongside the paper's values.
+
+use enclosure_apps::bild::{BildApp, BildConfig};
+use enclosure_apps::fasthttp::{FastHttpApp, FastHttpConfig};
+use enclosure_apps::httpd::{HttpApp, HttpConfig};
+use litterbox::{Backend, Fault};
+
+/// Which Table 2 benchmark to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacroBench {
+    /// Image inversion (latency, ms).
+    Bild,
+    /// net/http static server (throughput, req/s).
+    Http,
+    /// FastHTTP server (throughput, req/s).
+    FastHttp,
+}
+
+impl MacroBench {
+    /// All benchmarks in Table 2 row order.
+    pub const ALL: [MacroBench; 3] = [MacroBench::Bild, MacroBench::Http, MacroBench::FastHttp];
+
+    /// The row's name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MacroBench::Bild => "bild",
+            MacroBench::Http => "HTTP",
+            MacroBench::FastHttp => "FastHTTP",
+        }
+    }
+
+    /// The measurement unit for the raw column.
+    #[must_use]
+    pub fn unit(self) -> &'static str {
+        match self {
+            MacroBench::Bild => "ms",
+            MacroBench::Http | MacroBench::FastHttp => "reqs/s",
+        }
+    }
+}
+
+/// One measured cell: the raw value (ms or req/s) for one backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacroCell {
+    /// The raw measurement.
+    pub raw: f64,
+    /// Slowdown relative to baseline (1.0 for the baseline itself).
+    pub slowdown: f64,
+}
+
+/// One Table 2 row: baseline / MPK / VTX cells plus the paper's values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacroRow {
+    /// Which benchmark.
+    pub bench: MacroBench,
+    /// Measured baseline.
+    pub baseline: MacroCell,
+    /// Measured LB_MPK.
+    pub mpk: MacroCell,
+    /// Measured LB_VTX.
+    pub vtx: MacroCell,
+}
+
+/// The paper's Table 2 values `(baseline_raw, mpk_slowdown, vtx_slowdown)`.
+#[must_use]
+pub fn paper_values(bench: MacroBench) -> (f64, f64, f64) {
+    match bench {
+        MacroBench::Bild => (13.25, 1.12, 1.05),
+        MacroBench::Http => (16_991.0, 1.02, 1.77),
+        MacroBench::FastHttp => (22_867.0, 1.04, 2.01),
+    }
+}
+
+/// How many requests the throughput benchmarks drive per backend.
+#[derive(Debug, Clone, Copy)]
+pub struct MacroScale {
+    /// Requests per throughput run.
+    pub requests: u64,
+    /// Image configuration for bild.
+    pub bild: BildConfig,
+}
+
+impl Default for MacroScale {
+    fn default() -> Self {
+        MacroScale {
+            requests: 500,
+            bild: BildConfig::default(),
+        }
+    }
+}
+
+impl MacroScale {
+    /// Small scale for tests.
+    #[must_use]
+    pub fn quick() -> MacroScale {
+        MacroScale {
+            requests: 20,
+            bild: BildConfig {
+                width: 128,
+                height: 64,
+                pixel_ns: 12,
+            },
+        }
+    }
+}
+
+fn measure_raw(bench: MacroBench, backend: Backend, scale: MacroScale) -> Result<f64, Fault> {
+    match bench {
+        MacroBench::Bild => {
+            let mut app = BildApp::new(backend, scale.bild)?;
+            app.runtime_mut().lb_mut().clock_mut().reset();
+            let run = app.run_invert()?;
+            #[allow(clippy::cast_precision_loss)]
+            Ok(run.ns as f64 / 1e6) // ms
+        }
+        MacroBench::Http => {
+            let mut app = HttpApp::new(backend, HttpConfig::default())?;
+            app.runtime_mut().lb_mut().clock_mut().reset();
+            Ok(app.serve_requests(scale.requests)?.reqs_per_sec)
+        }
+        MacroBench::FastHttp => {
+            let mut app = FastHttpApp::new(backend)?;
+            app.runtime_mut().lb_mut().clock_mut().reset();
+            Ok(app
+                .serve_requests(scale.requests, FastHttpConfig::default())?
+                .reqs_per_sec)
+        }
+    }
+}
+
+/// Runs one Table 2 row across all backends.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn run_row(bench: MacroBench, scale: MacroScale) -> Result<MacroRow, Fault> {
+    let base = measure_raw(bench, Backend::Baseline, scale)?;
+    let mpk = measure_raw(bench, Backend::Mpk, scale)?;
+    let vtx = measure_raw(bench, Backend::Vtx, scale)?;
+    // For latency (bild), slowdown = time/time_base; for throughput,
+    // slowdown = rate_base/rate.
+    let slowdown = |v: f64| -> f64 {
+        match bench {
+            MacroBench::Bild => v / base,
+            _ => base / v,
+        }
+    };
+    Ok(MacroRow {
+        bench,
+        baseline: MacroCell {
+            raw: base,
+            slowdown: 1.0,
+        },
+        mpk: MacroCell {
+            raw: mpk,
+            slowdown: slowdown(mpk),
+        },
+        vtx: MacroCell {
+            raw: vtx,
+            slowdown: slowdown(vtx),
+        },
+    })
+}
+
+/// Runs the full Table 2.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn table2(scale: MacroScale) -> Result<Vec<MacroRow>, Fault> {
+    MacroBench::ALL
+        .into_iter()
+        .map(|bench| run_row(bench, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_holds_at_quick_scale() {
+        let rows = table2(MacroScale::quick()).unwrap();
+        let bild = &rows[0];
+        assert!(bild.mpk.slowdown > bild.vtx.slowdown, "bild: MPK loses");
+        assert!(bild.mpk.slowdown > 1.0 && bild.mpk.slowdown < 1.5);
+
+        let http = &rows[1];
+        assert!(http.mpk.slowdown < 1.1, "HTTP MPK near baseline");
+        assert!(http.vtx.slowdown > 1.4, "HTTP VTX pays for syscalls");
+
+        let fast = &rows[2];
+        assert!(fast.mpk.slowdown < 1.15);
+        assert!(fast.vtx.slowdown > 1.5);
+        assert!(
+            fast.vtx.slowdown > http.vtx.slowdown,
+            "FastHTTP's smaller service time amplifies VT-x overhead: {} vs {}",
+            fast.vtx.slowdown,
+            http.vtx.slowdown
+        );
+    }
+
+    #[test]
+    fn throughput_rows_report_reqs_per_sec() {
+        let row = run_row(MacroBench::Http, MacroScale::quick()).unwrap();
+        assert!(row.baseline.raw > 1000.0, "at least 1k req/s simulated");
+        assert_eq!(row.bench.unit(), "reqs/s");
+    }
+}

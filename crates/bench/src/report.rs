@@ -1,0 +1,237 @@
+//! Table rendering for the `repro` binary.
+
+use std::fmt::Write as _;
+
+use crate::macrobench::{paper_values, MacroRow};
+use crate::micro::{paper_table1, MicroRow};
+use crate::python_exp::PythonResults;
+use crate::security_exp::SecurityResults;
+use crate::wiki_exp::WikiResults;
+
+/// Renders Table 1 side by side with the paper's values.
+#[must_use]
+pub fn render_table1(measured: &[MicroRow; 3]) -> String {
+    let paper = paper_table1();
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: Microbenchmarks (nanoseconds)");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "", "Baseline", "(paper)", "LB_MPK", "(paper)", "LB_VTX", "(paper)"
+    );
+    for (m, p) in measured.iter().zip(paper.iter()) {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+            m.name, m.baseline, p.baseline, m.mpk, p.mpk, m.vtx, p.vtx
+        );
+    }
+    out
+}
+
+/// Renders Table 2 with paper slowdowns alongside.
+#[must_use]
+pub fn render_table2(rows: &[MacroRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: Macrobenchmarks");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} | {:>9} {:>7} | {:>9} {:>7} | paper: mpk / vtx",
+        "benchmark", "baseline", "LB_MPK", "slow", "LB_VTX", "slow"
+    );
+    for row in rows {
+        let (paper_base, paper_mpk, paper_vtx) = paper_values(row.bench);
+        let fmt_raw = |v: f64| -> String {
+            match row.bench.unit() {
+                "ms" => format!("{v:.2}ms"),
+                _ => format!("{v:.0}req/s"),
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14} | {:>9} {:>6.2}x | {:>9} {:>6.2}x | {:.2}x / {:.2}x  (paper base {})",
+            row.bench.name(),
+            fmt_raw(row.baseline.raw),
+            fmt_raw(row.mpk.raw),
+            row.mpk.slowdown,
+            fmt_raw(row.vtx.raw),
+            row.vtx.slowdown,
+            paper_mpk,
+            paper_vtx,
+            fmt_raw(paper_base),
+        );
+    }
+    out
+}
+
+/// Renders the Table 2 benchmark-information columns.
+#[must_use]
+pub fn render_table2_info() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: Benchmark information (TCB accounting)");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>12} {:>8} {:>13} {:>12}",
+        "app", "TCB LOC", "enclosed LOC", "stars", "contributors", "public deps"
+    );
+    for info in enclosure_apps::registry::table2_info() {
+        let dash = |v: u64| -> String {
+            if v == 0 {
+                "-".into()
+            } else {
+                v.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>12} {:>8} {:>13} {:>12}",
+            info.benchmark,
+            info.app_tcb_loc,
+            dash(info.enclosed_loc),
+            dash(info.stars),
+            dash(info.contributors),
+            dash(info.public_deps),
+        );
+    }
+    out
+}
+
+/// Renders the §6.3 wiki study.
+#[must_use]
+pub fn render_wiki(results: &WikiResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 5 / §6.3: wiki web application");
+    let _ = writeln!(out, "  baseline: {:>10.0} req/s", results.baseline);
+    let _ = writeln!(
+        out,
+        "  LB_MPK:   {:>10.0} req/s  ({:.2}x slowdown)",
+        results.mpk.0, results.mpk.1
+    );
+    let _ = writeln!(
+        out,
+        "  LB_VTX:   {:>10.0} req/s  ({:.2}x slowdown)",
+        results.vtx.0, results.vtx.1
+    );
+    let _ = writeln!(
+        out,
+        "  context switches per request (PKRU writes, MPK): {:.1}",
+        results.switches_per_request
+    );
+    let _ = writeln!(
+        out,
+        "  paper: \"throughput slowdown is similar to the one in the FastHTTP experiment\""
+    );
+    out
+}
+
+/// Renders the §6.4 Python experiments.
+#[must_use]
+pub fn render_python(results: &PythonResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "§6.4: Python enclosures (LB_VTX, matplotlib-style plot)");
+    let _ = writeln!(
+        out,
+        "  plain Python:              {:>10.1} ms",
+        results.baseline_ns as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "  conservative (co-located): {:>10.1} ms  ({:.1}x; paper ~18x)",
+        results.conservative_ns as f64 / 1e6,
+        results.conservative_slowdown
+    );
+    let _ = writeln!(
+        out,
+        "  optimized (decoupled):     {:>10.1} ms  ({:.2}x; paper ~1.4x)",
+        results.optimized_ns as f64 / 1e6,
+        results.optimized_slowdown
+    );
+    let _ = writeln!(
+        out,
+        "  trusted-environment switches (round trips): {} (paper: ~1M)",
+        results.switches
+    );
+    let _ = writeln!(
+        out,
+        "  delayed-init share of slowdown: {:.1}% (paper: 4.3%)",
+        results.init_share * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  syscall share of slowdown: {:.2}% (paper: <1%)",
+        results.syscall_share * 100.0
+    );
+    out
+}
+
+/// Renders the §6.5 security matrix.
+#[must_use]
+pub fn render_security(all: &[SecurityResults]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "§6.5: recreated malicious packages");
+    for results in all {
+        let _ = writeln!(out, "backend: {}", results.backend);
+        for s in &results.scenarios {
+            let _ = writeln!(
+                out,
+                "  [{}] {}",
+                if s.reproduced() { "ok" } else { "FAIL" },
+                s.name
+            );
+            let _ = writeln!(
+                out,
+                "       unprotected leaked: {} | enclosed blocked: {} | legit works: {}",
+                s.unprotected_leaked, s.enclosed_blocked, s.legit_ok
+            );
+            if let Some(fault) = &s.fault {
+                let _ = writeln!(out, "       fault: {fault}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macrobench::{MacroBench, MacroCell};
+
+    #[test]
+    fn table1_render_includes_paper_columns() {
+        let rows = paper_table1();
+        let text = render_table1(&rows);
+        assert!(text.contains("call"));
+        assert!(text.contains("924"));
+        assert!(text.contains("(paper)"));
+    }
+
+    #[test]
+    fn table2_render_formats_units() {
+        let row = MacroRow {
+            bench: MacroBench::Bild,
+            baseline: MacroCell {
+                raw: 13.25,
+                slowdown: 1.0,
+            },
+            mpk: MacroCell {
+                raw: 14.88,
+                slowdown: 1.12,
+            },
+            vtx: MacroCell {
+                raw: 13.91,
+                slowdown: 1.05,
+            },
+        };
+        let text = render_table2(&[row]);
+        assert!(text.contains("13.25ms"));
+        assert!(text.contains("1.12x"));
+    }
+
+    #[test]
+    fn table2_info_renders_dashes_for_stdlib() {
+        let text = render_table2_info();
+        assert!(text.contains("bild"));
+        assert!(text.contains('-'), "HTTP row uses dashes");
+        assert!(text.contains("166000"));
+    }
+}

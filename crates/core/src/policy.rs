@@ -1,0 +1,368 @@
+//! The enclosure policy grammar (§2.2).
+//!
+//! Policies are written as string literals so the compiler can "validate
+//! their satisfiability at compile time" (§5.1); here, [`Policy::parse`]
+//! plays the compiler's role and rejects malformed policies before any
+//! enclosure is registered.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use enclosure_kernel::seccomp::SysPolicy;
+use enclosure_kernel::{CategorySet, SysCategory};
+use enclosure_vmem::Access;
+
+/// A parse or satisfiability error in a policy literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolicyError {
+    /// A memory modifier has bad syntax (`pkg: RIGHTS` expected).
+    BadModifier(String),
+    /// A rights token isn't one of `U | R | RW | RWX`.
+    BadRights(String),
+    /// A syscall-filter token isn't a known category.
+    BadCategory(String),
+    /// `none`/`all` combined with other filter tokens.
+    ConflictingFilter(String),
+    /// The same package appears in two modifiers.
+    DuplicateModifier(String),
+    /// A `connect:` allowlist entry isn't a dotted IPv4 literal.
+    BadAddress(String),
+    /// A modifier references a package unknown to the program.
+    UnknownPackage(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::BadModifier(s) => write!(f, "bad memory modifier '{s}'"),
+            PolicyError::BadRights(s) => write!(f, "bad access rights '{s}'"),
+            PolicyError::BadCategory(s) => write!(f, "unknown syscall category '{s}'"),
+            PolicyError::ConflictingFilter(s) => {
+                write!(f, "'{s}' cannot be combined with other filter tokens")
+            }
+            PolicyError::DuplicateModifier(s) => {
+                write!(f, "package '{s}' has two memory modifiers")
+            }
+            PolicyError::BadAddress(s) => write!(f, "bad connect allowlist address '{s}'"),
+            PolicyError::UnknownPackage(s) => {
+                write!(f, "policy references unknown package '{s}'")
+            }
+        }
+    }
+}
+
+impl Error for PolicyError {}
+
+/// A parsed enclosure policy: memory modifiers plus a syscall filter.
+///
+/// The default policy — no modifiers, `none` filter — is what an
+/// enclosure gets when declared without `[Policies]` (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Policy {
+    modifiers: Vec<(String, Access)>,
+    sysfilter: SysPolicy,
+}
+
+impl Policy {
+    /// The default policy: natural dependencies only, no system calls.
+    #[must_use]
+    pub fn default_policy() -> Policy {
+        Policy {
+            modifiers: Vec::new(),
+            sysfilter: SysPolicy::none(),
+        }
+    }
+
+    /// Parses a policy literal.
+    ///
+    /// Grammar: comma-separated items. An item containing `:` followed by
+    /// a rights token is a memory modifier (`secrets: R`); anything else
+    /// is the syscall filter — `none`, `all`, or whitespace/`|`-separated
+    /// category keywords, optionally with `connect:a.b.c.d` allowlist
+    /// entries (the §6.5 extension).
+    ///
+    /// ```
+    /// use enclosure_core::Policy;
+    /// let p = Policy::parse("secrets: R, img: U, net | io")?;
+    /// # Ok::<(), enclosure_core::PolicyError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Any [`PolicyError`] variant, mirroring the compile-time
+    /// satisfiability check of §5.1.
+    pub fn parse(literal: &str) -> Result<Policy, PolicyError> {
+        let mut modifiers: Vec<(String, Access)> = Vec::new();
+        let mut categories = CategorySet::NONE;
+        let mut allowlist: Vec<u32> = Vec::new();
+        let mut saw_none = false;
+        let mut saw_all = false;
+        let mut saw_filter_tokens = false;
+
+        for item in literal.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            if let Some((pkg, rights)) = split_modifier(item) {
+                let access = Access::from_str(rights)
+                    .map_err(|_| PolicyError::BadRights(rights.to_owned()))?;
+                let access = if rights.trim().eq_ignore_ascii_case("U") {
+                    Access::NONE
+                } else {
+                    access
+                };
+                if modifiers.iter().any(|(p, _)| p == pkg) {
+                    return Err(PolicyError::DuplicateModifier(pkg.to_owned()));
+                }
+                modifiers.push((pkg.to_owned(), access));
+                continue;
+            }
+            // Syscall filter tokens.
+            for token in item.split(|c: char| c.is_whitespace() || c == '|') {
+                let token = token.trim();
+                if token.is_empty() {
+                    continue;
+                }
+                saw_filter_tokens = true;
+                match token {
+                    "none" => saw_none = true,
+                    "all" => saw_all = true,
+                    _ => {
+                        if let Some(addr) = token.strip_prefix("connect:") {
+                            allowlist.push(parse_ipv4(addr)?);
+                        } else if let Some(cat) = SysCategory::from_keyword(token) {
+                            categories.insert(cat);
+                        } else {
+                            return Err(PolicyError::BadCategory(token.to_owned()));
+                        }
+                    }
+                }
+            }
+        }
+
+        let other_tokens = !categories.is_none() || !allowlist.is_empty();
+        if saw_none && (saw_all || other_tokens) {
+            return Err(PolicyError::ConflictingFilter("none".into()));
+        }
+        if saw_all && other_tokens {
+            return Err(PolicyError::ConflictingFilter("all".into()));
+        }
+
+        let mut sysfilter = if saw_all {
+            SysPolicy::all()
+        } else if saw_none || !saw_filter_tokens {
+            SysPolicy::none()
+        } else {
+            SysPolicy::categories(categories)
+        };
+        if !allowlist.is_empty() {
+            sysfilter = sysfilter.with_connect_allowlist(allowlist);
+        }
+        Ok(Policy {
+            modifiers,
+            sysfilter,
+        })
+    }
+
+    /// The memory modifiers, in declaration order.
+    #[must_use]
+    pub fn modifiers(&self) -> &[(String, Access)] {
+        &self.modifiers
+    }
+
+    /// The parsed syscall filter.
+    #[must_use]
+    pub fn sysfilter(&self) -> &SysPolicy {
+        &self.sysfilter
+    }
+
+    /// Adds a memory modifier programmatically.
+    #[must_use]
+    pub fn grant(mut self, package: &str, rights: Access) -> Policy {
+        self.modifiers.retain(|(p, _)| p != package);
+        self.modifiers.push((package.to_owned(), rights));
+        self
+    }
+
+    /// Replaces the syscall filter programmatically.
+    #[must_use]
+    pub fn syscalls(mut self, filter: SysPolicy) -> Policy {
+        self.sysfilter = filter;
+        self
+    }
+}
+
+impl FromStr for Policy {
+    type Err = PolicyError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Policy::parse(s)
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (pkg, rights) in &self.modifiers {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{pkg}: {rights}")?;
+            first = false;
+        }
+        if !first {
+            write!(f, ", ")?;
+        }
+        write!(f, "{}", self.sysfilter)
+    }
+}
+
+/// Splits `pkg: RIGHTS` items; returns `None` for filter items.
+fn split_modifier(item: &str) -> Option<(&str, &str)> {
+    let (lhs, rhs) = item.split_once(':')?;
+    let lhs = lhs.trim();
+    let rhs = rhs.trim();
+    // `connect:1.2.3.4` is a filter token, not a modifier.
+    if lhs == "connect" {
+        return None;
+    }
+    Some((lhs, rhs))
+}
+
+fn parse_ipv4(s: &str) -> Result<u32, PolicyError> {
+    let parts: Vec<&str> = s.split('.').collect();
+    if parts.len() != 4 {
+        return Err(PolicyError::BadAddress(s.to_owned()));
+    }
+    let mut out: u32 = 0;
+    for part in parts {
+        let octet: u32 = part
+            .parse()
+            .map_err(|_| PolicyError::BadAddress(s.to_owned()))?;
+        if octet > 255 {
+            return Err(PolicyError::BadAddress(s.to_owned()));
+        }
+        out = (out << 8) | octet;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_policy_parses() {
+        let p = Policy::parse("secrets: R, none").unwrap();
+        assert_eq!(p.modifiers(), &[("secrets".to_string(), Access::R)]);
+        assert_eq!(p.sysfilter(), &SysPolicy::none());
+    }
+
+    #[test]
+    fn empty_literal_is_default_policy() {
+        let p = Policy::parse("").unwrap();
+        assert_eq!(p, Policy::default_policy());
+        assert!(p.sysfilter().categories.is_none());
+    }
+
+    #[test]
+    fn unmapping_and_multiple_modifiers() {
+        let p = Policy::parse("secrets: R, img: U, main: RW, net | io").unwrap();
+        assert_eq!(p.modifiers().len(), 3);
+        assert_eq!(p.modifiers()[1], ("img".to_string(), Access::NONE));
+        let filter = p.sysfilter();
+        assert!(filter.categories.contains(SysCategory::Net));
+        assert!(filter.categories.contains(SysCategory::Io));
+        assert!(!filter.categories.contains(SysCategory::File));
+    }
+
+    #[test]
+    fn all_filter() {
+        let p = Policy::parse("all").unwrap();
+        assert_eq!(p.sysfilter(), &SysPolicy::all());
+    }
+
+    #[test]
+    fn space_separated_categories() {
+        let p = Policy::parse("net io file").unwrap();
+        assert!(p.sysfilter().categories.contains(SysCategory::File));
+    }
+
+    #[test]
+    fn connect_allowlist_extension() {
+        let p = Policy::parse("net, connect:198.51.100.7, connect:10.0.0.1, file io").unwrap();
+        let filter = p.sysfilter();
+        assert_eq!(
+            filter.connect_allowlist.as_deref(),
+            Some(&[0xc633_6407, 0x0a00_0001][..])
+        );
+        assert!(filter.categories.contains(SysCategory::Net));
+        assert!(filter.categories.contains(SysCategory::File));
+    }
+
+    #[test]
+    fn rejects_bad_rights_and_categories() {
+        assert!(matches!(
+            Policy::parse("secrets: Q"),
+            Err(PolicyError::BadRights(_))
+        ));
+        assert!(matches!(
+            Policy::parse("sockets"),
+            Err(PolicyError::BadCategory(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_conflicting_filters() {
+        assert!(matches!(
+            Policy::parse("none all"),
+            Err(PolicyError::ConflictingFilter(_))
+        ));
+        assert!(matches!(
+            Policy::parse("none net"),
+            Err(PolicyError::ConflictingFilter(_))
+        ));
+        assert!(matches!(
+            Policy::parse("all io"),
+            Err(PolicyError::ConflictingFilter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_modifiers() {
+        assert!(matches!(
+            Policy::parse("a: R, a: RW"),
+            Err(PolicyError::DuplicateModifier(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_addresses() {
+        for bad in ["connect:1.2.3", "connect:1.2.3.4.5", "connect:a.b.c.d", "connect:1.2.3.999"] {
+            assert!(
+                matches!(Policy::parse(bad), Err(PolicyError::BadAddress(_))),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_style_api() {
+        let p = Policy::default_policy()
+            .grant("secrets", Access::R)
+            .grant("secrets", Access::RW) // replaces
+            .syscalls(SysPolicy::all());
+        assert_eq!(p.modifiers(), &[("secrets".to_string(), Access::RW)]);
+        assert_eq!(p.sysfilter(), &SysPolicy::all());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let p = Policy::parse("secrets: R, img: U, net | io").unwrap();
+        let reparsed = Policy::parse(&p.to_string()).unwrap();
+        assert_eq!(p.modifiers(), reparsed.modifiers());
+        assert_eq!(p.sysfilter().categories, reparsed.sysfilter().categories);
+    }
+}

@@ -1,0 +1,130 @@
+//! Default-policy memory-view computation (§3.1).
+//!
+//! "By default, enclosures prevent system calls and limit the memory view
+//! only to allow access to resources in a closure's natural dependencies."
+//! Modifiers then restrict or extend that view; touching a *foreign*
+//! package always requires an explicit modifier (§2.2).
+
+use enclosure_vmem::Access;
+use litterbox::deps::{natural_dependencies, DepGraph};
+use litterbox::ViewMap;
+
+use crate::policy::{Policy, PolicyError};
+
+/// Computes an enclosure's full memory view.
+///
+/// * `graph` — the program's package-dependence graph;
+/// * `roots` — the packages the closure directly invokes (its own package
+///   plus its imports);
+/// * `policy` — the parsed `[Policies]` literal.
+///
+/// The default view grants `RWX` on every natural dependency of `roots`.
+/// Each modifier then overrides one package's rights: `U` removes it,
+/// `R`/`RW`/`RWX` set exactly those rights — including for foreign
+/// packages, which is how read-only sharing of `secrets` in Figure 1
+/// works.
+///
+/// # Errors
+///
+/// [`PolicyError::UnknownPackage`] if a modifier names a package missing
+/// from `graph` — the satisfiability check the Go compiler performs at
+/// compile time (§5.1).
+pub fn compute_view(
+    graph: &DepGraph,
+    roots: &[&str],
+    policy: &Policy,
+) -> Result<ViewMap, PolicyError> {
+    let mut view = ViewMap::new();
+    for pkg in natural_dependencies(graph, roots) {
+        view.insert(pkg, Access::RWX);
+    }
+    for (pkg, rights) in policy.modifiers() {
+        if !graph.contains_key(pkg) {
+            return Err(PolicyError::UnknownPackage(pkg.clone()));
+        }
+        if rights.is_none() {
+            view.remove(pkg);
+        } else {
+            view.insert(pkg.clone(), *rights);
+        }
+    }
+    Ok(view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_graph() -> DepGraph {
+        [
+            ("main", vec!["img", "libfx", "secrets", "os"]),
+            ("img", vec![]),
+            ("libfx", vec!["img"]),
+            ("secrets", vec!["os"]),
+            ("os", vec![]),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.into_iter().map(String::from).collect()))
+        .collect()
+    }
+
+    #[test]
+    fn default_view_is_natural_dependencies_rwx() {
+        let view = compute_view(&figure1_graph(), &["libfx"], &Policy::default_policy()).unwrap();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view["libfx"], Access::RWX);
+        assert_eq!(view["img"], Access::RWX);
+        assert!(!view.contains_key("secrets"));
+    }
+
+    #[test]
+    fn figure1_rcl_view() {
+        // rcl invokes libfx on data from img, with secrets shared R.
+        let policy = Policy::parse("secrets: R, none").unwrap();
+        let view = compute_view(&figure1_graph(), &["libfx", "img"], &policy).unwrap();
+        assert_eq!(view["secrets"], Access::R);
+        assert_eq!(view["libfx"], Access::RWX);
+        assert!(!view.contains_key("main"), "main stays foreign");
+        assert!(!view.contains_key("os"), "os stays foreign");
+    }
+
+    #[test]
+    fn unmap_modifier_removes_natural_dependency() {
+        let policy = Policy::parse("img: U").unwrap();
+        let view = compute_view(&figure1_graph(), &["libfx"], &policy).unwrap();
+        assert!(!view.contains_key("img"));
+        assert!(view.contains_key("libfx"));
+    }
+
+    #[test]
+    fn restriction_modifier_lowers_rights() {
+        let policy = Policy::parse("img: R").unwrap();
+        let view = compute_view(&figure1_graph(), &["libfx"], &policy).unwrap();
+        assert_eq!(view["img"], Access::R);
+    }
+
+    #[test]
+    fn unknown_modifier_package_is_rejected() {
+        let policy = Policy::parse("ghost: R").unwrap();
+        assert!(matches!(
+            compute_view(&figure1_graph(), &["libfx"], &policy),
+            Err(PolicyError::UnknownPackage(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_access_requires_explicit_modifier() {
+        // Without a modifier, secrets is simply absent; with one, present
+        // at exactly the declared rights.
+        let without =
+            compute_view(&figure1_graph(), &["libfx"], &Policy::default_policy()).unwrap();
+        assert!(!without.contains_key("secrets"));
+        let with = compute_view(
+            &figure1_graph(),
+            &["libfx"],
+            &Policy::default_policy().grant("secrets", Access::RW),
+        )
+        .unwrap();
+        assert_eq!(with["secrets"], Access::RW);
+    }
+}

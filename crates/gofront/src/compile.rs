@@ -1,0 +1,172 @@
+//! The compiler stage: sources → code objects (§5.1).
+//!
+//! "The compiler outputs one code object per package that contains the
+//! expected `.text` (functions), `.data` (global variables), and
+//! `.rodata` (constants) sections, as well as a `.rstrct` section
+//! containing the package's enclosures configurations and direct
+//! dependencies." Policy literals are validated here — the compile-time
+//! satisfiability check.
+
+use enclosure_core::Policy;
+use litterbox::Fault;
+
+use crate::source::{EnclosureSrc, GoSource};
+
+/// A compiled enclosure record destined for the `.rstrct` section.
+#[derive(Debug, Clone)]
+pub struct CompiledEnclosure {
+    /// Source-level declaration.
+    pub src: EnclosureSrc,
+    /// The parsed, validated policy.
+    pub policy: Policy,
+    /// Packages the closure's body references (entry package plus any
+    /// `uses` annotations).
+    pub roots: Vec<String>,
+}
+
+/// One package's compiled output.
+#[derive(Debug, Clone)]
+pub struct CodeObject {
+    /// Package name.
+    pub name: String,
+    /// Direct dependencies (from import statements).
+    pub deps: Vec<String>,
+    /// `.text` size in pages: one for the package's functions plus one
+    /// per enclosure closure ("the closure resides in its own text
+    /// section owned by the package that declares it", §4.1).
+    pub text_pages: u64,
+    /// Laid-out constants: symbol → (offset, bytes).
+    pub rodata: Vec<(String, u64, Vec<u8>)>,
+    /// `.rodata` size in bytes (before page rounding).
+    pub rodata_size: u64,
+    /// Laid-out globals: symbol → (offset, size).
+    pub data: Vec<(String, u64, u64)>,
+    /// `.data` size in bytes (before page rounding).
+    pub data_size: u64,
+    /// The `.rstrct` payload.
+    pub enclosures: Vec<CompiledEnclosure>,
+    /// Lines of code (metadata).
+    pub loc: u64,
+}
+
+/// Compiles one package source.
+///
+/// # Errors
+///
+/// [`Fault::Init`] if a policy literal fails to parse or an enclosure
+/// entry is not of the form `pkg.Func` — the errors Go's type checker
+/// reports at compile time (§5.1).
+pub fn compile(src: &GoSource) -> Result<CodeObject, Fault> {
+    let mut rodata = Vec::new();
+    let mut ro_off = 0u64;
+    for (name, bytes) in src.constant_list() {
+        rodata.push((
+            format!("{}.{}", src.name_str(), name),
+            ro_off,
+            bytes.clone(),
+        ));
+        ro_off += (bytes.len() as u64).next_multiple_of(8);
+    }
+
+    let mut data = Vec::new();
+    let mut data_off = 0u64;
+    for (name, size) in src.global_list() {
+        data.push((format!("{}.{}", src.name_str(), name), data_off, *size));
+        data_off += size.next_multiple_of(8);
+    }
+
+    let mut enclosures = Vec::new();
+    if let Some(policy_literal) = src.init_policy() {
+        let policy = Policy::parse(policy_literal)
+            .map_err(|e| Fault::Init(format!("init enclosure of '{}': {e}", src.name_str())))?;
+        enclosures.push(CompiledEnclosure {
+            src: EnclosureSrc {
+                name: format!("__init_{}", src.name_str()),
+                entry: format!("{}.init", src.name_str()),
+                policy: policy_literal.to_owned(),
+                uses: Vec::new(),
+            },
+            policy,
+            roots: vec![src.name_str().to_owned()],
+        });
+    }
+    for enc in src.enclosure_list() {
+        let policy = Policy::parse(&enc.policy)
+            .map_err(|e| Fault::Init(format!("enclosure '{}': {e}", enc.name)))?;
+        let (entry_pkg, _) = enc.entry.split_once('.').ok_or_else(|| {
+            Fault::Init(format!(
+                "enclosure '{}': entry '{}' is not of the form pkg.Func",
+                enc.name, enc.entry
+            ))
+        })?;
+        let mut roots = vec![entry_pkg.to_owned()];
+        for extra in enc.uses.iter() {
+            if !roots.contains(extra) {
+                roots.push(extra.clone());
+            }
+        }
+        enclosures.push(CompiledEnclosure {
+            src: enc.clone(),
+            policy,
+            roots,
+        });
+    }
+
+    Ok(CodeObject {
+        name: src.name_str().to_owned(),
+        deps: src.import_list().to_vec(),
+        text_pages: 1 + enclosures.len() as u64,
+        rodata,
+        rodata_size: ro_off,
+        data,
+        data_size: data_off,
+        enclosures,
+        loc: src.loc_value(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lays_out_globals_and_constants() {
+        let src = GoSource::new("p")
+            .global("a", 8)
+            .global("b", 12)
+            .constant("c", b"xyz");
+        let obj = compile(&src).unwrap();
+        assert_eq!(obj.data, vec![
+            ("p.a".to_string(), 0, 8),
+            ("p.b".to_string(), 8, 12),
+        ]);
+        assert_eq!(obj.data_size, 24, "12 rounds up to 16");
+        assert_eq!(obj.rodata[0].0, "p.c");
+        assert_eq!(obj.rodata[0].2, b"xyz");
+    }
+
+    #[test]
+    fn each_enclosure_adds_a_text_page() {
+        let src = GoSource::new("main")
+            .imports(&["lib"])
+            .enclosure("e1", "lib.F", "none")
+            .enclosure("e2", "lib.G", "all");
+        let obj = compile(&src).unwrap();
+        assert_eq!(obj.text_pages, 3);
+        assert_eq!(obj.enclosures.len(), 2);
+        assert_eq!(obj.enclosures[0].roots, vec!["lib"]);
+    }
+
+    #[test]
+    fn bad_policy_fails_compilation() {
+        let src = GoSource::new("main").enclosure("e", "lib.F", "bogus-category");
+        assert!(matches!(compile(&src), Err(Fault::Init(_))));
+    }
+
+    #[test]
+    fn bad_entry_fails_compilation() {
+        let src = GoSource::new("main").enclosure("e", "noDotHere", "none");
+        let err = compile(&src).unwrap_err();
+        assert!(err.to_string().contains("pkg.Func"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Goroutines, channels, and the cooperative scheduler state (§5.1).
+//!
+//! Goroutines are *step functions*: the scheduler calls them repeatedly,
+//! and each call runs one quantum and returns [`Step::Yield`] (reschedule
+//! me) or [`Step::Done`]. Channel operations are non-blocking; a goroutine
+//! that finds a channel full/empty yields and retries — the cooperative
+//! equivalent of blocking. Each goroutine carries the
+//! [`litterbox::EnvContext`] it was spawned in, inherited from its
+//! creator, and the scheduler switches protection contexts with
+//! LitterBox's `Execute` hook.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use litterbox::{EnvContext, Fault};
+
+use crate::runtime::GoCtx;
+use crate::value::GoValue;
+
+/// Identifier of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChanId(pub(crate) usize);
+
+/// Identifier of a goroutine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GoroutineId(pub(crate) usize);
+
+/// What a goroutine quantum reports back to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Run me again later (possibly blocked on a channel).
+    Yield,
+    /// This goroutine is finished.
+    Done,
+}
+
+/// Result of a non-blocking channel receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// A value was dequeued.
+    Value(GoValue),
+    /// The channel is empty but open — yield and retry.
+    Empty,
+    /// The channel is empty and closed — no more values will arrive.
+    Closed,
+}
+
+#[derive(Debug)]
+pub(crate) struct Channel {
+    queue: VecDeque<GoValue>,
+    cap: usize,
+    closed: bool,
+}
+
+/// The body of a goroutine: one scheduling quantum per call.
+pub type GoroutineFn = Box<dyn FnMut(&mut GoCtx<'_>) -> Result<Step, Fault>>;
+
+pub(crate) struct Goroutine {
+    pub name: String,
+    pub ctx: EnvContext,
+    pub f: GoroutineFn,
+}
+
+impl fmt::Debug for Goroutine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Goroutine")
+            .field("name", &self.name)
+            .field("env", &self.ctx.env())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Scheduler bookkeeping: channels, goroutines, and the run queue.
+#[derive(Debug, Default)]
+pub(crate) struct Scheduler {
+    pub channels: Vec<Channel>,
+    pub goroutines: Vec<Option<Goroutine>>,
+    pub runq: VecDeque<usize>,
+    /// Set by successful channel ops and completions; cleared each round
+    /// to detect deadlock.
+    pub progress: bool,
+}
+
+impl Scheduler {
+    pub fn make_chan(&mut self, cap: usize) -> ChanId {
+        self.channels.push(Channel {
+            queue: VecDeque::new(),
+            cap: cap.max(1),
+            closed: false,
+        });
+        ChanId(self.channels.len() - 1)
+    }
+
+    pub fn try_send(&mut self, ch: ChanId, value: GoValue) -> Result<bool, Fault> {
+        let chan = self
+            .channels
+            .get_mut(ch.0)
+            .ok_or_else(|| Fault::Init(format!("unknown channel {ch:?}")))?;
+        if chan.closed {
+            return Err(Fault::Init("send on closed channel".into()));
+        }
+        if chan.queue.len() >= chan.cap {
+            return Ok(false);
+        }
+        chan.queue.push_back(value);
+        self.progress = true;
+        Ok(true)
+    }
+
+    pub fn try_recv(&mut self, ch: ChanId) -> Result<Recv, Fault> {
+        let chan = self
+            .channels
+            .get_mut(ch.0)
+            .ok_or_else(|| Fault::Init(format!("unknown channel {ch:?}")))?;
+        match chan.queue.pop_front() {
+            Some(v) => {
+                self.progress = true;
+                Ok(Recv::Value(v))
+            }
+            None if chan.closed => Ok(Recv::Closed),
+            None => Ok(Recv::Empty),
+        }
+    }
+
+    pub fn close_chan(&mut self, ch: ChanId) -> Result<(), Fault> {
+        let chan = self
+            .channels
+            .get_mut(ch.0)
+            .ok_or_else(|| Fault::Init(format!("unknown channel {ch:?}")))?;
+        chan.closed = true;
+        self.progress = true;
+        Ok(())
+    }
+
+    pub fn spawn(&mut self, name: String, ctx: EnvContext, f: GoroutineFn) -> GoroutineId {
+        let id = self.goroutines.len();
+        self.goroutines.push(Some(Goroutine { name, ctx, f }));
+        self.runq.push_back(id);
+        self.progress = true;
+        GoroutineId(id)
+    }
+
+    pub fn pending(&self) -> usize {
+        self.runq.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fifo_and_capacity() {
+        let mut s = Scheduler::default();
+        let ch = s.make_chan(2);
+        assert!(s.try_send(ch, GoValue::Int(1)).unwrap());
+        assert!(s.try_send(ch, GoValue::Int(2)).unwrap());
+        assert!(!s.try_send(ch, GoValue::Int(3)).unwrap(), "full");
+        assert_eq!(s.try_recv(ch).unwrap(), Recv::Value(GoValue::Int(1)));
+        assert!(s.try_send(ch, GoValue::Int(3)).unwrap());
+    }
+
+    #[test]
+    fn closed_channel_semantics() {
+        let mut s = Scheduler::default();
+        let ch = s.make_chan(4);
+        s.try_send(ch, GoValue::Int(1)).unwrap();
+        s.close_chan(ch).unwrap();
+        assert_eq!(s.try_recv(ch).unwrap(), Recv::Value(GoValue::Int(1)));
+        assert_eq!(s.try_recv(ch).unwrap(), Recv::Closed);
+        assert!(s.try_send(ch, GoValue::Int(2)).is_err());
+    }
+
+    #[test]
+    fn empty_open_channel_reports_empty() {
+        let mut s = Scheduler::default();
+        let ch = s.make_chan(1);
+        assert_eq!(s.try_recv(ch).unwrap(), Recv::Empty);
+    }
+
+    #[test]
+    fn unknown_channel_is_an_error() {
+        let mut s = Scheduler::default();
+        assert!(s.try_recv(ChanId(9)).is_err());
+        assert!(s.try_send(ChanId(9), GoValue::Unit).is_err());
+    }
+}

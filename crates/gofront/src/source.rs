@@ -1,0 +1,174 @@
+//! Go package sources: what the patched parser extracts from a package.
+
+use serde::{Deserialize, Serialize};
+
+/// An enclosure declaration found in a package: the `with [Policies]`
+/// statement wrapping a call to `entry` (§2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnclosureSrc {
+    /// The variable the enclosure expression is bound to.
+    pub name: String,
+    /// The `pkg.Func` the closure invokes (its root dependency).
+    pub entry: String,
+    /// The policy literal, validated at compile time (§5.1).
+    pub policy: String,
+    /// Additional packages the closure body references beyond the entry's
+    /// package (Figure 1: `rcl` references `img` data while calling
+    /// `libFx.Invert`).
+    pub uses: Vec<String>,
+}
+
+/// One Go package as the extended parser sees it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoSource {
+    name: String,
+    imports: Vec<String>,
+    init_policy: Option<String>,
+    globals: Vec<(String, u64)>,
+    constants: Vec<(String, Vec<u8>)>,
+    enclosures: Vec<EnclosureSrc>,
+    loc: u64,
+}
+
+impl GoSource {
+    /// A new, empty package.
+    #[must_use]
+    pub fn new(name: &str) -> GoSource {
+        GoSource {
+            name: name.to_owned(),
+            imports: Vec::new(),
+            init_policy: None,
+            globals: Vec::new(),
+            constants: Vec::new(),
+            enclosures: Vec::new(),
+            loc: 100,
+        }
+    }
+
+    /// Declares the package's direct imports.
+    #[must_use]
+    pub fn imports(mut self, imports: &[&str]) -> GoSource {
+        self.imports = imports.iter().map(|&s| s.to_owned()).collect();
+        self
+    }
+
+    /// Adds a static variable of `size` bytes to `.data`.
+    #[must_use]
+    pub fn global(mut self, name: &str, size: u64) -> GoSource {
+        self.globals.push((name.to_owned(), size));
+        self
+    }
+
+    /// Adds a constant (its bytes land in `.rodata`).
+    #[must_use]
+    pub fn constant(mut self, name: &str, bytes: &[u8]) -> GoSource {
+        self.constants.push((name.to_owned(), bytes.to_vec()));
+        self
+    }
+
+    /// Declares an enclosure: `name := with [policy] func() { entry(...) }`.
+    #[must_use]
+    pub fn enclosure(self, name: &str, entry: &str, policy: &str) -> GoSource {
+        self.enclosure_with_uses(name, entry, &[], policy)
+    }
+
+    /// Declares an enclosure whose closure body also references `uses`
+    /// packages (they join its natural dependencies).
+    #[must_use]
+    pub fn enclosure_with_uses(
+        mut self,
+        name: &str,
+        entry: &str,
+        uses: &[&str],
+        policy: &str,
+    ) -> GoSource {
+        self.enclosures.push(EnclosureSrc {
+            name: name.to_owned(),
+            entry: entry.to_owned(),
+            policy: policy.to_owned(),
+            uses: uses.iter().map(|&s| s.to_owned()).collect(),
+        });
+        self
+    }
+
+    /// Tags the package's import with an enclosure policy: its `init`
+    /// function executes inside an enclosure at load time (§5.1's
+    /// "syntactic sugar … to tag package import statements"). This is
+    /// how import-time payloads — the dominant real-world attack — are
+    /// contained.
+    #[must_use]
+    pub fn init_enclosed(mut self, policy: &str) -> GoSource {
+        self.init_policy = Some(policy.to_owned());
+        self
+    }
+
+    /// The import-time enclosure policy, if any.
+    #[must_use]
+    pub fn init_policy(&self) -> Option<&str> {
+        self.init_policy.as_deref()
+    }
+
+    /// Sets the package's lines of code (TCB accounting metadata).
+    #[must_use]
+    pub fn loc(mut self, loc: u64) -> GoSource {
+        self.loc = loc;
+        self
+    }
+
+    /// The package name.
+    #[must_use]
+    pub fn name_str(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared imports.
+    #[must_use]
+    pub fn import_list(&self) -> &[String] {
+        &self.imports
+    }
+
+    /// The declared globals.
+    #[must_use]
+    pub fn global_list(&self) -> &[(String, u64)] {
+        &self.globals
+    }
+
+    /// The declared constants.
+    #[must_use]
+    pub fn constant_list(&self) -> &[(String, Vec<u8>)] {
+        &self.constants
+    }
+
+    /// The declared enclosures.
+    #[must_use]
+    pub fn enclosure_list(&self) -> &[EnclosureSrc] {
+        &self.enclosures
+    }
+
+    /// The declared LOC.
+    #[must_use]
+    pub fn loc_value(&self) -> u64 {
+        self.loc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_everything() {
+        let src = GoSource::new("main")
+            .imports(&["libfx", "img"])
+            .global("key", 32)
+            .constant("banner", b"hello")
+            .enclosure("rcl", "libfx.Invert", "secrets: R, none")
+            .loc(32);
+        assert_eq!(src.name_str(), "main");
+        assert_eq!(src.import_list().len(), 2);
+        assert_eq!(src.global_list(), &[("key".to_string(), 32)]);
+        assert_eq!(src.constant_list()[0].1, b"hello");
+        assert_eq!(src.enclosure_list()[0].entry, "libfx.Invert");
+        assert_eq!(src.loc_value(), 32);
+    }
+}

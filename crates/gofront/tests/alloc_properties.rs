@@ -1,0 +1,90 @@
+//! Property tests for the span allocator: random alloc/free traffic
+//! across packages must never hand out overlapping memory, must track
+//! owners exactly, and must keep LitterBox's arena rights in sync.
+
+use enclosure_gofront::alloc::SpanAllocator;
+use litterbox::{Backend, LitterBox, ProgramDesc};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { pkg: usize, size: u64 },
+    FreeOldest,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0usize..3, 1u64..20_000).prop_map(|(pkg, size)| Op::Alloc { pkg, size }),
+        1 => Just(Op::FreeOldest),
+    ]
+}
+
+fn machine() -> LitterBox {
+    let mut lb = LitterBox::new(Backend::Mpk);
+    let mut prog = ProgramDesc::new();
+    for pkg in ["p0", "p1", "p2"] {
+        prog.add_package(&mut lb, pkg, 1, 1, 1).unwrap();
+    }
+    lb.init(prog).unwrap();
+    lb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_traffic_upholds_allocator_invariants(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let pkgs = ["p0", "p1", "p2"];
+        let mut lb = machine();
+        let mut alloc = SpanAllocator::new();
+        let mut live: Vec<(enclosure_vmem::Addr, u64, usize)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { pkg, size } => {
+                    let addr = alloc.alloc(&mut lb, pkgs[pkg], size).unwrap();
+                    let class = SpanAllocator::class_of(size).min(size.max(1));
+                    // Non-overlap against every live allocation (by the
+                    // *requested* size, the strongest guarantee we use).
+                    for (other, other_size, _) in &live {
+                        let disjoint = addr.0 + size <= other.0 || other.0 + other_size <= addr.0;
+                        prop_assert!(disjoint, "{addr} ({size}) overlaps {other} ({other_size})");
+                    }
+                    // Owner is tracked both by the allocator and LitterBox.
+                    prop_assert_eq!(alloc.owner_of(addr), Some(pkgs[pkg]));
+                    prop_assert_eq!(lb.package_at(addr), Some(pkgs[pkg]));
+                    // Memory is writable from the trusted environment.
+                    lb.store_u64(addr, 0x55).unwrap();
+                    let _ = class;
+                    live.push((addr, size, pkg));
+                }
+                Op::FreeOldest => {
+                    if !live.is_empty() {
+                        let (addr, _, _) = live.remove(0);
+                        alloc.free(addr).unwrap();
+                    }
+                }
+            }
+            prop_assert_eq!(alloc.stats().live_objects as usize, live.len());
+        }
+    }
+
+    /// Freeing everything returns the allocator to zero live objects and
+    /// double frees are always rejected.
+    #[test]
+    fn free_is_exact(sizes in proptest::collection::vec(1u64..5_000, 1..40)) {
+        let mut lb = machine();
+        let mut alloc = SpanAllocator::new();
+        let addrs: Vec<_> = sizes
+            .iter()
+            .map(|&s| alloc.alloc(&mut lb, "p0", s).unwrap())
+            .collect();
+        for addr in &addrs {
+            alloc.free(*addr).unwrap();
+        }
+        prop_assert_eq!(alloc.live_count(), 0);
+        for addr in &addrs {
+            prop_assert!(alloc.free(*addr).is_err(), "double free at {addr}");
+        }
+    }
+}

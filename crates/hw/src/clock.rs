@@ -1,0 +1,218 @@
+//! The simulated clock and hardware-event statistics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CostModel;
+
+/// Counters for the hardware events the evaluation reports on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwStats {
+    /// PKRU register writes (LB_MPK switches do two each).
+    pub wrpkru: u64,
+    /// Guest system calls (LB_VTX switches do two each).
+    pub guest_syscalls: u64,
+    /// Host syscalls serviced.
+    pub syscalls: u64,
+    /// seccomp-BPF filter evaluations.
+    pub seccomp_checks: u64,
+    /// VM EXIT roundtrips.
+    pub vm_exits: u64,
+    /// `Transfer` operations serviced.
+    pub transfers: u64,
+    /// Enclosure prolog/epilog pairs (switch pairs).
+    pub switch_pairs: u64,
+}
+
+impl fmt::Display for HwStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "switches={} wrpkru={} guest_syscalls={} syscalls={} seccomp={} vm_exits={} transfers={}",
+            self.switch_pairs,
+            self.wrpkru,
+            self.guest_syscalls,
+            self.syscalls,
+            self.seccomp_checks,
+            self.vm_exits,
+            self.transfers
+        )
+    }
+}
+
+/// The simulated nanosecond clock.
+///
+/// Every mechanism primitive and every workload compute step advances this
+/// clock; benchmark harnesses read [`Clock::now_ns`] before and after a run
+/// to report simulated latency/throughput, exactly as the paper reads
+/// `rdtsc` around its loops.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    now_ns: u64,
+    model: CostModel,
+    stats: HwStats,
+}
+
+impl Clock {
+    /// Creates a clock at time zero with the given cost model.
+    #[must_use]
+    pub fn new(model: CostModel) -> Clock {
+        Clock {
+            now_ns: 0,
+            model,
+            stats: HwStats::default(),
+        }
+    }
+
+    /// Current simulated time in nanoseconds.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// The cost model in force.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Event counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> HwStats {
+        self.stats
+    }
+
+    /// Resets time and counters (used between benchmark phases).
+    pub fn reset(&mut self) {
+        self.now_ns = 0;
+        self.stats = HwStats::default();
+    }
+
+    /// Advances the clock by an arbitrary workload compute cost.
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns += ns;
+    }
+
+    /// Charges a vanilla closure call/return.
+    pub fn charge_call(&mut self) {
+        self.now_ns += self.model.call_base;
+    }
+
+    /// Charges one PKRU write.
+    pub fn charge_wrpkru(&mut self) {
+        self.now_ns += self.model.wrpkru;
+        self.stats.wrpkru += 1;
+    }
+
+    /// Charges a call-site verification against the `.verif` list.
+    pub fn charge_callsite_check(&mut self) {
+        self.now_ns += self.model.callsite_check;
+    }
+
+    /// Charges one LB_VTX guest syscall (CR3 rewrite path).
+    pub fn charge_guest_syscall(&mut self) {
+        self.now_ns += self.model.guest_syscall;
+        self.stats.guest_syscalls += 1;
+    }
+
+    /// Charges a host syscall's user/kernel crossing.
+    pub fn charge_kernel_syscall(&mut self) {
+        self.now_ns += self.model.kernel_syscall;
+        self.stats.syscalls += 1;
+    }
+
+    /// Charges a seccomp-BPF evaluation.
+    pub fn charge_seccomp(&mut self) {
+        self.now_ns += self.model.seccomp_check;
+        self.stats.seccomp_checks += 1;
+    }
+
+    /// Charges a VM EXIT/RESUME roundtrip.
+    pub fn charge_vm_exit(&mut self) {
+        self.now_ns += self.model.vm_exit;
+        self.stats.vm_exits += 1;
+    }
+
+    /// Charges a `pkey_mprotect` (LB_MPK transfer) of a 4-page section.
+    pub fn charge_pkey_mprotect(&mut self) {
+        self.charge_pkey_mprotect_pages(4);
+    }
+
+    /// Charges a `pkey_mprotect` over `pages` pages: the kernel walks and
+    /// re-tags each PTE, so cost scales with the region (one Table 1 unit
+    /// per 4 pages).
+    pub fn charge_pkey_mprotect_pages(&mut self, pages: u64) {
+        let units = pages.div_ceil(4).max(1);
+        self.now_ns += self.model.pkey_mprotect * units;
+        self.stats.transfers += 1;
+    }
+
+    /// Charges an LB_VTX transfer (presence-bit toggle) of a 4-page
+    /// section.
+    pub fn charge_vtx_transfer(&mut self) {
+        self.charge_vtx_transfer_pages(4);
+    }
+
+    /// Charges an LB_VTX transfer over `pages` pages (one Table 1 unit
+    /// per 4 pages; presence-bit flips are cheap but still per-PTE).
+    pub fn charge_vtx_transfer_pages(&mut self, pages: u64) {
+        let units = pages.div_ceil(4).max(1);
+        self.now_ns += self.model.vtx_transfer * units;
+        self.stats.transfers += 1;
+    }
+
+    /// Records a completed prolog/epilog switch pair.
+    pub fn note_switch_pair(&mut self) {
+        self.stats.switch_pairs += 1;
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new(CostModel::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut c = Clock::new(CostModel::paper());
+        c.charge_call();
+        c.charge_wrpkru();
+        c.charge_wrpkru();
+        c.charge_callsite_check();
+        assert_eq!(c.now_ns(), 86);
+        assert_eq!(c.stats().wrpkru, 2);
+    }
+
+    #[test]
+    fn reset_clears_time_and_stats() {
+        let mut c = Clock::default();
+        c.charge_vm_exit();
+        c.note_switch_pair();
+        c.reset();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.stats(), HwStats::default());
+    }
+
+    #[test]
+    fn advance_adds_raw_time() {
+        let mut c = Clock::new(CostModel::free());
+        c.advance(1234);
+        c.charge_kernel_syscall(); // free model: counts but costs nothing
+        assert_eq!(c.now_ns(), 1234);
+        assert_eq!(c.stats().syscalls, 1);
+    }
+
+    #[test]
+    fn stats_display_mentions_all_counters() {
+        let s = HwStats::default().to_string();
+        for key in ["switches", "wrpkru", "syscalls", "vm_exits", "transfers"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Simulated hardware isolation mechanisms for the Enclosure reproduction.
+//!
+//! The paper's LitterBox backend drives two hardware technologies:
+//!
+//! * **Intel MPK** (§5.3, `LB_MPK`) — 4-bit protection keys in page-table
+//!   entries plus a user-writable PKRU register holding access/write-disable
+//!   bits for each of 16 keys. Modeled by [`mpk::Pkru`] and
+//!   [`mpk::KeyAllocator`].
+//! * **Intel VT-x** (§5.3, `LB_VTX`) — one virtual machine per application,
+//!   one page table per enclosure, switches implemented as guest system
+//!   calls that rewrite CR3, and host syscalls proxied through hypercalls
+//!   (VM EXITs). Modeled by [`vtx::Vm`].
+//!
+//! Because the reproduction runs without the real hardware, time is
+//! *simulated*: every mechanism primitive advances a [`Clock`] by a cost
+//! taken from a [`CostModel`] whose constants are calibrated from the
+//! paper's Table 1 microbenchmarks (Xeon Gold 6132). Macro-level results
+//! (Table 2) are then *derived* from these primitives rather than
+//! hard-coded, which is what lets the reproduction preserve the paper's
+//! crossovers (MPK cheap switches / expensive transfers; VT-x cheap
+//! transfers / expensive syscalls).
+//!
+//! # Example
+//!
+//! ```
+//! use enclosure_hw::{mpk::Pkru, Clock, CostModel};
+//! use enclosure_vmem::Access;
+//!
+//! let mut clock = Clock::new(CostModel::paper());
+//! let mut pkru = Pkru::allow_all();
+//! pkru.set_key_rights(3, Access::NONE); // lock key 3
+//! clock.charge_wrpkru();
+//! assert!(!pkru.allows(3, Access::R));
+//! assert!(pkru.allows(2, Access::RW));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod cost;
+mod cpu;
+pub mod mpk;
+pub mod vtx;
+
+pub use clock::{Clock, HwStats};
+pub use cost::CostModel;
+pub use cpu::Cpu;

@@ -1,0 +1,278 @@
+//! Intel Memory Protection Keys: the PKRU register and key allocation.
+//!
+//! MPK (§5.3) tags each page-table entry with a 4-bit key; a user-writable
+//! 32-bit register, PKRU, holds two bits per key:
+//!
+//! * **AD** (access disable) — bit `2k`: all data access to pages tagged
+//!   `k` faults.
+//! * **WD** (write disable) — bit `2k + 1`: writes fault (reads allowed).
+//!
+//! PKRU governs **data** accesses only; instruction fetches are controlled
+//! by the ordinary page-table rights. The kernel exposes `pkey_alloc` /
+//! `pkey_free` and `pkey_mprotect`; those enter the simulation through
+//! [`KeyAllocator`] and [`enclosure_vmem::PageTable::retag_range`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use enclosure_vmem::{Access, ProtectionKey};
+
+/// Number of protection keys the hardware provides.
+pub const NUM_KEYS: u8 = 16;
+
+/// The PKRU register: 2 bits (AD, WD) per key, 16 keys, 32 bits total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pkru(u32);
+
+impl Pkru {
+    /// PKRU value granting full access to every key.
+    #[must_use]
+    pub fn allow_all() -> Pkru {
+        Pkru(0)
+    }
+
+    /// PKRU value denying all access to every key except key 0 (the
+    /// default key, which must stay accessible for the kernel mappings).
+    #[must_use]
+    pub fn deny_all() -> Pkru {
+        let mut pkru = Pkru(u32::MAX);
+        pkru.set_key_rights(0, Access::RW);
+        pkru
+    }
+
+    /// Builds a PKRU from a raw 32-bit value.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Pkru {
+        Pkru(bits)
+    }
+
+    /// The raw 32-bit register value (what the seccomp filter indexes on).
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Sets the data-access rights PKRU grants for `key`.
+    ///
+    /// Only the R and W components are meaningful: MPK cannot restrict
+    /// execution, so X is ignored here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= 16`; keys come from [`KeyAllocator`], which never
+    /// hands out an invalid one.
+    pub fn set_key_rights(&mut self, key: ProtectionKey, rights: Access) {
+        assert!(key < NUM_KEYS, "protection key {key} out of range");
+        let shift = u32::from(key) * 2;
+        // Clear both bits, then set AD/WD as needed.
+        self.0 &= !(0b11 << shift);
+        if !rights.contains(Access::R) {
+            self.0 |= 0b01 << shift; // AD
+        } else if !rights.contains(Access::W) {
+            self.0 |= 0b10 << shift; // WD
+        }
+    }
+
+    /// The data-access rights PKRU currently grants for `key`.
+    #[must_use]
+    pub fn key_rights(self, key: ProtectionKey) -> Access {
+        let shift = u32::from(key) * 2;
+        let bits = (self.0 >> shift) & 0b11;
+        if bits & 0b01 != 0 {
+            Access::NONE
+        } else if bits & 0b10 != 0 {
+            Access::R
+        } else {
+            Access::RW
+        }
+    }
+
+    /// True if a data access needing `access` to a page tagged `key` is
+    /// allowed. Execute requests are always allowed at the PKRU level.
+    #[must_use]
+    pub fn allows(self, key: ProtectionKey, access: Access) -> bool {
+        let data_part = access - Access::X;
+        self.key_rights(key).contains(data_part)
+    }
+}
+
+impl Default for Pkru {
+    fn default() -> Self {
+        Pkru::allow_all()
+    }
+}
+
+impl fmt::Display for Pkru {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PKRU({:#010x})", self.0)
+    }
+}
+
+/// Allocator for the 16 hardware protection keys (`pkey_alloc`/`pkey_free`).
+///
+/// Key 0 is reserved as the default key and is never handed out, matching
+/// Linux semantics. The paper's clustering optimization exists precisely
+/// because this pool is small: "clustering packages results in fewer than
+/// 16 meta-packages whose views fit into the 16 keys" (§5.3).
+#[derive(Debug, Clone)]
+pub struct KeyAllocator {
+    in_use: [bool; NUM_KEYS as usize],
+}
+
+/// Error returned when the 16-key pool is exhausted.
+///
+/// The paper points to libmpk-style key virtualization as the escape hatch;
+/// this reproduction surfaces the exhaustion instead, so the clustering
+/// ablation can observe it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfKeys;
+
+impl fmt::Display for OutOfKeys {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "all {NUM_KEYS} MPK protection keys are in use")
+    }
+}
+
+impl std::error::Error for OutOfKeys {}
+
+impl KeyAllocator {
+    /// Creates an allocator with all keys free except key 0.
+    #[must_use]
+    pub fn new() -> KeyAllocator {
+        let mut in_use = [false; NUM_KEYS as usize];
+        in_use[0] = true; // default key, reserved
+        KeyAllocator { in_use }
+    }
+
+    /// Allocates the lowest free key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfKeys`] when all 15 allocatable keys are taken.
+    pub fn alloc(&mut self) -> Result<ProtectionKey, OutOfKeys> {
+        for (idx, used) in self.in_use.iter_mut().enumerate().skip(1) {
+            if !*used {
+                *used = true;
+                #[allow(clippy::cast_possible_truncation)]
+                return Ok(idx as ProtectionKey);
+            }
+        }
+        Err(OutOfKeys)
+    }
+
+    /// Frees a previously allocated key. Freeing key 0 or an unallocated
+    /// key is a no-op.
+    pub fn free(&mut self, key: ProtectionKey) {
+        if key != 0 && key < NUM_KEYS {
+            self.in_use[key as usize] = false;
+        }
+    }
+
+    /// Number of keys currently allocated (including the reserved key 0).
+    #[must_use]
+    pub fn allocated(&self) -> usize {
+        self.in_use.iter().filter(|&&u| u).count()
+    }
+
+    /// Number of keys still available.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        NUM_KEYS as usize - self.allocated()
+    }
+}
+
+impl Default for KeyAllocator {
+    fn default() -> Self {
+        KeyAllocator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_all_grants_everything() {
+        let pkru = Pkru::allow_all();
+        for key in 0..NUM_KEYS {
+            assert!(pkru.allows(key, Access::RW));
+        }
+    }
+
+    #[test]
+    fn deny_all_keeps_default_key() {
+        let pkru = Pkru::deny_all();
+        assert!(pkru.allows(0, Access::RW));
+        for key in 1..NUM_KEYS {
+            assert!(!pkru.allows(key, Access::R), "key {key}");
+        }
+    }
+
+    #[test]
+    fn read_only_key_rejects_writes() {
+        let mut pkru = Pkru::allow_all();
+        pkru.set_key_rights(5, Access::R);
+        assert!(pkru.allows(5, Access::R));
+        assert!(!pkru.allows(5, Access::W));
+        assert!(!pkru.allows(5, Access::RW));
+    }
+
+    #[test]
+    fn execute_bypasses_pkru() {
+        let mut pkru = Pkru::allow_all();
+        pkru.set_key_rights(2, Access::NONE);
+        // Pure instruction fetch is not a data access; MPK lets it through
+        // (the page table's X bit is the only control).
+        assert!(pkru.allows(2, Access::X));
+        assert!(!pkru.allows(2, Access::R | Access::X));
+    }
+
+    #[test]
+    fn set_key_rights_is_idempotent_per_key() {
+        let mut pkru = Pkru::allow_all();
+        pkru.set_key_rights(4, Access::NONE);
+        pkru.set_key_rights(4, Access::RW);
+        assert_eq!(pkru.key_rights(4), Access::RW);
+        assert_eq!(pkru.bits(), 0);
+    }
+
+    #[test]
+    fn bits_encoding_matches_hardware_layout() {
+        let mut pkru = Pkru::allow_all();
+        pkru.set_key_rights(1, Access::NONE); // AD for key 1 => bit 2
+        assert_eq!(pkru.bits(), 0b0100);
+        let mut pkru = Pkru::allow_all();
+        pkru.set_key_rights(1, Access::R); // WD for key 1 => bit 3
+        assert_eq!(pkru.bits(), 0b1000);
+    }
+
+    #[test]
+    fn allocator_hands_out_15_keys_then_fails() {
+        let mut alloc = KeyAllocator::new();
+        let mut keys = Vec::new();
+        for _ in 0..15 {
+            keys.push(alloc.alloc().unwrap());
+        }
+        assert_eq!(alloc.alloc(), Err(OutOfKeys));
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 15);
+        assert!(!keys.contains(&0), "key 0 is reserved");
+    }
+
+    #[test]
+    fn freed_keys_are_reusable() {
+        let mut alloc = KeyAllocator::new();
+        let k = alloc.alloc().unwrap();
+        alloc.free(k);
+        assert_eq!(alloc.alloc().unwrap(), k);
+    }
+
+    #[test]
+    fn free_of_key0_is_noop() {
+        let mut alloc = KeyAllocator::new();
+        alloc.free(0);
+        assert_eq!(alloc.allocated(), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Kernel error numbers.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error codes returned by the simulated kernel, named after their POSIX
+/// counterparts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Errno {
+    /// No such file or directory.
+    Enoent,
+    /// Bad file descriptor.
+    Ebadf,
+    /// Permission denied.
+    Eacces,
+    /// Connection refused (no listener / unknown remote).
+    Econnrefused,
+    /// Resource temporarily unavailable (empty non-blocking read).
+    Eagain,
+    /// Invalid argument.
+    Einval,
+    /// Not a socket / wrong descriptor kind.
+    Enotsock,
+    /// Broken pipe (peer closed).
+    Epipe,
+    /// Address already in use.
+    Eaddrinuse,
+    /// File or operation not supported.
+    Enosys,
+}
+
+impl Errno {
+    /// The conventional negative return value for this errno.
+    #[must_use]
+    pub fn as_neg(self) -> i64 {
+        -(self.code())
+    }
+
+    /// The positive errno code (Linux values).
+    #[must_use]
+    pub fn code(self) -> i64 {
+        match self {
+            Errno::Enoent => 2,
+            Errno::Eacces => 13,
+            Errno::Ebadf => 9,
+            Errno::Eagain => 11,
+            Errno::Einval => 22,
+            Errno::Enotsock => 88,
+            Errno::Eaddrinuse => 98,
+            Errno::Econnrefused => 111,
+            Errno::Epipe => 32,
+            Errno::Enosys => 38,
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = format!("{self:?}").to_uppercase();
+        write!(f, "{name} ({})", self.code())
+    }
+}
+
+impl Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_linux() {
+        assert_eq!(Errno::Enoent.code(), 2);
+        assert_eq!(Errno::Econnrefused.code(), 111);
+        assert_eq!(Errno::Enoent.as_neg(), -2);
+    }
+
+    #[test]
+    fn display_names_are_posixy() {
+        assert_eq!(Errno::Ebadf.to_string(), "EBADF (9)");
+    }
+}

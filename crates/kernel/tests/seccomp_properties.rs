@@ -1,0 +1,111 @@
+//! Property tests: the compiled seccomp-BPF program must agree with the
+//! direct `SysPolicy::allows` check for every syscall, argument vector,
+//! and PKRU value — the compiler is only correct if the two enforcement
+//! paths (LB_MPK's BPF and LB_VTX's guest check) are observationally
+//! identical.
+
+use enclosure_kernel::seccomp::{SeccompFilter, SeccompRule, SysPolicy};
+use enclosure_kernel::{CategorySet, SysCategory, Sysno};
+use proptest::prelude::*;
+
+fn arb_category_set() -> impl Strategy<Value = CategorySet> {
+    proptest::collection::vec(0usize..SysCategory::ALL.len(), 0..4).prop_map(|idxs| {
+        idxs.into_iter()
+            .map(|i| SysCategory::ALL[i])
+            .collect::<CategorySet>()
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = SysPolicy> {
+    (
+        arb_category_set(),
+        proptest::option::of(proptest::collection::vec(any::<u32>(), 0..4)),
+    )
+        .prop_map(|(categories, allowlist)| {
+            let mut policy = SysPolicy::categories(categories);
+            if let Some(list) = allowlist {
+                policy = policy.with_connect_allowlist(list);
+            }
+            policy
+        })
+}
+
+fn arb_sysno() -> impl Strategy<Value = Sysno> {
+    (0usize..Sysno::ALL.len()).prop_map(|i| Sysno::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Single-rule filters: BPF verdict == direct check, for matching
+    /// PKRU; everything is killed under an unknown PKRU.
+    #[test]
+    fn compiled_filter_equals_direct_check(
+        policy in arb_policy(),
+        sysno in arb_sysno(),
+        args in proptest::array::uniform6(any::<u64>()),
+        pkru in any::<u32>(),
+        other_pkru in any::<u32>(),
+    ) {
+        let filter = SeccompFilter::compile(&[SeccompRule {
+            pkru,
+            policy: policy.clone(),
+        }])
+        .unwrap();
+        prop_assert_eq!(
+            filter.check(sysno, &args, pkru),
+            policy.allows(sysno, &args),
+            "policy {} sysno {}", policy, sysno
+        );
+        if other_pkru != pkru {
+            prop_assert!(!filter.check(sysno, &args, other_pkru));
+        }
+    }
+
+    /// Multi-rule filters: each environment's verdict is independent.
+    #[test]
+    fn multi_rule_filters_keep_rules_independent(
+        policies in proptest::collection::vec(arb_policy(), 1..5),
+        sysno in arb_sysno(),
+        args in proptest::array::uniform6(any::<u64>()),
+    ) {
+        // Distinct PKRU values per rule.
+        let rules: Vec<SeccompRule> = policies
+            .iter()
+            .enumerate()
+            .map(|(i, policy)| SeccompRule {
+                pkru: 0x1000 + u32::try_from(i).unwrap(),
+                policy: policy.clone(),
+            })
+            .collect();
+        let filter = SeccompFilter::compile(&rules).unwrap();
+        for rule in &rules {
+            prop_assert_eq!(
+                filter.check(sysno, &args, rule.pkru),
+                rule.policy.allows(sysno, &args)
+            );
+        }
+    }
+
+    /// Monotonicity: a policy that is a subset of another never allows a
+    /// call the superset denies.
+    #[test]
+    fn subset_policies_allow_subset_of_calls(
+        a in arb_policy(),
+        b in arb_policy(),
+        sysno in arb_sysno(),
+        args in proptest::array::uniform6(any::<u64>()),
+    ) {
+        if a.is_subset_of(&b) && a.allows(sysno, &args) {
+            prop_assert!(b.allows(sysno, &args), "a={a} b={b} sysno={sysno}");
+        }
+    }
+
+    /// The `none` policy is the bottom element; `all` (without an
+    /// allowlist) is the top.
+    #[test]
+    fn none_and_all_are_lattice_extremes(policy in arb_policy()) {
+        prop_assert!(SysPolicy::none().is_subset_of(&policy));
+        prop_assert!(policy.is_subset_of(&SysPolicy::all()));
+    }
+}

@@ -1,0 +1,206 @@
+//! Meta-package clustering (§5.3).
+//!
+//! "LitterBox performs an important optimization by clustering the
+//! packages across all memory views that have the same access rights.
+//! This clustering creates larger, logical meta-packages that can be
+//! efficiently managed." For LB_MPK, each meta-package consumes one of
+//! the 16 protection keys, so clustering is what makes real programs fit.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use enclosure_vmem::Access;
+
+use crate::{EnclosureDesc, EnclosureId};
+
+/// A cluster of packages that share identical access rights across every
+/// enclosure memory view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetaPackage {
+    /// Dense index (LB_MPK maps it to protection key `index + 1`).
+    pub index: usize,
+    /// Member package names.
+    pub members: Vec<String>,
+    /// The shared signature: rights per enclosure, in enclosure-id order.
+    pub signature: Vec<(EnclosureId, Access)>,
+}
+
+impl MetaPackage {
+    /// Rights this meta-package has inside `enclosure`'s view.
+    #[must_use]
+    pub fn rights_in(&self, enclosure: EnclosureId) -> Access {
+        self.signature
+            .iter()
+            .find(|(id, _)| *id == enclosure)
+            .map_or(Access::NONE, |(_, a)| *a)
+    }
+}
+
+/// Result of clustering: the meta-packages plus a package → meta index.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Clustering {
+    /// The meta-packages, densely indexed.
+    pub metas: Vec<MetaPackage>,
+    /// Package name → index into `metas`.
+    pub meta_of: BTreeMap<String, usize>,
+}
+
+impl Clustering {
+    /// Number of meta-packages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True if there are no meta-packages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+}
+
+/// Clusters `package_names` by their access signature across
+/// `enclosures`' views.
+///
+/// Two packages land in the same meta-package exactly when every
+/// enclosure grants them identical rights. Meta-package indices are
+/// assigned deterministically (by first member in name order) so key
+/// assignment is reproducible run to run.
+#[must_use]
+pub fn cluster(package_names: &[String], enclosures: &[EnclosureDesc]) -> Clustering {
+    let mut by_id: Vec<&EnclosureDesc> = enclosures.iter().collect();
+    by_id.sort_by_key(|e| e.id);
+
+    // signature → members (BTreeMap keyed by the signature bytes keeps
+    // the grouping deterministic).
+    let mut groups: BTreeMap<Vec<(EnclosureId, Access)>, Vec<String>> = BTreeMap::new();
+    let mut names = package_names.to_vec();
+    names.sort();
+    for name in &names {
+        let signature: Vec<(EnclosureId, Access)> = by_id
+            .iter()
+            .map(|e| {
+                (
+                    e.id,
+                    e.view.get(name).copied().unwrap_or(Access::NONE),
+                )
+            })
+            .collect();
+        groups.entry(signature).or_default().push(name.clone());
+    }
+
+    // Deterministic index order: by first member name.
+    let mut ordered: Vec<(Vec<(EnclosureId, Access)>, Vec<String>)> =
+        groups.into_iter().collect();
+    ordered.sort_by(|a, b| a.1[0].cmp(&b.1[0]));
+
+    let mut clustering = Clustering::default();
+    for (index, (signature, members)) in ordered.into_iter().enumerate() {
+        for member in &members {
+            clustering.meta_of.insert(member.clone(), index);
+        }
+        clustering.metas.push(MetaPackage {
+            index,
+            members,
+            signature,
+        });
+    }
+    clustering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclosure_kernel::seccomp::SysPolicy;
+
+    fn enclosure(id: u32, view: &[(&str, Access)]) -> EnclosureDesc {
+        EnclosureDesc {
+            id: EnclosureId(id),
+            name: format!("e{id}"),
+            view: view
+                .iter()
+                .map(|(n, a)| (n.to_string(), *a))
+                .collect(),
+            policy: SysPolicy::none(),
+        }
+    }
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_rights_cluster_together() {
+        let encls = vec![enclosure(
+            1,
+            &[("libfx", Access::RWX), ("util", Access::RWX), ("secrets", Access::R)],
+        )];
+        let c = cluster(&names(&["libfx", "util", "secrets", "main"]), &encls);
+        assert_eq!(c.len(), 3, "RWX pair, R singleton, unmapped singleton");
+        assert_eq!(c.meta_of["libfx"], c.meta_of["util"]);
+        assert_ne!(c.meta_of["libfx"], c.meta_of["secrets"]);
+        assert_ne!(c.meta_of["main"], c.meta_of["secrets"]);
+    }
+
+    #[test]
+    fn second_enclosure_splits_clusters() {
+        let encls = vec![
+            enclosure(1, &[("a", Access::RWX), ("b", Access::RWX)]),
+            enclosure(2, &[("a", Access::RWX)]), // b unmapped here
+        ];
+        let c = cluster(&names(&["a", "b"]), &encls);
+        assert_eq!(c.len(), 2);
+        assert_ne!(c.meta_of["a"], c.meta_of["b"]);
+    }
+
+    #[test]
+    fn no_enclosures_is_one_big_meta() {
+        let c = cluster(&names(&["a", "b", "c"]), &[]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.metas[0].members.len(), 3);
+    }
+
+    #[test]
+    fn rights_in_reports_signature() {
+        let encls = vec![enclosure(1, &[("a", Access::R)])];
+        let c = cluster(&names(&["a", "b"]), &encls);
+        let meta_a = &c.metas[c.meta_of["a"]];
+        assert_eq!(meta_a.rights_in(EnclosureId(1)), Access::R);
+        assert_eq!(meta_a.rights_in(EnclosureId(99)), Access::NONE);
+        let meta_b = &c.metas[c.meta_of["b"]];
+        assert_eq!(meta_b.rights_in(EnclosureId(1)), Access::NONE);
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let encls = vec![
+            enclosure(1, &[("x", Access::R), ("y", Access::RW)]),
+            enclosure(2, &[("z", Access::RWX)]),
+        ];
+        let a = cluster(&names(&["x", "y", "z", "w"]), &encls);
+        let b = cluster(&names(&["w", "z", "y", "x"]), &encls);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_scenario_fits_in_16_keys() {
+        // FastHTTP-style: ~100 dependency packages, all enclosed with the
+        // same rights inside one enclosure → they collapse into a couple of
+        // meta-packages regardless of count (§5.3).
+        let mut pkgs: Vec<String> = (0..100).map(|i| format!("dep{i:03}")).collect();
+        pkgs.push("main".into());
+        let view: Vec<(String, Access)> = (0..100)
+            .map(|i| (format!("dep{i:03}"), Access::RWX))
+            .collect();
+        let encls = vec![EnclosureDesc {
+            id: EnclosureId(1),
+            name: "server".into(),
+            view: view.into_iter().collect(),
+            policy: SysPolicy::none(),
+        }];
+        let c = cluster(&pkgs, &encls);
+        assert_eq!(c.len(), 2, "100 deps collapse to one meta + main's meta");
+        assert!(c.len() <= 15, "fits the MPK key budget");
+    }
+}

@@ -1,0 +1,171 @@
+//! Package-dependence graph utilities.
+//!
+//! "A package's *natural dependencies* is the set of packages contained in
+//! its direct and transitive dependencies" (§2.1). The graph is statically
+//! determinable from import statements; LitterBox uses it to compute full
+//! memory views for dynamic languages (§5.2) and the `enclosure-core`
+//! frontend uses it for the default policy (§3.1).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A direct-dependence graph: package → directly imported packages.
+pub type DepGraph = BTreeMap<String, Vec<String>>;
+
+/// Computes the *natural dependencies* of `roots`: the roots themselves
+/// plus every package reachable through direct and transitive imports.
+///
+/// Unknown packages are included as leaves (a package may be declared
+/// before its dependencies are registered in the dynamic-import setting).
+#[must_use]
+pub fn natural_dependencies(graph: &DepGraph, roots: &[&str]) -> BTreeSet<String> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut queue: VecDeque<String> = roots.iter().map(|&r| r.to_owned()).collect();
+    while let Some(pkg) = queue.pop_front() {
+        if !seen.insert(pkg.clone()) {
+            continue;
+        }
+        if let Some(deps) = graph.get(&pkg) {
+            for dep in deps {
+                if !seen.contains(dep) {
+                    queue.push_back(dep.clone());
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// True if `pkg` is *foreign* to `owner`: not part of `owner`'s natural
+/// dependencies (§2.1).
+#[must_use]
+pub fn is_foreign(graph: &DepGraph, owner: &str, pkg: &str) -> bool {
+    !natural_dependencies(graph, &[owner]).contains(pkg)
+}
+
+/// Topologically sorts the graph (dependencies before dependents).
+/// Cycles are tolerated — members of a cycle come out in name order —
+/// because real package ecosystems contain them and LitterBox only needs
+/// a deterministic processing order, not a strict DAG.
+#[must_use]
+pub fn load_order(graph: &DepGraph) -> Vec<String> {
+    let mut order = Vec::new();
+    let mut done: BTreeSet<String> = BTreeSet::new();
+    // Iterative DFS with an explicit in-progress set to cut cycles.
+    for root in graph.keys() {
+        visit(graph, root, &mut done, &mut BTreeSet::new(), &mut order);
+    }
+    order
+}
+
+fn visit(
+    graph: &DepGraph,
+    pkg: &str,
+    done: &mut BTreeSet<String>,
+    in_progress: &mut BTreeSet<String>,
+    order: &mut Vec<String>,
+) {
+    if done.contains(pkg) || in_progress.contains(pkg) {
+        return;
+    }
+    in_progress.insert(pkg.to_owned());
+    if let Some(deps) = graph.get(pkg) {
+        for dep in deps {
+            visit(graph, dep, done, in_progress, order);
+        }
+    }
+    in_progress.remove(pkg);
+    done.insert(pkg.to_owned());
+    order.push(pkg.to_owned());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(&str, &[&str])]) -> DepGraph {
+        edges
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.iter().map(|s| s.to_string()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn natural_deps_include_self_and_transitive() {
+        let g = graph(&[
+            ("main", &["img", "libfx"]),
+            ("libfx", &["util"]),
+            ("util", &[]),
+            ("img", &[]),
+            ("secrets", &["os"]),
+        ]);
+        let deps = natural_dependencies(&g, &["libfx"]);
+        assert_eq!(
+            deps.iter().cloned().collect::<Vec<_>>(),
+            vec!["libfx", "util"]
+        );
+        let deps = natural_dependencies(&g, &["main"]);
+        assert!(deps.contains("util"), "transitive through libfx");
+        assert!(!deps.contains("secrets"), "secrets is foreign to main");
+    }
+
+    #[test]
+    fn foreignness_matches_figure_1() {
+        // Figure 1: rcl's natural dependencies are img and libFx; secrets
+        // and os are foreign.
+        let g = graph(&[
+            ("rcl", &["img", "libfx"]),
+            ("libfx", &[]),
+            ("img", &[]),
+            ("secrets", &[]),
+            ("os", &[]),
+        ]);
+        assert!(!is_foreign(&g, "rcl", "libfx"));
+        assert!(is_foreign(&g, "rcl", "secrets"));
+        assert!(is_foreign(&g, "rcl", "os"));
+    }
+
+    #[test]
+    fn unknown_roots_are_leaves() {
+        let g = DepGraph::new();
+        let deps = natural_dependencies(&g, &["ghost"]);
+        assert_eq!(deps.len(), 1);
+        assert!(deps.contains("ghost"));
+    }
+
+    #[test]
+    fn multi_root_union() {
+        let g = graph(&[("a", &["c"]), ("b", &["d"]), ("c", &[]), ("d", &[])]);
+        let deps = natural_dependencies(&g, &["a", "b"]);
+        assert_eq!(deps.len(), 4);
+    }
+
+    #[test]
+    fn load_order_puts_deps_first() {
+        let g = graph(&[("app", &["lib"]), ("lib", &["base"]), ("base", &[])]);
+        let order = load_order(&g);
+        let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+        assert!(pos("base") < pos("lib"));
+        assert!(pos("lib") < pos("app"));
+    }
+
+    #[test]
+    fn load_order_survives_cycles() {
+        let g = graph(&[("a", &["b"]), ("b", &["a"])]);
+        let order = load_order(&g);
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn diamond_dependency_visited_once() {
+        let g = graph(&[
+            ("top", &["l", "r"]),
+            ("l", &["base"]),
+            ("r", &["base"]),
+            ("base", &[]),
+        ]);
+        let deps = natural_dependencies(&g, &["top"]);
+        assert_eq!(deps.len(), 4);
+        let order = load_order(&g);
+        assert_eq!(order.iter().filter(|p| *p == "base").count(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Enclosure faults.
+//!
+//! "An enclosure faults if it violates the policies defined by its memory
+//! view and system call filter. A fault stops the execution of the closure
+//! and aborts the program" (§2.1). Faults are values carrying the
+//! root-cause trace LitterBox prints (§5.3).
+
+use std::error::Error;
+use std::fmt;
+
+use enclosure_hw::vtx::EnvId;
+use enclosure_kernel::{Errno, SyscallRecord};
+use enclosure_vmem::{Addr, VmemError};
+
+use crate::EnclosureId;
+
+/// A policy violation or backend failure that aborts the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// A memory access violated the active environment's view.
+    Memory(VmemError),
+    /// A system call was rejected by the environment's filter.
+    SyscallDenied {
+        /// The offending call.
+        record: SyscallRecord,
+        /// The environment in force.
+        env: EnvId,
+        /// Environment name for the trace.
+        env_name: String,
+    },
+    /// A switch attempted to enter a *less* restrictive environment
+    /// (privilege escalation, §2.2).
+    Escalation {
+        /// The environment the program was in.
+        from: String,
+        /// The environment it tried to enter.
+        to: String,
+        /// What right would have been gained.
+        detail: String,
+    },
+    /// A LitterBox API call came from a call-site not present in the
+    /// `.verif` list (§5.3).
+    UnverifiedCallsite {
+        /// The offending call-site.
+        addr: Addr,
+    },
+    /// A function invocation targeted a package without `X` rights in the
+    /// active view.
+    ExecDenied {
+        /// The package whose function was invoked.
+        package: String,
+        /// The active environment's name.
+        env_name: String,
+    },
+    /// The `Init` description was invalid (overlap, unknown package,
+    /// unsatisfiable view, key exhaustion...).
+    Init(String),
+    /// An API call referenced an unknown enclosure.
+    UnknownEnclosure(EnclosureId),
+    /// An API call referenced an unknown package.
+    UnknownPackage(String),
+    /// An `epilog` did not match the current nesting (broken discipline).
+    SwitchMismatch {
+        /// What the token expected.
+        expected: EnvId,
+        /// What was actually current.
+        actual: EnvId,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Memory(e) => write!(f, "memory fault: {e}"),
+            Fault::SyscallDenied {
+                record,
+                env,
+                env_name,
+            } => write!(
+                f,
+                "syscall denied: {record} in {env} ('{env_name}')"
+            ),
+            Fault::Escalation { from, to, detail } => {
+                write!(f, "escalation attempt: '{from}' -> '{to}' ({detail})")
+            }
+            Fault::UnverifiedCallsite { addr } => {
+                write!(f, "LitterBox API call from unverified call-site {addr}")
+            }
+            Fault::ExecDenied { package, env_name } => {
+                write!(f, "invocation of '{package}' denied in '{env_name}' (no X right)")
+            }
+            Fault::Init(msg) => write!(f, "init rejected: {msg}"),
+            Fault::UnknownEnclosure(id) => write!(f, "unknown {id}"),
+            Fault::UnknownPackage(name) => write!(f, "unknown package '{name}'"),
+            Fault::SwitchMismatch { expected, actual } => {
+                write!(f, "switch mismatch: expected {expected}, current {actual}")
+            }
+        }
+    }
+}
+
+impl Error for Fault {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Fault::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmemError> for Fault {
+    fn from(e: VmemError) -> Self {
+        Fault::Memory(e)
+    }
+}
+
+/// Outcome of a gated system call: either an ordinary kernel error the
+/// program can handle, or a [`Fault`] that aborts it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysError {
+    /// The call was allowed but failed in the kernel.
+    Errno(Errno),
+    /// The call (or a memory access around it) violated policy.
+    Fault(Fault),
+}
+
+impl fmt::Display for SysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysError::Errno(e) => write!(f, "{e}"),
+            SysError::Fault(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+impl Error for SysError {}
+
+impl From<Errno> for SysError {
+    fn from(e: Errno) -> Self {
+        SysError::Errno(e)
+    }
+}
+
+impl From<Fault> for SysError {
+    fn from(f: Fault) -> Self {
+        SysError::Fault(f)
+    }
+}
+
+impl SysError {
+    /// True if this is a policy fault (program-aborting).
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(self, SysError::Fault(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclosure_kernel::Sysno;
+
+    #[test]
+    fn displays_carry_root_cause() {
+        let f = Fault::SyscallDenied {
+            record: SyscallRecord::new(Sysno::Connect),
+            env: EnvId(3),
+            env_name: "rcl".into(),
+        };
+        let msg = f.to_string();
+        assert!(msg.contains("connect"));
+        assert!(msg.contains("env#3"));
+        assert!(msg.contains("rcl"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: SysError = Errno::Enoent.into();
+        assert!(!e.is_fault());
+        let f: SysError = Fault::UnknownPackage("x".into()).into();
+        assert!(f.is_fault());
+        let m: Fault = VmemError::OutOfAddressSpace.into();
+        assert!(matches!(m, Fault::Memory(_)));
+    }
+
+    #[test]
+    fn fault_source_chains_to_vmem() {
+        let f = Fault::Memory(VmemError::OutOfAddressSpace);
+        assert!(f.source().is_some());
+        assert!(Fault::Init("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,1581 @@
+//! The LitterBox machine: execution environments, the six-call API, and
+//! checked memory access.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use enclosure_hw::mpk::{KeyAllocator, Pkru};
+use enclosure_hw::vtx::{EnvId, Vm, TRUSTED_ENV};
+use enclosure_hw::{Clock, CostModel, Cpu, HwStats};
+use enclosure_kernel::seccomp::{SeccompFilter, SeccompRule, SysPolicy};
+use enclosure_kernel::{Kernel, SyscallRecord};
+use enclosure_vmem::{
+    Access, AddressSpace, Addr, PageTable, ProtectionKey, Section, SectionKind, VirtRange,
+};
+
+use crate::cluster::{cluster, Clustering};
+use crate::desc::{EnclosureDesc, EnclosureId, PackageDesc, ProgramDesc, ViewMap};
+use crate::fault::Fault;
+
+/// Init-time accounting constants (simulated nanoseconds), used to model
+/// the "delayed initialization" cost the Python evaluation measures
+/// (§6.4: dependency computation, view computation, KVM configuration).
+const INIT_NS_PER_PACKAGE: u64 = 2_000;
+const INIT_NS_PER_PAGE: u64 = 500;
+const INIT_NS_PER_ENV_VTX: u64 = 4_000_000; // KVM + per-enclosure page-table setup
+const INIT_NS_PER_ENV_MPK: u64 = 3_000; // key setup + seccomp rule
+
+/// Which enforcement mechanism backs the enclosures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// No enforcement: enclosures behave as vanilla closures (the paper's
+    /// evaluation baseline).
+    Baseline,
+    /// Intel MPK (`LB_MPK`).
+    Mpk,
+    /// Intel VT-x (`LB_VTX`).
+    Vtx,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Baseline => write!(f, "Baseline"),
+            Backend::Mpk => write!(f, "LB_MPK"),
+            Backend::Vtx => write!(f, "LB_VTX"),
+        }
+    }
+}
+
+/// Proof that a `prolog` happened; consumed by the matching `epilog`.
+#[derive(Debug)]
+#[must_use = "an unmatched prolog leaves the program in the enclosure environment"]
+pub struct SwitchToken {
+    enclosure: EnclosureId,
+    prev: EnvId,
+    seq: u64,
+}
+
+impl SwitchToken {
+    /// The enclosure this token entered.
+    #[must_use]
+    pub fn enclosure(&self) -> EnclosureId {
+        self.enclosure
+    }
+}
+
+/// A goroutine-sized protection context: the current environment plus the
+/// nesting stack. The user-level scheduler swaps these via
+/// [`LitterBox::execute`] (§4.2).
+#[derive(Debug, Clone)]
+pub struct EnvContext {
+    current: EnvId,
+    stack: Vec<(EnvId, u64)>,
+}
+
+impl EnvContext {
+    /// The context every program starts in: trusted, no nesting.
+    #[must_use]
+    pub fn trusted() -> EnvContext {
+        EnvContext {
+            current: TRUSTED_ENV,
+            stack: Vec::new(),
+        }
+    }
+
+    /// A fresh context pinned to `env` with no nesting — what a newly
+    /// spawned goroutine inherits from its creator ("execution
+    /// environments are transitively inherited by goroutine creation",
+    /// §5.1).
+    #[must_use]
+    pub fn in_env(env: EnvId) -> EnvContext {
+        EnvContext {
+            current: env,
+            stack: Vec::new(),
+        }
+    }
+
+    /// The environment this context runs in.
+    #[must_use]
+    pub fn env(&self) -> EnvId {
+        self.current
+    }
+}
+
+impl Default for EnvContext {
+    fn default() -> Self {
+        EnvContext::trusted()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PackageInfo {
+    sections: Vec<Section>,
+    #[allow(dead_code)] // recorded for dynamic-language view computation
+    deps: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct EnvInfo {
+    name: String,
+    view: ViewMap,
+    policy: SysPolicy,
+}
+
+#[derive(Debug)]
+enum HwState {
+    Baseline,
+    Mpk {
+        table: PageTable,
+        key_of_meta: Vec<ProtectionKey>,
+        pkru_of_env: HashMap<EnvId, Pkru>,
+        filter: SeccompFilter,
+    },
+    Vtx {
+        vm: Vm,
+    },
+}
+
+/// Name of LitterBox's always-mapped API package (§5.3).
+pub const LB_USER_PKG: &str = "litterbox.user";
+/// Name of LitterBox's privileged package holding descriptions and the
+/// verification list; never mapped in user environments (§5.3).
+pub const LB_SUPER_PKG: &str = "litterbox.super";
+
+/// The LitterBox machine: address space, kernel, CPU, and enforcement
+/// state. See the crate docs for the API walkthrough.
+#[derive(Debug)]
+pub struct LitterBox {
+    backend: Backend,
+    space: AddressSpace,
+    kernel: Kernel,
+    cpu: Cpu,
+    packages: BTreeMap<String, PackageInfo>,
+    ranges: Vec<(VirtRange, String)>,
+    enclosures: BTreeMap<EnclosureId, EnclosureDesc>,
+    envs: HashMap<EnvId, EnvInfo>,
+    verif: HashSet<Addr>,
+    hw: HwState,
+    current: EnvId,
+    stack: Vec<(EnvId, u64)>,
+    clustering: Clustering,
+    initialized: bool,
+    seq: u64,
+    init_ns: u64,
+}
+
+impl LitterBox {
+    /// Creates a machine with a fresh address space, an empty kernel, and
+    /// the paper-calibrated cost model.
+    #[must_use]
+    pub fn new(backend: Backend) -> LitterBox {
+        LitterBox::with_parts(backend, Kernel::new(), CostModel::paper())
+    }
+
+    /// Creates a machine with a custom kernel (e.g.
+    /// [`Kernel::with_demo_home`]) and cost model.
+    #[must_use]
+    pub fn with_parts(backend: Backend, kernel: Kernel, model: CostModel) -> LitterBox {
+        LitterBox {
+            backend,
+            space: AddressSpace::new(),
+            kernel,
+            cpu: Cpu::new(Clock::new(model)),
+            packages: BTreeMap::new(),
+            ranges: Vec::new(),
+            enclosures: BTreeMap::new(),
+            envs: HashMap::new(),
+            verif: HashSet::new(),
+            hw: HwState::Baseline,
+            current: TRUSTED_ENV,
+            stack: Vec::new(),
+            clustering: Clustering::default(),
+            initialized: false,
+            seq: 0,
+            init_ns: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The enforcement backend in use.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The simulated clock.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        self.cpu.clock()
+    }
+
+    /// Mutable clock access (workloads charge compute through this).
+    pub fn clock_mut(&mut self) -> &mut Clock {
+        self.cpu.clock_mut()
+    }
+
+    /// Hardware event counters.
+    #[must_use]
+    pub fn stats(&self) -> HwStats {
+        self.cpu.clock().stats()
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.cpu.clock().now_ns()
+    }
+
+    /// The kernel (load generators and assertions use it directly,
+    /// bypassing enclosure filtering — they model the world outside the
+    /// protected program).
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access for harness setup (planting files,
+    /// registering remote hosts).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Splits the machine into the kernel and the clock, for out-of-band
+    /// harness traffic that must still advance time.
+    pub fn kernel_and_clock(&mut self) -> (&mut Kernel, &mut Clock) {
+        (&mut self.kernel, self.cpu.clock_mut())
+    }
+
+    /// The program's address space.
+    #[must_use]
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Mutable address-space access (frontend loaders and the trusted
+    /// runtime allocate through this).
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// The environment currently in force.
+    #[must_use]
+    pub fn current_env(&self) -> EnvId {
+        self.current
+    }
+
+    /// Name of an environment (for traces).
+    #[must_use]
+    pub fn env_name(&self, env: EnvId) -> &str {
+        self.envs.get(&env).map_or("?", |e| e.name.as_str())
+    }
+
+    /// The meta-package clustering computed at init.
+    #[must_use]
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Simulated nanoseconds spent in `init`/`init_incremental` (the
+    /// "delayed initialization" cost of §6.4).
+    #[must_use]
+    pub fn init_ns(&self) -> u64 {
+        self.init_ns
+    }
+
+    /// The package owning `addr`, if any.
+    #[must_use]
+    pub fn package_at(&self, addr: Addr) -> Option<&str> {
+        self.ranges
+            .iter()
+            .find(|(r, _)| r.contains(addr))
+            .map(|(_, name)| name.as_str())
+    }
+
+    /// The registered enclosure ids.
+    pub fn enclosure_ids(&self) -> impl Iterator<Item = EnclosureId> + '_ {
+        self.enclosures.keys().copied()
+    }
+
+    /// Renders every execution environment: name, view, filter, and the
+    /// backend state (PKRU value / page-table size) — the diagnostic
+    /// LitterBox prints alongside fault traces.
+    #[must_use]
+    pub fn describe_environments(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut ids: Vec<EnvId> = self.envs.keys().copied().collect();
+        ids.sort();
+        for env in ids {
+            let info = &self.envs[&env];
+            let _ = writeln!(out, "{env} '{}':", info.name);
+            let _ = writeln!(out, "  syscalls: {}", info.policy);
+            let mut view: Vec<_> = info.view.iter().collect();
+            view.sort();
+            let rendered: Vec<String> =
+                view.iter().map(|(p, a)| format!("{p}:{a}")).collect();
+            let _ = writeln!(out, "  view: {}", rendered.join(" "));
+            match &self.hw {
+                HwState::Baseline => {}
+                HwState::Mpk { pkru_of_env, .. } => {
+                    if let Some(pkru) = pkru_of_env.get(&env) {
+                        let _ = writeln!(out, "  pkru: {pkru}");
+                    }
+                }
+                HwState::Vtx { vm } => {
+                    if let Some(table) = vm.table(env) {
+                        let _ = writeln!(out, "  page table: {} pages mapped", table.mapped_pages());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The compiled seccomp-BPF filter, when running on the MPK backend
+    /// (LB_VTX filters in the guest OS instead).
+    #[must_use]
+    pub fn seccomp_program(&self) -> Option<&enclosure_kernel::bpf::Program> {
+        match &self.hw {
+            HwState::Mpk { filter, .. } => Some(filter.program()),
+            _ => None,
+        }
+    }
+
+    /// Rights the current environment's view grants on `package`.
+    #[must_use]
+    pub fn view_rights(&self, package: &str) -> Access {
+        self.envs
+            .get(&self.current)
+            .and_then(|e| e.view.get(package).copied())
+            .unwrap_or(Access::NONE)
+    }
+
+    // ------------------------------------------------------------------
+    // Init
+    // ------------------------------------------------------------------
+
+    /// `Init`: validates the program description, computes meta-packages,
+    /// and builds every execution environment (§4.2, §5.3).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Init`] for invalid descriptions (overlapping sections,
+    /// unknown packages in views, duplicate ids, MPK key exhaustion,
+    /// ambiguous PKRU/filter combinations).
+    pub fn init(&mut self, mut desc: ProgramDesc) -> Result<(), Fault> {
+        if self.initialized {
+            return Err(Fault::Init("init called twice (use init_incremental)".into()));
+        }
+        self.install_internal_packages(&mut desc)?;
+        self.ingest(desc)?;
+        self.rebuild()?;
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Incremental `Init` for dynamic languages (§5.2): merges additional
+    /// packages and enclosures, then rebuilds environments. "LitterBox
+    /// must accept multiple calls to Init, each of which provide only
+    /// partial information about a program."
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LitterBox::init`].
+    pub fn init_incremental(&mut self, mut desc: ProgramDesc) -> Result<(), Fault> {
+        if !self.initialized {
+            self.install_internal_packages(&mut desc)?;
+        }
+        self.ingest(desc)?;
+        self.rebuild()?;
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Replaces an existing enclosure's memory view and rebuilds the
+    /// execution environments. Used by dynamic frontends when "the
+    /// execution of an enclosure triggers new imports, so LitterBox's
+    /// default policy makes these new packages available to the executing
+    /// enclosure" (§5.2).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::UnknownEnclosure`] for unknown ids; otherwise the same
+    /// conditions as [`LitterBox::init`].
+    pub fn update_enclosure_view(
+        &mut self,
+        id: EnclosureId,
+        view: ViewMap,
+    ) -> Result<(), Fault> {
+        let enc = self
+            .enclosures
+            .get_mut(&id)
+            .ok_or(Fault::UnknownEnclosure(id))?;
+        enc.view = view;
+        self.rebuild()
+    }
+
+    fn install_internal_packages(&mut self, desc: &mut ProgramDesc) -> Result<(), Fault> {
+        for (name, kind) in [(LB_USER_PKG, SectionKind::Text), (LB_SUPER_PKG, SectionKind::Data)]
+        {
+            let range = self
+                .space
+                .alloc(enclosure_vmem::PAGE_SIZE)
+                .map_err(|e| Fault::Init(e.to_string()))?;
+            let section = Section::new(format!("{name}{}", kind.elf_name()), kind, range)
+                .map_err(|e| Fault::Init(e.to_string()))?;
+            desc.packages.push(PackageDesc {
+                name: name.to_owned(),
+                sections: vec![section],
+                deps: Vec::new(),
+            });
+        }
+        Ok(())
+    }
+
+    fn ingest(&mut self, desc: ProgramDesc) -> Result<(), Fault> {
+        for pkg in desc.packages {
+            if self.packages.contains_key(&pkg.name) {
+                return Err(Fault::Init(format!("duplicate package '{}'", pkg.name)));
+            }
+            for section in &pkg.sections {
+                let range = section.range();
+                if !range.is_page_aligned() {
+                    return Err(Fault::Init(format!(
+                        "section {} of '{}' is not page aligned",
+                        section.name(),
+                        pkg.name
+                    )));
+                }
+                for (existing, owner) in &self.ranges {
+                    if existing.overlaps(&range) {
+                        return Err(Fault::Init(format!(
+                            "section {} of '{}' overlaps '{owner}' ({existing})",
+                            section.name(),
+                            pkg.name
+                        )));
+                    }
+                }
+                self.ranges.push((range, pkg.name.clone()));
+            }
+            self.packages.insert(
+                pkg.name.clone(),
+                PackageInfo {
+                    sections: pkg.sections,
+                    deps: pkg.deps,
+                },
+            );
+        }
+        for enc in desc.enclosures {
+            if enc.id.0 == 0 {
+                return Err(Fault::Init("enclosure id 0 is reserved".into()));
+            }
+            if self.enclosures.contains_key(&enc.id) {
+                return Err(Fault::Init(format!("duplicate {}", enc.id)));
+            }
+            self.enclosures.insert(enc.id, enc);
+        }
+        self.verif.extend(desc.verified_callsites);
+        Ok(())
+    }
+
+    /// Rebuilds environments, clustering, and hardware state from the
+    /// current descriptions.
+    fn rebuild(&mut self) -> Result<(), Fault> {
+        // Views may only reference known packages.
+        for enc in self.enclosures.values() {
+            for pkg in enc.view.keys() {
+                if !self.packages.contains_key(pkg) {
+                    return Err(Fault::Init(format!(
+                        "view of '{}' references unknown package '{pkg}'",
+                        enc.name
+                    )));
+                }
+                if pkg == LB_SUPER_PKG {
+                    return Err(Fault::Init(format!(
+                        "view of '{}' must not include {LB_SUPER_PKG}",
+                        enc.name
+                    )));
+                }
+            }
+        }
+
+        // Trusted view: everything RWX except litterbox.super.
+        let mut trusted_view: ViewMap = ViewMap::new();
+        for name in self.packages.keys() {
+            if name != LB_SUPER_PKG {
+                trusted_view.insert(name.clone(), Access::RWX);
+            }
+        }
+
+        // Enclosure views are augmented with the always-available
+        // litterbox.user package.
+        let mut envs: HashMap<EnvId, EnvInfo> = HashMap::new();
+        envs.insert(
+            TRUSTED_ENV,
+            EnvInfo {
+                name: "trusted".into(),
+                view: trusted_view.clone(),
+                policy: SysPolicy::all(),
+            },
+        );
+        for enc in self.enclosures.values() {
+            let mut view = enc.view.clone();
+            view.insert(LB_USER_PKG.to_owned(), Access::RX);
+            envs.insert(
+                EnvId(enc.id.0),
+                EnvInfo {
+                    name: enc.name.clone(),
+                    view,
+                    policy: enc.policy.clone(),
+                },
+            );
+        }
+
+        // Clustering across all views, trusted included (as pseudo id 0),
+        // so litterbox.super lands in its own meta-package.
+        let package_names: Vec<String> = self.packages.keys().cloned().collect();
+        let mut cluster_inputs: Vec<EnclosureDesc> = vec![EnclosureDesc {
+            id: EnclosureId(0),
+            name: "trusted".into(),
+            view: trusted_view,
+            policy: SysPolicy::all(),
+        }];
+        for (env, info) in &envs {
+            if *env != TRUSTED_ENV {
+                cluster_inputs.push(EnclosureDesc {
+                    id: EnclosureId(env.0),
+                    name: info.name.clone(),
+                    view: info.view.clone(),
+                    policy: info.policy.clone(),
+                });
+            }
+        }
+        let clustering = cluster(&package_names, &cluster_inputs);
+
+        // Init cost accounting (the §6.4 "delayed initialization").
+        let total_pages: u64 = self
+            .packages
+            .values()
+            .flat_map(|p| p.sections.iter())
+            .map(|s| s.range().page_len())
+            .sum();
+        let per_env = match self.backend {
+            Backend::Baseline => 0,
+            Backend::Mpk => INIT_NS_PER_ENV_MPK,
+            Backend::Vtx => INIT_NS_PER_ENV_VTX,
+        };
+        let cost = if self.backend == Backend::Baseline {
+            0
+        } else {
+            INIT_NS_PER_PACKAGE * self.packages.len() as u64
+                + INIT_NS_PER_PAGE * total_pages
+                + per_env * envs.len() as u64
+        };
+        self.cpu.clock_mut().advance(cost);
+        self.init_ns += cost;
+
+        // Backend-specific state. LB_MPK additionally scans every
+        // untrusted text section for WRPKRU/XRSTOR, as ERIM does (§5.3):
+        // only the LitterBox package may modify PKRU.
+        if self.backend == Backend::Mpk {
+            for (name, info) in &self.packages {
+                if name == LB_USER_PKG || name == LB_SUPER_PKG {
+                    continue;
+                }
+                for section in &info.sections {
+                    if let Some(addr) = crate::scan::scan_section(&self.space, section) {
+                        return Err(Fault::Init(format!(
+                            "package '{name}' contains a PKRU-writing instruction at {addr}                              (section {}); only LitterBox may execute WRPKRU",
+                            section.name()
+                        )));
+                    }
+                }
+            }
+        }
+        let hw = match self.backend {
+            Backend::Baseline => HwState::Baseline,
+            Backend::Mpk => self.build_mpk(&envs, &clustering)?,
+            Backend::Vtx => self.build_vtx(&envs)?,
+        };
+
+        // Preserve the current environment across incremental rebuilds
+        // (dynamic imports happen mid-execution, §5.2); fall back to
+        // trusted if the environment vanished.
+        let resume = if envs.contains_key(&self.current) {
+            self.current
+        } else {
+            self.stack.clear();
+            TRUSTED_ENV
+        };
+        self.envs = envs;
+        self.clustering = clustering;
+        self.hw = hw;
+        self.current = resume;
+        self.switch_hw(resume)?;
+        Ok(())
+    }
+
+    fn build_mpk(
+        &self,
+        envs: &HashMap<EnvId, EnvInfo>,
+        clustering: &Clustering,
+    ) -> Result<HwState, Fault> {
+        let mut keys = KeyAllocator::new();
+        let mut key_of_meta = Vec::with_capacity(clustering.len());
+        for _ in 0..clustering.len() {
+            let key = keys.alloc().map_err(|_| {
+                Fault::Init(format!(
+                    "{} meta-packages exceed the 16 MPK keys; \
+                     libmpk-style key virtualization would be required (§5.3)",
+                    clustering.len()
+                ))
+            })?;
+            key_of_meta.push(key);
+        }
+
+        let mut table = PageTable::new("mpk-shared");
+        for (name, info) in &self.packages {
+            let key = key_of_meta[clustering.meta_of[name]];
+            for section in &info.sections {
+                table.map_range(section.range(), section.default_rights(), key);
+            }
+        }
+
+        let mut pkru_of_env = HashMap::new();
+        let mut rules = Vec::new();
+        let mut seen_pkru: HashMap<u32, (String, SysPolicy)> = HashMap::new();
+        let mut env_ids: Vec<EnvId> = envs.keys().copied().collect();
+        env_ids.sort();
+        for env in env_ids {
+            let info = &envs[&env];
+            let mut pkru = Pkru::deny_all();
+            for meta in &clustering.metas {
+                // All members share rights; take the first member's.
+                let rights = meta
+                    .members
+                    .first()
+                    .and_then(|m| info.view.get(m).copied())
+                    .unwrap_or(Access::NONE);
+                pkru.set_key_rights(key_of_meta[meta.index], rights.intersection(Access::RW));
+            }
+            if let Some((other, other_policy)) = seen_pkru.get(&pkru.bits()) {
+                if *other_policy != info.policy {
+                    return Err(Fault::Init(format!(
+                        "environments '{other}' and '{}' share PKRU {:#010x} but differ \
+                         in syscall filters; LB_MPK cannot distinguish them (seccomp \
+                         indexes on PKRU)",
+                        info.name,
+                        pkru.bits()
+                    )));
+                }
+            } else {
+                seen_pkru.insert(pkru.bits(), (info.name.clone(), info.policy.clone()));
+                rules.push(SeccompRule {
+                    pkru: pkru.bits(),
+                    policy: info.policy.clone(),
+                });
+            }
+            pkru_of_env.insert(env, pkru);
+        }
+        let filter = SeccompFilter::compile(&rules)
+            .map_err(|e| Fault::Init(format!("seccomp compilation failed: {e}")))?;
+        Ok(HwState::Mpk {
+            table,
+            key_of_meta,
+            pkru_of_env,
+            filter,
+        })
+    }
+
+    fn build_vtx(&self, envs: &HashMap<EnvId, EnvInfo>) -> Result<HwState, Fault> {
+        let build_table = |name: &str, view: &ViewMap| {
+            let mut table = PageTable::new(name);
+            for (pkg, rights) in view {
+                if let Some(info) = self.packages.get(pkg) {
+                    for section in &info.sections {
+                        let effective = section.default_rights().intersection(*rights);
+                        if !effective.is_none() {
+                            table.map_range(section.range(), effective, 0);
+                        }
+                    }
+                }
+            }
+            table
+        };
+        let trusted = build_table("trusted", &envs[&TRUSTED_ENV].view);
+        let mut vm = Vm::new(trusted);
+        for (env, info) in envs {
+            if *env != TRUSTED_ENV {
+                vm.install(*env, build_table(&info.name, &info.view));
+            }
+        }
+        Ok(HwState::Vtx { vm })
+    }
+
+    // ------------------------------------------------------------------
+    // Switches
+    // ------------------------------------------------------------------
+
+    /// `Prolog`: enters `enclosure`'s execution environment from a
+    /// verified call-site.
+    ///
+    /// # Errors
+    ///
+    /// * [`Fault::UnverifiedCallsite`] if `callsite` is not in `.verif`;
+    /// * [`Fault::Escalation`] if the target is less restrictive than the
+    ///   current environment (§2.2);
+    /// * [`Fault::UnknownEnclosure`] for unregistered ids.
+    pub fn prolog(
+        &mut self,
+        enclosure: EnclosureId,
+        callsite: Addr,
+    ) -> Result<SwitchToken, Fault> {
+        if self.backend == Backend::Baseline {
+            // Vanilla closure: no switch, no checks.
+            self.seq += 1;
+            let token = SwitchToken {
+                enclosure,
+                prev: self.current,
+                seq: self.seq,
+            };
+            self.stack.push((self.current, self.seq));
+            return Ok(token);
+        }
+        if !self.enclosures.contains_key(&enclosure) {
+            return Err(Fault::UnknownEnclosure(enclosure));
+        }
+        self.cpu.clock_mut().charge_callsite_check();
+        if !self.verif.contains(&callsite) {
+            return Err(Fault::UnverifiedCallsite { addr: callsite });
+        }
+        let target = EnvId(enclosure.0);
+        self.check_monotone(target)?;
+        let prev = self.current;
+        self.switch_hw(target)?;
+        self.seq += 1;
+        self.stack.push((prev, self.seq));
+        self.current = target;
+        Ok(SwitchToken {
+            enclosure,
+            prev,
+            seq: self.seq,
+        })
+    }
+
+    /// `Epilog`: returns to the environment captured by `token`.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::SwitchMismatch`] if prolog/epilog nesting is violated.
+    pub fn epilog(&mut self, token: SwitchToken) -> Result<(), Fault> {
+        let Some((prev, seq)) = self.stack.pop() else {
+            return Err(Fault::SwitchMismatch {
+                expected: token.prev,
+                actual: self.current,
+            });
+        };
+        if seq != token.seq || prev != token.prev {
+            self.stack.push((prev, seq));
+            return Err(Fault::SwitchMismatch {
+                expected: token.prev,
+                actual: self.current,
+            });
+        }
+        if self.backend != Backend::Baseline {
+            self.switch_hw(token.prev)?;
+        }
+        self.current = token.prev;
+        self.cpu.clock_mut().note_switch_pair();
+        Ok(())
+    }
+
+    /// `Execute`: the user-level scheduler's switch between unrelated
+    /// protection contexts (§4.2). Swaps the whole (environment, nesting)
+    /// context and returns the previous one.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::UnverifiedCallsite`] for unknown call-sites.
+    pub fn execute(&mut self, ctx: EnvContext, callsite: Addr) -> Result<EnvContext, Fault> {
+        if self.backend == Backend::Baseline {
+            let prev = EnvContext {
+                current: self.current,
+                stack: std::mem::take(&mut self.stack),
+            };
+            self.current = ctx.current;
+            self.stack = ctx.stack;
+            return Ok(prev);
+        }
+        self.cpu.clock_mut().charge_callsite_check();
+        if !self.verif.contains(&callsite) {
+            return Err(Fault::UnverifiedCallsite { addr: callsite });
+        }
+        self.switch_hw(ctx.current)?;
+        let prev = EnvContext {
+            current: self.current,
+            stack: std::mem::take(&mut self.stack),
+        };
+        self.current = ctx.current;
+        self.stack = ctx.stack;
+        Ok(prev)
+    }
+
+    fn switch_hw(&mut self, target: EnvId) -> Result<(), Fault> {
+        match &mut self.hw {
+            HwState::Baseline => Ok(()),
+            HwState::Mpk { pkru_of_env, .. } => {
+                let pkru = *pkru_of_env
+                    .get(&target)
+                    .ok_or(Fault::UnknownEnclosure(EnclosureId(target.0)))?;
+                self.cpu.write_pkru(pkru);
+                Ok(())
+            }
+            HwState::Vtx { vm } => {
+                vm.switch(target, self.cpu.clock_mut())
+                    .map_err(|_| Fault::UnknownEnclosure(EnclosureId(target.0)))?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Enforces the monotone-restriction rule: `target`'s view and policy
+    /// must be subsets of the current environment's (§2.2).
+    fn check_monotone(&self, target: EnvId) -> Result<(), Fault> {
+        let from = &self.envs[&self.current];
+        let to = &self.envs[&target];
+        if self.current == TRUSTED_ENV {
+            return Ok(()); // trusted is maximal
+        }
+        for (pkg, rights) in &to.view {
+            let held = from.view.get(pkg).copied().unwrap_or(Access::NONE);
+            if !rights.is_subset_of(held) {
+                return Err(Fault::Escalation {
+                    from: from.name.clone(),
+                    to: to.name.clone(),
+                    detail: format!("would gain {rights} on '{pkg}' (held {held})"),
+                });
+            }
+        }
+        if !to.policy.is_subset_of(&from.policy) {
+            return Err(Fault::Escalation {
+                from: from.name.clone(),
+                to: to.name.clone(),
+                detail: format!(
+                    "would widen syscalls from [{}] to [{}]",
+                    from.policy, to.policy
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transfer
+    // ------------------------------------------------------------------
+
+    /// `Transfer`: repartitions heap memory by moving `range` into
+    /// `to`'s arena (§4.2). `from` names the current owner for
+    /// validation, or `None` for a fresh (runtime-allocated) span.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::UnknownPackage`] for unknown packages, [`Fault::Init`]
+    /// for ranges that don't match the recorded owner.
+    pub fn transfer(
+        &mut self,
+        range: VirtRange,
+        from: Option<&str>,
+        to: &str,
+    ) -> Result<(), Fault> {
+        if !self.packages.contains_key(to) {
+            return Err(Fault::UnknownPackage(to.to_owned()));
+        }
+        // Detach from the previous owner.
+        if let Some(from) = from {
+            let info = self
+                .packages
+                .get_mut(from)
+                .ok_or_else(|| Fault::UnknownPackage(from.to_owned()))?;
+            let before = info.sections.len();
+            info.sections.retain(|s| s.range() != range);
+            if info.sections.len() == before {
+                return Err(Fault::Init(format!(
+                    "transfer source '{from}' does not own {range}"
+                )));
+            }
+            self.ranges.retain(|(r, _)| *r != range);
+        } else if let Some(owner) = self.package_at(range.start()) {
+            return Err(Fault::Init(format!(
+                "transfer of {range} without `from`, but '{owner}' owns it"
+            )));
+        }
+
+        // Attach to the destination.
+        let section = Section::new(
+            format!("{to}.arena@{:#x}", range.start().0),
+            SectionKind::Arena,
+            range,
+        )
+        .map_err(|e| Fault::Init(e.to_string()))?;
+        self.packages
+            .get_mut(to)
+            .expect("checked above")
+            .sections
+            .push(section);
+        self.ranges.push((range, to.to_owned()));
+
+        // Hardware update.
+        match &mut self.hw {
+            HwState::Baseline => Ok(()),
+            HwState::Mpk {
+                table, key_of_meta, ..
+            } => {
+                let key = key_of_meta[self.clustering.meta_of[to]];
+                table.map_range(range, Access::RW, key);
+                self.cpu
+                    .clock_mut()
+                    .charge_pkey_mprotect_pages(range.page_len());
+                Ok(())
+            }
+            HwState::Vtx { vm } => {
+                // One guest-syscall transfer updates every environment's
+                // table with the rights *its* view grants the new owner
+                // (an R-only view yields read-only arena pages).
+                self.cpu
+                    .clock_mut()
+                    .charge_vtx_transfer_pages(range.page_len());
+                for (env, info) in &self.envs {
+                    let rights = info
+                        .view
+                        .get(to)
+                        .copied()
+                        .unwrap_or(Access::NONE)
+                        .intersection(Access::RW);
+                    let table = vm
+                        .table_mut(*env)
+                        .expect("every environment has an installed table");
+                    if rights.is_none() {
+                        table.unmap_range(range);
+                    } else {
+                        table.map_range(range, rights, 0);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Syscall filtering
+    // ------------------------------------------------------------------
+
+    /// `FilterSyscall`: permits or rejects a system call under the
+    /// current environment's filter (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::SyscallDenied`] carrying the record and environment.
+    pub fn filter_syscall(&mut self, record: SyscallRecord) -> Result<(), Fault> {
+        let allowed = match &self.hw {
+            HwState::Baseline => true,
+            HwState::Mpk { filter, .. } => {
+                self.cpu.clock_mut().charge_seccomp();
+                filter.check(record.sysno, &record.args, self.cpu.pkru().bits())
+            }
+            HwState::Vtx { .. } => {
+                // Every guest syscall hypercalls to the host (§5.3).
+                self.cpu.clock_mut().charge_vm_exit();
+                self.envs[&self.current].policy.allows(record.sysno, &record.args)
+            }
+        };
+        if allowed {
+            Ok(())
+        } else {
+            Err(Fault::SyscallDenied {
+                record,
+                env: self.current,
+                env_name: self.env_name(self.current).to_owned(),
+            })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checked memory access
+    // ------------------------------------------------------------------
+
+    fn check_access(&self, addr: Addr, len: u64, needed: Access) -> Result<(), Fault> {
+        match &self.hw {
+            HwState::Baseline => Ok(()),
+            HwState::Mpk { table, .. } => self
+                .cpu
+                .check_mpk(table, addr, len, needed)
+                .map_err(Fault::Memory),
+            HwState::Vtx { vm } => vm.check(addr, len, needed).map_err(Fault::Memory),
+        }
+    }
+
+    /// Checked read of `len` bytes at `addr` under the current view.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Memory`] on a view violation or unbacked memory.
+    pub fn load(&self, addr: Addr, len: u64) -> Result<Vec<u8>, Fault> {
+        self.check_access(addr, len, Access::R)?;
+        self.space.read_vec(addr, len).map_err(Fault::Memory)
+    }
+
+    /// Checked read of a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Memory`] on a view violation or unbacked memory.
+    pub fn load_u64(&self, addr: Addr) -> Result<u64, Fault> {
+        self.check_access(addr, 8, Access::R)?;
+        self.space.read_u64(addr).map_err(Fault::Memory)
+    }
+
+    /// Checked write at `addr` under the current view.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Memory`] on a view violation or unbacked memory.
+    pub fn store(&mut self, addr: Addr, data: &[u8]) -> Result<(), Fault> {
+        self.check_access(addr, data.len() as u64, Access::W)?;
+        self.space.write(addr, data).map_err(Fault::Memory)
+    }
+
+    /// Checked write of a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Memory`] on a view violation or unbacked memory.
+    pub fn store_u64(&mut self, addr: Addr, value: u64) -> Result<(), Fault> {
+        self.check_access(addr, 8, Access::W)?;
+        self.space.write_u64(addr, value).map_err(Fault::Memory)
+    }
+
+    /// Checked fill of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Memory`] on a view violation or unbacked memory.
+    pub fn fill(&mut self, addr: Addr, len: u64, byte: u8) -> Result<(), Fault> {
+        self.check_access(addr, len, Access::W)?;
+        self.space.fill(addr, len, byte).map_err(Fault::Memory)
+    }
+
+    /// Checks that the current view allows *invoking* functions of
+    /// `package` (the `X` right of `RWX`, §2.2). Language runtimes call
+    /// this at every cross-package call.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::ExecDenied`] when the right is missing,
+    /// [`Fault::UnknownPackage`] for unknown names.
+    pub fn check_invoke(&self, package: &str) -> Result<(), Fault> {
+        if !self.packages.contains_key(package) {
+            return Err(Fault::UnknownPackage(package.to_owned()));
+        }
+        if self.backend == Backend::Baseline {
+            return Ok(());
+        }
+        let rights = self.view_rights(package);
+        if rights.contains(Access::X) {
+            Ok(())
+        } else {
+            Err(Fault::ExecDenied {
+                package: package.to_owned(),
+                env_name: self.env_name(self.current).to_owned(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclosure_kernel::{SysCategory, Sysno};
+
+    use enclosure_kernel::CategorySet;
+
+    /// Builds the Figure 1 program: main → img, libfx; secrets and os
+    /// foreign to the `rcl` enclosure, which gets `secrets: R` and no
+    /// syscalls.
+    fn figure1(backend: Backend) -> (LitterBox, Figure1) {
+        let mut lb = LitterBox::new(backend);
+        let mut prog = ProgramDesc::new();
+        let main = prog.add_package(&mut lb, "main", 1, 1, 1).unwrap();
+        let img = prog.add_package(&mut lb, "img", 1, 1, 1).unwrap();
+        let libfx = prog.add_package(&mut lb, "libfx", 2, 1, 2).unwrap();
+        let secrets = prog.add_package(&mut lb, "secrets", 1, 1, 1).unwrap();
+        let os = prog.add_package(&mut lb, "os", 1, 1, 1).unwrap();
+        let callsite = prog.verified_callsite();
+        prog.add_enclosure(EnclosureDesc {
+            id: EnclosureId(1),
+            name: "rcl".into(),
+            view: [
+                ("img".to_string(), Access::RWX),
+                ("libfx".to_string(), Access::RWX),
+                ("secrets".to_string(), Access::R),
+            ]
+            .into_iter()
+            .collect(),
+            policy: SysPolicy::none(),
+        });
+        lb.init(prog).unwrap();
+        (
+            lb,
+            Figure1 {
+                main,
+                img,
+                libfx,
+                secrets,
+                os,
+                callsite,
+            },
+        )
+    }
+
+    struct Figure1 {
+        main: crate::PackageLayout,
+        img: crate::PackageLayout,
+        libfx: crate::PackageLayout,
+        secrets: crate::PackageLayout,
+        os: crate::PackageLayout,
+        callsite: Addr,
+    }
+
+    #[test]
+    fn mpk_enforces_figure1_view() {
+        let (mut lb, f) = figure1(Backend::Mpk);
+        // Trusted: everything accessible.
+        lb.store_u64(f.secrets.data_start(), 7).unwrap();
+        assert_eq!(lb.load_u64(f.secrets.data_start()).unwrap(), 7);
+
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        // Own packages: RW data.
+        lb.store_u64(f.libfx.data_start(), 1).unwrap();
+        lb.store_u64(f.img.data_start(), 2).unwrap();
+        // secrets: read-only.
+        assert_eq!(lb.load_u64(f.secrets.data_start()).unwrap(), 7);
+        assert!(matches!(
+            lb.store_u64(f.secrets.data_start(), 9),
+            Err(Fault::Memory(_))
+        ));
+        // main and os: unmapped.
+        assert!(lb.load_u64(f.main.data_start()).is_err());
+        assert!(lb.load_u64(f.os.data_start()).is_err());
+        lb.epilog(token).unwrap();
+        // Back in trusted: full access again.
+        lb.store_u64(f.secrets.data_start(), 9).unwrap();
+    }
+
+    #[test]
+    fn vtx_enforces_figure1_view() {
+        let (mut lb, f) = figure1(Backend::Vtx);
+        lb.store_u64(f.secrets.data_start(), 7).unwrap();
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        assert_eq!(lb.load_u64(f.secrets.data_start()).unwrap(), 7);
+        assert!(lb.store_u64(f.secrets.data_start(), 9).is_err());
+        assert!(lb.load_u64(f.os.data_start()).is_err());
+        lb.epilog(token).unwrap();
+        lb.store_u64(f.os.data_start(), 1).unwrap();
+    }
+
+    #[test]
+    fn baseline_enforces_nothing() {
+        let (mut lb, f) = figure1(Backend::Baseline);
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.store_u64(f.secrets.data_start(), 9).unwrap();
+        lb.store_u64(f.os.data_start(), 9).unwrap();
+        lb.epilog(token).unwrap();
+    }
+
+    #[test]
+    fn syscalls_denied_inside_none_filter() {
+        for backend in [Backend::Mpk, Backend::Vtx] {
+            let (mut lb, f) = figure1(backend);
+            lb.filter_syscall(SyscallRecord::new(Sysno::Getuid))
+                .expect("trusted env allows");
+            let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+            let err = lb
+                .filter_syscall(SyscallRecord::new(Sysno::Getuid))
+                .unwrap_err();
+            assert!(matches!(err, Fault::SyscallDenied { .. }), "{backend}: {err}");
+            lb.epilog(token).unwrap();
+            lb.filter_syscall(SyscallRecord::new(Sysno::Getuid)).unwrap();
+        }
+    }
+
+    #[test]
+    fn unverified_callsite_faults() {
+        let (mut lb, _f) = figure1(Backend::Mpk);
+        let err = lb.prolog(EnclosureId(1), Addr(0xbad)).unwrap_err();
+        assert!(matches!(err, Fault::UnverifiedCallsite { .. }));
+    }
+
+    #[test]
+    fn baseline_skips_callsite_verification() {
+        let (mut lb, _f) = figure1(Backend::Baseline);
+        let token = lb.prolog(EnclosureId(1), Addr(0xbad)).unwrap();
+        lb.epilog(token).unwrap();
+    }
+
+    #[test]
+    fn mpk_switch_costs_match_table1() {
+        let (mut lb, f) = figure1(Backend::Mpk);
+        let start = lb.now_ns();
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.epilog(token).unwrap();
+        // callsite check (1) + 2 × WRPKRU (40) = 41; the closure call
+        // itself (45 ns) is charged by the language frontend.
+        assert_eq!(lb.now_ns() - start, 41);
+        assert_eq!(lb.stats().switch_pairs, 1);
+    }
+
+    #[test]
+    fn vtx_switch_costs_match_table1() {
+        let (mut lb, f) = figure1(Backend::Vtx);
+        let start = lb.now_ns();
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.epilog(token).unwrap();
+        // callsite check (1) + 2 guest syscalls (880) = 881.
+        assert_eq!(lb.now_ns() - start, 881);
+    }
+
+    #[test]
+    fn litterbox_super_is_unreachable_from_enclosures_and_trusted() {
+        let (mut lb, f) = figure1(Backend::Mpk);
+        let super_range = lb
+            .packages
+            .get(LB_SUPER_PKG)
+            .unwrap()
+            .sections[0]
+            .range();
+        // Even trusted user code cannot touch super.
+        assert!(lb.load(super_range.start(), 8).is_err());
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        assert!(lb.load(super_range.start(), 8).is_err());
+        lb.epilog(token).unwrap();
+    }
+
+    #[test]
+    fn invoke_checks_the_x_right() {
+        let (mut lb, f) = figure1(Backend::Mpk);
+        lb.check_invoke("libfx").unwrap();
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.check_invoke("libfx").unwrap();
+        lb.check_invoke("img").unwrap();
+        // secrets is R: data readable, functions not callable.
+        assert!(matches!(
+            lb.check_invoke("secrets"),
+            Err(Fault::ExecDenied { .. })
+        ));
+        assert!(lb.check_invoke("os").is_err());
+        lb.epilog(token).unwrap();
+    }
+
+    #[test]
+    fn nesting_may_only_restrict() {
+        let mut lb = LitterBox::new(Backend::Mpk);
+        let mut prog = ProgramDesc::new();
+        prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
+        prog.add_package(&mut lb, "b", 1, 1, 1).unwrap();
+        let cs = prog.verified_callsite();
+        prog.add_enclosure(EnclosureDesc {
+            id: EnclosureId(1),
+            name: "outer".into(),
+            view: [("a".to_string(), Access::RWX)].into_iter().collect(),
+            policy: SysPolicy::none(),
+        });
+        prog.add_enclosure(EnclosureDesc {
+            id: EnclosureId(2),
+            name: "inner-ok".into(),
+            view: [("a".to_string(), Access::R)].into_iter().collect(),
+            policy: SysPolicy::none(),
+        });
+        prog.add_enclosure(EnclosureDesc {
+            id: EnclosureId(3),
+            name: "inner-escalates".into(),
+            view: [("b".to_string(), Access::RWX)].into_iter().collect(),
+            policy: SysPolicy::none(),
+        });
+        lb.init(prog).unwrap();
+
+        let outer = lb.prolog(EnclosureId(1), cs).unwrap();
+        let inner = lb.prolog(EnclosureId(2), cs).unwrap();
+        lb.epilog(inner).unwrap();
+        let err = lb.prolog(EnclosureId(3), cs).unwrap_err();
+        assert!(matches!(err, Fault::Escalation { .. }), "{err}");
+        lb.epilog(outer).unwrap();
+    }
+
+    #[test]
+    fn syscall_policy_escalation_is_blocked() {
+        let mut lb = LitterBox::new(Backend::Vtx);
+        let mut prog = ProgramDesc::new();
+        prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
+        let cs = prog.verified_callsite();
+        prog.add_enclosure(EnclosureDesc {
+            id: EnclosureId(1),
+            name: "quiet".into(),
+            view: [("a".to_string(), Access::RWX)].into_iter().collect(),
+            policy: SysPolicy::none(),
+        });
+        prog.add_enclosure(EnclosureDesc {
+            id: EnclosureId(2),
+            name: "chatty".into(),
+            view: [("a".to_string(), Access::RWX)].into_iter().collect(),
+            policy: SysPolicy::categories(CategorySet::only(SysCategory::Net)),
+        });
+        lb.init(prog).unwrap();
+        let quiet = lb.prolog(EnclosureId(1), cs).unwrap();
+        assert!(matches!(
+            lb.prolog(EnclosureId(2), cs),
+            Err(Fault::Escalation { .. })
+        ));
+        lb.epilog(quiet).unwrap();
+        // From trusted, chatty is fine.
+        let chatty = lb.prolog(EnclosureId(2), cs).unwrap();
+        lb.epilog(chatty).unwrap();
+    }
+
+    #[test]
+    fn transfer_moves_arena_and_rights_follow() {
+        for backend in [Backend::Mpk, Backend::Vtx] {
+            let (mut lb, f) = figure1(backend);
+            let span = lb.space_mut().alloc(4 * enclosure_vmem::PAGE_SIZE).unwrap();
+            lb.transfer(span, None, "libfx").unwrap();
+            assert_eq!(lb.package_at(span.start()), Some("libfx"));
+
+            let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+            lb.store_u64(span.start(), 11).unwrap(); // libfx is RWX in rcl
+            lb.epilog(token).unwrap();
+
+            // Move it to `os` (foreign to rcl): now inaccessible inside.
+            lb.transfer(span, Some("libfx"), "os").unwrap();
+            let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+            assert!(lb.load_u64(span.start()).is_err(), "{backend}");
+            lb.epilog(token).unwrap();
+        }
+    }
+
+    #[test]
+    fn transfer_costs_match_table1() {
+        let (mut lb, _f) = figure1(Backend::Mpk);
+        let span = lb.space_mut().alloc(4 * enclosure_vmem::PAGE_SIZE).unwrap();
+        let t0 = lb.now_ns();
+        lb.transfer(span, None, "libfx").unwrap();
+        assert_eq!(lb.now_ns() - t0, 1002);
+
+        let (mut lb, _f) = figure1(Backend::Vtx);
+        let span = lb.space_mut().alloc(4 * enclosure_vmem::PAGE_SIZE).unwrap();
+        let t0 = lb.now_ns();
+        lb.transfer(span, None, "libfx").unwrap();
+        assert_eq!(lb.now_ns() - t0, 158);
+    }
+
+    #[test]
+    fn transfer_validates_ownership() {
+        let (mut lb, f) = figure1(Backend::Mpk);
+        let span = lb.space_mut().alloc(enclosure_vmem::PAGE_SIZE).unwrap();
+        assert!(lb.transfer(span, Some("libfx"), "img").is_err());
+        // A range already owned by a package needs `from`.
+        assert!(lb.transfer(f.main.data(), None, "img").is_err());
+        assert!(lb.transfer(span, None, "ghost").is_err());
+    }
+
+    #[test]
+    fn init_rejects_duplicates_and_overlaps() {
+        let mut lb = LitterBox::new(Backend::Mpk);
+        let mut prog = ProgramDesc::new();
+        let a = prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
+        prog.add_package_desc(PackageDesc {
+            name: "b".into(),
+            sections: vec![Section::new("b.data", SectionKind::Data, a.data()).unwrap()],
+            deps: vec![],
+        });
+        assert!(matches!(lb.init(prog), Err(Fault::Init(_))));
+
+        let mut lb = LitterBox::new(Backend::Mpk);
+        let mut prog = ProgramDesc::new();
+        prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
+        prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
+        assert!(matches!(lb.init(prog), Err(Fault::Init(_))));
+    }
+
+    #[test]
+    fn init_rejects_unknown_view_packages_and_reserved_id() {
+        let mut lb = LitterBox::new(Backend::Mpk);
+        let mut prog = ProgramDesc::new();
+        prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
+        prog.add_enclosure(EnclosureDesc {
+            id: EnclosureId(1),
+            name: "e".into(),
+            view: [("ghost".to_string(), Access::R)].into_iter().collect(),
+            policy: SysPolicy::none(),
+        });
+        assert!(matches!(lb.init(prog), Err(Fault::Init(_))));
+
+        let mut lb = LitterBox::new(Backend::Mpk);
+        let mut prog = ProgramDesc::new();
+        prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
+        prog.add_enclosure(EnclosureDesc {
+            id: EnclosureId(0),
+            name: "bad".into(),
+            view: ViewMap::new(),
+            policy: SysPolicy::none(),
+        });
+        assert!(matches!(lb.init(prog), Err(Fault::Init(_))));
+    }
+
+    #[test]
+    fn mpk_rejects_ambiguous_pkru_filters() {
+        // Two enclosures with identical views but different syscall
+        // filters cannot be distinguished by PKRU-indexed seccomp.
+        let mut lb = LitterBox::new(Backend::Mpk);
+        let mut prog = ProgramDesc::new();
+        prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
+        for (id, cats) in [(1, CategorySet::NONE), (2, CategorySet::only(SysCategory::Net))] {
+            prog.add_enclosure(EnclosureDesc {
+                id: EnclosureId(id),
+                name: format!("e{id}"),
+                view: [("a".to_string(), Access::RWX)].into_iter().collect(),
+                policy: SysPolicy::categories(cats),
+            });
+        }
+        let err = lb.init(prog).unwrap_err();
+        assert!(matches!(err, Fault::Init(msg) if msg.contains("PKRU")));
+    }
+
+    #[test]
+    fn vtx_accepts_ambiguous_views_with_distinct_filters() {
+        // VT-x filters in the guest OS per environment, so the MPK
+        // limitation does not apply.
+        let mut lb = LitterBox::new(Backend::Vtx);
+        let mut prog = ProgramDesc::new();
+        prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
+        let cs = prog.verified_callsite();
+        for (id, cats) in [(1, CategorySet::NONE), (2, CategorySet::only(SysCategory::Proc))] {
+            prog.add_enclosure(EnclosureDesc {
+                id: EnclosureId(id),
+                name: format!("e{id}"),
+                view: [("a".to_string(), Access::RWX)].into_iter().collect(),
+                policy: SysPolicy::categories(cats),
+            });
+        }
+        lb.init(prog).unwrap();
+        let t = lb.prolog(EnclosureId(2), cs).unwrap();
+        lb.filter_syscall(SyscallRecord::new(Sysno::Getuid)).unwrap();
+        lb.epilog(t).unwrap();
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        assert!(lb.filter_syscall(SyscallRecord::new(Sysno::Getuid)).is_err());
+        lb.epilog(t).unwrap();
+    }
+
+    #[test]
+    fn execute_swaps_contexts_like_a_scheduler() {
+        let (mut lb, f) = figure1(Backend::Mpk);
+        // Goroutine A enters the enclosure.
+        let _token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        assert_eq!(lb.current_env(), EnvId(1));
+        // Scheduler preempts A, resumes goroutine B (trusted).
+        let ctx_a = lb.execute(EnvContext::trusted(), f.callsite).unwrap();
+        assert_eq!(lb.current_env(), TRUSTED_ENV);
+        lb.store_u64(f.os.data_start(), 5).unwrap();
+        // Resume A: restrictions return.
+        lb.execute(ctx_a, f.callsite).unwrap();
+        assert_eq!(lb.current_env(), EnvId(1));
+        assert!(lb.store_u64(f.os.data_start(), 6).is_err());
+    }
+
+    #[test]
+    fn epilog_requires_stack_discipline() {
+        let (mut lb, f) = figure1(Backend::Mpk);
+        let t1 = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        // Forge nothing: just epilog twice.
+        lb.epilog(t1).unwrap();
+        let t2 = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.epilog(t2).unwrap();
+        // Stack now empty; a stale token cannot epilog again.
+        let t3 = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        let t4_err = {
+            lb.epilog(t3).unwrap();
+            // Using a fabricated-out-of-order epilog: prolog twice, then
+            // epilog with the outer token first.
+            let outer = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+            let inner = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+            let err = lb.epilog(outer);
+            lb.epilog(inner).unwrap();
+            err
+        };
+        assert!(matches!(t4_err, Err(Fault::SwitchMismatch { .. })));
+    }
+
+    #[test]
+    fn clustering_is_exposed_and_small() {
+        let (lb, _f) = figure1(Backend::Mpk);
+        // 5 user packages + 2 litterbox packages collapse to a handful of
+        // meta-packages.
+        assert!(lb.clustering().len() <= 6);
+        assert!(lb.clustering().len() >= 3);
+    }
+
+    #[test]
+    fn init_accounts_delayed_initialization() {
+        let (lb, _f) = figure1(Backend::Vtx);
+        assert!(lb.init_ns() > 0);
+        let (lb_baseline, _f) = figure1(Backend::Baseline);
+        assert_eq!(lb_baseline.init_ns(), 0);
+    }
+
+    #[test]
+    fn environment_descriptions_are_complete() {
+        let (lb, _f) = figure1(Backend::Mpk);
+        let text = lb.describe_environments();
+        assert!(text.contains("'trusted'"));
+        assert!(text.contains("'rcl'"));
+        assert!(text.contains("secrets:R"));
+        assert!(text.contains("pkru:"));
+        assert!(lb.seccomp_program().is_some());
+
+        let (lb, _f) = figure1(Backend::Vtx);
+        let text = lb.describe_environments();
+        assert!(text.contains("page table:"));
+        assert!(lb.seccomp_program().is_none());
+    }
+
+    #[test]
+    fn mpk_init_rejects_wrpkru_in_untrusted_text() {
+        // ERIM-style screening (§5.3): a package whose text contains the
+        // WRPKRU encoding cannot be loaded under LB_MPK.
+        let mut lb = LitterBox::new(Backend::Mpk);
+        let mut prog = ProgramDesc::new();
+        let layout = prog.add_package(&mut lb, "evil", 1, 1, 1).unwrap();
+        lb.space_mut()
+            .write(layout.text_start() + 100, &crate::scan::WRPKRU)
+            .unwrap();
+        let err = lb.init(prog).unwrap_err();
+        assert!(matches!(err, Fault::Init(msg) if msg.contains("WRPKRU")));
+
+        // The same program loads fine under LB_VTX (no PKRU to protect).
+        let mut lb = LitterBox::new(Backend::Vtx);
+        let mut prog = ProgramDesc::new();
+        let layout = prog.add_package(&mut lb, "evil", 1, 1, 1).unwrap();
+        lb.space_mut()
+            .write(layout.text_start() + 100, &crate::scan::WRPKRU)
+            .unwrap();
+        lb.init(prog).unwrap();
+    }
+
+    #[test]
+    fn package_at_resolves_owners() {
+        let (lb, f) = figure1(Backend::Mpk);
+        assert_eq!(lb.package_at(f.libfx.text_start()), Some("libfx"));
+        assert_eq!(lb.package_at(f.secrets.data_start()), Some("secrets"));
+        assert_eq!(lb.package_at(Addr(0x10)), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Binary scanning for PKRU-writing instructions (§5.3).
+//!
+//! "Similar to Erim, LB_MPK scans the program to ensure that only the
+//! LitterBox package modifies the PKRU register." A single stray WRPKRU
+//! in untrusted text would let an enclosure lift its own restrictions,
+//! so `Init` refuses programs whose non-LitterBox text sections contain
+//! the instruction — the same policy ERIM enforces with its binary
+//! inspection pass.
+
+use enclosure_vmem::{Addr, AddressSpace, Section, SectionKind};
+
+/// The `WRPKRU` instruction encoding (`0F 01 EF`).
+pub const WRPKRU: [u8; 3] = [0x0f, 0x01, 0xef];
+
+/// The `XRSTOR` encoding (`0F AE 2F`), which can also load PKRU state —
+/// ERIM screens for both.
+pub const XRSTOR: [u8; 3] = [0x0f, 0xae, 0x2f];
+
+/// Scans a section's bytes for PKRU-writing instructions, returning the
+/// address of the first occurrence.
+///
+/// Only `Text` sections are scanned (data bytes that happen to match
+/// cannot execute: W^X holds for every section kind in the loader).
+#[must_use]
+pub fn scan_section(space: &AddressSpace, section: &Section) -> Option<Addr> {
+    if section.kind() != SectionKind::Text {
+        return None;
+    }
+    let range = section.range();
+    let Ok(bytes) = space.read_vec(range.start(), range.len()) else {
+        return None; // unbacked text cannot execute either
+    };
+    find_pkru_write(&bytes).map(|off| range.start() + off as u64)
+}
+
+/// Offset of the first WRPKRU/XRSTOR sequence in `bytes`, if any.
+#[must_use]
+pub fn find_pkru_write(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(3).position(|w| w == WRPKRU || w == XRSTOR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclosure_vmem::{VirtRange, PAGE_SIZE};
+
+    #[test]
+    fn clean_bytes_pass() {
+        assert_eq!(find_pkru_write(&[0u8; 4096]), None);
+        assert_eq!(find_pkru_write(&[0x0f, 0x01, 0xee]), None, "near miss");
+        assert_eq!(find_pkru_write(&[]), None);
+    }
+
+    #[test]
+    fn wrpkru_and_xrstor_are_found() {
+        let mut bytes = vec![0x90u8; 100];
+        bytes[40..43].copy_from_slice(&WRPKRU);
+        assert_eq!(find_pkru_write(&bytes), Some(40));
+        let mut bytes = vec![0x90u8; 100];
+        bytes[97..100].copy_from_slice(&XRSTOR);
+        assert_eq!(find_pkru_write(&bytes), Some(97));
+    }
+
+    #[test]
+    fn sequence_across_window_boundaries() {
+        // The window scan must catch unaligned occurrences.
+        for offset in 0..8 {
+            let mut bytes = vec![0u8; 16];
+            bytes[offset..offset + 3].copy_from_slice(&WRPKRU);
+            assert_eq!(find_pkru_write(&bytes), Some(offset), "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn scan_section_checks_text_only() {
+        let mut space = AddressSpace::new();
+        let range = space.alloc(PAGE_SIZE).unwrap();
+        let mut payload = vec![0u8; 16];
+        payload[4..7].copy_from_slice(&WRPKRU);
+        space.write(range.start(), &payload).unwrap();
+
+        let text = Section::new("x.text", SectionKind::Text, range).unwrap();
+        assert_eq!(scan_section(&space, &text), Some(range.start() + 4));
+
+        let data = Section::new("x.data", SectionKind::Data, range).unwrap();
+        assert_eq!(scan_section(&space, &data), None, "data never executes");
+
+        let _ = VirtRange::new(range.start(), 0); // silence unused import lint paths
+    }
+}

@@ -1,0 +1,69 @@
+//! Module definitions: what `pip install` put on the path, before import.
+
+use serde::{Deserialize, Serialize};
+
+/// A module available for import (registered, not yet loaded).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PyModuleDef {
+    name: String,
+    deps: Vec<String>,
+    loc: u64,
+}
+
+impl PyModuleDef {
+    /// A module with no dependencies and default size.
+    #[must_use]
+    pub fn new(name: &str) -> PyModuleDef {
+        PyModuleDef {
+            name: name.to_owned(),
+            deps: Vec::new(),
+            loc: 200,
+        }
+    }
+
+    /// Declares direct dependencies (imported when this module loads).
+    #[must_use]
+    pub fn deps(mut self, deps: &[&str]) -> PyModuleDef {
+        self.deps = deps.iter().map(|&d| d.to_owned()).collect();
+        self
+    }
+
+    /// Sets the module's lines of code (drives simulated parse/compile
+    /// cost at import).
+    #[must_use]
+    pub fn loc(mut self, loc: u64) -> PyModuleDef {
+        self.loc = loc;
+        self
+    }
+
+    /// The module name.
+    #[must_use]
+    pub fn name_str(&self) -> &str {
+        &self.name
+    }
+
+    /// Direct dependencies.
+    #[must_use]
+    pub fn dep_list(&self) -> &[String] {
+        &self.deps
+    }
+
+    /// Declared LOC.
+    #[must_use]
+    pub fn loc_value(&self) -> u64 {
+        self.loc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder() {
+        let m = PyModuleDef::new("matplotlib").deps(&["numpy"]).loc(110_000);
+        assert_eq!(m.name_str(), "matplotlib");
+        assert_eq!(m.dep_list(), ["numpy"]);
+        assert_eq!(m.loc_value(), 110_000);
+    }
+}

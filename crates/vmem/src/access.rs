@@ -1,0 +1,235 @@
+//! Read/write/execute permission bits.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::VmemError;
+
+/// A set of memory access rights.
+///
+/// These mirror the Unix-style rights the paper attaches to memory views
+/// (§2.2): `R` grants reads, `W` writes, `X` instruction fetches. The empty
+/// set ([`Access::NONE`]) corresponds to the `U` (unmapped) modifier.
+///
+/// `Access` is an ordinary value type: combine with `|`, test with
+/// [`Access::contains`], remove with `-`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Access(u8);
+
+impl Access {
+    /// No access at all (the `U` modifier).
+    pub const NONE: Access = Access(0);
+    /// Read access.
+    pub const R: Access = Access(0b001);
+    /// Write access.
+    pub const W: Access = Access(0b010);
+    /// Execute (instruction fetch) access.
+    pub const X: Access = Access(0b100);
+    /// Read + write.
+    pub const RW: Access = Access(0b011);
+    /// Read + execute (text sections).
+    pub const RX: Access = Access(0b101);
+    /// Read + write + execute.
+    pub const RWX: Access = Access(0b111);
+
+    /// Returns true if every right in `other` is present in `self`.
+    #[must_use]
+    pub fn contains(self, other: Access) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns true if no rights are granted.
+    #[must_use]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the intersection of two right sets.
+    #[must_use]
+    pub fn intersection(self, other: Access) -> Access {
+        Access(self.0 & other.0)
+    }
+
+    /// True if `self` grants no right that `other` lacks.
+    ///
+    /// This is the partial order used for the paper's monotone-restriction
+    /// rule: a switch may only enter an environment whose rights are a
+    /// subset of the current ones (§2.2, "a switch can only enter an equal
+    /// or more restrictive environment").
+    #[must_use]
+    pub fn is_subset_of(self, other: Access) -> bool {
+        other.contains(self)
+    }
+
+    /// The raw bit pattern (bit 0 = R, bit 1 = W, bit 2 = X).
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds an `Access` from raw bits, ignoring unknown bits.
+    #[must_use]
+    pub fn from_bits_truncate(bits: u8) -> Access {
+        Access(bits & 0b111)
+    }
+}
+
+impl BitOr for Access {
+    type Output = Access;
+    fn bitor(self, rhs: Access) -> Access {
+        Access(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Access {
+    fn bitor_assign(&mut self, rhs: Access) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Access {
+    type Output = Access;
+    fn bitand(self, rhs: Access) -> Access {
+        Access(self.0 & rhs.0)
+    }
+}
+
+impl Sub for Access {
+    type Output = Access;
+    fn sub(self, rhs: Access) -> Access {
+        Access(self.0 & !rhs.0)
+    }
+}
+
+impl Not for Access {
+    type Output = Access;
+    fn not(self) -> Access {
+        Access(!self.0 & 0b111)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return write!(f, "U");
+        }
+        if self.contains(Access::R) {
+            write!(f, "R")?;
+        }
+        if self.contains(Access::W) {
+            write!(f, "W")?;
+        }
+        if self.contains(Access::X) {
+            write!(f, "X")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Access({self})")
+    }
+}
+
+impl FromStr for Access {
+    type Err = VmemError;
+
+    /// Parses the paper's memory-modifier syntax: `U`, `R`, `RW`, `RWX`
+    /// (case-insensitive; also accepts `RX` and `W`/`X` singletons for
+    /// completeness).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        if trimmed.eq_ignore_ascii_case("U") {
+            return Ok(Access::NONE);
+        }
+        let mut acc = Access::NONE;
+        for ch in trimmed.chars() {
+            match ch.to_ascii_uppercase() {
+                'R' => acc |= Access::R,
+                'W' => acc |= Access::W,
+                'X' => acc |= Access::X,
+                other => {
+                    return Err(VmemError::BadAccessSpec {
+                        spec: s.to_owned(),
+                        offending: other,
+                    })
+                }
+            }
+        }
+        if acc.is_none() {
+            return Err(VmemError::BadAccessSpec {
+                spec: s.to_owned(),
+                offending: ' ',
+            });
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_ops() {
+        assert!(Access::RWX.contains(Access::RW));
+        assert!(!Access::R.contains(Access::W));
+        assert_eq!(Access::R | Access::W, Access::RW);
+        assert_eq!(Access::RWX - Access::X, Access::RW);
+        assert_eq!(Access::RW & Access::RX, Access::R);
+        assert_eq!(!Access::R, Access::W | Access::X);
+    }
+
+    #[test]
+    fn subset_partial_order() {
+        assert!(Access::R.is_subset_of(Access::RW));
+        assert!(Access::NONE.is_subset_of(Access::R));
+        assert!(!Access::RW.is_subset_of(Access::R));
+        assert!(Access::RWX.is_subset_of(Access::RWX));
+    }
+
+    #[test]
+    fn parse_paper_modifiers() {
+        assert_eq!("U".parse::<Access>().unwrap(), Access::NONE);
+        assert_eq!("R".parse::<Access>().unwrap(), Access::R);
+        assert_eq!("RW".parse::<Access>().unwrap(), Access::RW);
+        assert_eq!("RWX".parse::<Access>().unwrap(), Access::RWX);
+        assert_eq!("rwx".parse::<Access>().unwrap(), Access::RWX);
+        assert_eq!(" rx ".parse::<Access>().unwrap(), Access::RX);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("Q".parse::<Access>().is_err());
+        assert!("".parse::<Access>().is_err());
+        assert!("R W".parse::<Access>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for acc in [
+            Access::NONE,
+            Access::R,
+            Access::RW,
+            Access::RX,
+            Access::RWX,
+            Access::W,
+            Access::X,
+        ] {
+            let shown = acc.to_string();
+            assert_eq!(shown.parse::<Access>().unwrap(), acc, "roundtrip {shown}");
+        }
+    }
+
+    #[test]
+    fn from_bits_truncates_unknown() {
+        assert_eq!(Access::from_bits_truncate(0xff), Access::RWX);
+        assert_eq!(Access::from_bits_truncate(0b001), Access::R);
+    }
+}

@@ -1,0 +1,300 @@
+//! Typed virtual addresses, page indices, and ranges.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// log2 of the page size (4 KiB pages, as on x86-64).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Size of a simulated page in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// A virtual address inside the simulated address space.
+///
+/// `Addr` is a plain 64-bit value with page arithmetic helpers; it cannot be
+/// confused with lengths or page indices thanks to the newtype.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The zero address. Never mapped; useful as a sentinel.
+    pub const NULL: Addr = Addr(0);
+
+    /// Returns the page this address falls on.
+    #[must_use]
+    pub fn page(self) -> PageIdx {
+        PageIdx(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset of this address within its page.
+    #[must_use]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Rounds down to the start of the containing page.
+    #[must_use]
+    pub fn page_align_down(self) -> Addr {
+        Addr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Rounds up to the next page boundary (identity if already aligned).
+    #[must_use]
+    pub fn page_align_up(self) -> Addr {
+        Addr(self.0.checked_add(PAGE_SIZE - 1).expect("address overflow") & !(PAGE_SIZE - 1))
+    }
+
+    /// True if the address is page aligned.
+    #[must_use]
+    pub fn is_page_aligned(self) -> bool {
+        self.page_offset() == 0
+    }
+
+    /// Checked addition of a byte offset.
+    #[must_use]
+    pub fn checked_add(self, rhs: u64) -> Option<Addr> {
+        self.0.checked_add(rhs).map(Addr)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// Index of a virtual page (address divided by [`PAGE_SIZE`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageIdx(pub u64);
+
+impl PageIdx {
+    /// The address of the first byte of this page.
+    #[must_use]
+    pub fn base(self) -> Addr {
+        Addr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The page immediately after this one.
+    #[must_use]
+    pub fn next(self) -> PageIdx {
+        PageIdx(self.0 + 1)
+    }
+}
+
+impl fmt::Display for PageIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// Number of pages needed to hold `len` bytes.
+#[must_use]
+pub fn page_count(len: u64) -> u64 {
+    len.div_ceil(PAGE_SIZE)
+}
+
+/// A half-open `[start, start + len)` range of virtual addresses.
+///
+/// Ranges produced by [`crate::AddressSpace::alloc`] are always page aligned;
+/// arbitrary sub-ranges can be formed with [`VirtRange::new`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtRange {
+    start: Addr,
+    len: u64,
+}
+
+impl VirtRange {
+    /// Creates a range starting at `start` spanning `len` bytes.
+    #[must_use]
+    pub fn new(start: Addr, len: u64) -> VirtRange {
+        VirtRange { start, len }
+    }
+
+    /// First address of the range.
+    #[must_use]
+    pub fn start(&self) -> Addr {
+        self.start
+    }
+
+    /// One past the last address of the range.
+    #[must_use]
+    pub fn end(&self) -> Addr {
+        Addr(self.start.0 + self.len)
+    }
+
+    /// Length of the range in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the range is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if `addr` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// True if the whole `[addr, addr + len)` span is inside the range.
+    #[must_use]
+    pub fn contains_span(&self, addr: Addr, len: u64) -> bool {
+        let Some(end) = addr.checked_add(len) else {
+            return false;
+        };
+        addr >= self.start && end <= self.end()
+    }
+
+    /// True if the two ranges share at least one byte.
+    #[must_use]
+    pub fn overlaps(&self, other: &VirtRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end() && other.start < self.end()
+    }
+
+    /// True if both endpoints are page aligned.
+    #[must_use]
+    pub fn is_page_aligned(&self) -> bool {
+        self.start.is_page_aligned() && self.len % PAGE_SIZE == 0
+    }
+
+    /// Iterates over every page the range touches.
+    pub fn pages(&self) -> impl Iterator<Item = PageIdx> {
+        let first = self.start.page().0;
+        let last = if self.len == 0 {
+            first
+        } else {
+            Addr(self.start.0 + self.len - 1).page().0 + 1
+        };
+        (first..last).map(PageIdx)
+    }
+
+    /// Number of pages the range touches.
+    #[must_use]
+    pub fn page_len(&self) -> u64 {
+        if self.len == 0 {
+            0
+        } else {
+            Addr(self.start.0 + self.len - 1).page().0 - self.start.page().0 + 1
+        }
+    }
+}
+
+impl fmt::Display for VirtRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start.0, self.start.0 + self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_page_math() {
+        let a = Addr(PAGE_SIZE * 3 + 17);
+        assert_eq!(a.page(), PageIdx(3));
+        assert_eq!(a.page_offset(), 17);
+        assert_eq!(a.page_align_down(), Addr(PAGE_SIZE * 3));
+        assert_eq!(a.page_align_up(), Addr(PAGE_SIZE * 4));
+        assert!(!a.is_page_aligned());
+        assert!(a.page_align_down().is_page_aligned());
+    }
+
+    #[test]
+    fn aligned_addr_rounds_to_itself() {
+        let a = Addr(PAGE_SIZE * 5);
+        assert_eq!(a.page_align_up(), a);
+        assert_eq!(a.page_align_down(), a);
+    }
+
+    #[test]
+    fn page_idx_base_roundtrip() {
+        let p = PageIdx(42);
+        assert_eq!(p.base().page(), p);
+        assert_eq!(p.next(), PageIdx(43));
+    }
+
+    #[test]
+    fn page_count_rounding() {
+        assert_eq!(page_count(0), 0);
+        assert_eq!(page_count(1), 1);
+        assert_eq!(page_count(PAGE_SIZE), 1);
+        assert_eq!(page_count(PAGE_SIZE + 1), 2);
+    }
+
+    #[test]
+    fn range_contains_and_overlap() {
+        let r = VirtRange::new(Addr(0x1000), 0x2000);
+        assert!(r.contains(Addr(0x1000)));
+        assert!(r.contains(Addr(0x2fff)));
+        assert!(!r.contains(Addr(0x3000)));
+        assert!(r.contains_span(Addr(0x1000), 0x2000));
+        assert!(!r.contains_span(Addr(0x1000), 0x2001));
+
+        let s = VirtRange::new(Addr(0x2fff), 1);
+        assert!(r.overlaps(&s));
+        let t = VirtRange::new(Addr(0x3000), 0x1000);
+        assert!(!r.overlaps(&t));
+    }
+
+    #[test]
+    fn empty_range_never_overlaps() {
+        let e = VirtRange::new(Addr(0x1000), 0);
+        let r = VirtRange::new(Addr(0x0), 0x10000);
+        assert!(!e.overlaps(&r));
+        assert!(!r.overlaps(&e));
+        assert_eq!(e.page_len(), 0);
+    }
+
+    #[test]
+    fn range_pages_iteration() {
+        let r = VirtRange::new(Addr(PAGE_SIZE - 1), 2);
+        let pages: Vec<_> = r.pages().collect();
+        assert_eq!(pages, vec![PageIdx(0), PageIdx(1)]);
+        assert_eq!(r.page_len(), 2);
+    }
+
+    #[test]
+    fn contains_span_rejects_overflow() {
+        let r = VirtRange::new(Addr(0), u64::MAX);
+        assert!(!r.contains_span(Addr(1), u64::MAX));
+    }
+}

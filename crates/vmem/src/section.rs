@@ -1,0 +1,165 @@
+//! LitterBox's *section* abstraction (§4.1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Access, VirtRange, VmemError};
+
+/// What a section holds, mirroring the ELF sections the Go frontend emits
+/// (Figure 4): `.text` (RX), `.rodata` (R), `.data` (RW), plus heap arenas
+/// and stacks managed by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SectionKind {
+    /// Executable code (`.text`).
+    Text,
+    /// Read-only constants (`.rodata`).
+    Rodata,
+    /// Mutable globals (`.data`).
+    Data,
+    /// Dynamically allocated heap memory (a package's arena).
+    Arena,
+    /// A stack segment.
+    Stack,
+}
+
+impl SectionKind {
+    /// The default access rights for this kind of section.
+    #[must_use]
+    pub fn default_rights(self) -> Access {
+        match self {
+            SectionKind::Text => Access::RX,
+            SectionKind::Rodata => Access::R,
+            SectionKind::Data | SectionKind::Arena | SectionKind::Stack => Access::RW,
+        }
+    }
+
+    /// The conventional ELF-style name for the section kind.
+    #[must_use]
+    pub fn elf_name(self) -> &'static str {
+        match self {
+            SectionKind::Text => ".text",
+            SectionKind::Rodata => ".rodata",
+            SectionKind::Data => ".data",
+            SectionKind::Arena => ".arena",
+            SectionKind::Stack => ".stack",
+        }
+    }
+}
+
+impl fmt::Display for SectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.elf_name())
+    }
+}
+
+/// A contiguous, page-aligned virtual memory region with default access
+/// rights — LitterBox's unit of memory description (§4.1).
+///
+/// Sections are plain descriptions; the bytes live in
+/// [`crate::AddressSpace`] and per-environment rights live in
+/// [`crate::PageTable`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Section {
+    name: String,
+    kind: SectionKind,
+    range: VirtRange,
+}
+
+impl Section {
+    /// Creates a section description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::Unaligned`] if `range` is not page aligned —
+    /// LitterBox validates alignment during `Init` (§5.3).
+    pub fn new(
+        name: impl Into<String>,
+        kind: SectionKind,
+        range: VirtRange,
+    ) -> Result<Section, VmemError> {
+        if !range.is_page_aligned() {
+            return Err(VmemError::Unaligned { range });
+        }
+        Ok(Section {
+            name: name.into(),
+            kind,
+            range,
+        })
+    }
+
+    /// The section's name (e.g. `"libfx.text"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What the section holds.
+    #[must_use]
+    pub fn kind(&self) -> SectionKind {
+        self.kind
+    }
+
+    /// The virtual range the section occupies.
+    #[must_use]
+    pub fn range(&self) -> VirtRange {
+        self.range
+    }
+
+    /// Default access rights, derived from the section kind.
+    #[must_use]
+    pub fn default_rights(&self) -> Access {
+        self.kind.default_rights()
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} ({})",
+            self.name,
+            self.kind,
+            self.range,
+            self.default_rights()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, PAGE_SIZE};
+
+    #[test]
+    fn kinds_have_expected_rights() {
+        assert_eq!(SectionKind::Text.default_rights(), Access::RX);
+        assert_eq!(SectionKind::Rodata.default_rights(), Access::R);
+        assert_eq!(SectionKind::Data.default_rights(), Access::RW);
+        assert_eq!(SectionKind::Arena.default_rights(), Access::RW);
+        assert_eq!(SectionKind::Stack.default_rights(), Access::RW);
+    }
+
+    #[test]
+    fn new_rejects_unaligned() {
+        let bad = VirtRange::new(Addr(12), PAGE_SIZE);
+        assert!(matches!(
+            Section::new("x", SectionKind::Data, bad),
+            Err(VmemError::Unaligned { .. })
+        ));
+        let bad_len = VirtRange::new(Addr(0), 100);
+        assert!(Section::new("x", SectionKind::Data, bad_len).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let r = VirtRange::new(Addr(PAGE_SIZE), 2 * PAGE_SIZE);
+        let s = Section::new("libfx.text", SectionKind::Text, r).unwrap();
+        assert_eq!(s.name(), "libfx.text");
+        assert_eq!(s.kind(), SectionKind::Text);
+        assert_eq!(s.range(), r);
+        assert_eq!(s.default_rights(), Access::RX);
+        assert!(s.to_string().contains(".text"));
+    }
+}

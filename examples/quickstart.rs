@@ -1,0 +1,91 @@
+//! Quickstart — Figure 1 of the paper, end to end.
+//!
+//! A 5-package program where `main` holds a private key, `secrets` holds
+//! a sensitive image, and the public package `libfx` (with its transitive
+//! dependency `img`) must invert the image without being able to modify
+//! it, touch the key, or make a single system call:
+//!
+//! ```text
+//! rcl := with [secrets: R, none] func() { libFx.Invert(original) }
+//! ```
+//!
+//! Run with: `cargo run --example quickstart`
+
+use enclosure_core::{App, Enclosure, Policy};
+use litterbox::{Backend, Fault};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 1's package-dependence graph.
+    let mut app = App::builder("figure1")
+        .package("main", &["img", "libfx", "secrets", "os"])
+        .package("img", &[])
+        .package("libfx", &["img"])
+        .package("secrets", &["os"])
+        .package("os", &[])
+        .build(Backend::Mpk)?;
+
+    // The sensitive image lives in secrets; the private key in main.
+    let original = app.info.data_start("secrets");
+    let private_key = app.info.data_start("main");
+    app.lb.store_u64(original, 0x00ff_00ff)?;
+    app.lb.store_u64(private_key, 0x5ec2e7)?;
+
+    // Declare the enclosure: natural deps (libfx, img) + secrets read-only,
+    // no system calls.
+    let mut rcl = Enclosure::declare(
+        &mut app,
+        "rcl",
+        &["libfx", "img"],
+        Policy::parse("secrets: R, none")?,
+        move |ctx, ()| {
+            let lb = &mut *ctx.lb;
+            // ✔ Reading the shared image works.
+            let image = lb.load_u64(ctx.info.data_start("secrets"))?;
+            let inverted = !image & 0xffff_ffff;
+
+            // ✘ Writing it faults (integrity).
+            let write_attempt = lb.store_u64(ctx.info.data_start("secrets"), 0);
+            println!("  write to secrets inside rcl -> {:?}", write_attempt.unwrap_err());
+
+            // ✘ The private key is not even mapped (confidentiality).
+            let key_attempt = lb.load_u64(ctx.info.data_start("main"));
+            println!("  read of main.privateKey     -> {:?}", key_attempt.unwrap_err());
+
+            // ✘ No exfiltration: every syscall is filtered out.
+            let sock_attempt = lb.sys_socket();
+            println!("  socket() inside rcl         -> {:?}", sock_attempt.unwrap_err());
+
+            Ok(inverted)
+        },
+    )?;
+
+    println!("calling the rcl enclosure (LB_MPK backend):");
+    let inverted = rcl.call(&mut app, ())?;
+    println!("  inverted image value        -> {inverted:#010x}");
+    assert_eq!(inverted, 0xff00_ff00);
+
+    // Back outside, trusted code has full access again.
+    assert_eq!(app.lb.load_u64(private_key)?, 0x5ec2e7);
+    println!(
+        "simulated cost of the run: {} ns ({} enclosure switch pairs)",
+        app.lb.now_ns(),
+        app.lb.stats().switch_pairs
+    );
+
+    // The same enclosure, reused: still enforced.
+    let again = rcl.call(&mut app, ())?;
+    assert_eq!(again, inverted);
+    println!("reused the closure; policy enforced again. done.");
+
+    // Demonstrate that a fault aborts the computation with a trace.
+    let mut evil = Enclosure::declare(
+        &mut app,
+        "evil",
+        &["libfx"],
+        Policy::default_policy(),
+        move |ctx, ()| ctx.lb.load_u64(private_key).map(|_| ()),
+    )?;
+    let fault: Fault = evil.call(&mut app, ()).unwrap_err();
+    println!("fault trace from a malicious closure:\n  {fault}");
+    Ok(())
+}

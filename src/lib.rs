@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the Enclosure reproduction workspace.
+pub use enclosure_apps as apps;
+pub use enclosure_core as core;
+pub use enclosure_gofront as gofront;
+pub use enclosure_hw as hw;
+pub use enclosure_kernel as kernel;
+pub use enclosure_pyfront as pyfront;
+pub use enclosure_vmem as vmem;
+pub use litterbox;
