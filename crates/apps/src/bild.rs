@@ -134,7 +134,9 @@ impl BildApp {
                 let mut out = vec![0u8; line.len()];
                 for (px_out, px) in out.chunks_mut(4).zip(line.chunks(4)) {
                     // ITU-R BT.601 luma, integer approximation.
-                    let y = (299 * u32::from(px[0]) + 587 * u32::from(px[1]) + 114 * u32::from(px[2])) / 1000;
+                    let y =
+                        (299 * u32::from(px[0]) + 587 * u32::from(px[1]) + 114 * u32::from(px[2]))
+                            / 1000;
                     let y = u8::try_from(y.min(255)).expect("clamped");
                     px_out.copy_from_slice(&[y, y, y, px[3]]);
                 }
@@ -213,7 +215,8 @@ impl BildApp {
             let line: Vec<u8> = (0..cfg.row_bytes())
                 .map(|i| ((row * 7 + i) % 251) as u8)
                 .collect();
-            rt.lb_mut().store(src_image + row * cfg.row_bytes(), &line)?;
+            rt.lb_mut()
+                .store(src_image + row * cfg.row_bytes(), &line)?;
         }
         Ok(BildApp { rt, cfg, src_image })
     }
@@ -244,10 +247,11 @@ impl BildApp {
         // Route through the enclosure: Invert's entry is the enclosure
         // boundary; inside, dispatch to the requested op.
         let src = self.src_image;
-        self.rt.register_fn("bild.Dispatch", move |ctx, arg: GoValue| {
-            let op = arg.as_str()?;
-            ctx.call(&op, GoValue::Ptr(src))
-        });
+        self.rt
+            .register_fn("bild.Dispatch", move |ctx, arg: GoValue| {
+                let op = arg.as_str()?;
+                ctx.call(&op, GoValue::Ptr(src))
+            });
         // bild.Dispatch lives in the bild package, so the rcl enclosure
         // may invoke it.
         let enc = self.rt.enclosure("rcl").expect("rcl exists");
@@ -306,16 +310,11 @@ impl BildApp {
                     dst_holder = Some(dst);
                     let stripe = cfg.height.div_ceil(workers.max(1));
                     for w in 0..workers.max(1) {
-                        let (from, to) = (
-                            w * stripe,
-                            ((w + 1) * stripe).min(cfg.height),
-                        );
+                        let (from, to) = (w * stripe, ((w + 1) * stripe).min(cfg.height));
                         ctx.spawn(&format!("bild-worker-{w}"), move |ctx| {
                             for row in from..to {
-                                let line =
-                                    ctx.lb().load(src + row * row_bytes, row_bytes)?;
-                                let inverted: Vec<u8> =
-                                    line.iter().map(|&b| 255 - b).collect();
+                                let line = ctx.lb().load(src + row * row_bytes, row_bytes)?;
+                                let inverted: Vec<u8> = line.iter().map(|&b| 255 - b).collect();
                                 ctx.lb_mut().store(dst + row * row_bytes, &inverted)?;
                                 ctx.compute(cfg.width * cfg.pixel_ns);
                             }
@@ -379,10 +378,7 @@ impl BildApp {
         let bytes = self.cfg.row_bytes() * self.cfg.height;
         let src = self.rt.lb().load(self.src_image, bytes)?;
         let dst = self.rt.lb().load(run.output, bytes)?;
-        Ok(src
-            .iter()
-            .zip(dst.iter())
-            .all(|(&s, &d)| d == 255 - s))
+        Ok(src.iter().zip(dst.iter()).all(|(&s, &d)| d == 255 - s))
     }
 }
 
@@ -407,17 +403,20 @@ mod tests {
         let cfg = BildConfig::tiny();
         let mut program = GoProgram::new();
         program.add_source(GoSource::new("bild").loc(160_500));
-        program.add_source(
-            GoSource::new("main")
-                .imports(&["bild"])
-                .enclosure("rcl", "bild.Invert", "main: R, none"),
-        );
+        program.add_source(GoSource::new("main").imports(&["bild"]).enclosure(
+            "rcl",
+            "bild.Invert",
+            "main: R, none",
+        ));
         let mut rt = program.build(Backend::Mpk).unwrap();
         rt.register_fn("main.alloc_image", |ctx, arg: GoValue| {
             Ok(GoValue::Ptr(ctx.malloc(arg.as_int()?)?))
         });
         let img = rt
-            .call("main.alloc_image", GoValue::Int(cfg.row_bytes() * cfg.height))
+            .call(
+                "main.alloc_image",
+                GoValue::Int(cfg.row_bytes() * cfg.height),
+            )
             .unwrap()
             .as_ptr()
             .unwrap();
@@ -511,9 +510,10 @@ mod tests {
         });
         // main.privateKey doesn't exist in this program; use the image.
         let src = app.source();
-        app.runtime_mut().register_fn("bild.Evil", move |ctx, _arg| {
-            ctx.lb_mut().store(src, &[0]).map(|()| GoValue::Ptr(src))
-        });
+        app.runtime_mut()
+            .register_fn("bild.Evil", move |ctx, _arg| {
+                ctx.lb_mut().store(src, &[0]).map(|()| GoValue::Ptr(src))
+            });
         let err = app.run_op("bild.Evil").unwrap_err();
         assert!(matches!(err, Fault::Memory(_)));
     }

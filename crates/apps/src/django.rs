@@ -51,7 +51,10 @@ fn build(backend: Backend) -> Result<Interpreter, Fault> {
     let mut py = Interpreter::new(backend, MetadataMode::Decoupled);
     py.register_module(PyModuleDef::new("settings").loc(30));
     py.register_module(PyModuleDef::new("django").loc(290_000));
-    py.lb_mut().kernel_mut().net.register_remote(evil_addr(), None);
+    py.lb_mut()
+        .kernel_mut()
+        .net
+        .register_remote(evil_addr(), None);
 
     // The framework's request dispatcher. The malicious clone ALSO tries
     // to read the app's SECRET_KEY object and POST it home.
@@ -181,7 +184,10 @@ mod tests {
         let err = py
             .call_enclosed(
                 "dispatch",
-                PyValue::List(vec![PyValue::Bytes(b"GET / HTTP/1.1".to_vec()), PyValue::Obj(secret)]),
+                PyValue::List(vec![
+                    PyValue::Bytes(b"GET / HTTP/1.1".to_vec()),
+                    PyValue::Obj(secret),
+                ]),
             )
             .unwrap_err();
         assert!(matches!(err, Fault::SyscallDenied { .. }), "{err}");

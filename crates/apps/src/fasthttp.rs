@@ -206,10 +206,9 @@ impl FastHttpApp {
                     let ok = parts[1].as_bool()?;
                     ctx.compute(handler_ns);
                     let body: Vec<u8> = if ok {
-                        let mut response = format!(
-                            "HTTP/1.1 200 OK\r\nContent-Length: {PAGE_SIZE_BYTES}\r\n\r\n"
-                        )
-                        .into_bytes();
+                        let mut response =
+                            format!("HTTP/1.1 200 OK\r\nContent-Length: {PAGE_SIZE_BYTES}\r\n\r\n")
+                                .into_bytes();
                         response.extend(
                             b"<html>fast</html>"
                                 .iter()
@@ -303,7 +302,11 @@ mod tests {
             );
         }
         let (base, mpk, vtx) = (rates[0], rates[1], rates[2]);
-        assert!(base / mpk < 1.15, "MPK close to baseline: {:.3}", base / mpk);
+        assert!(
+            base / mpk < 1.15,
+            "MPK close to baseline: {:.3}",
+            base / mpk
+        );
         assert!(base / vtx > 1.5, "VT-x pays dearly: {:.3}", base / vtx);
         assert!(base / vtx > base / mpk);
     }

@@ -161,7 +161,10 @@ impl HttpApp {
         });
 
         // Bind + listen (trusted setup).
-        let listen_fd = rt.lb_mut().sys_socket().map_err(|e| Fault::Init(e.to_string()))?;
+        let listen_fd = rt
+            .lb_mut()
+            .sys_socket()
+            .map_err(|e| Fault::Init(e.to_string()))?;
         rt.lb_mut()
             .sys_bind(listen_fd, SockAddr::local(HTTP_PORT))
             .map_err(|e| Fault::Init(e.to_string()))?;

@@ -1,10 +1,8 @@
 //! A miniature of the gorilla/mux request router (§6.3): parses an HTTP
 //! request line and routes it to the wiki's view/save handlers.
 
-use serde::{Deserialize, Serialize};
-
 /// A routed wiki request.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Route {
     /// `GET /view/<title>`.
     View {

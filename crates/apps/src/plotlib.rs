@@ -68,6 +68,10 @@ pub struct PlotRun {
     pub refcount_ops: u64,
     /// Bytes written to the output file.
     pub output_bytes: u64,
+    /// The run's full telemetry counter set (switches, VM EXITs,
+    /// init ns, ...): the single source of truth the §6.4 breakdown is
+    /// derived from.
+    pub counters: enclosure_telemetry::Counters,
 }
 
 /// Builds the Python program: `secret`, `numpy`, `plotlib` (the
@@ -76,11 +80,7 @@ pub struct PlotRun {
 /// # Errors
 ///
 /// Build/import faults.
-pub fn build(
-    backend: Backend,
-    mode: MetadataMode,
-    cfg: PlotConfig,
-) -> Result<Interpreter, Fault> {
+pub fn build(backend: Backend, mode: MetadataMode, cfg: PlotConfig) -> Result<Interpreter, Fault> {
     let mut py = Interpreter::new(backend, mode);
     py.register_module(PyModuleDef::new("secret").loc(40));
     py.register_module(PyModuleDef::new("numpy").loc(50_000));
@@ -152,6 +152,17 @@ pub fn build(
 /// Any fault from the run.
 pub fn run(backend: Backend, mode: MetadataMode, cfg: PlotConfig) -> Result<PlotRun, Fault> {
     let mut py = build(backend, mode, cfg)?;
+    run_on(&mut py, cfg)
+}
+
+/// Drives an already-[`build`]t interpreter through the workload. The
+/// interpreter stays alive afterwards so callers can inspect its
+/// telemetry (cost attribution spans, the event ring, raw counters).
+///
+/// # Errors
+///
+/// Any fault from the run.
+pub fn run_on(py: &mut Interpreter, cfg: PlotConfig) -> Result<PlotRun, Fault> {
     // Secret data: a sine-ish series owned by the secret module.
     let mut bytes = Vec::with_capacity((cfg.points * 8) as usize);
     for i in 0..cfg.points {
@@ -171,6 +182,7 @@ pub fn run(backend: Backend, mode: MetadataMode, cfg: PlotConfig) -> Result<Plot
         metadata_switches: stats.metadata_switches,
         refcount_ops: stats.refcount_ops,
         output_bytes: u64::try_from(written).expect("non-negative"),
+        counters: *py.lb().telemetry().counters(),
     })
 }
 

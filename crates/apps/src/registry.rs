@@ -1,10 +1,8 @@
 //! GitHub package metadata backing Table 2's benchmark-information
 //! columns (app TCB LOC, enclosed LOC, stars, contributors, public deps).
 
-use serde::{Deserialize, Serialize};
-
 /// Metadata for one Table 2 row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchmarkInfo {
     /// Benchmark name.
     pub benchmark: &'static str,

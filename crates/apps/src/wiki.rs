@@ -124,63 +124,64 @@ impl WikiApp {
         let mut listen: Option<u32> = None;
         let mut accepted = 0u64;
         let mut replied = 0u64;
-        self.rt.spawn_enclosed("wiki-server", "server_enc", move |ctx| {
-            let listen_fd = match listen {
-                Some(fd) => fd,
-                None => {
-                    let fd = ctx.lb_mut().sys_socket().map_err(io_fault)?;
-                    ctx.lb_mut()
-                        .sys_bind(fd, SockAddr::local(WIKI_PORT))
-                        .map_err(io_fault)?;
-                    ctx.lb_mut().sys_listen(fd).map_err(io_fault)?;
-                    listen = Some(fd);
-                    return Ok(Step::Yield);
-                }
-            };
-            if accepted < n {
-                match ctx.lb_mut().sys_accept(listen_fd) {
-                    Ok(conn) => {
-                        let raw = ctx.lb_mut().sys_recv(conn, 8192).map_err(io_fault)?;
-                        ctx.compute(8_000); // mux parse + route
-                        let (kind, title, body) = match route(&raw) {
-                            Route::View { title } => ("view", title, String::new()),
-                            Route::Save { title, body } => ("save", title, body),
-                            Route::NotFound => ("404", String::new(), String::new()),
-                        };
-                        if ctx.chan_send(
-                            parsed_ch,
-                            GoValue::Tuple(vec![
-                                GoValue::Int(u64::from(conn)),
-                                GoValue::Str(kind.to_owned()),
-                                GoValue::Str(title),
-                                GoValue::Str(body),
-                            ]),
-                        )? {
-                            accepted += 1;
-                        }
+        self.rt
+            .spawn_enclosed("wiki-server", "server_enc", move |ctx| {
+                let listen_fd = match listen {
+                    Some(fd) => fd,
+                    None => {
+                        let fd = ctx.lb_mut().sys_socket().map_err(io_fault)?;
+                        ctx.lb_mut()
+                            .sys_bind(fd, SockAddr::local(WIKI_PORT))
+                            .map_err(io_fault)?;
+                        ctx.lb_mut().sys_listen(fd).map_err(io_fault)?;
+                        listen = Some(fd);
+                        return Ok(Step::Yield);
                     }
-                    Err(SysError::Errno(_)) => {}
-                    Err(e) => return Err(io_fault(e)),
+                };
+                if accepted < n {
+                    match ctx.lb_mut().sys_accept(listen_fd) {
+                        Ok(conn) => {
+                            let raw = ctx.lb_mut().sys_recv(conn, 8192).map_err(io_fault)?;
+                            ctx.compute(8_000); // mux parse + route
+                            let (kind, title, body) = match route(&raw) {
+                                Route::View { title } => ("view", title, String::new()),
+                                Route::Save { title, body } => ("save", title, body),
+                                Route::NotFound => ("404", String::new(), String::new()),
+                            };
+                            if ctx.chan_send(
+                                parsed_ch,
+                                GoValue::Tuple(vec![
+                                    GoValue::Int(u64::from(conn)),
+                                    GoValue::Str(kind.to_owned()),
+                                    GoValue::Str(title),
+                                    GoValue::Str(body),
+                                ]),
+                            )? {
+                                accepted += 1;
+                            }
+                        }
+                        Err(SysError::Errno(_)) => {}
+                        Err(e) => return Err(io_fault(e)),
+                    }
                 }
-            }
-            match ctx.chan_recv(reply_ch)? {
-                Recv::Value(v) => {
-                    let parts = v.as_tuple()?;
-                    let conn = u32::try_from(parts[0].as_int()?).expect("fd fits");
-                    let response = parts[1].as_bytes()?;
-                    ctx.lb_mut().sys_send(conn, &response).map_err(io_fault)?;
-                    ctx.lb_mut().sys_close(conn).map_err(io_fault)?;
-                    replied += 1;
+                match ctx.chan_recv(reply_ch)? {
+                    Recv::Value(v) => {
+                        let parts = v.as_tuple()?;
+                        let conn = u32::try_from(parts[0].as_int()?).expect("fd fits");
+                        let response = parts[1].as_bytes()?;
+                        ctx.lb_mut().sys_send(conn, &response).map_err(io_fault)?;
+                        ctx.lb_mut().sys_close(conn).map_err(io_fault)?;
+                        replied += 1;
+                    }
+                    Recv::Empty => {}
+                    Recv::Closed => return Ok(Step::Done),
                 }
-                Recv::Empty => {}
-                Recv::Closed => return Ok(Step::Done),
-            }
-            if replied == n {
-                ctx.chan_close(parsed_ch)?;
-                return Ok(Step::Done);
-            }
-            Ok(Step::Yield)
-        })?;
+                if replied == n {
+                    ctx.chan_close(parsed_ch)?;
+                    return Ok(Step::Done);
+                }
+                Ok(Step::Yield)
+            })?;
 
         // ○A: trusted glue.
         self.rt.spawn("wiki-glue", move |ctx| {
@@ -328,7 +329,11 @@ impl WikiApp {
         Ok(ServeStats {
             served: n,
             ns,
-            reqs_per_sec: if ns == 0 { 0.0 } else { n as f64 * 1e9 / ns as f64 },
+            reqs_per_sec: if ns == 0 {
+                0.0
+            } else {
+                n as f64 * 1e9 / ns as f64
+            },
         })
     }
 }
@@ -360,7 +365,11 @@ mod tests {
         }
         let (base, mpk, vtx) = (rates[0], rates[1], rates[2]);
         assert!(base / mpk < 1.2, "MPK near baseline: {:.3}", base / mpk);
-        assert!(base / vtx > 1.4, "VT-x pays for syscalls: {:.3}", base / vtx);
+        assert!(
+            base / vtx > 1.4,
+            "VT-x pays for syscalls: {:.3}",
+            base / vtx
+        );
     }
 
     #[test]

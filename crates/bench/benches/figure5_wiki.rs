@@ -1,16 +1,10 @@
-//! Criterion wall-clock benchmark of the Figure 5 wiki study.
+//! Wall-clock benchmark of the Figure 5 wiki study.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use enclosure_bench::wiki_exp;
+use enclosure_support::bench;
 
-fn bench_wiki(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure5");
-    group.sample_size(10);
-    group.bench_function("wiki_all_backends", |b| {
-        b.iter(|| wiki_exp::run(10).unwrap());
+fn main() {
+    println!("figure5 wiki study (wall clock of the simulator)");
+    bench("figure5/wiki_all_backends", 10, || {
+        enclosure_bench::wiki_exp::run(10).unwrap();
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_wiki);
-criterion_main!(benches);

@@ -1,24 +1,18 @@
-//! Criterion wall-clock benchmark of the §6.4 Python experiments
-//! (small scale; `repro python` runs the full experiment).
+//! Wall-clock benchmark of the §6.4 Python experiments (small scale;
+//! `repro python` runs the full experiment).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use enclosure_apps::plotlib::PlotConfig;
-use enclosure_bench::python_exp;
+use enclosure_support::bench;
 
-fn bench_python(c: &mut Criterion) {
-    let mut group = c.benchmark_group("python");
-    group.sample_size(10);
+fn main() {
+    println!("python enclosures (wall clock of the simulator)");
     let cfg = PlotConfig {
         points: 1_000,
         point_ns: 100,
         width: 64,
         height: 48,
     };
-    group.bench_function("plot_conservative_vs_optimized", |b| {
-        b.iter(|| python_exp::run(cfg).unwrap());
+    bench("python/plot_conservative_vs_optimized", 10, || {
+        enclosure_bench::python_exp::run(cfg).unwrap();
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_python);
-criterion_main!(benches);

@@ -1,33 +1,22 @@
-//! Criterion wall-clock benchmarks of the Table 1 micro-operations.
+//! Wall-clock benchmarks of the Table 1 micro-operations.
 //!
 //! The *simulated* costs are deterministic (see `repro table1`); these
 //! benches measure how fast the simulation itself executes them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use enclosure_bench::micro;
+use enclosure_support::bench;
 use litterbox::Backend;
 
-fn bench_micro(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
+fn main() {
+    println!("table1 micro-operations (wall clock of the simulator)");
     for backend in [Backend::Baseline, Backend::Mpk, Backend::Vtx] {
-        group.bench_with_input(
-            BenchmarkId::new("call", backend.to_string()),
-            &backend,
-            |b, &backend| b.iter(|| micro::measure_call(backend, 10).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("transfer", backend.to_string()),
-            &backend,
-            |b, &backend| b.iter(|| micro::measure_transfer(backend, 10).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("syscall", backend.to_string()),
-            &backend,
-            |b, &backend| b.iter(|| micro::measure_syscall(backend, 10).unwrap()),
-        );
+        bench(&format!("table1/call/{backend}"), 20, || {
+            enclosure_bench::micro::measure_call(backend, 10).unwrap();
+        });
+        bench(&format!("table1/transfer/{backend}"), 20, || {
+            enclosure_bench::micro::measure_transfer(backend, 10).unwrap();
+        });
+        bench(&format!("table1/syscall/{backend}"), 20, || {
+            enclosure_bench::micro::measure_syscall(backend, 10).unwrap();
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_micro);
-criterion_main!(benches);

@@ -1,21 +1,14 @@
-//! Criterion wall-clock benchmarks of the Table 2 macro workloads
-//! (small scale; `repro table2` runs the full-scale simulated numbers).
+//! Wall-clock benchmarks of the Table 2 macro workloads (small scale;
+//! `repro table2` runs the full-scale simulated numbers).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use enclosure_bench::macrobench::{run_row, MacroBench, MacroScale};
+use enclosure_support::bench;
 
-fn bench_macro(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
-    for bench in MacroBench::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("row", bench.name()),
-            &bench,
-            |b, &bench| b.iter(|| run_row(bench, MacroScale::quick()).unwrap()),
-        );
+fn main() {
+    println!("table2 macro workloads (wall clock of the simulator)");
+    for bench_id in MacroBench::ALL {
+        bench(&format!("table2/{}", bench_id.name()), 10, || {
+            run_row(bench_id, MacroScale::quick()).unwrap();
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_macro);
-criterion_main!(benches);

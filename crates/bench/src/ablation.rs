@@ -261,7 +261,10 @@ mod tests {
         // litterbox.super).
         assert!(max_ok >= 10, "got {max_ok}");
         assert!(max_ok < 16, "cannot exceed the key budget: {max_ok}");
-        assert!(error.contains("libmpk"), "points at the escape hatch: {error}");
+        assert!(
+            error.contains("libmpk"),
+            "points at the escape hatch: {error}"
+        );
     }
 
     #[test]

@@ -8,25 +8,43 @@
 //! repro figure4              Figure 4 ELF layout dump
 //! repro wiki [--quick]       Figure 5 / §6.3 usability study
 //! repro python [--quick]     §6.4 Python experiments
+//! repro attribution [--quick] [--json]  §6.4 telemetry cost breakdown
 //! repro security             §6.5 recreated attacks
 //! repro filter-dump          compiled seccomp-BPF for the Figure 1 program
 //! repro ablations            design-choice studies
 //! repro all [--quick]        everything above
 //! ```
+//!
+//! The global `--trace[=N]` flag keeps a bounded ring of the last N
+//! telemetry events (default 32) in the workload machines; on a fault
+//! they are printed alongside the root-cause trace.
 
 use std::process::ExitCode;
 
-use enclosure_apps::plotlib::PlotConfig;
+use enclosure_apps::plotlib::{self, PlotConfig};
 use enclosure_bench::macrobench::{self, MacroScale};
 use enclosure_bench::{ablation, micro, python_exp, report, security_exp, wiki_exp};
 use enclosure_gofront::{GoProgram, GoSource};
+use enclosure_pyfront::{Interpreter, MetadataMode};
+use enclosure_support::Json;
 use litterbox::Backend;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let command = args.first().map(String::as_str).unwrap_or("all");
+    let trace = args.iter().find_map(|a| {
+        if a == "--trace" {
+            Some(32)
+        } else {
+            a.strip_prefix("--trace=").and_then(|n| n.parse().ok())
+        }
+    });
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
     let result = match command {
         "table1" => table1(json),
         "table2" => table2(quick, json),
@@ -36,7 +54,8 @@ fn main() -> ExitCode {
         }
         "figure4" => figure4(),
         "wiki" => wiki(quick),
-        "python" => python(quick),
+        "python" => python(quick, trace),
+        "attribution" => attribution(quick, json, trace),
         "security" => security(),
         "filter-dump" => filter_dump(),
         "ablations" => ablations(),
@@ -45,7 +64,8 @@ fn main() -> ExitCode {
             .map(|()| print!("\n{}", report::render_table2_info()))
             .and_then(|()| figure4())
             .and_then(|()| wiki(quick))
-            .and_then(|()| python(quick))
+            .and_then(|()| python(quick, trace))
+            .and_then(|()| attribution(quick, json, trace))
             .and_then(|()| security())
             .and_then(|()| ablations()),
         other => {
@@ -67,18 +87,15 @@ type AnyError = Box<dyn std::error::Error>;
 fn table1(json: bool) -> Result<(), AnyError> {
     let rows = micro::table1(1_000)?;
     if json {
-        let value: Vec<_> = rows
-            .iter()
-            .map(|r| {
-                serde_json::json!({
-                    "op": r.name,
-                    "baseline_ns": r.baseline,
-                    "mpk_ns": r.mpk,
-                    "vtx_ns": r.vtx,
-                })
-            })
-            .collect();
-        println!("{}", serde_json::to_string_pretty(&value)?);
+        let value = Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("op", Json::from(r.name)),
+                ("baseline_ns", Json::from(r.baseline)),
+                ("mpk_ns", Json::from(r.mpk)),
+                ("vtx_ns", Json::from(r.vtx)),
+            ])
+        }));
+        println!("{}", value.to_pretty());
         return Ok(());
     }
     print!("\n{}", report::render_table1(&rows));
@@ -93,19 +110,28 @@ fn table2(quick: bool, json: bool) -> Result<(), AnyError> {
     };
     let rows = macrobench::table2(scale)?;
     if json {
-        let value: Vec<_> = rows
-            .iter()
-            .map(|r| {
-                serde_json::json!({
-                    "benchmark": r.bench.name(),
-                    "unit": r.bench.unit(),
-                    "baseline": r.baseline.raw,
-                    "mpk": {"raw": r.mpk.raw, "slowdown": r.mpk.slowdown},
-                    "vtx": {"raw": r.vtx.raw, "slowdown": r.vtx.slowdown},
-                })
-            })
-            .collect();
-        println!("{}", serde_json::to_string_pretty(&value)?);
+        let value = Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("benchmark", Json::from(r.bench.name())),
+                ("unit", Json::from(r.bench.unit())),
+                ("baseline", Json::from(r.baseline.raw)),
+                (
+                    "mpk",
+                    Json::obj([
+                        ("raw", Json::from(r.mpk.raw)),
+                        ("slowdown", Json::from(r.mpk.slowdown)),
+                    ]),
+                ),
+                (
+                    "vtx",
+                    Json::obj([
+                        ("raw", Json::from(r.vtx.raw)),
+                        ("slowdown", Json::from(r.vtx.slowdown)),
+                    ]),
+                ),
+            ])
+        }));
+        println!("{}", value.to_pretty());
         return Ok(());
     }
     print!("\n{}", report::render_table2(&rows));
@@ -145,17 +171,101 @@ fn wiki(quick: bool) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn python(quick: bool) -> Result<(), AnyError> {
-    let cfg = if quick {
+fn plot_config(quick: bool) -> PlotConfig {
+    if quick {
         PlotConfig {
             points: 10_000,
             ..PlotConfig::default()
         }
     } else {
         PlotConfig::default()
-    };
-    let results = python_exp::run(cfg)?;
+    }
+}
+
+/// Builds and drives one plotting run, honouring `--trace`: on a fault
+/// the machine's last events are dumped next to the root-cause trace.
+fn traced_plot_run(
+    backend: Backend,
+    mode: MetadataMode,
+    cfg: PlotConfig,
+    trace: Option<usize>,
+) -> Result<(Interpreter, plotlib::PlotRun), AnyError> {
+    let mut py = plotlib::build(backend, mode, cfg)?;
+    if let Some(n) = trace {
+        py.lb_mut().telemetry_mut().enable_trace(n);
+    }
+    match plotlib::run_on(&mut py, cfg) {
+        Ok(run) => Ok((py, run)),
+        Err(fault) => {
+            if trace.is_some() {
+                eprintln!("last telemetry events before the fault ({backend}, {mode:?}):");
+                for traced in py.lb().telemetry().recent_events() {
+                    eprintln!("  [{:>12} ns] {}", traced.at_ns, traced.event);
+                }
+            }
+            Err(fault.into())
+        }
+    }
+}
+
+fn python(quick: bool, trace: Option<usize>) -> Result<(), AnyError> {
+    let cfg = plot_config(quick);
+    let (_, baseline) = traced_plot_run(Backend::Baseline, MetadataMode::CoLocated, cfg, trace)?;
+    let (_, conservative) = traced_plot_run(Backend::Vtx, MetadataMode::CoLocated, cfg, trace)?;
+    let (_, optimized) = traced_plot_run(Backend::Vtx, MetadataMode::Decoupled, cfg, trace)?;
+    let results = python_exp::derive(&baseline, &conservative, &optimized);
     print!("\n{}", report::render_python(&results));
+    Ok(())
+}
+
+fn attribution(quick: bool, json: bool, trace: Option<usize>) -> Result<(), AnyError> {
+    let cfg = plot_config(quick);
+    let (_, baseline) = traced_plot_run(Backend::Baseline, MetadataMode::CoLocated, cfg, trace)?;
+    let (cons_py, conservative) =
+        traced_plot_run(Backend::Vtx, MetadataMode::CoLocated, cfg, trace)?;
+    let (opt_py, optimized) = traced_plot_run(Backend::Vtx, MetadataMode::Decoupled, cfg, trace)?;
+    let results = python_exp::derive(&baseline, &conservative, &optimized);
+    if json {
+        let value = Json::obj([
+            (
+                "breakdown",
+                Json::obj([
+                    ("switches", Json::from(results.switches)),
+                    ("init_share", Json::from(results.init_share)),
+                    ("syscall_share", Json::from(results.syscall_share)),
+                    (
+                        "conservative_slowdown",
+                        Json::from(results.conservative_slowdown),
+                    ),
+                    ("optimized_slowdown", Json::from(results.optimized_slowdown)),
+                ]),
+            ),
+            (
+                "conservative",
+                Json::obj([
+                    ("counters", cons_py.lb().telemetry().counters_json()),
+                    ("attribution", cons_py.lb().telemetry().attribution_json()),
+                ]),
+            ),
+            (
+                "optimized",
+                Json::obj([
+                    ("counters", opt_py.lb().telemetry().counters_json()),
+                    ("attribution", opt_py.lb().telemetry().attribution_json()),
+                ]),
+            ),
+        ]);
+        println!("{}", value.to_pretty());
+        return Ok(());
+    }
+    print!(
+        "\n{}",
+        report::render_attribution(
+            &results,
+            cons_py.lb().telemetry().attribution(),
+            opt_py.lb().telemetry().attribution(),
+        )
+    );
     Ok(())
 }
 

@@ -57,9 +57,13 @@ fn empty_enclosure_app(backend: Backend) -> Result<(App, Enclosure<(), ()>), Fau
         .package("main", &["lib"])
         .package("lib", &[])
         .build(backend)?;
-    let enc = Enclosure::declare(&mut app, "empty", &["lib"], Policy::default_policy(), |_, ()| {
-        Ok(())
-    })?;
+    let enc = Enclosure::declare(
+        &mut app,
+        "empty",
+        &["lib"],
+        Policy::default_policy(),
+        |_, ()| Ok(()),
+    )?;
     Ok((app, enc))
 }
 
@@ -132,15 +136,11 @@ pub fn measure_syscall(backend: Backend, iters: u64) -> Result<u64, Fault> {
             Ok(())
         },
     )?;
-    // Measure inside the enclosure only: subtract the call overhead by
-    // timing the loop body from within (enter once, run iters syscalls).
+    // Measure inside the enclosure only: subtract the measured empty-call
+    // overhead (enter once, run iters syscalls).
+    let call_overhead = measure_call(backend, 1)?;
     app.reset_clock();
     enc.call(&mut app, iters)?;
-    let call_overhead = match backend {
-        Backend::Baseline => 45,
-        Backend::Mpk => 86,
-        Backend::Vtx => 926,
-    };
     Ok((app.lb.now_ns() - call_overhead) / iters)
 }
 

@@ -1,9 +1,15 @@
 //! The §6.4 Python experiments: conservative (co-located metadata) vs
 //! optimized (decoupled metadata) enclosure overhead on the plotting
 //! workload, under LB_VTX as in the paper.
+//!
+//! Every quantity below — switch counts, initialization share, syscall
+//! share — is derived from the runs' telemetry counters; nothing in this
+//! module maintains its own event counts.
 
 use enclosure_apps::plotlib::{self, PlotConfig};
+use enclosure_hw::CostModel;
 use enclosure_pyfront::MetadataMode;
+use enclosure_telemetry::Counters;
 use litterbox::{Backend, Fault};
 
 /// The full §6.4 result set.
@@ -22,13 +28,63 @@ pub struct PythonResults {
     /// Optimized slowdown (paper: ~1.4×).
     pub optimized_slowdown: f64,
     /// Trusted-environment round trips in the conservative run
-    /// (the paper's "switches"; ~1M).
+    /// (the paper's "switches"; ~1M). Telemetry `metadata_switches`.
     pub switches: u64,
     /// Share of the conservative slowdown attributable to delayed
-    /// initialization (paper: 4.3%).
+    /// initialization (paper: 4.3%). Telemetry `init_ns`.
     pub init_share: f64,
     /// Share attributable to syscall overheads (paper: <1%).
+    /// Telemetry `vm_exits` × the model's per-exit premium.
     pub syscall_share: f64,
+    /// Full counter set of the conservative run.
+    pub conservative_counters: Counters,
+    /// Full counter set of the optimized run.
+    pub optimized_counters: Counters,
+}
+
+/// Derives the §6.4 result set from three completed runs' telemetry.
+#[must_use]
+pub fn derive(
+    baseline: &plotlib::PlotRun,
+    conservative: &plotlib::PlotRun,
+    optimized: &plotlib::PlotRun,
+) -> PythonResults {
+    #[allow(clippy::cast_precision_loss)]
+    let (base, cons, opt) = (
+        baseline.total_ns as f64,
+        conservative.total_ns as f64,
+        optimized.total_ns as f64,
+    );
+    let slowdown_ns = cons - base;
+    #[allow(clippy::cast_precision_loss)]
+    let init_share = if slowdown_ns > 0.0 {
+        conservative.counters.init_ns as f64 / slowdown_ns
+    } else {
+        0.0
+    };
+    // Syscall overhead: every guest syscall in the conservative run
+    // hypercalled to the host; the premium is those VM EXITs at the
+    // model's Table 1 cost (the baseline run pays none).
+    #[allow(clippy::cast_precision_loss)]
+    let syscall_premium_ns =
+        conservative.counters.vm_exits as f64 * CostModel::default().vm_exit as f64;
+    let syscall_share = if slowdown_ns > 0.0 {
+        syscall_premium_ns / slowdown_ns
+    } else {
+        0.0
+    };
+    PythonResults {
+        baseline_ns: baseline.total_ns,
+        conservative_ns: conservative.total_ns,
+        optimized_ns: optimized.total_ns,
+        conservative_slowdown: cons / base,
+        optimized_slowdown: opt / base,
+        switches: conservative.counters.metadata_switches,
+        init_share,
+        syscall_share,
+        conservative_counters: conservative.counters,
+        optimized_counters: optimized.counters,
+    }
 }
 
 /// Runs the experiment at the given scale.
@@ -40,42 +96,7 @@ pub fn run(cfg: PlotConfig) -> Result<PythonResults, Fault> {
     let baseline = plotlib::run(Backend::Baseline, MetadataMode::CoLocated, cfg)?;
     let conservative = plotlib::run(Backend::Vtx, MetadataMode::CoLocated, cfg)?;
     let optimized = plotlib::run(Backend::Vtx, MetadataMode::Decoupled, cfg)?;
-
-    #[allow(clippy::cast_precision_loss)]
-    let (base, cons, opt) = (
-        baseline.total_ns as f64,
-        conservative.total_ns as f64,
-        optimized.total_ns as f64,
-    );
-    let slowdown_ns = cons - base;
-    // Syscall overhead attributable to the VM EXITs: the file write is a
-    // handful of calls; estimate from the optimized run's syscall counts
-    // is not needed — use the conservative run's VM EXIT count times the
-    // per-exit premium.
-    #[allow(clippy::cast_precision_loss)]
-    let init_share = if slowdown_ns > 0.0 {
-        conservative.init_ns as f64 / slowdown_ns
-    } else {
-        0.0
-    };
-    // The plot writes its canvas in ~19 chunks plus open/close: the
-    // VM EXIT premium (~3.7 µs each) over those calls.
-    let syscall_premium_ns = 3_739.0 * 24.0;
-    let syscall_share = if slowdown_ns > 0.0 {
-        syscall_premium_ns / slowdown_ns
-    } else {
-        0.0
-    };
-    Ok(PythonResults {
-        baseline_ns: baseline.total_ns,
-        conservative_ns: conservative.total_ns,
-        optimized_ns: optimized.total_ns,
-        conservative_slowdown: cons / base,
-        optimized_slowdown: opt / base,
-        switches: conservative.metadata_switches / 2,
-        init_share,
-        syscall_share,
-    })
+    Ok(derive(&baseline, &conservative, &optimized))
 }
 
 #[cfg(test)]
@@ -109,6 +130,8 @@ mod tests {
         let results = run(small()).unwrap();
         // 2 passes × (incref+decref) round trips per point.
         assert!(results.switches >= 4 * 20_000, "got {}", results.switches);
+        // The decoupled run's whole point: zero metadata round trips.
+        assert_eq!(results.optimized_counters.metadata_switches, 0);
     }
 
     #[test]
@@ -116,5 +139,19 @@ mod tests {
         let results = run(small()).unwrap();
         assert!(results.init_share > 0.0 && results.init_share < 1.0);
         assert!(results.syscall_share >= 0.0 && results.syscall_share < 0.2);
+    }
+
+    #[test]
+    fn switches_come_from_telemetry_not_interpreter_stats() {
+        // The telemetry counter (one event per trusted round trip) must
+        // agree with the interpreter's own bookkeeping (two environment
+        // switches per round trip).
+        let cfg = PlotConfig::tiny();
+        let conservative = plotlib::run(Backend::Vtx, MetadataMode::CoLocated, cfg).unwrap();
+        assert_eq!(
+            conservative.counters.metadata_switches,
+            conservative.metadata_switches / 2
+        );
+        assert!(conservative.counters.metadata_switches > 0);
     }
 }

@@ -285,11 +285,14 @@ mod tests {
     #[test]
     fn baseline_call_costs_45ns() {
         let mut app = figure1(Backend::Baseline);
-        let mut empty =
-            Enclosure::declare(&mut app, "empty", &["img"], Policy::default_policy(), |_, ()| {
-                Ok(())
-            })
-            .unwrap();
+        let mut empty = Enclosure::declare(
+            &mut app,
+            "empty",
+            &["img"],
+            Policy::default_policy(),
+            |_, ()| Ok(()),
+        )
+        .unwrap();
         app.reset_clock();
         empty.call(&mut app, ()).unwrap();
         assert_eq!(app.lb.now_ns(), 45);
@@ -298,11 +301,14 @@ mod tests {
     #[test]
     fn mpk_call_costs_86ns() {
         let mut app = figure1(Backend::Mpk);
-        let mut empty =
-            Enclosure::declare(&mut app, "empty", &["img"], Policy::default_policy(), |_, ()| {
-                Ok(())
-            })
-            .unwrap();
+        let mut empty = Enclosure::declare(
+            &mut app,
+            "empty",
+            &["img"],
+            Policy::default_policy(),
+            |_, ()| Ok(()),
+        )
+        .unwrap();
         app.reset_clock();
         empty.call(&mut app, ()).unwrap();
         assert_eq!(app.lb.now_ns(), 86, "Table 1: MPK call");
@@ -311,25 +317,34 @@ mod tests {
     #[test]
     fn vtx_call_costs_about_924ns() {
         let mut app = figure1(Backend::Vtx);
-        let mut empty =
-            Enclosure::declare(&mut app, "empty", &["img"], Policy::default_policy(), |_, ()| {
-                Ok(())
-            })
-            .unwrap();
+        let mut empty = Enclosure::declare(
+            &mut app,
+            "empty",
+            &["img"],
+            Policy::default_policy(),
+            |_, ()| Ok(()),
+        )
+        .unwrap();
         app.reset_clock();
         empty.call(&mut app, ()).unwrap();
         let t = app.lb.now_ns();
-        assert!((920..=930).contains(&t), "Table 1: VT-x call ≈ 924, got {t}");
+        assert!(
+            (920..=930).contains(&t),
+            "Table 1: VT-x call ≈ 924, got {t}"
+        );
     }
 
     #[test]
     fn debug_impl_names_the_enclosure() {
         let mut app = figure1(Backend::Baseline);
-        let e: Enclosure<(), ()> =
-            Enclosure::declare(&mut app, "dbg", &["img"], Policy::default_policy(), |_, ()| {
-                Ok(())
-            })
-            .unwrap();
+        let e: Enclosure<(), ()> = Enclosure::declare(
+            &mut app,
+            "dbg",
+            &["img"],
+            Policy::default_policy(),
+            |_, ()| Ok(()),
+        )
+        .unwrap();
         let shown = format!("{e:?}");
         assert!(shown.contains("dbg"));
     }

@@ -340,7 +340,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_addresses() {
-        for bad in ["connect:1.2.3", "connect:1.2.3.4.5", "connect:a.b.c.d", "connect:1.2.3.999"] {
+        for bad in [
+            "connect:1.2.3",
+            "connect:1.2.3.4.5",
+            "connect:a.b.c.d",
+            "connect:1.2.3.999",
+        ] {
             assert!(
                 matches!(Policy::parse(bad), Err(PolicyError::BadAddress(_))),
                 "{bad}"

@@ -36,7 +36,10 @@ fn foo_never_accesses_bar() {
     )
     .unwrap();
     for _ in 0..5 {
-        assert!(foo_call.call(&mut app, ()).unwrap(), "bar stays unreachable");
+        assert!(
+            foo_call.call(&mut app, ()).unwrap(),
+            "bar stays unreachable"
+        );
     }
 }
 
@@ -175,9 +178,7 @@ fn information_flow_limitation_is_real() {
             ctx.lb
                 .sys_connect(fd, enclosure_kernel::net::SockAddr::new(0x0808_0808, 53))
                 .map_err(sys)?;
-            ctx.lb
-                .sys_send(fd, &value.to_le_bytes())
-                .map_err(sys)?;
+            ctx.lb.sys_send(fd, &value.to_le_bytes()).map_err(sys)?;
             Ok(())
         },
     )

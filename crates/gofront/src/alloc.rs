@@ -94,12 +94,7 @@ impl SpanAllocator {
     /// # Errors
     ///
     /// Propagates address-space exhaustion or transfer faults.
-    pub fn alloc(
-        &mut self,
-        lb: &mut LitterBox,
-        package: &str,
-        size: u64,
-    ) -> Result<Addr, Fault> {
+    pub fn alloc(&mut self, lb: &mut LitterBox, package: &str, size: u64) -> Result<Addr, Fault> {
         if size == 0 {
             return Err(Fault::Init("zero-size allocation".into()));
         }
@@ -112,6 +107,10 @@ impl SpanAllocator {
                 .alloc(pages * PAGE_SIZE)
                 .map_err(Fault::Memory)?;
             lb.transfer(range, None, package)?;
+            lb.clock_mut()
+                .record(enclosure_telemetry::Event::SpanTransfer {
+                    bytes: pages * PAGE_SIZE,
+                });
             let idx = self.spans.len();
             self.spans.push(Span {
                 range,
@@ -148,6 +147,8 @@ impl SpanAllocator {
             if prev_owner != package {
                 let range = self.spans[idx].range;
                 lb.transfer(range, Some(&prev_owner), package)?;
+                lb.clock_mut()
+                    .record(enclosure_telemetry::Event::SpanTransfer { bytes: SPAN_BYTES });
                 self.stats.spans_reused_cross_package += 1;
             } else {
                 self.stats.spans_reused_same_owner += 1;
@@ -162,6 +163,8 @@ impl SpanAllocator {
             // 3. A fresh span from the address space.
             let range = lb.space_mut().alloc(SPAN_BYTES).map_err(Fault::Memory)?;
             lb.transfer(range, None, package)?;
+            lb.clock_mut()
+                .record(enclosure_telemetry::Event::SpanTransfer { bytes: SPAN_BYTES });
             let idx = self.spans.len();
             self.spans.push(Span {
                 range,
@@ -351,7 +354,9 @@ mod tests {
         let mut a = SpanAllocator::new();
         // Fill one span completely (256 slots of 64B in 16 KiB), plus one
         // more alloc to force the full span off the partial list.
-        let addrs: Vec<_> = (0..257).map(|_| a.alloc(&mut lb, "a", 64).unwrap()).collect();
+        let addrs: Vec<_> = (0..257)
+            .map(|_| a.alloc(&mut lb, "a", 64).unwrap())
+            .collect();
         assert_eq!(a.stats().spans_created, 2);
         // Free a slot from the first (full) span; the next allocation
         // must reuse it instead of creating a third span.

@@ -136,10 +136,10 @@ mod tests {
             .global("b", 12)
             .constant("c", b"xyz");
         let obj = compile(&src).unwrap();
-        assert_eq!(obj.data, vec![
-            ("p.a".to_string(), 0, 8),
-            ("p.b".to_string(), 8, 12),
-        ]);
+        assert_eq!(
+            obj.data,
+            vec![("p.a".to_string(), 0, 8), ("p.b".to_string(), 8, 12),]
+        );
         assert_eq!(obj.data_size, 24, "12 rounds up to 16");
         assert_eq!(obj.rodata[0].0, "p.c");
         assert_eq!(obj.rodata[0].2, b"xyz");

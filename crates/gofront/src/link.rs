@@ -14,9 +14,7 @@ use enclosure_core::compute_view;
 use enclosure_kernel::seccomp::SysPolicy;
 use enclosure_vmem::{Addr, Section, SectionKind, VirtRange, PAGE_SIZE};
 use litterbox::deps::DepGraph;
-use litterbox::{
-    EnclosureDesc, EnclosureId, Fault, LitterBox, PackageDesc, ProgramDesc, ViewMap,
-};
+use litterbox::{EnclosureDesc, EnclosureId, Fault, LitterBox, PackageDesc, ProgramDesc, ViewMap};
 
 use crate::compile::CodeObject;
 
@@ -111,7 +109,11 @@ impl ElfImage {
     #[must_use]
     pub fn describe(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{:<28} {:>12} {:>8} {:>5}  owner", "section", "addr", "size", "flags");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>8} {:>5}  owner",
+            "section", "addr", "size", "flags"
+        );
         for s in &self.sections {
             let _ = writeln!(
                 out,
@@ -153,10 +155,7 @@ impl Linker {
     ) -> Result<(ElfImage, ProgramDesc), Fault> {
         let mut graph = DepGraph::new();
         for obj in objects {
-            if graph
-                .insert(obj.name.clone(), obj.deps.clone())
-                .is_some()
-            {
+            if graph.insert(obj.name.clone(), obj.deps.clone()).is_some() {
                 return Err(Fault::Init(format!("duplicate package '{}'", obj.name)));
             }
         }
@@ -187,17 +186,16 @@ impl Linker {
         for obj in objects {
             let mut pkg_sections = Vec::new();
             let add = |lb: &mut LitterBox,
-                           name: String,
-                           kind: SectionKind,
-                           pages: u64,
-                           sections: &mut Vec<ElfSectionInfo>|
+                       name: String,
+                       kind: SectionKind,
+                       pages: u64,
+                       sections: &mut Vec<ElfSectionInfo>|
              -> Result<VirtRange, Fault> {
                 let range = lb
                     .space_mut()
                     .alloc(pages.max(1) * PAGE_SIZE)
                     .map_err(|e| Fault::Init(e.to_string()))?;
-                Section::new(name.clone(), kind, range)
-                    .map_err(|e| Fault::Init(e.to_string()))?;
+                Section::new(name.clone(), kind, range).map_err(|e| Fault::Init(e.to_string()))?;
                 sections.push(ElfSectionInfo {
                     name,
                     addr: range.start(),
@@ -215,12 +213,10 @@ impl Linker {
                 obj.text_pages,
                 &mut sections,
             )?;
-            pkg_sections.push(Section::new(
-                format!("{}.text", obj.name),
-                SectionKind::Text,
-                text,
-            )
-            .map_err(|e| Fault::Init(e.to_string()))?);
+            pkg_sections.push(
+                Section::new(format!("{}.text", obj.name), SectionKind::Text, text)
+                    .map_err(|e| Fault::Init(e.to_string()))?,
+            );
 
             let ro_pages = obj.rodata_size.div_ceil(PAGE_SIZE).max(1);
             let rodata = add(
@@ -433,9 +429,7 @@ mod tests {
         assert!(image
             .sections()
             .iter()
-            .any(|s| s.name == "secrets.data"
-                && s.addr == addr
-                && s.flags == "RW"));
+            .any(|s| s.name == "secrets.data" && s.addr == addr && s.flags == "RW"));
     }
 
     #[test]

@@ -68,11 +68,7 @@ impl GoProgram {
         kernel: Kernel,
         model: CostModel,
     ) -> Result<GoRuntime, Fault> {
-        let objects: Vec<_> = self
-            .sources
-            .iter()
-            .map(compile)
-            .collect::<Result<_, _>>()?;
+        let objects: Vec<_> = self.sources.iter().map(compile).collect::<Result<_, _>>()?;
         let mut lb = LitterBox::with_parts(backend, kernel, model);
         let (image, prog) = Linker::new().link(&objects, &mut lb)?;
         lb.init(prog)?;
@@ -273,6 +269,12 @@ impl GoRuntime {
                 .take()
                 .expect("queued goroutine exists");
             if g.ctx.env() != self.lb.current_env() {
+                self.lb
+                    .clock_mut()
+                    .record(enclosure_telemetry::Event::Reschedule {
+                        goroutine: gid as u64,
+                        to_env: g.ctx.env().0,
+                    });
                 let _ = self.lb.execute(g.ctx.clone(), cs)?;
             }
             self.sched.progress = false;
@@ -331,6 +333,12 @@ impl GoRuntime {
         let prev = self.lb.execute(EnvContext::trusted(), cs)?;
         let live = self.allocator.live_count();
         self.lb.clock_mut().advance(live * GC_NS_PER_OBJECT);
+        self.lb
+            .clock_mut()
+            .record(enclosure_telemetry::Event::GcPause {
+                ns: live * GC_NS_PER_OBJECT,
+                live,
+            });
         self.gc_cycles += 1;
         let _ = self.lb.execute(prev, cs)?;
         Ok(live)
@@ -611,7 +619,9 @@ mod tests {
     fn enclosed_code_cannot_invoke_foreign_functions() {
         let mut rt = figure1_program().build(Backend::Mpk).unwrap();
         rt.register_fn("os.ReadFile", |_ctx, _arg| Ok(GoValue::Unit));
-        rt.register_fn("libfx.Invert", |ctx, _arg| ctx.call("os.ReadFile", GoValue::Unit));
+        rt.register_fn("libfx.Invert", |ctx, _arg| {
+            ctx.call("os.ReadFile", GoValue::Unit)
+        });
         let err = rt.call_enclosed("rcl", GoValue::Unit).unwrap_err();
         assert!(matches!(err, Fault::ExecDenied { .. }), "{err}");
     }
@@ -715,7 +725,10 @@ mod tests {
         rt.spawn_enclosed("outer", "rcl", move |ctx| {
             // Child spawned here inherits the enclosure environment.
             ctx.spawn("child", move |ctx| {
-                let denied = ctx.lb().load_u64(ctx.global_addr("main.privateKey")).is_err();
+                let denied = ctx
+                    .lb()
+                    .load_u64(ctx.global_addr("main.privateKey"))
+                    .is_err();
                 ctx.chan_send(result, GoValue::Bool(denied))?;
                 Ok(Step::Done)
             });
@@ -750,11 +763,7 @@ mod tests {
         // An import-time payload (the dominant real-world supply-chain
         // attack) is contained by tagging the import.
         let mut p = GoProgram::new();
-        p.add_source(
-            GoSource::new("sketchy")
-                .loc(5_000)
-                .init_enclosed("none"),
-        );
+        p.add_source(GoSource::new("sketchy").loc(5_000).init_enclosed("none"));
         p.add_source(GoSource::new("clean"));
         p.add_source(
             GoSource::new("main")
@@ -778,10 +787,7 @@ mod tests {
             Ok(GoValue::Unit)
         });
         rt.run_package_inits().unwrap();
-        assert_eq!(
-            rt.lb().load_u64(rt.global_addr("main.token")).unwrap(),
-            7
-        );
+        assert_eq!(rt.lb().load_u64(rt.global_addr("main.token")).unwrap(), 7);
     }
 
     #[test]
@@ -802,10 +808,7 @@ mod tests {
             });
         }
         rt.run_package_inits().unwrap();
-        assert_eq!(
-            rt.lb().load_u64(rt.global_addr("base.order")).unwrap(),
-            3
-        );
+        assert_eq!(rt.lb().load_u64(rt.global_addr("base.order")).unwrap(), 3);
     }
 
     #[test]

@@ -1,10 +1,8 @@
 //! Go package sources: what the patched parser extracts from a package.
 
-use serde::{Deserialize, Serialize};
-
 /// An enclosure declaration found in a package: the `with [Policies]`
 /// statement wrapping a call to `entry` (§2.2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnclosureSrc {
     /// The variable the enclosure expression is bound to.
     pub name: String,
@@ -19,7 +17,7 @@ pub struct EnclosureSrc {
 }
 
 /// One Go package as the extended parser sees it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GoSource {
     name: String,
     imports: Vec<String>,

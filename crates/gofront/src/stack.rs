@@ -104,11 +104,7 @@ impl SplitStack {
     ///
     /// [`Fault::Init`] on segment overflow (the simulation does not grow
     /// stacks); allocation faults.
-    pub fn frame_alloc(
-        &mut self,
-        lb: &mut LitterBox,
-        size: u64,
-    ) -> Result<Addr, Fault> {
+    pub fn frame_alloc(&mut self, lb: &mut LitterBox, size: u64) -> Result<Addr, Fault> {
         if self.segments.is_empty() {
             self.push_segment(lb, RUNTIME_STACK_PKG)?;
         }
@@ -134,7 +130,8 @@ mod tests {
     fn machine() -> LitterBox {
         let mut lb = LitterBox::new(Backend::Mpk);
         let mut prog = ProgramDesc::new();
-        prog.add_package(&mut lb, RUNTIME_STACK_PKG, 1, 1, 1).unwrap();
+        prog.add_package(&mut lb, RUNTIME_STACK_PKG, 1, 1, 1)
+            .unwrap();
         prog.add_package(&mut lb, "libfx", 1, 1, 1).unwrap();
         lb.init(prog).unwrap();
         lb

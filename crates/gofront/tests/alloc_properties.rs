@@ -3,8 +3,8 @@
 //! owners exactly, and must keep LitterBox's arena rights in sync.
 
 use enclosure_gofront::alloc::SpanAllocator;
+use enclosure_support::XorShift;
 use litterbox::{Backend, LitterBox, ProgramDesc};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,11 +12,16 @@ enum Op {
     FreeOldest,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0usize..3, 1u64..20_000).prop_map(|(pkg, size)| Op::Alloc { pkg, size }),
-        1 => Just(Op::FreeOldest),
-    ]
+fn arb_op(rng: &mut XorShift) -> Op {
+    // 3:1 alloc/free mix, as in the original proptest strategy.
+    if rng.range_u8(0, 4) < 3 {
+        Op::Alloc {
+            pkg: rng.range_usize(0, 3),
+            size: rng.range_u64(1, 20_000),
+        }
+    } else {
+        Op::FreeOldest
+    }
 }
 
 fn machine() -> LitterBox {
@@ -29,18 +34,15 @@ fn machine() -> LitterBox {
     lb
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_traffic_upholds_allocator_invariants(ops in proptest::collection::vec(arb_op(), 1..120)) {
+enclosure_support::props! {
+    fn random_traffic_upholds_allocator_invariants(rng) {
         let pkgs = ["p0", "p1", "p2"];
         let mut lb = machine();
         let mut alloc = SpanAllocator::new();
         let mut live: Vec<(enclosure_vmem::Addr, u64, usize)> = Vec::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..rng.range_usize(1, 120) {
+            match arb_op(rng) {
                 Op::Alloc { pkg, size } => {
                     let addr = alloc.alloc(&mut lb, pkgs[pkg], size).unwrap();
                     let class = SpanAllocator::class_of(size).min(size.max(1));
@@ -48,11 +50,11 @@ proptest! {
                     // *requested* size, the strongest guarantee we use).
                     for (other, other_size, _) in &live {
                         let disjoint = addr.0 + size <= other.0 || other.0 + other_size <= addr.0;
-                        prop_assert!(disjoint, "{addr} ({size}) overlaps {other} ({other_size})");
+                        assert!(disjoint, "{addr} ({size}) overlaps {other} ({other_size})");
                     }
                     // Owner is tracked both by the allocator and LitterBox.
-                    prop_assert_eq!(alloc.owner_of(addr), Some(pkgs[pkg]));
-                    prop_assert_eq!(lb.package_at(addr), Some(pkgs[pkg]));
+                    assert_eq!(alloc.owner_of(addr), Some(pkgs[pkg]));
+                    assert_eq!(lb.package_at(addr), Some(pkgs[pkg]));
                     // Memory is writable from the trusted environment.
                     lb.store_u64(addr, 0x55).unwrap();
                     let _ = class;
@@ -65,26 +67,24 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(alloc.stats().live_objects as usize, live.len());
+            assert_eq!(alloc.stats().live_objects as usize, live.len());
         }
     }
 
     /// Freeing everything returns the allocator to zero live objects and
     /// double frees are always rejected.
-    #[test]
-    fn free_is_exact(sizes in proptest::collection::vec(1u64..5_000, 1..40)) {
+    fn free_is_exact(rng) {
         let mut lb = machine();
         let mut alloc = SpanAllocator::new();
-        let addrs: Vec<_> = sizes
-            .iter()
-            .map(|&s| alloc.alloc(&mut lb, "p0", s).unwrap())
+        let addrs: Vec<_> = (0..rng.range_usize(1, 40))
+            .map(|_| alloc.alloc(&mut lb, "p0", rng.range_u64(1, 5_000)).unwrap())
             .collect();
         for addr in &addrs {
             alloc.free(*addr).unwrap();
         }
-        prop_assert_eq!(alloc.live_count(), 0);
+        assert_eq!(alloc.live_count(), 0);
         for addr in &addrs {
-            prop_assert!(alloc.free(*addr).is_err(), "double free at {addr}");
+            assert!(alloc.free(*addr).is_err(), "double free at {addr}");
         }
     }
 }

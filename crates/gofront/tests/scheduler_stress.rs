@@ -130,10 +130,7 @@ fn faulting_goroutine_aborts_the_program_cleanly() {
     assert!(matches!(err, Fault::Memory(_)), "{err}");
     // After the abort, the runtime is back in the trusted environment.
     assert_eq!(rt.lb().current_env(), litterbox::TRUSTED_ENV);
-    assert!(rt
-        .lb()
-        .load_u64(rt.global_addr("main.total"))
-        .is_ok());
+    assert!(rt.lb().load_u64(rt.global_addr("main.total")).is_ok());
 }
 
 #[test]

@@ -2,12 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use enclosure_telemetry::{Event, Recorder};
 
 use crate::CostModel;
 
 /// Counters for the hardware events the evaluation reports on.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HwStats {
     /// PKRU register writes (LB_MPK switches do two each).
     pub wrpkru: u64,
@@ -52,6 +52,7 @@ pub struct Clock {
     now_ns: u64,
     model: CostModel,
     stats: HwStats,
+    recorder: Recorder,
 }
 
 impl Clock {
@@ -62,7 +63,26 @@ impl Clock {
             now_ns: 0,
             model,
             stats: HwStats::default(),
+            recorder: Recorder::new(),
         }
+    }
+
+    /// The telemetry recorder riding on this clock. Every layer that
+    /// can charge simulated time records its events here.
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Mutable access to the telemetry recorder.
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    /// Records a telemetry event stamped with the current simulated
+    /// time.
+    pub fn record(&mut self, event: Event) {
+        self.recorder.record(self.now_ns, event);
     }
 
     /// Current simulated time in nanoseconds.
@@ -83,10 +103,12 @@ impl Clock {
         self.stats
     }
 
-    /// Resets time and counters (used between benchmark phases).
+    /// Resets time, counters, and telemetry (used between benchmark
+    /// phases; a trace ring stays enabled but is emptied).
     pub fn reset(&mut self) {
         self.now_ns = 0;
         self.stats = HwStats::default();
+        self.recorder.reset();
     }
 
     /// Advances the clock by an arbitrary workload compute cost.
@@ -132,6 +154,7 @@ impl Clock {
     pub fn charge_vm_exit(&mut self) {
         self.now_ns += self.model.vm_exit;
         self.stats.vm_exits += 1;
+        self.record(Event::VmExit);
     }
 
     /// Charges a `pkey_mprotect` (LB_MPK transfer) of a 4-page section.
@@ -146,6 +169,7 @@ impl Clock {
         let units = pages.div_ceil(4).max(1);
         self.now_ns += self.model.pkey_mprotect * units;
         self.stats.transfers += 1;
+        self.record(Event::PkeyMprotect { pages });
     }
 
     /// Charges an LB_VTX transfer (presence-bit toggle) of a 4-page

@@ -1,7 +1,5 @@
 //! The calibrated cost model.
 
-use serde::{Deserialize, Serialize};
-
 /// Simulated costs (in nanoseconds) of the hardware and kernel primitives
 /// the two LitterBox backends exercise.
 ///
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// All macro results are derived from these constants plus workload-issued
 /// compute charges; nothing in the evaluation layer hard-codes a Table 2
 /// number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Vanilla closure call + return.
     pub call_base: u64,
@@ -119,6 +117,22 @@ mod tests {
     fn paper_preset_reconstructs_table1_transfer_row() {
         let m = CostModel::paper();
         assert_eq!(m.pkey_mprotect, 1002);
+        assert_eq!(m.vtx_transfer, 158);
+    }
+
+    #[test]
+    fn paper_constants_are_pinned_to_table1() {
+        // Calibration-drift tripwire: these are the paper's primitive
+        // costs, not derived quantities. If any needs to change, the
+        // Table 1 reconstruction above and every macro result move too.
+        let m = CostModel::paper();
+        assert_eq!(m.wrpkru, 20, "WRPKRU ≈ 20 ns");
+        assert_eq!(m.kernel_syscall, 387, "syscall crossing = 387 ns");
+        assert_eq!(m.vm_exit, 3739, "VM EXIT ≈ 4 µs");
+        assert_eq!(m.pkey_mprotect, 1002, "pkey_mprotect ≈ 1 µs");
+        assert_eq!(m.callsite_check, 1);
+        assert_eq!(m.guest_syscall, 440);
+        assert_eq!(m.seccomp_check, 136);
         assert_eq!(m.vtx_transfer, 158);
     }
 

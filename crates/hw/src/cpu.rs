@@ -51,6 +51,8 @@ impl Cpu {
     /// the `litterbox` crate, which is the only caller of this method.
     pub fn write_pkru(&mut self, pkru: Pkru) {
         self.clock.charge_wrpkru();
+        self.clock
+            .record(enclosure_telemetry::Event::Wrpkru { pkru: pkru.bits() });
         self.pkru = pkru;
     }
 
@@ -78,7 +80,11 @@ impl Cpu {
             let entry = table.entry(page.base()).expect("checked by table.check");
             if !self.pkru.allows(entry.key, needed) {
                 return Err(VmemError::PkeyFault {
-                    addr: if page == addr.page() { addr } else { page.base() },
+                    addr: if page == addr.page() {
+                        addr
+                    } else {
+                        page.base()
+                    },
                     key: entry.key,
                     needed,
                     pkru: self.pkru.bits(),

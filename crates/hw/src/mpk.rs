@@ -14,15 +14,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use enclosure_vmem::{Access, ProtectionKey};
 
 /// Number of protection keys the hardware provides.
 pub const NUM_KEYS: u8 = 16;
 
 /// The PKRU register: 2 bits (AD, WD) per key, 16 keys, 32 bits total.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pkru(u32);
 
 impl Pkru {

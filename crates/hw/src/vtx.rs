@@ -5,8 +5,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use enclosure_vmem::{Access, Addr, PageTable, VirtRange, VmemError};
 
 use crate::Clock;
@@ -15,9 +13,7 @@ use crate::Clock;
 ///
 /// Environment 0 is always the *trusted* table, which maps every package
 /// except LitterBox's `super` with user access (§5.3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct EnvId(pub u32);
 
 /// The trusted (non-enclosed) environment.
@@ -82,6 +78,7 @@ impl Vm {
             return Err(VtxError::UnknownEnv(env));
         }
         clock.charge_guest_syscall();
+        clock.record(enclosure_telemetry::Event::Cr3Write { env: env.0 });
         let previous = self.cr3;
         self.cr3 = env;
         Ok(previous)
@@ -249,8 +246,16 @@ mod tests {
         assert_eq!(clock.stats().transfers, 1);
 
         // Source no longer sees the pages; destination does.
-        assert!(vm.table(TRUSTED_ENV).unwrap().check(Addr(0x40_000), 1, Access::R).is_err());
-        assert!(vm.table(EnvId(1)).unwrap().check(Addr(0x40_000), 1, Access::R).is_ok());
+        assert!(vm
+            .table(TRUSTED_ENV)
+            .unwrap()
+            .check(Addr(0x40_000), 1, Access::R)
+            .is_err());
+        assert!(vm
+            .table(EnvId(1))
+            .unwrap()
+            .check(Addr(0x40_000), 1, Access::R)
+            .is_ok());
     }
 
     #[test]

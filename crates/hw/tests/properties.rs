@@ -2,73 +2,72 @@
 
 use enclosure_hw::mpk::{KeyAllocator, Pkru, NUM_KEYS};
 use enclosure_hw::{Clock, CostModel};
+use enclosure_support::XorShift;
 use enclosure_vmem::Access;
-use proptest::prelude::*;
 
-fn arb_data_rights() -> impl Strategy<Value = Access> {
-    prop_oneof![Just(Access::NONE), Just(Access::R), Just(Access::RW)]
+fn arb_data_rights(rng: &mut XorShift) -> Access {
+    *rng.choose(&[Access::NONE, Access::R, Access::RW])
 }
 
-proptest! {
+enclosure_support::props! {
     /// PKRU set/get round-trips per key, independent of other keys'
     /// state (the two bits per key never alias).
-    #[test]
-    fn pkru_key_rights_are_independent(
-        settings in proptest::collection::vec((0u8..NUM_KEYS, arb_data_rights()), 0..32)
-    ) {
+    fn pkru_key_rights_are_independent(rng) {
         let mut pkru = Pkru::allow_all();
         let mut expected = [Access::RW; NUM_KEYS as usize];
-        for (key, rights) in settings {
+        for _ in 0..rng.range_usize(0, 32) {
+            let key = rng.range_u8(0, NUM_KEYS);
+            let rights = arb_data_rights(rng);
             pkru.set_key_rights(key, rights);
             expected[key as usize] = rights;
         }
         for key in 0..NUM_KEYS {
-            prop_assert_eq!(pkru.key_rights(key), expected[key as usize], "key {}", key);
+            assert_eq!(pkru.key_rights(key), expected[key as usize], "key {key}");
         }
     }
 
     /// PKRU bit-pattern round trip: `from_bits(bits()).allows` agrees.
-    #[test]
-    fn pkru_bits_roundtrip(bits in any::<u32>(), key in 0u8..NUM_KEYS) {
+    fn pkru_bits_roundtrip(rng) {
+        let bits = rng.next_u32();
+        let key = rng.range_u8(0, NUM_KEYS);
         let pkru = Pkru::from_bits(bits);
         let copy = Pkru::from_bits(pkru.bits());
-        prop_assert_eq!(pkru.key_rights(key), copy.key_rights(key));
+        assert_eq!(pkru.key_rights(key), copy.key_rights(key));
         // allows() is consistent with key_rights().
-        prop_assert_eq!(pkru.allows(key, Access::R), pkru.key_rights(key).contains(Access::R));
-        prop_assert_eq!(pkru.allows(key, Access::W), pkru.key_rights(key).contains(Access::W));
+        assert_eq!(pkru.allows(key, Access::R), pkru.key_rights(key).contains(Access::R));
+        assert_eq!(pkru.allows(key, Access::W), pkru.key_rights(key).contains(Access::W));
     }
 
     /// The key allocator never double-allocates, never hands out key 0,
     /// and frees make keys reusable.
-    #[test]
-    fn key_allocator_is_sound(ops in proptest::collection::vec(any::<bool>(), 1..64)) {
+    fn key_allocator_is_sound(rng) {
+        let ops = rng.range_usize(1, 64);
         let mut alloc = KeyAllocator::new();
         let mut live: Vec<u8> = Vec::new();
-        for op in ops {
-            if op || live.is_empty() {
+        for _ in 0..ops {
+            if rng.next_bool() || live.is_empty() {
                 if let Ok(key) = alloc.alloc() {
-                    prop_assert!(key != 0, "key 0 is reserved");
-                    prop_assert!(!live.contains(&key), "double allocation of {key}");
+                    assert!(key != 0, "key 0 is reserved");
+                    assert!(!live.contains(&key), "double allocation of {key}");
                     live.push(key);
                 } else {
-                    prop_assert_eq!(live.len(), 15, "exhaustion only at 15 live keys");
+                    assert_eq!(live.len(), 15, "exhaustion only at 15 live keys");
                 }
             } else {
                 let key = live.pop().expect("non-empty");
                 alloc.free(key);
             }
-            prop_assert_eq!(alloc.allocated(), live.len() + 1); // +1 for key 0
+            assert_eq!(alloc.allocated(), live.len() + 1); // +1 for key 0
         }
     }
 
     /// Clock charges are additive and stats never decrease.
-    #[test]
-    fn clock_is_monotone(charges in proptest::collection::vec(0u8..7, 0..64)) {
+    fn clock_is_monotone(rng) {
         let mut clock = Clock::new(CostModel::paper());
         let mut last = 0;
-        for charge in charges {
+        for _ in 0..rng.range_usize(0, 64) {
             let before_stats = clock.stats();
-            match charge {
+            match rng.range_u8(0, 7) {
                 0 => clock.charge_call(),
                 1 => clock.charge_wrpkru(),
                 2 => clock.charge_guest_syscall(),
@@ -77,25 +76,25 @@ proptest! {
                 5 => clock.charge_vm_exit(),
                 _ => clock.charge_pkey_mprotect(),
             }
-            prop_assert!(clock.now_ns() >= last);
+            assert!(clock.now_ns() >= last);
             last = clock.now_ns();
             let after = clock.stats();
-            prop_assert!(after.wrpkru >= before_stats.wrpkru);
-            prop_assert!(after.syscalls >= before_stats.syscalls);
-            prop_assert!(after.transfers >= before_stats.transfers);
+            assert!(after.wrpkru >= before_stats.wrpkru);
+            assert!(after.syscalls >= before_stats.syscalls);
+            assert!(after.transfers >= before_stats.transfers);
         }
     }
 
     /// Scaled transfer charges: cost is proportional to 4-page units and
     /// a 4-page transfer equals the Table 1 unit exactly.
-    #[test]
-    fn transfer_scaling_units(pages in 1u64..4096) {
+    fn transfer_scaling_units(rng) {
+        let pages = rng.range_u64(1, 4096);
         let mut clock = Clock::new(CostModel::paper());
         clock.charge_pkey_mprotect_pages(pages);
         let units = pages.div_ceil(4);
-        prop_assert_eq!(clock.now_ns(), units * 1002);
+        assert_eq!(clock.now_ns(), units * 1002);
         let mut clock = Clock::new(CostModel::paper());
         clock.charge_vtx_transfer_pages(pages);
-        prop_assert_eq!(clock.now_ns(), units * 158);
+        assert_eq!(clock.now_ns(), units * 158);
     }
 }

@@ -11,8 +11,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 // --- Instruction class ---
 /// Load into the accumulator.
 pub const BPF_LD: u16 = 0x00;
@@ -72,7 +70,7 @@ pub const SECCOMP_RET_ALLOW: u32 = 0x7fff_0000;
 pub const SECCOMP_RET_KILL_PROCESS: u32 = 0x8000_0000;
 
 /// One classic-BPF instruction (`struct sock_filter`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Insn {
     /// Opcode: class | mode | size or condition.
     pub code: u16,
@@ -233,7 +231,7 @@ impl fmt::Display for BpfError {
 impl std::error::Error for BpfError {}
 
 /// A validated classic-BPF program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     insns: Vec<Insn>,
 }
@@ -381,10 +379,7 @@ impl Program {
                     if mode == BPF_ABS {
                         let off = insn.k as usize;
                         if off + 4 > data.len() {
-                            return Err(BpfError::LoadOutOfRange {
-                                pc,
-                                offset: insn.k,
-                            });
+                            return Err(BpfError::LoadOutOfRange { pc, offset: insn.k });
                         }
                         acc = u32::from_le_bytes([
                             data[off],
@@ -441,7 +436,13 @@ impl Program {
                             })
                         }
                     };
-                    pc = pc + 1 + if taken { insn.jt as usize } else { insn.jf as usize };
+                    pc = pc
+                        + 1
+                        + if taken {
+                            insn.jt as usize
+                        } else {
+                            insn.jf as usize
+                        };
                 }
                 BPF_RET => {
                     return Ok(insn.k);

@@ -6,12 +6,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Errno;
 
 /// Flags for [`FileSystem::open`]-style access, carried on the fd.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpenFlags {
     /// Open for reading.
     pub read: bool,
@@ -55,7 +53,7 @@ impl OpenFlags {
 }
 
 /// The in-memory filesystem: absolute path → contents.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FileSystem {
     files: BTreeMap<String, Vec<u8>>,
 }
@@ -108,10 +106,7 @@ impl FileSystem {
     ///
     /// [`Errno::Enoent`] if the path does not exist.
     pub fn read(&self, path: &str) -> Result<&[u8], Errno> {
-        self.files
-            .get(path)
-            .map(Vec::as_slice)
-            .ok_or(Errno::Enoent)
+        self.files.get(path).map(Vec::as_slice).ok_or(Errno::Enoent)
     }
 
     /// Reads `len` bytes at `pos`, clamped to the file size.

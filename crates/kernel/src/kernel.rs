@@ -56,7 +56,11 @@ impl SyscallRecord {
 
 impl fmt::Display for SyscallRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}({:#x}, {:#x}, ...)", self.sysno, self.args[0], self.args[1])
+        write!(
+            f,
+            "{}({:#x}, {:#x}, ...)",
+            self.sysno, self.args[0], self.args[1]
+        )
     }
 }
 
@@ -159,9 +163,15 @@ impl Kernel {
         self.costs.io_base + self.costs.io_per_64b * (len as u64).div_ceil(64)
     }
 
-    fn charge(clock: &mut Clock, service: u64) {
+    fn charge(clock: &mut Clock, sysno: Sysno, service: u64) {
         clock.charge_kernel_syscall();
         clock.advance(service);
+        let enclosed = clock.recorder().enclosed();
+        clock.record(enclosure_telemetry::Event::SyscallEntry {
+            sysno: sysno.nr(),
+            category: sysno.category().keyword(),
+            enclosed,
+        });
     }
 
     /// Commands passed to `exec` so far (the backdoor detector's ledger).
@@ -174,37 +184,37 @@ impl Kernel {
 
     /// `getuid`.
     pub fn getuid(&self, clock: &mut Clock) -> u32 {
-        Self::charge(clock, 0);
+        Self::charge(clock, Sysno::Getuid, 0);
         self.uid
     }
 
     /// `getpid`.
     pub fn getpid(&self, clock: &mut Clock) -> u32 {
-        Self::charge(clock, 0);
+        Self::charge(clock, Sysno::Getpid, 0);
         self.pid
     }
 
     /// `clock_gettime`: the simulated time itself.
     pub fn clock_gettime(&self, clock: &mut Clock) -> u64 {
-        Self::charge(clock, 0);
+        Self::charge(clock, Sysno::ClockGettime, 0);
         clock.now_ns()
     }
 
     /// `nanosleep`: advances simulated time.
     pub fn nanosleep(&self, clock: &mut Clock, ns: u64) {
-        Self::charge(clock, ns);
+        Self::charge(clock, Sysno::Nanosleep, ns);
     }
 
     /// `exec`: records the command (used by the backdoor scenarios; no
     /// actual process is spawned).
     pub fn exec(&mut self, clock: &mut Clock, command: &str) {
-        Self::charge(clock, self.costs.exec);
+        Self::charge(clock, Sysno::Exec, self.costs.exec);
         self.exec_log.push(command.to_owned());
     }
 
     /// `futex`: charged wait/wake (no real blocking in the simulation).
     pub fn futex(&self, clock: &mut Clock) {
-        Self::charge(clock, self.costs.futex);
+        Self::charge(clock, Sysno::Futex, self.costs.futex);
     }
 
     // --- file ---
@@ -215,7 +225,7 @@ impl Kernel {
     ///
     /// Propagates filesystem errors ([`Errno::Enoent`] etc.).
     pub fn open(&mut self, clock: &mut Clock, path: &str, flags: OpenFlags) -> Result<u32, Errno> {
-        Self::charge(clock, self.costs.open);
+        Self::charge(clock, Sysno::Open, self.costs.open);
         self.fs.open(path, flags)?;
         let fd = self.next_fd;
         self.next_fd += 1;
@@ -236,7 +246,7 @@ impl Kernel {
     ///
     /// [`Errno::Enoent`] for missing paths.
     pub fn stat(&self, clock: &mut Clock, path: &str) -> Result<u64, Errno> {
-        Self::charge(clock, self.costs.stat);
+        Self::charge(clock, Sysno::Stat, self.costs.stat);
         self.fs.stat(path)
     }
 
@@ -246,13 +256,13 @@ impl Kernel {
     ///
     /// [`Errno::Enoent`] for missing paths.
     pub fn unlink(&mut self, clock: &mut Clock, path: &str) -> Result<(), Errno> {
-        Self::charge(clock, self.costs.unlink);
+        Self::charge(clock, Sysno::Unlink, self.costs.unlink);
         self.fs.unlink(path)
     }
 
     /// `readdir`: paths under a prefix.
     pub fn readdir(&self, clock: &mut Clock, prefix: &str) -> Vec<String> {
-        Self::charge(clock, self.costs.readdir);
+        Self::charge(clock, Sysno::Readdir, self.costs.readdir);
         self.fs.readdir(prefix)
     }
 
@@ -265,7 +275,7 @@ impl Kernel {
     /// [`Errno::Ebadf`] for unknown fds, [`Errno::Eacces`] for files opened
     /// without read, socket errors from the network layer.
     pub fn read(&mut self, clock: &mut Clock, fd: u32, len: usize) -> Result<Vec<u8>, Errno> {
-        Self::charge(clock, self.io_cost(len));
+        Self::charge(clock, Sysno::Read, self.io_cost(len));
         match self.fds.get_mut(&fd) {
             Some(FdKind::File { path, pos, flags }) => {
                 if !flags.read {
@@ -286,7 +296,7 @@ impl Kernel {
     ///
     /// Mirror of [`Kernel::read`].
     pub fn write(&mut self, clock: &mut Clock, fd: u32, data: &[u8]) -> Result<usize, Errno> {
-        Self::charge(clock, self.io_cost(data.len()));
+        Self::charge(clock, Sysno::Write, self.io_cost(data.len()));
         match self.fds.get_mut(&fd) {
             Some(FdKind::File { path, pos, flags }) => {
                 if !flags.write {
@@ -307,7 +317,7 @@ impl Kernel {
     ///
     /// [`Errno::Ebadf`] for unknown fds.
     pub fn close(&mut self, clock: &mut Clock, fd: u32) -> Result<(), Errno> {
-        Self::charge(clock, self.costs.io_base);
+        Self::charge(clock, Sysno::Close, self.costs.io_base);
         match self.fds.remove(&fd) {
             Some(FdKind::Sock(sock)) => self.net.close(sock),
             Some(FdKind::File { .. }) => Ok(()),
@@ -319,7 +329,7 @@ impl Kernel {
 
     /// `socket`.
     pub fn socket(&mut self, clock: &mut Clock) -> u32 {
-        Self::charge(clock, self.costs.socket);
+        Self::charge(clock, Sysno::Socket, self.costs.socket);
         let sock = self.net.socket();
         let fd = self.next_fd;
         self.next_fd += 1;
@@ -333,7 +343,7 @@ impl Kernel {
     ///
     /// Network errors; [`Errno::Enotsock`] for non-socket fds.
     pub fn bind(&mut self, clock: &mut Clock, fd: u32, addr: SockAddr) -> Result<(), Errno> {
-        Self::charge(clock, self.costs.bind);
+        Self::charge(clock, Sysno::Bind, self.costs.bind);
         let sock = self.sock_of(fd)?;
         self.net.bind(sock, addr)
     }
@@ -344,7 +354,7 @@ impl Kernel {
     ///
     /// Network errors; [`Errno::Enotsock`] for non-socket fds.
     pub fn listen(&mut self, clock: &mut Clock, fd: u32) -> Result<(), Errno> {
-        Self::charge(clock, self.costs.listen);
+        Self::charge(clock, Sysno::Listen, self.costs.listen);
         let sock = self.sock_of(fd)?;
         self.net.listen(sock)
     }
@@ -355,7 +365,7 @@ impl Kernel {
     ///
     /// [`Errno::Eagain`] when the backlog is empty.
     pub fn accept(&mut self, clock: &mut Clock, fd: u32) -> Result<u32, Errno> {
-        Self::charge(clock, self.costs.accept);
+        Self::charge(clock, Sysno::Accept, self.costs.accept);
         let sock = self.sock_of(fd)?;
         let conn = self.net.accept(sock)?;
         let new_fd = self.next_fd;
@@ -370,7 +380,7 @@ impl Kernel {
     ///
     /// [`Errno::Econnrefused`] when nobody listens at `addr`.
     pub fn connect(&mut self, clock: &mut Clock, fd: u32, addr: SockAddr) -> Result<(), Errno> {
-        Self::charge(clock, self.costs.connect);
+        Self::charge(clock, Sysno::Connect, self.costs.connect);
         let sock = self.sock_of(fd)?;
         self.net.connect(sock, addr)
     }
@@ -381,7 +391,7 @@ impl Kernel {
     ///
     /// Network errors.
     pub fn send(&mut self, clock: &mut Clock, fd: u32, data: &[u8]) -> Result<usize, Errno> {
-        Self::charge(clock, self.io_cost(data.len()));
+        Self::charge(clock, Sysno::Sendto, self.io_cost(data.len()));
         let sock = self.sock_of(fd)?;
         self.net.send(sock, data)
     }
@@ -392,7 +402,7 @@ impl Kernel {
     ///
     /// [`Errno::Eagain`] when no data is available.
     pub fn recv(&mut self, clock: &mut Clock, fd: u32, len: usize) -> Result<Vec<u8>, Errno> {
-        Self::charge(clock, self.io_cost(len));
+        Self::charge(clock, Sysno::Recvfrom, self.io_cost(len));
         let sock = self.sock_of(fd)?;
         self.net.recv(sock, len)
     }
@@ -511,7 +521,10 @@ mod tests {
         let before = c1.now_ns();
         k.write(&mut c1, fd, &[0u8; 6400]).unwrap();
         let large = c1.now_ns() - before;
-        assert!(large > small, "larger writes cost more ({large} vs {small})");
+        assert!(
+            large > small,
+            "larger writes cost more ({large} vs {small})"
+        );
     }
 
     #[test]
@@ -530,6 +543,9 @@ mod tests {
         let mut c = clock();
         let fd = k.open(&mut c, "/f", OpenFlags::write_create()).unwrap();
         assert_eq!(k.listen(&mut c, fd), Err(Errno::Enotsock));
-        assert_eq!(k.connect(&mut c, fd, SockAddr::local(1)), Err(Errno::Enotsock));
+        assert_eq!(
+            k.connect(&mut c, fd, SockAddr::local(1)),
+            Err(Errno::Enotsock)
+        );
     }
 }

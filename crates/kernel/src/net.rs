@@ -11,8 +11,6 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Errno;
 
 /// An IPv4 address in host byte order.
@@ -25,7 +23,7 @@ pub fn ipv4(a: u8, b: u8, c: u8, d: u8) -> u32 {
 pub const LOCALHOST: u32 = 0x7f00_0001;
 
 /// A socket address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SockAddr {
     /// IPv4 address, host byte order.
     pub ip: u32,
@@ -61,7 +59,7 @@ impl fmt::Display for SockAddr {
 }
 
 /// Identifier of a socket inside the network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SocketId(pub u32);
 
 /// One record of bytes leaving the simulated machine.
@@ -132,11 +130,7 @@ impl Network {
     /// Registers a remote host that accepts connections. `responder`, if
     /// given, is invoked on each received payload and may push a reply
     /// into the sender's receive queue.
-    pub fn register_remote(
-        &mut self,
-        addr: SockAddr,
-        responder: Option<Responder>,
-    ) {
+    pub fn register_remote(&mut self, addr: SockAddr, responder: Option<Responder>) {
         self.remotes.insert(
             addr,
             RemoteHost {
@@ -222,9 +216,7 @@ impl Network {
     /// [`Errno::Ebadf`] for non-listening or unknown sockets.
     pub fn accept(&mut self, id: SocketId) -> Result<SocketId, Errno> {
         match self.sockets.get_mut(&id) {
-            Some(SocketState::Listener { backlog, .. }) => {
-                backlog.pop_front().ok_or(Errno::Eagain)
-            }
+            Some(SocketState::Listener { backlog, .. }) => backlog.pop_front().ok_or(Errno::Eagain),
             Some(_) => Err(Errno::Einval),
             None => Err(Errno::Ebadf),
         }
@@ -260,8 +252,7 @@ impl Network {
                 rx: VecDeque::new(),
                 closed: false,
             };
-            if let Some(SocketState::Listener { backlog, .. }) = self.sockets.get_mut(&listener)
-            {
+            if let Some(SocketState::Listener { backlog, .. }) = self.sockets.get_mut(&listener) {
                 backlog.push_back(server_end);
             }
             return Ok(());
@@ -366,8 +357,7 @@ impl Network {
                 peer: Peer::Local(peer_id),
                 ..
             } => {
-                if let Some(SocketState::Stream { closed, .. }) = self.sockets.get_mut(&peer_id)
-                {
+                if let Some(SocketState::Stream { closed, .. }) = self.sockets.get_mut(&peer_id) {
                     *closed = true;
                 }
             }

@@ -12,8 +12,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bpf::{Insn, Program, SECCOMP_RET_ALLOW, SECCOMP_RET_KILL_PROCESS};
 use crate::{CategorySet, Sysno};
 
@@ -40,7 +38,7 @@ pub const MAX_CONNECT_ALLOWLIST: usize = 120;
 
 /// A per-environment syscall policy: the paper's `SysFilter`, plus the
 /// §6.5 argument-level extension for `connect`.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SysPolicy {
     /// Categories the environment may call (`none` = empty set).
     pub categories: CategorySet,
@@ -130,7 +128,7 @@ impl fmt::Display for SysPolicy {
 }
 
 /// One row of the PKRU-indexed filter table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeccompRule {
     /// The PKRU value identifying the execution environment.
     pub pkru: u32,

@@ -3,13 +3,11 @@
 use std::fmt;
 use std::ops::BitOr;
 
-use serde::{Deserialize, Serialize};
-
 /// The system calls the simulated kernel implements.
 ///
 /// Numbers follow the x86-64 Linux ABI where a counterpart exists, so
 /// seccomp programs look like the real thing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u32)]
 #[non_exhaustive]
 #[allow(missing_docs)] // names are the documentation; categories below
@@ -128,7 +126,7 @@ impl fmt::Display for Sysno {
 }
 
 /// The paper's syscall categories (§2.2 `SysFilter` grammar).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum SysCategory {
     /// Network access: sockets, connect, send/recv.
@@ -196,7 +194,7 @@ impl fmt::Display for SysCategory {
 }
 
 /// A set of [`SysCategory`] values, the payload of a `SysFilter`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CategorySet(u8);
 
 impl CategorySet {
@@ -249,7 +247,9 @@ impl CategorySet {
 
     /// Iterates over the categories present.
     pub fn iter(self) -> impl Iterator<Item = SysCategory> {
-        SysCategory::ALL.into_iter().filter(move |c| self.contains(*c))
+        SysCategory::ALL
+            .into_iter()
+            .filter(move |c| self.contains(*c))
     }
 }
 

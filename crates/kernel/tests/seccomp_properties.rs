@@ -6,69 +6,61 @@
 
 use enclosure_kernel::seccomp::{SeccompFilter, SeccompRule, SysPolicy};
 use enclosure_kernel::{CategorySet, SysCategory, Sysno};
-use proptest::prelude::*;
+use enclosure_support::XorShift;
 
-fn arb_category_set() -> impl Strategy<Value = CategorySet> {
-    proptest::collection::vec(0usize..SysCategory::ALL.len(), 0..4).prop_map(|idxs| {
-        idxs.into_iter()
-            .map(|i| SysCategory::ALL[i])
-            .collect::<CategorySet>()
-    })
+fn arb_category_set(rng: &mut XorShift) -> CategorySet {
+    (0..rng.range_usize(0, 4))
+        .map(|_| SysCategory::ALL[rng.range_usize(0, SysCategory::ALL.len())])
+        .collect::<CategorySet>()
 }
 
-fn arb_policy() -> impl Strategy<Value = SysPolicy> {
-    (
-        arb_category_set(),
-        proptest::option::of(proptest::collection::vec(any::<u32>(), 0..4)),
-    )
-        .prop_map(|(categories, allowlist)| {
-            let mut policy = SysPolicy::categories(categories);
-            if let Some(list) = allowlist {
-                policy = policy.with_connect_allowlist(list);
-            }
-            policy
-        })
+fn arb_policy(rng: &mut XorShift) -> SysPolicy {
+    let mut policy = SysPolicy::categories(arb_category_set(rng));
+    if rng.next_bool() {
+        let list: Vec<u32> = (0..rng.range_usize(0, 4)).map(|_| rng.next_u32()).collect();
+        policy = policy.with_connect_allowlist(list);
+    }
+    policy
 }
 
-fn arb_sysno() -> impl Strategy<Value = Sysno> {
-    (0usize..Sysno::ALL.len()).prop_map(|i| Sysno::ALL[i])
+fn arb_sysno(rng: &mut XorShift) -> Sysno {
+    Sysno::ALL[rng.range_usize(0, Sysno::ALL.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_args(rng: &mut XorShift) -> [u64; 6] {
+    std::array::from_fn(|_| rng.next_u64())
+}
 
+enclosure_support::props! {
     /// Single-rule filters: BPF verdict == direct check, for matching
     /// PKRU; everything is killed under an unknown PKRU.
-    #[test]
-    fn compiled_filter_equals_direct_check(
-        policy in arb_policy(),
-        sysno in arb_sysno(),
-        args in proptest::array::uniform6(any::<u64>()),
-        pkru in any::<u32>(),
-        other_pkru in any::<u32>(),
-    ) {
+    fn compiled_filter_equals_direct_check(rng, cases = 256) {
+        let policy = arb_policy(rng);
+        let sysno = arb_sysno(rng);
+        let args = arb_args(rng);
+        let pkru = rng.next_u32();
+        let other_pkru = rng.next_u32();
         let filter = SeccompFilter::compile(&[SeccompRule {
             pkru,
             policy: policy.clone(),
         }])
         .unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             filter.check(sysno, &args, pkru),
             policy.allows(sysno, &args),
-            "policy {} sysno {}", policy, sysno
+            "policy {policy} sysno {sysno}"
         );
         if other_pkru != pkru {
-            prop_assert!(!filter.check(sysno, &args, other_pkru));
+            assert!(!filter.check(sysno, &args, other_pkru));
         }
     }
 
     /// Multi-rule filters: each environment's verdict is independent.
-    #[test]
-    fn multi_rule_filters_keep_rules_independent(
-        policies in proptest::collection::vec(arb_policy(), 1..5),
-        sysno in arb_sysno(),
-        args in proptest::array::uniform6(any::<u64>()),
-    ) {
+    fn multi_rule_filters_keep_rules_independent(rng, cases = 256) {
+        let policies: Vec<SysPolicy> =
+            (0..rng.range_usize(1, 5)).map(|_| arb_policy(rng)).collect();
+        let sysno = arb_sysno(rng);
+        let args = arb_args(rng);
         // Distinct PKRU values per rule.
         let rules: Vec<SeccompRule> = policies
             .iter()
@@ -80,7 +72,7 @@ proptest! {
             .collect();
         let filter = SeccompFilter::compile(&rules).unwrap();
         for rule in &rules {
-            prop_assert_eq!(
+            assert_eq!(
                 filter.check(sysno, &args, rule.pkru),
                 rule.policy.allows(sysno, &args)
             );
@@ -89,23 +81,21 @@ proptest! {
 
     /// Monotonicity: a policy that is a subset of another never allows a
     /// call the superset denies.
-    #[test]
-    fn subset_policies_allow_subset_of_calls(
-        a in arb_policy(),
-        b in arb_policy(),
-        sysno in arb_sysno(),
-        args in proptest::array::uniform6(any::<u64>()),
-    ) {
+    fn subset_policies_allow_subset_of_calls(rng, cases = 256) {
+        let a = arb_policy(rng);
+        let b = arb_policy(rng);
+        let sysno = arb_sysno(rng);
+        let args = arb_args(rng);
         if a.is_subset_of(&b) && a.allows(sysno, &args) {
-            prop_assert!(b.allows(sysno, &args), "a={a} b={b} sysno={sysno}");
+            assert!(b.allows(sysno, &args), "a={a} b={b} sysno={sysno}");
         }
     }
 
     /// The `none` policy is the bottom element; `all` (without an
     /// allowlist) is the top.
-    #[test]
-    fn none_and_all_are_lattice_extremes(policy in arb_policy()) {
-        prop_assert!(SysPolicy::none().is_subset_of(&policy));
-        prop_assert!(policy.is_subset_of(&SysPolicy::all()));
+    fn none_and_all_are_lattice_extremes(rng, cases = 256) {
+        let policy = arb_policy(rng);
+        assert!(SysPolicy::none().is_subset_of(&policy));
+        assert!(policy.is_subset_of(&SysPolicy::all()));
     }
 }

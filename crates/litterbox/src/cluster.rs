@@ -8,15 +8,13 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use enclosure_vmem::Access;
 
 use crate::{EnclosureDesc, EnclosureId};
 
 /// A cluster of packages that share identical access rights across every
 /// enclosure memory view.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetaPackage {
     /// Dense index (LB_MPK maps it to protection key `index + 1`).
     pub index: usize,
@@ -38,7 +36,7 @@ impl MetaPackage {
 }
 
 /// Result of clustering: the meta-packages plus a package → meta index.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Clustering {
     /// The meta-packages, densely indexed.
     pub metas: Vec<MetaPackage>,
@@ -80,19 +78,13 @@ pub fn cluster(package_names: &[String], enclosures: &[EnclosureDesc]) -> Cluste
     for name in &names {
         let signature: Vec<(EnclosureId, Access)> = by_id
             .iter()
-            .map(|e| {
-                (
-                    e.id,
-                    e.view.get(name).copied().unwrap_or(Access::NONE),
-                )
-            })
+            .map(|e| (e.id, e.view.get(name).copied().unwrap_or(Access::NONE)))
             .collect();
         groups.entry(signature).or_default().push(name.clone());
     }
 
     // Deterministic index order: by first member name.
-    let mut ordered: Vec<(Vec<(EnclosureId, Access)>, Vec<String>)> =
-        groups.into_iter().collect();
+    let mut ordered: Vec<(Vec<(EnclosureId, Access)>, Vec<String>)> = groups.into_iter().collect();
     ordered.sort_by(|a, b| a.1[0].cmp(&b.1[0]));
 
     let mut clustering = Clustering::default();
@@ -118,10 +110,7 @@ mod tests {
         EnclosureDesc {
             id: EnclosureId(id),
             name: format!("e{id}"),
-            view: view
-                .iter()
-                .map(|(n, a)| (n.to_string(), *a))
-                .collect(),
+            view: view.iter().map(|(n, a)| (n.to_string(), *a)).collect(),
             policy: SysPolicy::none(),
         }
     }
@@ -134,7 +123,11 @@ mod tests {
     fn identical_rights_cluster_together() {
         let encls = vec![enclosure(
             1,
-            &[("libfx", Access::RWX), ("util", Access::RWX), ("secrets", Access::R)],
+            &[
+                ("libfx", Access::RWX),
+                ("util", Access::RWX),
+                ("secrets", Access::R),
+            ],
         )];
         let c = cluster(&names(&["libfx", "util", "secrets", "main"]), &encls);
         assert_eq!(c.len(), 3, "RWX pair, R singleton, unmapped singleton");

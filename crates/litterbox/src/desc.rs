@@ -4,8 +4,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use enclosure_kernel::seccomp::SysPolicy;
 use enclosure_vmem::{Access, Addr, Section, SectionKind, VirtRange, PAGE_SIZE};
 
@@ -20,9 +18,7 @@ pub type ViewMap = BTreeMap<String, Access>;
 /// (§5.1: "the parser also registers per-package enclosures and assigns
 /// unique identifiers"). Ids start at 1; 0 is reserved for the trusted
 /// environment.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EnclosureId(pub u32);
 
 impl fmt::Display for EnclosureId {
@@ -32,7 +28,7 @@ impl fmt::Display for EnclosureId {
 }
 
 /// Description of one package: its sections and direct dependencies.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackageDesc {
     /// Unique package name (e.g. `"libfx"`).
     pub name: String,
@@ -49,7 +45,7 @@ pub struct PackageDesc {
 /// For compiled languages the linker computes the full view (§5.1); for
 /// dynamic languages LitterBox derives it from `deps` via
 /// [`crate::deps::natural_dependencies`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnclosureDesc {
     /// The enclosure's unique id (≥ 1).
     pub id: EnclosureId,
@@ -63,7 +59,7 @@ pub struct EnclosureDesc {
 
 /// The addresses of the ELF image a package occupies, as returned by the
 /// [`ProgramDesc::add_package`] convenience constructor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PackageLayout {
     text: VirtRange,
     rodata: VirtRange,
@@ -251,9 +247,6 @@ mod tests {
         let pkg = &prog.packages[0];
         assert_eq!(pkg.deps, vec!["libfx"]);
         assert!(pkg.sections.iter().any(|s| s.name() == "img.text"));
-        assert!(pkg
-            .sections
-            .iter()
-            .any(|s| s.kind() == SectionKind::Rodata));
+        assert!(pkg.sections.iter().any(|s| s.kind() == SectionKind::Rodata));
     }
 }

@@ -69,6 +69,24 @@ pub enum Fault {
     },
 }
 
+impl Fault {
+    /// A stable discriminant label for telemetry (`Event::Fault`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::Memory(_) => "memory",
+            Fault::SyscallDenied { .. } => "syscall_denied",
+            Fault::Escalation { .. } => "escalation",
+            Fault::UnverifiedCallsite { .. } => "unverified_callsite",
+            Fault::ExecDenied { .. } => "exec_denied",
+            Fault::Init(_) => "init",
+            Fault::UnknownEnclosure(_) => "unknown_enclosure",
+            Fault::UnknownPackage(_) => "unknown_package",
+            Fault::SwitchMismatch { .. } => "switch_mismatch",
+        }
+    }
+}
+
 impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -77,10 +95,7 @@ impl fmt::Display for Fault {
                 record,
                 env,
                 env_name,
-            } => write!(
-                f,
-                "syscall denied: {record} in {env} ('{env_name}')"
-            ),
+            } => write!(f, "syscall denied: {record} in {env} ('{env_name}')"),
             Fault::Escalation { from, to, detail } => {
                 write!(f, "escalation attempt: '{from}' -> '{to}' ({detail})")
             }
@@ -88,7 +103,10 @@ impl fmt::Display for Fault {
                 write!(f, "LitterBox API call from unverified call-site {addr}")
             }
             Fault::ExecDenied { package, env_name } => {
-                write!(f, "invocation of '{package}' denied in '{env_name}' (no X right)")
+                write!(
+                    f,
+                    "invocation of '{package}' denied in '{env_name}' (no X right)"
+                )
             }
             Fault::Init(msg) => write!(f, "init rejected: {msg}"),
             Fault::UnknownEnclosure(id) => write!(f, "unknown {id}"),

@@ -57,7 +57,10 @@ impl LitterBox {
     ///
     /// [`SysError::Fault`] if the current filter denies `time` calls.
     pub fn sys_nanosleep(&mut self, ns: u64) -> Result<(), SysError> {
-        self.gate(SyscallRecord::with_args(Sysno::Nanosleep, [ns, 0, 0, 0, 0, 0]))?;
+        self.gate(SyscallRecord::with_args(
+            Sysno::Nanosleep,
+            [ns, 0, 0, 0, 0, 0],
+        ))?;
         let (kernel, clock) = self.kernel_and_clock();
         kernel.nanosleep(clock, ns);
         Ok(())
@@ -202,7 +205,14 @@ impl LitterBox {
     pub fn sys_bind(&mut self, fd: u32, addr: SockAddr) -> Result<(), SysError> {
         self.gate(SyscallRecord::with_args(
             Sysno::Bind,
-            [u64::from(fd), u64::from(addr.ip), u64::from(addr.port), 0, 0, 0],
+            [
+                u64::from(fd),
+                u64::from(addr.ip),
+                u64::from(addr.port),
+                0,
+                0,
+                0,
+            ],
         ))?;
         let (kernel, clock) = self.kernel_and_clock();
         Ok(kernel.bind(clock, fd, addr)?)
@@ -290,7 +300,10 @@ mod tests {
     use enclosure_kernel::{CategorySet, SysCategory};
     use enclosure_vmem::Access;
 
-    fn machine_with_enclosure(backend: Backend, policy: SysPolicy) -> (LitterBox, enclosure_vmem::Addr) {
+    fn machine_with_enclosure(
+        backend: Backend,
+        policy: SysPolicy,
+    ) -> (LitterBox, enclosure_vmem::Addr) {
         let mut lb = LitterBox::new(backend);
         let mut prog = ProgramDesc::new();
         prog.add_package(&mut lb, "lib", 1, 1, 1).unwrap();
@@ -336,7 +349,10 @@ mod tests {
         );
         let t = lb.prolog(EnclosureId(1), cs).unwrap();
         let fd = lb.sys_socket().unwrap();
-        assert!(lb.sys_open("/etc/passwd", OpenFlags::read_only()).unwrap_err().is_fault());
+        assert!(lb
+            .sys_open("/etc/passwd", OpenFlags::read_only())
+            .unwrap_err()
+            .is_fault());
         // close is io-category: also denied under net-only.
         assert!(lb.sys_close(fd).unwrap_err().is_fault());
         lb.epilog(t).unwrap();
@@ -367,7 +383,10 @@ mod tests {
             lb.sys_connect(fd, good).unwrap();
             let fd2 = lb.sys_socket().unwrap();
             let err = lb.sys_connect(fd2, evil).unwrap_err();
-            assert!(matches!(err, crate::SysError::Fault(Fault::SyscallDenied { .. })));
+            assert!(matches!(
+                err,
+                crate::SysError::Fault(Fault::SyscallDenied { .. })
+            ));
             lb.epilog(t).unwrap();
         }
     }

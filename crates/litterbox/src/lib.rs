@@ -54,11 +54,11 @@
 
 pub mod cluster;
 pub mod deps;
-pub mod scan;
 mod desc;
 mod fault;
 mod gateway;
 mod machine;
+pub mod scan;
 
 pub use desc::{EnclosureDesc, EnclosureId, PackageDesc, PackageLayout, ProgramDesc, ViewMap};
 pub use fault::{Fault, SysError};

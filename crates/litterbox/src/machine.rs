@@ -8,8 +8,9 @@ use enclosure_hw::vtx::{EnvId, Vm, TRUSTED_ENV};
 use enclosure_hw::{Clock, CostModel, Cpu, HwStats};
 use enclosure_kernel::seccomp::{SeccompFilter, SeccompRule, SysPolicy};
 use enclosure_kernel::{Kernel, SyscallRecord};
+use enclosure_telemetry::{Event, Recorder, SpanScope};
 use enclosure_vmem::{
-    Access, AddressSpace, Addr, PageTable, ProtectionKey, Section, SectionKind, VirtRange,
+    Access, Addr, AddressSpace, PageTable, ProtectionKey, Section, SectionKind, VirtRange,
 };
 
 use crate::cluster::{cluster, Clustering};
@@ -222,6 +223,38 @@ impl LitterBox {
         self.cpu.clock().stats()
     }
 
+    /// The telemetry recorder: counters, trace ring, and span
+    /// attribution for everything this machine (and the kernel and
+    /// hardware beneath it) did.
+    #[must_use]
+    pub fn telemetry(&self) -> &Recorder {
+        self.cpu.clock().recorder()
+    }
+
+    /// Mutable telemetry access (enable tracing, reset between runs).
+    pub fn telemetry_mut(&mut self) -> &mut Recorder {
+        self.cpu.clock_mut().recorder_mut()
+    }
+
+    /// Records a telemetry event at the current simulated time.
+    fn record(&mut self, event: Event) {
+        self.cpu.clock_mut().record(event);
+    }
+
+    /// Records a fault event and hands the fault back (error-path
+    /// helper for the API surface).
+    fn trace_fault(&mut self, fault: Fault) -> Fault {
+        self.record(Event::Fault { kind: fault.kind() });
+        fault
+    }
+
+    /// Keeps the recorder's in-enclosure flag in sync with `current`
+    /// after every environment change.
+    fn sync_enclosed_flag(&mut self) {
+        let enclosed = self.current != TRUSTED_ENV;
+        self.cpu.clock_mut().recorder_mut().set_enclosed(enclosed);
+    }
+
     /// Current simulated time.
     #[must_use]
     pub fn now_ns(&self) -> u64 {
@@ -314,8 +347,7 @@ impl LitterBox {
             let _ = writeln!(out, "  syscalls: {}", info.policy);
             let mut view: Vec<_> = info.view.iter().collect();
             view.sort();
-            let rendered: Vec<String> =
-                view.iter().map(|(p, a)| format!("{p}:{a}")).collect();
+            let rendered: Vec<String> = view.iter().map(|(p, a)| format!("{p}:{a}")).collect();
             let _ = writeln!(out, "  view: {}", rendered.join(" "));
             match &self.hw {
                 HwState::Baseline => {}
@@ -326,7 +358,8 @@ impl LitterBox {
                 }
                 HwState::Vtx { vm } => {
                     if let Some(table) = vm.table(env) {
-                        let _ = writeln!(out, "  page table: {} pages mapped", table.mapped_pages());
+                        let _ =
+                            writeln!(out, "  page table: {} pages mapped", table.mapped_pages());
                     }
                 }
             }
@@ -367,12 +400,24 @@ impl LitterBox {
     /// ambiguous PKRU/filter combinations).
     pub fn init(&mut self, mut desc: ProgramDesc) -> Result<(), Fault> {
         if self.initialized {
-            return Err(Fault::Init("init called twice (use init_incremental)".into()));
+            return Err(self.trace_fault(Fault::Init(
+                "init called twice (use init_incremental)".into(),
+            )));
         }
-        self.install_internal_packages(&mut desc)?;
-        self.ingest(desc)?;
-        self.rebuild()?;
+        let before_ns = self.init_ns;
+        let run = (|| {
+            self.install_internal_packages(&mut desc)?;
+            self.ingest(desc)?;
+            self.rebuild()
+        })();
+        run.map_err(|e| self.trace_fault(e))?;
         self.initialized = true;
+        self.record(Event::Init {
+            packages: self.packages.len() as u64,
+            enclosures: self.enclosures.len() as u64,
+            incremental: false,
+            ns: self.init_ns - before_ns,
+        });
         Ok(())
     }
 
@@ -385,12 +430,22 @@ impl LitterBox {
     ///
     /// Same conditions as [`LitterBox::init`].
     pub fn init_incremental(&mut self, mut desc: ProgramDesc) -> Result<(), Fault> {
-        if !self.initialized {
-            self.install_internal_packages(&mut desc)?;
-        }
-        self.ingest(desc)?;
-        self.rebuild()?;
+        let before_ns = self.init_ns;
+        let run = (|| {
+            if !self.initialized {
+                self.install_internal_packages(&mut desc)?;
+            }
+            self.ingest(desc)?;
+            self.rebuild()
+        })();
+        run.map_err(|e| self.trace_fault(e))?;
         self.initialized = true;
+        self.record(Event::Init {
+            packages: self.packages.len() as u64,
+            enclosures: self.enclosures.len() as u64,
+            incremental: true,
+            ns: self.init_ns - before_ns,
+        });
         Ok(())
     }
 
@@ -404,22 +459,25 @@ impl LitterBox {
     ///
     /// [`Fault::UnknownEnclosure`] for unknown ids; otherwise the same
     /// conditions as [`LitterBox::init`].
-    pub fn update_enclosure_view(
-        &mut self,
-        id: EnclosureId,
-        view: ViewMap,
-    ) -> Result<(), Fault> {
-        let enc = self
-            .enclosures
-            .get_mut(&id)
-            .ok_or(Fault::UnknownEnclosure(id))?;
+    pub fn update_enclosure_view(&mut self, id: EnclosureId, view: ViewMap) -> Result<(), Fault> {
+        let Some(enc) = self.enclosures.get_mut(&id) else {
+            return Err(self.trace_fault(Fault::UnknownEnclosure(id)));
+        };
         enc.view = view;
-        self.rebuild()
+        let before_ns = self.init_ns;
+        self.rebuild().map_err(|e| self.trace_fault(e))?;
+        self.record(Event::ViewUpdate {
+            enclosure: id.0,
+            ns: self.init_ns - before_ns,
+        });
+        Ok(())
     }
 
     fn install_internal_packages(&mut self, desc: &mut ProgramDesc) -> Result<(), Fault> {
-        for (name, kind) in [(LB_USER_PKG, SectionKind::Text), (LB_SUPER_PKG, SectionKind::Data)]
-        {
+        for (name, kind) in [
+            (LB_USER_PKG, SectionKind::Text),
+            (LB_SUPER_PKG, SectionKind::Data),
+        ] {
             let range = self
                 .space
                 .alloc(enclosure_vmem::PAGE_SIZE)
@@ -614,6 +672,7 @@ impl LitterBox {
         self.clustering = clustering;
         self.hw = hw;
         self.current = resume;
+        self.sync_enclosed_flag();
         self.switch_hw(resume)?;
         Ok(())
     }
@@ -728,11 +787,7 @@ impl LitterBox {
     /// * [`Fault::Escalation`] if the target is less restrictive than the
     ///   current environment (§2.2);
     /// * [`Fault::UnknownEnclosure`] for unregistered ids.
-    pub fn prolog(
-        &mut self,
-        enclosure: EnclosureId,
-        callsite: Addr,
-    ) -> Result<SwitchToken, Fault> {
+    pub fn prolog(&mut self, enclosure: EnclosureId, callsite: Addr) -> Result<SwitchToken, Fault> {
         if self.backend == Backend::Baseline {
             // Vanilla closure: no switch, no checks.
             self.seq += 1;
@@ -742,27 +797,60 @@ impl LitterBox {
                 seq: self.seq,
             };
             self.stack.push((self.current, self.seq));
+            self.enter_span(enclosure);
             return Ok(token);
         }
         if !self.enclosures.contains_key(&enclosure) {
-            return Err(Fault::UnknownEnclosure(enclosure));
+            return Err(self.trace_fault(Fault::UnknownEnclosure(enclosure)));
         }
         self.cpu.clock_mut().charge_callsite_check();
         if !self.verif.contains(&callsite) {
-            return Err(Fault::UnverifiedCallsite { addr: callsite });
+            return Err(self.trace_fault(Fault::UnverifiedCallsite { addr: callsite }));
         }
         let target = EnvId(enclosure.0);
-        self.check_monotone(target)?;
+        if let Err(e) = self.check_monotone(target) {
+            return Err(self.trace_fault(e));
+        }
         let prev = self.current;
-        self.switch_hw(target)?;
+        self.switch_hw(target).map_err(|e| self.trace_fault(e))?;
         self.seq += 1;
         self.stack.push((prev, self.seq));
         self.current = target;
+        self.sync_enclosed_flag();
+        self.enter_span(enclosure);
         Ok(SwitchToken {
             enclosure,
             prev,
             seq: self.seq,
         })
+    }
+
+    /// Opens the telemetry span for `enclosure` and records the prolog
+    /// event.
+    fn enter_span(&mut self, enclosure: EnclosureId) {
+        let name = self
+            .enclosures
+            .get(&enclosure)
+            .map_or_else(|| format!("enc#{}", enclosure.0), |e| e.name.clone());
+        let package = self
+            .enclosures
+            .get(&enclosure)
+            .and_then(|e| {
+                e.view
+                    .keys()
+                    .filter(|p| p.as_str() != LB_USER_PKG)
+                    .min()
+                    .cloned()
+            })
+            .unwrap_or_else(|| "-".to_owned());
+        let clock = self.cpu.clock_mut();
+        let now = clock.now_ns();
+        clock
+            .recorder_mut()
+            .begin_span(now, SpanScope::new(name, package, enclosure.0));
+        clock.record(Event::Prolog {
+            enclosure: enclosure.0,
+        });
     }
 
     /// `Epilog`: returns to the environment captured by `token`.
@@ -772,23 +860,31 @@ impl LitterBox {
     /// [`Fault::SwitchMismatch`] if prolog/epilog nesting is violated.
     pub fn epilog(&mut self, token: SwitchToken) -> Result<(), Fault> {
         let Some((prev, seq)) = self.stack.pop() else {
-            return Err(Fault::SwitchMismatch {
+            return Err(self.trace_fault(Fault::SwitchMismatch {
                 expected: token.prev,
                 actual: self.current,
-            });
+            }));
         };
         if seq != token.seq || prev != token.prev {
             self.stack.push((prev, seq));
-            return Err(Fault::SwitchMismatch {
+            return Err(self.trace_fault(Fault::SwitchMismatch {
                 expected: token.prev,
                 actual: self.current,
-            });
+            }));
         }
         if self.backend != Backend::Baseline {
-            self.switch_hw(token.prev)?;
+            self.switch_hw(token.prev)
+                .map_err(|e| self.trace_fault(e))?;
         }
         self.current = token.prev;
+        self.sync_enclosed_flag();
         self.cpu.clock_mut().note_switch_pair();
+        let clock = self.cpu.clock_mut();
+        let now = clock.now_ns();
+        clock.recorder_mut().end_span(now);
+        clock.record(Event::Epilog {
+            enclosure: token.enclosure.0,
+        });
         Ok(())
     }
 
@@ -805,21 +901,31 @@ impl LitterBox {
                 current: self.current,
                 stack: std::mem::take(&mut self.stack),
             };
+            self.record(Event::Execute {
+                from_env: prev.current.0,
+                to_env: ctx.current.0,
+            });
             self.current = ctx.current;
             self.stack = ctx.stack;
             return Ok(prev);
         }
         self.cpu.clock_mut().charge_callsite_check();
         if !self.verif.contains(&callsite) {
-            return Err(Fault::UnverifiedCallsite { addr: callsite });
+            return Err(self.trace_fault(Fault::UnverifiedCallsite { addr: callsite }));
         }
-        self.switch_hw(ctx.current)?;
+        self.switch_hw(ctx.current)
+            .map_err(|e| self.trace_fault(e))?;
         let prev = EnvContext {
             current: self.current,
             stack: std::mem::take(&mut self.stack),
         };
+        self.record(Event::Execute {
+            from_env: prev.current.0,
+            to_env: ctx.current.0,
+        });
         self.current = ctx.current;
         self.stack = ctx.stack;
+        self.sync_enclosed_flag();
         Ok(prev)
     }
 
@@ -891,26 +997,26 @@ impl LitterBox {
         to: &str,
     ) -> Result<(), Fault> {
         if !self.packages.contains_key(to) {
-            return Err(Fault::UnknownPackage(to.to_owned()));
+            return Err(self.trace_fault(Fault::UnknownPackage(to.to_owned())));
         }
         // Detach from the previous owner.
         if let Some(from) = from {
-            let info = self
-                .packages
-                .get_mut(from)
-                .ok_or_else(|| Fault::UnknownPackage(from.to_owned()))?;
+            let Some(info) = self.packages.get_mut(from) else {
+                return Err(self.trace_fault(Fault::UnknownPackage(from.to_owned())));
+            };
             let before = info.sections.len();
             info.sections.retain(|s| s.range() != range);
             if info.sections.len() == before {
-                return Err(Fault::Init(format!(
+                return Err(self.trace_fault(Fault::Init(format!(
                     "transfer source '{from}' does not own {range}"
-                )));
+                ))));
             }
             self.ranges.retain(|(r, _)| *r != range);
         } else if let Some(owner) = self.package_at(range.start()) {
-            return Err(Fault::Init(format!(
+            let owner = owner.to_owned();
+            return Err(self.trace_fault(Fault::Init(format!(
                 "transfer of {range} without `from`, but '{owner}' owns it"
-            )));
+            ))));
         }
 
         // Attach to the destination.
@@ -919,13 +1025,17 @@ impl LitterBox {
             SectionKind::Arena,
             range,
         )
-        .map_err(|e| Fault::Init(e.to_string()))?;
+        .map_err(|e| self.trace_fault(Fault::Init(e.to_string())))?;
         self.packages
             .get_mut(to)
             .expect("checked above")
             .sections
             .push(section);
         self.ranges.push((range, to.to_owned()));
+        self.record(Event::Transfer {
+            pages: range.page_len(),
+            to: to.to_owned(),
+        });
 
         // Hardware update.
         match &mut self.hw {
@@ -983,22 +1093,42 @@ impl LitterBox {
             HwState::Baseline => true,
             HwState::Mpk { filter, .. } => {
                 self.cpu.clock_mut().charge_seccomp();
-                filter.check(record.sysno, &record.args, self.cpu.pkru().bits())
+                let allowed = filter.check(record.sysno, &record.args, self.cpu.pkru().bits());
+                // Every PKRU-indexed BPF evaluation is a verdict, trusted
+                // code included (it pays the filter too, Table 1).
+                self.record(Event::SeccompVerdict {
+                    category: record.sysno.category().keyword(),
+                    allowed,
+                });
+                allowed
             }
             HwState::Vtx { .. } => {
                 // Every guest syscall hypercalls to the host (§5.3).
                 self.cpu.clock_mut().charge_vm_exit();
-                self.envs[&self.current].policy.allows(record.sysno, &record.args)
+                self.envs[&self.current]
+                    .policy
+                    .allows(record.sysno, &record.args)
             }
         };
+        // The FilterSyscall *API event* is only meaningful for enclosed
+        // callers: trusted code never consults an enclosure policy, even
+        // though it pays the backend's filtering tax above. This keeps
+        // `filter_syscalls == enclosed_syscall_entries` exact.
+        if self.current != TRUSTED_ENV && self.backend != Backend::Baseline {
+            self.record(Event::FilterSyscall {
+                sysno: record.sysno.nr(),
+                allowed,
+            });
+        }
         if allowed {
             Ok(())
         } else {
-            Err(Fault::SyscallDenied {
+            let fault = Fault::SyscallDenied {
                 record,
                 env: self.current,
                 env_name: self.env_name(self.current).to_owned(),
-            })
+            };
+            Err(self.trace_fault(fault))
         }
     }
 
@@ -1204,9 +1334,13 @@ mod tests {
             let err = lb
                 .filter_syscall(SyscallRecord::new(Sysno::Getuid))
                 .unwrap_err();
-            assert!(matches!(err, Fault::SyscallDenied { .. }), "{backend}: {err}");
+            assert!(
+                matches!(err, Fault::SyscallDenied { .. }),
+                "{backend}: {err}"
+            );
             lb.epilog(token).unwrap();
-            lb.filter_syscall(SyscallRecord::new(Sysno::Getuid)).unwrap();
+            lb.filter_syscall(SyscallRecord::new(Sysno::Getuid))
+                .unwrap();
         }
     }
 
@@ -1249,12 +1383,7 @@ mod tests {
     #[test]
     fn litterbox_super_is_unreachable_from_enclosures_and_trusted() {
         let (mut lb, f) = figure1(Backend::Mpk);
-        let super_range = lb
-            .packages
-            .get(LB_SUPER_PKG)
-            .unwrap()
-            .sections[0]
-            .range();
+        let super_range = lb.packages.get(LB_SUPER_PKG).unwrap().sections[0].range();
         // Even trusted user code cannot touch super.
         assert!(lb.load(super_range.start(), 8).is_err());
         let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
@@ -1439,7 +1568,10 @@ mod tests {
         let mut lb = LitterBox::new(Backend::Mpk);
         let mut prog = ProgramDesc::new();
         prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
-        for (id, cats) in [(1, CategorySet::NONE), (2, CategorySet::only(SysCategory::Net))] {
+        for (id, cats) in [
+            (1, CategorySet::NONE),
+            (2, CategorySet::only(SysCategory::Net)),
+        ] {
             prog.add_enclosure(EnclosureDesc {
                 id: EnclosureId(id),
                 name: format!("e{id}"),
@@ -1459,7 +1591,10 @@ mod tests {
         let mut prog = ProgramDesc::new();
         prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
         let cs = prog.verified_callsite();
-        for (id, cats) in [(1, CategorySet::NONE), (2, CategorySet::only(SysCategory::Proc))] {
+        for (id, cats) in [
+            (1, CategorySet::NONE),
+            (2, CategorySet::only(SysCategory::Proc)),
+        ] {
             prog.add_enclosure(EnclosureDesc {
                 id: EnclosureId(id),
                 name: format!("e{id}"),
@@ -1469,10 +1604,13 @@ mod tests {
         }
         lb.init(prog).unwrap();
         let t = lb.prolog(EnclosureId(2), cs).unwrap();
-        lb.filter_syscall(SyscallRecord::new(Sysno::Getuid)).unwrap();
+        lb.filter_syscall(SyscallRecord::new(Sysno::Getuid))
+            .unwrap();
         lb.epilog(t).unwrap();
         let t = lb.prolog(EnclosureId(1), cs).unwrap();
-        assert!(lb.filter_syscall(SyscallRecord::new(Sysno::Getuid)).is_err());
+        assert!(lb
+            .filter_syscall(SyscallRecord::new(Sysno::Getuid))
+            .is_err());
         lb.epilog(t).unwrap();
     }
 

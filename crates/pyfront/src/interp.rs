@@ -262,8 +262,13 @@ impl Interpreter {
         }
         let enclosed = self.lb.current_env() != TRUSTED_ENV;
         let prev = if enclosed {
-            let prev = self.lb.execute(EnvContext::trusted(), self.runtime_callsite)?;
+            let prev = self
+                .lb
+                .execute(EnvContext::trusted(), self.runtime_callsite)?;
             self.stats.metadata_switches += 2;
+            self.lb
+                .clock_mut()
+                .record(enclosure_telemetry::Event::MetadataSwitch);
             Some(prev)
         } else {
             None
@@ -271,8 +276,7 @@ impl Interpreter {
         let before: BTreeSet<String> = self.loaded.clone();
         let mut result = self.import_inner(name);
         if result.is_ok() && enclosed {
-            let new_modules: Vec<String> =
-                self.loaded.difference(&before).cloned().collect();
+            let new_modules: Vec<String> = self.loaded.difference(&before).cloned().collect();
             result = self.extend_current_enclosure_view(&new_modules);
         }
         if let Some(prev) = prev {
@@ -285,11 +289,10 @@ impl Interpreter {
         if self.loaded.contains(name) {
             return Ok(());
         }
-        let def = self
-            .registry
-            .get(name)
-            .cloned()
-            .ok_or_else(|| Fault::Init(format!("ModuleNotFoundError: no module named '{name}'")))?;
+        let def =
+            self.registry.get(name).cloned().ok_or_else(|| {
+                Fault::Init(format!("ModuleNotFoundError: no module named '{name}'"))
+            })?;
         // Parse + compile cost.
         self.lb
             .clock_mut()
@@ -306,15 +309,18 @@ impl Interpreter {
         let mut prog = ProgramDesc::new();
         prog.add_package_desc(PackageDesc {
             name: name.to_owned(),
-            sections: vec![Section::new(
-                format!("{name}.text"),
-                SectionKind::Text,
-                range,
-            )
-            .map_err(|e| Fault::Init(e.to_string()))?],
+            sections: vec![
+                Section::new(format!("{name}.text"), SectionKind::Text, range)
+                    .map_err(|e| Fault::Init(e.to_string()))?,
+            ],
             deps: def.dep_list().to_vec(),
         });
         self.lb.init_incremental(prog)?;
+        self.lb
+            .clock_mut()
+            .record(enclosure_telemetry::Event::IncrementalInit {
+                module: name.to_owned(),
+            });
         self.loaded.insert(name.to_owned());
         self.stats.imports += 1;
         // Python executes the module's top level, which imports its own
@@ -335,7 +341,10 @@ impl Interpreter {
         let Some(current) = self.enclosure_stack.last().cloned() else {
             return Ok(());
         };
-        let enc = self.enclosures.get(&current).expect("stack holds known enclosures");
+        let enc = self
+            .enclosures
+            .get(&current)
+            .expect("stack holds known enclosures");
         let restricted: HashMap<&str, Access> = enc
             .policy
             .modifiers()
@@ -359,10 +368,7 @@ impl Interpreter {
         }
         let id = enc.id;
         self.lb.update_enclosure_view(id, view.clone())?;
-        self.enclosures
-            .get_mut(&current)
-            .expect("checked")
-            .view = view;
+        self.enclosures.get_mut(&current).expect("checked").view = view;
         Ok(())
     }
 
@@ -477,7 +483,9 @@ impl Interpreter {
             }
             MetadataMode::Decoupled => {
                 let data = self.allocator.alloc(&mut self.lb, module, size)?;
-                let meta = self.allocator.alloc(&mut self.lb, META_MODULE, HEADER_BYTES)?;
+                let meta = self
+                    .allocator
+                    .alloc(&mut self.lb, META_MODULE, HEADER_BYTES)?;
                 (meta, data)
             }
         };
@@ -550,10 +558,15 @@ impl Interpreter {
         if self.lb.current_env() == TRUSTED_ENV {
             return f(&mut self.lb);
         }
-        let prev = self.lb.execute(EnvContext::trusted(), self.runtime_callsite)?;
+        let prev = self
+            .lb
+            .execute(EnvContext::trusted(), self.runtime_callsite)?;
         let result = f(&mut self.lb);
         self.lb.execute(prev, self.runtime_callsite)?;
         self.stats.metadata_switches += 2;
+        self.lb
+            .clock_mut()
+            .record(enclosure_telemetry::Event::MetadataSwitch);
         result
     }
 
@@ -628,8 +641,13 @@ impl Interpreter {
     fn collect(&mut self, full: bool) -> Result<u64, Fault> {
         let enclosed = self.lb.current_env() != TRUSTED_ENV;
         let prev = if enclosed {
-            let prev = self.lb.execute(EnvContext::trusted(), self.runtime_callsite)?;
+            let prev = self
+                .lb
+                .execute(EnvContext::trusted(), self.runtime_callsite)?;
             self.stats.metadata_switches += 2;
+            self.lb
+                .clock_mut()
+                .record(enclosure_telemetry::Event::MetadataSwitch);
             Some(prev)
         } else {
             None
@@ -871,9 +889,7 @@ mod tests {
         let mut py = Interpreter::new(backend, mode);
         py.register_module(PyModuleDef::new("secret"));
         py.register_module(PyModuleDef::new("numpy").loc(50_000));
-        py.register_module(
-            PyModuleDef::new("plotlib").deps(&["numpy"]).loc(110_000),
-        );
+        py.register_module(PyModuleDef::new("plotlib").deps(&["numpy"]).loc(110_000));
         py.register_module(PyModuleDef::new("colorsys").loc(300));
         py
     }

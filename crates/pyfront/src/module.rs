@@ -1,9 +1,7 @@
 //! Module definitions: what `pip install` put on the path, before import.
 
-use serde::{Deserialize, Serialize};
-
 /// A module available for import (registered, not yet loaded).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PyModuleDef {
     name: String,
     deps: Vec<String>,

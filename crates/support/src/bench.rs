@@ -1,0 +1,73 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace's `[[bench]]` targets use `harness = false` and drive
+//! this instead of an external framework, so `cargo bench` works with
+//! zero registry access. Measurements are wall-clock (`std::time::
+//! Instant`) medians over a fixed sample count — good enough to spot
+//! order-of-magnitude regressions in the simulator itself; the
+//! *simulated* numbers are deterministic and live in `repro`.
+
+use std::time::Instant;
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Samples taken.
+    pub samples: u32,
+    /// Median per-iteration time.
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<40} {:>12} ns/iter (min {}, max {}, {} samples)",
+            self.name, self.median_ns, self.min_ns, self.max_ns, self.samples
+        )
+    }
+}
+
+/// Times `f` for `samples` runs (after one untimed warmup) and prints
+/// the summary line. Returns the result for callers that aggregate.
+pub fn bench(name: &str, samples: u32, mut f: impl FnMut()) -> BenchResult {
+    assert!(samples > 0, "need at least one sample");
+    f(); // warmup
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let result = BenchResult {
+        name: name.to_owned(),
+        samples,
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        max_ns: times[times.len() - 1],
+    };
+    println!("{result}");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_summarizes() {
+        let mut count = 0u32;
+        let r = bench("noop", 5, || count += 1);
+        assert_eq!(count, 6, "warmup + samples");
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+    }
+}

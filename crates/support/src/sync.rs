@@ -1,0 +1,32 @@
+//! Std-backed synchronization re-exports.
+//!
+//! The workspace previously declared `parking_lot`; nothing needs its
+//! extra semantics, so the std types are re-exported under the same
+//! names for any future crate that wants a lock without a dependency.
+
+pub use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a mutex, recovering the guard even if a holder panicked
+/// (poisoning is irrelevant to the simulator's single-threaded tests).
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = std::sync::Arc::new(Mutex::new(1u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*lock_unpoisoned(&m), 1);
+    }
+}

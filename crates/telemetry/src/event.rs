@@ -1,0 +1,219 @@
+//! The typed event vocabulary, spanning every layer of the stack.
+
+use std::fmt;
+
+/// One telemetry event. Environment ids are raw `u32`s (the numeric
+/// half of `hw::vtx::EnvId`) so this crate stays at the bottom of the
+/// dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    // --- LitterBox API surface -----------------------------------------
+    /// `Init` or `InitIncremental` completed, charging `ns` of delayed
+    /// initialization.
+    Init {
+        /// Packages registered by this (re)build.
+        packages: u64,
+        /// Enclosures declared by this (re)build.
+        enclosures: u64,
+        /// Whether this was an incremental (lazy-import) init.
+        incremental: bool,
+        /// Simulated nanoseconds charged.
+        ns: u64,
+    },
+    /// `Prolog` switched into an enclosure.
+    Prolog {
+        /// Enclosure id.
+        enclosure: u32,
+    },
+    /// `Epilog` switched back out of an enclosure.
+    Epilog {
+        /// Enclosure id.
+        enclosure: u32,
+    },
+    /// `Execute` rescheduled the current context to another environment.
+    Execute {
+        /// Source environment.
+        from_env: u32,
+        /// Destination environment.
+        to_env: u32,
+    },
+    /// `Transfer` moved pages to another package's arena.
+    Transfer {
+        /// Pages moved.
+        pages: u64,
+        /// Destination package.
+        to: String,
+    },
+    /// `FilterSyscall` ran the current environment's filter.
+    FilterSyscall {
+        /// Raw syscall number.
+        sysno: u32,
+        /// Verdict: allowed through to the kernel?
+        allowed: bool,
+    },
+    /// An enclosure's view was updated after declaration, charging `ns`
+    /// of (delayed-initialization) rebuild time.
+    ViewUpdate {
+        /// Enclosure id.
+        enclosure: u32,
+        /// Simulated nanoseconds charged by the rebuild.
+        ns: u64,
+    },
+    /// A fault was raised (memory, syscall denial, escalation, ...).
+    Fault {
+        /// Fault discriminant, e.g. `"syscall_denied"`.
+        kind: &'static str,
+    },
+
+    // --- Hardware primitives -------------------------------------------
+    /// A WRPKRU instruction retired (MPK backend).
+    Wrpkru {
+        /// The PKRU value written.
+        pkru: u32,
+    },
+    /// CR3 was rewritten to another environment's page table (VTX
+    /// backend guest-syscall switch).
+    Cr3Write {
+        /// Environment whose table is now active.
+        env: u32,
+    },
+    /// A VM EXIT to the host (VTX backend host syscall).
+    VmExit,
+    /// `pkey_mprotect` retagged pages.
+    PkeyMprotect {
+        /// Pages retagged.
+        pages: u64,
+    },
+
+    // --- Kernel ---------------------------------------------------------
+    /// A syscall entered the kernel (post-filter).
+    SyscallEntry {
+        /// Raw syscall number.
+        sysno: u32,
+        /// Category label, e.g. `"file"`, `"net"`.
+        category: &'static str,
+        /// Whether the caller was inside an enclosure.
+        enclosed: bool,
+    },
+    /// A seccomp-BPF verdict (MPK backend filter evaluation).
+    SeccompVerdict {
+        /// Category label of the filtered syscall.
+        category: &'static str,
+        /// Verdict.
+        allowed: bool,
+    },
+
+    // --- gofront ---------------------------------------------------------
+    /// The Go scheduler rescheduled a goroutine across environments via
+    /// `Execute`.
+    Reschedule {
+        /// Goroutine id.
+        goroutine: u64,
+        /// Destination environment.
+        to_env: u32,
+    },
+    /// A heap span was transferred to/from a package environment.
+    SpanTransfer {
+        /// Span size in bytes.
+        bytes: u64,
+    },
+    /// A stop-the-world GC pause.
+    GcPause {
+        /// Pause length in simulated nanoseconds.
+        ns: u64,
+        /// Live objects scanned.
+        live: u64,
+    },
+
+    // --- pyfront ---------------------------------------------------------
+    /// A metadata trusted round trip (co-located refcount/GC word
+    /// touch; §6.4's dominant cost). One event covers the entry+exit
+    /// pair, i.e. two environment switches.
+    MetadataSwitch,
+    /// A lazy import triggered an incremental Init.
+    IncrementalInit {
+        /// Module being imported.
+        module: String,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Init {
+                packages,
+                enclosures,
+                incremental,
+                ns,
+            } => write!(
+                f,
+                "init{} packages={packages} enclosures={enclosures} ns={ns}",
+                if *incremental { "(incremental)" } else { "" }
+            ),
+            Event::Prolog { enclosure } => write!(f, "prolog enclosure={enclosure}"),
+            Event::Epilog { enclosure } => write!(f, "epilog enclosure={enclosure}"),
+            Event::Execute { from_env, to_env } => {
+                write!(f, "execute env {from_env} -> {to_env}")
+            }
+            Event::Transfer { pages, to } => {
+                write!(f, "transfer pages={pages} to={to}")
+            }
+            Event::FilterSyscall { sysno, allowed } => write!(
+                f,
+                "filter_syscall sysno={sysno} {}",
+                if *allowed { "allow" } else { "deny" }
+            ),
+            Event::ViewUpdate { enclosure, ns } => {
+                write!(f, "view_update enclosure={enclosure} ns={ns}")
+            }
+            Event::Fault { kind } => write!(f, "fault kind={kind}"),
+            Event::Wrpkru { pkru } => write!(f, "wrpkru pkru={pkru:#010x}"),
+            Event::Cr3Write { env } => write!(f, "cr3_write env={env}"),
+            Event::VmExit => write!(f, "vm_exit"),
+            Event::PkeyMprotect { pages } => write!(f, "pkey_mprotect pages={pages}"),
+            Event::SyscallEntry {
+                sysno,
+                category,
+                enclosed,
+            } => write!(
+                f,
+                "syscall_entry sysno={sysno} category={category}{}",
+                if *enclosed { " enclosed" } else { "" }
+            ),
+            Event::SeccompVerdict { category, allowed } => write!(
+                f,
+                "seccomp category={category} {}",
+                if *allowed { "allow" } else { "deny" }
+            ),
+            Event::Reschedule { goroutine, to_env } => {
+                write!(f, "reschedule g{goroutine} to_env={to_env}")
+            }
+            Event::SpanTransfer { bytes } => write!(f, "span_transfer bytes={bytes}"),
+            Event::GcPause { ns, live } => write!(f, "gc_pause ns={ns} live={live}"),
+            Event::MetadataSwitch => write!(f, "metadata_switch"),
+            Event::IncrementalInit { module } => write!(f, "incremental_init module={module}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_and_labeled() {
+        assert_eq!(
+            Event::FilterSyscall {
+                sysno: 41,
+                allowed: false
+            }
+            .to_string(),
+            "filter_syscall sysno=41 deny"
+        );
+        assert_eq!(Event::VmExit.to_string(), "vm_exit");
+        assert_eq!(
+            Event::GcPause { ns: 300, live: 10 }.to_string(),
+            "gc_pause ns=300 live=10"
+        );
+    }
+}

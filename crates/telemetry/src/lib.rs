@@ -1,0 +1,31 @@
+//! Telemetry for the enclosure stack: typed events, always-on counters,
+//! and cost attribution by `{enclosure, package, environment}`.
+//!
+//! Every layer of the simulator reports here — the LitterBox API
+//! surface, the hardware primitives (WRPKRU, CR3 rewrites, VM EXITs,
+//! `pkey_mprotect`), the kernel's syscall entry and seccomp verdicts,
+//! and both language frontends. One [`Recorder`] rides inside the
+//! simulated [`Clock`](../enclosure_hw/struct.Clock.html), so every
+//! component that can advance simulated time can also record what it
+//! did, and the paper's attribution claims (§6.4's switch counts and
+//! init/syscall shares, Tables 1–2's operation counts) fall out of the
+//! counters instead of per-experiment bookkeeping.
+//!
+//! Design:
+//! * [`Counters`] — fixed-cost, always-on monotonic counters; the
+//!   source of truth for every report.
+//! * [`Event`] — the typed event stream; buffered only when tracing is
+//!   enabled ([`Recorder::enable_trace`]) in a bounded ring.
+//! * span stack — [`Recorder::begin_span`]/[`Recorder::end_span`]
+//!   bracket enclosure entry/exit and attribute simulated nanoseconds
+//!   to a [`SpanScope`], splitting self-time from nested-enclosure
+//!   time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod recorder;
+
+pub use event::Event;
+pub use recorder::{Counters, Recorder, SpanCost, SpanScope, TracedEvent};

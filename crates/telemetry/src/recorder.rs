@@ -1,0 +1,468 @@
+//! The recorder sink: counters, bounded trace ring, and span
+//! attribution.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use enclosure_support::Json;
+
+use crate::event::Event;
+
+/// Always-on monotonic counters, bumped on every [`Event`]. Each field
+/// is the number of occurrences (or accumulated quantity) since the
+/// last [`Recorder::reset`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(clippy::struct_field_names)]
+pub struct Counters {
+    /// Full `Init` calls.
+    pub inits: u64,
+    /// Incremental (lazy-import) `Init` calls.
+    pub incremental_inits: u64,
+    /// Simulated nanoseconds of delayed initialization.
+    pub init_ns: u64,
+    /// `Prolog` calls (enclosure entries).
+    pub prologs: u64,
+    /// `Epilog` calls (enclosure exits).
+    pub epilogs: u64,
+    /// `Execute` reschedules.
+    pub executes: u64,
+    /// `Transfer` calls.
+    pub transfers: u64,
+    /// Pages moved by `Transfer`.
+    pub transfer_pages: u64,
+    /// `FilterSyscall` evaluations.
+    pub filter_syscalls: u64,
+    /// `FilterSyscall` denials.
+    pub filter_denied: u64,
+    /// Enclosure view updates.
+    pub view_updates: u64,
+    /// Faults raised.
+    pub faults: u64,
+    /// WRPKRU writes (MPK switches).
+    pub wrpkru_writes: u64,
+    /// CR3 rewrites (VTX guest-syscall switches).
+    pub cr3_writes: u64,
+    /// VM EXITs (VTX host syscalls).
+    pub vm_exits: u64,
+    /// `pkey_mprotect` invocations.
+    pub pkey_mprotects: u64,
+    /// Pages retagged by `pkey_mprotect`.
+    pub pkey_mprotect_pages: u64,
+    /// Kernel syscall entries (post-filter).
+    pub syscall_entries: u64,
+    /// Kernel syscall entries made from inside an enclosure.
+    pub enclosed_syscall_entries: u64,
+    /// Seccomp verdicts evaluated.
+    pub seccomp_verdicts: u64,
+    /// Seccomp denials.
+    pub seccomp_denied: u64,
+    /// Goroutine reschedules across environments.
+    pub reschedules: u64,
+    /// Heap-span transfers.
+    pub span_transfers: u64,
+    /// GC pauses.
+    pub gc_pauses: u64,
+    /// Accumulated GC pause nanoseconds.
+    pub gc_pause_ns: u64,
+    /// Metadata trusted round trips (each is two environment switches).
+    pub metadata_switches: u64,
+}
+
+impl Counters {
+    /// Serializes every counter, in declaration order, as a JSON
+    /// object — the payload behind `repro --json` counter dumps.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("inits", Json::U64(self.inits)),
+            ("incremental_inits", Json::U64(self.incremental_inits)),
+            ("init_ns", Json::U64(self.init_ns)),
+            ("prologs", Json::U64(self.prologs)),
+            ("epilogs", Json::U64(self.epilogs)),
+            ("executes", Json::U64(self.executes)),
+            ("transfers", Json::U64(self.transfers)),
+            ("transfer_pages", Json::U64(self.transfer_pages)),
+            ("filter_syscalls", Json::U64(self.filter_syscalls)),
+            ("filter_denied", Json::U64(self.filter_denied)),
+            ("view_updates", Json::U64(self.view_updates)),
+            ("faults", Json::U64(self.faults)),
+            ("wrpkru_writes", Json::U64(self.wrpkru_writes)),
+            ("cr3_writes", Json::U64(self.cr3_writes)),
+            ("vm_exits", Json::U64(self.vm_exits)),
+            ("pkey_mprotects", Json::U64(self.pkey_mprotects)),
+            ("pkey_mprotect_pages", Json::U64(self.pkey_mprotect_pages)),
+            ("syscall_entries", Json::U64(self.syscall_entries)),
+            (
+                "enclosed_syscall_entries",
+                Json::U64(self.enclosed_syscall_entries),
+            ),
+            ("seccomp_verdicts", Json::U64(self.seccomp_verdicts)),
+            ("seccomp_denied", Json::U64(self.seccomp_denied)),
+            ("reschedules", Json::U64(self.reschedules)),
+            ("span_transfers", Json::U64(self.span_transfers)),
+            ("gc_pauses", Json::U64(self.gc_pauses)),
+            ("gc_pause_ns", Json::U64(self.gc_pause_ns)),
+            ("metadata_switches", Json::U64(self.metadata_switches)),
+        ])
+    }
+
+    fn bump(&mut self, event: &Event) {
+        match event {
+            Event::Init {
+                incremental, ns, ..
+            } => {
+                if *incremental {
+                    self.incremental_inits += 1;
+                } else {
+                    self.inits += 1;
+                }
+                self.init_ns += ns;
+            }
+            Event::Prolog { .. } => self.prologs += 1,
+            Event::Epilog { .. } => self.epilogs += 1,
+            Event::Execute { .. } => self.executes += 1,
+            Event::Transfer { pages, .. } => {
+                self.transfers += 1;
+                self.transfer_pages += pages;
+            }
+            Event::FilterSyscall { allowed, .. } => {
+                self.filter_syscalls += 1;
+                if !allowed {
+                    self.filter_denied += 1;
+                }
+            }
+            Event::ViewUpdate { ns, .. } => {
+                self.view_updates += 1;
+                self.init_ns += ns;
+            }
+            Event::Fault { .. } => self.faults += 1,
+            Event::Wrpkru { .. } => self.wrpkru_writes += 1,
+            Event::Cr3Write { .. } => self.cr3_writes += 1,
+            Event::VmExit => self.vm_exits += 1,
+            Event::PkeyMprotect { pages } => {
+                self.pkey_mprotects += 1;
+                self.pkey_mprotect_pages += pages;
+            }
+            Event::SyscallEntry { enclosed, .. } => {
+                self.syscall_entries += 1;
+                if *enclosed {
+                    self.enclosed_syscall_entries += 1;
+                }
+            }
+            Event::SeccompVerdict { allowed, .. } => {
+                self.seccomp_verdicts += 1;
+                if !allowed {
+                    self.seccomp_denied += 1;
+                }
+            }
+            Event::Reschedule { .. } => self.reschedules += 1,
+            Event::SpanTransfer { .. } => self.span_transfers += 1,
+            Event::GcPause { ns, .. } => {
+                self.gc_pauses += 1;
+                self.gc_pause_ns += ns;
+            }
+            Event::MetadataSwitch => self.metadata_switches += 1,
+            Event::IncrementalInit { .. } => {}
+        }
+    }
+}
+
+/// Attribution key: where simulated time was spent.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SpanScope {
+    /// Enclosure name (`"<trusted>"` outside any enclosure).
+    pub enclosure: String,
+    /// Meta-package (cluster) hosting the enclosure.
+    pub package: String,
+    /// Hardware environment id.
+    pub env: u32,
+}
+
+impl SpanScope {
+    /// Scope for an enclosure span.
+    #[must_use]
+    pub fn new(enclosure: impl Into<String>, package: impl Into<String>, env: u32) -> SpanScope {
+        SpanScope {
+            enclosure: enclosure.into(),
+            package: package.into(),
+            env,
+        }
+    }
+}
+
+/// Accumulated cost for one [`SpanScope`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanCost {
+    /// Number of entries into the scope.
+    pub entries: u64,
+    /// Total simulated nanoseconds inside the scope, nested spans
+    /// included.
+    pub total_ns: u64,
+    /// Nanoseconds attributed to the scope itself (total minus time in
+    /// nested spans).
+    pub self_ns: u64,
+}
+
+/// A timestamped event in the trace ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedEvent {
+    /// Simulated timestamp at which the event was recorded.
+    pub at_ns: u64,
+    /// The event.
+    pub event: Event,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    scope: SpanScope,
+    started_ns: u64,
+    child_ns: u64,
+}
+
+/// The telemetry sink. One lives inside the simulated clock, so every
+/// layer that charges time can record events against the same stream.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    counters: Counters,
+    ring: VecDeque<TracedEvent>,
+    ring_cap: usize,
+    spans: Vec<Frame>,
+    attribution: BTreeMap<SpanScope, SpanCost>,
+    enclosed: bool,
+}
+
+impl Recorder {
+    /// A fresh recorder: counters on, tracing off.
+    #[must_use]
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Records one event at simulated time `now_ns`: bumps counters and,
+    /// when tracing is enabled, appends to the bounded ring (evicting
+    /// the oldest event once full).
+    pub fn record(&mut self, now_ns: u64, event: Event) {
+        self.counters.bump(&event);
+        if self.ring_cap > 0 {
+            if self.ring.len() == self.ring_cap {
+                self.ring.pop_front();
+            }
+            self.ring.push_back(TracedEvent {
+                at_ns: now_ns,
+                event,
+            });
+        }
+    }
+
+    /// Enables event tracing with a ring of `capacity` events
+    /// (`0` disables and drops any buffered events).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.ring_cap = capacity;
+        if capacity == 0 {
+            self.ring.clear();
+        } else {
+            while self.ring.len() > capacity {
+                self.ring.pop_front();
+            }
+        }
+    }
+
+    /// Whether event tracing is active.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.ring_cap > 0
+    }
+
+    /// The buffered events, oldest first.
+    pub fn recent_events(&self) -> impl Iterator<Item = &TracedEvent> {
+        self.ring.iter()
+    }
+
+    /// The counter block.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Opens an attribution span (enclosure entry).
+    pub fn begin_span(&mut self, now_ns: u64, scope: SpanScope) {
+        self.spans.push(Frame {
+            scope,
+            started_ns: now_ns,
+            child_ns: 0,
+        });
+    }
+
+    /// Closes the innermost span (enclosure exit), attributing its
+    /// elapsed simulated time. Self-time excludes nested spans; nested
+    /// totals roll up into the parent's child time. Returns the closed
+    /// scope, or `None` if no span was open (tolerated: faulting runs
+    /// may unwind past an epilog).
+    pub fn end_span(&mut self, now_ns: u64) -> Option<SpanScope> {
+        let frame = self.spans.pop()?;
+        let total = now_ns.saturating_sub(frame.started_ns);
+        let cost = self.attribution.entry(frame.scope.clone()).or_default();
+        cost.entries += 1;
+        cost.total_ns += total;
+        cost.self_ns += total.saturating_sub(frame.child_ns);
+        if let Some(parent) = self.spans.last_mut() {
+            parent.child_ns += total;
+        }
+        Some(frame.scope)
+    }
+
+    /// Marks whether execution is currently inside an enclosure. The
+    /// enforcement layer flips this on every environment change so
+    /// lower layers (the kernel) can label their events without knowing
+    /// about enclosures.
+    pub fn set_enclosed(&mut self, enclosed: bool) {
+        self.enclosed = enclosed;
+    }
+
+    /// Whether execution is currently inside an enclosure.
+    #[must_use]
+    pub fn enclosed(&self) -> bool {
+        self.enclosed
+    }
+
+    /// Depth of the open span stack.
+    #[must_use]
+    pub fn span_depth(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Attributed cost per scope, ordered by scope.
+    #[must_use]
+    pub fn attribution(&self) -> &BTreeMap<SpanScope, SpanCost> {
+        &self.attribution
+    }
+
+    /// Counters as a JSON object.
+    #[must_use]
+    pub fn counters_json(&self) -> Json {
+        self.counters.to_json()
+    }
+
+    /// Attribution table as a JSON array of scope/cost rows.
+    #[must_use]
+    pub fn attribution_json(&self) -> Json {
+        Json::arr(self.attribution.iter().map(|(scope, cost)| {
+            Json::obj([
+                ("enclosure", Json::from(scope.enclosure.as_str())),
+                ("package", Json::from(scope.package.as_str())),
+                ("env", Json::from(scope.env)),
+                ("entries", Json::U64(cost.entries)),
+                ("total_ns", Json::U64(cost.total_ns)),
+                ("self_ns", Json::U64(cost.self_ns)),
+            ])
+        }))
+    }
+
+    /// Clears counters, the trace ring, open spans, and attribution
+    /// (the trace capacity setting is kept).
+    pub fn reset(&mut self) {
+        self.counters = Counters::default();
+        self.ring.clear();
+        self.spans.clear();
+        self.attribution.clear();
+        self.enclosed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_bump_per_event() {
+        let mut rec = Recorder::new();
+        rec.record(0, Event::Prolog { enclosure: 1 });
+        rec.record(
+            10,
+            Event::FilterSyscall {
+                sysno: 7,
+                allowed: false,
+            },
+        );
+        rec.record(20, Event::Epilog { enclosure: 1 });
+        rec.record(
+            30,
+            Event::Transfer {
+                pages: 5,
+                to: "img".into(),
+            },
+        );
+        let c = rec.counters();
+        assert_eq!(c.prologs, 1);
+        assert_eq!(c.epilogs, 1);
+        assert_eq!(c.filter_syscalls, 1);
+        assert_eq!(c.filter_denied, 1);
+        assert_eq!(c.transfers, 1);
+        assert_eq!(c.transfer_pages, 5);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let mut rec = Recorder::new();
+        rec.enable_trace(3);
+        for i in 0..10u64 {
+            rec.record(i, Event::MetadataSwitch);
+        }
+        let times: Vec<u64> = rec.recent_events().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![7, 8, 9]);
+        rec.enable_trace(0);
+        assert_eq!(rec.recent_events().count(), 0);
+        assert_eq!(rec.counters().metadata_switches, 10);
+    }
+
+    #[test]
+    fn tracing_off_buffers_nothing() {
+        let mut rec = Recorder::new();
+        rec.record(0, Event::VmExit);
+        assert_eq!(rec.recent_events().count(), 0);
+        assert_eq!(rec.counters().vm_exits, 1);
+    }
+
+    #[test]
+    fn span_attribution_splits_self_from_nested() {
+        let mut rec = Recorder::new();
+        rec.begin_span(100, SpanScope::new("outer", "pkg.a", 1));
+        rec.begin_span(150, SpanScope::new("inner", "pkg.b", 2));
+        rec.end_span(250); // inner: 100 ns
+        assert_eq!(rec.end_span(400).unwrap().enclosure, "outer"); // outer: 300 total
+        let outer = &rec.attribution()[&SpanScope::new("outer", "pkg.a", 1)];
+        let inner = &rec.attribution()[&SpanScope::new("inner", "pkg.b", 2)];
+        assert_eq!(inner.total_ns, 100);
+        assert_eq!(inner.self_ns, 100);
+        assert_eq!(outer.total_ns, 300);
+        assert_eq!(outer.self_ns, 200, "outer self excludes inner's 100");
+        assert_eq!(outer.entries, 1);
+    }
+
+    #[test]
+    fn end_span_without_begin_is_tolerated() {
+        let mut rec = Recorder::new();
+        assert!(rec.end_span(5).is_none());
+    }
+
+    #[test]
+    fn json_dump_lists_all_counters() {
+        let mut rec = Recorder::new();
+        rec.record(0, Event::Wrpkru { pkru: 0xc });
+        let text = rec.counters_json().to_pretty();
+        assert!(text.contains("\"wrpkru_writes\": 1"), "{text}");
+        assert!(text.contains("\"metadata_switches\": 0"), "{text}");
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_trace_setting() {
+        let mut rec = Recorder::new();
+        rec.enable_trace(4);
+        rec.record(1, Event::VmExit);
+        rec.begin_span(0, SpanScope::new("e", "p", 1));
+        rec.reset();
+        assert_eq!(rec.counters().vm_exits, 0);
+        assert_eq!(rec.recent_events().count(), 0);
+        assert_eq!(rec.span_depth(), 0);
+        assert!(rec.tracing());
+    }
+}

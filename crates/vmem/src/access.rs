@@ -4,8 +4,6 @@ use std::fmt;
 use std::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::VmemError;
 
 /// A set of memory access rights.
@@ -16,9 +14,7 @@ use crate::VmemError;
 ///
 /// `Access` is an ordinary value type: combine with `|`, test with
 /// [`Access::contains`], remove with `-`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Access(u8);
 
 impl Access {

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// log2 of the page size (4 KiB pages, as on x86-64).
 pub const PAGE_SHIFT: u32 = 12;
 
@@ -15,9 +13,7 @@ pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 ///
 /// `Addr` is a plain 64-bit value with page arithmetic helpers; it cannot be
 /// confused with lengths or page indices thanks to the newtype.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -94,9 +90,7 @@ impl From<u64> for Addr {
 }
 
 /// Index of a virtual page (address divided by [`PAGE_SIZE`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageIdx(pub u64);
 
 impl PageIdx {
@@ -129,9 +123,7 @@ pub fn page_count(len: u64) -> u64 {
 ///
 /// Ranges produced by [`crate::AddressSpace::alloc`] are always page aligned;
 /// arbitrary sub-ranges can be formed with [`VirtRange::new`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtRange {
     start: Addr,
     len: u64,
@@ -186,7 +178,10 @@ impl VirtRange {
     /// True if the two ranges share at least one byte.
     #[must_use]
     pub fn overlaps(&self, other: &VirtRange) -> bool {
-        !self.is_empty() && !other.is_empty() && self.start < other.end() && other.start < self.end()
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end()
+            && other.start < self.end()
     }
 
     /// True if both endpoints are page aligned.

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Access, VirtRange, VmemError};
 
 /// What a section holds, mirroring the ELF sections the Go frontend emits
 /// (Figure 4): `.text` (RX), `.rodata` (R), `.data` (RW), plus heap arenas
 /// and stacks managed by the runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum SectionKind {
     /// Executable code (`.text`).
@@ -60,7 +58,7 @@ impl fmt::Display for SectionKind {
 /// Sections are plain descriptions; the bytes live in
 /// [`crate::AddressSpace`] and per-environment rights live in
 /// [`crate::PageTable`]s.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Section {
     name: String,
     kind: SectionKind,

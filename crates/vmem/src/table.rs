@@ -3,8 +3,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Access, Addr, PageIdx, VirtRange, VmemError};
 
 /// An Intel MPK protection key: a 4-bit tag stored in the page table entry
@@ -16,7 +14,7 @@ pub type ProtectionKey = u8;
 pub const NO_KEY: ProtectionKey = 0;
 
 /// A single page-table entry: present bit, access rights, and MPK key tag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageEntry {
     /// Whether the page is mapped in this environment. The VT-x backend
     /// implements `Transfer` by toggling presence bits (§6.1).
@@ -161,7 +159,11 @@ impl PageTable {
             }
             if !entry.rights.contains(needed) {
                 return Err(VmemError::ProtectionFault {
-                    addr: if span.contains(addr) { addr } else { page.base() },
+                    addr: if span.contains(addr) {
+                        addr
+                    } else {
+                        page.base()
+                    },
                     needed,
                     granted: entry.rights,
                     table: self.name.clone(),
@@ -194,7 +196,12 @@ impl PageTable {
 
 impl fmt::Display for PageTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PageTable('{}', {} pages)", self.name, self.entries.len())
+        write!(
+            f,
+            "PageTable('{}', {} pages)",
+            self.name,
+            self.entries.len()
+        )
     }
 }
 

@@ -1,28 +1,30 @@
 //! Property-based tests over the memory substrate invariants.
 
-use enclosure_vmem::{Access, AddressSpace, Addr, PageTable, VirtRange, PAGE_SIZE};
-use proptest::prelude::*;
+use enclosure_vmem::{Access, Addr, AddressSpace, PageTable, VirtRange, PAGE_SIZE};
 
-proptest! {
+enclosure_support::props! {
     /// Whatever is written is read back verbatim, at any alignment.
-    #[test]
-    fn write_then_read_roundtrips(offset in 0u64..(3 * PAGE_SIZE), data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+    fn write_then_read_roundtrips(rng) {
+        let offset = rng.range_u64(0, 3 * PAGE_SIZE);
+        let len = rng.range_usize(0, 2048);
+        let data = rng.bytes(len);
         let mut space = AddressSpace::new();
         let region = space.alloc(4 * PAGE_SIZE).unwrap();
         let at = region.start() + offset;
         space.write(at, &data).unwrap();
-        prop_assert_eq!(space.read_vec(at, data.len() as u64).unwrap(), data);
+        assert_eq!(space.read_vec(at, data.len() as u64).unwrap(), data);
     }
 
     /// Distinct allocations never overlap.
-    #[test]
-    fn allocations_are_disjoint(sizes in proptest::collection::vec(1u64..(8 * PAGE_SIZE), 1..16)) {
+    fn allocations_are_disjoint(rng) {
+        let count = rng.range_usize(1, 16);
         let mut space = AddressSpace::new();
         let mut regions: Vec<VirtRange> = Vec::new();
-        for size in sizes {
+        for _ in 0..count {
+            let size = rng.range_u64(1, 8 * PAGE_SIZE);
             let r = space.alloc(size).unwrap();
             for prev in &regions {
-                prop_assert!(!r.overlaps(prev), "{r} overlaps {prev}");
+                assert!(!r.overlaps(prev), "{r} overlaps {prev}");
             }
             regions.push(r);
         }
@@ -30,51 +32,46 @@ proptest! {
 
     /// Access set algebra: union contains both operands; intersection is
     /// contained in both; subtraction removes exactly the operand.
-    #[test]
-    fn access_set_algebra(a in 0u8..8, b in 0u8..8) {
-        let a = Access::from_bits_truncate(a);
-        let b = Access::from_bits_truncate(b);
-        prop_assert!((a | b).contains(a));
-        prop_assert!((a | b).contains(b));
-        prop_assert!(a.contains(a & b));
-        prop_assert!(b.contains(a & b));
-        prop_assert!(!(a - b).intersection(b).bits() != 0 || (a - b).intersection(b).is_none());
-        prop_assert!(a.is_subset_of(a | b));
+    fn access_set_algebra(rng) {
+        let a = Access::from_bits_truncate(rng.range_u8(0, 8));
+        let b = Access::from_bits_truncate(rng.range_u8(0, 8));
+        assert!((a | b).contains(a));
+        assert!((a | b).contains(b));
+        assert!(a.contains(a & b));
+        assert!(b.contains(a & b));
+        assert!(!(a - b).intersection(b).bits() != 0 || (a - b).intersection(b).is_none());
+        assert!(a.is_subset_of(a | b));
     }
 
     /// A page-table check succeeds exactly when every touched page grants the
     /// needed rights.
-    #[test]
-    fn table_check_matches_per_page_rights(
-        needed in 0u8..8,
-        granted in 0u8..8,
-        offset in 0u64..PAGE_SIZE,
-        len in 1u64..(2 * PAGE_SIZE),
-    ) {
-        let needed = Access::from_bits_truncate(needed);
-        let granted = Access::from_bits_truncate(granted);
+    fn table_check_matches_per_page_rights(rng) {
+        let needed = Access::from_bits_truncate(rng.range_u8(0, 8));
+        let granted = Access::from_bits_truncate(rng.range_u8(0, 8));
+        let offset = rng.range_u64(0, PAGE_SIZE);
+        let len = rng.range_u64(1, 2 * PAGE_SIZE);
         let mut table = PageTable::new("prop");
         let region = VirtRange::new(Addr(0x40_0000), 4 * PAGE_SIZE);
         table.map_range(region, granted, 0);
         let ok = table.check(Addr(0x40_0000) + offset, len, needed).is_ok();
-        prop_assert_eq!(ok, granted.contains(needed));
+        assert_eq!(ok, granted.contains(needed));
     }
 
     /// Rights parsing round-trips through Display for every valid set.
-    #[test]
-    fn access_display_parse_roundtrip(bits in 0u8..8) {
-        let acc = Access::from_bits_truncate(bits);
+    fn access_display_parse_roundtrip(rng) {
+        let acc = Access::from_bits_truncate(rng.range_u8(0, 8));
         let parsed: Access = acc.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, acc);
+        assert_eq!(parsed, acc);
     }
 
     /// `VirtRange::pages` yields exactly `page_len` pages covering the range.
-    #[test]
-    fn range_pages_cover_range(start in 0u64..(1 << 30), len in 1u64..(16 * PAGE_SIZE)) {
+    fn range_pages_cover_range(rng) {
+        let start = rng.range_u64(0, 1 << 30);
+        let len = rng.range_u64(1, 16 * PAGE_SIZE);
         let r = VirtRange::new(Addr(start), len);
         let pages: Vec<_> = r.pages().collect();
-        prop_assert_eq!(pages.len() as u64, r.page_len());
-        prop_assert_eq!(pages.first().copied().unwrap(), Addr(start).page());
-        prop_assert_eq!(pages.last().copied().unwrap(), Addr(start + len - 1).page());
+        assert_eq!(pages.len() as u64, r.page_len());
+        assert_eq!(pages.first().copied().unwrap(), Addr(start).page());
+        assert_eq!(pages.last().copied().unwrap(), Addr(start + len - 1).page());
     }
 }

@@ -45,15 +45,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
             // ✘ Writing it faults (integrity).
             let write_attempt = lb.store_u64(ctx.info.data_start("secrets"), 0);
-            println!("  write to secrets inside rcl -> {:?}", write_attempt.unwrap_err());
+            println!(
+                "  write to secrets inside rcl -> {:?}",
+                write_attempt.unwrap_err()
+            );
 
             // ✘ The private key is not even mapped (confidentiality).
             let key_attempt = lb.load_u64(ctx.info.data_start("main"));
-            println!("  read of main.privateKey     -> {:?}", key_attempt.unwrap_err());
+            println!(
+                "  read of main.privateKey     -> {:?}",
+                key_attempt.unwrap_err()
+            );
 
             // ✘ No exfiltration: every syscall is filtered out.
             let sock_attempt = lb.sys_socket();
-            println!("  socket() inside rcl         -> {:?}", sock_attempt.unwrap_err());
+            println!(
+                "  socket() inside rcl         -> {:?}",
+                sock_attempt.unwrap_err()
+            );
 
             Ok(inverted)
         },

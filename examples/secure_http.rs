@@ -47,6 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("  paper: 22867 req/s | 1.04x MPK | 2.01x VTX");
-    println!("\nshape check: syscall-bound servers barely notice MPK; VT-x pays a VM EXIT per syscall.");
+    println!(
+        "\nshape check: syscall-bound servers barely notice MPK; VT-x pays a VM EXIT per syscall."
+    );
     Ok(())
 }

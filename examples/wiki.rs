@@ -43,20 +43,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rt.register_fn("mux.Serve", move |ctx, _arg| {
         let pw = ctx.lb().load_u64(password);
         println!("  mux reads main.dbPassword -> {:?}", pw.unwrap_err());
-        let open = ctx.lb_mut().sys_open(
-            "/etc/passwd",
-            enclosure_kernel::fs::OpenFlags::read_only(),
-        );
+        let open = ctx
+            .lb_mut()
+            .sys_open("/etc/passwd", enclosure_kernel::fs::OpenFlags::read_only());
         println!("  mux opens /etc/passwd     -> {:?}", open.unwrap_err());
         Ok(enclosure_gofront::GoValue::Unit)
     });
     rt.call_enclosed("server_enc", enclosure_gofront::GoValue::Unit)?;
 
     // The pq enclosure can only connect to the pre-defined Postgres.
-    let evil = enclosure_kernel::net::SockAddr::new(
-        enclosure_kernel::net::ipv4(203, 0, 113, 9),
-        443,
-    );
+    let evil =
+        enclosure_kernel::net::SockAddr::new(enclosure_kernel::net::ipv4(203, 0, 113, 9), 443);
     rt.lb_mut().kernel_mut().net.register_remote(evil, None);
     rt.register_fn("pq.Proxy", move |ctx, _arg| {
         let fd = ctx.lb_mut().sys_socket().expect("socket creation allowed");

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline verification gate: build, full test suite, formatting.
+# The container has no network access — everything must resolve from
+# the in-tree workspace (no crates.io dependencies, see DESIGN.md §6).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, workspace) =="
+cargo build --release --workspace --offline
+
+echo "== tests (workspace) =="
+cargo test -q --workspace --offline
+
+echo "== tier-1 gate (root package) =="
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== formatting =="
+cargo fmt --all --check
+
+echo "== smoke: repro attribution (telemetry-derived §6.4) =="
+./target/release/repro attribution --quick >/dev/null
+
+echo "verify: OK"

@@ -40,11 +40,11 @@ fn go_pipeline_results_match_baseline() {
     let run = |backend: Backend| -> u64 {
         let mut program = GoProgram::new();
         program.add_source(GoSource::new("mathlib").loc(1000));
-        program.add_source(
-            GoSource::new("main")
-                .imports(&["mathlib"])
-                .enclosure("sq", "mathlib.Square", "none"),
-        );
+        program.add_source(GoSource::new("main").imports(&["mathlib"]).enclosure(
+            "sq",
+            "mathlib.Square",
+            "none",
+        ));
         let mut rt = program.build(backend).unwrap();
         rt.register_fn("mathlib.Square", |_ctx, arg: GoValue| {
             let x = arg.as_int()?;
@@ -217,5 +217,8 @@ fn enclosure_handles_do_not_cross_apps() {
     // app_b has no enclosure registered: id 1 is unknown there, so the
     // call must fault rather than execute under a stranger's view.
     let result = enc_a.call(&mut app_b, ());
-    assert!(result.is_err(), "cross-app call must not succeed: {result:?}");
+    assert!(
+        result.is_err(),
+        "cross-app call must not succeed: {result:?}"
+    );
 }

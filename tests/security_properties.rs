@@ -3,31 +3,25 @@
 //! less — on both hardware backends.
 
 use enclosure_repro::core::{App, Enclosure, Policy};
+use enclosure_support::XorShift;
 use enclosure_vmem::Access;
 use litterbox::Backend;
-use proptest::prelude::*;
 
 /// Arbitrary access rights (the four the grammar allows).
-fn arb_rights() -> impl Strategy<Value = Access> {
-    prop_oneof![
-        Just(Access::NONE),
-        Just(Access::R),
-        Just(Access::RW),
-        Just(Access::RWX),
-    ]
+fn arb_rights(rng: &mut XorShift) -> Access {
+    *rng.choose(&[Access::NONE, Access::R, Access::RW, Access::RWX])
 }
 
-fn arb_backend() -> impl Strategy<Value = Backend> {
-    prop_oneof![Just(Backend::Mpk), Just(Backend::Vtx)]
+fn arb_backend(rng: &mut XorShift) -> Backend {
+    *rng.choose(&[Backend::Mpk, Backend::Vtx])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
+enclosure_support::props! {
     /// For any granted rights on a foreign package, reads succeed iff R
     /// was granted and writes iff W was granted — on both backends.
-    #[test]
-    fn view_rights_are_enforced_exactly(rights in arb_rights(), backend in arb_backend()) {
+    fn view_rights_are_enforced_exactly(rng, cases = 48) {
+        let rights = arb_rights(rng);
+        let backend = arb_backend(rng);
         let mut app = App::builder("prop")
             .package("main", &["lib", "foreign"])
             .package("lib", &[])
@@ -53,14 +47,15 @@ proptest! {
         )
         .unwrap();
         let (read_ok, write_ok) = probe.call(&mut app, ()).unwrap();
-        prop_assert_eq!(read_ok, rights.contains(Access::R), "read under {}", rights);
-        prop_assert_eq!(write_ok, rights.contains(Access::W), "write under {}", rights);
+        assert_eq!(read_ok, rights.contains(Access::R), "read under {rights}");
+        assert_eq!(write_ok, rights.contains(Access::W), "write under {rights}");
     }
 
     /// The default policy always denies every syscall; `all` always
     /// permits getuid; and trusted code is never restricted.
-    #[test]
-    fn syscall_filters_are_total(backend in arb_backend(), allow in any::<bool>()) {
+    fn syscall_filters_are_total(rng, cases = 48) {
+        let backend = arb_backend(rng);
+        let allow = rng.next_bool();
         let mut app = App::builder("prop")
             .package("main", &["lib"])
             .package("lib", &[])
@@ -75,14 +70,16 @@ proptest! {
             move |ctx, ()| Ok(ctx.lb.sys_getuid().is_ok()),
         )
         .unwrap();
-        prop_assert_eq!(probe.call(&mut app, ()).unwrap(), allow);
-        prop_assert!(app.lb.sys_getuid().is_ok(), "trusted unrestricted");
+        assert_eq!(probe.call(&mut app, ()).unwrap(), allow);
+        assert!(app.lb.sys_getuid().is_ok(), "trusted unrestricted");
     }
 
     /// Nesting is monotone for arbitrary inner/outer rights on a shared
     /// package: the inner switch succeeds iff it does not widen access.
-    #[test]
-    fn nesting_monotonicity(outer in arb_rights(), inner in arb_rights(), backend in arb_backend()) {
+    fn nesting_monotonicity(rng, cases = 48) {
+        let outer = arb_rights(rng);
+        let inner = arb_rights(rng);
+        let backend = arb_backend(rng);
         // MPK cannot host two enclosures whose *entire* state collides;
         // give each enclosure a distinct anchor package so views differ.
         let mut app = App::builder("prop")
@@ -123,12 +120,10 @@ proptest! {
         )
         .unwrap();
         let entered = outer_enc.call(&mut app, ()).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             entered,
             inner.is_subset_of(outer),
-            "inner {} within outer {}",
-            inner,
-            outer
+            "inner {inner} within outer {outer}"
         );
     }
 }

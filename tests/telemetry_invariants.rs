@@ -1,0 +1,152 @@
+//! Cross-layer telemetry invariants (ISSUE: telemetry subsystem).
+//!
+//! The recorder is a pure observer: every event it counts corresponds to
+//! an action some layer actually performed. These tests pin the
+//! correspondences end-to-end — through the `enclosure` language layer,
+//! LitterBox, the hardware models, and the kernel — rather than testing
+//! the recorder in isolation (the telemetry crate's own tests do that).
+
+use enclosure_apps::plotlib::{self, PlotConfig};
+use enclosure_pyfront::MetadataMode;
+use enclosure_repro::core::{App, Enclosure, Policy};
+use litterbox::Backend;
+
+fn nested_workload(backend: Backend) -> App {
+    let mut app = App::builder("telemetry")
+        .package("main", &["lib", "anchor"])
+        .package("lib", &[])
+        .package("anchor", &[])
+        .build(backend)
+        .unwrap();
+    let mut inner = Enclosure::declare(
+        &mut app,
+        "inner",
+        &["anchor"],
+        Policy::default_policy(),
+        |_ctx, ()| Ok(()),
+    )
+    .unwrap();
+    let mut outer = Enclosure::declare(
+        &mut app,
+        "outer",
+        &["lib"],
+        Policy::default_policy().grant("anchor", enclosure_vmem::Access::RWX),
+        move |ctx, ()| inner.call_nested(ctx, ()),
+    )
+    .unwrap();
+    for _ in 0..5 {
+        outer.call(&mut app, ()).unwrap();
+    }
+    app
+}
+
+/// Every prolog is matched by an epilog on non-faulting runs, on every
+/// backend (Baseline included), and the span stack unwinds to empty.
+#[test]
+fn prologs_match_epilogs_on_nonfaulting_runs() {
+    for backend in [Backend::Baseline, Backend::Mpk, Backend::Vtx] {
+        let app = nested_workload(backend);
+        let counters = app.lb.telemetry().counters();
+        // 5 outer calls, each entering the nested inner enclosure.
+        assert_eq!(counters.prologs, 10, "{backend}");
+        assert_eq!(counters.prologs, counters.epilogs, "{backend}");
+        assert_eq!(app.lb.telemetry().span_depth(), 0, "{backend}");
+        assert_eq!(counters.faults, 0, "{backend}");
+    }
+}
+
+/// Allowed filter evaluations are exactly the kernel syscall entries
+/// made from inside an enclosure: a denied call never reaches the
+/// kernel, and trusted-environment calls are never filtered.
+#[test]
+fn filter_events_match_enclosed_syscall_entries() {
+    for backend in [Backend::Mpk, Backend::Vtx] {
+        // Distinct anchor packages: LB_MPK requires environments with
+        // different filters to differ in view (seccomp indexes on PKRU).
+        let mut app = App::builder("filters")
+            .package("main", &["lib_a", "lib_b"])
+            .package("lib_a", &[])
+            .package("lib_b", &[])
+            .build(backend)
+            .unwrap();
+        let mut open = Enclosure::declare(
+            &mut app,
+            "open",
+            &["lib_a"],
+            Policy::parse("all").unwrap(),
+            |ctx, ()| Ok(ctx.lb.sys_getuid().is_ok()),
+        )
+        .unwrap();
+        let mut sealed = Enclosure::declare(
+            &mut app,
+            "sealed",
+            &["lib_b"],
+            Policy::parse("none").unwrap(),
+            |ctx, ()| Ok(ctx.lb.sys_getuid().is_ok()),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            assert!(open.call(&mut app, ()).unwrap());
+            assert!(!sealed.call(&mut app, ()).unwrap());
+        }
+        // Trusted syscalls bypass the filter but still enter the kernel.
+        app.lb.sys_getuid().unwrap();
+
+        let c = app.lb.telemetry().counters();
+        assert_eq!(c.filter_syscalls, 6, "{backend}");
+        assert_eq!(c.filter_denied, 3, "{backend}");
+        assert_eq!(
+            c.filter_syscalls - c.filter_denied,
+            c.enclosed_syscall_entries,
+            "{backend}"
+        );
+        assert!(c.syscall_entries > c.enclosed_syscall_entries, "{backend}");
+    }
+}
+
+/// The Baseline backend drives no protection hardware at all.
+#[test]
+fn baseline_runs_record_no_hardware_events() {
+    let app = nested_workload(Backend::Baseline);
+    let c = app.lb.telemetry().counters();
+    assert_eq!(c.wrpkru_writes, 0);
+    assert_eq!(c.cr3_writes, 0);
+    assert_eq!(c.vm_exits, 0);
+    assert_eq!(c.pkey_mprotects, 0);
+    assert_eq!(c.enclosed_syscall_entries, 0);
+}
+
+/// The recorder's `init_ns` agrees exactly with LitterBox's own delayed
+/// initialization ledger — including incremental imports and view
+/// updates made by the Python frontend — so the §6.4 init share derived
+/// from telemetry equals the one derived from the machine.
+#[test]
+fn telemetry_init_ns_matches_litterbox_ledger() {
+    let cfg = PlotConfig::tiny();
+    for mode in [MetadataMode::CoLocated, MetadataMode::Decoupled] {
+        let mut py = plotlib::build(Backend::Vtx, mode, cfg).unwrap();
+        plotlib::run_on(&mut py, cfg).unwrap();
+        let c = py.lb().telemetry().counters();
+        assert!(c.init_ns > 0, "{mode:?}");
+        assert_eq!(c.init_ns, py.lb().init_ns(), "{mode:?}");
+        assert!(c.incremental_inits > 0, "{mode:?}");
+    }
+}
+
+/// §6.4 in miniature: the conservative (co-located metadata) run takes
+/// trusted round trips on every secret access while the decoupled run
+/// takes none — the counters, not interpreter bookkeeping, show it.
+#[test]
+fn conservative_switches_dwarf_decoupled() {
+    let cfg = PlotConfig::tiny();
+    let conservative = plotlib::run(Backend::Vtx, MetadataMode::CoLocated, cfg).unwrap();
+    let optimized = plotlib::run(Backend::Vtx, MetadataMode::Decoupled, cfg).unwrap();
+    // Two passes over the data, each read an incref/decref round-trip
+    // pair: at least 4 round trips per point.
+    assert!(
+        conservative.counters.metadata_switches >= 4 * cfg.points,
+        "got {}",
+        conservative.counters.metadata_switches
+    );
+    assert_eq!(optimized.counters.metadata_switches, 0);
+}
