@@ -1,0 +1,100 @@
+//! Graceful-degradation helpers shared by the server workloads.
+//!
+//! Under fault injection the serve loops keep the program alive instead of
+//! aborting: transient kernel errnos are retried in place, a request whose
+//! handling faults transiently is answered with a 503 while the server
+//! keeps serving, and a repeatedly failing dependency (the wiki's pq
+//! proxy) is quarantined behind a small circuit breaker. The counters here
+//! surface in [`ServeStats`](crate::httpd::ServeStats) so chaos soaks can
+//! assert on them.
+
+use std::cell::RefCell;
+
+use litterbox::SysError;
+
+/// How many times a transient errno is retried in place before the
+/// failure is surfaced to the degradation path.
+pub const MAX_ERRNO_RETRIES: u32 = 3;
+
+/// Shared degradation counters for one serve run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosTally {
+    /// Requests answered with a 5xx instead of a real response.
+    pub degraded: u64,
+    /// Transient errnos absorbed by in-place retries.
+    pub retried: u64,
+    /// Requests fast-failed because a dependency's breaker was open.
+    pub quarantined: u64,
+}
+
+/// Runs `op`, retrying it up to [`MAX_ERRNO_RETRIES`] times while it
+/// fails with a *transient* errno (EAGAIN/EINTR/ENOMEM — the kinds fault
+/// injection produces). Each absorbed errno bumps `tally.retried`.
+/// Faults and non-transient errnos pass through untouched.
+///
+/// # Errors
+///
+/// Whatever `op` last returned once retries are exhausted.
+pub fn retry_transient<T>(
+    tally: &RefCell<ChaosTally>,
+    mut op: impl FnMut() -> Result<T, SysError>,
+) -> Result<T, SysError> {
+    let mut attempts = 0;
+    loop {
+        match op() {
+            Err(SysError::Errno(e)) if e.is_transient() && attempts < MAX_ERRNO_RETRIES => {
+                attempts += 1;
+                tally.borrow_mut().retried += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Renders the 503 a degraded request is answered with.
+#[must_use]
+pub fn render_unavailable() -> Vec<u8> {
+    b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n".to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclosure_kernel::Errno;
+
+    #[test]
+    fn transient_errnos_are_retried_then_surfaced() {
+        let tally = RefCell::new(ChaosTally::default());
+        let mut calls = 0;
+        let out: Result<u32, SysError> = retry_transient(&tally, || {
+            calls += 1;
+            if calls < 3 {
+                Err(SysError::Errno(Errno::Eagain))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(tally.borrow().retried, 2);
+
+        // Permanent transient failure: bounded retries, error surfaces.
+        let out: Result<u32, SysError> =
+            retry_transient(&tally, || Err(SysError::Errno(Errno::Eintr)));
+        assert!(matches!(out, Err(SysError::Errno(Errno::Eintr))));
+        assert_eq!(tally.borrow().retried, 2 + u64::from(MAX_ERRNO_RETRIES));
+    }
+
+    #[test]
+    fn fatal_errors_pass_through_without_retry() {
+        let tally = RefCell::new(ChaosTally::default());
+        let out: Result<(), SysError> =
+            retry_transient(&tally, || Err(SysError::Errno(Errno::Eacces)));
+        assert!(matches!(out, Err(SysError::Errno(Errno::Eacces))));
+        assert_eq!(tally.borrow().retried, 0);
+    }
+
+    #[test]
+    fn unavailable_is_a_503() {
+        assert!(render_unavailable().starts_with(b"HTTP/1.1 503"));
+    }
+}

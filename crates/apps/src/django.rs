@@ -85,6 +85,16 @@ fn build(backend: Backend) -> Result<Interpreter, Fault> {
 ///
 /// Harness faults (attack faults are the data).
 pub fn run_scenario(backend: Backend) -> Result<DjangoReport, Fault> {
+    run_scenario_traced(backend, None)
+}
+
+/// [`run_scenario`] with `--trace` support: the enforcing interpreter
+/// keeps a bounded event ring, dumped when the clone is blocked.
+///
+/// # Errors
+///
+/// Harness faults (attack faults are the data).
+pub fn run_scenario_traced(backend: Backend, trace: Option<usize>) -> Result<DjangoReport, Fault> {
     // 1. Unprotected: the clone leaks the key.
     let unprotected_leaked = {
         let mut py = build(Backend::Baseline)?;
@@ -104,6 +114,9 @@ pub fn run_scenario(backend: Backend) -> Result<DjangoReport, Fault> {
     //    the request but neither the settings module nor any sockets.
     let enclosed_blocked = {
         let mut py = build(backend)?;
+        if let Some(capacity) = trace {
+            py.lb_mut().telemetry_mut().enable_trace(capacity);
+        }
         let secret = py.alloc_in("settings", b"SECRET_KEY=django-insecure")?;
         py.declare_enclosure("dispatch", "django.dispatch", &[], "settings: R, none")?;
         let result = py.call_enclosed(
@@ -113,6 +126,12 @@ pub fn run_scenario(backend: Backend) -> Result<DjangoReport, Fault> {
                 PyValue::Obj(secret),
             ]),
         );
+        if result.is_err() && py.lb().telemetry().tracing() {
+            eprintln!("last telemetry events before the block (Django clone):");
+            for traced in py.lb().telemetry().recent_events() {
+                eprintln!("  [{:>12} ns] {}", traced.at_ns, traced.event);
+            }
+        }
         result.is_err() && !py.lb().kernel().net.exfiltrated_contains(b"SECRET_KEY")
     };
 

@@ -10,11 +10,15 @@
 //! page). The scheduler's `Execute` switches between their protection
 //! environments every hop.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use enclosure_gofront::{sched::Recv, GoProgram, GoRuntime, GoSource, GoValue, Step};
 use enclosure_hw::Clock;
 use enclosure_kernel::net::SockAddr;
 use litterbox::{Backend, Fault, SysError};
 
+use crate::chaos::{render_unavailable, retry_transient, ChaosTally};
 use crate::httpd::{ServeStats, PAGE_SIZE_BYTES};
 
 /// Server listen port.
@@ -52,24 +56,12 @@ enum ServerState {
     Running { listen: u32 },
 }
 
-fn stats_from(served: u64, ns: u64) -> ServeStats {
-    #[allow(clippy::cast_precision_loss)]
-    let reqs_per_sec = if ns == 0 {
-        0.0
-    } else {
-        served as f64 * 1e9 / ns as f64
-    };
-    ServeStats {
-        served,
-        ns,
-        reqs_per_sec,
-    }
-}
-
 fn io_fault(e: SysError) -> Fault {
     match e {
         SysError::Fault(f) => f,
-        SysError::Errno(e) => Fault::Init(format!("fasthttp io error: {e}")),
+        // Keep the errno's identity so callers can tell a transient
+        // kernel condition from a broken build.
+        SysError::Errno(e) => Fault::Errno(e),
     }
 }
 
@@ -125,22 +117,37 @@ impl FastHttpApp {
     pub fn serve_requests(&mut self, n: u64, cfg: FastHttpConfig) -> Result<ServeStats, Fault> {
         let req_ch = self.rt.make_chan(64);
         let resp_ch = self.rt.make_chan(64);
+        let tally: Rc<RefCell<ChaosTally>> = Rc::default();
 
         // Enclosed server goroutine: listener setup, then per-request
-        // accept/read/parse/forward and reply/close.
+        // accept/read/parse/forward and reply/close. Under fault
+        // injection it degrades instead of dying: transient errnos are
+        // retried in place, and a request whose handling faults is
+        // answered with a 503 while the loop keeps serving.
         let parse_ns = cfg.parse_ns;
         let mut state = ServerState::Setup;
         let mut accepted = 0u64;
         let mut replied = 0u64;
+        let mut degraded = 0u64;
+        let srv_tally = Rc::clone(&tally);
         self.rt
             .spawn_enclosed("fasthttp-server", "server_enc", move |ctx| {
                 if let ServerState::Setup = state {
-                    let listen = ctx.lb_mut().sys_socket().map_err(io_fault)?;
-                    ctx.lb_mut()
-                        .sys_bind(listen, SockAddr::local(FASTHTTP_PORT))
-                        .map_err(io_fault)?;
-                    ctx.lb_mut().sys_listen(listen).map_err(io_fault)?;
-                    state = ServerState::Running { listen };
+                    let setup = (|| -> Result<u32, SysError> {
+                        let listen = retry_transient(&srv_tally, || ctx.lb_mut().sys_socket())?;
+                        retry_transient(&srv_tally, || {
+                            ctx.lb_mut()
+                                .sys_bind(listen, SockAddr::local(FASTHTTP_PORT))
+                        })?;
+                        retry_transient(&srv_tally, || ctx.lb_mut().sys_listen(listen))?;
+                        Ok(listen)
+                    })();
+                    match setup {
+                        Ok(listen) => state = ServerState::Running { listen },
+                        // Retry the whole setup next round.
+                        Err(e) if e.is_transient() => {}
+                        Err(e) => return Err(io_fault(e)),
+                    }
                     return Ok(Step::Yield);
                 }
                 let ServerState::Running { listen } = state else {
@@ -148,25 +155,52 @@ impl FastHttpApp {
                 };
                 // Accept + parse one request, forward to the trusted side.
                 if accepted < n {
-                    match ctx.lb_mut().sys_accept(listen) {
+                    match retry_transient(&srv_tally, || ctx.lb_mut().sys_accept(listen)) {
                         Ok(conn) => {
-                            ctx.lb_mut().sys_clock_gettime().map_err(io_fault)?;
-                            let head = ctx.lb_mut().sys_recv(conn, 4096).map_err(io_fault)?;
-                            ctx.lb_mut().sys_clock_gettime().map_err(io_fault)?;
-                            ctx.compute(parse_ns);
-                            ctx.lb_mut().sys_futex().map_err(io_fault)?; // netpoll arm
-                            let ok = head.starts_with(b"GET ");
-                            if ctx.chan_send(
-                                req_ch,
-                                GoValue::Tuple(vec![
-                                    GoValue::Int(u64::from(conn)),
-                                    GoValue::Bool(ok),
-                                ]),
-                            )? {
-                                accepted += 1;
+                            let head = (|| -> Result<Vec<u8>, SysError> {
+                                retry_transient(&srv_tally, || ctx.lb_mut().sys_clock_gettime())?;
+                                let head = retry_transient(&srv_tally, || {
+                                    ctx.lb_mut().sys_recv(conn, 4096)
+                                })?;
+                                retry_transient(&srv_tally, || ctx.lb_mut().sys_clock_gettime())?;
+                                retry_transient(&srv_tally, || ctx.lb_mut().sys_futex())?; // netpoll arm
+                                Ok(head)
+                            })();
+                            match head {
+                                Ok(head) => {
+                                    ctx.compute(parse_ns);
+                                    let ok = head.starts_with(b"GET ");
+                                    if ctx.chan_send(
+                                        req_ch,
+                                        GoValue::Tuple(vec![
+                                            GoValue::Int(u64::from(conn)),
+                                            GoValue::Bool(ok),
+                                        ]),
+                                    )? {
+                                        accepted += 1;
+                                    }
+                                }
+                                Err(e) if e.is_transient() => {
+                                    // Degrade: 5xx this request, keep the
+                                    // server alive. The response itself
+                                    // runs un-injectable — it is the
+                                    // recovery path.
+                                    ctx.lb_mut().clock_mut().suspend_injection();
+                                    let _ = ctx.lb_mut().sys_send(conn, &render_unavailable());
+                                    let _ = ctx.lb_mut().sys_close(conn);
+                                    ctx.lb_mut().clock_mut().resume_injection();
+                                    srv_tally.borrow_mut().degraded += 1;
+                                    accepted += 1;
+                                    degraded += 1;
+                                }
+                                Err(e) => return Err(io_fault(e)),
                             }
                         }
                         Err(SysError::Errno(_)) => {}
+                        // An injected transient fault (e.g. a lost
+                        // VM EXIT) before any connection state exists:
+                        // nothing to degrade, try again next round.
+                        Err(e) if e.is_transient() => {}
                         Err(e) => return Err(io_fault(e)),
                     }
                 }
@@ -176,19 +210,32 @@ impl FastHttpApp {
                         let parts = v.as_tuple()?;
                         let conn = u32::try_from(parts[0].as_int()?).expect("fd fits");
                         let body = parts[1].as_bytes()?;
-                        ctx.lb_mut().sys_futex().map_err(io_fault)?; // worker wake
-                        let (headers, rest) = body.split_at(body.len().min(128));
-                        ctx.lb_mut().sys_send(conn, headers).map_err(io_fault)?;
-                        ctx.lb_mut().sys_send(conn, rest).map_err(io_fault)?;
-                        ctx.lb_mut().sys_close(conn).map_err(io_fault)?;
-                        ctx.lb_mut().sys_futex().map_err(io_fault)?; // teardown wake
-                        ctx.lb_mut().sys_clock_gettime().map_err(io_fault)?;
+                        let sent = (|| -> Result<(), SysError> {
+                            retry_transient(&srv_tally, || ctx.lb_mut().sys_futex())?; // worker wake
+                            let (headers, rest) = body.split_at(body.len().min(128));
+                            retry_transient(&srv_tally, || ctx.lb_mut().sys_send(conn, headers))?;
+                            retry_transient(&srv_tally, || ctx.lb_mut().sys_send(conn, rest))?;
+                            retry_transient(&srv_tally, || ctx.lb_mut().sys_close(conn))?;
+                            retry_transient(&srv_tally, || ctx.lb_mut().sys_futex())?; // teardown wake
+                            retry_transient(&srv_tally, || ctx.lb_mut().sys_clock_gettime())?;
+                            Ok(())
+                        })();
+                        match sent {
+                            Ok(()) => {}
+                            Err(e) if e.is_transient() => {
+                                ctx.lb_mut().clock_mut().suspend_injection();
+                                let _ = ctx.lb_mut().sys_close(conn);
+                                ctx.lb_mut().clock_mut().resume_injection();
+                                srv_tally.borrow_mut().degraded += 1;
+                            }
+                            Err(e) => return Err(io_fault(e)),
+                        }
                         replied += 1;
                     }
                     Recv::Empty => {}
                     Recv::Closed => return Ok(Step::Done),
                 }
-                if replied == n {
+                if replied + degraded == n {
                     ctx.chan_close(req_ch)?;
                     return Ok(Step::Done);
                 }
@@ -268,7 +315,9 @@ impl FastHttpApp {
 
         let t0 = self.rt.lb().now_ns();
         self.rt.run_scheduler()?;
-        Ok(stats_from(n, self.rt.lb().now_ns() - t0))
+        let ns = self.rt.lb().now_ns() - t0;
+        let tally = *tally.borrow();
+        Ok(ServeStats::new(n - tally.degraded, ns).with_tally(tally))
     }
 }
 
@@ -309,6 +358,28 @@ mod tests {
         );
         assert!(base / vtx > 1.5, "VT-x pays dearly: {:.3}", base / vtx);
         assert!(base / vtx > base / mpk);
+    }
+
+    #[test]
+    fn degrades_gracefully_under_gateway_chaos() {
+        use litterbox::{InjectionPlan, InjectionSite};
+        for backend in [Backend::Mpk, Backend::Vtx] {
+            let mut app = FastHttpApp::new(backend).unwrap();
+            let sites = if backend == Backend::Vtx {
+                vec![InjectionSite::GatewayErrno, InjectionSite::VmExit]
+            } else {
+                vec![InjectionSite::GatewayErrno]
+            };
+            app.runtime_mut()
+                .lb_mut()
+                .clock_mut()
+                .arm_injection(InjectionPlan::new(0xFA57, 350_000).with_sites(&sites));
+            let stats = app.serve_requests(30, FastHttpConfig::default()).unwrap();
+            assert_eq!(stats.served + stats.degraded, 30, "{backend}: {stats:?}");
+            assert!(stats.retried > 0, "{backend}: errnos were retried");
+            let c = app.runtime().lb().telemetry().counters();
+            assert_eq!(c.prologs, c.epilogs, "{backend}: balanced switches");
+        }
     }
 
     #[test]

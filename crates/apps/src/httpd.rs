@@ -15,6 +15,8 @@ use enclosure_hw::Clock;
 use enclosure_kernel::net::SockAddr;
 use litterbox::{Backend, Fault, SysError};
 
+use crate::chaos::ChaosTally;
+
 /// The 13 KB static page the paper's handler returns.
 pub const PAGE_SIZE_BYTES: usize = 13 * 1024;
 /// Server listen port.
@@ -43,16 +45,22 @@ impl Default for HttpConfig {
 /// Throughput measurement over a batch of requests.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeStats {
-    /// Requests served.
+    /// Requests served successfully.
     pub served: u64,
     /// Total simulated nanoseconds.
     pub ns: u64,
     /// Derived requests/second.
     pub reqs_per_sec: f64,
+    /// Requests answered with a 5xx under fault injection.
+    pub degraded: u64,
+    /// Transient errnos absorbed by in-place retries.
+    pub retried: u64,
+    /// Requests fast-failed by an open circuit breaker.
+    pub quarantined: u64,
 }
 
 impl ServeStats {
-    fn from(served: u64, ns: u64) -> ServeStats {
+    pub(crate) fn new(served: u64, ns: u64) -> ServeStats {
         #[allow(clippy::cast_precision_loss)]
         let reqs_per_sec = if ns == 0 {
             0.0
@@ -63,7 +71,17 @@ impl ServeStats {
             served,
             ns,
             reqs_per_sec,
+            degraded: 0,
+            retried: 0,
+            quarantined: 0,
         }
+    }
+
+    pub(crate) fn with_tally(mut self, tally: ChaosTally) -> ServeStats {
+        self.degraded = tally.degraded;
+        self.retried = tally.retried;
+        self.quarantined = tally.quarantined;
+        self
     }
 }
 
@@ -134,7 +152,9 @@ impl HttpApp {
             let listen_fd = u32::try_from(arg.as_int()?).expect("fd fits u32");
             let sys = |e: SysError| match e {
                 SysError::Fault(f) => f,
-                SysError::Errno(e) => Fault::Init(format!("server io error: {e}")),
+                // Keep the errno's identity so callers can tell a
+                // transient kernel condition from a broken build.
+                SysError::Errno(e) => Fault::Errno(e),
             };
             let conn = match ctx.lb_mut().sys_accept(listen_fd) {
                 Ok(fd) => fd,
@@ -243,7 +263,7 @@ impl HttpApp {
                 .close(&mut scratch, client_fd)
                 .map_err(|e| Fault::Init(format!("client close: {e}")))?;
         }
-        Ok(ServeStats::from(served, self.rt.lb().now_ns() - t0))
+        Ok(ServeStats::new(served, self.rt.lb().now_ns() - t0))
     }
 }
 

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod bild;
+pub mod chaos;
 pub mod django;
 pub mod fasthttp;
 pub mod httpd;

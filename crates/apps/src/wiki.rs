@@ -22,8 +22,10 @@ use std::rc::Rc;
 use enclosure_gofront::{sched::Recv, GoProgram, GoRuntime, GoSource, GoValue, Step};
 use enclosure_hw::Clock;
 use enclosure_kernel::net::SockAddr;
+use enclosure_telemetry::Event;
 use litterbox::{Backend, Fault, SysError};
 
+use crate::chaos::{render_unavailable, retry_transient, ChaosTally};
 use crate::httpd::ServeStats;
 use crate::mux::{render_not_found, render_page, route, Route};
 use crate::pq::{self, QueryResult};
@@ -31,10 +33,20 @@ use crate::pq::{self, QueryResult};
 /// Wiki listen port.
 pub const WIKI_PORT: u16 = 8090;
 
+/// Consecutive pq failures before the proxy's circuit breaker opens.
+pub const PQ_BREAKER_THRESHOLD: u32 = 3;
+
+/// Fast-failed queries an open breaker absorbs before it half-opens and
+/// probes the database again (a closed-loop recovery: a successful probe
+/// closes the breaker, a failed one re-opens it for another cooldown).
+pub const PQ_BREAKER_COOLDOWN: u32 = 16;
+
 fn io_fault(e: SysError) -> Fault {
     match e {
         SysError::Fault(f) => f,
-        SysError::Errno(e) => Fault::Init(format!("wiki io error: {e}")),
+        // Keep the errno's identity so callers can tell a transient
+        // kernel condition from a broken build.
+        SysError::Errno(e) => Fault::Errno(e),
     }
 }
 
@@ -119,48 +131,85 @@ impl WikiApp {
         let sql_ch = self.rt.make_chan(64); // ○3
         let rows_ch = self.rt.make_chan(64); // ○6
         let reply_ch = self.rt.make_chan(64); // ○7
+        let tally: Rc<RefCell<ChaosTally>> = Rc::default();
+        let pq_enclosure = self.rt.enclosure("pq_enc").map_or(0, |e| e.id.0);
 
-        // ○B: enclosed HTTP server.
+        // ○B: enclosed HTTP server. Under fault injection it degrades
+        // instead of dying: transient errnos retry in place, a request
+        // whose handling faults is answered with a 503, and the loop
+        // keeps serving.
         let mut listen: Option<u32> = None;
         let mut accepted = 0u64;
         let mut replied = 0u64;
+        let mut degraded = 0u64;
+        let srv_tally = Rc::clone(&tally);
         self.rt
             .spawn_enclosed("wiki-server", "server_enc", move |ctx| {
                 let listen_fd = match listen {
                     Some(fd) => fd,
                     None => {
-                        let fd = ctx.lb_mut().sys_socket().map_err(io_fault)?;
-                        ctx.lb_mut()
-                            .sys_bind(fd, SockAddr::local(WIKI_PORT))
-                            .map_err(io_fault)?;
-                        ctx.lb_mut().sys_listen(fd).map_err(io_fault)?;
-                        listen = Some(fd);
+                        let setup = (|| -> Result<u32, SysError> {
+                            let fd = retry_transient(&srv_tally, || ctx.lb_mut().sys_socket())?;
+                            retry_transient(&srv_tally, || {
+                                ctx.lb_mut().sys_bind(fd, SockAddr::local(WIKI_PORT))
+                            })?;
+                            retry_transient(&srv_tally, || ctx.lb_mut().sys_listen(fd))?;
+                            Ok(fd)
+                        })();
+                        match setup {
+                            Ok(fd) => listen = Some(fd),
+                            // Retry the whole setup next round.
+                            Err(e) if e.is_transient() => {}
+                            Err(e) => return Err(io_fault(e)),
+                        }
                         return Ok(Step::Yield);
                     }
                 };
                 if accepted < n {
-                    match ctx.lb_mut().sys_accept(listen_fd) {
+                    match retry_transient(&srv_tally, || ctx.lb_mut().sys_accept(listen_fd)) {
                         Ok(conn) => {
-                            let raw = ctx.lb_mut().sys_recv(conn, 8192).map_err(io_fault)?;
-                            ctx.compute(8_000); // mux parse + route
-                            let (kind, title, body) = match route(&raw) {
-                                Route::View { title } => ("view", title, String::new()),
-                                Route::Save { title, body } => ("save", title, body),
-                                Route::NotFound => ("404", String::new(), String::new()),
-                            };
-                            if ctx.chan_send(
-                                parsed_ch,
-                                GoValue::Tuple(vec![
-                                    GoValue::Int(u64::from(conn)),
-                                    GoValue::Str(kind.to_owned()),
-                                    GoValue::Str(title),
-                                    GoValue::Str(body),
-                                ]),
-                            )? {
-                                accepted += 1;
+                            match retry_transient(&srv_tally, || ctx.lb_mut().sys_recv(conn, 8192))
+                            {
+                                Ok(raw) => {
+                                    ctx.compute(8_000); // mux parse + route
+                                    let (kind, title, body) = match route(&raw) {
+                                        Route::View { title } => ("view", title, String::new()),
+                                        Route::Save { title, body } => ("save", title, body),
+                                        Route::NotFound => ("404", String::new(), String::new()),
+                                    };
+                                    if ctx.chan_send(
+                                        parsed_ch,
+                                        GoValue::Tuple(vec![
+                                            GoValue::Int(u64::from(conn)),
+                                            GoValue::Str(kind.to_owned()),
+                                            GoValue::Str(title),
+                                            GoValue::Str(body),
+                                        ]),
+                                    )? {
+                                        accepted += 1;
+                                    }
+                                }
+                                Err(e) if e.is_transient() => {
+                                    // Degrade: 5xx this request, keep the
+                                    // server alive. The response itself
+                                    // runs un-injectable — it is the
+                                    // recovery path.
+                                    ctx.lb_mut().clock_mut().suspend_injection();
+                                    let _ = ctx.lb_mut().sys_send(conn, &render_unavailable());
+                                    let _ = ctx.lb_mut().sys_close(conn);
+                                    ctx.lb_mut().clock_mut().resume_injection();
+                                    srv_tally.borrow_mut().degraded += 1;
+                                    accepted += 1;
+                                    degraded += 1;
+                                }
+                                Err(e) => return Err(io_fault(e)),
                             }
                         }
                         Err(SysError::Errno(_)) => {}
+                        // An injected transient fault (e.g. a lost
+                        // VM EXIT) before any connection state exists:
+                        // nothing to degrade, try again next round.
+                        Err(e) if e.is_transient() => {}
                         Err(e) => return Err(io_fault(e)),
                     }
                 }
@@ -169,14 +218,31 @@ impl WikiApp {
                         let parts = v.as_tuple()?;
                         let conn = u32::try_from(parts[0].as_int()?).expect("fd fits");
                         let response = parts[1].as_bytes()?;
-                        ctx.lb_mut().sys_send(conn, &response).map_err(io_fault)?;
-                        ctx.lb_mut().sys_close(conn).map_err(io_fault)?;
+                        let sent = (|| -> Result<(), SysError> {
+                            retry_transient(&srv_tally, || ctx.lb_mut().sys_send(conn, &response))?;
+                            retry_transient(&srv_tally, || ctx.lb_mut().sys_close(conn))?;
+                            Ok(())
+                        })();
+                        match sent {
+                            Ok(()) => {}
+                            Err(e) if e.is_transient() => {
+                                ctx.lb_mut().clock_mut().suspend_injection();
+                                let _ = ctx.lb_mut().sys_close(conn);
+                                ctx.lb_mut().clock_mut().resume_injection();
+                                // Count each request's degradation once:
+                                // a 503 from the glue already did.
+                                if !response.starts_with(b"HTTP/1.1 503") {
+                                    srv_tally.borrow_mut().degraded += 1;
+                                }
+                            }
+                            Err(e) => return Err(io_fault(e)),
+                        }
                         replied += 1;
                     }
                     Recv::Empty => {}
                     Recv::Closed => return Ok(Step::Done),
                 }
-                if replied == n {
+                if replied + degraded == n {
                     ctx.chan_close(parsed_ch)?;
                     return Ok(Step::Done);
                 }
@@ -184,6 +250,7 @@ impl WikiApp {
             })?;
 
         // ○A: trusted glue.
+        let glue_tally = Rc::clone(&tally);
         self.rt.spawn("wiki-glue", move |ctx| {
             let mut progressed = false;
             match ctx.chan_recv(parsed_ch)? {
@@ -226,8 +293,15 @@ impl WikiApp {
                     let title = parts[2].as_str()?;
                     ctx.compute(5_000); // HTML templating
                     let response = if let Some(err) = row.strip_prefix("E ") {
-                        let _ = err;
-                        render_not_found()
+                        if err == "unavailable" {
+                            // The proxy could not reach Postgres (or is
+                            // quarantined): this request degrades to a
+                            // 503 instead of taking the app down.
+                            glue_tally.borrow_mut().degraded += 1;
+                            render_unavailable()
+                        } else {
+                            render_not_found()
+                        }
                     } else {
                         render_page(&title, &row)
                     };
@@ -244,14 +318,29 @@ impl WikiApp {
             Ok(Step::Yield)
         });
 
-        // ○C: enclosed pq proxy.
+        // ○C: enclosed pq proxy, fronted by a small circuit breaker:
+        // after PQ_BREAKER_THRESHOLD consecutive transient failures the
+        // proxy stops touching the wire and fast-fails queries with an
+        // "unavailable" row (the glue renders those as 503s). After
+        // PQ_BREAKER_COOLDOWN fast-fails it half-opens and probes; a
+        // clean query closes it again.
         let mut conn_state: Option<pq::PqConn> = None;
+        let mut consecutive_failures = 0u32;
+        let mut breaker_open = false;
+        let mut fast_fails_since_trip = 0u32;
+        let pq_tally = Rc::clone(&tally);
         self.rt.spawn_enclosed("pq-proxy", "pq_enc", move |ctx| {
             let conn = match conn_state {
                 Some(c) => c,
                 None => {
-                    let c = pq::connect(ctx.lb_mut()).map_err(io_fault)?;
-                    conn_state = Some(c);
+                    match retry_transient(&pq_tally, || pq::connect(ctx.lb_mut())) {
+                        Ok(c) => {
+                            conn_state = Some(c);
+                        }
+                        // Retry the connection next round.
+                        Err(e) if e.is_transient() => {}
+                        Err(e) => return Err(io_fault(e)),
+                    }
                     return Ok(Step::Yield);
                 }
             };
@@ -261,9 +350,41 @@ impl WikiApp {
                     let http_conn = parts[0].clone();
                     let sql = parts[1].as_str()?;
                     let title = parts[2].clone();
-                    let row = match pq::query(ctx.lb_mut(), conn, &sql).map_err(io_fault)? {
-                        QueryResult::Row(r) => r,
-                        QueryResult::ServerError(e) => format!("E {e}"),
+                    let row = if breaker_open && fast_fails_since_trip < PQ_BREAKER_COOLDOWN {
+                        fast_fails_since_trip += 1;
+                        pq_tally.borrow_mut().quarantined += 1;
+                        ctx.lb_mut().clock_mut().record(Event::BreakerFastFail {
+                            enclosure: pq_enclosure,
+                        });
+                        "E unavailable".to_owned()
+                    } else {
+                        // Closed — or half-open after the cooldown, in
+                        // which case this query is the probe.
+                        match retry_transient(&pq_tally, || pq::query(ctx.lb_mut(), conn, &sql)) {
+                            Ok(QueryResult::Row(r)) => {
+                                breaker_open = false;
+                                consecutive_failures = 0;
+                                r
+                            }
+                            Ok(QueryResult::ServerError(e)) => {
+                                breaker_open = false;
+                                consecutive_failures = 0;
+                                format!("E {e}")
+                            }
+                            Err(e) if e.is_transient() => {
+                                consecutive_failures += 1;
+                                if breaker_open || consecutive_failures >= PQ_BREAKER_THRESHOLD {
+                                    breaker_open = true;
+                                    fast_fails_since_trip = 0;
+                                    ctx.lb_mut().clock_mut().record(Event::BreakerTrip {
+                                        enclosure: pq_enclosure,
+                                        faults: u64::from(consecutive_failures),
+                                    });
+                                }
+                                "E unavailable".to_owned()
+                            }
+                            Err(e) => return Err(io_fault(e)),
+                        }
                     };
                     ctx.chan_send(
                         rows_ch,
@@ -325,16 +446,8 @@ impl WikiApp {
         let t0 = self.rt.lb().now_ns();
         self.rt.run_scheduler()?;
         let ns = self.rt.lb().now_ns() - t0;
-        #[allow(clippy::cast_precision_loss)]
-        Ok(ServeStats {
-            served: n,
-            ns,
-            reqs_per_sec: if ns == 0 {
-                0.0
-            } else {
-                n as f64 * 1e9 / ns as f64
-            },
-        })
+        let tally = *tally.borrow();
+        Ok(ServeStats::new(n - tally.degraded, ns).with_tally(tally))
     }
 }
 
@@ -411,6 +524,39 @@ mod tests {
             Ok(GoValue::Unit)
         });
         rt.call_enclosed("server_enc", GoValue::Unit).unwrap();
+    }
+
+    #[test]
+    fn degrades_gracefully_under_gateway_chaos() {
+        use litterbox::{InjectionPlan, InjectionSite};
+        for backend in [Backend::Mpk, Backend::Vtx] {
+            let mut app = WikiApp::new(backend).unwrap();
+            app.runtime_mut().lb_mut().clock_mut().arm_injection(
+                InjectionPlan::new(0xC4A05, 400_000).with_sites(&[InjectionSite::GatewayErrno]),
+            );
+            let stats = app.serve_requests(30).unwrap();
+            // Every request is accounted for: a real response or a 503.
+            assert_eq!(stats.served + stats.degraded, 30, "{backend}: {stats:?}");
+            assert!(stats.retried > 0, "{backend}: errnos were retried");
+            // The machine survived and is back in the trusted environment.
+            let c = app.runtime().lb().telemetry().counters();
+            assert_eq!(c.prologs, c.epilogs, "{backend}: balanced switches");
+        }
+    }
+
+    #[test]
+    fn pq_breaker_quarantines_a_failing_database_path() {
+        use litterbox::{InjectionPlan, InjectionSite};
+        let mut app = WikiApp::new(Backend::Mpk).unwrap();
+        app.runtime_mut().lb_mut().clock_mut().arm_injection(
+            InjectionPlan::new(7, 750_000).with_sites(&[InjectionSite::GatewayErrno]),
+        );
+        let stats = app.serve_requests(40).unwrap();
+        assert_eq!(stats.served + stats.degraded, 40, "{stats:?}");
+        assert!(stats.quarantined > 0, "breaker opened: {stats:?}");
+        let c = app.runtime().lb().telemetry().counters();
+        assert!(c.breaker_trips >= 1, "trip recorded in telemetry");
+        assert!(c.breaker_fast_fails >= 1, "fast-fails recorded");
     }
 
     #[test]

@@ -12,16 +12,23 @@
 //! repro security             §6.5 recreated attacks
 //! repro filter-dump          compiled seccomp-BPF for the Figure 1 program
 //! repro ablations            design-choice studies
+//! repro chaos [--quick] [--seed=S]  fault-injection soak (containment)
 //! repro all [--quick]        everything above
 //! ```
 //!
 //! The global `--trace[=N]` flag keeps a bounded ring of the last N
 //! telemetry events (default 32) in the workload machines; on a fault
-//! they are printed alongside the root-cause trace.
+//! they are printed alongside the root-cause trace (for the security
+//! matrix, where the blocking fault is the data, the ring is dumped at
+//! each block).
+//!
+//! `--seed=S` (decimal or `0x` hex) seeds the chaos soak's injection
+//! plan; two runs with the same seed produce byte-identical reports.
 
 use std::process::ExitCode;
 
 use enclosure_apps::plotlib::{self, PlotConfig};
+use enclosure_bench::chaos_exp::{self, ChaosConfig};
 use enclosure_bench::macrobench::{self, MacroScale};
 use enclosure_bench::{ablation, micro, python_exp, report, security_exp, wiki_exp};
 use enclosure_gofront::{GoProgram, GoSource};
@@ -40,6 +47,14 @@ fn main() -> ExitCode {
             a.strip_prefix("--trace=").and_then(|n| n.parse().ok())
         }
     });
+    let seed = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--seed=").map(parse_seed))
+        .unwrap_or(Some(DEFAULT_CHAOS_SEED));
+    let Some(seed) = seed else {
+        eprintln!("--seed wants a decimal or 0x-hex u64");
+        return ExitCode::FAILURE;
+    };
     let command = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -47,27 +62,29 @@ fn main() -> ExitCode {
         .unwrap_or("all");
     let result = match command {
         "table1" => table1(json),
-        "table2" => table2(quick, json),
+        "table2" => table2(quick, json, trace),
         "table2-info" => {
             print!("{}", report::render_table2_info());
             Ok(())
         }
         "figure4" => figure4(),
-        "wiki" => wiki(quick),
+        "wiki" => wiki(quick, trace),
         "python" => python(quick, trace),
         "attribution" => attribution(quick, json, trace),
-        "security" => security(),
+        "security" => security(trace),
         "filter-dump" => filter_dump(),
         "ablations" => ablations(),
+        "chaos" => chaos(quick, seed),
         "all" => table1(json)
-            .and_then(|()| table2(quick, json))
+            .and_then(|()| table2(quick, json, trace))
             .map(|()| print!("\n{}", report::render_table2_info()))
             .and_then(|()| figure4())
-            .and_then(|()| wiki(quick))
+            .and_then(|()| wiki(quick, trace))
             .and_then(|()| python(quick, trace))
             .and_then(|()| attribution(quick, json, trace))
-            .and_then(|()| security())
-            .and_then(|()| ablations()),
+            .and_then(|()| security(trace))
+            .and_then(|()| ablations())
+            .and_then(|()| chaos(quick, seed)),
         other => {
             eprintln!("unknown command '{other}'; see the crate docs");
             return ExitCode::FAILURE;
@@ -83,6 +100,16 @@ fn main() -> ExitCode {
 }
 
 type AnyError = Box<dyn std::error::Error>;
+
+/// Default seed for `repro chaos` when `--seed=S` is not given.
+const DEFAULT_CHAOS_SEED: u64 = 0xC4A05;
+
+fn parse_seed(text: &str) -> Option<u64> {
+    match text.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => text.parse().ok(),
+    }
+}
 
 fn table1(json: bool) -> Result<(), AnyError> {
     let rows = micro::table1(1_000)?;
@@ -102,13 +129,13 @@ fn table1(json: bool) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn table2(quick: bool, json: bool) -> Result<(), AnyError> {
+fn table2(quick: bool, json: bool, trace: Option<usize>) -> Result<(), AnyError> {
     let scale = if quick {
         MacroScale::quick()
     } else {
         MacroScale::default()
     };
-    let rows = macrobench::table2(scale)?;
+    let rows = macrobench::table2_traced(scale, trace)?;
     if json {
         let value = Json::arr(rows.iter().map(|r| {
             Json::obj([
@@ -164,9 +191,9 @@ fn figure4() -> Result<(), AnyError> {
     Ok(())
 }
 
-fn wiki(quick: bool) -> Result<(), AnyError> {
+fn wiki(quick: bool, trace: Option<usize>) -> Result<(), AnyError> {
     let requests = if quick { 20 } else { 500 };
-    let results = wiki_exp::run(requests)?;
+    let results = wiki_exp::run_traced(requests, trace)?;
     print!("\n{}", report::render_wiki(&results));
     Ok(())
 }
@@ -296,10 +323,31 @@ fn filter_dump() -> Result<(), AnyError> {
     Ok(())
 }
 
-fn security() -> Result<(), AnyError> {
-    let results = security_exp::run()?;
+fn security(trace: Option<usize>) -> Result<(), AnyError> {
+    let results = security_exp::run_traced(trace)?;
     print!("\n{}", report::render_security(&results));
     Ok(())
+}
+
+fn chaos(quick: bool, seed: u64) -> Result<(), AnyError> {
+    let config = if quick {
+        ChaosConfig::quick(seed)
+    } else {
+        ChaosConfig::full(seed)
+    };
+    let soak = chaos_exp::run(config)?;
+    print!("\n{}", report::render_chaos(&soak));
+    let violations: Vec<String> = soak
+        .rows
+        .iter()
+        .flat_map(|row| chaos_exp::check_invariants(&soak.config, row))
+        .collect();
+    if violations.is_empty() {
+        println!("invariants: OK (all requests answered, ledgers balanced)");
+        Ok(())
+    } else {
+        Err(format!("chaos invariants violated:\n  {}", violations.join("\n  ")).into())
+    }
 }
 
 fn ablations() -> Result<(), AnyError> {

@@ -1,0 +1,225 @@
+//! The chaos soak: deterministic fault injection over the wiki workload.
+//!
+//! A seeded [`InjectionPlan`] arms the backend's failure sites (transient
+//! gateway errnos everywhere; faulted WRPKRU writes under LB_MPK; lost
+//! VM EXITs and failed CR3 rewrites under LB_VTX) and the wiki serves a
+//! soak of requests through it. The run must *degrade*, never die: every
+//! request is answered (a real response or a 503), the machine ends every
+//! hop back in a consistent state, and the cross-layer invariants of
+//! [`check_invariants`] hold — balanced switch ledgers, no leaked
+//! protection keys, a monotonic clock.
+//!
+//! Everything runs in simulated time from a fixed seed, so two runs with
+//! the same seed are byte-identical — chaos you can bisect.
+
+use enclosure_apps::wiki::WikiApp;
+use enclosure_hw::{InjectionPlan, InjectionSite};
+use litterbox::{Backend, Fault};
+
+/// Parameters for one chaos soak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for the injection plan's XorShift stream.
+    pub seed: u64,
+    /// Fire probability per armed site, in parts per million.
+    pub rate_ppm: u64,
+    /// Requests to drive through the wiki per backend.
+    pub requests: u64,
+}
+
+impl ChaosConfig {
+    /// The full soak: thousands of requests under a moderate fault rate.
+    #[must_use]
+    pub fn full(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            rate_ppm: 150_000,
+            requests: 5_000,
+        }
+    }
+
+    /// A bounded soak for `--quick` runs and CI.
+    #[must_use]
+    pub fn quick(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            requests: 150,
+            ..ChaosConfig::full(seed)
+        }
+    }
+}
+
+/// The failure sites armed for a backend: transient gateway errnos
+/// everywhere, plus the backend's own switch mechanism.
+#[must_use]
+pub fn sites_for(backend: Backend) -> Vec<InjectionSite> {
+    match backend {
+        // Baseline is the control arm: no sites armed, nothing fires,
+        // and the soak must come back with zero degradation.
+        Backend::Baseline => vec![],
+        Backend::Mpk => vec![InjectionSite::GatewayErrno, InjectionSite::Wrpkru],
+        Backend::Vtx => vec![
+            InjectionSite::GatewayErrno,
+            InjectionSite::VmExit,
+            InjectionSite::Cr3Write,
+        ],
+    }
+}
+
+/// One backend's soak outcome plus the ledgers the invariants compare.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosRow {
+    /// The backend under chaos.
+    pub backend: Backend,
+    /// Requests answered with a real response.
+    pub served: u64,
+    /// Requests answered with a 503.
+    pub degraded: u64,
+    /// Transient errnos absorbed by in-place retries.
+    pub retried: u64,
+    /// Requests fast-failed by the pq proxy's open breaker.
+    pub quarantined: u64,
+    /// Faults the plan actually injected.
+    pub injected_faults: u64,
+    /// Breaker trips recorded in telemetry.
+    pub breaker_trips: u64,
+    /// Telemetry ledger: enclosure entries / exits.
+    pub prologs: u64,
+    /// Telemetry ledger: enclosure exits.
+    pub epilogs: u64,
+    /// Telemetry ledger: PKRU writes.
+    pub recorder_wrpkru: u64,
+    /// Hardware ledger: PKRU writes.
+    pub hw_wrpkru: u64,
+    /// Telemetry ledger: CR3 rewrites.
+    pub recorder_cr3: u64,
+    /// Hardware ledger: guest syscalls (one CR3 rewrite each).
+    pub hw_guest_syscalls: u64,
+    /// Telemetry ledger: VM EXITs.
+    pub recorder_vm_exits: u64,
+    /// Hardware ledger: VM EXITs.
+    pub hw_vm_exits: u64,
+    /// Simulated nanoseconds the soak took.
+    pub ns: u64,
+}
+
+/// A full chaos report across the three backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The configuration that produced it.
+    pub config: ChaosConfig,
+    /// One row per backend, in [`crate::BACKENDS`] order.
+    pub rows: Vec<ChaosRow>,
+}
+
+/// Runs the soak on every backend with per-backend failure sites.
+///
+/// # Errors
+///
+/// A fault escaping the containment layers — which is itself a finding:
+/// the soak's contract is that no injected fault aborts the run.
+pub fn run(config: ChaosConfig) -> Result<ChaosReport, Fault> {
+    let mut rows = Vec::new();
+    for backend in crate::BACKENDS {
+        let mut app = WikiApp::new(backend)?;
+        let sites = sites_for(backend);
+        let clock = app.runtime_mut().lb_mut().clock_mut();
+        clock.reset();
+        if !sites.is_empty() {
+            clock
+                .arm_injection(InjectionPlan::new(config.seed, config.rate_ppm).with_sites(&sites));
+        }
+        let t0 = app.runtime().lb().now_ns();
+        let stats = app.serve_requests(config.requests)?;
+        let ns = app.runtime().lb().now_ns() - t0;
+        app.runtime_mut().lb_mut().clock_mut().disarm_injection();
+        let c = *app.runtime().lb().telemetry().counters();
+        let hw = app.runtime().lb().stats();
+        rows.push(ChaosRow {
+            backend,
+            served: stats.served,
+            degraded: stats.degraded,
+            retried: stats.retried,
+            quarantined: stats.quarantined,
+            injected_faults: c.injected_faults,
+            breaker_trips: c.breaker_trips,
+            prologs: c.prologs,
+            epilogs: c.epilogs,
+            recorder_wrpkru: c.wrpkru_writes,
+            hw_wrpkru: hw.wrpkru,
+            recorder_cr3: c.cr3_writes,
+            hw_guest_syscalls: hw.guest_syscalls,
+            recorder_vm_exits: c.vm_exits,
+            hw_vm_exits: hw.vm_exits,
+            ns,
+        });
+    }
+    Ok(ChaosReport { config, rows })
+}
+
+/// Checks a row's cross-layer invariants, returning every violation (an
+/// empty vector means the row is consistent).
+///
+/// * every request accounted for: `served + degraded == requests`;
+/// * balanced switch ledger: `prologs == epilogs`;
+/// * recorder ledger == hardware ledger for PKRU writes, CR3 rewrites,
+///   and VM EXITs (two independent recordings of the same events);
+/// * faults only where they were injected (the baseline control arm
+///   stays clean).
+#[must_use]
+pub fn check_invariants(config: &ChaosConfig, row: &ChaosRow) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            violations.push(format!("{}: {what}: {row:?}", row.backend));
+        }
+    };
+    check(
+        row.served + row.degraded == config.requests,
+        "every request must be answered",
+    );
+    check(row.prologs == row.epilogs, "prologs == epilogs");
+    check(
+        row.recorder_wrpkru == row.hw_wrpkru,
+        "recorder and hardware disagree on WRPKRU count",
+    );
+    check(
+        row.recorder_cr3 == row.hw_guest_syscalls,
+        "recorder and hardware disagree on CR3 rewrites",
+    );
+    check(
+        row.recorder_vm_exits == row.hw_vm_exits,
+        "recorder and hardware disagree on VM EXITs",
+    );
+    if row.backend == Backend::Baseline {
+        check(
+            row.injected_faults == 0 && row.degraded == 0,
+            "baseline never runs enclosed, so nothing can be injected",
+        );
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_soak_degrades_but_survives() {
+        let report = run(ChaosConfig::quick(0xC4A05)).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            let violations = check_invariants(&report.config, row);
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+        // Chaos actually happened on the protected backends.
+        assert!(report.rows[1].injected_faults > 0, "{:?}", report.rows[1]);
+        assert!(report.rows[2].injected_faults > 0, "{:?}", report.rows[2]);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = run(ChaosConfig::quick(7)).unwrap();
+        let b = run(ChaosConfig::quick(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -6,6 +6,8 @@
 //! * [`macrobench`] — Table 2 (bild, HTTP, FastHTTP raw + slowdowns) and
 //!   its benchmark-information columns;
 //! * [`wiki_exp`] — the §6.3 / Figure 5 usability study;
+//! * [`chaos_exp`] — the deterministic fault-injection soak (containment
+//!   and graceful degradation under chaos);
 //! * [`python_exp`] — the §6.4 Python experiments (conservative vs
 //!   decoupled metadata, switch counts, init share);
 //! * [`security_exp`] — the §6.5 attack/defense matrix;
@@ -22,11 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos_exp;
 pub mod macrobench;
 pub mod micro;
 pub mod python_exp;
 pub mod report;
 pub mod security_exp;
+pub mod trace;
 pub mod wiki_exp;
 
 pub use litterbox::Backend;

@@ -106,26 +106,49 @@ impl MacroScale {
     }
 }
 
-fn measure_raw(bench: MacroBench, backend: Backend, scale: MacroScale) -> Result<f64, Fault> {
+fn measure_raw(
+    bench: MacroBench,
+    backend: Backend,
+    scale: MacroScale,
+    trace: Option<usize>,
+) -> Result<f64, Fault> {
     match bench {
         MacroBench::Bild => {
             let mut app = BildApp::new(backend, scale.bild)?;
+            crate::trace::arm(app.runtime_mut().lb_mut(), trace);
             app.runtime_mut().lb_mut().clock_mut().reset();
-            let run = app.run_invert()?;
-            #[allow(clippy::cast_precision_loss)]
-            Ok(run.ns as f64 / 1e6) // ms
+            match app.run_invert() {
+                #[allow(clippy::cast_precision_loss)]
+                Ok(run) => Ok(run.ns as f64 / 1e6), // ms
+                Err(fault) => {
+                    crate::trace::dump(app.runtime().lb(), &format!("bild, {backend}"));
+                    Err(fault)
+                }
+            }
         }
         MacroBench::Http => {
             let mut app = HttpApp::new(backend, HttpConfig::default())?;
+            crate::trace::arm(app.runtime_mut().lb_mut(), trace);
             app.runtime_mut().lb_mut().clock_mut().reset();
-            Ok(app.serve_requests(scale.requests)?.reqs_per_sec)
+            match app.serve_requests(scale.requests) {
+                Ok(stats) => Ok(stats.reqs_per_sec),
+                Err(fault) => {
+                    crate::trace::dump(app.runtime().lb(), &format!("HTTP, {backend}"));
+                    Err(fault)
+                }
+            }
         }
         MacroBench::FastHttp => {
             let mut app = FastHttpApp::new(backend)?;
+            crate::trace::arm(app.runtime_mut().lb_mut(), trace);
             app.runtime_mut().lb_mut().clock_mut().reset();
-            Ok(app
-                .serve_requests(scale.requests, FastHttpConfig::default())?
-                .reqs_per_sec)
+            match app.serve_requests(scale.requests, FastHttpConfig::default()) {
+                Ok(stats) => Ok(stats.reqs_per_sec),
+                Err(fault) => {
+                    crate::trace::dump(app.runtime().lb(), &format!("FastHTTP, {backend}"));
+                    Err(fault)
+                }
+            }
         }
     }
 }
@@ -136,9 +159,23 @@ fn measure_raw(bench: MacroBench, backend: Backend, scale: MacroScale) -> Result
 ///
 /// Workload faults.
 pub fn run_row(bench: MacroBench, scale: MacroScale) -> Result<MacroRow, Fault> {
-    let base = measure_raw(bench, Backend::Baseline, scale)?;
-    let mpk = measure_raw(bench, Backend::Mpk, scale)?;
-    let vtx = measure_raw(bench, Backend::Vtx, scale)?;
+    run_row_traced(bench, scale, None)
+}
+
+/// [`run_row`] with `--trace` support: each workload machine keeps a
+/// bounded event ring, dumped on the fault path.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn run_row_traced(
+    bench: MacroBench,
+    scale: MacroScale,
+    trace: Option<usize>,
+) -> Result<MacroRow, Fault> {
+    let base = measure_raw(bench, Backend::Baseline, scale, trace)?;
+    let mpk = measure_raw(bench, Backend::Mpk, scale, trace)?;
+    let vtx = measure_raw(bench, Backend::Vtx, scale, trace)?;
     // For latency (bild), slowdown = time/time_base; for throughput,
     // slowdown = rate_base/rate.
     let slowdown = |v: f64| -> f64 {
@@ -170,9 +207,18 @@ pub fn run_row(bench: MacroBench, scale: MacroScale) -> Result<MacroRow, Fault> 
 ///
 /// Workload faults.
 pub fn table2(scale: MacroScale) -> Result<Vec<MacroRow>, Fault> {
+    table2_traced(scale, None)
+}
+
+/// [`table2`] with `--trace` support.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn table2_traced(scale: MacroScale, trace: Option<usize>) -> Result<Vec<MacroRow>, Fault> {
     MacroBench::ALL
         .into_iter()
-        .map(|bench| run_row(bench, scale))
+        .map(|bench| run_row_traced(bench, scale, trace))
         .collect()
 }
 

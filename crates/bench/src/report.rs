@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 
 use enclosure_telemetry::{SpanCost, SpanScope};
 
+use crate::chaos_exp::ChaosReport;
 use crate::macrobench::{paper_values, MacroRow};
 use crate::micro::{paper_table1, MicroRow};
 use crate::python_exp::PythonResults;
@@ -224,6 +225,59 @@ pub fn render_attribution(
         "    conservative counters: executes={} vm_exits={} cr3_writes={} init_ns={}",
         c.executes, c.vm_exits, c.cr3_writes, c.init_ns
     );
+    out
+}
+
+/// Renders the chaos soak: per-backend degradation outcomes and the
+/// cross-layer ledgers the invariants compare. Everything printed is a
+/// pure function of the seed, so two runs with the same seed are
+/// byte-identical.
+#[must_use]
+pub fn render_chaos(report: &ChaosReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Chaos soak: seed {:#x}, {} ppm per armed site, {} requests per backend",
+        report.config.seed, report.config.rate_ppm, report.config.requests
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>9} {:>8} {:>12} {:>9} {:>8} {:>14}",
+        "backend",
+        "served",
+        "degraded",
+        "retried",
+        "quarantined",
+        "injected",
+        "breaker",
+        "sim time"
+    );
+    for row in &report.rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>9} {:>8} {:>12} {:>9} {:>8} {:>12}ns",
+            row.backend.to_string(),
+            row.served,
+            row.degraded,
+            row.retried,
+            row.quarantined,
+            row.injected_faults,
+            row.breaker_trips,
+            row.ns,
+        );
+        let _ = writeln!(
+            out,
+            "           ledgers: prolog/epilog {}/{} | wrpkru {}={} | cr3 {}={} | vm-exit {}={}",
+            row.prologs,
+            row.epilogs,
+            row.recorder_wrpkru,
+            row.hw_wrpkru,
+            row.recorder_cr3,
+            row.hw_guest_syscalls,
+            row.recorder_vm_exits,
+            row.hw_vm_exits,
+        );
+    }
     out
 }
 

@@ -2,7 +2,7 @@
 //! hardware backends and tabulate outcomes.
 
 use enclosure_apps::django;
-use enclosure_apps::malware::{run_security_eval, ScenarioReport};
+use enclosure_apps::malware::{run_security_eval_traced, ScenarioReport};
 use litterbox::{Backend, Fault};
 
 /// Outcomes for one backend.
@@ -28,11 +28,22 @@ impl SecurityResults {
 ///
 /// Harness faults.
 pub fn run() -> Result<Vec<SecurityResults>, Fault> {
+    run_traced(None)
+}
+
+/// [`run`] with `--trace` support: enforcing labs keep a bounded event
+/// ring, dumped whenever an attack is blocked (the block is the data, so
+/// that is where the lead-up is interesting).
+///
+/// # Errors
+///
+/// Harness faults.
+pub fn run_traced(trace: Option<usize>) -> Result<Vec<SecurityResults>, Fault> {
     [Backend::Mpk, Backend::Vtx]
         .into_iter()
         .map(|backend| {
-            let mut scenarios = run_security_eval(backend)?;
-            let dj = django::run_scenario(backend)?;
+            let mut scenarios = run_security_eval_traced(backend, trace)?;
+            let dj = django::run_scenario_traced(backend, trace)?;
             scenarios.push(ScenarioReport {
                 name: "Django clone (secured callbacks, §6.5)",
                 unprotected_leaked: dj.unprotected_leaked,

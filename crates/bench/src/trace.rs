@@ -1,0 +1,23 @@
+//! `--trace` plumbing shared by the experiment modules: arm a bounded
+//! telemetry event ring on a workload machine, and dump it when a fault
+//! escapes so the operator sees the lead-up alongside the root cause.
+
+use litterbox::LitterBox;
+
+/// Arms a bounded event ring on `lb` when `--trace[=N]` was given.
+pub fn arm(lb: &mut LitterBox, trace: Option<usize>) {
+    if let Some(capacity) = trace {
+        lb.telemetry_mut().enable_trace(capacity);
+    }
+}
+
+/// Prints the machine's buffered events — the fault's lead-up — when
+/// tracing is armed. Call on the fault path before propagating.
+pub fn dump(lb: &LitterBox, context: &str) {
+    if lb.telemetry().tracing() {
+        eprintln!("last telemetry events before the fault ({context}):");
+        for traced in lb.telemetry().recent_events() {
+            eprintln!("  [{:>12} ns] {}", traced.at_ns, traced.event);
+        }
+    }
+}

@@ -25,12 +25,29 @@ pub struct WikiResults {
 ///
 /// Workload faults.
 pub fn run(requests: u64) -> Result<WikiResults, Fault> {
+    run_traced(requests, None)
+}
+
+/// [`run`] with `--trace` support: each backend's machine keeps a
+/// bounded event ring, dumped on the fault path.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn run_traced(requests: u64, trace: Option<usize>) -> Result<WikiResults, Fault> {
     let mut rates = Vec::new();
     let mut switch_pairs = 0;
     for backend in [Backend::Baseline, Backend::Mpk, Backend::Vtx] {
         let mut app = WikiApp::new(backend)?;
+        crate::trace::arm(app.runtime_mut().lb_mut(), trace);
         app.runtime_mut().lb_mut().clock_mut().reset();
-        let stats = app.serve_requests(requests)?;
+        let stats = match app.serve_requests(requests) {
+            Ok(stats) => stats,
+            Err(fault) => {
+                crate::trace::dump(app.runtime().lb(), &format!("wiki, {backend}"));
+                return Err(fault);
+            }
+        };
         rates.push(stats.reqs_per_sec);
         if backend == Backend::Mpk {
             // Execute-based context switches, not prolog/epilog pairs:

@@ -124,7 +124,17 @@ impl<A, R> Enclosure<A, R> {
             info: &app.info,
         };
         let result = (self.f)(&mut ctx, arg);
-        app.lb.epilog(token)?;
+        if let Err(epilog_fault) = app.lb.epilog(token) {
+            // The switch back failed (e.g. an injected WRPKRU/CR3
+            // fault). Force the machine back to trusted so the caller
+            // can continue, and prefer the body's own fault as the root
+            // cause — the epilog failure is a symptom.
+            app.lb.recover_to_trusted();
+            return Err(match result {
+                Err(body_fault) => body_fault,
+                Ok(_) => epilog_fault,
+            });
+        }
         result
     }
 
@@ -149,7 +159,16 @@ impl<A, R> Enclosure<A, R> {
             info: ctx.info,
         };
         let result = (self.f)(&mut inner, arg);
-        ctx.lb.epilog(token)?;
+        if let Err(epilog_fault) = ctx.lb.epilog(token) {
+            // Don't recover here: that would unwind the *outer*
+            // enclosure's frames too. Surface the root cause and let the
+            // top-level `Enclosure::call` (or a supervisor) restore the
+            // trusted environment.
+            return Err(match result {
+                Err(body_fault) => body_fault,
+                Ok(_) => epilog_fault,
+            });
+        }
         result
     }
 }

@@ -61,9 +61,11 @@
 mod app;
 mod enclosure;
 mod policy;
+mod supervisor;
 mod view;
 
 pub use app::{App, AppBuilder, AppInfo};
 pub use enclosure::{Enclosure, EnclosureCtx};
 pub use policy::{Policy, PolicyError};
+pub use supervisor::{RetryPolicy, Supervisor, SupervisorError};
 pub use view::compute_view;

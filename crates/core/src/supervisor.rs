@@ -1,0 +1,330 @@
+//! App-level fault supervision: bounded retries with exponential backoff
+//! for transient faults, and a per-enclosure circuit breaker.
+//!
+//! The paper's fault model aborts the whole program on any violation
+//! (§2.1). That is the right *security* posture, but a server embedding
+//! untrusted libraries also needs *availability*: a transiently failing
+//! enclosure (injected errno, faulted WRPKRU, lost VM EXIT) should not
+//! take the trusted environment down with it. The [`Supervisor`] wraps
+//! [`Enclosure::call`] with a retry policy for faults that
+//! [`Fault::is_transient`] deems worth retrying, and quarantines an
+//! enclosure behind a circuit breaker once it keeps failing — subsequent
+//! calls fast-fail without entering the enclosure at all.
+//!
+//! All backoff is charged to the simulated clock, so supervised runs stay
+//! deterministic and attributable.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use enclosure_telemetry::Event;
+use litterbox::{EnclosureId, Fault};
+
+use crate::app::App;
+use crate::enclosure::Enclosure;
+
+/// Retry and quarantine parameters for a [`Supervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries granted per call for transient faults (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `backoff_base_ns << (n - 1)`
+    /// simulated nanoseconds.
+    pub backoff_base_ns: u64,
+    /// Consecutive failed calls (retries exhausted or fatal fault)
+    /// before the enclosure's breaker opens.
+    pub breaker_threshold: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_ns: 1_000,
+            breaker_threshold: 5,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct BreakerState {
+    /// Consecutive failed calls; a successful call resets it.
+    faults: u64,
+    open: bool,
+}
+
+/// Why a supervised call did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorError {
+    /// The enclosure's breaker is open; the call never entered it.
+    Quarantined(EnclosureId),
+    /// The call failed after exhausting any applicable retries.
+    Fault(Fault),
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::Quarantined(id) => {
+                write!(f, "{id} is quarantined (circuit breaker open)")
+            }
+            SupervisorError::Fault(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+impl Error for SupervisorError {}
+
+impl SupervisorError {
+    /// The underlying fault, if the call actually ran and failed.
+    #[must_use]
+    pub fn fault(&self) -> Option<&Fault> {
+        match self {
+            SupervisorError::Fault(fault) => Some(fault),
+            SupervisorError::Quarantined(_) => None,
+        }
+    }
+}
+
+/// Per-enclosure retry + circuit-breaker supervision over
+/// [`Enclosure::call`]. One supervisor typically lives next to the `App`
+/// and fronts every enclosure the program embeds.
+#[derive(Debug, Default)]
+pub struct Supervisor {
+    policy: RetryPolicy,
+    states: HashMap<EnclosureId, BreakerState>,
+}
+
+impl Supervisor {
+    /// A supervisor with the given policy.
+    #[must_use]
+    pub fn new(policy: RetryPolicy) -> Supervisor {
+        Supervisor {
+            policy,
+            states: HashMap::new(),
+        }
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// True if `id`'s breaker is open.
+    #[must_use]
+    pub fn is_quarantined(&self, id: EnclosureId) -> bool {
+        self.states.get(&id).is_some_and(|s| s.open)
+    }
+
+    /// Consecutive failed calls recorded against `id`.
+    #[must_use]
+    pub fn fault_count(&self, id: EnclosureId) -> u64 {
+        self.states.get(&id).map_or(0, |s| s.faults)
+    }
+
+    /// Closes `id`'s breaker and forgets its fault history (operator
+    /// reset after the underlying cause is fixed).
+    pub fn reset(&mut self, id: EnclosureId) {
+        self.states.remove(&id);
+    }
+
+    /// Calls `enclosure` under supervision.
+    ///
+    /// Transient faults ([`Fault::is_transient`]) are retried up to
+    /// `max_retries` times, each retry preceded by an exponential
+    /// backoff charged to the simulated clock and a telemetry
+    /// [`Event::Retry`]. A fatal fault, or a transient one that
+    /// exhausts its retries, counts against the enclosure's breaker;
+    /// at `breaker_threshold` consecutive failures the breaker opens
+    /// ([`Event::BreakerTrip`]) and later calls fast-fail
+    /// ([`Event::BreakerFastFail`]) without entering the enclosure.
+    /// Any failure path leaves the machine back in the trusted
+    /// environment.
+    ///
+    /// # Errors
+    ///
+    /// [`SupervisorError::Quarantined`] on an open breaker,
+    /// [`SupervisorError::Fault`] when retries are exhausted.
+    pub fn call<A: Clone, R>(
+        &mut self,
+        enclosure: &mut Enclosure<A, R>,
+        app: &mut App,
+        arg: A,
+    ) -> Result<R, SupervisorError> {
+        let id = enclosure.id();
+        let state = self.states.entry(id).or_default();
+        if state.open {
+            app.lb
+                .clock_mut()
+                .record(Event::BreakerFastFail { enclosure: id.0 });
+            return Err(SupervisorError::Quarantined(id));
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            match enclosure.call(app, arg.clone()) {
+                Ok(result) => {
+                    self.states.entry(id).or_default().faults = 0;
+                    return Ok(result);
+                }
+                Err(fault) => {
+                    // Whatever went wrong, the caller continues from the
+                    // trusted environment (no-op if `call` already
+                    // restored it).
+                    app.lb.recover_to_trusted();
+                    if fault.is_transient() && attempt < self.policy.max_retries {
+                        attempt += 1;
+                        let backoff = self.policy.backoff_base_ns << (attempt - 1);
+                        app.lb.clock_mut().record(Event::Retry {
+                            enclosure: id.0,
+                            attempt,
+                            backoff_ns: backoff,
+                        });
+                        app.lb.clock_mut().advance(backoff);
+                        continue;
+                    }
+                    let state = self.states.entry(id).or_default();
+                    state.faults += 1;
+                    if state.faults >= self.policy.breaker_threshold {
+                        state.open = true;
+                        let faults = state.faults;
+                        app.lb.clock_mut().record(Event::BreakerTrip {
+                            enclosure: id.0,
+                            faults,
+                        });
+                    }
+                    return Err(SupervisorError::Fault(fault));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use litterbox::{Backend, InjectionPlan, InjectionSite};
+
+    fn app(backend: Backend) -> App {
+        App::builder("supervised")
+            .package("main", &["lib"])
+            .package("lib", &[])
+            .build(backend)
+            .unwrap()
+    }
+
+    fn declare(app: &mut App) -> Enclosure<(), u64> {
+        Enclosure::declare(
+            app,
+            "worker",
+            &["lib"],
+            Policy::default_policy(),
+            |_, ()| Ok(7),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_backoff() {
+        let mut app = app(Backend::Mpk);
+        let mut enc = declare(&mut app);
+        let mut sup = Supervisor::new(RetryPolicy::default());
+        // One injected WRPKRU failure, then clean.
+        app.lb
+            .clock_mut()
+            .arm_injection(InjectionPlan::once(InjectionSite::Wrpkru));
+        let t0 = app.lb.now_ns();
+        assert_eq!(sup.call(&mut enc, &mut app, ()).unwrap(), 7);
+        let c = app.lb.telemetry().counters();
+        assert_eq!(c.retries, 1);
+        assert_eq!(c.injected_faults, 1);
+        // First-retry backoff was charged.
+        assert!(app.lb.now_ns() - t0 >= 1_000);
+        assert_eq!(sup.fault_count(enc.id()), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_fault() {
+        let mut app = app(Backend::Mpk);
+        let mut enc = declare(&mut app);
+        let mut sup = Supervisor::new(RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        });
+        // More failures than retries: every attempt faults.
+        app.lb.clock_mut().arm_injection(
+            InjectionPlan::new(3, enclosure_hw::inject::PPM).with_sites(&[InjectionSite::Wrpkru]),
+        );
+        let err = sup.call(&mut enc, &mut app, ()).unwrap_err();
+        assert!(matches!(err, SupervisorError::Fault(f) if f.is_transient()));
+        assert_eq!(app.lb.telemetry().counters().retries, 2);
+        assert_eq!(sup.fault_count(enc.id()), 1);
+    }
+
+    #[test]
+    fn fatal_faults_are_not_retried() {
+        let mut app = app(Backend::Mpk);
+        let mut bad: Enclosure<(), ()> = Enclosure::declare(
+            &mut app,
+            "bad",
+            &["lib"],
+            Policy::default_policy(),
+            |ctx, ()| {
+                ctx.lb
+                    .sys_socket()
+                    .map(|_| ())
+                    .map_err(|_| Fault::Init("syscall denied".into()))
+            },
+        )
+        .unwrap();
+        let mut sup = Supervisor::new(RetryPolicy::default());
+        let err = sup.call(&mut bad, &mut app, ()).unwrap_err();
+        assert!(matches!(err, SupervisorError::Fault(_)));
+        assert_eq!(app.lb.telemetry().counters().retries, 0);
+        assert_eq!(sup.fault_count(bad.id()), 1);
+    }
+
+    #[test]
+    fn breaker_trips_and_fast_fails() {
+        let mut app = app(Backend::Mpk);
+        let mut enc = declare(&mut app);
+        let mut sup = Supervisor::new(RetryPolicy {
+            max_retries: 0,
+            backoff_base_ns: 10,
+            breaker_threshold: 3,
+        });
+        // Permanent injection: every call faults immediately.
+        app.lb.clock_mut().arm_injection(
+            InjectionPlan::new(5, enclosure_hw::inject::PPM).with_sites(&[InjectionSite::Wrpkru]),
+        );
+        for _ in 0..3 {
+            assert!(sup.call(&mut enc, &mut app, ()).is_err());
+        }
+        assert!(sup.is_quarantined(enc.id()));
+        assert_eq!(app.lb.telemetry().counters().breaker_trips, 1);
+
+        // Fast-fail: no prolog, no injection draw, just the event.
+        let prologs_before = app.lb.telemetry().counters().prologs;
+        let err = sup.call(&mut enc, &mut app, ()).unwrap_err();
+        assert!(matches!(err, SupervisorError::Quarantined(_)));
+        assert_eq!(app.lb.telemetry().counters().prologs, prologs_before);
+        assert_eq!(app.lb.telemetry().counters().breaker_fast_fails, 1);
+
+        // Operator reset closes the breaker; with injection disarmed the
+        // enclosure serves again.
+        app.lb.clock_mut().disarm_injection();
+        sup.reset(enc.id());
+        assert_eq!(sup.call(&mut enc, &mut app, ()).unwrap(), 7);
+    }
+
+    #[test]
+    fn supervised_errors_render() {
+        let q = SupervisorError::Quarantined(EnclosureId(3));
+        assert!(q.to_string().contains("quarantined"));
+        assert!(q.fault().is_none());
+        let f = SupervisorError::Fault(Fault::Transient { site: "wrpkru" });
+        assert!(f.fault().is_some());
+    }
+}

@@ -251,11 +251,34 @@ impl GoRuntime {
             .spawn(name.to_owned(), EnvContext::in_env(env), Box::new(f)))
     }
 
+    /// An `Execute` that survives injected faults: a transient failure
+    /// (faulted WRPKRU / CR3 rewrite) is retried once with injection
+    /// suspended, because the scheduler must make progress for the rest
+    /// of the program to stay available. Real faults still propagate.
+    fn execute_contained(
+        &mut self,
+        ctx: EnvContext,
+        cs: enclosure_vmem::Addr,
+    ) -> Result<EnvContext, Fault> {
+        match self.lb.execute(ctx.clone(), cs) {
+            Err(fault) if fault.is_transient() => {
+                self.lb.clock_mut().suspend_injection();
+                let retried = self.lb.execute(ctx, cs);
+                self.lb.clock_mut().resume_injection();
+                retried
+            }
+            other => other,
+        }
+    }
+
     /// Runs the scheduler until every goroutine completes.
     ///
     /// Each quantum runs in its goroutine's protection context; context
     /// changes go through LitterBox's `Execute` hook, so an enclosed
-    /// goroutine stays enclosed across preemption (§5.1).
+    /// goroutine stays enclosed across preemption (§5.1). Injected
+    /// transient faults at the `Execute` boundary are contained (retried
+    /// with injection suspended) rather than aborting the whole
+    /// scheduler.
     ///
     /// # Errors
     ///
@@ -275,7 +298,7 @@ impl GoRuntime {
                         goroutine: gid as u64,
                         to_env: g.ctx.env().0,
                     });
-                let _ = self.lb.execute(g.ctx.clone(), cs)?;
+                let _ = self.execute_contained(g.ctx.clone(), cs)?;
             }
             self.sched.progress = false;
             let before_ns = self.lb.now_ns();
@@ -288,7 +311,7 @@ impl GoRuntime {
                 Err(fault) => {
                     // Abort: restore the trusted context, then surface the
                     // fault trace.
-                    let _ = self.lb.execute(EnvContext::trusted(), cs)?;
+                    let _ = self.execute_contained(EnvContext::trusted(), cs)?;
                     return Err(fault);
                 }
             };
@@ -305,7 +328,7 @@ impl GoRuntime {
                     } else {
                         idle_quanta += 1;
                         if idle_quanta > 2 * self.sched.pending() + 4 {
-                            let _ = self.lb.execute(EnvContext::trusted(), cs)?;
+                            let _ = self.execute_contained(EnvContext::trusted(), cs)?;
                             return Err(Fault::Init(format!(
                                 "scheduler deadlock: {} goroutines blocked without progress",
                                 self.sched.pending()
@@ -316,7 +339,7 @@ impl GoRuntime {
             }
         }
         if self.lb.current_env() != TRUSTED_ENV {
-            let _ = self.lb.execute(EnvContext::trusted(), cs)?;
+            let _ = self.execute_contained(EnvContext::trusted(), cs)?;
         }
         Ok(())
     }
@@ -330,7 +353,7 @@ impl GoRuntime {
     /// Propagates `Execute` faults.
     pub fn run_gc(&mut self) -> Result<u64, Fault> {
         let cs = self.runtime_callsite;
-        let prev = self.lb.execute(EnvContext::trusted(), cs)?;
+        let prev = self.execute_contained(EnvContext::trusted(), cs)?;
         let live = self.allocator.live_count();
         self.lb.clock_mut().advance(live * GC_NS_PER_OBJECT);
         self.lb
@@ -340,7 +363,7 @@ impl GoRuntime {
                 live,
             });
         self.gc_cycles += 1;
-        let _ = self.lb.execute(prev, cs)?;
+        let _ = self.execute_contained(prev, cs)?;
         Ok(live)
     }
 }
@@ -469,13 +492,32 @@ impl GoCtx<'_> {
             Ok(token) => token,
             Err(fault) => {
                 // Unwind the segment so a failed switch cannot leave a
-                // frame owned by the target package on the stack.
-                self.rt.stack.pop_segment(&mut self.rt.lb)?;
+                // frame owned by the target package on the stack. The
+                // unwind itself must not be injectable, or the prolog
+                // fault would be masked by a second, spurious one.
+                self.rt.lb.clock_mut().suspend_injection();
+                let popped = self.rt.stack.pop_segment(&mut self.rt.lb);
+                self.rt.lb.clock_mut().resume_injection();
+                popped?;
                 return Err(fault);
             }
         };
         let result = self.call(&entry, arg);
-        self.rt.lb.epilog(token)?;
+        if let Err(epilog_fault) = self.rt.lb.epilog(token) {
+            // The switch back failed (e.g. an injected WRPKRU/CR3
+            // fault). Containment: force the machine back to trusted,
+            // unwind the segment with injection suspended, and prefer
+            // the body's own fault as the root cause.
+            self.rt.lb.recover_to_trusted();
+            self.rt.lb.clock_mut().suspend_injection();
+            let popped = self.rt.stack.pop_segment(&mut self.rt.lb);
+            self.rt.lb.clock_mut().resume_injection();
+            popped?;
+            return Err(match result {
+                Err(body_fault) => body_fault,
+                Ok(_) => epilog_fault,
+            });
+        }
         self.rt.stack.pop_segment(&mut self.rt.lb)?;
         result
     }

@@ -4,6 +4,7 @@ use std::fmt;
 
 use enclosure_telemetry::{Event, Recorder};
 
+use crate::inject::{InjectionPlan, InjectionSite};
 use crate::CostModel;
 
 /// Counters for the hardware events the evaluation reports on.
@@ -53,6 +54,8 @@ pub struct Clock {
     model: CostModel,
     stats: HwStats,
     recorder: Recorder,
+    injection: Option<InjectionPlan>,
+    injection_suspended: u32,
 }
 
 impl Clock {
@@ -64,7 +67,64 @@ impl Clock {
             model,
             stats: HwStats::default(),
             recorder: Recorder::new(),
+            injection: None,
+            injection_suspended: 0,
         }
+    }
+
+    /// Arms a fault-injection plan. Armed sites consult the plan on
+    /// every query; with no plan armed (the default) every query is a
+    /// single branch and charges nothing.
+    pub fn arm_injection(&mut self, plan: InjectionPlan) {
+        self.injection = Some(plan);
+    }
+
+    /// Disarms injection, returning the plan (with its fired count).
+    pub fn disarm_injection(&mut self) -> Option<InjectionPlan> {
+        self.injection.take()
+    }
+
+    /// The armed plan, if any.
+    #[must_use]
+    pub fn injection(&self) -> Option<&InjectionPlan> {
+        self.injection.as_ref()
+    }
+
+    /// Suspends injection (recovery paths must be infallible: a
+    /// containment sequence that could itself be injected would never
+    /// converge). Nests; pair with [`Clock::resume_injection`].
+    pub fn suspend_injection(&mut self) {
+        self.injection_suspended += 1;
+    }
+
+    /// Resumes injection after a [`Clock::suspend_injection`].
+    pub fn resume_injection(&mut self) {
+        self.injection_suspended = self.injection_suspended.saturating_sub(1);
+    }
+
+    /// Consults the armed plan at `site`. Records an
+    /// [`Event::InjectedFault`] when the site fires.
+    pub fn should_inject(&mut self, site: InjectionSite) -> bool {
+        if self.injection_suspended > 0 {
+            return false;
+        }
+        match self.injection.as_mut() {
+            None => false,
+            Some(plan) => {
+                if plan.should_fail(site) {
+                    self.record(Event::InjectedFault { site: site.name() });
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A deterministic draw in `[0, n)` from the armed plan's stream
+    /// (0 when no plan is armed).
+    pub fn injection_roll(&mut self, n: u64) -> u64 {
+        self.injection.as_mut().map_or(0, |p| p.roll(n))
     }
 
     /// The telemetry recorder riding on this clock. Every layer that
@@ -230,6 +290,37 @@ mod tests {
         c.charge_kernel_syscall(); // free model: counts but costs nothing
         assert_eq!(c.now_ns(), 1234);
         assert_eq!(c.stats().syscalls, 1);
+    }
+
+    #[test]
+    fn injection_is_free_and_inert_when_disarmed() {
+        let mut c = Clock::new(CostModel::paper());
+        for site in InjectionSite::ALL {
+            assert!(!c.should_inject(site));
+        }
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.recorder().counters().injected_faults, 0);
+    }
+
+    #[test]
+    fn injection_fires_records_and_suspends() {
+        let mut c = Clock::new(CostModel::paper());
+        c.arm_injection(InjectionPlan::new(11, crate::inject::PPM));
+        c.suspend_injection();
+        assert!(!c.should_inject(InjectionSite::Wrpkru), "suspended");
+        c.resume_injection();
+        assert!(c.should_inject(InjectionSite::Wrpkru));
+        assert_eq!(c.recorder().counters().injected_faults, 1);
+        assert_eq!(c.now_ns(), 0, "injection itself charges nothing");
+        assert_eq!(c.disarm_injection().unwrap().fired(), 1);
+    }
+
+    #[test]
+    fn reset_keeps_the_armed_plan() {
+        let mut c = Clock::default();
+        c.arm_injection(InjectionPlan::new(5, crate::inject::PPM));
+        c.reset();
+        assert!(c.injection().is_some());
     }
 
     #[test]

@@ -40,9 +40,11 @@
 mod clock;
 mod cost;
 mod cpu;
+pub mod inject;
 pub mod mpk;
 pub mod vtx;
 
 pub use clock::{Clock, HwStats};
 pub use cost::CostModel;
 pub use cpu::Cpu;
+pub use inject::{InjectionPlan, InjectionSite};

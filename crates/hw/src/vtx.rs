@@ -77,6 +77,11 @@ impl Vm {
         if !self.tables.contains_key(&env) {
             return Err(VtxError::UnknownEnv(env));
         }
+        // Injected CR3-rewrite failure: the guest syscall aborts before
+        // the root is moved, so the old table stays active.
+        if clock.should_inject(crate::InjectionSite::Cr3Write) {
+            return Err(VtxError::SwitchFailed(env));
+        }
         clock.charge_guest_syscall();
         clock.record(enclosure_telemetry::Event::Cr3Write { env: env.0 });
         let previous = self.cr3;
@@ -171,12 +176,18 @@ impl Vm {
 pub enum VtxError {
     /// CR3 or a transfer referenced an environment with no installed table.
     UnknownEnv(EnvId),
+    /// A CR3 rewrite failed transiently (fault injection); the previous
+    /// root is still active and the switch may be retried.
+    SwitchFailed(EnvId),
 }
 
 impl fmt::Display for VtxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VtxError::UnknownEnv(env) => write!(f, "no page table installed for {env}"),
+            VtxError::SwitchFailed(env) => {
+                write!(f, "transient CR3 rewrite failure switching to {env}")
+            }
         }
     }
 }
@@ -216,6 +227,22 @@ mod tests {
             Err(VtxError::UnknownEnv(EnvId(9)))
         );
         assert_eq!(vm.current(), TRUSTED_ENV);
+    }
+
+    #[test]
+    fn injected_cr3_failure_keeps_old_root() {
+        let mut vm = Vm::new(table("trusted", 0x10_000, 4, Access::RWX));
+        vm.install(EnvId(1), table("rcl", 0x10_000, 1, Access::R));
+        let mut clock = Clock::new(CostModel::paper());
+        clock.arm_injection(crate::InjectionPlan::once(crate::InjectionSite::Cr3Write));
+        assert_eq!(
+            vm.switch(EnvId(1), &mut clock),
+            Err(VtxError::SwitchFailed(EnvId(1)))
+        );
+        assert_eq!(vm.current(), TRUSTED_ENV, "old root retained");
+        assert_eq!(clock.now_ns(), 0, "failed switch charges nothing");
+        // The plan's budget is spent: the retry succeeds.
+        assert!(vm.switch(EnvId(1), &mut clock).is_ok());
     }
 
     #[test]

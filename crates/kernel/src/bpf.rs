@@ -68,6 +68,14 @@ pub const SECCOMP_RET_ALLOW: u32 = 0x7fff_0000;
 /// seccomp verdict: kill the process (the paper's "fault ... stops the
 /// program's execution").
 pub const SECCOMP_RET_KILL_PROCESS: u32 = 0x8000_0000;
+/// seccomp verdict base: fail the syscall with the errno in the low 16
+/// bits instead of killing the process (Linux `SECCOMP_RET_ERRNO`; the
+/// graceful-degradation path compiles filters in this mode).
+pub const SECCOMP_RET_ERRNO: u32 = 0x0005_0000;
+/// Mask selecting the verdict's action (high half).
+pub const SECCOMP_RET_ACTION: u32 = 0xffff_0000;
+/// Mask selecting the verdict's data (errno) half.
+pub const SECCOMP_RET_DATA: u32 = 0x0000_ffff;
 
 /// One classic-BPF instruction (`struct sock_filter`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -337,6 +345,9 @@ impl Program {
                 BPF_RET => match insn.k {
                     SECCOMP_RET_ALLOW => "ret ALLOW".to_owned(),
                     SECCOMP_RET_KILL_PROCESS => "ret KILL_PROCESS".to_owned(),
+                    k if k & SECCOMP_RET_ACTION == SECCOMP_RET_ERRNO => {
+                        format!("ret ERRNO({})", k & SECCOMP_RET_DATA)
+                    }
                     other => format!("ret {other:#x}"),
                 },
                 BPF_MISC => {
@@ -605,6 +616,17 @@ mod tests {
         assert!(text.contains("jeq #0x1234, 3, 2"));
         assert!(text.contains("ret ALLOW"));
         assert!(text.contains("ret KILL_PROCESS"));
+    }
+
+    #[test]
+    fn errno_verdicts_disassemble_with_their_code() {
+        let p = Program::new(vec![Insn::ret(SECCOMP_RET_ERRNO | 13)]).unwrap();
+        assert!(
+            p.disassemble().contains("ret ERRNO(13)"),
+            "{}",
+            p.disassemble()
+        );
+        assert_eq!(p.run(&[0u8; 8]).unwrap(), SECCOMP_RET_ERRNO | 13);
     }
 
     #[test]

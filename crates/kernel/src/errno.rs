@@ -18,6 +18,10 @@ pub enum Errno {
     Econnrefused,
     /// Resource temporarily unavailable (empty non-blocking read).
     Eagain,
+    /// Interrupted system call (retry).
+    Eintr,
+    /// Out of memory (transient allocation pressure).
+    Enomem,
     /// Invalid argument.
     Einval,
     /// Not a socket / wrong descriptor kind.
@@ -45,6 +49,8 @@ impl Errno {
             Errno::Eacces => 13,
             Errno::Ebadf => 9,
             Errno::Eagain => 11,
+            Errno::Eintr => 4,
+            Errno::Enomem => 12,
             Errno::Einval => 22,
             Errno::Enotsock => 88,
             Errno::Eaddrinuse => 98,
@@ -53,6 +59,17 @@ impl Errno {
             Errno::Enosys => 38,
         }
     }
+
+    /// True for errnos that signal a *transient* condition a caller may
+    /// retry (the triple the retry policy honours); everything else is
+    /// treated as fatal for the request at hand.
+    #[must_use]
+    pub fn is_transient(self) -> bool {
+        matches!(self, Errno::Eagain | Errno::Eintr | Errno::Enomem)
+    }
+
+    /// The transient triple, in injection-pick order.
+    pub const TRANSIENT: [Errno; 3] = [Errno::Eagain, Errno::Eintr, Errno::Enomem];
 }
 
 impl fmt::Display for Errno {
@@ -78,5 +95,16 @@ mod tests {
     #[test]
     fn display_names_are_posixy() {
         assert_eq!(Errno::Ebadf.to_string(), "EBADF (9)");
+        assert_eq!(Errno::Eintr.to_string(), "EINTR (4)");
+        assert_eq!(Errno::Enomem.to_string(), "ENOMEM (12)");
+    }
+
+    #[test]
+    fn transience_is_the_retry_triple() {
+        for e in Errno::TRANSIENT {
+            assert!(e.is_transient(), "{e}");
+        }
+        assert!(!Errno::Eacces.is_transient());
+        assert!(!Errno::Enoent.is_transient());
     }
 }

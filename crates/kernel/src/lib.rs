@@ -35,4 +35,5 @@ mod sysno;
 
 pub use errno::Errno;
 pub use kernel::{Kernel, SyscallRecord};
+pub use seccomp::{FilterMode, Verdict};
 pub use sysno::{CategorySet, SysCategory, Sysno};

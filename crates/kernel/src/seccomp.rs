@@ -12,8 +12,11 @@
 
 use std::fmt;
 
-use crate::bpf::{Insn, Program, SECCOMP_RET_ALLOW, SECCOMP_RET_KILL_PROCESS};
-use crate::{CategorySet, Sysno};
+use crate::bpf::{
+    Insn, Program, SECCOMP_RET_ACTION, SECCOMP_RET_ALLOW, SECCOMP_RET_DATA, SECCOMP_RET_ERRNO,
+    SECCOMP_RET_KILL_PROCESS,
+};
+use crate::{CategorySet, Errno, Sysno};
 
 /// Byte offset of the syscall number in `seccomp_data`.
 pub const DATA_OFF_NR: u32 = 0;
@@ -127,6 +130,60 @@ impl fmt::Display for SysPolicy {
     }
 }
 
+/// What a compiled filter does with a denied syscall.
+///
+/// Linux seccomp supports both actions; the paper's abort-by-default
+/// semantics use [`FilterMode::KillProcess`], while the supervised
+/// degradation path compiles [`FilterMode::ReturnErrno`] filters so a
+/// policy violation surfaces as a failed syscall the caller can handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterMode {
+    /// Deny = `SECCOMP_RET_KILL_PROCESS` (abort-by-default, §2.1).
+    #[default]
+    KillProcess,
+    /// Deny = `SECCOMP_RET_ERRNO` with the given errno in the verdict's
+    /// data half.
+    ReturnErrno(Errno),
+}
+
+impl FilterMode {
+    /// The BPF verdict this mode compiles denials to.
+    #[must_use]
+    pub fn deny_verdict(self) -> u32 {
+        match self {
+            FilterMode::KillProcess => SECCOMP_RET_KILL_PROCESS,
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            FilterMode::ReturnErrno(errno) => {
+                SECCOMP_RET_ERRNO | (errno.code() as u32 & SECCOMP_RET_DATA)
+            }
+        }
+    }
+}
+
+/// A decoded filter verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The syscall proceeds to the kernel.
+    Allow,
+    /// The process is killed (abort-by-default denial).
+    KillProcess,
+    /// The syscall fails with this errno code; the process keeps running.
+    Errno(u16),
+}
+
+impl Verdict {
+    /// Decodes a raw BPF return value.
+    #[must_use]
+    pub fn decode(raw: u32) -> Verdict {
+        match raw & SECCOMP_RET_ACTION {
+            SECCOMP_RET_ALLOW => Verdict::Allow,
+            #[allow(clippy::cast_possible_truncation)]
+            SECCOMP_RET_ERRNO => Verdict::Errno((raw & SECCOMP_RET_DATA) as u16),
+            _ => Verdict::KillProcess,
+        }
+    }
+}
+
 /// One row of the PKRU-indexed filter table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeccompRule {
@@ -140,21 +197,39 @@ pub struct SeccompRule {
 #[derive(Debug, Clone)]
 pub struct SeccompFilter {
     program: Program,
+    mode: FilterMode,
 }
 
 impl SeccompFilter {
-    /// Compiles a filter table to BPF.
+    /// Compiles a filter table to BPF in kill-process (abort-by-default)
+    /// mode.
     ///
     /// Program shape, per rule: load PKRU; if it matches, load the syscall
     /// number and emit a `jeq/ret ALLOW` pair per permitted syscall (with an
     /// argument-inspecting block for an allowlisted `connect`), ending in
-    /// `ret KILL`. A final `ret KILL` catches unknown PKRU values.
+    /// a deny verdict. A final `ret KILL` catches unknown PKRU values.
     ///
     /// # Errors
     ///
     /// Propagates [`crate::bpf::BpfError`] if the table is so large the
     /// program exceeds kernel limits.
     pub fn compile(rules: &[SeccompRule]) -> Result<SeccompFilter, crate::bpf::BpfError> {
+        Self::compile_with_mode(rules, FilterMode::KillProcess)
+    }
+
+    /// Compiles a filter table with the given deny action. Policy
+    /// denials inside a known environment compile to `mode`'s verdict;
+    /// an unknown PKRU or a foreign architecture still kills — those are
+    /// structural violations, not policy ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::bpf::BpfError`] if the table is so large the
+    /// program exceeds kernel limits.
+    pub fn compile_with_mode(
+        rules: &[SeccompRule],
+        mode: FilterMode,
+    ) -> Result<SeccompFilter, crate::bpf::BpfError> {
         let mut insns: Vec<Insn> = Vec::new();
         // Architecture pinning, as hardened real-world filters do.
         insns.push(Insn::ld_abs(DATA_OFF_ARCH));
@@ -167,7 +242,7 @@ impl SeccompFilter {
                     return Err(crate::bpf::BpfError::BadProgramLength(list.len()));
                 }
             }
-            let body = Self::rule_body(&rule.policy);
+            let body = Self::rule_body(&rule.policy, mode);
             insns.push(Insn::ld_abs(DATA_OFF_PKRU));
             // If PKRU matches, fall into the body; otherwise skip it.
             insns.push(Insn::jeq(rule.pkru, 1, 0));
@@ -178,10 +253,12 @@ impl SeccompFilter {
         insns.push(Insn::ret(SECCOMP_RET_KILL_PROCESS));
         Ok(SeccompFilter {
             program: Program::new(insns)?,
+            mode,
         })
     }
 
-    fn rule_body(policy: &SysPolicy) -> Vec<Insn> {
+    fn rule_body(policy: &SysPolicy, mode: FilterMode) -> Vec<Insn> {
+        let deny = mode.deny_verdict();
         let mut body = Vec::new();
         body.push(Insn::ld_abs(DATA_OFF_NR));
         for sysno in Sysno::ALL {
@@ -199,15 +276,21 @@ impl SeccompFilter {
                         body.push(Insn::jeq(*ip, 0, 1));
                         body.push(Insn::ret(SECCOMP_RET_ALLOW));
                     }
-                    body.push(Insn::ret(SECCOMP_RET_KILL_PROCESS));
+                    body.push(Insn::ret(deny));
                     continue;
                 }
             }
             body.push(Insn::jeq(sysno.nr(), 0, 1));
             body.push(Insn::ret(SECCOMP_RET_ALLOW));
         }
-        body.push(Insn::ret(SECCOMP_RET_KILL_PROCESS));
+        body.push(Insn::ret(deny));
         body
+    }
+
+    /// The deny mode this filter was compiled with.
+    #[must_use]
+    pub fn mode(&self) -> FilterMode {
+        self.mode
     }
 
     /// The compiled BPF program.
@@ -232,6 +315,25 @@ impl SeccompFilter {
         data[DATA_OFF_PKRU as usize..DATA_OFF_PKRU as usize + 4]
             .copy_from_slice(&pkru.to_le_bytes());
         matches!(self.program.run(&data), Ok(SECCOMP_RET_ALLOW))
+    }
+
+    /// Like [`SeccompFilter::check`] but returns the full decoded
+    /// verdict, distinguishing kill-process denials from errno denials.
+    #[must_use]
+    pub fn check_verdict(&self, sysno: Sysno, args: &[u64; 6], pkru: u32) -> Verdict {
+        let mut data = [0u8; DATA_LEN];
+        data[0..4].copy_from_slice(&sysno.nr().to_le_bytes());
+        data[4..8].copy_from_slice(&AUDIT_ARCH_X86_64.to_le_bytes());
+        for (i, arg) in args.iter().enumerate() {
+            let off = data_off_arg(i as u32) as usize;
+            data[off..off + 8].copy_from_slice(&arg.to_le_bytes());
+        }
+        data[DATA_OFF_PKRU as usize..DATA_OFF_PKRU as usize + 4]
+            .copy_from_slice(&pkru.to_le_bytes());
+        match self.program.run(&data) {
+            Ok(raw) => Verdict::decode(raw),
+            Err(_) => Verdict::KillProcess,
+        }
     }
 }
 
@@ -392,6 +494,73 @@ mod tests {
         assert!(filter.check(Sysno::Connect, &a, 0));
         a[1] = 9_999_999;
         assert!(!filter.check(Sysno::Connect, &a, 0));
+    }
+
+    #[test]
+    fn errno_mode_turns_policy_denials_into_errnos() {
+        let rules = vec![SeccompRule {
+            pkru: 0x4,
+            policy: SysPolicy::categories(CategorySet::only(SysCategory::Net)),
+        }];
+        let filter =
+            SeccompFilter::compile_with_mode(&rules, FilterMode::ReturnErrno(Errno::Eacces))
+                .unwrap();
+        assert_eq!(filter.mode(), FilterMode::ReturnErrno(Errno::Eacces));
+        // Allowed syscalls are unaffected.
+        assert_eq!(
+            filter.check_verdict(Sysno::Socket, &args(), 0x4),
+            Verdict::Allow
+        );
+        assert!(filter.check(Sysno::Socket, &args(), 0x4));
+        // Policy denial surfaces the errno instead of killing.
+        assert_eq!(
+            filter.check_verdict(Sysno::Open, &args(), 0x4),
+            Verdict::Errno(13)
+        );
+        assert!(!filter.check(Sysno::Open, &args(), 0x4));
+        // An unknown PKRU is a structural violation: still a kill.
+        assert_eq!(
+            filter.check_verdict(Sysno::Socket, &args(), 0xdead_0000),
+            Verdict::KillProcess
+        );
+    }
+
+    #[test]
+    fn errno_mode_applies_to_connect_allowlist_denials() {
+        let good_ip = 0x0a00_0001u32;
+        let rules = vec![SeccompRule {
+            pkru: 0x4,
+            policy: SysPolicy::categories(CategorySet::only(SysCategory::Net))
+                .with_connect_allowlist(vec![good_ip]),
+        }];
+        let filter =
+            SeccompFilter::compile_with_mode(&rules, FilterMode::ReturnErrno(Errno::Econnrefused))
+                .unwrap();
+        let mut a = args();
+        a[1] = u64::from(good_ip);
+        assert_eq!(
+            filter.check_verdict(Sysno::Connect, &a, 0x4),
+            Verdict::Allow
+        );
+        a[1] = 0x0808_0808;
+        assert_eq!(
+            filter.check_verdict(Sysno::Connect, &a, 0x4),
+            Verdict::Errno(111)
+        );
+    }
+
+    #[test]
+    fn kill_mode_verdicts_decode_as_kill() {
+        let rules = vec![SeccompRule {
+            pkru: 0,
+            policy: SysPolicy::none(),
+        }];
+        let filter = SeccompFilter::compile(&rules).unwrap();
+        assert_eq!(filter.mode(), FilterMode::KillProcess);
+        assert_eq!(
+            filter.check_verdict(Sysno::Open, &args(), 0),
+            Verdict::KillProcess
+        );
     }
 
     #[test]

@@ -67,6 +67,18 @@ pub enum Fault {
         /// What was actually current.
         actual: EnvId,
     },
+    /// A transient backend failure (injected or environmental) at a
+    /// tagged site: the hardware operation did not take effect and the
+    /// call may be retried once the machine is back in a trusted state.
+    Transient {
+        /// The injection-site tag, e.g. `"wrpkru"`, `"cr3_write"`.
+        site: &'static str,
+    },
+    /// A kernel errno surfaced through the enclosure boundary. Unlike
+    /// `SyscallDenied` this is not a policy violation: it keeps its
+    /// errno identity so supervisors can distinguish transient
+    /// conditions (EAGAIN/EINTR/ENOMEM) from hard failures.
+    Errno(Errno),
 }
 
 impl Fault {
@@ -83,6 +95,20 @@ impl Fault {
             Fault::UnknownEnclosure(_) => "unknown_enclosure",
             Fault::UnknownPackage(_) => "unknown_package",
             Fault::SwitchMismatch { .. } => "switch_mismatch",
+            Fault::Transient { .. } => "transient",
+            Fault::Errno(_) => "errno",
+        }
+    }
+
+    /// True if the fault is worth retrying: an injected/environmental
+    /// transient, or a transient errno (EAGAIN/EINTR/ENOMEM). Policy
+    /// violations are never retryable.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Fault::Transient { .. } => true,
+            Fault::Errno(e) => e.is_transient(),
+            _ => false,
         }
     }
 }
@@ -114,6 +140,10 @@ impl fmt::Display for Fault {
             Fault::SwitchMismatch { expected, actual } => {
                 write!(f, "switch mismatch: expected {expected}, current {actual}")
             }
+            Fault::Transient { site } => {
+                write!(f, "transient backend failure at '{site}'")
+            }
+            Fault::Errno(e) => write!(f, "kernel error: {e}"),
         }
     }
 }
@@ -172,6 +202,16 @@ impl SysError {
     pub fn is_fault(&self) -> bool {
         matches!(self, SysError::Fault(_))
     }
+
+    /// True if retrying the operation could reasonably succeed: a
+    /// transient errno, or a transient (injected) backend fault.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            SysError::Errno(e) => e.is_transient(),
+            SysError::Fault(f) => f.is_transient(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +240,16 @@ mod tests {
         assert!(f.is_fault());
         let m: Fault = VmemError::OutOfAddressSpace.into();
         assert!(matches!(m, Fault::Memory(_)));
+    }
+
+    #[test]
+    fn transience_follows_the_errno_triple() {
+        assert!(Fault::Transient { site: "wrpkru" }.is_transient());
+        assert!(Fault::Errno(Errno::Eagain).is_transient());
+        assert!(!Fault::Errno(Errno::Eacces).is_transient());
+        assert!(!Fault::Init("x".into()).is_transient());
+        assert_eq!(Fault::Transient { site: "vm_exit" }.kind(), "transient");
+        assert_eq!(Fault::Errno(Errno::Enomem).kind(), "errno");
     }
 
     #[test]

@@ -6,16 +6,43 @@
 //! filter. Denials are [`Fault`]s (program-aborting); ordinary kernel
 //! failures are [`enclosure_kernel::Errno`]s the program may handle.
 
+use enclosure_hw::vtx::TRUSTED_ENV;
+use enclosure_hw::InjectionSite;
 use enclosure_kernel::fs::OpenFlags;
 use enclosure_kernel::net::SockAddr;
-use enclosure_kernel::{SyscallRecord, Sysno};
+use enclosure_kernel::{Errno, SyscallRecord, Sysno};
 
-use crate::fault::SysError;
-use crate::machine::LitterBox;
+use crate::fault::{Fault, SysError};
+use crate::machine::{Backend, LitterBox};
 
 impl LitterBox {
     fn gate(&mut self, record: SyscallRecord) -> Result<(), SysError> {
-        self.filter_syscall(record).map_err(SysError::Fault)
+        self.filter_syscall(record).map_err(|fault| match fault {
+            // Return-errno filter mode delivers denials as failed
+            // syscalls, not program-aborting faults.
+            Fault::Errno(e) => SysError::Errno(e),
+            other => SysError::Fault(other),
+        })?;
+        // Chaos sites, enclosed callers only: a call that passed the
+        // filter can still fail transiently in the kernel (EAGAIN /
+        // EINTR / ENOMEM), or — on the VT-x backend — lose its VM EXIT.
+        // Either way nothing reached the kernel proper, so there is no
+        // state to undo.
+        if self.current_env() != TRUSTED_ENV {
+            let clock = self.clock_mut();
+            if clock.should_inject(InjectionSite::GatewayErrno) {
+                #[allow(clippy::cast_possible_truncation)]
+                let pick = clock.injection_roll(Errno::TRANSIENT.len() as u64) as usize;
+                return Err(SysError::Errno(Errno::TRANSIENT[pick]));
+            }
+            if self.backend() == Backend::Vtx
+                && self.clock_mut().should_inject(InjectionSite::VmExit)
+            {
+                let fault = self.trace_fault(Fault::Transient { site: "vm_exit" });
+                return Err(SysError::Fault(fault));
+            }
+        }
+        Ok(())
     }
 
     /// `getuid` through the filter.
@@ -389,6 +416,67 @@ mod tests {
             ));
             lb.epilog(t).unwrap();
         }
+    }
+
+    #[test]
+    fn errno_filter_mode_degrades_denials_to_errnos() {
+        use enclosure_kernel::FilterMode;
+        for backend in [Backend::Mpk, Backend::Vtx] {
+            let mut lb = LitterBox::new(backend);
+            lb.set_filter_mode(FilterMode::ReturnErrno(Errno::Eacces))
+                .unwrap();
+            let mut prog = ProgramDesc::new();
+            prog.add_package(&mut lb, "lib", 1, 1, 1).unwrap();
+            let cs = prog.verified_callsite();
+            prog.add_enclosure(EnclosureDesc {
+                id: EnclosureId(1),
+                name: "e".into(),
+                view: [("lib".to_string(), Access::RWX)].into_iter().collect(),
+                policy: SysPolicy::none(),
+            });
+            lb.init(prog).unwrap();
+            let t = lb.prolog(EnclosureId(1), cs).unwrap();
+            let err = lb.sys_getuid().unwrap_err();
+            assert_eq!(err, SysError::Errno(Errno::Eacces), "{backend}");
+            lb.epilog(t).unwrap();
+            // The mode cannot change once the filter is built.
+            assert!(lb.set_filter_mode(FilterMode::KillProcess).is_err());
+        }
+    }
+
+    #[test]
+    fn injected_gateway_errno_hits_enclosed_callers_only() {
+        use crate::InjectionPlan;
+        let (mut lb, cs) = machine_with_enclosure(Backend::Mpk, SysPolicy::all());
+        lb.clock_mut()
+            .arm_injection(InjectionPlan::once(InjectionSite::GatewayErrno));
+        // Trusted callers never see the gateway site.
+        lb.sys_getuid().unwrap();
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        let err = lb.sys_getuid().unwrap_err();
+        assert!(
+            matches!(err, SysError::Errno(e) if e.is_transient()),
+            "{err}"
+        );
+        // One-shot budget spent: the retry goes through.
+        lb.sys_getuid().unwrap();
+        lb.epilog(t).unwrap();
+    }
+
+    #[test]
+    fn injected_vm_exit_fault_is_transient() {
+        use crate::InjectionPlan;
+        let (mut lb, cs) = machine_with_enclosure(Backend::Vtx, SysPolicy::all());
+        lb.clock_mut()
+            .arm_injection(InjectionPlan::once(InjectionSite::VmExit));
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        let err = lb.sys_getuid().unwrap_err();
+        assert!(
+            matches!(err, SysError::Fault(Fault::Transient { site: "vm_exit" })),
+            "{err}"
+        );
+        lb.sys_getuid().unwrap();
+        lb.epilog(t).unwrap();
     }
 
     #[test]

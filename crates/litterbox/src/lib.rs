@@ -65,3 +65,5 @@ pub use fault::{Fault, SysError};
 pub use machine::{Backend, EnvContext, LitterBox, SwitchToken, LB_SUPER_PKG, LB_USER_PKG};
 
 pub use enclosure_hw::vtx::{EnvId, TRUSTED_ENV};
+pub use enclosure_hw::{InjectionPlan, InjectionSite};
+pub use enclosure_kernel::FilterMode;

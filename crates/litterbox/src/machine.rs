@@ -4,10 +4,10 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use enclosure_hw::mpk::{KeyAllocator, Pkru};
-use enclosure_hw::vtx::{EnvId, Vm, TRUSTED_ENV};
-use enclosure_hw::{Clock, CostModel, Cpu, HwStats};
+use enclosure_hw::vtx::{EnvId, Vm, VtxError, TRUSTED_ENV};
+use enclosure_hw::{Clock, CostModel, Cpu, HwStats, InjectionSite};
 use enclosure_kernel::seccomp::{SeccompFilter, SeccompRule, SysPolicy};
-use enclosure_kernel::{Kernel, SyscallRecord};
+use enclosure_kernel::{FilterMode, Kernel, SyscallRecord};
 use enclosure_telemetry::{Event, Recorder, SpanScope};
 use enclosure_vmem::{
     Access, Addr, AddressSpace, PageTable, ProtectionKey, Section, SectionKind, VirtRange,
@@ -162,6 +162,7 @@ pub struct LitterBox {
     initialized: bool,
     seq: u64,
     init_ns: u64,
+    filter_mode: FilterMode,
 }
 
 impl LitterBox {
@@ -193,6 +194,7 @@ impl LitterBox {
             initialized: false,
             seq: 0,
             init_ns: 0,
+            filter_mode: FilterMode::KillProcess,
         }
     }
 
@@ -243,7 +245,7 @@ impl LitterBox {
 
     /// Records a fault event and hands the fault back (error-path
     /// helper for the API surface).
-    fn trace_fault(&mut self, fault: Fault) -> Fault {
+    pub(crate) fn trace_fault(&mut self, fault: Fault) -> Fault {
         self.record(Event::Fault { kind: fault.kind() });
         fault
     }
@@ -377,6 +379,30 @@ impl LitterBox {
         }
     }
 
+    /// How syscall-filter denials are delivered: kill-process
+    /// (abort-by-default, §2.1) or return-errno (supervised degradation).
+    #[must_use]
+    pub fn filter_mode(&self) -> FilterMode {
+        self.filter_mode
+    }
+
+    /// Selects the deny action compiled into syscall filters. Must be
+    /// called before `init`: the MPK backend bakes the verdict into its
+    /// BPF program at build time.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Init`] if the machine is already initialized.
+    pub fn set_filter_mode(&mut self, mode: FilterMode) -> Result<(), Fault> {
+        if self.initialized {
+            return Err(self.trace_fault(Fault::Init(
+                "set_filter_mode after init (the BPF deny verdict is baked at build)".into(),
+            )));
+        }
+        self.filter_mode = mode;
+        Ok(())
+    }
+
     /// Rights the current environment's view grants on `package`.
     #[must_use]
     pub fn view_rights(&self, package: &str) -> Access {
@@ -404,6 +430,11 @@ impl LitterBox {
                 "init called twice (use init_incremental)".into(),
             )));
         }
+        // Injected allocation failure fires before any description is
+        // ingested, so a failed init leaves the machine untouched.
+        if self.cpu.clock_mut().should_inject(InjectionSite::InitAlloc) {
+            return Err(self.trace_fault(Fault::Transient { site: "init_alloc" }));
+        }
         let before_ns = self.init_ns;
         let run = (|| {
             self.install_internal_packages(&mut desc)?;
@@ -430,6 +461,9 @@ impl LitterBox {
     ///
     /// Same conditions as [`LitterBox::init`].
     pub fn init_incremental(&mut self, mut desc: ProgramDesc) -> Result<(), Fault> {
+        if self.cpu.clock_mut().should_inject(InjectionSite::InitAlloc) {
+            return Err(self.trace_fault(Fault::Transient { site: "init_alloc" }));
+        }
         let before_ns = self.init_ns;
         let run = (|| {
             if !self.initialized {
@@ -739,7 +773,7 @@ impl LitterBox {
             }
             pkru_of_env.insert(env, pkru);
         }
-        let filter = SeccompFilter::compile(&rules)
+        let filter = SeccompFilter::compile_with_mode(&rules, self.filter_mode)
             .map_err(|e| Fault::Init(format!("seccomp compilation failed: {e}")))?;
         Ok(HwState::Mpk {
             table,
@@ -873,8 +907,15 @@ impl LitterBox {
             }));
         }
         if self.backend != Backend::Baseline {
-            self.switch_hw(token.prev)
-                .map_err(|e| self.trace_fault(e))?;
+            if let Err(e) = self.switch_hw(token.prev) {
+                // The hardware write back to `prev` failed (e.g. an
+                // injected WRPKRU/CR3 fault). Restore the nesting frame
+                // so the ledger stays consistent: the program is still
+                // inside the enclosure and `recover_to_trusted` can
+                // unwind it.
+                self.stack.push((prev, seq));
+                return Err(self.trace_fault(e));
+            }
         }
         self.current = token.prev;
         self.sync_enclosed_flag();
@@ -886,6 +927,37 @@ impl LitterBox {
             enclosure: token.enclosure.0,
         });
         Ok(())
+    }
+
+    /// Forcibly returns the machine to the trusted environment after a
+    /// fault, unwinding any abandoned prolog frames so the telemetry
+    /// ledger stays balanced (every recorded `Prolog` gets its `Epilog`,
+    /// every open span is closed). Injection is suspended for the whole
+    /// recovery — a containment path must not itself be injectable.
+    ///
+    /// A no-op (zero events, zero simulated time) when the machine is
+    /// already trusted with no open frames.
+    pub fn recover_to_trusted(&mut self) {
+        if self.current == TRUSTED_ENV && self.stack.is_empty() {
+            return;
+        }
+        self.cpu.clock_mut().suspend_injection();
+        while let Some((prev, _seq)) = self.stack.pop() {
+            let exited = self.current;
+            self.current = prev;
+            self.cpu.clock_mut().note_switch_pair();
+            let clock = self.cpu.clock_mut();
+            let now = clock.now_ns();
+            clock.recorder_mut().end_span(now);
+            clock.record(Event::Epilog {
+                enclosure: exited.0,
+            });
+        }
+        self.current = TRUSTED_ENV;
+        self.switch_hw(TRUSTED_ENV)
+            .expect("the trusted environment is always installed");
+        self.sync_enclosed_flag();
+        self.cpu.clock_mut().resume_injection();
     }
 
     /// `Execute`: the user-level scheduler's switch between unrelated
@@ -936,12 +1008,20 @@ impl LitterBox {
                 let pkru = *pkru_of_env
                     .get(&target)
                     .ok_or(Fault::UnknownEnclosure(EnclosureId(target.0)))?;
+                // Injection fires before the write: PKRU keeps its old
+                // value and nothing is charged, like a faulted WRPKRU.
+                if self.cpu.clock_mut().should_inject(InjectionSite::Wrpkru) {
+                    return Err(Fault::Transient { site: "wrpkru" });
+                }
                 self.cpu.write_pkru(pkru);
                 Ok(())
             }
             HwState::Vtx { vm } => {
                 vm.switch(target, self.cpu.clock_mut())
-                    .map_err(|_| Fault::UnknownEnclosure(EnclosureId(target.0)))?;
+                    .map_err(|e| match e {
+                        VtxError::SwitchFailed(_) => Fault::Transient { site: "cr3_write" },
+                        _ => Fault::UnknownEnclosure(EnclosureId(target.0)),
+                    })?;
                 Ok(())
             }
         }
@@ -998,6 +1078,28 @@ impl LitterBox {
     ) -> Result<(), Fault> {
         if !self.packages.contains_key(to) {
             return Err(self.trace_fault(Fault::UnknownPackage(to.to_owned())));
+        }
+        // Injected failures fire before any ownership mutation, modeling
+        // an allocation failure in the destination arena or a faulted
+        // `pkey_mprotect`; the transfer simply did not happen.
+        if self
+            .cpu
+            .clock_mut()
+            .should_inject(InjectionSite::TransferAlloc)
+        {
+            return Err(self.trace_fault(Fault::Transient {
+                site: "transfer_alloc",
+            }));
+        }
+        if matches!(self.hw, HwState::Mpk { .. })
+            && self
+                .cpu
+                .clock_mut()
+                .should_inject(InjectionSite::PkeyMprotect)
+        {
+            return Err(self.trace_fault(Fault::Transient {
+                site: "pkey_mprotect",
+            }));
         }
         // Detach from the previous owner.
         if let Some(from) = from {
@@ -1122,6 +1224,10 @@ impl LitterBox {
         }
         if allowed {
             Ok(())
+        } else if let FilterMode::ReturnErrno(errno) = self.filter_mode {
+            // Return-errno mode: the denial is delivered as a failed
+            // syscall (the BPF program's ERRNO verdict), not an abort.
+            Err(self.trace_fault(Fault::Errno(errno)))
         } else {
             let fault = Fault::SyscallDenied {
                 record,
@@ -1706,6 +1812,92 @@ mod tests {
         lb.space_mut()
             .write(layout.text_start() + 100, &crate::scan::WRPKRU)
             .unwrap();
+        lb.init(prog).unwrap();
+    }
+
+    #[test]
+    fn injected_wrpkru_fault_in_prolog_leaves_machine_trusted() {
+        use enclosure_hw::InjectionPlan;
+        let (mut lb, f) = figure1(Backend::Mpk);
+        lb.clock_mut()
+            .arm_injection(InjectionPlan::once(InjectionSite::Wrpkru));
+        let err = lb.prolog(EnclosureId(1), f.callsite).unwrap_err();
+        assert!(matches!(err, Fault::Transient { site: "wrpkru" }), "{err}");
+        assert_eq!(lb.current_env(), TRUSTED_ENV);
+        // Full rights retained, and the next prolog succeeds.
+        lb.store_u64(f.secrets.data_start(), 3).unwrap();
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.epilog(token).unwrap();
+    }
+
+    #[test]
+    fn injected_epilog_fault_is_recoverable() {
+        use enclosure_hw::InjectionPlan;
+        for backend in [Backend::Mpk, Backend::Vtx] {
+            let site = if backend == Backend::Mpk {
+                InjectionSite::Wrpkru
+            } else {
+                InjectionSite::Cr3Write
+            };
+            let (mut lb, f) = figure1(backend);
+            let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+            lb.clock_mut().arm_injection(InjectionPlan::once(site));
+            let err = lb.epilog(token).unwrap_err();
+            assert!(matches!(err, Fault::Transient { .. }), "{backend}: {err}");
+            // Still inside the enclosure: the frame was restored.
+            assert_eq!(lb.current_env(), EnvId(1), "{backend}");
+            lb.recover_to_trusted();
+            assert_eq!(lb.current_env(), TRUSTED_ENV, "{backend}");
+            // Ledger balanced and the machine fully usable again.
+            let c = lb.telemetry().counters();
+            assert_eq!(c.prologs, c.epilogs, "{backend}");
+            lb.store_u64(f.secrets.data_start(), 5).unwrap();
+            let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+            lb.epilog(token).unwrap();
+        }
+    }
+
+    #[test]
+    fn recover_to_trusted_is_a_noop_when_trusted() {
+        let (mut lb, _f) = figure1(Backend::Mpk);
+        let t0 = lb.now_ns();
+        let events_before = lb.telemetry().counters().epilogs;
+        lb.recover_to_trusted();
+        assert_eq!(lb.now_ns(), t0);
+        assert_eq!(lb.telemetry().counters().epilogs, events_before);
+    }
+
+    #[test]
+    fn injected_transfer_fault_preserves_ownership() {
+        use enclosure_hw::InjectionPlan;
+        let (mut lb, _f) = figure1(Backend::Mpk);
+        let span = lb.space_mut().alloc(4 * enclosure_vmem::PAGE_SIZE).unwrap();
+        lb.clock_mut()
+            .arm_injection(InjectionPlan::once(InjectionSite::TransferAlloc));
+        let err = lb.transfer(span, None, "libfx").unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::Transient {
+                site: "transfer_alloc"
+            }
+        ));
+        assert_eq!(lb.package_at(span.start()), None);
+        // Retrying after the transient succeeds.
+        lb.transfer(span, None, "libfx").unwrap();
+        assert_eq!(lb.package_at(span.start()), Some("libfx"));
+    }
+
+    #[test]
+    fn injected_init_fault_leaves_machine_reusable() {
+        use enclosure_hw::InjectionPlan;
+        let mut lb = LitterBox::new(Backend::Mpk);
+        let mut prog = ProgramDesc::new();
+        prog.add_package(&mut lb, "a", 1, 1, 1).unwrap();
+        lb.clock_mut()
+            .arm_injection(InjectionPlan::once(InjectionSite::InitAlloc));
+        let err = lb.init(prog.clone()).unwrap_err();
+        assert!(matches!(err, Fault::Transient { site: "init_alloc" }));
+        // Nothing was ingested: the same description inits cleanly.
         lb.init(prog).unwrap();
     }
 

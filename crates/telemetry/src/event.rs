@@ -125,6 +125,35 @@ pub enum Event {
         live: u64,
     },
 
+    // --- Chaos / supervision ---------------------------------------------
+    /// The fault-injection plan fired at a tagged site.
+    InjectedFault {
+        /// Site tag, e.g. `"wrpkru"`, `"gateway_errno"`.
+        site: &'static str,
+    },
+    /// A supervisor retried an enclosure call after a transient fault,
+    /// backing off in simulated time.
+    Retry {
+        /// Enclosure id.
+        enclosure: u32,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Simulated backoff charged before the retry.
+        backoff_ns: u64,
+    },
+    /// A circuit breaker tripped: the enclosure is quarantined.
+    BreakerTrip {
+        /// Enclosure id.
+        enclosure: u32,
+        /// Faults accumulated when the breaker opened.
+        faults: u64,
+    },
+    /// A call was fast-failed because its enclosure is quarantined.
+    BreakerFastFail {
+        /// Enclosure id.
+        enclosure: u32,
+    },
+
     // --- pyfront ---------------------------------------------------------
     /// A metadata trusted round trip (co-located refcount/GC word
     /// touch; §6.4's dominant cost). One event covers the entry+exit
@@ -190,6 +219,21 @@ impl fmt::Display for Event {
             }
             Event::SpanTransfer { bytes } => write!(f, "span_transfer bytes={bytes}"),
             Event::GcPause { ns, live } => write!(f, "gc_pause ns={ns} live={live}"),
+            Event::InjectedFault { site } => write!(f, "injected_fault site={site}"),
+            Event::Retry {
+                enclosure,
+                attempt,
+                backoff_ns,
+            } => write!(
+                f,
+                "retry enclosure={enclosure} attempt={attempt} backoff_ns={backoff_ns}"
+            ),
+            Event::BreakerTrip { enclosure, faults } => {
+                write!(f, "breaker_trip enclosure={enclosure} faults={faults}")
+            }
+            Event::BreakerFastFail { enclosure } => {
+                write!(f, "breaker_fast_fail enclosure={enclosure}")
+            }
             Event::MetadataSwitch => write!(f, "metadata_switch"),
             Event::IncrementalInit { module } => write!(f, "incremental_init module={module}"),
         }

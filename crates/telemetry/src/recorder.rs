@@ -65,6 +65,14 @@ pub struct Counters {
     pub gc_pause_ns: u64,
     /// Metadata trusted round trips (each is two environment switches).
     pub metadata_switches: u64,
+    /// Failures produced by the fault-injection plan.
+    pub injected_faults: u64,
+    /// Supervised retries after transient faults.
+    pub retries: u64,
+    /// Circuit-breaker trips (enclosure quarantines).
+    pub breaker_trips: u64,
+    /// Calls fast-failed against a quarantined enclosure.
+    pub breaker_fast_fails: u64,
 }
 
 impl Counters {
@@ -102,6 +110,10 @@ impl Counters {
             ("gc_pauses", Json::U64(self.gc_pauses)),
             ("gc_pause_ns", Json::U64(self.gc_pause_ns)),
             ("metadata_switches", Json::U64(self.metadata_switches)),
+            ("injected_faults", Json::U64(self.injected_faults)),
+            ("retries", Json::U64(self.retries)),
+            ("breaker_trips", Json::U64(self.breaker_trips)),
+            ("breaker_fast_fails", Json::U64(self.breaker_fast_fails)),
         ])
     }
 
@@ -161,6 +173,10 @@ impl Counters {
                 self.gc_pause_ns += ns;
             }
             Event::MetadataSwitch => self.metadata_switches += 1,
+            Event::InjectedFault { .. } => self.injected_faults += 1,
+            Event::Retry { .. } => self.retries += 1,
+            Event::BreakerTrip { .. } => self.breaker_trips += 1,
+            Event::BreakerFastFail { .. } => self.breaker_fast_fails += 1,
             Event::IncrementalInit { .. } => {}
         }
     }

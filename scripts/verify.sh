@@ -21,4 +21,11 @@ cargo fmt --all --check
 echo "== smoke: repro attribution (telemetry-derived §6.4) =="
 ./target/release/repro attribution --quick >/dev/null
 
+echo "== smoke: chaos soak (deterministic fault injection) =="
+chaos_out="$(mktemp -d)"
+trap 'rm -rf "$chaos_out"' EXIT
+./target/release/repro chaos --seed=0xC4A05 > "$chaos_out/a.txt"
+./target/release/repro chaos --seed=0xC4A05 > "$chaos_out/b.txt"
+cmp "$chaos_out/a.txt" "$chaos_out/b.txt"
+
 echo "verify: OK"
