@@ -4,7 +4,7 @@ use enclosure_core::{App, Enclosure, Policy};
 use enclosure_hw::CostModel;
 use litterbox::cluster::cluster;
 use litterbox::deps::{natural_dependencies, DepGraph};
-use litterbox::{Backend, EnclosureDesc, EnclosureId, Fault, ViewMap};
+use litterbox::{Backend, EnclosureDesc, EnclosureId, Fault, MpkKeyMode, ViewMap};
 
 use enclosure_kernel::seccomp::SysPolicy;
 use enclosure_vmem::Access;
@@ -39,6 +39,7 @@ pub fn clustering_study(dep_count: usize) -> ClusteringStudy {
         name: "server".into(),
         view,
         policy: SysPolicy::none(),
+        marked: vec![],
     }];
     let clustering = cluster(&packages, &enclosures);
     ClusteringStudy {
@@ -90,16 +91,17 @@ pub fn fasthttp_shaped_graph(deps: usize) -> DepGraph {
     graph
 }
 
-/// Ablation 2b — MPK key exhaustion: the largest number of enclosures
-/// with pairwise-disjoint views a program can host under LB_MPK before
-/// `Init` fails (each disjoint view forces distinct meta-packages).
-/// Returns `(max_enclosures, error_message_at_failure)`.
+/// Ablation 2b (static arm) — MPK key exhaustion: the largest number of
+/// enclosures with pairwise-disjoint views a program can host under
+/// LB_MPK with [`MpkKeyMode::Static`] before `Init` fails (each disjoint
+/// view forces distinct meta-packages). Returns
+/// `(max_enclosures, error_message_at_failure)`.
 #[must_use]
 pub fn key_exhaustion_study() -> (usize, String) {
     let mut last_error = String::new();
     let mut max_ok = 0;
     for n in 1..=20usize {
-        let result = build_disjoint_program(n);
+        let result = build_disjoint_program(n, MpkKeyMode::Static).map(|_| ());
         match result {
             Ok(()) => max_ok = n,
             Err(e) => {
@@ -111,12 +113,13 @@ pub fn key_exhaustion_study() -> (usize, String) {
     (max_ok, last_error)
 }
 
-fn build_disjoint_program(enclosures: usize) -> Result<(), Fault> {
+fn build_disjoint_program(enclosures: usize, mode: MpkKeyMode) -> Result<App, Fault> {
     let mut builder = App::builder("exhaustion");
     for i in 0..enclosures {
         builder = builder.package(&format!("pkg{i:02}"), &[]);
     }
     let mut app = builder.build(Backend::Mpk)?;
+    app.lb.set_mpk_key_mode(mode)?;
     for i in 0..enclosures {
         app.register_enclosure(
             &format!("enc{i:02}"),
@@ -124,7 +127,98 @@ fn build_disjoint_program(enclosures: usize) -> Result<(), Fault> {
             &Policy::default_policy(),
         )?;
     }
-    Ok(())
+    Ok(app)
+}
+
+/// Ablation 2b (virtualized arm) — the same disjoint-view program under
+/// libmpk-style key virtualization, scaled past the 15-key wall and
+/// driven round-robin so the LRU cache churns. All counters are
+/// steady-state (init excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyVirtualizationStudy {
+    /// Enclosures hosted (each pins one private meta-package).
+    pub enclosures: usize,
+    /// Meta-packages after clustering (= virtual keys in use).
+    pub metas: usize,
+    /// Enclosure calls driven (prolog/epilog pairs).
+    pub calls: u64,
+    /// Virtual→hardware key bindings performed on switches.
+    pub key_binds: u64,
+    /// LRU evictions (bindings recycled via a `pkey_mprotect` sweep).
+    pub key_evictions: u64,
+    /// Simulated nanoseconds spent in eviction sweeps.
+    pub eviction_ns: u64,
+    /// Total simulated nanoseconds for the whole drive.
+    pub total_ns: u64,
+}
+
+impl KeyVirtualizationStudy {
+    /// Evictions per enclosure call (the eviction rate the working-set
+    /// curve plots).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn eviction_rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.key_evictions as f64 / self.calls as f64
+        }
+    }
+}
+
+/// Runs the virtualized arm: `enclosures` pairwise-disjoint enclosures
+/// (legal far past 15), each called `rounds` times round-robin with a
+/// little enclosed work.
+///
+/// # Errors
+///
+/// Build or switch faults — notably, any `OutOfKeys` leaking through
+/// virtualization would surface here as a [`Fault::Init`].
+pub fn key_virtualization_study(
+    enclosures: usize,
+    rounds: usize,
+) -> Result<KeyVirtualizationStudy, Fault> {
+    let mut app = build_disjoint_program(enclosures, MpkKeyMode::Virtual)?;
+    let ids: Vec<EnclosureId> = (1..=enclosures as u32).map(EnclosureId).collect();
+    app.reset_clock();
+    let mut calls = 0u64;
+    for _ in 0..rounds {
+        for &id in &ids {
+            let cs = app.info.callsite(id).expect("registered above");
+            let token = app.lb.prolog(id, cs)?;
+            app.lb.clock_mut().advance(50); // the enclosed work
+            app.lb.epilog(token)?;
+            calls += 1;
+        }
+    }
+    let stats = app.lb.stats();
+    let counters = app.lb.telemetry().counters();
+    Ok(KeyVirtualizationStudy {
+        enclosures,
+        metas: app.lb.clustering().len(),
+        calls,
+        key_binds: stats.key_binds,
+        key_evictions: stats.key_evictions,
+        eviction_ns: counters.key_eviction_ns,
+        total_ns: app.lb.now_ns(),
+    })
+}
+
+/// The eviction-rate vs working-set curve: one virtualized run per entry
+/// of `counts`, reporting evictions per call. Rates stay at zero while
+/// the program fits the 15 hardware keys and climb once it does not.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+pub fn eviction_rate_curve(
+    counts: &[usize],
+    rounds: usize,
+) -> Result<Vec<KeyVirtualizationStudy>, Fault> {
+    counts
+        .iter()
+        .map(|&n| key_virtualization_study(n, rounds))
+        .collect()
 }
 
 /// Ablation 3 — enclosure scoping vs switch-per-call (§7): simulated
@@ -264,6 +358,34 @@ mod tests {
         assert!(
             error.contains("libmpk"),
             "points at the escape hatch: {error}"
+        );
+    }
+
+    #[test]
+    fn virtualized_arm_scales_past_fifteen_enclosures() {
+        let s = key_virtualization_study(30, 3).unwrap();
+        assert_eq!(s.enclosures, 30);
+        assert!(s.metas > 15, "the wall is real: {} metas", s.metas);
+        assert_eq!(s.calls, 90);
+        assert!(
+            s.key_evictions > 0,
+            "round-robin past 15 keys must evict: {s:?}"
+        );
+        assert!(s.eviction_ns > 0, "sweeps cost time: {s:?}");
+        assert!(
+            s.key_binds >= s.key_evictions,
+            "every eviction funds a bind: {s:?}"
+        );
+    }
+
+    #[test]
+    fn eviction_rate_grows_with_the_working_set() {
+        let curve = eviction_rate_curve(&[4, 30], 3).unwrap();
+        assert_eq!(curve[0].eviction_rate(), 0.0, "4 enclosures fit: no churn");
+        assert!(
+            curve[1].eviction_rate() > 0.5,
+            "30 round-robin enclosures thrash: {:?}",
+            curve[1]
         );
     }
 

@@ -368,11 +368,26 @@ fn ablations() -> Result<(), AnyError> {
         burden.natural_default, burden.allowlist_default, burden.denylist_default
     );
 
-    println!("\nAblation 2b: MPK key exhaustion (§5.3)");
+    println!("\nAblation 2b: MPK key exhaustion (§5.3), static arm");
     let (max_ok, error) = ablation::key_exhaustion_study();
     println!(
         "  {max_ok} pairwise-disjoint enclosures fit LB_MPK; the next one fails with:\n    {error}"
     );
+
+    println!("\nAblation 2b: libmpk-style key virtualization, virtualized arm");
+    for s in ablation::eviction_rate_curve(&[8, 15, 20, 30, 40], 3)? {
+        println!(
+            "  {:>3} enclosures ({:>3} metas): {:>4} calls, {:>4} binds, {:>4} evictions \
+             ({:.2}/call), eviction sweeps {:>7} ns",
+            s.enclosures,
+            s.metas,
+            s.calls,
+            s.key_binds,
+            s.key_evictions,
+            s.eviction_rate(),
+            s.eviction_ns
+        );
+    }
 
     println!("\nAblation 3: enclosure scoping vs switch-per-call (§7)");
     for backend in [Backend::Mpk, Backend::Vtx] {

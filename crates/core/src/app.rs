@@ -244,6 +244,7 @@ impl App {
             name: name.to_owned(),
             view,
             policy: policy.sysfilter().clone(),
+            marked: roots.iter().map(|&r| r.to_owned()).collect(),
         });
         self.lb.init_incremental(prog)?;
         self.info.callsites.insert(id, callsite);

@@ -403,6 +403,7 @@ mod tests {
             name: "only-b".into(),
             view: [("b".to_string(), Access::RWX)].into_iter().collect(),
             policy: SysPolicy::none(),
+            marked: vec![],
         });
         lb.init(prog).unwrap();
 

@@ -292,6 +292,7 @@ impl Linker {
                 name: enc.src.name.clone(),
                 view: view.clone(),
                 policy: enc.policy.sysfilter().clone(),
+                marked: enc.roots.clone(),
             });
             final_enclosures.push(LinkedEnclosure {
                 id,

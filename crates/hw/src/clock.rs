@@ -24,20 +24,26 @@ pub struct HwStats {
     pub transfers: u64,
     /// Enclosure prolog/epilog pairs (switch pairs).
     pub switch_pairs: u64,
+    /// Virtual→hardware key bindings (libmpk-style virtualization).
+    pub key_binds: u64,
+    /// Virtual-key evictions (hardware key recycled via a sweep).
+    pub key_evictions: u64,
 }
 
 impl fmt::Display for HwStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "switches={} wrpkru={} guest_syscalls={} syscalls={} seccomp={} vm_exits={} transfers={}",
+            "switches={} wrpkru={} guest_syscalls={} syscalls={} seccomp={} vm_exits={} transfers={} key_binds={} key_evictions={}",
             self.switch_pairs,
             self.wrpkru,
             self.guest_syscalls,
             self.syscalls,
             self.seccomp_checks,
             self.vm_exits,
-            self.transfers
+            self.transfers,
+            self.key_binds,
+            self.key_evictions
         )
     }
 }
@@ -230,6 +236,35 @@ impl Clock {
         self.now_ns += self.model.pkey_mprotect * units;
         self.stats.transfers += 1;
         self.record(Event::PkeyMprotect { pages });
+    }
+
+    /// Charges the `pkey_mprotect` sweep that binds a virtual key: the
+    /// newcomer meta-package's pages are re-tagged with the recycled
+    /// hardware key (one Table 1 `pkey_mprotect` unit per 4 pages).
+    /// Unlike [`Clock::charge_pkey_mprotect_pages`] this is binding
+    /// traffic, not a `Transfer`, so it bumps `key_binds` instead.
+    pub fn charge_key_bind_pages(&mut self, vkey: u32, hkey: u8, pages: u64) {
+        let units = pages.div_ceil(4).max(1);
+        self.now_ns += self.model.pkey_mprotect * units;
+        self.stats.key_binds += 1;
+        self.record(Event::KeyBind { vkey, hkey, pages });
+    }
+
+    /// Charges the `pkey_mprotect` sweep that evicts a cold binding:
+    /// the victim meta-package's pages are swept unreachable before its
+    /// hardware key is recycled. Costs one Table 1 `pkey_mprotect` unit
+    /// per 4 pages; bumps `key_evictions`, not `transfers`.
+    pub fn charge_key_evict_pages(&mut self, vkey: u32, hkey: u8, pages: u64) {
+        let units = pages.div_ceil(4).max(1);
+        let ns = self.model.pkey_mprotect * units;
+        self.now_ns += ns;
+        self.stats.key_evictions += 1;
+        self.record(Event::KeyEvict {
+            vkey,
+            hkey,
+            pages,
+            ns,
+        });
     }
 
     /// Charges an LB_VTX transfer (presence-bit toggle) of a 4-page

@@ -42,9 +42,11 @@ mod cost;
 mod cpu;
 pub mod inject;
 pub mod mpk;
+pub mod vkey;
 pub mod vtx;
 
 pub use clock::{Clock, HwStats};
 pub use cost::CostModel;
 pub use cpu::Cpu;
 pub use inject::{InjectionPlan, InjectionSite};
+pub use vkey::{VirtualKey, VirtualKeyTable, VkeyLedger};

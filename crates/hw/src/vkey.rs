@@ -1,0 +1,394 @@
+//! libmpk-style virtual protection keys (lifting the 15-key wall).
+//!
+//! MPK hardware provides 16 protection keys, of which LitterBox can
+//! allocate 15 — a hard ceiling ablation 2b shows real dependency
+//! graphs exhausting. *libmpk* (ATC '19) lifts it by virtualising the
+//! key namespace: domains allocate *virtual* keys without bound, and a
+//! small cache of hardware keys is multiplexed under them, re-tagging
+//! pages with `pkey_mprotect` sweeps when a cold mapping is evicted.
+//!
+//! [`VirtualKeyTable`] is that cache. It owns the hardware
+//! [`KeyAllocator`] (which stays 15-wide — the hardware model is not
+//! relaxed), an LRU stamp per virtual key, and a bind/evict ledger.
+//! Policy lives here; *mechanism* (the page-table sweeps and their
+//! simulated cost) stays with the caller, so a failed sweep can be
+//! modelled by mutating nothing: the table only commits a binding
+//! change when the caller's sweep has succeeded.
+
+use std::fmt;
+
+use enclosure_vmem::ProtectionKey;
+
+use crate::mpk::{KeyAllocator, OutOfKeys, NUM_KEYS};
+
+/// An unbounded virtual protection key. Enclosure meta-packages hold
+/// these; at most 15 of them are *bound* to hardware keys at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualKey(pub u32);
+
+impl fmt::Display for VirtualKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vk{}", self.0)
+    }
+}
+
+/// Running totals of binding traffic, for tests and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VkeyLedger {
+    /// Virtual→hardware bindings established.
+    pub binds: u64,
+    /// Bindings torn down to recycle a hardware key.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    hkey: Option<ProtectionKey>,
+    last_used: u64,
+}
+
+/// The virtual→hardware key cache: unbounded allocation, LRU
+/// replacement, and an eviction ledger.
+///
+/// The table is pure bookkeeping — it never touches page tables or the
+/// clock. Callers drive the two-phase eviction protocol:
+///
+/// 1. [`VirtualKeyTable::evict_candidate`] picks the least-recently
+///    used binding outside the caller's pinned set (no mutation);
+/// 2. the caller performs (and charges) the `pkey_mprotect` sweep that
+///    parks the victim's pages — the step that can fail under
+///    injection;
+/// 3. only on success does the caller commit with
+///    [`VirtualKeyTable::unbind`], then [`VirtualKeyTable::bind`] the
+///    newcomer to the recycled hardware key.
+///
+/// A sweep that fails between steps 1 and 3 therefore leaves the old
+/// binding fully intact.
+#[derive(Debug, Clone)]
+pub struct VirtualKeyTable {
+    hw: KeyAllocator,
+    entries: Vec<Option<Entry>>,
+    owner: [Option<VirtualKey>; NUM_KEYS as usize],
+    tick: u64,
+    epoch: u64,
+    ledger: VkeyLedger,
+}
+
+impl VirtualKeyTable {
+    /// An empty table over a fresh 15-wide hardware allocator.
+    #[must_use]
+    pub fn new() -> VirtualKeyTable {
+        VirtualKeyTable {
+            hw: KeyAllocator::new(),
+            entries: Vec::new(),
+            owner: [None; NUM_KEYS as usize],
+            tick: 0,
+            epoch: 0,
+            ledger: VkeyLedger::default(),
+        }
+    }
+
+    /// Allocates a fresh, unbound virtual key. Never fails — the
+    /// virtual namespace is unbounded; only *bindings* are scarce.
+    pub fn alloc(&mut self) -> VirtualKey {
+        let vkey = VirtualKey(u32::try_from(self.entries.len()).expect("vkey space"));
+        self.entries.push(Some(Entry {
+            hkey: None,
+            last_used: 0,
+        }));
+        vkey
+    }
+
+    /// Frees a virtual key, releasing its hardware key if bound.
+    /// Freeing an unknown or already-freed key is a no-op.
+    pub fn free(&mut self, vkey: VirtualKey) {
+        let Some(slot) = self.entries.get_mut(vkey.0 as usize) else {
+            return;
+        };
+        if let Some(entry) = slot.take() {
+            if let Some(hkey) = entry.hkey {
+                self.hw.free(hkey);
+                self.owner[hkey as usize] = None;
+                self.epoch += 1;
+            }
+        }
+    }
+
+    /// True if `vkey` is live (allocated and not freed).
+    #[must_use]
+    pub fn is_live(&self, vkey: VirtualKey) -> bool {
+        matches!(self.entries.get(vkey.0 as usize), Some(Some(_)))
+    }
+
+    /// The hardware key currently backing `vkey`, if any.
+    #[must_use]
+    pub fn binding(&self, vkey: VirtualKey) -> Option<ProtectionKey> {
+        self.entries.get(vkey.0 as usize)?.as_ref()?.hkey
+    }
+
+    /// True if `vkey` is bound to a hardware key right now.
+    #[must_use]
+    pub fn is_bound(&self, vkey: VirtualKey) -> bool {
+        self.binding(vkey).is_some()
+    }
+
+    /// The virtual key a hardware key currently backs, if any.
+    #[must_use]
+    pub fn owner_of(&self, hkey: ProtectionKey) -> Option<VirtualKey> {
+        *self.owner.get(hkey as usize)?
+    }
+
+    /// Number of live virtual keys.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// Number of virtual keys currently bound to hardware keys.
+    #[must_use]
+    pub fn bound(&self) -> usize {
+        // The hardware allocator counts the reserved key 0 as allocated.
+        self.hw.allocated() - 1
+    }
+
+    /// Hardware keys still free (out of the 15 allocatable).
+    #[must_use]
+    pub fn free_hkeys(&self) -> usize {
+        self.hw.available()
+    }
+
+    /// Monotone counter bumped on every binding change; callers cache
+    /// derived state (PKRU images, seccomp rules) against it.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The bind/evict ledger.
+    #[must_use]
+    pub fn ledger(&self) -> VkeyLedger {
+        self.ledger
+    }
+
+    /// Marks `vkey` as just-used for LRU purposes.
+    pub fn touch(&mut self, vkey: VirtualKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(Some(entry)) = self.entries.get_mut(vkey.0 as usize) {
+            entry.last_used = tick;
+        }
+    }
+
+    /// The least-recently-used bound virtual key outside `pinned`, or
+    /// `None` if every binding is pinned. Pure — step 1 of the
+    /// two-phase eviction protocol. Ties break on the lower key so the
+    /// choice is deterministic.
+    #[must_use]
+    pub fn evict_candidate(&self, pinned: &[VirtualKey]) -> Option<VirtualKey> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let entry = slot.as_ref()?;
+                entry.hkey?;
+                let vkey = VirtualKey(u32::try_from(i).expect("vkey space"));
+                (!pinned.contains(&vkey)).then_some((entry.last_used, vkey))
+            })
+            .min()
+            .map(|(_, vkey)| vkey)
+    }
+
+    /// Commits an eviction: releases `vkey`'s hardware key and returns
+    /// it. Call only after the page sweep parking the victim's pages
+    /// has succeeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vkey` is not bound — evicting an unbound key is a
+    /// protocol violation, not a recoverable condition.
+    pub fn unbind(&mut self, vkey: VirtualKey) -> ProtectionKey {
+        let entry = self
+            .entries
+            .get_mut(vkey.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("unbind of freed vkey");
+        let hkey = entry.hkey.take().expect("unbind of unbound vkey");
+        self.hw.free(hkey);
+        self.owner[hkey as usize] = None;
+        self.ledger.evictions += 1;
+        self.epoch += 1;
+        hkey
+    }
+
+    /// Binds `vkey` to a free hardware key and returns it, stamping the
+    /// LRU clock. Idempotent: an already-bound key just returns its
+    /// binding (and is touched). Call only after the page sweep tagging
+    /// the newcomer's pages is known to proceed.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfKeys`] when all 15 hardware keys are bound — the caller
+    /// must evict first.
+    pub fn bind(&mut self, vkey: VirtualKey) -> Result<ProtectionKey, OutOfKeys> {
+        if let Some(hkey) = self.binding(vkey) {
+            self.touch(vkey);
+            return Ok(hkey);
+        }
+        if !self.is_live(vkey) {
+            return Err(OutOfKeys);
+        }
+        let hkey = self.hw.alloc()?;
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries[vkey.0 as usize].as_mut().expect("live vkey");
+        entry.hkey = Some(hkey);
+        entry.last_used = tick;
+        self.owner[hkey as usize] = Some(vkey);
+        self.ledger.binds += 1;
+        self.epoch += 1;
+        Ok(hkey)
+    }
+
+    /// Checks the structural invariants the property suite leans on:
+    /// no hardware key backs two virtual keys, every binding is mirrored
+    /// in the owner map, and the bound count matches the hardware
+    /// allocator. Returns a description of the first violation found.
+    #[must_use]
+    pub fn invariant_violation(&self) -> Option<String> {
+        let mut seen = [false; NUM_KEYS as usize];
+        let mut bound = 0usize;
+        for (i, slot) in self.entries.iter().enumerate() {
+            let Some(entry) = slot else { continue };
+            let Some(hkey) = entry.hkey else { continue };
+            bound += 1;
+            if hkey == 0 || hkey >= NUM_KEYS {
+                return Some(format!("vk{i} bound to out-of-range hkey {hkey}"));
+            }
+            if seen[hkey as usize] {
+                return Some(format!("hkey {hkey} double-bound (second owner vk{i})"));
+            }
+            seen[hkey as usize] = true;
+            if self.owner[hkey as usize] != Some(VirtualKey(i as u32)) {
+                return Some(format!("owner map out of sync for hkey {hkey}"));
+            }
+        }
+        for (k, owner) in self.owner.iter().enumerate() {
+            if let Some(vkey) = owner {
+                if self.binding(*vkey) != Some(k as u8) {
+                    return Some(format!("owner map names vk{} for unbound hkey {k}", vkey.0));
+                }
+            }
+        }
+        if bound != self.bound() {
+            return Some(format!(
+                "{} bindings but hardware allocator reports {}",
+                bound,
+                self.bound()
+            ));
+        }
+        None
+    }
+}
+
+impl Default for VirtualKeyTable {
+    fn default() -> VirtualKeyTable {
+        VirtualKeyTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_allocation_is_unbounded() {
+        let mut t = VirtualKeyTable::new();
+        let keys: Vec<_> = (0..100).map(|_| t.alloc()).collect();
+        assert_eq!(t.live(), 100);
+        assert_eq!(t.bound(), 0, "allocation does not bind");
+        assert!(keys.iter().all(|v| !t.is_bound(*v)));
+    }
+
+    #[test]
+    fn bindings_cap_at_fifteen() {
+        let mut t = VirtualKeyTable::new();
+        let keys: Vec<_> = (0..16).map(|_| t.alloc()).collect();
+        for v in &keys[..15] {
+            t.bind(*v).expect("15 hardware keys available");
+        }
+        assert_eq!(t.bound(), 15);
+        assert_eq!(t.free_hkeys(), 0);
+        assert_eq!(t.bind(keys[15]), Err(OutOfKeys));
+        assert!(t.invariant_violation().is_none());
+    }
+
+    #[test]
+    fn bind_is_idempotent_and_ledgered() {
+        let mut t = VirtualKeyTable::new();
+        let v = t.alloc();
+        let k1 = t.bind(v).unwrap();
+        let k2 = t.bind(v).unwrap();
+        assert_eq!(k1, k2);
+        assert_eq!(t.ledger().binds, 1, "re-bind of a bound key is free");
+    }
+
+    #[test]
+    fn evict_candidate_is_lru_and_respects_pins() {
+        let mut t = VirtualKeyTable::new();
+        let a = t.alloc();
+        let b = t.alloc();
+        let c = t.alloc();
+        for v in [a, b, c] {
+            t.bind(v).unwrap();
+        }
+        t.touch(a); // order now: b, c, a
+        assert_eq!(t.evict_candidate(&[]), Some(b));
+        assert_eq!(t.evict_candidate(&[b]), Some(c));
+        assert_eq!(t.evict_candidate(&[a, b, c]), None, "all pinned");
+    }
+
+    #[test]
+    fn unbind_recycles_the_hardware_key() {
+        let mut t = VirtualKeyTable::new();
+        let keys: Vec<_> = (0..15).map(|_| t.alloc()).collect();
+        for v in &keys {
+            t.bind(*v).unwrap();
+        }
+        let newcomer = t.alloc();
+        let victim = t.evict_candidate(&[newcomer]).unwrap();
+        let freed = t.unbind(victim);
+        assert!(!t.is_bound(victim));
+        assert_eq!(t.owner_of(freed), None);
+        let got = t.bind(newcomer).unwrap();
+        assert_eq!(got, freed, "lowest free key is the recycled one");
+        assert_eq!(t.ledger().evictions, 1);
+        assert_eq!(t.ledger().binds, 16);
+        assert!(t.invariant_violation().is_none());
+    }
+
+    #[test]
+    fn free_releases_the_binding() {
+        let mut t = VirtualKeyTable::new();
+        let v = t.alloc();
+        let hkey = t.bind(v).unwrap();
+        t.free(v);
+        assert!(!t.is_live(v));
+        assert_eq!(t.owner_of(hkey), None);
+        assert_eq!(t.free_hkeys(), 15);
+        assert!(t.invariant_violation().is_none());
+    }
+
+    #[test]
+    fn epoch_tracks_binding_changes_only() {
+        let mut t = VirtualKeyTable::new();
+        let v = t.alloc();
+        let e0 = t.epoch();
+        t.touch(v);
+        assert_eq!(t.epoch(), e0, "touch is not a binding change");
+        t.bind(v).unwrap();
+        assert!(t.epoch() > e0);
+        let e1 = t.epoch();
+        t.unbind(v);
+        assert!(t.epoch() > e1);
+    }
+}

@@ -3,8 +3,12 @@
 //! "LitterBox performs an important optimization by clustering the
 //! packages across all memory views that have the same access rights.
 //! This clustering creates larger, logical meta-packages that can be
-//! efficiently managed." For LB_MPK, each meta-package consumes one of
-//! the 16 protection keys, so clustering is what makes real programs fit.
+//! efficiently managed." For LB_MPK, each meta-package consumes one
+//! *virtual* protection key. Under libmpk-style key virtualization
+//! (`hw::vkey`, the default) clustering is purely an optimization — it
+//! shrinks the working set of keys a switch must bind, reducing
+//! evictions; in [`crate::MpkKeyMode::Static`] it is what decides
+//! whether a program fits the 15 allocatable hardware keys at all.
 
 use std::collections::BTreeMap;
 
@@ -112,6 +116,7 @@ mod tests {
             name: format!("e{id}"),
             view: view.iter().map(|(n, a)| (n.to_string(), *a)).collect(),
             policy: SysPolicy::none(),
+            marked: vec![],
         }
     }
 
@@ -191,6 +196,7 @@ mod tests {
             name: "server".into(),
             view: view.into_iter().collect(),
             policy: SysPolicy::none(),
+            marked: vec![],
         }];
         let c = cluster(&pkgs, &encls);
         assert_eq!(c.len(), 2, "100 deps collapse to one meta + main's meta");

@@ -55,6 +55,12 @@ pub struct EnclosureDesc {
     pub view: ViewMap,
     /// Authorized system calls.
     pub policy: SysPolicy,
+    /// The packages the programmer explicitly marked for enclosing
+    /// (the `#[enclose]` roots); the rest of the view is derived
+    /// dependency closure. Telemetry labels the enclosure's spans with
+    /// these. May be empty for hand-built descriptions, in which case
+    /// labeling falls back to the view's first non-runtime package.
+    pub marked: Vec<String>,
 }
 
 /// The addresses of the ELF image a package occupies, as returned by the

@@ -340,6 +340,7 @@ mod tests {
             name: "e".into(),
             view: [("lib".to_string(), Access::RWX)].into_iter().collect(),
             policy,
+            marked: vec![],
         });
         lb.init(prog).unwrap();
         (lb, cs)
@@ -433,6 +434,7 @@ mod tests {
                 name: "e".into(),
                 view: [("lib".to_string(), Access::RWX)].into_iter().collect(),
                 policy: SysPolicy::none(),
+                marked: vec![],
             });
             lb.init(prog).unwrap();
             let t = lb.prolog(EnclosureId(1), cs).unwrap();

@@ -39,6 +39,7 @@
 //!     name: "rcl".into(),
 //!     view: [("libfx".to_string(), Access::RWX)].into_iter().collect(),
 //!     policy: SysPolicy::none(),
+//!     marked: vec!["libfx".into()],
 //! });
 //! lb.init(prog)?;
 //!
@@ -62,8 +63,10 @@ pub mod scan;
 
 pub use desc::{EnclosureDesc, EnclosureId, PackageDesc, PackageLayout, ProgramDesc, ViewMap};
 pub use fault::{Fault, SysError};
-pub use machine::{Backend, EnvContext, LitterBox, SwitchToken, LB_SUPER_PKG, LB_USER_PKG};
+pub use machine::{
+    Backend, EnvContext, LitterBox, MpkKeyMode, SwitchToken, LB_SUPER_PKG, LB_USER_PKG,
+};
 
 pub use enclosure_hw::vtx::{EnvId, TRUSTED_ENV};
-pub use enclosure_hw::{InjectionPlan, InjectionSite};
+pub use enclosure_hw::{InjectionPlan, InjectionSite, VirtualKey, VirtualKeyTable, VkeyLedger};
 pub use enclosure_kernel::FilterMode;

@@ -3,17 +3,17 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use enclosure_hw::mpk::{KeyAllocator, Pkru};
+use enclosure_hw::mpk::{Pkru, NUM_KEYS};
 use enclosure_hw::vtx::{EnvId, Vm, VtxError, TRUSTED_ENV};
-use enclosure_hw::{Clock, CostModel, Cpu, HwStats, InjectionSite};
+use enclosure_hw::{Clock, CostModel, Cpu, HwStats, InjectionSite, VirtualKey, VirtualKeyTable};
 use enclosure_kernel::seccomp::{SeccompFilter, SeccompRule, SysPolicy};
 use enclosure_kernel::{FilterMode, Kernel, SyscallRecord};
 use enclosure_telemetry::{Event, Recorder, SpanScope};
 use enclosure_vmem::{
-    Access, Addr, AddressSpace, PageTable, ProtectionKey, Section, SectionKind, VirtRange,
+    Access, Addr, AddressSpace, PageTable, ProtectionKey, Section, SectionKind, VirtRange, NO_KEY,
 };
 
-use crate::cluster::{cluster, Clustering};
+use crate::cluster::{cluster, Clustering, MetaPackage};
 use crate::desc::{EnclosureDesc, EnclosureId, PackageDesc, ProgramDesc, ViewMap};
 use crate::fault::Fault;
 
@@ -46,6 +46,26 @@ impl std::fmt::Display for Backend {
         }
     }
 }
+
+/// How LB_MPK maps meta-packages onto the 15 allocatable hardware keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MpkKeyMode {
+    /// One hardware key per meta-package for the program's lifetime.
+    /// `Init` fails with a key-exhaustion error when the clustering
+    /// needs more than 15 keys (the pre-virtualization behavior; kept
+    /// for the ablation that measures the wall).
+    Static,
+    /// libmpk-style virtualization (the default): meta-packages hold
+    /// *virtual* keys without bound, and an LRU cache binds at most 15
+    /// of them to hardware keys at a time, re-tagging pages on demand.
+    /// Only an enclosure whose own working set exceeds 15 meta-packages
+    /// is rejected.
+    #[default]
+    Virtual,
+}
+
+/// Hardware keys LB_MPK can hand out (key 0 is reserved).
+const MAX_BOUND_KEYS: usize = NUM_KEYS as usize - 1;
 
 /// Proof that a `prolog` happened; consumed by the matching `epilog`.
 #[derive(Debug)]
@@ -127,9 +147,11 @@ enum HwState {
     Baseline,
     Mpk {
         table: PageTable,
-        key_of_meta: Vec<ProtectionKey>,
+        vkeys: VirtualKeyTable,
+        vkey_of_meta: Vec<VirtualKey>,
         pkru_of_env: HashMap<EnvId, Pkru>,
         filter: SeccompFilter,
+        filter_epoch: u64,
     },
     Vtx {
         vm: Vm,
@@ -163,6 +185,7 @@ pub struct LitterBox {
     seq: u64,
     init_ns: u64,
     filter_mode: FilterMode,
+    mpk_key_mode: MpkKeyMode,
 }
 
 impl LitterBox {
@@ -195,6 +218,7 @@ impl LitterBox {
             seq: 0,
             init_ns: 0,
             filter_mode: FilterMode::KillProcess,
+            mpk_key_mode: MpkKeyMode::default(),
         }
     }
 
@@ -401,6 +425,117 @@ impl LitterBox {
         }
         self.filter_mode = mode;
         Ok(())
+    }
+
+    /// How LB_MPK maps meta-packages onto hardware keys.
+    #[must_use]
+    pub fn mpk_key_mode(&self) -> MpkKeyMode {
+        self.mpk_key_mode
+    }
+
+    /// Selects the LB_MPK key-mapping mode. On an initialized machine
+    /// the environments are rebuilt immediately, so a switch to
+    /// [`MpkKeyMode::Static`] surfaces key exhaustion right here.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Init`] if the rebuild fails (e.g. more than 15
+    /// meta-packages under [`MpkKeyMode::Static`]).
+    pub fn set_mpk_key_mode(&mut self, mode: MpkKeyMode) -> Result<(), Fault> {
+        let prev = self.mpk_key_mode;
+        self.mpk_key_mode = mode;
+        if self.initialized && self.backend == Backend::Mpk {
+            if let Err(e) = self.rebuild() {
+                self.mpk_key_mode = prev;
+                return Err(self.trace_fault(e));
+            }
+        }
+        Ok(())
+    }
+
+    /// The virtual-key table behind LB_MPK, when that backend is active:
+    /// bindings, LRU state, and the bind/evict ledger. `None` on other
+    /// backends.
+    #[must_use]
+    pub fn virtual_keys(&self) -> Option<&VirtualKeyTable> {
+        match &self.hw {
+            HwState::Mpk { vkeys, .. } => Some(vkeys),
+            _ => None,
+        }
+    }
+
+    /// The hardware key currently backing `package`'s meta-package
+    /// (LB_MPK only; `None` when the meta is unbound/parked or the
+    /// backend differs).
+    #[must_use]
+    pub fn hardware_key_of(&self, package: &str) -> Option<ProtectionKey> {
+        let HwState::Mpk {
+            vkeys,
+            vkey_of_meta,
+            ..
+        } = &self.hw
+        else {
+            return None;
+        };
+        let meta = *self.clustering.meta_of.get(package)?;
+        vkeys.binding(vkey_of_meta[meta])
+    }
+
+    /// Checks the LB_MPK stale-binding security invariant: every
+    /// hardware key the *live* PKRU register grants rights on must be
+    /// owned by a meta-package whose rights in the current environment's
+    /// view cover that grant, and the virtual-key table must be
+    /// structurally consistent. Returns a description of the first
+    /// violation, or `None` when the invariant holds (trivially on
+    /// non-MPK backends).
+    #[must_use]
+    pub fn stale_binding_violation(&self) -> Option<String> {
+        let HwState::Mpk {
+            vkeys,
+            vkey_of_meta,
+            ..
+        } = &self.hw
+        else {
+            return None;
+        };
+        if let Some(v) = vkeys.invariant_violation() {
+            return Some(v);
+        }
+        let info = self.envs.get(&self.current)?;
+        let pkru = self.cpu.pkru();
+        for hkey in 1..NUM_KEYS {
+            let granted = pkru.key_rights(hkey);
+            if granted.is_none() {
+                continue;
+            }
+            let Some(owner) = vkeys.owner_of(hkey) else {
+                return Some(format!(
+                    "live PKRU grants {granted} on unowned hardware key {hkey}"
+                ));
+            };
+            let Some(meta) = self
+                .clustering
+                .metas
+                .iter()
+                .find(|m| vkey_of_meta[m.index] == owner)
+            else {
+                return Some(format!("hardware key {hkey} owned by unmapped {owner}"));
+            };
+            let viewed = meta
+                .members
+                .first()
+                .and_then(|m| info.view.get(m).copied())
+                .unwrap_or(Access::NONE)
+                .intersection(Access::RW);
+            if !granted.is_subset_of(viewed) {
+                return Some(format!(
+                    "live PKRU grants {granted} on key {hkey} (meta of '{}') but the \
+                     current view only allows {viewed}",
+                    meta.members.first().map_or("?", String::as_str)
+                ));
+            }
+        }
+        None
     }
 
     /// Rights the current environment's view grants on `package`.
@@ -634,6 +769,7 @@ impl LitterBox {
             name: "trusted".into(),
             view: trusted_view,
             policy: SysPolicy::all(),
+            marked: vec![],
         }];
         for (env, info) in &envs {
             if *env != TRUSTED_ENV {
@@ -642,6 +778,7 @@ impl LitterBox {
                     name: info.name.clone(),
                     view: info.view.clone(),
                     policy: info.policy.clone(),
+                    marked: vec![],
                 });
             }
         }
@@ -716,70 +853,124 @@ impl LitterBox {
         envs: &HashMap<EnvId, EnvInfo>,
         clustering: &Clustering,
     ) -> Result<HwState, Fault> {
-        let mut keys = KeyAllocator::new();
-        let mut key_of_meta = Vec::with_capacity(clustering.len());
+        let mut vkeys = VirtualKeyTable::new();
+        let mut vkey_of_meta = Vec::with_capacity(clustering.len());
         for _ in 0..clustering.len() {
-            let key = keys.alloc().map_err(|_| {
-                Fault::Init(format!(
-                    "{} meta-packages exceed the 16 MPK keys; \
-                     libmpk-style key virtualization would be required (§5.3)",
-                    clustering.len()
-                ))
-            })?;
-            key_of_meta.push(key);
+            vkey_of_meta.push(vkeys.alloc());
+        }
+
+        // Filter-ambiguity check, independent of which virtual keys
+        // happen to be bound: two environments whose views induce the
+        // same per-meta data rights produce the same PKRU value whenever
+        // their working sets are resident, so their syscall policies must
+        // agree (seccomp indexes on PKRU).
+        let mut env_ids: Vec<EnvId> = envs.keys().copied().collect();
+        env_ids.sort();
+        let mut seen_sig: HashMap<Vec<Access>, (String, SysPolicy)> = HashMap::new();
+        for env in &env_ids {
+            let info = &envs[env];
+            let sig: Vec<Access> = clustering
+                .metas
+                .iter()
+                .map(|m| meta_rights_in_view(m, &info.view).intersection(Access::RW))
+                .collect();
+            if let Some((other, other_policy)) = seen_sig.get(&sig) {
+                if *other_policy != info.policy {
+                    return Err(Fault::Init(format!(
+                        "environments '{other}' and '{}' share PKRU data rights but \
+                         differ in syscall filters; LB_MPK cannot distinguish them \
+                         (seccomp indexes on PKRU)",
+                        info.name
+                    )));
+                }
+            } else {
+                seen_sig.insert(sig, (info.name.clone(), info.policy.clone()));
+            }
+        }
+
+        let super_meta = clustering.meta_of.get(LB_SUPER_PKG).copied();
+        match self.mpk_key_mode {
+            MpkKeyMode::Static => {
+                // One hardware key per meta for the program's lifetime.
+                for &v in &vkey_of_meta {
+                    vkeys.bind(v).map_err(|_| {
+                        Fault::Init(format!(
+                            "{} meta-packages exceed the 16 MPK keys; \
+                             libmpk-style key virtualization would be required (§5.3)",
+                            clustering.len()
+                        ))
+                    })?;
+                }
+            }
+            MpkKeyMode::Virtual => {
+                // Virtualization multiplexes keys *across* switches; each
+                // single environment's working set must still fit the
+                // hardware at once.
+                for env in &env_ids {
+                    if *env == TRUSTED_ENV {
+                        continue;
+                    }
+                    let info = &envs[env];
+                    let pinned = clustering
+                        .metas
+                        .iter()
+                        .filter(|m| Some(m.index) != super_meta)
+                        .filter(|m| !meta_rights_in_view(m, &info.view).is_none())
+                        .count();
+                    if pinned > MAX_BOUND_KEYS {
+                        return Err(Fault::Init(format!(
+                            "enclosure '{}' views {pinned} meta-packages at once, \
+                             more than the {MAX_BOUND_KEYS} hardware keys key \
+                             virtualization can bind simultaneously",
+                            info.name
+                        )));
+                    }
+                }
+                // Warm the cache in meta order. litterbox.super is never
+                // bound: its pages stay parked (non-present) for the
+                // program's lifetime, unreachable by every environment —
+                // strictly stronger than a PKRU access-disable bit.
+                for meta in &clustering.metas {
+                    if Some(meta.index) == super_meta || vkeys.free_hkeys() == 0 {
+                        continue;
+                    }
+                    let _ = vkeys.bind(vkey_of_meta[meta.index]);
+                }
+            }
         }
 
         let mut table = PageTable::new("mpk-shared");
         for (name, info) in &self.packages {
-            let key = key_of_meta[clustering.meta_of[name]];
+            let binding = vkeys.binding(vkey_of_meta[clustering.meta_of[name]]);
             for section in &info.sections {
-                table.map_range(section.range(), section.default_rights(), key);
+                match binding {
+                    Some(key) => table.map_range(section.range(), section.default_rights(), key),
+                    None => {
+                        table.map_range(section.range(), section.default_rights(), NO_KEY);
+                        table
+                            .set_present(section.range(), false)
+                            .expect("section was just mapped");
+                    }
+                }
             }
         }
 
-        let mut pkru_of_env = HashMap::new();
-        let mut rules = Vec::new();
-        let mut seen_pkru: HashMap<u32, (String, SysPolicy)> = HashMap::new();
-        let mut env_ids: Vec<EnvId> = envs.keys().copied().collect();
-        env_ids.sort();
-        for env in env_ids {
-            let info = &envs[&env];
-            let mut pkru = Pkru::deny_all();
-            for meta in &clustering.metas {
-                // All members share rights; take the first member's.
-                let rights = meta
-                    .members
-                    .first()
-                    .and_then(|m| info.view.get(m).copied())
-                    .unwrap_or(Access::NONE);
-                pkru.set_key_rights(key_of_meta[meta.index], rights.intersection(Access::RW));
-            }
-            if let Some((other, other_policy)) = seen_pkru.get(&pkru.bits()) {
-                if *other_policy != info.policy {
-                    return Err(Fault::Init(format!(
-                        "environments '{other}' and '{}' share PKRU {:#010x} but differ \
-                         in syscall filters; LB_MPK cannot distinguish them (seccomp \
-                         indexes on PKRU)",
-                        info.name,
-                        pkru.bits()
-                    )));
-                }
-            } else {
-                seen_pkru.insert(pkru.bits(), (info.name.clone(), info.policy.clone()));
-                rules.push(SeccompRule {
-                    pkru: pkru.bits(),
-                    policy: info.policy.clone(),
-                });
-            }
-            pkru_of_env.insert(env, pkru);
-        }
-        let filter = SeccompFilter::compile_with_mode(&rules, self.filter_mode)
-            .map_err(|e| Fault::Init(format!("seccomp compilation failed: {e}")))?;
+        let filter_epoch = vkeys.epoch();
+        let (pkru_of_env, filter) = mpk_compile_rules(
+            self.current,
+            envs,
+            clustering,
+            &vkeys,
+            &vkey_of_meta,
+            self.filter_mode,
+        )?;
         Ok(HwState::Mpk {
             table,
-            key_of_meta,
+            vkeys,
+            vkey_of_meta,
             pkru_of_env,
             filter,
+            filter_epoch,
         })
     }
 
@@ -870,11 +1061,19 @@ impl LitterBox {
             .enclosures
             .get(&enclosure)
             .and_then(|e| {
-                e.view
-                    .keys()
-                    .filter(|p| p.as_str() != LB_USER_PKG)
-                    .min()
-                    .cloned()
+                // Attribute the span to what the programmer marked (the
+                // `#[enclose]` roots), not to whatever view entry happens
+                // to sort first — the view is mostly derived dependency
+                // closure.
+                if e.marked.is_empty() {
+                    e.view
+                        .keys()
+                        .filter(|p| p.as_str() != LB_USER_PKG)
+                        .min()
+                        .cloned()
+                } else {
+                    Some(e.marked.join("+"))
+                }
             })
             .unwrap_or_else(|| "-".to_owned());
         let clock = self.cpu.clock_mut();
@@ -1004,7 +1203,78 @@ impl LitterBox {
     fn switch_hw(&mut self, target: EnvId) -> Result<(), Fault> {
         match &mut self.hw {
             HwState::Baseline => Ok(()),
-            HwState::Mpk { pkru_of_env, .. } => {
+            HwState::Mpk {
+                table,
+                vkeys,
+                vkey_of_meta,
+                pkru_of_env,
+                filter,
+                filter_epoch,
+            } => {
+                if !self.envs.contains_key(&target) {
+                    return Err(Fault::UnknownEnclosure(EnclosureId(target.0)));
+                }
+                // Bind the target's working set before granting anything.
+                // A no-op when every needed meta is already resident (the
+                // common case the Table 1 switch costs are pinned to);
+                // otherwise this is where libmpk's LRU multiplexing pays
+                // its `pkey_mprotect` sweeps.
+                if target != TRUSTED_ENV {
+                    let info = &self.envs[&target];
+                    let super_meta = self.clustering.meta_of.get(LB_SUPER_PKG).copied();
+                    let mut pinned = Vec::new();
+                    let mut to_bind = Vec::new();
+                    for meta in &self.clustering.metas {
+                        if Some(meta.index) == super_meta
+                            || meta_rights_in_view(meta, &info.view).is_none()
+                        {
+                            continue;
+                        }
+                        pinned.push(vkey_of_meta[meta.index]);
+                        if !vkeys.is_bound(vkey_of_meta[meta.index]) {
+                            to_bind.push(meta.index);
+                        }
+                    }
+                    if pinned.len() > MAX_BOUND_KEYS {
+                        return Err(Fault::Init(format!(
+                            "enclosure '{}' pins {} meta-packages at once, more than \
+                             the {MAX_BOUND_KEYS} hardware keys",
+                            info.name,
+                            pinned.len()
+                        )));
+                    }
+                    for meta_index in to_bind {
+                        mpk_bind_with_eviction(
+                            table,
+                            vkeys,
+                            vkey_of_meta,
+                            &self.clustering.metas,
+                            &self.packages,
+                            &mut self.cpu,
+                            &pinned,
+                            meta_index,
+                        )?;
+                    }
+                    for &v in &pinned {
+                        vkeys.touch(v);
+                    }
+                }
+                // Bindings moved → every cached PKRU (and the PKRU-indexed
+                // seccomp filter) is stale; recompile with the target's
+                // rule taking precedence.
+                if *filter_epoch != vkeys.epoch() {
+                    let (new_pkru, new_filter) = mpk_compile_rules(
+                        target,
+                        &self.envs,
+                        &self.clustering,
+                        vkeys,
+                        vkey_of_meta,
+                        self.filter_mode,
+                    )?;
+                    *pkru_of_env = new_pkru;
+                    *filter = new_filter;
+                    *filter_epoch = vkeys.epoch();
+                }
                 let pkru = *pkru_of_env
                     .get(&target)
                     .ok_or(Fault::UnknownEnclosure(EnclosureId(target.0)))?;
@@ -1143,10 +1413,23 @@ impl LitterBox {
         match &mut self.hw {
             HwState::Baseline => Ok(()),
             HwState::Mpk {
-                table, key_of_meta, ..
+                table,
+                vkeys,
+                vkey_of_meta,
+                ..
             } => {
-                let key = key_of_meta[self.clustering.meta_of[to]];
-                table.map_range(range, Access::RW, key);
+                match vkeys.binding(vkey_of_meta[self.clustering.meta_of[to]]) {
+                    Some(key) => table.map_range(range, Access::RW, key),
+                    None => {
+                        // Destination meta is parked: the arena joins it
+                        // non-present and becomes reachable when the meta
+                        // is next bound.
+                        table.map_range(range, Access::RW, NO_KEY);
+                        table
+                            .set_present(range, false)
+                            .expect("range was just mapped");
+                    }
+                }
                 self.cpu
                     .clock_mut()
                     .charge_pkey_mprotect_pages(range.page_len());
@@ -1178,6 +1461,91 @@ impl LitterBox {
                 Ok(())
             }
         }
+    }
+
+    /// Demand-binds `package`'s meta-package to a hardware key (LB_MPK
+    /// with key virtualization). Trusted code calls this before touching
+    /// a package whose binding may have been evicted — the moral
+    /// equivalent of libmpk's `pkey_sync` on a `PROT_NONE` fault. The
+    /// current environment's working set is pinned, so the bind can
+    /// never evict something the running code needs. A no-op when the
+    /// meta is already resident (it just refreshes its LRU stamp) or on
+    /// other backends.
+    ///
+    /// # Errors
+    ///
+    /// * [`Fault::UnknownPackage`] for unregistered names;
+    /// * [`Fault::Init`] for `litterbox.super`, which is never bound;
+    /// * [`Fault::Transient`] when the eviction sweep's `pkey_mprotect`
+    ///   is injected to fail (the old binding stays intact).
+    pub fn bind_package(&mut self, package: &str) -> Result<(), Fault> {
+        if !self.packages.contains_key(package) {
+            return Err(self.trace_fault(Fault::UnknownPackage(package.to_owned())));
+        }
+        if package == LB_SUPER_PKG {
+            return Err(self.trace_fault(Fault::Init(format!(
+                "{LB_SUPER_PKG} is never bound to a hardware key"
+            ))));
+        }
+        let HwState::Mpk {
+            table,
+            vkeys,
+            vkey_of_meta,
+            pkru_of_env,
+            filter,
+            filter_epoch,
+        } = &mut self.hw
+        else {
+            return Ok(());
+        };
+        if self.mpk_key_mode == MpkKeyMode::Static {
+            return Ok(()); // every meta is permanently resident
+        }
+        let meta_index = self.clustering.meta_of[package];
+        let info = &self.envs[&self.current];
+        let super_meta = self.clustering.meta_of.get(LB_SUPER_PKG).copied();
+        let mut pinned: Vec<VirtualKey> = self
+            .clustering
+            .metas
+            .iter()
+            .filter(|m| Some(m.index) != super_meta)
+            .filter(|m| {
+                self.current != TRUSTED_ENV && !meta_rights_in_view(m, &info.view).is_none()
+            })
+            .filter(|m| vkeys.is_bound(vkey_of_meta[m.index]))
+            .map(|m| vkey_of_meta[m.index])
+            .collect();
+        pinned.push(vkey_of_meta[meta_index]);
+        if let Err(e) = mpk_bind_with_eviction(
+            table,
+            vkeys,
+            vkey_of_meta,
+            &self.clustering.metas,
+            &self.packages,
+            &mut self.cpu,
+            &pinned,
+            meta_index,
+        ) {
+            return Err(self.trace_fault(e));
+        }
+        // Re-grant under the new bindings so the freshly bound key is
+        // actually usable from the current environment.
+        if *filter_epoch != vkeys.epoch() {
+            let (new_pkru, new_filter) = mpk_compile_rules(
+                self.current,
+                &self.envs,
+                &self.clustering,
+                vkeys,
+                vkey_of_meta,
+                self.filter_mode,
+            )?;
+            *pkru_of_env = new_pkru;
+            *filter = new_filter;
+            *filter_epoch = vkeys.epoch();
+            let pkru = pkru_of_env[&self.current];
+            self.cpu.write_pkru(pkru);
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1330,6 +1698,186 @@ impl LitterBox {
     }
 }
 
+// ----------------------------------------------------------------------
+// LB_MPK key-virtualization helpers. Free functions (not methods) so the
+// `switch_hw` match can hold `&mut self.hw`'s fields while they borrow
+// the machine's other fields disjointly.
+// ----------------------------------------------------------------------
+
+/// Rights `meta` has under `view` (members share a signature, so the
+/// first member's entry speaks for all).
+fn meta_rights_in_view(meta: &MetaPackage, view: &ViewMap) -> Access {
+    meta.members
+        .first()
+        .and_then(|m| view.get(m).copied())
+        .unwrap_or(Access::NONE)
+}
+
+/// The PKRU value `view` induces under the current bindings: data rights
+/// on every *resident* meta's hardware key, access-disable everywhere
+/// else. Parked metas need no PKRU bit at all — their pages are
+/// non-present.
+fn mpk_pkru_for(
+    view: &ViewMap,
+    clustering: &Clustering,
+    vkeys: &VirtualKeyTable,
+    vkey_of_meta: &[VirtualKey],
+) -> Pkru {
+    let mut pkru = Pkru::deny_all();
+    for meta in &clustering.metas {
+        if let Some(hkey) = vkeys.binding(vkey_of_meta[meta.index]) {
+            let rights = meta_rights_in_view(meta, view).intersection(Access::RW);
+            pkru.set_key_rights(hkey, rights);
+        }
+    }
+    pkru
+}
+
+/// Recomputes every environment's PKRU and the PKRU-indexed seccomp
+/// filter under the current bindings. `current`'s rule is compiled first:
+/// when parked metas transiently collide two environments onto the same
+/// PKRU value, the first matching BPF rule — the running environment's —
+/// wins. (Environments whose *full* rights signatures collide are
+/// rejected at `Init` unless their policies agree, so the collision can
+/// only be transient and the precedence is always sound.)
+fn mpk_compile_rules(
+    current: EnvId,
+    envs: &HashMap<EnvId, EnvInfo>,
+    clustering: &Clustering,
+    vkeys: &VirtualKeyTable,
+    vkey_of_meta: &[VirtualKey],
+    filter_mode: FilterMode,
+) -> Result<(HashMap<EnvId, Pkru>, SeccompFilter), Fault> {
+    let mut env_ids: Vec<EnvId> = envs.keys().copied().collect();
+    env_ids.sort();
+    if let Some(pos) = env_ids.iter().position(|e| *e == current) {
+        env_ids.remove(pos);
+        env_ids.insert(0, current);
+    }
+    let mut pkru_of_env = HashMap::new();
+    let mut rules: Vec<SeccompRule> = Vec::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    for env in env_ids {
+        let info = &envs[&env];
+        let pkru = mpk_pkru_for(&info.view, clustering, vkeys, vkey_of_meta);
+        if seen.insert(pkru.bits()) {
+            rules.push(SeccompRule {
+                pkru: pkru.bits(),
+                policy: info.policy.clone(),
+            });
+        }
+        pkru_of_env.insert(env, pkru);
+    }
+    let filter = SeccompFilter::compile_with_mode(&rules, filter_mode)
+        .map_err(|e| Fault::Init(format!("seccomp compilation failed: {e}")))?;
+    Ok((pkru_of_env, filter))
+}
+
+/// Parks every section of `meta`: pages become non-present (libmpk's
+/// `PROT_NONE` sweep) and unreachable by *every* environment until the
+/// meta is bound again. Returns the page count for cost accounting.
+fn park_meta(
+    table: &mut PageTable,
+    packages: &BTreeMap<String, PackageInfo>,
+    meta: &MetaPackage,
+) -> u64 {
+    let mut pages = 0;
+    for member in &meta.members {
+        let Some(info) = packages.get(member) else {
+            continue;
+        };
+        for section in &info.sections {
+            table
+                .set_present(section.range(), false)
+                .expect("the shared table maps every package section");
+            pages += section.range().page_len();
+        }
+    }
+    pages
+}
+
+/// Unparks `meta` under its fresh hardware key: pages become present
+/// again and are re-tagged `hkey`. Returns the page count swept.
+fn unpark_meta(
+    table: &mut PageTable,
+    packages: &BTreeMap<String, PackageInfo>,
+    meta: &MetaPackage,
+    hkey: ProtectionKey,
+) -> u64 {
+    let mut pages = 0;
+    for member in &meta.members {
+        let Some(info) = packages.get(member) else {
+            continue;
+        };
+        for section in &info.sections {
+            table
+                .set_present(section.range(), true)
+                .expect("the shared table maps every package section");
+            table
+                .retag_range(section.range(), hkey)
+                .expect("the shared table maps every package section");
+            pages += section.range().page_len();
+        }
+    }
+    pages
+}
+
+/// Binds `meta_index`'s virtual key, evicting the least-recently-used
+/// binding outside `pinned` when no hardware key is free. The eviction
+/// sweep is a `pkey_mprotect` and can be injected to fail; the check
+/// fires *before* any mutation, so a failed sweep leaves the victim's
+/// binding (and the live PKRU) intact. Before the sweep, any live PKRU
+/// grant on the recycled key is revoked — the running environment must
+/// never retain rights on a key about to tag someone else's pages.
+#[allow(clippy::too_many_arguments)]
+fn mpk_bind_with_eviction(
+    table: &mut PageTable,
+    vkeys: &mut VirtualKeyTable,
+    vkey_of_meta: &[VirtualKey],
+    metas: &[MetaPackage],
+    packages: &BTreeMap<String, PackageInfo>,
+    cpu: &mut Cpu,
+    pinned: &[VirtualKey],
+    meta_index: usize,
+) -> Result<(), Fault> {
+    let v = vkey_of_meta[meta_index];
+    if vkeys.is_bound(v) {
+        vkeys.touch(v);
+        return Ok(());
+    }
+    if vkeys.free_hkeys() == 0 {
+        let victim = vkeys.evict_candidate(pinned).ok_or_else(|| {
+            Fault::Init("all 15 hardware keys are pinned by the current working set".into())
+        })?;
+        if cpu.clock_mut().should_inject(InjectionSite::PkeyMprotect) {
+            return Err(Fault::Transient {
+                site: "pkey_mprotect",
+            });
+        }
+        let victim_hkey = vkeys.binding(victim).expect("candidate is bound");
+        let live = cpu.pkru();
+        if !live.key_rights(victim_hkey).is_none() {
+            let mut interim = live;
+            interim.set_key_rights(victim_hkey, Access::NONE);
+            cpu.write_pkru(interim);
+        }
+        let victim_meta = vkey_of_meta
+            .iter()
+            .position(|vk| *vk == victim)
+            .expect("every bound virtual key belongs to a meta-package");
+        let pages = park_meta(table, packages, &metas[victim_meta]);
+        cpu.clock_mut()
+            .charge_key_evict_pages(victim.0, victim_hkey, pages);
+        vkeys.unbind(victim);
+    }
+    let hkey = vkeys
+        .bind(v)
+        .expect("a hardware key is free after the eviction");
+    let pages = unpark_meta(table, packages, &metas[meta_index], hkey);
+    cpu.clock_mut().charge_key_bind_pages(v.0, hkey, pages);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1360,6 +1908,7 @@ mod tests {
             .into_iter()
             .collect(),
             policy: SysPolicy::none(),
+            marked: vec![],
         });
         lb.init(prog).unwrap();
         (
@@ -1525,18 +2074,21 @@ mod tests {
             name: "outer".into(),
             view: [("a".to_string(), Access::RWX)].into_iter().collect(),
             policy: SysPolicy::none(),
+            marked: vec![],
         });
         prog.add_enclosure(EnclosureDesc {
             id: EnclosureId(2),
             name: "inner-ok".into(),
             view: [("a".to_string(), Access::R)].into_iter().collect(),
             policy: SysPolicy::none(),
+            marked: vec![],
         });
         prog.add_enclosure(EnclosureDesc {
             id: EnclosureId(3),
             name: "inner-escalates".into(),
             view: [("b".to_string(), Access::RWX)].into_iter().collect(),
             policy: SysPolicy::none(),
+            marked: vec![],
         });
         lb.init(prog).unwrap();
 
@@ -1559,12 +2111,14 @@ mod tests {
             name: "quiet".into(),
             view: [("a".to_string(), Access::RWX)].into_iter().collect(),
             policy: SysPolicy::none(),
+            marked: vec![],
         });
         prog.add_enclosure(EnclosureDesc {
             id: EnclosureId(2),
             name: "chatty".into(),
             view: [("a".to_string(), Access::RWX)].into_iter().collect(),
             policy: SysPolicy::categories(CategorySet::only(SysCategory::Net)),
+            marked: vec![],
         });
         lb.init(prog).unwrap();
         let quiet = lb.prolog(EnclosureId(1), cs).unwrap();
@@ -1652,6 +2206,7 @@ mod tests {
             name: "e".into(),
             view: [("ghost".to_string(), Access::R)].into_iter().collect(),
             policy: SysPolicy::none(),
+            marked: vec![],
         });
         assert!(matches!(lb.init(prog), Err(Fault::Init(_))));
 
@@ -1663,6 +2218,7 @@ mod tests {
             name: "bad".into(),
             view: ViewMap::new(),
             policy: SysPolicy::none(),
+            marked: vec![],
         });
         assert!(matches!(lb.init(prog), Err(Fault::Init(_))));
     }
@@ -1683,6 +2239,7 @@ mod tests {
                 name: format!("e{id}"),
                 view: [("a".to_string(), Access::RWX)].into_iter().collect(),
                 policy: SysPolicy::categories(cats),
+                marked: vec![],
             });
         }
         let err = lb.init(prog).unwrap_err();
@@ -1706,6 +2263,7 @@ mod tests {
                 name: format!("e{id}"),
                 view: [("a".to_string(), Access::RWX)].into_iter().collect(),
                 policy: SysPolicy::categories(cats),
+                marked: vec![],
             });
         }
         lb.init(prog).unwrap();

@@ -414,6 +414,7 @@ impl Interpreter {
             name: name.to_owned(),
             view: view.clone(),
             policy: policy.sysfilter().clone(),
+            marked: roots.clone(),
         });
         self.lb.init_incremental(prog)?;
         self.enclosures.insert(

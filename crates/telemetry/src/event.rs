@@ -84,6 +84,28 @@ pub enum Event {
         /// Pages retagged.
         pages: u64,
     },
+    /// A virtual protection key was bound to a hardware key, re-tagging
+    /// the meta-package's pages (libmpk-style key virtualization).
+    KeyBind {
+        /// Virtual key bound.
+        vkey: u32,
+        /// Hardware key it now occupies.
+        hkey: u8,
+        /// Pages re-tagged by the binding sweep.
+        pages: u64,
+    },
+    /// A cold virtual→hardware key binding was evicted to recycle the
+    /// hardware key: the victim's pages were swept unreachable.
+    KeyEvict {
+        /// Virtual key evicted.
+        vkey: u32,
+        /// Hardware key released.
+        hkey: u8,
+        /// Pages swept by the eviction.
+        pages: u64,
+        /// Simulated nanoseconds the sweep cost.
+        ns: u64,
+    },
 
     // --- Kernel ---------------------------------------------------------
     /// A syscall entered the kernel (post-filter).
@@ -200,6 +222,18 @@ impl fmt::Display for Event {
             Event::Cr3Write { env } => write!(f, "cr3_write env={env}"),
             Event::VmExit => write!(f, "vm_exit"),
             Event::PkeyMprotect { pages } => write!(f, "pkey_mprotect pages={pages}"),
+            Event::KeyBind { vkey, hkey, pages } => {
+                write!(f, "key_bind vk{vkey} -> hkey {hkey} pages={pages}")
+            }
+            Event::KeyEvict {
+                vkey,
+                hkey,
+                pages,
+                ns,
+            } => write!(
+                f,
+                "key_evict vk{vkey} frees hkey {hkey} pages={pages} ns={ns}"
+            ),
             Event::SyscallEntry {
                 sysno,
                 category,

@@ -47,6 +47,14 @@ pub struct Counters {
     pub pkey_mprotects: u64,
     /// Pages retagged by `pkey_mprotect`.
     pub pkey_mprotect_pages: u64,
+    /// Virtual→hardware key bindings (libmpk-style virtualization).
+    pub key_binds: u64,
+    /// Virtual-key evictions (hardware key recycled).
+    pub key_evictions: u64,
+    /// Pages swept unreachable by evictions.
+    pub key_eviction_pages: u64,
+    /// Simulated nanoseconds spent in eviction sweeps.
+    pub key_eviction_ns: u64,
     /// Kernel syscall entries (post-filter).
     pub syscall_entries: u64,
     /// Kernel syscall entries made from inside an enclosure.
@@ -98,6 +106,10 @@ impl Counters {
             ("vm_exits", Json::U64(self.vm_exits)),
             ("pkey_mprotects", Json::U64(self.pkey_mprotects)),
             ("pkey_mprotect_pages", Json::U64(self.pkey_mprotect_pages)),
+            ("key_binds", Json::U64(self.key_binds)),
+            ("key_evictions", Json::U64(self.key_evictions)),
+            ("key_eviction_pages", Json::U64(self.key_eviction_pages)),
+            ("key_eviction_ns", Json::U64(self.key_eviction_ns)),
             ("syscall_entries", Json::U64(self.syscall_entries)),
             (
                 "enclosed_syscall_entries",
@@ -153,6 +165,12 @@ impl Counters {
             Event::PkeyMprotect { pages } => {
                 self.pkey_mprotects += 1;
                 self.pkey_mprotect_pages += pages;
+            }
+            Event::KeyBind { .. } => self.key_binds += 1,
+            Event::KeyEvict { pages, ns, .. } => {
+                self.key_evictions += 1;
+                self.key_eviction_pages += pages;
+                self.key_eviction_ns += ns;
             }
             Event::SyscallEntry { enclosed, .. } => {
                 self.syscall_entries += 1;

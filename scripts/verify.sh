@@ -21,6 +21,23 @@ cargo fmt --all --check
 echo "== smoke: repro attribution (telemetry-derived §6.4) =="
 ./target/release/repro attribution --quick >/dev/null
 
+echo "== key virtualization: property suite =="
+cargo test -q --offline --test key_virtualization
+
+echo "== key virtualization: ablation 2b virtualized arm =="
+abl_out="$(mktemp)"
+./target/release/repro ablations > "$abl_out"
+# The virtualized arm must scale past the 15-key wall without ever
+# surfacing a key-exhaustion error to the application...
+if grep -qiE "out.?of.?keys" <(grep -v "exhaustion" "$abl_out"); then
+  echo "verify: OutOfKeys surfaced by the virtualized arm" >&2
+  exit 1
+fi
+# ...and must actually report eviction work at 30+ enclosures.
+grep -qE "^ +30 enclosures .* [1-9][0-9]* evictions" "$abl_out"
+grep -qE "^ +40 enclosures .* [1-9][0-9]* evictions" "$abl_out"
+rm -f "$abl_out"
+
 echo "== smoke: chaos soak (deterministic fault injection) =="
 chaos_out="$(mktemp -d)"
 trap 'rm -rf "$chaos_out"' EXIT

@@ -36,12 +36,14 @@ fn build(backend: Backend) -> Lab {
         name: "victim".into(),
         view: [("libv".to_string(), Access::RWX)].into_iter().collect(),
         policy: SysPolicy::all(),
+        marked: vec!["libv".into()],
     });
     prog.add_enclosure(EnclosureDesc {
         id: BYSTANDER,
         name: "bystander".into(),
         view: [("libb".to_string(), Access::RWX)].into_iter().collect(),
         policy: SysPolicy::all(),
+        marked: vec!["libb".into()],
     });
     lb.init(prog).unwrap();
     Lab { lb, callsite }

@@ -104,6 +104,24 @@ fn filter_events_match_enclosed_syscall_entries() {
     }
 }
 
+/// Spans are attributed to the packages the programmer *marked*
+/// (`#[enclose]` roots), not to whatever view entry sorts first. The
+/// outer enclosure marks only `lib` yet its view also grants `anchor`
+/// — which sorts before `lib` and used to win the label.
+#[test]
+fn spans_are_labeled_by_marked_packages() {
+    let app = nested_workload(Backend::Mpk);
+    let labels: std::collections::BTreeMap<String, String> = app
+        .lb
+        .telemetry()
+        .attribution()
+        .keys()
+        .map(|scope| (scope.enclosure.clone(), scope.package.clone()))
+        .collect();
+    assert_eq!(labels["outer"], "lib");
+    assert_eq!(labels["inner"], "anchor");
+}
+
 /// The Baseline backend drives no protection hardware at all.
 #[test]
 fn baseline_runs_record_no_hardware_events() {
