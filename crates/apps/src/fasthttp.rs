@@ -11,11 +11,13 @@
 //! environments every hop.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use enclosure_gofront::{sched::Recv, GoProgram, GoRuntime, GoSource, GoValue, Step};
 use enclosure_hw::Clock;
 use enclosure_kernel::net::SockAddr;
+use enclosure_telemetry::Histogram;
 use litterbox::{Backend, Fault, SysError};
 
 use crate::chaos::{render_unavailable, retry_transient, ChaosTally};
@@ -49,6 +51,7 @@ impl Default for FastHttpConfig {
 #[derive(Debug)]
 pub struct FastHttpApp {
     rt: GoRuntime,
+    latency: Rc<RefCell<Histogram>>,
 }
 
 enum ServerState {
@@ -93,7 +96,10 @@ impl FastHttpApp {
                 .enclosure("server_enc", "fasthttp.Serve", "net io time sync"),
         );
         let rt = program.build(backend)?;
-        Ok(FastHttpApp { rt })
+        Ok(FastHttpApp {
+            rt,
+            latency: Rc::default(),
+        })
     }
 
     /// The runtime.
@@ -105,6 +111,14 @@ impl FastHttpApp {
     /// Mutable runtime access.
     pub fn runtime_mut(&mut self) -> &mut GoRuntime {
         &mut self.rt
+    }
+
+    /// Per-request latency distribution: simulated ns from the server's
+    /// `accept` to the reply (or 503) leaving on that connection,
+    /// accumulated across [`FastHttpApp::serve_requests`] calls.
+    #[must_use]
+    pub fn latency(&self) -> Histogram {
+        self.latency.borrow().clone()
     }
 
     /// Serves `n` requests through the enclosed-server / trusted-handler
@@ -130,6 +144,10 @@ impl FastHttpApp {
         let mut replied = 0u64;
         let mut degraded = 0u64;
         let srv_tally = Rc::clone(&tally);
+        // Accept timestamp per live connection; closed out into the
+        // latency histogram when the reply (or 503) leaves.
+        let mut accept_ns: HashMap<u32, u64> = HashMap::new();
+        let latency = Rc::clone(&self.latency);
         self.rt
             .spawn_enclosed("fasthttp-server", "server_enc", move |ctx| {
                 if let ServerState::Setup = state {
@@ -157,6 +175,7 @@ impl FastHttpApp {
                 if accepted < n {
                     match retry_transient(&srv_tally, || ctx.lb_mut().sys_accept(listen)) {
                         Ok(conn) => {
+                            accept_ns.insert(conn, ctx.lb().now_ns());
                             let head = (|| -> Result<Vec<u8>, SysError> {
                                 retry_transient(&srv_tally, || ctx.lb_mut().sys_clock_gettime())?;
                                 let head = retry_transient(&srv_tally, || {
@@ -192,6 +211,9 @@ impl FastHttpApp {
                                     srv_tally.borrow_mut().degraded += 1;
                                     accepted += 1;
                                     degraded += 1;
+                                    if let Some(t0) = accept_ns.remove(&conn) {
+                                        latency.borrow_mut().record(ctx.lb().now_ns() - t0);
+                                    }
                                 }
                                 Err(e) => return Err(io_fault(e)),
                             }
@@ -229,6 +251,9 @@ impl FastHttpApp {
                                 srv_tally.borrow_mut().degraded += 1;
                             }
                             Err(e) => return Err(io_fault(e)),
+                        }
+                        if let Some(t0) = accept_ns.remove(&conn) {
+                            latency.borrow_mut().record(ctx.lb().now_ns() - t0);
                         }
                         replied += 1;
                     }

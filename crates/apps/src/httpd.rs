@@ -13,6 +13,7 @@
 use enclosure_gofront::{GoProgram, GoRuntime, GoSource, GoValue};
 use enclosure_hw::Clock;
 use enclosure_kernel::net::SockAddr;
+use enclosure_telemetry::Histogram;
 use litterbox::{Backend, Fault, SysError};
 
 use crate::chaos::ChaosTally;
@@ -90,6 +91,7 @@ impl ServeStats {
 pub struct HttpApp {
     rt: GoRuntime,
     listen_fd: u32,
+    latency: Histogram,
 }
 
 impl HttpApp {
@@ -192,7 +194,11 @@ impl HttpApp {
             .sys_listen(listen_fd)
             .map_err(|e| Fault::Init(e.to_string()))?;
 
-        Ok(HttpApp { rt, listen_fd })
+        Ok(HttpApp {
+            rt,
+            listen_fd,
+            latency: Histogram::new(),
+        })
     }
 
     /// The runtime.
@@ -204,6 +210,14 @@ impl HttpApp {
     /// Mutable runtime access.
     pub fn runtime_mut(&mut self) -> &mut GoRuntime {
         &mut self.rt
+    }
+
+    /// Per-request latency distribution (simulated ns of measured
+    /// server work per request), accumulated across
+    /// [`HttpApp::serve_requests`] calls.
+    #[must_use]
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
     }
 
     /// Drives `n` requests through the server: client traffic is issued
@@ -236,6 +250,7 @@ impl HttpApp {
                 fd
             };
             // Server: measured.
+            let req_t0 = self.rt.lb().now_ns();
             let ok = self
                 .rt
                 .call("nethttp.ServeOne", GoValue::Int(u64::from(self.listen_fd)))?
@@ -243,6 +258,7 @@ impl HttpApp {
             if !ok {
                 return Err(Fault::Init("server saw no pending connection".into()));
             }
+            self.latency.record(self.rt.lb().now_ns() - req_t0);
             served += 1;
             // Client: drain the response (unmeasured).
             let (kernel, _) = self.rt.lb_mut().kernel_and_clock();

@@ -22,7 +22,7 @@ use std::rc::Rc;
 use enclosure_gofront::{sched::Recv, GoProgram, GoRuntime, GoSource, GoValue, Step};
 use enclosure_hw::Clock;
 use enclosure_kernel::net::SockAddr;
-use enclosure_telemetry::Event;
+use enclosure_telemetry::{Event, Histogram};
 use litterbox::{Backend, Fault, SysError};
 
 use crate::chaos::{render_unavailable, retry_transient, ChaosTally};
@@ -55,6 +55,7 @@ pub struct WikiApp {
     rt: GoRuntime,
     /// The simulated Postgres page store, for assertions.
     pub db: Rc<RefCell<HashMap<String, String>>>,
+    latency: Rc<RefCell<Histogram>>,
 }
 
 impl std::fmt::Debug for WikiApp {
@@ -106,7 +107,11 @@ impl WikiApp {
             &mut rt.lb_mut().kernel_mut().net,
             &[("Home", "welcome to the wiki"), ("About", "a tiny wiki")],
         );
-        Ok(WikiApp { rt, db })
+        Ok(WikiApp {
+            rt,
+            db,
+            latency: Rc::default(),
+        })
     }
 
     /// The runtime.
@@ -118,6 +123,14 @@ impl WikiApp {
     /// Mutable runtime access.
     pub fn runtime_mut(&mut self) -> &mut GoRuntime {
         &mut self.rt
+    }
+
+    /// Per-request latency distribution: simulated ns from the server's
+    /// `accept` to the reply (or 503) leaving on that connection,
+    /// accumulated across [`WikiApp::serve_requests`] calls.
+    #[must_use]
+    pub fn latency(&self) -> Histogram {
+        self.latency.borrow().clone()
     }
 
     /// Serves `n` requests alternating `GET /view/Home` and
@@ -143,6 +156,10 @@ impl WikiApp {
         let mut replied = 0u64;
         let mut degraded = 0u64;
         let srv_tally = Rc::clone(&tally);
+        // Accept timestamp per live connection; closed out into the
+        // latency histogram when the reply (or 503) leaves.
+        let mut accept_ns: HashMap<u32, u64> = HashMap::new();
+        let latency = Rc::clone(&self.latency);
         self.rt
             .spawn_enclosed("wiki-server", "server_enc", move |ctx| {
                 let listen_fd = match listen {
@@ -168,6 +185,7 @@ impl WikiApp {
                 if accepted < n {
                     match retry_transient(&srv_tally, || ctx.lb_mut().sys_accept(listen_fd)) {
                         Ok(conn) => {
+                            accept_ns.insert(conn, ctx.lb().now_ns());
                             match retry_transient(&srv_tally, || ctx.lb_mut().sys_recv(conn, 8192))
                             {
                                 Ok(raw) => {
@@ -201,6 +219,9 @@ impl WikiApp {
                                     srv_tally.borrow_mut().degraded += 1;
                                     accepted += 1;
                                     degraded += 1;
+                                    if let Some(t0) = accept_ns.remove(&conn) {
+                                        latency.borrow_mut().record(ctx.lb().now_ns() - t0);
+                                    }
                                 }
                                 Err(e) => return Err(io_fault(e)),
                             }
@@ -236,6 +257,9 @@ impl WikiApp {
                                 }
                             }
                             Err(e) => return Err(io_fault(e)),
+                        }
+                        if let Some(t0) = accept_ns.remove(&conn) {
+                            latency.borrow_mut().record(ctx.lb().now_ns() - t0);
                         }
                         replied += 1;
                     }

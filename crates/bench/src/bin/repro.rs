@@ -3,16 +3,17 @@
 //!
 //! ```text
 //! repro table1 [--json]      Table 1 microbenchmarks
-//! repro table2 [--quick] [--json]  Table 2 macrobenchmarks
+//! repro table2 [--quick] [--json] [--profile]  Table 2 macrobenchmarks
 //! repro table2-info          Table 2 information columns
 //! repro figure4              Figure 4 ELF layout dump
-//! repro wiki [--quick]       Figure 5 / §6.3 usability study
+//! repro wiki [--quick] [--profile]  Figure 5 / §6.3 usability study
 //! repro python [--quick]     §6.4 Python experiments
 //! repro attribution [--quick] [--json]  §6.4 telemetry cost breakdown
 //! repro security             §6.5 recreated attacks
 //! repro filter-dump          compiled seccomp-BPF for the Figure 1 program
 //! repro ablations            design-choice studies
-//! repro chaos [--quick] [--seed=S]  fault-injection soak (containment)
+//! repro chaos [--quick] [--json] [--seed=S]  fault-injection soak
+//! repro trace-export [--format=chrome|folded] [--quick]  span-tree export
 //! repro all [--quick]        everything above
 //! ```
 //!
@@ -24,12 +25,22 @@
 //!
 //! `--seed=S` (decimal or `0x` hex) seeds the chaos soak's injection
 //! plan; two runs with the same seed produce byte-identical reports.
+//!
+//! `--profile` adds per-request latency percentiles (p50/p90/p99/p99.9)
+//! and per-operation cost distributions to the serving workloads; all
+//! values are simulated ns, so two runs are byte-identical.
+//!
+//! `repro trace-export` serves the wiki workload with the span log
+//! armed and prints the span tree as Chrome trace-event JSON (load in
+//! Perfetto / `chrome://tracing`; one track per goroutine) or as
+//! folded-stack lines for `flamegraph.pl`.
 
 use std::process::ExitCode;
 
 use enclosure_apps::plotlib::{self, PlotConfig};
 use enclosure_bench::chaos_exp::{self, ChaosConfig};
 use enclosure_bench::macrobench::{self, MacroScale};
+use enclosure_bench::trace_export::{self, TraceFormat};
 use enclosure_bench::{ablation, micro, python_exp, report, security_exp, wiki_exp};
 use enclosure_gofront::{GoProgram, GoSource};
 use enclosure_pyfront::{Interpreter, MetadataMode};
@@ -40,6 +51,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let profile = args.iter().any(|a| a == "--profile");
+    let format = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--format=").map(TraceFormat::parse))
+        .unwrap_or(Some(TraceFormat::Chrome));
+    let Some(format) = format else {
+        eprintln!("--format wants 'chrome' or 'folded'");
+        return ExitCode::FAILURE;
+    };
     let trace = args.iter().find_map(|a| {
         if a == "--trace" {
             Some(32)
@@ -62,29 +82,30 @@ fn main() -> ExitCode {
         .unwrap_or("all");
     let result = match command {
         "table1" => table1(json),
-        "table2" => table2(quick, json, trace),
+        "table2" => table2(quick, json, profile, trace),
         "table2-info" => {
             print!("{}", report::render_table2_info());
             Ok(())
         }
         "figure4" => figure4(),
-        "wiki" => wiki(quick, trace),
+        "wiki" => wiki(quick, profile, trace),
         "python" => python(quick, trace),
         "attribution" => attribution(quick, json, trace),
         "security" => security(trace),
         "filter-dump" => filter_dump(),
         "ablations" => ablations(),
-        "chaos" => chaos(quick, seed),
+        "chaos" => chaos(quick, json, seed),
+        "trace-export" => trace_export_cmd(quick, format),
         "all" => table1(json)
-            .and_then(|()| table2(quick, json, trace))
+            .and_then(|()| table2(quick, json, profile, trace))
             .map(|()| print!("\n{}", report::render_table2_info()))
             .and_then(|()| figure4())
-            .and_then(|()| wiki(quick, trace))
+            .and_then(|()| wiki(quick, profile, trace))
             .and_then(|()| python(quick, trace))
             .and_then(|()| attribution(quick, json, trace))
             .and_then(|()| security(trace))
             .and_then(|()| ablations())
-            .and_then(|()| chaos(quick, seed)),
+            .and_then(|()| chaos(quick, json, seed)),
         other => {
             eprintln!("unknown command '{other}'; see the crate docs");
             return ExitCode::FAILURE;
@@ -129,16 +150,37 @@ fn table1(json: bool) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn table2(quick: bool, json: bool, trace: Option<usize>) -> Result<(), AnyError> {
+fn goroutines_json(profiled: &macrobench::ProfiledRow) -> Json {
+    Json::arr(profiled.profiles.iter().map(|p| {
+        Json::obj([
+            ("backend", Json::from(p.backend.to_string())),
+            (
+                "tracks",
+                Json::arr(p.goroutines.iter().map(|t| {
+                    Json::obj([
+                        ("track", Json::from(t.track)),
+                        ("name", Json::from(t.name.clone())),
+                        ("env", Json::from(t.env)),
+                        ("ns", Json::from(t.ns)),
+                    ])
+                })),
+            ),
+        ])
+    }))
+}
+
+fn table2(quick: bool, json: bool, profile: bool, trace: Option<usize>) -> Result<(), AnyError> {
     let scale = if quick {
         MacroScale::quick()
     } else {
         MacroScale::default()
     };
-    let rows = macrobench::table2_traced(scale, trace)?;
+    let profiled = macrobench::table2_profiled(scale, trace)?;
+    let rows: Vec<_> = profiled.iter().map(|p| p.row).collect();
     if json {
-        let value = Json::arr(rows.iter().map(|r| {
-            Json::obj([
+        let value = Json::arr(profiled.iter().map(|p| {
+            let r = &p.row;
+            let mut fields = vec![
                 ("benchmark", Json::from(r.bench.name())),
                 ("unit", Json::from(r.bench.unit())),
                 ("baseline", Json::from(r.baseline.raw)),
@@ -156,12 +198,34 @@ fn table2(quick: bool, json: bool, trace: Option<usize>) -> Result<(), AnyError>
                         ("slowdown", Json::from(r.vtx.slowdown)),
                     ]),
                 ),
-            ])
+                ("goroutines", goroutines_json(p)),
+            ];
+            if profile {
+                fields.push((
+                    "latency",
+                    Json::arr(p.profiles.iter().map(|bp| {
+                        Json::obj([
+                            ("backend", Json::from(bp.backend.to_string())),
+                            ("histogram", bp.latency.to_json()),
+                        ])
+                    })),
+                ));
+            }
+            Json::obj(fields)
         }));
         println!("{}", value.to_pretty());
         return Ok(());
     }
     print!("\n{}", report::render_table2(&rows));
+    print!("\n{}", report::render_goroutine_rows(&profiled));
+    if profile {
+        for p in &profiled {
+            print!(
+                "\n{}",
+                report::render_latency_profile(p.row.bench.name(), &p.profiles)
+            );
+        }
+    }
     Ok(())
 }
 
@@ -191,10 +255,14 @@ fn figure4() -> Result<(), AnyError> {
     Ok(())
 }
 
-fn wiki(quick: bool, trace: Option<usize>) -> Result<(), AnyError> {
+fn wiki(quick: bool, profile: bool, trace: Option<usize>) -> Result<(), AnyError> {
     let requests = if quick { 20 } else { 500 };
-    let results = wiki_exp::run_traced(requests, trace)?;
+    let (results, profiles) = wiki_exp::run_profiled(requests, trace)?;
     print!("\n{}", report::render_wiki(&results));
+    if profile {
+        print!("\n{}", report::render_track_costs("wiki", &profiles));
+        print!("\n{}", report::render_latency_profile("wiki", &profiles));
+    }
     Ok(())
 }
 
@@ -329,25 +397,45 @@ fn security(trace: Option<usize>) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn chaos(quick: bool, seed: u64) -> Result<(), AnyError> {
+fn chaos(quick: bool, json: bool, seed: u64) -> Result<(), AnyError> {
     let config = if quick {
         ChaosConfig::quick(seed)
     } else {
         ChaosConfig::full(seed)
     };
     let soak = chaos_exp::run(config)?;
-    print!("\n{}", report::render_chaos(&soak));
     let violations: Vec<String> = soak
         .rows
         .iter()
         .flat_map(|row| chaos_exp::check_invariants(&soak.config, row))
         .collect();
+    if json {
+        let mut value = soak.to_json();
+        value.push(
+            "invariant_violations",
+            Json::arr(violations.iter().map(|v| Json::from(v.clone()))),
+        );
+        println!("{}", value.to_pretty());
+    } else {
+        print!("\n{}", report::render_chaos(&soak));
+    }
     if violations.is_empty() {
-        println!("invariants: OK (all requests answered, ledgers balanced)");
+        if !json {
+            println!("invariants: OK (all requests answered, ledgers balanced)");
+        }
         Ok(())
     } else {
         Err(format!("chaos invariants violated:\n  {}", violations.join("\n  ")).into())
     }
+}
+
+fn trace_export_cmd(quick: bool, format: TraceFormat) -> Result<(), AnyError> {
+    // The span log grows with the workload, so the export always runs
+    // at a bounded request count; `--quick` shrinks it further.
+    let requests = if quick { 20 } else { 100 };
+    let text = trace_export::export_wiki(Backend::Mpk, requests, format)?;
+    println!("{text}");
+    Ok(())
 }
 
 fn ablations() -> Result<(), AnyError> {

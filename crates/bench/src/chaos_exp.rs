@@ -14,6 +14,7 @@
 
 use enclosure_apps::wiki::WikiApp;
 use enclosure_hw::{InjectionPlan, InjectionSite};
+use enclosure_support::Json;
 use litterbox::{Backend, Fault};
 
 /// Parameters for one chaos soak.
@@ -109,6 +110,49 @@ pub struct ChaosReport {
     pub config: ChaosConfig,
     /// One row per backend, in [`crate::BACKENDS`] order.
     pub rows: Vec<ChaosRow>,
+}
+
+impl ChaosReport {
+    /// Serializes the report for `repro chaos --json`: the seed and
+    /// scale, then one object per backend with the degradation outcome
+    /// and both sides of every cross-layer ledger. Like the text
+    /// rendering, the output is a pure function of the seed.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "config",
+                Json::obj([
+                    ("seed", Json::from(self.config.seed)),
+                    ("rate_ppm", Json::from(self.config.rate_ppm)),
+                    ("requests", Json::from(self.config.requests)),
+                ]),
+            ),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|row| {
+                    Json::obj([
+                        ("backend", Json::from(row.backend.to_string())),
+                        ("served", Json::from(row.served)),
+                        ("degraded", Json::from(row.degraded)),
+                        ("retried", Json::from(row.retried)),
+                        ("quarantined", Json::from(row.quarantined)),
+                        ("injected_faults", Json::from(row.injected_faults)),
+                        ("breaker_trips", Json::from(row.breaker_trips)),
+                        ("prologs", Json::from(row.prologs)),
+                        ("epilogs", Json::from(row.epilogs)),
+                        ("recorder_wrpkru", Json::from(row.recorder_wrpkru)),
+                        ("hw_wrpkru", Json::from(row.hw_wrpkru)),
+                        ("recorder_cr3", Json::from(row.recorder_cr3)),
+                        ("hw_guest_syscalls", Json::from(row.hw_guest_syscalls)),
+                        ("recorder_vm_exits", Json::from(row.recorder_vm_exits)),
+                        ("hw_vm_exits", Json::from(row.hw_vm_exits)),
+                        ("sim_ns", Json::from(row.ns)),
+                    ])
+                })),
+            ),
+        ])
+    }
 }
 
 /// Runs the soak on every backend with per-backend failure sites.

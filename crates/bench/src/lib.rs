@@ -14,6 +14,8 @@
 //! * [`ablation`] — design-choice studies (meta-package clustering,
 //!   default-policy annotation burden, enclosure scoping vs
 //!   switch-per-call, VT-x switch mechanism);
+//! * [`trace_export`] — Chrome trace-event / folded-stack export of the
+//!   span tree recorded while serving the wiki workload;
 //! * [`report`] — table rendering shared by the `repro` binary.
 //!
 //! Every number is *simulated time* from the calibrated cost model; the
@@ -31,6 +33,7 @@ pub mod python_exp;
 pub mod report;
 pub mod security_exp;
 pub mod trace;
+pub mod trace_export;
 pub mod wiki_exp;
 
 pub use litterbox::Backend;

@@ -4,6 +4,7 @@
 use enclosure_apps::bild::{BildApp, BildConfig};
 use enclosure_apps::fasthttp::{FastHttpApp, FastHttpConfig};
 use enclosure_apps::httpd::{HttpApp, HttpConfig};
+use enclosure_telemetry::{Histogram, TrackCost};
 use litterbox::{Backend, Fault};
 
 /// Which Table 2 benchmark to run.
@@ -106,20 +107,62 @@ impl MacroScale {
     }
 }
 
+/// One backend's profile for a serving workload: the request-latency
+/// histogram, the per-goroutine time attribution, and the per-operation
+/// cost histograms gathered by the clock (switch prolog/epilog,
+/// `pkey_mprotect` sweeps, key binds/evictions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendProfile {
+    /// The backend measured.
+    pub backend: Backend,
+    /// Per-request latency in simulated ns (empty for bild, which runs
+    /// one inversion rather than serving requests).
+    pub latency: Histogram,
+    /// Simulated ns attributed per telemetry track (main + goroutines).
+    pub goroutines: Vec<TrackCost>,
+    /// Per-operation cost histograms, keyed by operation name.
+    pub ops: Vec<(&'static str, Histogram)>,
+}
+
+/// Drains a finished workload's recorder into a [`BackendProfile`].
+pub(crate) fn profile_from(
+    lb: &mut litterbox::LitterBox,
+    backend: Backend,
+    latency: Histogram,
+) -> BackendProfile {
+    let now = lb.now_ns();
+    let rec = lb.telemetry_mut();
+    rec.flush_tracks(now);
+    BackendProfile {
+        backend,
+        latency,
+        goroutines: rec.track_costs(),
+        ops: rec
+            .op_hists()
+            .iter()
+            .map(|(op, h)| (*op, h.clone()))
+            .collect(),
+    }
+}
+
 fn measure_raw(
     bench: MacroBench,
     backend: Backend,
     scale: MacroScale,
     trace: Option<usize>,
-) -> Result<f64, Fault> {
+) -> Result<(f64, BackendProfile), Fault> {
     match bench {
         MacroBench::Bild => {
             let mut app = BildApp::new(backend, scale.bild)?;
             crate::trace::arm(app.runtime_mut().lb_mut(), trace);
             app.runtime_mut().lb_mut().clock_mut().reset();
             match app.run_invert() {
-                #[allow(clippy::cast_precision_loss)]
-                Ok(run) => Ok(run.ns as f64 / 1e6), // ms
+                Ok(run) => {
+                    let profile =
+                        profile_from(app.runtime_mut().lb_mut(), backend, Histogram::new());
+                    #[allow(clippy::cast_precision_loss)]
+                    Ok((run.ns as f64 / 1e6, profile)) // ms
+                }
                 Err(fault) => {
                     crate::trace::dump(app.runtime().lb(), &format!("bild, {backend}"));
                     Err(fault)
@@ -131,7 +174,11 @@ fn measure_raw(
             crate::trace::arm(app.runtime_mut().lb_mut(), trace);
             app.runtime_mut().lb_mut().clock_mut().reset();
             match app.serve_requests(scale.requests) {
-                Ok(stats) => Ok(stats.reqs_per_sec),
+                Ok(stats) => {
+                    let latency = app.latency().clone();
+                    let profile = profile_from(app.runtime_mut().lb_mut(), backend, latency);
+                    Ok((stats.reqs_per_sec, profile))
+                }
                 Err(fault) => {
                     crate::trace::dump(app.runtime().lb(), &format!("HTTP, {backend}"));
                     Err(fault)
@@ -143,7 +190,11 @@ fn measure_raw(
             crate::trace::arm(app.runtime_mut().lb_mut(), trace);
             app.runtime_mut().lb_mut().clock_mut().reset();
             match app.serve_requests(scale.requests, FastHttpConfig::default()) {
-                Ok(stats) => Ok(stats.reqs_per_sec),
+                Ok(stats) => {
+                    let latency = app.latency();
+                    let profile = profile_from(app.runtime_mut().lb_mut(), backend, latency);
+                    Ok((stats.reqs_per_sec, profile))
+                }
                 Err(fault) => {
                     crate::trace::dump(app.runtime().lb(), &format!("FastHTTP, {backend}"));
                     Err(fault)
@@ -151,6 +202,15 @@ fn measure_raw(
             }
         }
     }
+}
+
+/// One Table 2 row plus the per-backend profiles that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfiledRow {
+    /// The rendered row.
+    pub row: MacroRow,
+    /// Backend profiles in baseline / MPK / VTX order.
+    pub profiles: Vec<BackendProfile>,
 }
 
 /// Runs one Table 2 row across all backends.
@@ -173,9 +233,23 @@ pub fn run_row_traced(
     scale: MacroScale,
     trace: Option<usize>,
 ) -> Result<MacroRow, Fault> {
-    let base = measure_raw(bench, Backend::Baseline, scale, trace)?;
-    let mpk = measure_raw(bench, Backend::Mpk, scale, trace)?;
-    let vtx = measure_raw(bench, Backend::Vtx, scale, trace)?;
+    run_row_profiled(bench, scale, trace).map(|p| p.row)
+}
+
+/// [`run_row`] keeping the latency histograms, per-goroutine track
+/// attribution, and per-operation cost histograms of every backend run.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn run_row_profiled(
+    bench: MacroBench,
+    scale: MacroScale,
+    trace: Option<usize>,
+) -> Result<ProfiledRow, Fault> {
+    let (base, base_prof) = measure_raw(bench, Backend::Baseline, scale, trace)?;
+    let (mpk, mpk_prof) = measure_raw(bench, Backend::Mpk, scale, trace)?;
+    let (vtx, vtx_prof) = measure_raw(bench, Backend::Vtx, scale, trace)?;
     // For latency (bild), slowdown = time/time_base; for throughput,
     // slowdown = rate_base/rate.
     let slowdown = |v: f64| -> f64 {
@@ -184,20 +258,23 @@ pub fn run_row_traced(
             _ => base / v,
         }
     };
-    Ok(MacroRow {
-        bench,
-        baseline: MacroCell {
-            raw: base,
-            slowdown: 1.0,
+    Ok(ProfiledRow {
+        row: MacroRow {
+            bench,
+            baseline: MacroCell {
+                raw: base,
+                slowdown: 1.0,
+            },
+            mpk: MacroCell {
+                raw: mpk,
+                slowdown: slowdown(mpk),
+            },
+            vtx: MacroCell {
+                raw: vtx,
+                slowdown: slowdown(vtx),
+            },
         },
-        mpk: MacroCell {
-            raw: mpk,
-            slowdown: slowdown(mpk),
-        },
-        vtx: MacroCell {
-            raw: vtx,
-            slowdown: slowdown(vtx),
-        },
+        profiles: vec![base_prof, mpk_prof, vtx_prof],
     })
 }
 
@@ -219,6 +296,18 @@ pub fn table2_traced(scale: MacroScale, trace: Option<usize>) -> Result<Vec<Macr
     MacroBench::ALL
         .into_iter()
         .map(|bench| run_row_traced(bench, scale, trace))
+        .collect()
+}
+
+/// [`table2`] keeping every backend's profile alongside the rows.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn table2_profiled(scale: MacroScale, trace: Option<usize>) -> Result<Vec<ProfiledRow>, Fault> {
+    MacroBench::ALL
+        .into_iter()
+        .map(|bench| run_row_profiled(bench, scale, trace))
         .collect()
 }
 

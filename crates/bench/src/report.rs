@@ -3,10 +3,10 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use enclosure_telemetry::{SpanCost, SpanScope};
+use enclosure_telemetry::{Histogram, SpanCost, SpanScope, MAIN_TRACK};
 
 use crate::chaos_exp::ChaosReport;
-use crate::macrobench::{paper_values, MacroRow};
+use crate::macrobench::{paper_values, BackendProfile, MacroRow, ProfiledRow};
 use crate::micro::{paper_table1, MicroRow};
 use crate::python_exp::PythonResults;
 use crate::security_exp::SecurityResults;
@@ -64,6 +64,85 @@ pub fn render_table2(rows: &[MacroRow]) -> String {
             paper_vtx,
             fmt_raw(paper_base),
         );
+    }
+    out
+}
+
+/// Renders one benchmark's per-goroutine attribution: simulated ns per
+/// telemetry track, per backend. Tracks beyond [`MAIN_TRACK`] are the
+/// goroutines; benchmarks that never spawn one (bild) render nothing.
+#[must_use]
+pub fn render_track_costs(label: &str, profiles: &[BackendProfile]) -> String {
+    let mut out = String::new();
+    let has_goroutines = profiles
+        .iter()
+        .any(|p| p.goroutines.iter().any(|t| t.track != MAIN_TRACK));
+    if !has_goroutines {
+        return out;
+    }
+    let _ = writeln!(out, "{label}: per-goroutine attribution (simulated ns)");
+    for profile in profiles {
+        let _ = writeln!(out, "  {}:", profile.backend);
+        for t in &profile.goroutines {
+            let who = if t.track == MAIN_TRACK {
+                "main".to_owned()
+            } else {
+                format!("g{} {}", t.track - 1, t.name)
+            };
+            let _ = writeln!(out, "    {:<24} env {:>2} {:>14} ns", who, t.env, t.ns);
+        }
+    }
+    out
+}
+
+/// Renders Table 2's per-goroutine rows for every benchmark.
+#[must_use]
+pub fn render_goroutine_rows(rows: &[ProfiledRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&render_track_costs(row.row.bench.name(), &row.profiles));
+    }
+    out
+}
+
+fn quantile_cells(h: &Histogram) -> String {
+    let mut cells = String::new();
+    for (name, p) in Histogram::QUANTILES {
+        let _ = write!(cells, " {:>5} {:>10}", name, h.percentile(p));
+    }
+    cells
+}
+
+/// Renders one benchmark's `--profile` tables: the per-request latency
+/// percentiles and the per-operation cost distributions, per backend.
+/// All values are simulated ns, so the output is deterministic per seed.
+#[must_use]
+pub fn render_latency_profile(label: &str, profiles: &[BackendProfile]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}: latency profile (simulated ns)");
+    for profile in profiles {
+        let _ = writeln!(out, "  {}:", profile.backend);
+        if profile.latency.count() == 0 {
+            let _ = writeln!(out, "    (no per-request latency samples)");
+        } else {
+            let _ = writeln!(
+                out,
+                "    requests {:>8}  mean {:>10}  max {:>10}",
+                profile.latency.count(),
+                profile.latency.mean(),
+                profile.latency.max(),
+            );
+            let _ = writeln!(out, "    {}", quantile_cells(&profile.latency).trim_start());
+        }
+        for (op, hist) in &profile.ops {
+            let _ = writeln!(
+                out,
+                "    op {:<16} n {:>8}{}",
+                op,
+                hist.count(),
+                quantile_cells(hist)
+            );
+        }
     }
     out
 }

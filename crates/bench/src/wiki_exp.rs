@@ -6,6 +6,8 @@
 use enclosure_apps::wiki::WikiApp;
 use litterbox::{Backend, Fault};
 
+use crate::macrobench::BackendProfile;
+
 /// The wiki study's measurements.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WikiResults {
@@ -35,7 +37,21 @@ pub fn run(requests: u64) -> Result<WikiResults, Fault> {
 ///
 /// Workload faults.
 pub fn run_traced(requests: u64, trace: Option<usize>) -> Result<WikiResults, Fault> {
+    run_profiled(requests, trace).map(|(results, _)| results)
+}
+
+/// [`run_traced`] keeping each backend's latency histogram,
+/// per-goroutine attribution, and per-operation cost histograms.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn run_profiled(
+    requests: u64,
+    trace: Option<usize>,
+) -> Result<(WikiResults, Vec<BackendProfile>), Fault> {
     let mut rates = Vec::new();
+    let mut profiles = Vec::new();
     let mut switch_pairs = 0;
     for backend in [Backend::Baseline, Backend::Mpk, Backend::Vtx] {
         let mut app = WikiApp::new(backend)?;
@@ -49,6 +65,12 @@ pub fn run_traced(requests: u64, trace: Option<usize>) -> Result<WikiResults, Fa
             }
         };
         rates.push(stats.reqs_per_sec);
+        let latency = app.latency();
+        profiles.push(crate::macrobench::profile_from(
+            app.runtime_mut().lb_mut(),
+            backend,
+            latency,
+        ));
         if backend == Backend::Mpk {
             // Execute-based context switches, not prolog/epilog pairs:
             // count PKRU writes as the proxy.
@@ -56,12 +78,13 @@ pub fn run_traced(requests: u64, trace: Option<usize>) -> Result<WikiResults, Fa
         }
     }
     #[allow(clippy::cast_precision_loss)]
-    Ok(WikiResults {
+    let results = WikiResults {
         baseline: rates[0],
         mpk: (rates[1], rates[0] / rates[1]),
         vtx: (rates[2], rates[0] / rates[2]),
         switches_per_request: switch_pairs as f64 / requests as f64,
-    })
+    };
+    Ok((results, profiles))
 }
 
 #[cfg(test)]

@@ -20,6 +20,12 @@ use crate::value::GoValue;
 /// Simulated cost of visiting one live object during GC mark.
 const GC_NS_PER_OBJECT: u64 = 30;
 
+/// Package label for scheduler-quantum telemetry spans: each quantum is
+/// a span named after its goroutine, scoped to this pseudo-package so
+/// attribution reports can tell scheduler residence apart from
+/// enclosure calls.
+pub const GO_SCHED_PKG: &str = "go.sched";
+
 /// Registered function bodies are `Fn`, not `FnMut`: like real Go
 /// functions they must be reentrant (recursion, nested enclosure calls).
 /// Per-call state belongs on the stack (`GoCtx::stack_alloc`) or in
@@ -280,6 +286,12 @@ impl GoRuntime {
     /// with injection suspended) rather than aborting the whole
     /// scheduler.
     ///
+    /// Every quantum is attributed to its goroutine's telemetry track
+    /// (see [`GoroutineId::track`]) and bracketed in a `go.sched` span,
+    /// so simulated nanoseconds split per goroutine and per environment
+    /// across preemption and `Execute` handoffs; the reschedule switch
+    /// itself is charged to the goroutine being scheduled in.
+    ///
     /// # Errors
     ///
     /// The first [`Fault`] any goroutine raises, or a deadlock fault when
@@ -291,6 +303,18 @@ impl GoRuntime {
             let mut g = self.sched.goroutines[gid]
                 .take()
                 .expect("queued goroutine exists");
+            {
+                let scope = enclosure_telemetry::SpanScope::new(
+                    g.name.clone(),
+                    GO_SCHED_PKG,
+                    g.ctx.env().0,
+                );
+                let clock = self.lb.clock_mut();
+                let now = clock.now_ns();
+                let rec = clock.recorder_mut();
+                rec.switch_track(now, GoroutineId(gid).track(), &g.name);
+                rec.begin_span(now, scope);
+            }
             if g.ctx.env() != self.lb.current_env() {
                 self.lb
                     .clock_mut()
@@ -298,7 +322,11 @@ impl GoRuntime {
                         goroutine: gid as u64,
                         to_env: g.ctx.env().0,
                     });
-                let _ = self.execute_contained(g.ctx.clone(), cs)?;
+                if let Err(fault) = self.execute_contained(g.ctx.clone(), cs) {
+                    self.end_quantum_span();
+                    self.switch_to_main_track();
+                    return Err(fault);
+                }
             }
             self.sched.progress = false;
             let before_ns = self.lb.now_ns();
@@ -306,12 +334,15 @@ impl GoRuntime {
                 let mut ctx = GoCtx { rt: self };
                 (g.f)(&mut ctx)
             };
+            self.end_quantum_span();
             let step = match step {
                 Ok(step) => step,
                 Err(fault) => {
                     // Abort: restore the trusted context, then surface the
                     // fault trace.
-                    let _ = self.execute_contained(EnvContext::trusted(), cs)?;
+                    let restore = self.execute_contained(EnvContext::trusted(), cs);
+                    self.switch_to_main_track();
+                    restore?;
                     return Err(fault);
                 }
             };
@@ -328,7 +359,9 @@ impl GoRuntime {
                     } else {
                         idle_quanta += 1;
                         if idle_quanta > 2 * self.sched.pending() + 4 {
-                            let _ = self.execute_contained(EnvContext::trusted(), cs)?;
+                            let restore = self.execute_contained(EnvContext::trusted(), cs);
+                            self.switch_to_main_track();
+                            restore?;
                             return Err(Fault::Init(format!(
                                 "scheduler deadlock: {} goroutines blocked without progress",
                                 self.sched.pending()
@@ -341,7 +374,25 @@ impl GoRuntime {
         if self.lb.current_env() != TRUSTED_ENV {
             let _ = self.execute_contained(EnvContext::trusted(), cs)?;
         }
+        self.switch_to_main_track();
         Ok(())
+    }
+
+    /// Closes the telemetry span bracketing the current quantum.
+    fn end_quantum_span(&mut self) {
+        let clock = self.lb.clock_mut();
+        let now = clock.now_ns();
+        clock.recorder_mut().end_span(now);
+    }
+
+    /// Returns telemetry attribution to the main/harness track (between
+    /// scheduler runs, simulated time belongs to the driver).
+    fn switch_to_main_track(&mut self) {
+        let clock = self.lb.clock_mut();
+        let now = clock.now_ns();
+        clock
+            .recorder_mut()
+            .switch_track(now, enclosure_telemetry::MAIN_TRACK, "main");
     }
 
     /// Runs a stop-the-world GC cycle in the trusted environment

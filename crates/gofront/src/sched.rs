@@ -25,6 +25,16 @@ pub struct ChanId(pub(crate) usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GoroutineId(pub(crate) usize);
 
+impl GoroutineId {
+    /// The telemetry track this goroutine's quanta are attributed to.
+    /// Track `0` ([`enclosure_telemetry::MAIN_TRACK`]) belongs to the
+    /// main/harness thread, so goroutine `n` reports on track `n + 1`.
+    #[must_use]
+    pub fn track(self) -> u64 {
+        self.0 as u64 + 1
+    }
+}
+
 /// What a goroutine quantum reports back to the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step {

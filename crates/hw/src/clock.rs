@@ -233,8 +233,10 @@ impl Clock {
     /// per 4 pages).
     pub fn charge_pkey_mprotect_pages(&mut self, pages: u64) {
         let units = pages.div_ceil(4).max(1);
-        self.now_ns += self.model.pkey_mprotect * units;
+        let ns = self.model.pkey_mprotect * units;
+        self.now_ns += ns;
         self.stats.transfers += 1;
+        self.recorder.record_op("pkey_mprotect", ns);
         self.record(Event::PkeyMprotect { pages });
     }
 
@@ -245,8 +247,10 @@ impl Clock {
     /// traffic, not a `Transfer`, so it bumps `key_binds` instead.
     pub fn charge_key_bind_pages(&mut self, vkey: u32, hkey: u8, pages: u64) {
         let units = pages.div_ceil(4).max(1);
-        self.now_ns += self.model.pkey_mprotect * units;
+        let ns = self.model.pkey_mprotect * units;
+        self.now_ns += ns;
         self.stats.key_binds += 1;
+        self.recorder.record_op("key_bind", ns);
         self.record(Event::KeyBind { vkey, hkey, pages });
     }
 
@@ -259,6 +263,7 @@ impl Clock {
         let ns = self.model.pkey_mprotect * units;
         self.now_ns += ns;
         self.stats.key_evictions += 1;
+        self.recorder.record_op("key_evict", ns);
         self.record(Event::KeyEvict {
             vkey,
             hkey,
@@ -356,6 +361,19 @@ mod tests {
         c.arm_injection(InjectionPlan::new(5, crate::inject::PPM));
         c.reset();
         assert!(c.injection().is_some());
+    }
+
+    #[test]
+    fn page_charges_feed_op_histograms() {
+        let mut c = Clock::new(CostModel::paper());
+        c.charge_pkey_mprotect_pages(8); // 2 units
+        c.charge_key_evict_pages(3, 1, 4); // 1 unit
+        c.charge_key_bind_pages(4, 1, 4); // 1 unit
+        let ops = c.recorder().op_hists();
+        assert_eq!(ops["pkey_mprotect"].count(), 1);
+        assert_eq!(ops["pkey_mprotect"].sum(), 2 * c.model().pkey_mprotect);
+        assert_eq!(ops["key_evict"].sum(), c.model().pkey_mprotect);
+        assert_eq!(ops["key_bind"].sum(), c.model().pkey_mprotect);
     }
 
     #[test]

@@ -274,11 +274,19 @@ impl LitterBox {
         fault
     }
 
-    /// Keeps the recorder's in-enclosure flag in sync with `current`
-    /// after every environment change.
+    /// Keeps the recorder's in-enclosure flag and environment slice in
+    /// sync with `current` after every environment change. The
+    /// `note_env` call closes the recorder's open (track, env)
+    /// attribution slice exactly at the switch, so per-goroutine rows
+    /// split time by environment across `Execute` handoffs too.
     fn sync_enclosed_flag(&mut self) {
         let enclosed = self.current != TRUSTED_ENV;
-        self.cpu.clock_mut().recorder_mut().set_enclosed(enclosed);
+        let env = self.current.0;
+        let clock = self.cpu.clock_mut();
+        let now = clock.now_ns();
+        let rec = clock.recorder_mut();
+        rec.set_enclosed(enclosed);
+        rec.note_env(now, env);
     }
 
     /// Current simulated time.
@@ -1028,6 +1036,7 @@ impl LitterBox {
         if !self.enclosures.contains_key(&enclosure) {
             return Err(self.trace_fault(Fault::UnknownEnclosure(enclosure)));
         }
+        let switch_started_ns = self.cpu.clock().now_ns();
         self.cpu.clock_mut().charge_callsite_check();
         if !self.verif.contains(&callsite) {
             return Err(self.trace_fault(Fault::UnverifiedCallsite { addr: callsite }));
@@ -1043,6 +1052,13 @@ impl LitterBox {
         self.current = target;
         self.sync_enclosed_flag();
         self.enter_span(enclosure);
+        // The entry half of the switch: callsite check + hardware
+        // writes + any demand-bind sweep the switch triggered. Feeding
+        // the measured delta (not a constant) keeps eviction tails
+        // visible in the distribution.
+        let clock = self.cpu.clock_mut();
+        let delta = clock.now_ns().saturating_sub(switch_started_ns);
+        clock.recorder_mut().record_op("switch_prolog", delta);
         Ok(SwitchToken {
             enclosure,
             prev,
@@ -1105,6 +1121,7 @@ impl LitterBox {
                 actual: self.current,
             }));
         }
+        let switch_started_ns = self.cpu.clock().now_ns();
         if self.backend != Backend::Baseline {
             if let Err(e) = self.switch_hw(token.prev) {
                 // The hardware write back to `prev` failed (e.g. an
@@ -1121,6 +1138,11 @@ impl LitterBox {
         self.cpu.clock_mut().note_switch_pair();
         let clock = self.cpu.clock_mut();
         let now = clock.now_ns();
+        if self.backend != Backend::Baseline {
+            clock
+                .recorder_mut()
+                .record_op("switch_epilog", now.saturating_sub(switch_started_ns));
+        }
         clock.recorder_mut().end_span(now);
         clock.record(Event::Epilog {
             enclosure: token.enclosure.0,

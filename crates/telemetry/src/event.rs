@@ -176,6 +176,19 @@ pub enum Event {
         enclosure: u32,
     },
 
+    // --- Telemetry self-reports ------------------------------------------
+    /// The recorder truncated its own span stack instead of panicking:
+    /// either an `end_span` arrived with no span open, or a `reset`
+    /// found spans still open (e.g. mid-enclosure). Observability
+    /// hardening, not a program fault.
+    SpanImbalance {
+        /// Where the imbalance was detected: `"end_without_begin"` or
+        /// `"reset_with_open_spans"`.
+        at: &'static str,
+        /// Open spans dropped (`0` for an unmatched end).
+        dropped: u64,
+    },
+
     // --- pyfront ---------------------------------------------------------
     /// A metadata trusted round trip (co-located refcount/GC word
     /// touch; §6.4's dominant cost). One event covers the entry+exit
@@ -267,6 +280,9 @@ impl fmt::Display for Event {
             }
             Event::BreakerFastFail { enclosure } => {
                 write!(f, "breaker_fast_fail enclosure={enclosure}")
+            }
+            Event::SpanImbalance { at, dropped } => {
+                write!(f, "span_imbalance at={at} dropped={dropped}")
             }
             Event::MetadataSwitch => write!(f, "metadata_switch"),
             Event::IncrementalInit { module } => write!(f, "incremental_init module={module}"),

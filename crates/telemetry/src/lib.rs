@@ -16,16 +16,33 @@
 //!   source of truth for every report.
 //! * [`Event`] — the typed event stream; buffered only when tracing is
 //!   enabled ([`Recorder::enable_trace`]) in a bounded ring.
-//! * span stack — [`Recorder::begin_span`]/[`Recorder::end_span`]
+//! * span tree — [`Recorder::begin_span`]/[`Recorder::end_span`]
 //!   bracket enclosure entry/exit and attribute simulated nanoseconds
 //!   to a [`SpanScope`], splitting self-time from nested-enclosure
-//!   time.
+//!   time. Every span carries a [`SpanId`] and a parent link; with the
+//!   opt-in span log ([`Recorder::enable_span_log`]) the recorder
+//!   keeps the whole well-nested tree ([`SpanNode`]) for export.
+//! * tracks — [`Recorder::switch_track`]/[`Recorder::note_env`] slice
+//!   simulated time per (goroutine track, environment) pair across
+//!   scheduler preemption and `Execute` handoffs ([`TrackCost`]).
+//! * histograms — [`Histogram`] is a log-bucketed HDR-style sketch;
+//!   [`Recorder::record_op`] keeps per-operation cost distributions
+//!   (switches, `pkey_mprotect` sweeps, key evictions).
+//! * exporters — [`chrome_trace`] (Perfetto / `chrome://tracing`
+//!   JSON, one track per goroutine) and [`folded_stacks`] (flamegraph
+//!   text) serialize the span tree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod event;
+mod export;
+mod hist;
 mod recorder;
 
 pub use event::Event;
-pub use recorder::{Counters, Recorder, SpanCost, SpanScope, TracedEvent};
+pub use export::{chrome_trace, folded_stacks};
+pub use hist::Histogram;
+pub use recorder::{
+    Counters, Recorder, SpanCost, SpanId, SpanNode, SpanScope, TracedEvent, TrackCost, MAIN_TRACK,
+};

@@ -6,6 +6,7 @@ use std::collections::{BTreeMap, VecDeque};
 use enclosure_support::Json;
 
 use crate::event::Event;
+use crate::hist::Histogram;
 
 /// Always-on monotonic counters, bumped on every [`Event`]. Each field
 /// is the number of occurrences (or accumulated quantity) since the
@@ -81,6 +82,9 @@ pub struct Counters {
     pub breaker_trips: u64,
     /// Calls fast-failed against a quarantined enclosure.
     pub breaker_fast_fails: u64,
+    /// Span-stack truncations (unbalanced `end_span`, or `reset` with
+    /// spans still open).
+    pub span_imbalances: u64,
 }
 
 impl Counters {
@@ -126,6 +130,7 @@ impl Counters {
             ("retries", Json::U64(self.retries)),
             ("breaker_trips", Json::U64(self.breaker_trips)),
             ("breaker_fast_fails", Json::U64(self.breaker_fast_fails)),
+            ("span_imbalances", Json::U64(self.span_imbalances)),
         ])
     }
 
@@ -195,6 +200,7 @@ impl Counters {
             Event::Retry { .. } => self.retries += 1,
             Event::BreakerTrip { .. } => self.breaker_trips += 1,
             Event::BreakerFastFail { .. } => self.breaker_fast_fails += 1,
+            Event::SpanImbalance { .. } => self.span_imbalances += 1,
             Event::IncrementalInit { .. } => {}
         }
     }
@@ -245,8 +251,69 @@ pub struct TracedEvent {
     pub event: Event,
 }
 
+/// Identity of one span in the span tree. Ids are allocated in
+/// `begin_span` order and never reused within a recorder epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// The track a span ran on: `0` is the main/harness track, goroutines
+/// get `GoroutineId + 1` (see `gofront::sched::GoroutineId::track`).
+pub const MAIN_TRACK: u64 = 0;
+
+/// One completed span in the span tree (recorded only while the span
+/// log is enabled; the always-on attribution map is unaffected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// This span's id.
+    pub id: SpanId,
+    /// The enclosing span, if any. Parent/child spans always share a
+    /// track: enclosure calls never straddle a scheduler quantum.
+    pub parent: Option<SpanId>,
+    /// What the span attributes to.
+    pub scope: SpanScope,
+    /// Track the span ran on ([`MAIN_TRACK`] or a goroutine track).
+    pub track: u64,
+    /// Simulated time the span opened.
+    pub start_ns: u64,
+    /// Simulated time the span closed.
+    pub end_ns: u64,
+    /// Simulated time spent in nested spans.
+    pub child_ns: u64,
+}
+
+impl SpanNode {
+    /// Wall (simulated) time from open to close.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Time attributed to the span itself (total minus nested spans).
+    #[must_use]
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns().saturating_sub(self.child_ns)
+    }
+}
+
+/// Simulated nanoseconds one (track, environment) pair accumulated;
+/// the per-goroutine attribution rows behind `repro table2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackCost {
+    /// Track id ([`MAIN_TRACK`] or `goroutine + 1`).
+    pub track: u64,
+    /// Track label (goroutine name; `"main"` for the harness track).
+    pub name: String,
+    /// Hardware environment id the time was spent in.
+    pub env: u32,
+    /// Simulated nanoseconds accumulated.
+    pub ns: u64,
+}
+
 #[derive(Debug, Clone)]
 struct Frame {
+    id: SpanId,
+    parent: Option<SpanId>,
+    track: u64,
     scope: SpanScope,
     started_ns: u64,
     child_ns: u64,
@@ -262,6 +329,21 @@ pub struct Recorder {
     spans: Vec<Frame>,
     attribution: BTreeMap<SpanScope, SpanCost>,
     enclosed: bool,
+    // Span tree (opt-in, for trace export).
+    next_span_id: u64,
+    span_log_on: bool,
+    span_log: Vec<SpanNode>,
+    // Track attribution (always on): simulated time is sliced between
+    // `switch_track`/`note_env` boundary calls and charged to the
+    // (track, env) pair that was current during the slice.
+    cur_track: u64,
+    cur_env: u32,
+    slice_start_ns: u64,
+    track_ns: BTreeMap<(u64, u32), u64>,
+    track_names: BTreeMap<u64, String>,
+    // Per-operation cost distributions (switches, pkey_mprotect
+    // sweeps, key binds/evictions, ...).
+    ops: BTreeMap<&'static str, Histogram>,
 }
 
 impl Recorder {
@@ -317,22 +399,41 @@ impl Recorder {
         &self.counters
     }
 
-    /// Opens an attribution span (enclosure entry).
-    pub fn begin_span(&mut self, now_ns: u64, scope: SpanScope) {
+    /// Opens an attribution span (enclosure entry or scheduler
+    /// quantum) and returns its id. The span's parent is whatever span
+    /// is currently innermost; its track is the current track.
+    pub fn begin_span(&mut self, now_ns: u64, scope: SpanScope) -> SpanId {
+        self.next_span_id += 1;
+        let id = SpanId(self.next_span_id);
+        let parent = self.spans.last().map(|f| f.id);
         self.spans.push(Frame {
+            id,
+            parent,
+            track: self.cur_track,
             scope,
             started_ns: now_ns,
             child_ns: 0,
         });
+        id
     }
 
     /// Closes the innermost span (enclosure exit), attributing its
     /// elapsed simulated time. Self-time excludes nested spans; nested
     /// totals roll up into the parent's child time. Returns the closed
-    /// scope, or `None` if no span was open (tolerated: faulting runs
-    /// may unwind past an epilog).
+    /// scope. An `end_span` with no span open is tolerated (faulting
+    /// runs may unwind past an epilog): it returns `None` and records a
+    /// [`Event::SpanImbalance`] instead of panicking.
     pub fn end_span(&mut self, now_ns: u64) -> Option<SpanScope> {
-        let frame = self.spans.pop()?;
+        let Some(frame) = self.spans.pop() else {
+            self.record(
+                now_ns,
+                Event::SpanImbalance {
+                    at: "end_without_begin",
+                    dropped: 0,
+                },
+            );
+            return None;
+        };
         let total = now_ns.saturating_sub(frame.started_ns);
         let cost = self.attribution.entry(frame.scope.clone()).or_default();
         cost.entries += 1;
@@ -341,7 +442,116 @@ impl Recorder {
         if let Some(parent) = self.spans.last_mut() {
             parent.child_ns += total;
         }
+        if self.span_log_on {
+            self.span_log.push(SpanNode {
+                id: frame.id,
+                parent: frame.parent,
+                scope: frame.scope.clone(),
+                track: frame.track,
+                start_ns: frame.started_ns,
+                end_ns: now_ns,
+                child_ns: frame.child_ns,
+            });
+        }
         Some(frame.scope)
+    }
+
+    /// Enables the span log: every span closed from here on is kept as
+    /// a [`SpanNode`] (with parent link and track) for trace export.
+    /// Off by default — the always-on path stays fixed-cost.
+    pub fn enable_span_log(&mut self) {
+        self.span_log_on = true;
+    }
+
+    /// The completed span tree, in close order (children precede their
+    /// parents). Empty unless [`Recorder::enable_span_log`] was called.
+    #[must_use]
+    pub fn span_log(&self) -> &[SpanNode] {
+        &self.span_log
+    }
+
+    /// Switches the active track (the scheduler calls this at every
+    /// quantum boundary), closing the current attribution slice. The
+    /// `name` labels the track the first time it is seen.
+    pub fn switch_track(&mut self, now_ns: u64, track: u64, name: &str) {
+        if track == self.cur_track {
+            return;
+        }
+        self.close_slice(now_ns);
+        self.cur_track = track;
+        if track != MAIN_TRACK {
+            self.track_names
+                .entry(track)
+                .or_insert_with(|| name.to_owned());
+        }
+    }
+
+    /// Notes an environment change (the enforcement layer calls this on
+    /// every prolog/epilog/execute/recovery), closing the current
+    /// attribution slice so time splits exactly at the switch.
+    pub fn note_env(&mut self, now_ns: u64, env: u32) {
+        if env == self.cur_env {
+            return;
+        }
+        self.close_slice(now_ns);
+        self.cur_env = env;
+    }
+
+    /// Closes the open attribution slice at `now_ns` without changing
+    /// track or environment. Call before reading
+    /// [`Recorder::track_costs`] so the tail of the run is attributed.
+    pub fn flush_tracks(&mut self, now_ns: u64) {
+        self.close_slice(now_ns);
+    }
+
+    fn close_slice(&mut self, now_ns: u64) {
+        let elapsed = now_ns.saturating_sub(self.slice_start_ns);
+        if elapsed > 0 {
+            *self
+                .track_ns
+                .entry((self.cur_track, self.cur_env))
+                .or_default() += elapsed;
+        }
+        self.slice_start_ns = now_ns;
+    }
+
+    /// Label of `track` (`"main"` for [`MAIN_TRACK`], the goroutine
+    /// name otherwise).
+    #[must_use]
+    pub fn track_name(&self, track: u64) -> &str {
+        if track == MAIN_TRACK {
+            "main"
+        } else {
+            self.track_names.get(&track).map_or("?", String::as_str)
+        }
+    }
+
+    /// Per-(track, environment) simulated time, ordered by track then
+    /// environment. Flush with [`Recorder::flush_tracks`] first if the
+    /// run just ended.
+    #[must_use]
+    pub fn track_costs(&self) -> Vec<TrackCost> {
+        self.track_ns
+            .iter()
+            .map(|(&(track, env), &ns)| TrackCost {
+                track,
+                name: self.track_name(track).to_owned(),
+                env,
+                ns,
+            })
+            .collect()
+    }
+
+    /// Records one sample of a named operation's cost distribution
+    /// (e.g. `"switch"`, `"pkey_mprotect"`, `"key_evict"`).
+    pub fn record_op(&mut self, op: &'static str, ns: u64) {
+        self.ops.entry(op).or_default().record(ns);
+    }
+
+    /// Per-operation cost histograms, ordered by operation name.
+    #[must_use]
+    pub fn op_hists(&self) -> &BTreeMap<&'static str, Histogram> {
+        &self.ops
     }
 
     /// Marks whether execution is currently inside an enclosure. The
@@ -391,14 +601,35 @@ impl Recorder {
         }))
     }
 
-    /// Clears counters, the trace ring, open spans, and attribution
-    /// (the trace capacity setting is kept).
+    /// Clears counters, the trace ring, open spans, attribution, the
+    /// span log, track slices, and op histograms (the trace capacity
+    /// and span-log settings are kept). A reset that finds spans still
+    /// open — e.g. mid-enclosure — truncates them and records a
+    /// [`Event::SpanImbalance`] into the fresh epoch instead of
+    /// panicking or silently losing the fact.
     pub fn reset(&mut self) {
+        let dropped = self.spans.len() as u64;
         self.counters = Counters::default();
         self.ring.clear();
         self.spans.clear();
         self.attribution.clear();
         self.enclosed = false;
+        self.span_log.clear();
+        self.cur_track = MAIN_TRACK;
+        self.cur_env = 0;
+        self.slice_start_ns = 0;
+        self.track_ns.clear();
+        self.track_names.clear();
+        self.ops.clear();
+        if dropped > 0 {
+            self.record(
+                0,
+                Event::SpanImbalance {
+                    at: "reset_with_open_spans",
+                    dropped,
+                },
+            );
+        }
     }
 }
 
@@ -473,9 +704,73 @@ mod tests {
     }
 
     #[test]
-    fn end_span_without_begin_is_tolerated() {
+    fn end_span_without_begin_is_tolerated_and_reported() {
         let mut rec = Recorder::new();
+        rec.enable_trace(4);
         assert!(rec.end_span(5).is_none());
+        assert_eq!(rec.counters().span_imbalances, 1);
+        let last = rec.recent_events().last().unwrap();
+        assert_eq!(
+            last.event,
+            Event::SpanImbalance {
+                at: "end_without_begin",
+                dropped: 0
+            }
+        );
+    }
+
+    #[test]
+    fn span_log_records_parent_links_and_tracks() {
+        let mut rec = Recorder::new();
+        rec.enable_span_log();
+        let outer = rec.begin_span(100, SpanScope::new("outer", "pkg.a", 1));
+        let inner = rec.begin_span(150, SpanScope::new("inner", "pkg.b", 2));
+        rec.end_span(250);
+        rec.end_span(400);
+        let log = rec.span_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].id, inner);
+        assert_eq!(log[0].parent, Some(outer));
+        assert_eq!(log[1].id, outer);
+        assert_eq!(log[1].parent, None);
+        assert_eq!(log[0].track, MAIN_TRACK);
+        assert_eq!(log[1].self_ns(), 200);
+        assert_eq!(log[0].self_ns(), 100);
+    }
+
+    #[test]
+    fn track_slices_split_time_at_boundaries() {
+        let mut rec = Recorder::new();
+        rec.switch_track(100, 1, "g1"); // main: [0, 100)
+        rec.note_env(160, 7); // g1/env0: [100, 160)
+        rec.switch_track(200, MAIN_TRACK, "main"); // g1/env7: [160, 200)
+        rec.note_env(230, 0); // main/env7: [200, 230)
+        rec.flush_tracks(250); // main/env0: [230, 250)
+        let costs = rec.track_costs();
+        let get = |track, env| {
+            costs
+                .iter()
+                .find(|c| c.track == track && c.env == env)
+                .map_or(0, |c| c.ns)
+        };
+        assert_eq!(get(0, 0), 100 + 20);
+        assert_eq!(get(1, 0), 60);
+        assert_eq!(get(1, 7), 40);
+        assert_eq!(get(0, 7), 30);
+        let total: u64 = costs.iter().map(|c| c.ns).sum();
+        assert_eq!(total, 250, "every simulated ns lands in exactly one slice");
+        assert_eq!(rec.track_name(1), "g1");
+        assert_eq!(rec.track_name(MAIN_TRACK), "main");
+    }
+
+    #[test]
+    fn op_histograms_accumulate_per_operation() {
+        let mut rec = Recorder::new();
+        rec.record_op("switch", 134);
+        rec.record_op("switch", 134);
+        rec.record_op("pkey_mprotect", 1002);
+        assert_eq!(rec.op_hists()["switch"].count(), 2);
+        assert_eq!(rec.op_hists()["pkey_mprotect"].sum(), 1002);
     }
 
     #[test]
@@ -492,11 +787,35 @@ mod tests {
         let mut rec = Recorder::new();
         rec.enable_trace(4);
         rec.record(1, Event::VmExit);
-        rec.begin_span(0, SpanScope::new("e", "p", 1));
         rec.reset();
         assert_eq!(rec.counters().vm_exits, 0);
         assert_eq!(rec.recent_events().count(), 0);
         assert_eq!(rec.span_depth(), 0);
         assert!(rec.tracing());
+    }
+
+    #[test]
+    fn reset_with_open_spans_truncates_and_reports() {
+        let mut rec = Recorder::new();
+        rec.enable_trace(4);
+        rec.begin_span(0, SpanScope::new("e", "p", 1));
+        rec.begin_span(5, SpanScope::new("f", "q", 2));
+        rec.reset();
+        assert_eq!(rec.span_depth(), 0);
+        // The truncation survives into the fresh epoch as a counter and
+        // a traced event, so a mid-enclosure reset is diagnosable.
+        assert_eq!(rec.counters().span_imbalances, 1);
+        let last = rec.recent_events().last().unwrap();
+        assert_eq!(
+            last.event,
+            Event::SpanImbalance {
+                at: "reset_with_open_spans",
+                dropped: 2
+            }
+        );
+        // A clean reset reports nothing.
+        rec.reset();
+        assert_eq!(rec.counters().span_imbalances, 0);
+        assert_eq!(rec.recent_events().count(), 0);
     }
 }

@@ -1,0 +1,117 @@
+//! Property tests for the log-bucketed latency histogram.
+//!
+//! The histogram backs per-request latency profiles and per-operation
+//! cost distributions; these properties pin the algebra the reports
+//! rely on: merging is associative and commutative (so per-backend
+//! histograms can be combined in any order), percentiles are monotone
+//! in the rank, and no sample is ever lost or double-counted crossing
+//! a bucket boundary.
+
+use enclosure_support::{props, XorShift};
+use enclosure_telemetry::Histogram;
+
+/// Draws a histogram with up to `max_samples` samples spread across
+/// the full bucket range (exact small values, mid tiers, and the
+/// saturating top tier).
+fn arb_hist(rng: &mut XorShift, max_samples: u64) -> Histogram {
+    let mut h = Histogram::new();
+    let n = rng.range_u64(0, max_samples + 1);
+    for _ in 0..n {
+        let value = match rng.range_u64(0, 4) {
+            0 => rng.range_u64(0, 64),                 // exact buckets
+            1 => rng.range_u64(64, 100_000),           // low tiers
+            2 => rng.range_u64(100_000, 1 << 40),      // high tiers
+            _ => u64::MAX - rng.range_u64(0, 1 << 20), // top tier
+        };
+        h.record(value);
+    }
+    h
+}
+
+props! {
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`, including empty operands.
+    fn merge_is_associative(rng, cases = 64) {
+        let a = arb_hist(rng, 40);
+        let b = arb_hist(rng, 40);
+        let c = arb_hist(rng, 40);
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left, right);
+    }
+
+    /// `a ⊕ b == b ⊕ a` up to bucket-array padding.
+    fn merge_is_commutative(rng, cases = 64) {
+        let a = arb_hist(rng, 40);
+        let b = arb_hist(rng, 40);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.sum(), ba.sum());
+        assert_eq!(ab.min(), ba.min());
+        assert_eq!(ab.max(), ba.max());
+        for (name, p) in Histogram::QUANTILES {
+            assert_eq!(ab.percentile(p), ba.percentile(p), "{name}");
+        }
+    }
+
+    /// Percentiles never decrease as the rank grows, and every reported
+    /// value stays inside the observed `[min, max]` range.
+    fn percentiles_are_monotone(rng, cases = 64) {
+        let h = arb_hist(rng, 60);
+        if h.count() == 0 {
+            return;
+        }
+        let mut prev = 0;
+        for p in [0, 100, 250, 500, 750, 900, 990, 999, 1000] {
+            let v = h.percentile(p);
+            assert!(v >= prev, "p{p}: {v} < {prev}");
+            assert!(v >= h.min() && v <= h.max(), "p{p}: {v} outside range");
+            prev = v;
+        }
+    }
+
+    /// Every recorded sample lands in exactly one bucket: the bucket
+    /// totals equal the sample count even when values straddle bucket
+    /// and tier boundaries.
+    fn counts_are_conserved_across_boundaries(rng, cases = 64) {
+        let mut h = Histogram::new();
+        let mut recorded = 0u64;
+        for _ in 0..rng.range_u64(1, 50) {
+            // Cluster samples tightly around a power-of-two tier edge
+            // so neighbours fall on both sides of the boundary.
+            let tier = rng.range_u64(6, 63);
+            let edge = 1u64 << tier;
+            let wobble = rng.range_u64(0, 5);
+            let value = if rng.range_u64(0, 2) == 0 {
+                edge.saturating_sub(wobble)
+            } else {
+                edge.saturating_add(wobble)
+            };
+            h.record(value);
+            recorded += 1;
+        }
+        assert_eq!(h.count(), recorded);
+        assert_eq!(h.bucket_total(), recorded, "no sample lost or duplicated");
+    }
+
+    /// Merging conserves counts and sums exactly.
+    fn merge_conserves_mass(rng, cases = 64) {
+        let a = arb_hist(rng, 50);
+        let b = arb_hist(rng, 50);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.sum(), a.sum().saturating_add(b.sum()));
+        assert_eq!(merged.bucket_total(), merged.count());
+    }
+}

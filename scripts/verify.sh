@@ -45,4 +45,44 @@ trap 'rm -rf "$chaos_out"' EXIT
 ./target/release/repro chaos --seed=0xC4A05 > "$chaos_out/b.txt"
 cmp "$chaos_out/a.txt" "$chaos_out/b.txt"
 
+echo "== trace export: chrome JSON parses, well-nested, monotonic =="
+trace_out="$(mktemp -d)"
+trap 'rm -rf "$chaos_out" "$trace_out"' EXIT
+./target/release/repro trace-export --quick --format=chrome > "$trace_out/wiki.trace.json"
+python3 - "$trace_out/wiki.trace.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "empty trace"
+last_ts = {}
+stacks = {}
+tracks = set()
+for ev in events:
+    tid = ev["tid"]
+    if ev["ph"] == "M":
+        continue
+    tracks.add(tid)
+    assert ev["ts"] >= last_ts.get(tid, 0.0), f"ts regressed on tid {tid}"
+    last_ts[tid] = ev["ts"]
+    if ev["ph"] == "B":
+        stacks.setdefault(tid, []).append(ev["name"])
+    elif ev["ph"] == "E":
+        stack = stacks.get(tid, [])
+        assert stack, f"E without matching B on tid {tid}"
+        stack.pop()
+    else:
+        raise AssertionError(f"unexpected phase {ev['ph']!r}")
+for tid, stack in stacks.items():
+    assert not stack, f"unclosed spans on tid {tid}: {stack}"
+assert len(tracks) >= 2, f"want distinct goroutine tracks, got {tracks}"
+print(f"trace OK: {len(events)} events on {len(tracks)} tracks")
+PY
+
+echo "== profile determinism: byte-identical percentile tables =="
+./target/release/repro wiki --quick --profile > "$trace_out/p1.txt"
+./target/release/repro wiki --quick --profile > "$trace_out/p2.txt"
+cmp "$trace_out/p1.txt" "$trace_out/p2.txt"
+
 echo "verify: OK"

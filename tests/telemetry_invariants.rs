@@ -6,9 +6,13 @@
 //! LitterBox, the hardware models, and the kernel — rather than testing
 //! the recorder in isolation (the telemetry crate's own tests do that).
 
+use std::collections::BTreeMap;
+
 use enclosure_apps::plotlib::{self, PlotConfig};
+use enclosure_apps::wiki::WikiApp;
 use enclosure_pyfront::MetadataMode;
 use enclosure_repro::core::{App, Enclosure, Policy};
+use enclosure_telemetry::{Recorder, SpanScope, MAIN_TRACK};
 use litterbox::Backend;
 
 fn nested_workload(backend: Backend) -> App {
@@ -148,6 +152,179 @@ fn telemetry_init_ns_matches_litterbox_ledger() {
         assert!(c.init_ns > 0, "{mode:?}");
         assert_eq!(c.init_ns, py.lb().init_ns(), "{mode:?}");
         assert!(c.incremental_inits > 0, "{mode:?}");
+    }
+}
+
+/// A recorder reset in the middle of an enclosure call — a span still
+/// open, and the machine's epilog yet to run — must not panic or skew
+/// later accounting. The truncation is reported as a `SpanImbalance`
+/// event instead: once for the open spans dropped by the reset, once
+/// for the epilog's unmatched `end_span`.
+#[test]
+fn unbalanced_span_stacks_degrade_to_events_not_panics() {
+    for backend in [Backend::Mpk, Backend::Vtx] {
+        let mut app = App::builder("imbalance")
+            .package("main", &["lib"])
+            .package("lib", &[])
+            .build(backend)
+            .unwrap();
+        app.lb.telemetry_mut().enable_trace(16);
+        let mut enc = Enclosure::declare(
+            &mut app,
+            "enc",
+            &["lib"],
+            Policy::default_policy(),
+            |ctx, ()| {
+                // Hostile timing: wipe the recorder mid-enclosure.
+                ctx.lb.telemetry_mut().reset();
+                Ok(())
+            },
+        )
+        .unwrap();
+        enc.call(&mut app, ()).unwrap();
+
+        let rec = app.lb.telemetry();
+        assert_eq!(rec.span_depth(), 0, "{backend}");
+        assert_eq!(
+            rec.counters().span_imbalances,
+            2,
+            "{backend}: reset truncation + epilog's unmatched end"
+        );
+        let imbalances = rec
+            .recent_events()
+            .filter(|t| t.event.to_string().contains("span_imbalance"))
+            .count();
+        assert_eq!(imbalances, 2, "{backend}");
+
+        // The machine is still usable: a fresh balanced call records
+        // a clean span on top of the truncated epoch.
+        enc.call(&mut app, ()).unwrap();
+        assert_eq!(
+            app.lb.telemetry().counters().span_imbalances,
+            2,
+            "{backend}"
+        );
+        assert_eq!(app.lb.telemetry().span_depth(), 0, "{backend}");
+    }
+}
+
+/// Sums the span log's self-times per scope.
+fn span_tree_self_times(rec: &Recorder) -> BTreeMap<SpanScope, (u64, u64)> {
+    let mut by_scope: BTreeMap<SpanScope, (u64, u64)> = BTreeMap::new();
+    for node in rec.span_log() {
+        let entry = by_scope.entry(node.scope.clone()).or_default();
+        entry.0 += 1;
+        entry.1 += node.self_ns();
+    }
+    by_scope
+}
+
+/// The per-scope attribution table and the span tree are two views of
+/// the same spans: for every scope, the attribution's entry count and
+/// self-time equal the sum over the span log's nodes with that scope.
+#[test]
+fn attribution_totals_equal_span_tree_self_times() {
+    for backend in [Backend::Mpk, Backend::Vtx] {
+        let mut app = App::builder("spantree")
+            .package("main", &["lib", "anchor"])
+            .package("lib", &[])
+            .package("anchor", &[])
+            .build(backend)
+            .unwrap();
+        app.lb.telemetry_mut().enable_span_log();
+        app.lb.telemetry_mut().reset();
+        let mut inner = Enclosure::declare(
+            &mut app,
+            "inner",
+            &["anchor"],
+            Policy::default_policy(),
+            |_ctx, ()| Ok(()),
+        )
+        .unwrap();
+        let mut outer = Enclosure::declare(
+            &mut app,
+            "outer",
+            &["lib"],
+            Policy::default_policy().grant("anchor", enclosure_vmem::Access::RWX),
+            move |ctx, ()| inner.call_nested(ctx, ()),
+        )
+        .unwrap();
+        for _ in 0..5 {
+            outer.call(&mut app, ()).unwrap();
+        }
+
+        let rec = app.lb.telemetry();
+        let by_scope = span_tree_self_times(rec);
+        assert!(!by_scope.is_empty(), "{backend}: span log populated");
+        assert_eq!(
+            by_scope.len(),
+            rec.attribution().len(),
+            "{backend}: same scope set"
+        );
+        for (scope, cost) in rec.attribution() {
+            let (entries, self_ns) = by_scope[scope];
+            assert_eq!(cost.entries, entries, "{backend} {scope:?}");
+            assert_eq!(cost.self_ns, self_ns, "{backend} {scope:?}");
+        }
+    }
+}
+
+/// The wiki workload's span tree is well-nested and runs on distinct
+/// per-goroutine tracks, and its attribution table still equals the
+/// span tree's self-times — spans survive scheduler preemption and
+/// `Execute` handoffs intact.
+#[test]
+fn wiki_span_tree_is_well_nested_across_goroutine_tracks() {
+    let mut app = WikiApp::new(Backend::Mpk).unwrap();
+    {
+        let lb = app.runtime_mut().lb_mut();
+        lb.clock_mut().reset();
+        lb.telemetry_mut().enable_span_log();
+    }
+    app.serve_requests(10).unwrap();
+    let lb = app.runtime_mut().lb_mut();
+    let now = lb.now_ns();
+    lb.telemetry_mut().flush_tracks(now);
+    let rec = lb.telemetry();
+
+    // Distinct goroutine tracks, none of them the main track.
+    let tracks: std::collections::BTreeSet<u64> = rec.span_log().iter().map(|n| n.track).collect();
+    assert!(
+        tracks.iter().filter(|&&t| t != MAIN_TRACK).count() >= 2,
+        "at least two goroutine tracks: {tracks:?}"
+    );
+
+    // Well-nested: every parent exists, shares the track, and brackets
+    // the child's interval.
+    let by_id: BTreeMap<_, _> = rec.span_log().iter().map(|n| (n.id, n)).collect();
+    for node in rec.span_log() {
+        assert!(node.start_ns <= node.end_ns);
+        if let Some(parent) = node.parent {
+            let p = by_id[&parent];
+            assert_eq!(p.track, node.track, "spans never straddle tracks");
+            assert!(
+                p.start_ns <= node.start_ns && node.end_ns <= p.end_ns,
+                "child {:?} outside parent {:?}",
+                node.scope,
+                p.scope
+            );
+        }
+    }
+
+    // Attribution and span tree agree per scope.
+    let by_scope = span_tree_self_times(rec);
+    assert_eq!(by_scope.len(), rec.attribution().len());
+    for (scope, cost) in rec.attribution() {
+        let (entries, self_ns) = by_scope[scope];
+        assert_eq!(cost.entries, entries, "{scope:?}");
+        assert_eq!(cost.self_ns, self_ns, "{scope:?}");
+    }
+
+    // The track ledger covers every goroutine the spans ran on.
+    let ledger_tracks: std::collections::BTreeSet<u64> =
+        rec.track_costs().iter().map(|t| t.track).collect();
+    for track in &tracks {
+        assert!(ledger_tracks.contains(track), "track {track} missing");
     }
 }
 
