@@ -1,0 +1,189 @@
+//! The batching study: how much of the crossing tax the batched syscall
+//! gateway amortizes away.
+//!
+//! Four arms — {LB_MPK, LB_VTX} × {unbatched, batched} — serve the same
+//! HTTP workload at identical request counts. The charged crossing tax
+//! is read straight off the hardware ledger: VM EXITs × the calibrated
+//! per-exit cost under LB_VTX, seccomp evaluations under LB_MPK. With
+//! batching the ring pays one VM EXIT (one seccomp evaluation) per
+//! flushed batch instead of one per syscall, so the per-request tax must
+//! drop ≥2× under LB_VTX and the evaluation count must strictly shrink
+//! under LB_MPK. Everything is simulated time from the calibrated cost
+//! model, so two runs are byte-identical.
+
+use enclosure_apps::httpd::{HttpApp, HttpConfig};
+use enclosure_hw::CostModel;
+use enclosure_support::Json;
+use litterbox::{Backend, Fault};
+
+/// One (backend, batched?) arm's ledger after serving the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchingArm {
+    /// The backend measured.
+    pub backend: Backend,
+    /// Whether the app routed deferrable I/O through the batched gateway.
+    pub batched: bool,
+    /// Requests served (identical across arms).
+    pub requests: u64,
+    /// Hardware ledger: VM EXITs.
+    pub vm_exits: u64,
+    /// Hardware ledger: seccomp filter evaluations.
+    pub seccomp_checks: u64,
+    /// Telemetry: charged batch flushes.
+    pub batch_flushes: u64,
+    /// Telemetry: syscalls serviced through the ring.
+    pub batched_syscalls: u64,
+    /// Simulated ns the serve took.
+    pub sim_ns: u64,
+}
+
+impl BatchingArm {
+    /// Charged VM EXIT ns per request under the paper's cost model.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn vm_exit_ns_per_request(&self) -> f64 {
+        (self.vm_exits * CostModel::paper().vm_exit) as f64 / self.requests as f64
+    }
+
+    /// Seccomp evaluations per request.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn seccomp_per_request(&self) -> f64 {
+        self.seccomp_checks as f64 / self.requests as f64
+    }
+
+    /// Mean entries per flushed batch (0 when nothing was batched).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batch_flushes == 0 {
+            0.0
+        } else {
+            self.batched_syscalls as f64 / self.batch_flushes as f64
+        }
+    }
+}
+
+/// The full study: all four arms at one request count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchingReport {
+    /// Requests served per arm.
+    pub requests: u64,
+    /// Arms in (LB_MPK, LB_VTX) × (unbatched, batched) order.
+    pub arms: Vec<BatchingArm>,
+}
+
+impl BatchingReport {
+    /// The arm for `(backend, batched)`; the study always produces it.
+    #[must_use]
+    pub fn arm(&self, backend: Backend, batched: bool) -> &BatchingArm {
+        self.arms
+            .iter()
+            .find(|a| a.backend == backend && a.batched == batched)
+            .expect("all four arms present")
+    }
+
+    /// Serializes for `repro batching --json`. Every value is a pure
+    /// function of the workload, so the output is byte-identical across
+    /// runs.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::from(self.requests)),
+            (
+                "arms",
+                Json::arr(self.arms.iter().map(|a| {
+                    Json::obj([
+                        ("backend", Json::from(a.backend.to_string())),
+                        ("batched", Json::from(a.batched)),
+                        ("vm_exits", Json::from(a.vm_exits)),
+                        ("seccomp_checks", Json::from(a.seccomp_checks)),
+                        ("batch_flushes", Json::from(a.batch_flushes)),
+                        ("batched_syscalls", Json::from(a.batched_syscalls)),
+                        (
+                            "vm_exit_ns_per_request",
+                            Json::from(a.vm_exit_ns_per_request()),
+                        ),
+                        ("seccomp_per_request", Json::from(a.seccomp_per_request())),
+                        ("mean_batch_size", Json::from(a.mean_batch_size())),
+                        ("sim_ns", Json::from(a.sim_ns)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// Runs all four arms with `requests` each.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn run(requests: u64) -> Result<BatchingReport, Fault> {
+    let mut arms = Vec::new();
+    for backend in [Backend::Mpk, Backend::Vtx] {
+        for batched in [false, true] {
+            let cfg = HttpConfig {
+                batched_io: batched,
+                ..HttpConfig::default()
+            };
+            let mut app = HttpApp::new(backend, cfg)?;
+            app.runtime_mut().lb_mut().clock_mut().reset();
+            let t0 = app.runtime().lb().now_ns();
+            let stats = app.serve_requests(requests)?;
+            let sim_ns = app.runtime().lb().now_ns() - t0;
+            let hw = app.runtime().lb().stats();
+            let c = *app.runtime().lb().telemetry().counters();
+            arms.push(BatchingArm {
+                backend,
+                batched,
+                requests: stats.served,
+                vm_exits: hw.vm_exits,
+                seccomp_checks: hw.seccomp_checks,
+                batch_flushes: c.batch_flushes,
+                batched_syscalls: c.batched_syscalls,
+                sim_ns,
+            });
+        }
+    }
+    Ok(BatchingReport { requests, arms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_vtx_halves_the_charged_crossing_tax() {
+        let report = run(20).unwrap();
+        let plain = report.arm(Backend::Vtx, false);
+        let fast = report.arm(Backend::Vtx, true);
+        assert_eq!(plain.requests, fast.requests, "identical workloads");
+        assert!(
+            fast.vm_exit_ns_per_request() * 2.0 <= plain.vm_exit_ns_per_request(),
+            "batching must at least halve the VM EXIT tax: {} vs {}",
+            fast.vm_exit_ns_per_request(),
+            plain.vm_exit_ns_per_request()
+        );
+        assert!(fast.batch_flushes > 0 && fast.mean_batch_size() > 1.0);
+        assert_eq!(plain.batch_flushes, 0, "unbatched arm never flushes");
+    }
+
+    #[test]
+    fn batched_mpk_strictly_reduces_seccomp_evaluations() {
+        let report = run(20).unwrap();
+        let plain = report.arm(Backend::Mpk, false);
+        let fast = report.arm(Backend::Mpk, true);
+        assert!(
+            fast.seccomp_per_request() < plain.seccomp_per_request(),
+            "batching must evaluate seccomp once per batch: {} vs {}",
+            fast.seccomp_per_request(),
+            plain.seccomp_per_request()
+        );
+    }
+
+    #[test]
+    fn same_workload_same_report() {
+        assert_eq!(run(10).unwrap(), run(10).unwrap());
+    }
+}

@@ -9,10 +9,11 @@
 //! repro wiki [--quick] [--profile]  Figure 5 / §6.3 usability study
 //! repro python [--quick]     §6.4 Python experiments
 //! repro attribution [--quick] [--json]  §6.4 telemetry cost breakdown
-//! repro security             §6.5 recreated attacks
+//! repro security [--profile] §6.5 recreated attacks
 //! repro filter-dump          compiled seccomp-BPF for the Figure 1 program
 //! repro ablations            design-choice studies
-//! repro chaos [--quick] [--json] [--seed=S]  fault-injection soak
+//! repro batching [--quick] [--json]  batched-gateway crossing-tax study
+//! repro chaos [--quick] [--json] [--seed=S] [--profile]  fault-injection soak
 //! repro trace-export [--format=chrome|folded] [--quick]  span-tree export
 //! repro all [--quick]        everything above
 //! ```
@@ -41,7 +42,7 @@ use enclosure_apps::plotlib::{self, PlotConfig};
 use enclosure_bench::chaos_exp::{self, ChaosConfig};
 use enclosure_bench::macrobench::{self, MacroScale};
 use enclosure_bench::trace_export::{self, TraceFormat};
-use enclosure_bench::{ablation, micro, python_exp, report, security_exp, wiki_exp};
+use enclosure_bench::{ablation, batching_exp, micro, python_exp, report, security_exp, wiki_exp};
 use enclosure_gofront::{GoProgram, GoSource};
 use enclosure_pyfront::{Interpreter, MetadataMode};
 use enclosure_support::Json;
@@ -91,10 +92,11 @@ fn main() -> ExitCode {
         "wiki" => wiki(quick, profile, trace),
         "python" => python(quick, trace),
         "attribution" => attribution(quick, json, trace),
-        "security" => security(trace),
+        "security" => security(trace, profile),
         "filter-dump" => filter_dump(),
         "ablations" => ablations(),
-        "chaos" => chaos(quick, json, seed),
+        "batching" => batching(quick, json),
+        "chaos" => chaos(quick, json, seed, profile),
         "trace-export" => trace_export_cmd(quick, format),
         "all" => table1(json)
             .and_then(|()| table2(quick, json, profile, trace))
@@ -103,9 +105,10 @@ fn main() -> ExitCode {
             .and_then(|()| wiki(quick, profile, trace))
             .and_then(|()| python(quick, trace))
             .and_then(|()| attribution(quick, json, trace))
-            .and_then(|()| security(trace))
+            .and_then(|()| security(trace, profile))
             .and_then(|()| ablations())
-            .and_then(|()| chaos(quick, json, seed)),
+            .and_then(|()| batching(quick, json))
+            .and_then(|()| chaos(quick, json, seed, profile)),
         other => {
             eprintln!("unknown command '{other}'; see the crate docs");
             return ExitCode::FAILURE;
@@ -391,19 +394,39 @@ fn filter_dump() -> Result<(), AnyError> {
     Ok(())
 }
 
-fn security(trace: Option<usize>) -> Result<(), AnyError> {
+fn security(trace: Option<usize>, profile: bool) -> Result<(), AnyError> {
+    if profile {
+        let (results, profiles) = security_exp::run_profiled(trace)?;
+        print!("\n{}", report::render_security(&results));
+        print!(
+            "\n{}",
+            report::render_latency_profile("security (benign enclosed path)", &profiles)
+        );
+        return Ok(());
+    }
     let results = security_exp::run_traced(trace)?;
     print!("\n{}", report::render_security(&results));
     Ok(())
 }
 
-fn chaos(quick: bool, json: bool, seed: u64) -> Result<(), AnyError> {
+fn batching(quick: bool, json: bool) -> Result<(), AnyError> {
+    let requests = if quick { 20 } else { 200 };
+    let study = batching_exp::run(requests)?;
+    if json {
+        println!("{}", study.to_json().to_pretty());
+        return Ok(());
+    }
+    print!("\n{}", report::render_batching(&study));
+    Ok(())
+}
+
+fn chaos(quick: bool, json: bool, seed: u64, profile: bool) -> Result<(), AnyError> {
     let config = if quick {
         ChaosConfig::quick(seed)
     } else {
         ChaosConfig::full(seed)
     };
-    let soak = chaos_exp::run(config)?;
+    let (soak, profiles) = chaos_exp::run_profiled(config)?;
     let violations: Vec<String> = soak
         .rows
         .iter()
@@ -418,6 +441,12 @@ fn chaos(quick: bool, json: bool, seed: u64) -> Result<(), AnyError> {
         println!("{}", value.to_pretty());
     } else {
         print!("\n{}", report::render_chaos(&soak));
+    }
+    if profile && !json {
+        print!(
+            "\n{}",
+            report::render_latency_profile("chaos wiki", &profiles)
+        );
     }
     if violations.is_empty() {
         if !json {
@@ -474,6 +503,20 @@ fn ablations() -> Result<(), AnyError> {
             s.key_evictions,
             s.eviction_rate(),
             s.eviction_ns
+        );
+    }
+
+    println!("\nAblation 2b: telemetry-guided pinning vs pure LRU, skewed trace");
+    for s in ablation::pinned_eviction_curve(&[20, 30, 40], 3)? {
+        println!(
+            "  {:>3} enclosures pinned-hot: LRU {:>4} evictions ({:>7} ns) vs pinned {:>4} \
+             evictions ({:>7} ns); hot = {:?}",
+            s.enclosures,
+            s.lru.key_evictions,
+            s.lru.eviction_ns,
+            s.pinned.key_evictions,
+            s.pinned.eviction_ns,
+            s.hot
         );
     }
 

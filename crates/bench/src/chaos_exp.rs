@@ -162,7 +162,21 @@ impl ChaosReport {
 /// A fault escaping the containment layers — which is itself a finding:
 /// the soak's contract is that no injected fault aborts the run.
 pub fn run(config: ChaosConfig) -> Result<ChaosReport, Fault> {
+    run_profiled(config).map(|(report, _)| report)
+}
+
+/// [`run`] keeping each backend's latency histogram and per-operation
+/// cost distributions for `--profile`: the percentile tables show what
+/// the injected faults cost the requests that absorbed them.
+///
+/// # Errors
+///
+/// A fault escaping the containment layers.
+pub fn run_profiled(
+    config: ChaosConfig,
+) -> Result<(ChaosReport, Vec<crate::macrobench::BackendProfile>), Fault> {
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for backend in crate::BACKENDS {
         let mut app = WikiApp::new(backend)?;
         let sites = sites_for(backend);
@@ -178,6 +192,12 @@ pub fn run(config: ChaosConfig) -> Result<ChaosReport, Fault> {
         app.runtime_mut().lb_mut().clock_mut().disarm_injection();
         let c = *app.runtime().lb().telemetry().counters();
         let hw = app.runtime().lb().stats();
+        let latency = app.latency();
+        profiles.push(crate::macrobench::profile_from(
+            app.runtime_mut().lb_mut(),
+            backend,
+            latency,
+        ));
         rows.push(ChaosRow {
             backend,
             served: stats.served,
@@ -197,7 +217,7 @@ pub fn run(config: ChaosConfig) -> Result<ChaosReport, Fault> {
             ns,
         });
     }
-    Ok(ChaosReport { config, rows })
+    Ok((ChaosReport { config, rows }, profiles))
 }
 
 /// Checks a row's cross-layer invariants, returning every violation (an

@@ -8,6 +8,8 @@
 //! * [`wiki_exp`] — the §6.3 / Figure 5 usability study;
 //! * [`chaos_exp`] — the deterministic fault-injection soak (containment
 //!   and graceful degradation under chaos);
+//! * [`batching_exp`] — the batched-gateway study (charged crossing tax
+//!   per request, unbatched vs batched arms);
 //! * [`python_exp`] — the §6.4 Python experiments (conservative vs
 //!   decoupled metadata, switch counts, init share);
 //! * [`security_exp`] — the §6.5 attack/defense matrix;
@@ -26,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod batching_exp;
 pub mod chaos_exp;
 pub mod macrobench;
 pub mod micro;

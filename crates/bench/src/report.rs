@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 
 use enclosure_telemetry::{Histogram, SpanCost, SpanScope, MAIN_TRACK};
 
+use crate::batching_exp::BatchingReport;
 use crate::chaos_exp::ChaosReport;
 use crate::macrobench::{paper_values, BackendProfile, MacroRow, ProfiledRow};
 use crate::micro::{paper_table1, MicroRow};
@@ -357,6 +358,58 @@ pub fn render_chaos(report: &ChaosReport) -> String {
             row.hw_vm_exits,
         );
     }
+    out
+}
+
+/// Renders the batching study: the charged crossing tax per request
+/// with and without the batched gateway, per backend. All values come
+/// from the calibrated cost model, so the output is byte-identical
+/// across runs.
+#[must_use]
+pub fn render_batching(report: &BatchingReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Batching study: charged crossing tax, {} requests per arm",
+        report.requests
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>9} {:>9} {:>14} {:>9} {:>12} {:>8} {:>8}",
+        "backend",
+        "arm",
+        "vm_exits",
+        "vm_exit ns/req",
+        "seccomp",
+        "seccomp/req",
+        "flushes",
+        "batch"
+    );
+    for arm in &report.arms {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>9} {:>14.0} {:>9} {:>12.2} {:>8} {:>8.2}",
+            arm.backend.to_string(),
+            if arm.batched { "batched" } else { "unbatched" },
+            arm.vm_exits,
+            arm.vm_exit_ns_per_request(),
+            arm.seccomp_checks,
+            arm.seccomp_per_request(),
+            arm.batch_flushes,
+            arm.mean_batch_size(),
+        );
+    }
+    let vtx_gain = report
+        .arm(litterbox::Backend::Vtx, false)
+        .vm_exit_ns_per_request()
+        / report
+            .arm(litterbox::Backend::Vtx, true)
+            .vm_exit_ns_per_request()
+            .max(f64::MIN_POSITIVE);
+    let _ = writeln!(
+        out,
+        "  LB_VTX charged VM EXIT tax reduction: {vtx_gain:.2}x"
+    );
     out
 }
 

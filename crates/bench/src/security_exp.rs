@@ -2,8 +2,12 @@
 //! hardware backends and tabulate outcomes.
 
 use enclosure_apps::django;
-use enclosure_apps::malware::{run_security_eval_traced, ScenarioReport};
+use enclosure_apps::malware::{legit_lab, run_security_eval_traced, ScenarioReport};
+use enclosure_gofront::GoValue;
+use enclosure_telemetry::Histogram;
 use litterbox::{Backend, Fault};
+
+use crate::macrobench::{profile_from, BackendProfile};
 
 /// Outcomes for one backend.
 #[derive(Debug, Clone)]
@@ -54,6 +58,37 @@ pub fn run_traced(trace: Option<usize>) -> Result<Vec<SecurityResults>, Fault> {
             Ok(SecurityResults { backend, scenarios })
         })
         .collect()
+}
+
+/// [`run_traced`] plus `--profile` support: per backend, drives the
+/// benign ssh-decorator call repeatedly through the enforcing lab and
+/// keeps its per-call latency histogram and the machine's per-operation
+/// cost distributions — the price of enforcement on the legitimate
+/// path, rendered with the shared percentile tables.
+///
+/// # Errors
+///
+/// Harness faults.
+pub fn run_profiled(
+    trace: Option<usize>,
+) -> Result<(Vec<SecurityResults>, Vec<BackendProfile>), Fault> {
+    let results = run_traced(trace)?;
+    let mut profiles = Vec::new();
+    for backend in [Backend::Mpk, Backend::Vtx] {
+        let mut rt = legit_lab(backend)?;
+        rt.lb_mut().clock_mut().reset();
+        let mut latency = Histogram::new();
+        for _ in 0..20 {
+            let t0 = rt.lb().now_ns();
+            rt.call_enclosed(
+                "decorator_enc",
+                GoValue::Tuple(vec![GoValue::Str("uname -a".into()), GoValue::Bool(false)]),
+            )?;
+            latency.record(rt.lb().now_ns() - t0);
+        }
+        profiles.push(profile_from(rt.lb_mut(), backend, latency));
+    }
+    Ok((results, profiles))
 }
 
 #[cfg(test)]

@@ -334,7 +334,13 @@ impl GoRuntime {
                 let mut ctx = GoCtx { rt: self };
                 (g.f)(&mut ctx)
             };
+            // Quantum boundary: flush the batched syscall gateway while
+            // the goroutine's environment (and its go.sched span) is
+            // still current, so the whole quantum's syscalls share one
+            // charged crossing attributed to this goroutine.
+            let flushed = self.flush_quantum_batch();
             self.end_quantum_span();
+            let step = step.and_then(|s| flushed.map(|()| s));
             let step = match step {
                 Ok(step) => step,
                 Err(fault) => {
@@ -376,6 +382,28 @@ impl GoRuntime {
         }
         self.switch_to_main_track();
         Ok(())
+    }
+
+    /// Flushes the batched syscall gateway at the quantum boundary —
+    /// the designated flush point of the batching fast path. A
+    /// transient whole-flush fault (an injected lost crossing) is
+    /// retried once with injection suspended, mirroring
+    /// [`GoRuntime::execute_contained`]: the scheduler must drain the
+    /// batch for the rest of the program to make progress, and the
+    /// retry services every queued entry exactly once.
+    fn flush_quantum_batch(&mut self) -> Result<(), Fault> {
+        if self.lb.batch_pending() == 0 {
+            return Ok(());
+        }
+        match self.lb.batch_flush() {
+            Err(fault) if fault.is_transient() => {
+                self.lb.clock_mut().suspend_injection();
+                let retried = self.lb.batch_flush();
+                self.lb.clock_mut().resume_injection();
+                retried.map(|_| ())
+            }
+            other => other.map(|_| ()),
+        }
     }
 
     /// Closes the telemetry span bracketing the current quantum.
@@ -965,6 +993,41 @@ mod tests {
                 .unwrap(),
             0
         );
+    }
+
+    #[test]
+    fn quantum_boundary_flushes_batches_with_one_crossing_per_quantum() {
+        let mut p = GoProgram::new();
+        p.add_source(GoSource::new("libfx").loc(1000));
+        p.add_source(GoSource::new("main").imports(&["libfx"]).enclosure(
+            "rcl",
+            "libfx.Invert",
+            "proc",
+        ));
+        let mut rt = p.build(Backend::Vtx).unwrap();
+        rt.lb_mut().enable_batching();
+        let mut rounds = 0u64;
+        rt.spawn_enclosed("batcher", "rcl", move |ctx| {
+            if rounds == 3 {
+                return Ok(Step::Done);
+            }
+            rounds += 1;
+            // Three descriptors per quantum; the scheduler flushes them
+            // in one charged crossing at the quantum boundary.
+            for _ in 0..3 {
+                ctx.lb_mut().batch_enqueue(1, litterbox::BatchOp::Getuid)?;
+            }
+            Ok(Step::Yield)
+        })
+        .unwrap();
+        let before = rt.lb().stats().vm_exits;
+        rt.run_scheduler().unwrap();
+        assert_eq!(rt.lb_mut().batch_pending(), 0, "no quantum leaves a batch");
+        let done = rt.lb_mut().batch_take_completions();
+        assert_eq!(done.len(), 9);
+        assert!(done.iter().all(|c| c.result.is_ok()));
+        // 9 syscalls, but only one VM EXIT per non-empty quantum (3).
+        assert_eq!(rt.lb().stats().vm_exits - before, 3);
     }
 
     #[test]

@@ -34,11 +34,14 @@ pub enum InjectionSite {
     InitAlloc,
     /// An allocation fails during `Transfer`.
     TransferAlloc,
+    /// The single charged crossing of a batched-gateway flush is lost
+    /// before any entry is serviced; the batch stays queued for retry.
+    BatchFlush,
 }
 
 impl InjectionSite {
     /// Every site, in a stable order.
-    pub const ALL: [InjectionSite; 7] = [
+    pub const ALL: [InjectionSite; 8] = [
         InjectionSite::GatewayErrno,
         InjectionSite::Wrpkru,
         InjectionSite::PkeyMprotect,
@@ -46,6 +49,7 @@ impl InjectionSite {
         InjectionSite::VmExit,
         InjectionSite::InitAlloc,
         InjectionSite::TransferAlloc,
+        InjectionSite::BatchFlush,
     ];
 
     /// The site's stable tag (used in telemetry events and tests).
@@ -59,6 +63,7 @@ impl InjectionSite {
             InjectionSite::VmExit => "vm_exit",
             InjectionSite::InitAlloc => "init_alloc",
             InjectionSite::TransferAlloc => "transfer_alloc",
+            InjectionSite::BatchFlush => "batch_flush",
         }
     }
 
@@ -71,6 +76,7 @@ impl InjectionSite {
             InjectionSite::VmExit => 1 << 4,
             InjectionSite::InitAlloc => 1 << 5,
             InjectionSite::TransferAlloc => 1 << 6,
+            InjectionSite::BatchFlush => 1 << 7,
         }
     }
 }

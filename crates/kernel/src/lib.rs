@@ -16,7 +16,10 @@
 //!   exfiltration ledger the security evaluation inspects (§6.5) —
 //!   [`net`];
 //! * the [`Kernel`] itself: typed syscall entry points that charge
-//!   calibrated service costs to the simulated [`enclosure_hw::Clock`].
+//!   calibrated service costs to the simulated [`enclosure_hw::Clock`];
+//! * the batched gateway's data plane — an io_uring-style
+//!   submission/completion ring ([`ring`]) that LitterBox flushes in a
+//!   single charged crossing per (environment, batch).
 //!
 //! Syscall *filtering* is not done here: LitterBox's `FilterSyscall` hook
 //! (in the `litterbox` crate) consults the seccomp program (LB_MPK) or the
@@ -30,10 +33,12 @@ mod errno;
 pub mod fs;
 mod kernel;
 pub mod net;
+pub mod ring;
 pub mod seccomp;
 mod sysno;
 
 pub use errno::Errno;
 pub use kernel::{Kernel, SyscallRecord};
+pub use ring::{BatchOp, BatchReply, Completion, Submission, SyscallRing};
 pub use seccomp::{FilterMode, Verdict};
 pub use sysno::{CategorySet, SysCategory, Sysno};

@@ -1,0 +1,419 @@
+//! The batched syscall gateway's data plane: an io_uring-style
+//! submission/completion ring.
+//!
+//! Goroutines *enqueue* typed syscall descriptors instead of crossing
+//! into the kernel one call at a time; at a flush point (the scheduler's
+//! quantum boundary, or an explicit flush) the whole batch is serviced
+//! in submission order against the [`Kernel`]. The ring itself is pure
+//! bookkeeping — it charges nothing and filters nothing. Gating,
+//! crossing amortization, and fault injection live in LitterBox's batch
+//! gateway, which drives [`service`] per entry once the (single) charged
+//! crossing for the batch has been paid.
+//!
+//! Completions are delivered in submission order, so per-submitter FIFO
+//! ordering holds by construction, and every completion carries its own
+//! `Result` — one entry failing with an errno never poisons the rest of
+//! the batch (containment).
+
+use std::collections::VecDeque;
+
+use enclosure_hw::Clock;
+
+use crate::fs::OpenFlags;
+use crate::kernel::{Kernel, SyscallRecord};
+use crate::net::SockAddr;
+use crate::{Errno, Sysno};
+
+/// A typed syscall descriptor a goroutine can enqueue. Descriptors carry
+/// their payloads (paths, buffers) because the batch is serviced after
+/// the submitter's quantum may have ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// `getuid`.
+    Getuid,
+    /// `getpid`.
+    Getpid,
+    /// `clock_gettime`.
+    ClockGettime,
+    /// `nanosleep(ns)`.
+    Nanosleep(u64),
+    /// `futex` wait/wake.
+    Futex,
+    /// `open(path, flags)`.
+    Open {
+        /// Path to open.
+        path: String,
+        /// Open mode.
+        flags: OpenFlags,
+    },
+    /// `stat(path)`.
+    Stat {
+        /// Path to stat.
+        path: String,
+    },
+    /// `read(fd, len)`.
+    Read {
+        /// Source fd.
+        fd: u32,
+        /// Bytes requested.
+        len: usize,
+    },
+    /// `write(fd, data)`.
+    Write {
+        /// Destination fd.
+        fd: u32,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// `close(fd)`.
+    Close {
+        /// The fd to close.
+        fd: u32,
+    },
+    /// `socket()`.
+    Socket,
+    /// `accept(fd)`.
+    Accept {
+        /// The listening fd.
+        fd: u32,
+    },
+    /// `connect(fd, addr)`.
+    Connect {
+        /// The socket fd.
+        fd: u32,
+        /// Destination address.
+        addr: SockAddr,
+    },
+    /// `send(fd, data)`.
+    Send {
+        /// The socket fd.
+        fd: u32,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// `recv(fd, len)`.
+    Recv {
+        /// The socket fd.
+        fd: u32,
+        /// Bytes requested.
+        len: usize,
+    },
+}
+
+impl BatchOp {
+    /// The syscall number this descriptor resolves to.
+    #[must_use]
+    pub fn sysno(&self) -> Sysno {
+        match self {
+            BatchOp::Getuid => Sysno::Getuid,
+            BatchOp::Getpid => Sysno::Getpid,
+            BatchOp::ClockGettime => Sysno::ClockGettime,
+            BatchOp::Nanosleep(_) => Sysno::Nanosleep,
+            BatchOp::Futex => Sysno::Futex,
+            BatchOp::Open { .. } => Sysno::Open,
+            BatchOp::Stat { .. } => Sysno::Stat,
+            BatchOp::Read { .. } => Sysno::Read,
+            BatchOp::Write { .. } => Sysno::Write,
+            BatchOp::Close { .. } => Sysno::Close,
+            BatchOp::Socket => Sysno::Socket,
+            BatchOp::Accept { .. } => Sysno::Accept,
+            BatchOp::Connect { .. } => Sysno::Connect,
+            BatchOp::Send { .. } => Sysno::Sendto,
+            BatchOp::Recv { .. } => Sysno::Recvfrom,
+        }
+    }
+
+    /// The descriptor as the filtering layer sees it (`seccomp_data`
+    /// shape) — argument words laid out exactly like the synchronous
+    /// gateway's records, so one policy governs both paths.
+    #[must_use]
+    pub fn record(&self) -> SyscallRecord {
+        match self {
+            BatchOp::Connect { fd, addr } => SyscallRecord::connect(*fd, *addr),
+            BatchOp::Read { fd, len } | BatchOp::Recv { fd, len } => {
+                SyscallRecord::with_args(self.sysno(), [u64::from(*fd), 0, *len as u64, 0, 0, 0])
+            }
+            BatchOp::Write { fd, data } | BatchOp::Send { fd, data } => SyscallRecord::with_args(
+                self.sysno(),
+                [u64::from(*fd), 0, data.len() as u64, 0, 0, 0],
+            ),
+            BatchOp::Close { fd } | BatchOp::Accept { fd } => {
+                SyscallRecord::with_args(self.sysno(), [u64::from(*fd), 0, 0, 0, 0, 0])
+            }
+            _ => SyscallRecord::new(self.sysno()),
+        }
+    }
+}
+
+/// What a serviced entry returned (the success half of a completion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchReply {
+    /// Nothing beyond success (`close`, `bind`, `nanosleep`, …).
+    Unit,
+    /// A number (`getuid`, `getpid`, `clock_gettime`, write/send length).
+    Num(u64),
+    /// A new file descriptor (`open`, `socket`, `accept`).
+    Fd(u32),
+    /// Bytes read (`read`, `recv`).
+    Bytes(Vec<u8>),
+}
+
+/// A submitted entry awaiting service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submission {
+    /// Ring-global sequence number (submission order).
+    pub seq: u64,
+    /// The submitting track (goroutine id + 1, or 0 for the main track).
+    pub submitter: u64,
+    /// The descriptor.
+    pub op: BatchOp,
+}
+
+/// A serviced entry: its identity plus its own isolated result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The submission's sequence number.
+    pub seq: u64,
+    /// The submitting track.
+    pub submitter: u64,
+    /// The syscall number serviced.
+    pub sysno: Sysno,
+    /// This entry's result. An `Err` here is *contained*: it never
+    /// affects sibling entries in the same batch.
+    pub result: Result<BatchReply, Errno>,
+}
+
+/// The submission/completion ring. One ring per machine; per-enclosure
+/// barriers (a batch never mixes environments) are enforced by the
+/// gateway layer that owns it, not here.
+#[derive(Debug, Default)]
+pub struct SyscallRing {
+    sq: VecDeque<Submission>,
+    cq: VecDeque<Completion>,
+    next_seq: u64,
+}
+
+impl SyscallRing {
+    /// An empty ring.
+    #[must_use]
+    pub fn new() -> SyscallRing {
+        SyscallRing::default()
+    }
+
+    /// Enqueues a descriptor; returns its sequence number.
+    pub fn enqueue(&mut self, submitter: u64, op: BatchOp) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sq.push_back(Submission { seq, submitter, op });
+        seq
+    }
+
+    /// Entries waiting to be flushed.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// Completions waiting to be reaped.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.cq.len()
+    }
+
+    /// Takes the whole submission queue (flush sees submission order).
+    pub fn drain_submissions(&mut self) -> Vec<Submission> {
+        self.sq.drain(..).collect()
+    }
+
+    /// Re-queues submissions at the front, preserving order — used when
+    /// a whole-flush fault (a lost crossing) leaves the batch unserviced
+    /// so the caller can retry the flush.
+    pub fn requeue_front(&mut self, subs: Vec<Submission>) {
+        for sub in subs.into_iter().rev() {
+            self.sq.push_front(sub);
+        }
+    }
+
+    /// Posts a completion.
+    pub fn complete(&mut self, completion: Completion) {
+        self.cq.push_back(completion);
+    }
+
+    /// Reaps all pending completions, in service (= submission) order.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        self.cq.drain(..).collect()
+    }
+}
+
+/// Services one descriptor against the kernel. Charges exactly what the
+/// synchronous entry point for the same syscall charges (the generic
+/// kernel crossing plus the per-call service cost) — the *gateway*
+/// crossing (VM EXIT / seccomp evaluation) is what batching amortizes,
+/// and that is charged once per batch by the caller, not here.
+pub fn service(kernel: &mut Kernel, clock: &mut Clock, op: &BatchOp) -> Result<BatchReply, Errno> {
+    match op {
+        BatchOp::Getuid => Ok(BatchReply::Num(u64::from(kernel.getuid(clock)))),
+        BatchOp::Getpid => Ok(BatchReply::Num(u64::from(kernel.getpid(clock)))),
+        BatchOp::ClockGettime => Ok(BatchReply::Num(kernel.clock_gettime(clock))),
+        BatchOp::Nanosleep(ns) => {
+            kernel.nanosleep(clock, *ns);
+            Ok(BatchReply::Unit)
+        }
+        BatchOp::Futex => {
+            kernel.futex(clock);
+            Ok(BatchReply::Unit)
+        }
+        BatchOp::Open { path, flags } => kernel.open(clock, path, *flags).map(BatchReply::Fd),
+        BatchOp::Stat { path } => kernel.stat(clock, path).map(BatchReply::Num),
+        BatchOp::Read { fd, len } => kernel.read(clock, *fd, *len).map(BatchReply::Bytes),
+        BatchOp::Write { fd, data } => kernel
+            .write(clock, *fd, data)
+            .map(|n| BatchReply::Num(n as u64)),
+        BatchOp::Close { fd } => kernel.close(clock, *fd).map(|()| BatchReply::Unit),
+        BatchOp::Socket => Ok(BatchReply::Fd(kernel.socket(clock))),
+        BatchOp::Accept { fd } => kernel.accept(clock, *fd).map(BatchReply::Fd),
+        BatchOp::Connect { fd, addr } => {
+            kernel.connect(clock, *fd, *addr).map(|()| BatchReply::Unit)
+        }
+        BatchOp::Send { fd, data } => kernel
+            .send(clock, *fd, data)
+            .map(|n| BatchReply::Num(n as u64)),
+        BatchOp::Recv { fd, len } => kernel.recv(clock, *fd, *len).map(BatchReply::Bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclosure_hw::CostModel;
+
+    fn clock() -> Clock {
+        Clock::new(CostModel::paper())
+    }
+
+    #[test]
+    fn ring_preserves_submission_order() {
+        let mut ring = SyscallRing::new();
+        ring.enqueue(1, BatchOp::Getuid);
+        ring.enqueue(2, BatchOp::Getpid);
+        ring.enqueue(1, BatchOp::Futex);
+        let subs = ring.drain_submissions();
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0].seq, 0);
+        assert_eq!(subs[2].seq, 2);
+        assert_eq!(ring.pending(), 0);
+    }
+
+    #[test]
+    fn requeue_front_restores_order_after_a_lost_crossing() {
+        let mut ring = SyscallRing::new();
+        ring.enqueue(1, BatchOp::Getuid);
+        ring.enqueue(1, BatchOp::Getpid);
+        let subs = ring.drain_submissions();
+        ring.enqueue(1, BatchOp::Futex);
+        ring.requeue_front(subs);
+        let again = ring.drain_submissions();
+        let seqs: Vec<u64> = again.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn service_matches_synchronous_entry_costs() {
+        // A batched getuid pays the kernel crossing (387 ns) but not the
+        // gateway crossing — amortization happens above this layer.
+        let mut k = Kernel::new();
+        let mut c = clock();
+        let reply = service(&mut k, &mut c, &BatchOp::Getuid).unwrap();
+        assert_eq!(reply, BatchReply::Num(1000));
+        assert_eq!(c.now_ns(), 387);
+    }
+
+    #[test]
+    fn an_entry_errno_is_isolated_to_its_completion() {
+        let mut k = Kernel::new();
+        let mut c = clock();
+        let mut ring = SyscallRing::new();
+        ring.enqueue(7, BatchOp::Close { fd: 999 }); // EBADF
+        ring.enqueue(7, BatchOp::Getpid);
+        for sub in ring.drain_submissions() {
+            let result = service(&mut k, &mut c, &sub.op);
+            ring.complete(Completion {
+                seq: sub.seq,
+                submitter: sub.submitter,
+                sysno: sub.op.sysno(),
+                result,
+            });
+        }
+        let done = ring.take_completions();
+        assert_eq!(done[0].result, Err(Errno::Ebadf));
+        assert_eq!(done[1].result, Ok(BatchReply::Num(4242)));
+    }
+
+    #[test]
+    fn records_mirror_the_synchronous_gateway_shape() {
+        let op = BatchOp::Connect {
+            fd: 5,
+            addr: SockAddr::local(80),
+        };
+        assert_eq!(op.record(), SyscallRecord::connect(5, SockAddr::local(80)));
+        let send = BatchOp::Send {
+            fd: 3,
+            data: vec![0; 100],
+        };
+        assert_eq!(send.record().args[2], 100);
+    }
+
+    enclosure_support::props! {
+        /// No completion is lost or duplicated, and each submitter's
+        /// completions come back in its own submission order (FIFO per
+        /// goroutine), for any interleaving of submitters and ops.
+        fn completions_are_exact_and_fifo_per_submitter(rng, cases = 32) {
+            let mut k = Kernel::new();
+            let mut c = clock();
+            let mut ring = SyscallRing::new();
+            let n = rng.range_usize(1, 24);
+            let mut expected: Vec<(u64, u64)> = Vec::new(); // (submitter, seq)
+            for _ in 0..n {
+                let submitter = rng.range_u64(1, 4);
+                let op = match rng.range_u64(0, 4) {
+                    0 => BatchOp::Getuid,
+                    1 => BatchOp::Getpid,
+                    2 => BatchOp::Futex,
+                    _ => BatchOp::Close { fd: 999 }, // always EBADF: errno path
+                };
+                let seq = ring.enqueue(submitter, op);
+                expected.push((submitter, seq));
+            }
+            for sub in ring.drain_submissions() {
+                let result = service(&mut k, &mut c, &sub.op);
+                ring.complete(Completion {
+                    seq: sub.seq,
+                    submitter: sub.submitter,
+                    sysno: sub.op.sysno(),
+                    result,
+                });
+            }
+            let done = ring.take_completions();
+            assert_eq!(done.len(), n, "no lost or duplicated completions");
+            let mut seen = std::collections::BTreeSet::new();
+            for comp in &done {
+                assert!(seen.insert(comp.seq), "duplicate seq {}", comp.seq);
+            }
+            // FIFO per submitter: the completion order restricted to one
+            // submitter equals that submitter's submission order.
+            for submitter in 1..4 {
+                let completed: Vec<u64> = done
+                    .iter()
+                    .filter(|comp| comp.submitter == submitter)
+                    .map(|comp| comp.seq)
+                    .collect();
+                let submitted: Vec<u64> = expected
+                    .iter()
+                    .filter(|(s, _)| *s == submitter)
+                    .map(|(_, seq)| *seq)
+                    .collect();
+                assert_eq!(completed, submitted, "submitter {submitter}");
+            }
+        }
+    }
+}

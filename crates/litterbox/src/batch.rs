@@ -1,0 +1,437 @@
+//! The **batched syscall gateway** — an io_uring-style submission /
+//! completion ring that amortizes the crossing tax (paper §6.2's
+//! dominant term) over a whole quantum of syscalls.
+//!
+//! The synchronous gateway ([`crate::gateway`]) charges one crossing
+//! per proxied syscall: a VM EXIT under [`Backend::Vtx`], a seccomp
+//! program evaluation under [`Backend::Mpk`]. With batching enabled,
+//! goroutines enqueue [`BatchOp`] descriptors instead and the
+//! scheduler flushes the ring once per quantum, paying **one** charged
+//! crossing per (environment, batch) pair:
+//!
+//! * `Vtx` — one VM EXIT covers every entry in the flush; entries are
+//!   serviced host-side at kernel cost.
+//! * `Mpk` — one seccomp filter evaluation admits the batch; each
+//!   entry is still checked against the front environment's compiled
+//!   program (uncharged — the evaluation was paid once), so a denied
+//!   entry completes with `EACCES` without poisoning its neighbors.
+//! * `Baseline` — no crossing to amortize; entries are serviced
+//!   directly.
+//!
+//! # Flush barriers
+//!
+//! A batch belongs to exactly one environment: `prolog`, `epilog`,
+//! `execute`, and the contained-recovery path all flush before
+//! switching, so a batch never mixes environments and never outlives
+//! an epilog. [`LitterBox::batch_enqueue`] additionally auto-flushes
+//! if it observes an environment change the barriers did not cover.
+//!
+//! # Containment
+//!
+//! Faults are isolated per entry: a denied or injection-faulted entry
+//! completes with its errno while the rest of the batch proceeds. Only
+//! the whole-flush [`InjectionSite::BatchFlush`] fault (the single
+//! charged crossing is lost) aborts a flush — and then the batch stays
+//! queued, so a retry services every entry exactly once.
+
+use enclosure_hw::vtx::{EnvId, TRUSTED_ENV};
+use enclosure_hw::InjectionSite;
+use enclosure_kernel::ring::{self, BatchOp, Completion, SyscallRing};
+use enclosure_kernel::Errno;
+use enclosure_telemetry::{Event, SpanScope};
+
+use crate::fault::Fault;
+use crate::machine::{Backend, LitterBox};
+
+/// The ring plus the environment its queued entries belong to.
+#[derive(Debug)]
+pub(crate) struct BatchState {
+    pub(crate) ring: SyscallRing,
+    pub(crate) env: EnvId,
+}
+
+impl LitterBox {
+    /// Turns the batched gateway on. Until [`LitterBox::disable_batching`],
+    /// [`LitterBox::batch_enqueue`] accepts descriptors and
+    /// [`LitterBox::batch_flush`] services them in one charged crossing.
+    pub fn enable_batching(&mut self) {
+        if self.batch.is_none() {
+            self.batch = Some(BatchState {
+                ring: SyscallRing::new(),
+                env: self.current_env(),
+            });
+        }
+    }
+
+    /// Turns the batched gateway off, flushing anything still queued
+    /// first so no submission is silently dropped.
+    pub fn disable_batching(&mut self) -> Result<(), Fault> {
+        if self.batch.is_some() {
+            self.batch_flush()?;
+            self.batch = None;
+        }
+        Ok(())
+    }
+
+    /// Whether the batched gateway is accepting submissions.
+    #[must_use]
+    pub fn batching_enabled(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    /// Entries queued and not yet flushed.
+    #[must_use]
+    pub fn batch_pending(&self) -> usize {
+        self.batch.as_ref().map_or(0, |b| b.ring.pending())
+    }
+
+    /// Enqueues one syscall descriptor for the current environment,
+    /// returning its sequence number. If the ring still holds another
+    /// environment's entries (a path the flush barriers did not cover),
+    /// they are flushed first so a batch never mixes environments.
+    pub fn batch_enqueue(&mut self, submitter: u64, op: BatchOp) -> Result<u64, Fault> {
+        if self.batch.is_none() {
+            return Err(self.trace_fault(Fault::Init(
+                "batched gateway is not enabled; call enable_batching first".into(),
+            )));
+        }
+        let env = self.current_env();
+        let stale = self
+            .batch
+            .as_ref()
+            .is_some_and(|b| b.env != env && b.ring.pending() > 0);
+        if stale {
+            self.flush_batch_barrier();
+        }
+        let batch = self.batch.as_mut().expect("checked above");
+        batch.env = env;
+        Ok(batch.ring.enqueue(submitter, op))
+    }
+
+    /// Drains completed entries (FIFO per submitter).
+    pub fn batch_take_completions(&mut self) -> Vec<Completion> {
+        self.batch
+            .as_mut()
+            .map_or_else(Vec::new, |b| b.ring.take_completions())
+    }
+
+    /// Flushes the queued batch in **one charged crossing**: one VM
+    /// EXIT under `Vtx`, one seccomp evaluation under `Mpk`. Returns
+    /// the number of entries serviced (0 when nothing is queued or
+    /// batching is off).
+    ///
+    /// On a [`InjectionSite::BatchFlush`] fault the batch stays queued
+    /// and a [`Fault::Transient`] is returned — retry after recovery
+    /// and every entry completes exactly once.
+    pub fn batch_flush(&mut self) -> Result<usize, Fault> {
+        let Some(mut state) = self.batch.take() else {
+            return Ok(0);
+        };
+        let n = state.ring.pending();
+        if n == 0 {
+            self.batch = Some(state);
+            return Ok(0);
+        }
+        let env = state.env;
+        let enclosed = env != TRUSTED_ENV;
+        let backend = self.backend();
+
+        // The single charged crossing can fault as a whole — before any
+        // entry is serviced, so the batch survives intact for a retry.
+        if enclosed
+            && backend != Backend::Baseline
+            && self.clock_mut().should_inject(InjectionSite::BatchFlush)
+        {
+            self.batch = Some(state);
+            return Err(self.trace_fault(Fault::Transient {
+                site: "batch_flush",
+            }));
+        }
+
+        {
+            let clock = self.clock_mut();
+            let now = clock.now_ns();
+            clock.recorder_mut().begin_span(
+                now,
+                SpanScope::new("batch.flush", "litterbox.gateway", env.0),
+            );
+        }
+
+        // One crossing per (environment, batch) — this is the whole
+        // point: the per-syscall tax of the synchronous gateway is paid
+        // once here and amortized over all `n` entries.
+        match backend {
+            Backend::Vtx => self.clock_mut().charge_vm_exit(),
+            Backend::Mpk => {
+                self.clock_mut().charge_seccomp();
+                self.clock_mut().record(Event::SeccompVerdict {
+                    category: "batch",
+                    allowed: true,
+                });
+            }
+            Backend::Baseline => {}
+        }
+
+        for sub in {
+            let batch = &mut state.ring;
+            batch.drain_submissions()
+        } {
+            let record = sub.op.record();
+            let allowed = if backend == Backend::Baseline {
+                true
+            } else {
+                self.batch_entry_allowed(&record)
+            };
+            if enclosed && backend != Backend::Baseline {
+                self.clock_mut().record(Event::FilterSyscall {
+                    sysno: record.sysno as u32,
+                    allowed,
+                });
+            }
+            let result = if !allowed {
+                Err(Errno::Eacces)
+            } else if enclosed && self.clock_mut().should_inject(InjectionSite::GatewayErrno) {
+                Err(self.pick_transient_errno())
+            } else if enclosed
+                && backend == Backend::Vtx
+                && self.clock_mut().should_inject(InjectionSite::VmExit)
+            {
+                // The amortized host round-trip can still drop a single
+                // entry's reply; it completes with a transient errno
+                // without poisoning the rest of the batch.
+                Err(self.pick_transient_errno())
+            } else {
+                let (kernel, clock) = self.kernel_and_clock();
+                ring::service(kernel, clock, &sub.op)
+            };
+            self.clock_mut().record(Event::BatchedSyscall {
+                sysno: record.sysno as u32,
+            });
+            state.ring.complete(Completion {
+                seq: sub.seq,
+                submitter: sub.submitter,
+                sysno: record.sysno,
+                result,
+            });
+        }
+
+        let clock = self.clock_mut();
+        clock.recorder_mut().record_op("batch_size", n as u64);
+        clock.record(Event::BatchFlush {
+            env: env.0,
+            entries: n as u64,
+        });
+        let now = clock.now_ns();
+        clock.recorder_mut().end_span(now);
+        self.batch = Some(state);
+        Ok(n)
+    }
+
+    /// The infallible flush used by the switch barriers (`prolog`,
+    /// `epilog`, `execute`, contained recovery). Injection is suspended
+    /// for its duration: barrier flushes are bookkeeping the enclosure
+    /// cannot observe failing — fault coverage lives on the explicit
+    /// [`LitterBox::batch_flush`] path.
+    pub(crate) fn flush_batch_barrier(&mut self) {
+        if self.batch.as_ref().is_none_or(|b| b.ring.pending() == 0) {
+            return;
+        }
+        self.clock_mut().suspend_injection();
+        let flushed = self.batch_flush();
+        self.clock_mut().resume_injection();
+        debug_assert!(flushed.is_ok(), "barrier flushes run injection-suspended");
+    }
+
+    /// One deterministic transient errno, driven by the injection
+    /// plan's PRNG (mirrors the synchronous gateway's pick).
+    fn pick_transient_errno(&mut self) -> Errno {
+        #[allow(clippy::cast_possible_truncation)]
+        let pick = self
+            .clock_mut()
+            .injection_roll(Errno::TRANSIENT.len() as u64) as usize;
+        Errno::TRANSIENT[pick]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::{EnclosureDesc, EnclosureId, ProgramDesc};
+    use enclosure_hw::InjectionPlan;
+    use enclosure_kernel::fs::OpenFlags;
+    use enclosure_kernel::ring::BatchReply;
+    use enclosure_kernel::seccomp::SysPolicy;
+    use enclosure_kernel::{CategorySet, SysCategory, Sysno};
+    use enclosure_vmem::Access;
+
+    fn lab_with(backend: Backend, policy: SysPolicy) -> (LitterBox, enclosure_vmem::Addr) {
+        let mut lb = LitterBox::new(backend);
+        let mut prog = ProgramDesc::new();
+        prog.add_package(&mut lb, "libnet", 2, 1, 2).unwrap();
+        let cs = prog.verified_callsite();
+        prog.add_enclosure(EnclosureDesc {
+            id: EnclosureId(1),
+            name: "rcl".into(),
+            view: [("libnet".to_string(), Access::RWX)].into_iter().collect(),
+            policy,
+            marked: vec!["libnet".into()],
+        });
+        lb.init(prog).unwrap();
+        (lb, cs)
+    }
+
+    fn lab(backend: Backend) -> (LitterBox, enclosure_vmem::Addr) {
+        lab_with(backend, SysPolicy::all())
+    }
+
+    #[test]
+    fn batched_vtx_flush_charges_one_vm_exit_for_the_whole_batch() {
+        let (mut lb, cs) = lab(Backend::Vtx);
+        lb.enable_batching();
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        let before = lb.stats().vm_exits;
+        for _ in 0..8 {
+            lb.batch_enqueue(1, BatchOp::Getuid).unwrap();
+        }
+        assert_eq!(lb.batch_pending(), 8);
+        assert_eq!(lb.batch_flush().unwrap(), 8);
+        assert_eq!(
+            lb.stats().vm_exits - before,
+            1,
+            "one charged VM EXIT amortizes the whole batch"
+        );
+        let done = lb.batch_take_completions();
+        assert_eq!(done.len(), 8);
+        assert!(done.iter().all(|c| c.result.is_ok()));
+        lb.epilog(t).unwrap();
+    }
+
+    #[test]
+    fn batched_mpk_flush_charges_one_seccomp_evaluation() {
+        let (mut lb, cs) = lab(Backend::Mpk);
+        lb.enable_batching();
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        let before = lb.stats().seccomp_checks;
+        for _ in 0..6 {
+            lb.batch_enqueue(1, BatchOp::Getpid).unwrap();
+        }
+        lb.batch_flush().unwrap();
+        assert_eq!(
+            lb.stats().seccomp_checks - before,
+            1,
+            "one filter evaluation admits the whole batch"
+        );
+        lb.epilog(t).unwrap();
+    }
+
+    #[test]
+    fn denied_entry_completes_with_eacces_without_poisoning_the_batch() {
+        // Proc-only policy: getpid is allowed, open (File) is denied.
+        let (mut lb, cs) = lab_with(
+            Backend::Mpk,
+            SysPolicy::categories(CategorySet::only(SysCategory::Proc)),
+        );
+        lb.enable_batching();
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        lb.batch_enqueue(7, BatchOp::Getpid).unwrap();
+        lb.batch_enqueue(
+            7,
+            BatchOp::Open {
+                path: "/etc/shadow".into(),
+                flags: OpenFlags::read_only(),
+            },
+        )
+        .unwrap();
+        lb.batch_enqueue(7, BatchOp::Getpid).unwrap();
+        lb.batch_flush().unwrap();
+        let done = lb.batch_take_completions();
+        assert_eq!(done.len(), 3);
+        assert!(done[0].result.is_ok());
+        assert_eq!(done[1].result, Err(Errno::Eacces));
+        assert!(done[2].result.is_ok(), "denial is contained to its entry");
+        lb.epilog(t).unwrap();
+    }
+
+    #[test]
+    fn batch_flush_fault_keeps_the_batch_queued_for_retry() {
+        let (mut lb, cs) = lab(Backend::Vtx);
+        lb.enable_batching();
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        lb.batch_enqueue(1, BatchOp::Getuid).unwrap();
+        lb.batch_enqueue(1, BatchOp::Getpid).unwrap();
+        lb.clock_mut()
+            .arm_injection(InjectionPlan::once(InjectionSite::BatchFlush));
+        let err = lb.batch_flush().unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(lb.batch_pending(), 2, "no entry was lost or serviced");
+        assert_eq!(
+            lb.batch_flush().unwrap(),
+            2,
+            "retry services every entry once"
+        );
+        assert_eq!(lb.batch_take_completions().len(), 2);
+        lb.epilog(t).unwrap();
+        lb.clock_mut().disarm_injection();
+    }
+
+    #[test]
+    fn epilog_barrier_flushes_before_leaving_the_environment() {
+        let (mut lb, cs) = lab(Backend::Vtx);
+        lb.enable_batching();
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        lb.batch_enqueue(1, BatchOp::Getuid).unwrap();
+        lb.epilog(t).unwrap();
+        assert_eq!(lb.batch_pending(), 0, "a batch never outlives an epilog");
+        let done = lb.batch_take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].sysno, Sysno::Getuid);
+    }
+
+    #[test]
+    fn trusted_batches_emit_no_filter_events_but_still_pay_the_crossing() {
+        let (mut lb, _cs) = lab(Backend::Vtx);
+        lb.enable_batching();
+        lb.batch_enqueue(0, BatchOp::Getuid).unwrap();
+        let before = lb.stats().vm_exits;
+        lb.batch_flush().unwrap();
+        // The trusted environment still pays the charged crossing (the
+        // host boundary does not vanish) but emits no filter events.
+        assert_eq!(lb.stats().vm_exits - before, 1);
+        let done = lb.batch_take_completions();
+        assert_eq!(done[0].result, Ok(BatchReply::Num(1000)));
+    }
+
+    #[test]
+    fn replies_carry_data_for_io_ops() {
+        let (mut lb, cs) = lab(Backend::Mpk);
+        {
+            // Seed a file out-of-band (harness traffic, unfiltered).
+            let (kernel, clock) = lb.kernel_and_clock();
+            let fd = kernel
+                .open(clock, "/data/in.txt", OpenFlags::write_create())
+                .unwrap();
+            kernel.write(clock, fd, b"hello batched").unwrap();
+            kernel.close(clock, fd).unwrap();
+        }
+        lb.enable_batching();
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        lb.batch_enqueue(
+            3,
+            BatchOp::Open {
+                path: "/data/in.txt".into(),
+                flags: OpenFlags::read_only(),
+            },
+        )
+        .unwrap();
+        lb.batch_flush().unwrap();
+        let opened = lb.batch_take_completions();
+        let Ok(BatchReply::Fd(fd)) = opened[0].result else {
+            panic!("open should return an fd: {:?}", opened[0].result);
+        };
+        lb.batch_enqueue(3, BatchOp::Read { fd, len: 5 }).unwrap();
+        lb.batch_flush().unwrap();
+        let read = lb.batch_take_completions();
+        assert_eq!(read[0].result, Ok(BatchReply::Bytes(b"hello".to_vec())));
+        lb.epilog(t).unwrap();
+    }
+}

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod cluster;
 pub mod deps;
 mod desc;
@@ -69,4 +70,5 @@ pub use machine::{
 
 pub use enclosure_hw::vtx::{EnvId, TRUSTED_ENV};
 pub use enclosure_hw::{InjectionPlan, InjectionSite, VirtualKey, VirtualKeyTable, VkeyLedger};
+pub use enclosure_kernel::ring::{BatchOp, BatchReply, Completion, Submission, SyscallRing};
 pub use enclosure_kernel::FilterMode;

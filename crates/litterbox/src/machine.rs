@@ -142,6 +142,17 @@ struct EnvInfo {
     policy: SysPolicy,
 }
 
+/// LB_MPK switch fast-path cache counters: how often a prolog/epilog on
+/// an unchanged binding reused a compiled seccomp program versus having
+/// to recompile after a `KeyBind`/`KeyEvict` epoch bump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchCacheStats {
+    /// Switches that found the target's compiled filter fresh.
+    pub hits: u64,
+    /// Filter compilations (cold entries and epoch invalidations).
+    pub compiles: u64,
+}
+
 #[derive(Debug)]
 enum HwState {
     Baseline,
@@ -149,9 +160,21 @@ enum HwState {
         table: PageTable,
         vkeys: VirtualKeyTable,
         vkey_of_meta: Vec<VirtualKey>,
+        /// PKRU images per environment, valid at `pkru_epoch`. The map
+        /// depends only on the bindings (not on which environment is in
+        /// front), so one recompute serves every switch until the next
+        /// binding change.
         pkru_of_env: HashMap<EnvId, Pkru>,
-        filter: SeccompFilter,
-        filter_epoch: u64,
+        pkru_epoch: u64,
+        /// Compiled seccomp programs per front environment, each tagged
+        /// with the vkey epoch it was compiled at. A `KeyBind`/`KeyEvict`
+        /// epoch bump invalidates the whole cache (the PKRU values the
+        /// rules index on all moved).
+        filters: HashMap<EnvId, (u64, SeccompFilter)>,
+        /// Environment whose filter is loaded (the one syscalls are
+        /// checked against).
+        front: EnvId,
+        cache: SwitchCacheStats,
     },
     Vtx {
         vm: Vm,
@@ -186,6 +209,17 @@ pub struct LitterBox {
     init_ns: u64,
     filter_mode: FilterMode,
     mpk_key_mode: MpkKeyMode,
+    /// Telemetry-guided eviction pins: virtual keys of "hot" metas the
+    /// LRU should avoid evicting. Advisory — when every other binding
+    /// is hard-pinned by the running working set, a hot meta is still
+    /// evictable (pinning must never introduce a new failure mode).
+    hot_pinned: Vec<VirtualKey>,
+    /// Opt-in: coalesce the victim sweeps of one switch into a single
+    /// charged `pkey_mprotect` unit count over the combined pages.
+    coalesce_sweeps: bool,
+    /// The batched syscall gateway's pending (environment, batch), when
+    /// batching is enabled (see `crate::batch`).
+    pub(crate) batch: Option<crate::batch::BatchState>,
 }
 
 impl LitterBox {
@@ -219,6 +253,9 @@ impl LitterBox {
             init_ns: 0,
             filter_mode: FilterMode::KillProcess,
             mpk_key_mode: MpkKeyMode::default(),
+            hot_pinned: Vec::new(),
+            coalesce_sweeps: false,
+            batch: None,
         }
     }
 
@@ -401,12 +438,25 @@ impl LitterBox {
         out
     }
 
-    /// The compiled seccomp-BPF filter, when running on the MPK backend
-    /// (LB_VTX filters in the guest OS instead).
+    /// The compiled seccomp-BPF filter in force (the front
+    /// environment's), when running on the MPK backend (LB_VTX filters
+    /// in the guest OS instead).
     #[must_use]
     pub fn seccomp_program(&self) -> Option<&enclosure_kernel::bpf::Program> {
         match &self.hw {
-            HwState::Mpk { filter, .. } => Some(filter.program()),
+            HwState::Mpk { filters, front, .. } => {
+                filters.get(front).map(|(_, filter)| filter.program())
+            }
+            _ => None,
+        }
+    }
+
+    /// Switch fast-path cache counters (LB_MPK only): compiled-filter
+    /// reuse vs recompilation across environment switches.
+    #[must_use]
+    pub fn switch_cache_stats(&self) -> Option<SwitchCacheStats> {
+        match &self.hw {
+            HwState::Mpk { cache, .. } => Some(*cache),
             _ => None,
         }
     }
@@ -963,22 +1013,20 @@ impl LitterBox {
             }
         }
 
-        let filter_epoch = vkeys.epoch();
-        let (pkru_of_env, filter) = mpk_compile_rules(
-            self.current,
-            envs,
-            clustering,
-            &vkeys,
-            &vkey_of_meta,
-            self.filter_mode,
-        )?;
+        let pkru_epoch = vkeys.epoch();
+        let pkru_of_env = mpk_pkru_map(envs, clustering, &vkeys, &vkey_of_meta);
+        let filter = mpk_compile_filter(self.current, envs, &pkru_of_env, self.filter_mode)?;
+        let mut filters = HashMap::new();
+        filters.insert(self.current, (pkru_epoch, filter));
         Ok(HwState::Mpk {
             table,
             vkeys,
             vkey_of_meta,
             pkru_of_env,
-            filter,
-            filter_epoch,
+            pkru_epoch,
+            filters,
+            front: self.current,
+            cache: SwitchCacheStats::default(),
         })
     }
 
@@ -1021,6 +1069,10 @@ impl LitterBox {
     ///   current environment (§2.2);
     /// * [`Fault::UnknownEnclosure`] for unregistered ids.
     pub fn prolog(&mut self, enclosure: EnclosureId, callsite: Addr) -> Result<SwitchToken, Fault> {
+        // Flush barrier: anything batched in the departing environment
+        // is serviced before the switch, so a batch never mixes
+        // environments (and its events attribute to the enqueuer).
+        self.flush_batch_barrier();
         if self.backend == Backend::Baseline {
             // Vanilla closure: no switch, no checks.
             self.seq += 1;
@@ -1121,6 +1173,11 @@ impl LitterBox {
                 actual: self.current,
             }));
         }
+        // Flush barrier: a batch never outlives an epilog. Serviced here,
+        // while still inside the enclosure, so the flush span nests in
+        // the enclosure span and the crossing bills the departing
+        // environment.
+        self.flush_batch_barrier();
         let switch_started_ns = self.cpu.clock().now_ns();
         if self.backend != Backend::Baseline {
             if let Err(e) = self.switch_hw(token.prev) {
@@ -1163,6 +1220,7 @@ impl LitterBox {
             return;
         }
         self.cpu.clock_mut().suspend_injection();
+        self.flush_batch_barrier();
         while let Some((prev, _seq)) = self.stack.pop() {
             let exited = self.current;
             self.current = prev;
@@ -1189,6 +1247,9 @@ impl LitterBox {
     ///
     /// [`Fault::UnverifiedCallsite`] for unknown call-sites.
     pub fn execute(&mut self, ctx: EnvContext, callsite: Addr) -> Result<EnvContext, Fault> {
+        // Same flush barrier as prolog/epilog: a scheduler context swap
+        // must not carry another environment's batch with it.
+        self.flush_batch_barrier();
         if self.backend == Backend::Baseline {
             let prev = EnvContext {
                 current: self.current,
@@ -1230,8 +1291,10 @@ impl LitterBox {
                 vkeys,
                 vkey_of_meta,
                 pkru_of_env,
-                filter,
-                filter_epoch,
+                pkru_epoch,
+                filters,
+                front,
+                cache,
             } => {
                 if !self.envs.contains_key(&target) {
                     return Err(Fault::UnknownEnclosure(EnclosureId(target.0)));
@@ -1265,38 +1328,43 @@ impl LitterBox {
                             pinned.len()
                         )));
                     }
-                    for meta_index in to_bind {
-                        mpk_bind_with_eviction(
-                            table,
-                            vkeys,
-                            vkey_of_meta,
-                            &self.clustering.metas,
-                            &self.packages,
-                            &mut self.cpu,
-                            &pinned,
-                            meta_index,
-                        )?;
-                    }
+                    mpk_bind_many(
+                        table,
+                        vkeys,
+                        vkey_of_meta,
+                        &self.clustering.metas,
+                        &self.packages,
+                        &mut self.cpu,
+                        &pinned,
+                        &self.hot_pinned,
+                        &to_bind,
+                        self.coalesce_sweeps,
+                    )?;
                     for &v in &pinned {
                         vkeys.touch(v);
                     }
                 }
-                // Bindings moved → every cached PKRU (and the PKRU-indexed
-                // seccomp filter) is stale; recompile with the target's
-                // rule taking precedence.
-                if *filter_epoch != vkeys.epoch() {
-                    let (new_pkru, new_filter) = mpk_compile_rules(
-                        target,
-                        &self.envs,
-                        &self.clustering,
-                        vkeys,
-                        vkey_of_meta,
-                        self.filter_mode,
-                    )?;
-                    *pkru_of_env = new_pkru;
-                    *filter = new_filter;
-                    *filter_epoch = vkeys.epoch();
+                // Bindings moved → every cached PKRU image (and every
+                // compiled PKRU-indexed seccomp program) is stale.
+                if *pkru_epoch != vkeys.epoch() {
+                    *pkru_of_env = mpk_pkru_map(&self.envs, &self.clustering, vkeys, vkey_of_meta);
+                    *pkru_epoch = vkeys.epoch();
+                    filters.clear();
                 }
+                // Fast path: an unchanged binding reuses the target's
+                // compiled filter; only a cold or invalidated entry pays
+                // a recompile (with the target's rule taking precedence
+                // over transient PKRU collisions).
+                match filters.get(&target) {
+                    Some((epoch, _)) if *epoch == vkeys.epoch() => cache.hits += 1,
+                    _ => {
+                        let filter =
+                            mpk_compile_filter(target, &self.envs, pkru_of_env, self.filter_mode)?;
+                        filters.insert(target, (vkeys.epoch(), filter));
+                        cache.compiles += 1;
+                    }
+                }
+                *front = target;
                 let pkru = *pkru_of_env
                     .get(&target)
                     .ok_or(Fault::UnknownEnclosure(EnclosureId(target.0)))?;
@@ -1514,8 +1582,10 @@ impl LitterBox {
             vkeys,
             vkey_of_meta,
             pkru_of_env,
-            filter,
-            filter_epoch,
+            pkru_epoch,
+            filters,
+            front: _,
+            cache,
         } = &mut self.hw
         else {
             return Ok(());
@@ -1538,7 +1608,7 @@ impl LitterBox {
             .map(|m| vkey_of_meta[m.index])
             .collect();
         pinned.push(vkey_of_meta[meta_index]);
-        if let Err(e) = mpk_bind_with_eviction(
+        if let Err(e) = mpk_bind_many(
             table,
             vkeys,
             vkey_of_meta,
@@ -1546,28 +1616,91 @@ impl LitterBox {
             &self.packages,
             &mut self.cpu,
             &pinned,
-            meta_index,
+            &self.hot_pinned,
+            &[meta_index],
+            self.coalesce_sweeps,
         ) {
             return Err(self.trace_fault(e));
         }
         // Re-grant under the new bindings so the freshly bound key is
         // actually usable from the current environment.
-        if *filter_epoch != vkeys.epoch() {
-            let (new_pkru, new_filter) = mpk_compile_rules(
-                self.current,
-                &self.envs,
-                &self.clustering,
-                vkeys,
-                vkey_of_meta,
-                self.filter_mode,
-            )?;
-            *pkru_of_env = new_pkru;
-            *filter = new_filter;
-            *filter_epoch = vkeys.epoch();
+        if *pkru_epoch != vkeys.epoch() {
+            *pkru_of_env = mpk_pkru_map(&self.envs, &self.clustering, vkeys, vkey_of_meta);
+            *pkru_epoch = vkeys.epoch();
+            filters.clear();
+            let filter =
+                mpk_compile_filter(self.current, &self.envs, pkru_of_env, self.filter_mode)?;
+            filters.insert(self.current, (vkeys.epoch(), filter));
+            cache.compiles += 1;
             let pkru = pkru_of_env[&self.current];
             self.cpu.write_pkru(pkru);
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry-guided eviction tuning
+    // ------------------------------------------------------------------
+
+    /// Pins `packages`' meta-packages as eviction-averse ("hot"): the
+    /// LRU prefers any other victim while one exists. Advisory — when
+    /// everything else is hard-pinned by the running working set a hot
+    /// meta is still evicted, so pinning can never introduce a failure
+    /// the pure LRU would not have. Replaces any previous hot set;
+    /// a no-op (beyond validation) on non-MPK backends.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::UnknownPackage`] for unregistered names.
+    pub fn pin_hot_packages(&mut self, packages: &[&str]) -> Result<(), Fault> {
+        let mut hot = Vec::new();
+        for pkg in packages {
+            let Some(&meta) = self.clustering.meta_of.get(*pkg) else {
+                return Err(self.trace_fault(Fault::UnknownPackage((*pkg).to_owned())));
+            };
+            if let HwState::Mpk { vkey_of_meta, .. } = &self.hw {
+                let v = vkey_of_meta[meta];
+                if !hot.contains(&v) {
+                    hot.push(v);
+                }
+            }
+        }
+        self.hot_pinned = hot;
+        Ok(())
+    }
+
+    /// Clears the hot set (back to pure LRU eviction).
+    pub fn clear_hot_pins(&mut self) {
+        self.hot_pinned.clear();
+    }
+
+    /// The top-`k` packages by span self-time in the attribution
+    /// ledger — the telemetry signal behind [`Self::pin_hot_packages`].
+    /// Multi-package scopes (`"a+b"`) credit each member; the trusted
+    /// placeholder scope is skipped. Ties break alphabetically so the
+    /// pick is deterministic.
+    #[must_use]
+    pub fn hot_packages_by_self_time(&self, k: usize) -> Vec<String> {
+        let mut by_pkg: BTreeMap<String, u64> = BTreeMap::new();
+        for (scope, cost) in self.telemetry().attribution() {
+            for pkg in scope.package.split('+') {
+                if pkg.is_empty() || pkg == "-" {
+                    continue;
+                }
+                *by_pkg.entry(pkg.to_owned()).or_default() += cost.self_ns;
+            }
+        }
+        let mut ranked: Vec<(String, u64)> = by_pkg.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(pkg, _)| pkg).collect()
+    }
+
+    /// Opt-in: charge the victim sweeps of one switch as a single
+    /// coalesced `pkey_mprotect` over their combined pages instead of
+    /// rounding each victim up separately.
+    pub fn set_coalesced_sweeps(&mut self, on: bool) {
+        self.coalesce_sweeps = on;
     }
 
     // ------------------------------------------------------------------
@@ -1583,8 +1716,11 @@ impl LitterBox {
     pub fn filter_syscall(&mut self, record: SyscallRecord) -> Result<(), Fault> {
         let allowed = match &self.hw {
             HwState::Baseline => true,
-            HwState::Mpk { filter, .. } => {
+            HwState::Mpk { filters, front, .. } => {
                 self.cpu.clock_mut().charge_seccomp();
+                let (_, filter) = filters
+                    .get(front)
+                    .expect("the front environment's filter is compiled at switch");
                 let allowed = filter.check(record.sysno, &record.args, self.cpu.pkru().bits());
                 // Every PKRU-indexed BPF evaluation is a verdict, trusted
                 // code included (it pays the filter too, Table 1).
@@ -1625,6 +1761,27 @@ impl LitterBox {
                 env_name: self.env_name(self.current).to_owned(),
             };
             Err(self.trace_fault(fault))
+        }
+    }
+
+    /// The verdict `record` would receive under the current
+    /// environment's filter, without charging the crossing. This is the
+    /// per-entry check behind the batched gateway: the batch pays one
+    /// charged evaluation per (environment, batch), then every entry is
+    /// checked against the same compiled program/policy for free.
+    #[must_use]
+    pub(crate) fn batch_entry_allowed(&self, record: &SyscallRecord) -> bool {
+        match &self.hw {
+            HwState::Baseline => true,
+            HwState::Mpk { filters, front, .. } => {
+                let (_, filter) = filters
+                    .get(front)
+                    .expect("the front environment's filter is compiled at switch");
+                filter.check(record.sysno, &record.args, self.cpu.pkru().bits())
+            }
+            HwState::Vtx { .. } => self.envs[&self.current]
+                .policy
+                .allows(record.sysno, &record.args),
         }
     }
 
@@ -1755,44 +1912,60 @@ fn mpk_pkru_for(
     pkru
 }
 
-/// Recomputes every environment's PKRU and the PKRU-indexed seccomp
-/// filter under the current bindings. `current`'s rule is compiled first:
-/// when parked metas transiently collide two environments onto the same
-/// PKRU value, the first matching BPF rule — the running environment's —
-/// wins. (Environments whose *full* rights signatures collide are
-/// rejected at `Init` unless their policies agree, so the collision can
-/// only be transient and the precedence is always sound.)
-fn mpk_compile_rules(
-    current: EnvId,
+/// Recomputes every environment's PKRU image under the current
+/// bindings. Depends only on views and bindings — not on which
+/// environment is in front — so a single recompute per epoch serves
+/// every subsequent switch (the PKRU half of the switch fast-path
+/// cache).
+fn mpk_pkru_map(
     envs: &HashMap<EnvId, EnvInfo>,
     clustering: &Clustering,
     vkeys: &VirtualKeyTable,
     vkey_of_meta: &[VirtualKey],
+) -> HashMap<EnvId, Pkru> {
+    envs.iter()
+        .map(|(env, info)| {
+            (
+                *env,
+                mpk_pkru_for(&info.view, clustering, vkeys, vkey_of_meta),
+            )
+        })
+        .collect()
+}
+
+/// Compiles the PKRU-indexed seccomp filter for `front` from
+/// precomputed PKRU images. `front`'s rule is compiled first: when
+/// parked metas transiently collide two environments onto the same PKRU
+/// value, the first matching BPF rule — the running environment's —
+/// wins. (Environments whose *full* rights signatures collide are
+/// rejected at `Init` unless their policies agree, so the collision can
+/// only be transient and the precedence is always sound.)
+fn mpk_compile_filter(
+    front: EnvId,
+    envs: &HashMap<EnvId, EnvInfo>,
+    pkru_of_env: &HashMap<EnvId, Pkru>,
     filter_mode: FilterMode,
-) -> Result<(HashMap<EnvId, Pkru>, SeccompFilter), Fault> {
+) -> Result<SeccompFilter, Fault> {
     let mut env_ids: Vec<EnvId> = envs.keys().copied().collect();
     env_ids.sort();
-    if let Some(pos) = env_ids.iter().position(|e| *e == current) {
+    if let Some(pos) = env_ids.iter().position(|e| *e == front) {
         env_ids.remove(pos);
-        env_ids.insert(0, current);
+        env_ids.insert(0, front);
     }
-    let mut pkru_of_env = HashMap::new();
     let mut rules: Vec<SeccompRule> = Vec::new();
     let mut seen: HashSet<u32> = HashSet::new();
     for env in env_ids {
         let info = &envs[&env];
-        let pkru = mpk_pkru_for(&info.view, clustering, vkeys, vkey_of_meta);
+        let pkru = pkru_of_env[&env];
         if seen.insert(pkru.bits()) {
             rules.push(SeccompRule {
                 pkru: pkru.bits(),
                 policy: info.policy.clone(),
             });
         }
-        pkru_of_env.insert(env, pkru);
     }
-    let filter = SeccompFilter::compile_with_mode(&rules, filter_mode)
-        .map_err(|e| Fault::Init(format!("seccomp compilation failed: {e}")))?;
-    Ok((pkru_of_env, filter))
+    SeccompFilter::compile_with_mode(&rules, filter_mode)
+        .map_err(|e| Fault::Init(format!("seccomp compilation failed: {e}")))
 }
 
 /// Parks every section of `meta`: pages become non-present (libmpk's
@@ -1845,12 +2018,15 @@ fn unpark_meta(
 }
 
 /// Binds `meta_index`'s virtual key, evicting the least-recently-used
-/// binding outside `pinned` when no hardware key is free. The eviction
-/// sweep is a `pkey_mprotect` and can be injected to fail; the check
-/// fires *before* any mutation, so a failed sweep leaves the victim's
-/// binding (and the live PKRU) intact. Before the sweep, any live PKRU
-/// grant on the recycled key is revoked — the running environment must
-/// never retain rights on a key about to tag someone else's pages.
+/// binding outside `pinned` when no hardware key is free. `soft` pins
+/// are advisory (telemetry-marked hot metas): the LRU skips them while
+/// any other victim exists, but falls back to them rather than failing.
+/// The eviction sweep is a `pkey_mprotect` and can be injected to fail;
+/// the check fires *before* any mutation, so a failed sweep leaves the
+/// victim's binding (and the live PKRU) intact. Before the sweep, any
+/// live PKRU grant on the recycled key is revoked — the running
+/// environment must never retain rights on a key about to tag someone
+/// else's pages.
 #[allow(clippy::too_many_arguments)]
 fn mpk_bind_with_eviction(
     table: &mut PageTable,
@@ -1860,6 +2036,7 @@ fn mpk_bind_with_eviction(
     packages: &BTreeMap<String, PackageInfo>,
     cpu: &mut Cpu,
     pinned: &[VirtualKey],
+    soft: &[VirtualKey],
     meta_index: usize,
 ) -> Result<(), Fault> {
     let v = vkey_of_meta[meta_index];
@@ -1868,9 +2045,7 @@ fn mpk_bind_with_eviction(
         return Ok(());
     }
     if vkeys.free_hkeys() == 0 {
-        let victim = vkeys.evict_candidate(pinned).ok_or_else(|| {
-            Fault::Init("all 15 hardware keys are pinned by the current working set".into())
-        })?;
+        let victim = pick_victim(vkeys, pinned, soft)?;
         if cpu.clock_mut().should_inject(InjectionSite::PkeyMprotect) {
             return Err(Fault::Transient {
                 site: "pkey_mprotect",
@@ -1897,6 +2072,127 @@ fn mpk_bind_with_eviction(
         .expect("a hardware key is free after the eviction");
     let pages = unpark_meta(table, packages, &metas[meta_index], hkey);
     cpu.clock_mut().charge_key_bind_pages(v.0, hkey, pages);
+    Ok(())
+}
+
+/// The LRU victim outside `pinned`, preferring to spare the advisory
+/// `soft` (hot) pins but falling back to them rather than failing.
+fn pick_victim(
+    vkeys: &VirtualKeyTable,
+    pinned: &[VirtualKey],
+    soft: &[VirtualKey],
+) -> Result<VirtualKey, Fault> {
+    let mut averse: Vec<VirtualKey> = pinned.to_vec();
+    for v in soft.iter().copied() {
+        if !averse.contains(&v) {
+            averse.push(v);
+        }
+    }
+    vkeys
+        .evict_candidate(&averse)
+        .or_else(|| vkeys.evict_candidate(pinned))
+        .ok_or_else(|| {
+            Fault::Init("all 15 hardware keys are pinned by the current working set".into())
+        })
+}
+
+/// Binds each meta in `to_bind` (the target environment's missing
+/// working set). With `coalesce` off this is the classic per-meta
+/// bind-with-eviction loop; with it on, the victims the whole set needs
+/// are chosen up front, parked together, and charged as one coalesced
+/// `pkey_mprotect` sweep over their combined pages
+/// ([`Clock::charge_key_evict_batch`]) — strictly fewer rounded-up
+/// sweep units for multi-victim switches, identical bindings either
+/// way. The injection check fires once, before any mutation, so a
+/// failed sweep leaves every victim intact.
+#[allow(clippy::too_many_arguments)]
+fn mpk_bind_many(
+    table: &mut PageTable,
+    vkeys: &mut VirtualKeyTable,
+    vkey_of_meta: &[VirtualKey],
+    metas: &[MetaPackage],
+    packages: &BTreeMap<String, PackageInfo>,
+    cpu: &mut Cpu,
+    pinned: &[VirtualKey],
+    soft: &[VirtualKey],
+    to_bind: &[usize],
+    coalesce: bool,
+) -> Result<(), Fault> {
+    if !coalesce {
+        for &meta_index in to_bind {
+            mpk_bind_with_eviction(
+                table,
+                vkeys,
+                vkey_of_meta,
+                metas,
+                packages,
+                cpu,
+                pinned,
+                soft,
+                meta_index,
+            )?;
+        }
+        return Ok(());
+    }
+    let need: Vec<usize> = to_bind
+        .iter()
+        .copied()
+        .filter(|&m| {
+            if vkeys.is_bound(vkey_of_meta[m]) {
+                vkeys.touch(vkey_of_meta[m]);
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let deficit = need.len().saturating_sub(vkeys.free_hkeys());
+    let mut victims: Vec<VirtualKey> = Vec::with_capacity(deficit);
+    let mut excluded: Vec<VirtualKey> = pinned.to_vec();
+    for _ in 0..deficit {
+        let victim = pick_victim(vkeys, &excluded, soft)?;
+        excluded.push(victim);
+        victims.push(victim);
+    }
+    if !victims.is_empty() {
+        if cpu.clock_mut().should_inject(InjectionSite::PkeyMprotect) {
+            return Err(Fault::Transient {
+                site: "pkey_mprotect",
+            });
+        }
+        let mut live = cpu.pkru();
+        let mut revoked = false;
+        for &victim in &victims {
+            let hkey = vkeys.binding(victim).expect("candidate is bound");
+            if !live.key_rights(hkey).is_none() {
+                live.set_key_rights(hkey, Access::NONE);
+                revoked = true;
+            }
+        }
+        if revoked {
+            cpu.write_pkru(live);
+        }
+        let mut swept: Vec<(u32, u8, u64)> = Vec::with_capacity(victims.len());
+        for &victim in &victims {
+            let hkey = vkeys.binding(victim).expect("candidate is bound");
+            let victim_meta = vkey_of_meta
+                .iter()
+                .position(|vk| *vk == victim)
+                .expect("every bound virtual key belongs to a meta-package");
+            let pages = park_meta(table, packages, &metas[victim_meta]);
+            swept.push((victim.0, hkey, pages));
+            vkeys.unbind(victim);
+        }
+        cpu.clock_mut().charge_key_evict_batch(&swept);
+    }
+    for &meta_index in &need {
+        let v = vkey_of_meta[meta_index];
+        let hkey = vkeys
+            .bind(v)
+            .expect("a hardware key is free after the sweep");
+        let pages = unpark_meta(table, packages, &metas[meta_index], hkey);
+        cpu.clock_mut().charge_key_bind_pages(v.0, hkey, pages);
+    }
     Ok(())
 }
 

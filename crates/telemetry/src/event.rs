@@ -125,6 +125,22 @@ pub enum Event {
         allowed: bool,
     },
 
+    // --- Batched gateway --------------------------------------------------
+    /// The batched syscall gateway flushed one (environment, batch)
+    /// pair in a single charged crossing.
+    BatchFlush {
+        /// Environment whose batch was flushed.
+        env: u32,
+        /// Entries serviced by the flush.
+        entries: u64,
+    },
+    /// One syscall descriptor serviced through a batched flush (its
+    /// crossing cost was amortized by the enclosing [`Event::BatchFlush`]).
+    BatchedSyscall {
+        /// Raw syscall number.
+        sysno: u32,
+    },
+
     // --- gofront ---------------------------------------------------------
     /// The Go scheduler rescheduled a goroutine across environments via
     /// `Execute`.
@@ -261,6 +277,12 @@ impl fmt::Display for Event {
                 "seccomp category={category} {}",
                 if *allowed { "allow" } else { "deny" }
             ),
+            Event::BatchFlush { env, entries } => {
+                write!(f, "batch_flush env={env} entries={entries}")
+            }
+            Event::BatchedSyscall { sysno } => {
+                write!(f, "batched_syscall sysno={sysno}")
+            }
             Event::Reschedule { goroutine, to_env } => {
                 write!(f, "reschedule g{goroutine} to_env={to_env}")
             }

@@ -64,6 +64,10 @@ pub struct Counters {
     pub seccomp_verdicts: u64,
     /// Seccomp denials.
     pub seccomp_denied: u64,
+    /// Batched-gateway flushes (one charged crossing each).
+    pub batch_flushes: u64,
+    /// Syscalls serviced through batched flushes.
+    pub batched_syscalls: u64,
     /// Goroutine reschedules across environments.
     pub reschedules: u64,
     /// Heap-span transfers.
@@ -121,6 +125,8 @@ impl Counters {
             ),
             ("seccomp_verdicts", Json::U64(self.seccomp_verdicts)),
             ("seccomp_denied", Json::U64(self.seccomp_denied)),
+            ("batch_flushes", Json::U64(self.batch_flushes)),
+            ("batched_syscalls", Json::U64(self.batched_syscalls)),
             ("reschedules", Json::U64(self.reschedules)),
             ("span_transfers", Json::U64(self.span_transfers)),
             ("gc_pauses", Json::U64(self.gc_pauses)),
@@ -189,6 +195,8 @@ impl Counters {
                     self.seccomp_denied += 1;
                 }
             }
+            Event::BatchFlush { .. } => self.batch_flushes += 1,
+            Event::BatchedSyscall { .. } => self.batched_syscalls += 1,
             Event::Reschedule { .. } => self.reschedules += 1,
             Event::SpanTransfer { .. } => self.span_transfers += 1,
             Event::GcPause { ns, .. } => {

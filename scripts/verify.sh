@@ -36,7 +36,32 @@ fi
 # ...and must actually report eviction work at 30+ enclosures.
 grep -qE "^ +30 enclosures .* [1-9][0-9]* evictions" "$abl_out"
 grep -qE "^ +40 enclosures .* [1-9][0-9]* evictions" "$abl_out"
+# The pinned-hot arm must run the whole 20-40 curve.
+grep -qE "^ +20 enclosures pinned-hot" "$abl_out"
+grep -qE "^ +40 enclosures pinned-hot" "$abl_out"
 rm -f "$abl_out"
+
+echo "== batching: batched arm amortizes the charged crossings =="
+batch_out="$(mktemp -d)"
+./target/release/repro batching --json > "$batch_out/BENCH_batching.json"
+./target/release/repro batching --json > "$batch_out/b.json"
+cmp "$batch_out/BENCH_batching.json" "$batch_out/b.json"
+python3 - "$batch_out/BENCH_batching.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+arms = {(a["backend"], a["batched"]): a for a in doc["arms"]}
+vtx_plain = arms[("LB_VTX", False)]["vm_exit_ns_per_request"]
+vtx_batch = arms[("LB_VTX", True)]["vm_exit_ns_per_request"]
+assert vtx_batch <= vtx_plain, f"batched VTX crossing tax regressed: {vtx_batch} > {vtx_plain}"
+assert vtx_batch * 2 <= vtx_plain, f"batched VTX tax not halved: {vtx_batch} vs {vtx_plain}"
+mpk_plain = arms[("LB_MPK", False)]["seccomp_per_request"]
+mpk_batch = arms[("LB_MPK", True)]["seccomp_per_request"]
+assert mpk_batch < mpk_plain, f"batched MPK seccomp not reduced: {mpk_batch} vs {mpk_plain}"
+print(f"batching OK: VTX {vtx_plain:.0f} -> {vtx_batch:.0f} ns/req, MPK {mpk_plain} -> {mpk_batch} evals/req")
+PY
+rm -rf "$batch_out"
 
 echo "== smoke: chaos soak (deterministic fault injection) =="
 chaos_out="$(mktemp -d)"

@@ -54,7 +54,7 @@ fn backends_for(site: InjectionSite) -> &'static [Backend] {
     match site {
         // Baseline prologs are vanilla calls (no environment switch),
         // so the gateway only sees enclosed callers on the hw backends.
-        InjectionSite::GatewayErrno => &[Backend::Mpk, Backend::Vtx],
+        InjectionSite::GatewayErrno | InjectionSite::BatchFlush => &[Backend::Mpk, Backend::Vtx],
         InjectionSite::Wrpkru | InjectionSite::PkeyMprotect => &[Backend::Mpk],
         InjectionSite::Cr3Write | InjectionSite::VmExit => &[Backend::Vtx],
         InjectionSite::InitAlloc | InjectionSite::TransferAlloc => {
@@ -81,6 +81,21 @@ fn victim_op(lab: &mut Lab, site: InjectionSite) -> bool {
             let token = lab.lb.prolog(VICTIM, lab.callsite).unwrap();
             let faulted = lab.lb.sys_getuid().is_err();
             lab.lb.epilog(token).unwrap();
+            faulted
+        }
+        InjectionSite::BatchFlush => {
+            // A faulted flush keeps the whole batch queued; the epilog's
+            // flush barrier then retires it with injection suspended, so
+            // both arms end with an empty ring and batching disabled.
+            lab.lb.enable_batching();
+            let token = lab.lb.prolog(VICTIM, lab.callsite).unwrap();
+            lab.lb.batch_enqueue(7, litterbox::BatchOp::Getuid).unwrap();
+            lab.lb.batch_enqueue(7, litterbox::BatchOp::Getpid).unwrap();
+            let faulted = lab.lb.batch_flush().is_err();
+            lab.lb.epilog(token).unwrap();
+            let done = lab.lb.batch_take_completions();
+            assert_eq!(done.len(), 2, "both entries complete despite the fault");
+            lab.lb.disable_batching().unwrap();
             faulted
         }
         InjectionSite::PkeyMprotect | InjectionSite::TransferAlloc => {
@@ -186,6 +201,7 @@ fn backends_for_backend(backend: Backend) -> &'static [InjectionSite] {
         Backend::Baseline => &[InjectionSite::InitAlloc, InjectionSite::TransferAlloc],
         Backend::Mpk => &[
             InjectionSite::GatewayErrno,
+            InjectionSite::BatchFlush,
             InjectionSite::Wrpkru,
             InjectionSite::PkeyMprotect,
             InjectionSite::InitAlloc,
@@ -193,6 +209,7 @@ fn backends_for_backend(backend: Backend) -> &'static [InjectionSite] {
         ],
         Backend::Vtx => &[
             InjectionSite::GatewayErrno,
+            InjectionSite::BatchFlush,
             InjectionSite::Cr3Write,
             InjectionSite::VmExit,
             InjectionSite::InitAlloc,

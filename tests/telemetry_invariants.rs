@@ -328,6 +328,54 @@ fn wiki_span_tree_is_well_nested_across_goroutine_tracks() {
     }
 }
 
+/// With batched I/O on, the scheduler flushes the syscall ring at each
+/// quantum boundary *inside* the goroutine's `go.sched` span, so every
+/// `batch.flush` span nests there — and the attribution table still
+/// equals the span tree's self-times, flush spans included.
+#[test]
+fn batched_quantum_flushes_keep_attribution_equal_to_span_tree() {
+    for backend in [Backend::Mpk, Backend::Vtx] {
+        let mut app = WikiApp::new(backend).unwrap();
+        app.set_batched_io(true);
+        {
+            let lb = app.runtime_mut().lb_mut();
+            lb.clock_mut().reset();
+            lb.telemetry_mut().enable_span_log();
+        }
+        app.serve_requests(10).unwrap();
+        let lb = app.runtime_mut().lb_mut();
+        let now = lb.now_ns();
+        lb.telemetry_mut().flush_tracks(now);
+        let rec = lb.telemetry();
+
+        // Every batch.flush span is nested in a go.sched quantum span.
+        let by_id: BTreeMap<_, _> = rec.span_log().iter().map(|n| (n.id, n)).collect();
+        let flushes: Vec<_> = rec
+            .span_log()
+            .iter()
+            .filter(|n| n.scope.enclosure == "batch.flush")
+            .collect();
+        assert!(!flushes.is_empty(), "{backend}: quanta flushed batches");
+        for node in &flushes {
+            let parent = node.parent.expect("flush spans never run bare");
+            assert_eq!(
+                by_id[&parent].scope.package,
+                enclosure_gofront::GO_SCHED_PKG,
+                "{backend}: batch.flush nests in the quantum span"
+            );
+        }
+
+        // Attribution and span tree agree per scope, flushes included.
+        let by_scope = span_tree_self_times(rec);
+        assert_eq!(by_scope.len(), rec.attribution().len(), "{backend}");
+        for (scope, cost) in rec.attribution() {
+            let (entries, self_ns) = by_scope[scope];
+            assert_eq!(cost.entries, entries, "{backend} {scope:?}");
+            assert_eq!(cost.self_ns, self_ns, "{backend} {scope:?}");
+        }
+    }
+}
+
 /// §6.4 in miniature: the conservative (co-located metadata) run takes
 /// trusted round trips on every secret access while the decoupled run
 /// takes none — the counters, not interpreter bookkeeping, show it.
