@@ -337,6 +337,69 @@ pub fn pinned_eviction_curve(
         .collect()
 }
 
+/// Ablation 2b (process arm) — the same disjoint-view program under
+/// LB_PROC, which has no key hardware at all: each enclosure lives in
+/// its own child process, so there is no 15-key wall and nothing to
+/// evict. The price is the IPC tax on every crossing instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcUnboundedStudy {
+    /// Pairwise-disjoint enclosures built (well past the MPK wall).
+    pub enclosures: usize,
+    /// Enclosure calls completed (one per enclosure).
+    pub calls: u64,
+    /// Child processes forked (one per enclosure, lazily on first entry).
+    pub proc_spawns: u64,
+    /// MPK key bindings — always zero: PROC owns no keys.
+    pub key_binds: u64,
+    /// MPK key evictions — always zero: nothing to recycle.
+    pub key_evictions: u64,
+    /// Pipe messages paid for the crossings (one per direction).
+    pub pipe_msgs: u64,
+    /// Simulated wall time for the sweep.
+    pub total_ns: u64,
+}
+
+/// Builds `enclosures` pairwise-disjoint enclosures under
+/// [`Backend::Proc`] and enters each once — the scale at which static
+/// LB_MPK has long since failed ([`key_exhaustion_study`]).
+///
+/// # Errors
+///
+/// Build faults (there is no key limit to hit, so none are expected).
+pub fn proc_unbounded_study(enclosures: usize) -> Result<ProcUnboundedStudy, Fault> {
+    let mut builder = App::builder("exhaustion");
+    for i in 0..enclosures {
+        builder = builder.package(&format!("pkg{i:02}"), &[]);
+    }
+    let mut app = builder.build(Backend::Proc)?;
+    for i in 0..enclosures {
+        app.register_enclosure(
+            &format!("enc{i:02}"),
+            &[&format!("pkg{i:02}")],
+            &Policy::default_policy(),
+        )?;
+    }
+    app.reset_clock();
+    let mut calls = 0u64;
+    for id in (1..=enclosures as u32).map(EnclosureId) {
+        let cs = app.info.callsite(id).expect("registered above");
+        let token = app.lb.prolog(id, cs)?;
+        app.lb.clock_mut().advance(50); // the enclosed work
+        app.lb.epilog(token)?;
+        calls += 1;
+    }
+    let stats = app.lb.stats();
+    Ok(ProcUnboundedStudy {
+        enclosures,
+        calls,
+        proc_spawns: stats.proc_spawns,
+        key_binds: stats.key_binds,
+        key_evictions: stats.key_evictions,
+        pipe_msgs: stats.pipe_msgs,
+        total_ns: app.lb.now_ns(),
+    })
+}
+
 /// Ablation 3 — enclosure scoping vs switch-per-call (§7): simulated
 /// nanoseconds for `calls` units of work done under a single enclosure
 /// entry vs one entry per unit.
@@ -475,6 +538,85 @@ mod tests {
             error.contains("libmpk"),
             "points at the escape hatch: {error}"
         );
+    }
+
+    #[test]
+    fn aged_signal_releases_stale_pins_on_a_phase_shift() {
+        let call = |app: &mut App, id: u32, work_ns: u64| {
+            let id = EnclosureId(id);
+            let cs = app.info.callsite(id).expect("registered above");
+            let token = app.lb.prolog(id, cs).unwrap();
+            app.lb.clock_mut().advance(work_ns);
+            app.lb.epilog(token).unwrap();
+        };
+        // Phase A: pkg00 dominates, so the telemetry signal pins it.
+        let mut app = build_disjoint_program(4, MpkKeyMode::Virtual).unwrap();
+        for _ in 0..16 {
+            call(&mut app, 1, 1_000);
+        }
+        call(&mut app, 2, 50);
+        assert_eq!(
+            app.lb.refresh_hot_pins(1).unwrap(),
+            vec!["pkg00".to_string()]
+        );
+        let phase_a_pin = app.lb.hot_pins().to_vec();
+        assert_eq!(phase_a_pin.len(), 1);
+        // Phase boundary: age the signal, then the workload shifts to
+        // pkg01 for good.
+        for _ in 0..4 {
+            app.lb.age_hot_signal();
+        }
+        for _ in 0..8 {
+            call(&mut app, 2, 1_000);
+        }
+        assert_eq!(
+            app.lb.hot_packages_by_self_time(1),
+            vec!["pkg01".to_string()],
+            "the aged signal tracks the current phase"
+        );
+        assert_eq!(
+            app.lb.refresh_hot_pins(1).unwrap(),
+            vec!["pkg01".to_string()]
+        );
+        assert_eq!(app.lb.hot_pins().len(), 1);
+        assert_ne!(
+            app.lb.hot_pins(),
+            &phase_a_pin[..],
+            "the stale phase-A pin was released"
+        );
+
+        // Control: the identical trace without decay keeps ranking the
+        // all-time winner — the regression this decay exists to fix.
+        let mut stale = build_disjoint_program(4, MpkKeyMode::Virtual).unwrap();
+        for _ in 0..16 {
+            call(&mut stale, 1, 1_000);
+        }
+        call(&mut stale, 2, 50);
+        for _ in 0..8 {
+            call(&mut stale, 2, 1_000);
+        }
+        assert_eq!(
+            stale.lb.hot_packages_by_self_time(1),
+            vec!["pkg00".to_string()],
+            "without decay the stale pick persists"
+        );
+    }
+
+    #[test]
+    fn proc_arm_has_no_key_wall() {
+        // 40 pairwise-disjoint enclosures: static MPK dies before 16,
+        // the process sandbox shrugs — a child each, zero key traffic.
+        let s = proc_unbounded_study(40).unwrap();
+        assert_eq!(s.enclosures, 40);
+        assert_eq!(s.calls, 40);
+        assert_eq!(s.proc_spawns, 40, "one child per enclosure: {s:?}");
+        assert_eq!(s.key_binds, 0, "PROC owns no MPK keys: {s:?}");
+        assert_eq!(s.key_evictions, 0, "{s:?}");
+        assert_eq!(s.pipe_msgs, 80, "one message per direction per call: {s:?}");
+        // Every call pays the cold fork + warm-switch IPC price.
+        let model = CostModel::paper();
+        let per_call = model.callsite_check + model.fork_spawn + model.ipc_roundtrip + 50;
+        assert_eq!(s.total_ns, 40 * per_call, "{s:?}");
     }
 
     #[test]

@@ -1,17 +1,21 @@
 //! The batching study: how much of the crossing tax the batched syscall
 //! gateway amortizes away.
 //!
-//! Four arms — {LB_MPK, LB_VTX} × {unbatched, batched} — serve the same
-//! HTTP workload at identical request counts. The charged crossing tax
-//! is read straight off the hardware ledger: VM EXITs × the calibrated
-//! per-exit cost under LB_VTX, seccomp evaluations under LB_MPK. With
-//! batching the ring pays one VM EXIT (one seccomp evaluation) per
-//! flushed batch instead of one per syscall, so the per-request tax must
-//! drop ≥2× under LB_VTX and the evaluation count must strictly shrink
-//! under LB_MPK. Everything is simulated time from the calibrated cost
-//! model, so two runs are byte-identical.
+//! Six arms — {LB_MPK, LB_VTX, LB_PROC} × {unbatched, batched} — serve
+//! the same FastHTTP workload (§6.2: the server itself is the
+//! enclosure, so its syscall trace crosses the boundary) at identical
+//! request counts. The charged crossing tax is read straight off the
+//! hardware ledger: VM EXITs × the calibrated per-exit cost under
+//! LB_VTX, seccomp evaluations under LB_MPK, IPC round-trips × the
+//! calibrated per-trip cost under LB_PROC. With batching the ring pays
+//! one VM EXIT (one seccomp evaluation, one IPC round-trip) per flushed
+//! (environment, batch) pair instead of one per syscall, so the
+//! per-request tax must drop ≥2× under LB_VTX and LB_PROC and the
+//! evaluation count must strictly shrink under LB_MPK. Everything is
+//! simulated time from the calibrated cost model, so two runs are
+//! byte-identical.
 
-use enclosure_apps::httpd::{HttpApp, HttpConfig};
+use enclosure_apps::fasthttp::{FastHttpApp, FastHttpConfig};
 use enclosure_hw::CostModel;
 use enclosure_support::Json;
 use litterbox::{Backend, Fault};
@@ -29,6 +33,8 @@ pub struct BatchingArm {
     pub vm_exits: u64,
     /// Hardware ledger: seccomp filter evaluations.
     pub seccomp_checks: u64,
+    /// Hardware ledger: IPC round-trips to the supervisor (LB_PROC).
+    pub ipc_roundtrips: u64,
     /// Telemetry: charged batch flushes.
     pub batch_flushes: u64,
     /// Telemetry: syscalls serviced through the ring.
@@ -52,6 +58,13 @@ impl BatchingArm {
         self.seccomp_checks as f64 / self.requests as f64
     }
 
+    /// Charged IPC ns per request under the calibrated cost model.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn ipc_ns_per_request(&self) -> f64 {
+        (self.ipc_roundtrips * CostModel::paper().ipc_roundtrip) as f64 / self.requests as f64
+    }
+
     /// Mean entries per flushed batch (0 when nothing was batched).
     #[must_use]
     #[allow(clippy::cast_precision_loss)]
@@ -69,7 +82,7 @@ impl BatchingArm {
 pub struct BatchingReport {
     /// Requests served per arm.
     pub requests: u64,
-    /// Arms in (LB_MPK, LB_VTX) × (unbatched, batched) order.
+    /// Arms in (LB_MPK, LB_VTX, LB_PROC) × (unbatched, batched) order.
     pub arms: Vec<BatchingArm>,
 }
 
@@ -80,7 +93,7 @@ impl BatchingReport {
         self.arms
             .iter()
             .find(|a| a.backend == backend && a.batched == batched)
-            .expect("all four arms present")
+            .expect("all six arms present")
     }
 
     /// Serializes for `repro batching --json`. Every value is a pure
@@ -98,6 +111,7 @@ impl BatchingReport {
                         ("batched", Json::from(a.batched)),
                         ("vm_exits", Json::from(a.vm_exits)),
                         ("seccomp_checks", Json::from(a.seccomp_checks)),
+                        ("ipc_roundtrips", Json::from(a.ipc_roundtrips)),
                         ("batch_flushes", Json::from(a.batch_flushes)),
                         ("batched_syscalls", Json::from(a.batched_syscalls)),
                         (
@@ -105,6 +119,7 @@ impl BatchingReport {
                             Json::from(a.vm_exit_ns_per_request()),
                         ),
                         ("seccomp_per_request", Json::from(a.seccomp_per_request())),
+                        ("ipc_ns_per_request", Json::from(a.ipc_ns_per_request())),
                         ("mean_batch_size", Json::from(a.mean_batch_size())),
                         ("sim_ns", Json::from(a.sim_ns)),
                     ])
@@ -114,23 +129,23 @@ impl BatchingReport {
     }
 }
 
-/// Runs all four arms with `requests` each.
+/// Runs all six arms with `requests` each.
 ///
 /// # Errors
 ///
 /// Workload faults.
 pub fn run(requests: u64) -> Result<BatchingReport, Fault> {
     let mut arms = Vec::new();
-    for backend in [Backend::Mpk, Backend::Vtx] {
+    for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
         for batched in [false, true] {
-            let cfg = HttpConfig {
+            let cfg = FastHttpConfig {
                 batched_io: batched,
-                ..HttpConfig::default()
+                ..FastHttpConfig::default()
             };
-            let mut app = HttpApp::new(backend, cfg)?;
+            let mut app = FastHttpApp::new(backend)?;
             app.runtime_mut().lb_mut().clock_mut().reset();
             let t0 = app.runtime().lb().now_ns();
-            let stats = app.serve_requests(requests)?;
+            let stats = app.serve_requests(requests, cfg)?;
             let sim_ns = app.runtime().lb().now_ns() - t0;
             let hw = app.runtime().lb().stats();
             let c = *app.runtime().lb().telemetry().counters();
@@ -140,6 +155,7 @@ pub fn run(requests: u64) -> Result<BatchingReport, Fault> {
                 requests: stats.served,
                 vm_exits: hw.vm_exits,
                 seccomp_checks: hw.seccomp_checks,
+                ipc_roundtrips: hw.ipc_roundtrips,
                 batch_flushes: c.batch_flushes,
                 batched_syscalls: c.batched_syscalls,
                 sim_ns,
@@ -180,6 +196,22 @@ mod tests {
             fast.seccomp_per_request(),
             plain.seccomp_per_request()
         );
+    }
+
+    #[test]
+    fn batched_proc_amortizes_the_ipc_tax() {
+        let report = run(20).unwrap();
+        let plain = report.arm(Backend::Proc, false);
+        let fast = report.arm(Backend::Proc, true);
+        assert_eq!(plain.requests, fast.requests, "identical workloads");
+        assert!(plain.ipc_roundtrips > 0, "enclosed syscalls are proxied");
+        assert!(
+            fast.ipc_ns_per_request() * 2.0 <= plain.ipc_ns_per_request(),
+            "one round-trip per batch must at least halve the IPC tax: {} vs {}",
+            fast.ipc_ns_per_request(),
+            plain.ipc_ns_per_request()
+        );
+        assert!(fast.batch_flushes > 0 && fast.mean_batch_size() > 1.0);
     }
 
     #[test]

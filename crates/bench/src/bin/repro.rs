@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro table1 [--json]      Table 1 microbenchmarks
-//! repro table2 [--quick] [--json] [--profile]  Table 2 macrobenchmarks
+//! repro table2 [--quick] [--json] [--profile] [--backend=proc]  Table 2 macrobenchmarks
 //! repro table2-info          Table 2 information columns
 //! repro figure4              Figure 4 ELF layout dump
 //! repro wiki [--quick] [--profile]  Figure 5 / §6.3 usability study
@@ -13,7 +13,7 @@
 //! repro filter-dump          compiled seccomp-BPF for the Figure 1 program
 //! repro ablations            design-choice studies
 //! repro batching [--quick] [--json]  batched-gateway crossing-tax study
-//! repro chaos [--quick] [--json] [--seed=S] [--profile]  fault-injection soak
+//! repro chaos [--quick] [--json] [--seed=S] [--profile] [--backend=proc]  fault-injection soak
 //! repro trace-export [--format=chrome|folded] [--quick]  span-tree export
 //! repro all [--quick]        everything above
 //! ```
@@ -26,6 +26,11 @@
 //!
 //! `--seed=S` (decimal or `0x` hex) seeds the chaos soak's injection
 //! plan; two runs with the same seed produce byte-identical reports.
+//!
+//! `--backend=proc` opts `table2` into the three-way LB_MPK/LB_VTX/
+//! LB_PROC comparison (the extra column is omitted by default so the
+//! paper-shaped output stays byte-stable) and points `chaos` at the
+//! process-sandbox arm alone (its three fault sites plus the gateway).
 //!
 //! `--profile` adds per-request latency percentiles (p50/p90/p99/p99.9)
 //! and per-operation cost distributions to the serving workloads; all
@@ -76,6 +81,16 @@ fn main() -> ExitCode {
         eprintln!("--seed wants a decimal or 0x-hex u64");
         return ExitCode::FAILURE;
     };
+    let proc_arm = match args.iter().find_map(|a| a.strip_prefix("--backend=")) {
+        None => false,
+        Some("proc") => true,
+        Some(other) => {
+            eprintln!(
+                "--backend wants 'proc' (the paper's two backends always run); got '{other}'"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
     let command = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -83,7 +98,7 @@ fn main() -> ExitCode {
         .unwrap_or("all");
     let result = match command {
         "table1" => table1(json),
-        "table2" => table2(quick, json, profile, trace),
+        "table2" => table2(quick, json, profile, trace, proc_arm),
         "table2-info" => {
             print!("{}", report::render_table2_info());
             Ok(())
@@ -96,10 +111,10 @@ fn main() -> ExitCode {
         "filter-dump" => filter_dump(),
         "ablations" => ablations(),
         "batching" => batching(quick, json),
-        "chaos" => chaos(quick, json, seed, profile),
+        "chaos" => chaos(quick, json, seed, profile, proc_arm),
         "trace-export" => trace_export_cmd(quick, format),
         "all" => table1(json)
-            .and_then(|()| table2(quick, json, profile, trace))
+            .and_then(|()| table2(quick, json, profile, trace, proc_arm))
             .map(|()| print!("\n{}", report::render_table2_info()))
             .and_then(|()| figure4())
             .and_then(|()| wiki(quick, profile, trace))
@@ -108,9 +123,10 @@ fn main() -> ExitCode {
             .and_then(|()| security(trace, profile))
             .and_then(|()| ablations())
             .and_then(|()| batching(quick, json))
-            .and_then(|()| chaos(quick, json, seed, profile)),
+            .and_then(|()| chaos(quick, json, seed, profile, proc_arm)),
         other => {
-            eprintln!("unknown command '{other}'; see the crate docs");
+            eprintln!("unknown command '{other}'\n");
+            eprint!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };
@@ -124,6 +140,31 @@ fn main() -> ExitCode {
 }
 
 type AnyError = Box<dyn std::error::Error>;
+
+/// Printed (to stderr) when the subcommand is not recognized, so a typo
+/// surfaces the whole menu instead of a pointer at the docs.
+const USAGE: &str = "\
+usage: repro <command> [flags]
+
+commands:
+  table1        Table 1 microbenchmarks (call / transfer / syscall costs)
+  table2        Table 2 macrobenchmarks (FastHTTP-shaped serving workloads)
+  table2-info   Table 2 information columns (packages, policies, keys)
+  figure4       Figure 4 linked-executable layout for the Figure 1 program
+  wiki          Figure 5 / \u{a7}6.3 wiki usability study
+  python        \u{a7}6.4 Python plotting experiments
+  attribution   \u{a7}6.4 telemetry cost breakdown per package
+  security      \u{a7}6.5 recreated attacks matrix
+  filter-dump   compiled seccomp-BPF for the Figure 1 program
+  ablations     design-choice studies (clustering, keys, scoping, switches)
+  batching      batched-gateway crossing-tax study
+  chaos         seeded fault-injection soak with containment invariants
+  trace-export  span-tree export (Chrome trace JSON or folded stacks)
+  all           everything above in order
+
+flags: --quick --json --profile --trace[=N] --seed=S --format=chrome|folded
+       --backend=proc (three-way table2; process-sandbox chaos arm)
+";
 
 /// Default seed for `repro chaos` when `--seed=S` is not given.
 const DEFAULT_CHAOS_SEED: u64 = 0xC4A05;
@@ -144,6 +185,7 @@ fn table1(json: bool) -> Result<(), AnyError> {
                 ("baseline_ns", Json::from(r.baseline)),
                 ("mpk_ns", Json::from(r.mpk)),
                 ("vtx_ns", Json::from(r.vtx)),
+                ("proc_ns", Json::from(r.proc)),
             ])
         }));
         println!("{}", value.to_pretty());
@@ -172,13 +214,19 @@ fn goroutines_json(profiled: &macrobench::ProfiledRow) -> Json {
     }))
 }
 
-fn table2(quick: bool, json: bool, profile: bool, trace: Option<usize>) -> Result<(), AnyError> {
+fn table2(
+    quick: bool,
+    json: bool,
+    profile: bool,
+    trace: Option<usize>,
+    proc_arm: bool,
+) -> Result<(), AnyError> {
     let scale = if quick {
         MacroScale::quick()
     } else {
         MacroScale::default()
     };
-    let profiled = macrobench::table2_profiled(scale, trace)?;
+    let profiled = macrobench::table2_profiled_with(scale, trace, proc_arm)?;
     let rows: Vec<_> = profiled.iter().map(|p| p.row).collect();
     if json {
         let value = Json::arr(profiled.iter().map(|p| {
@@ -201,8 +249,17 @@ fn table2(quick: bool, json: bool, profile: bool, trace: Option<usize>) -> Resul
                         ("slowdown", Json::from(r.vtx.slowdown)),
                     ]),
                 ),
-                ("goroutines", goroutines_json(p)),
             ];
+            if let Some(pc) = r.proc {
+                fields.push((
+                    "proc",
+                    Json::obj([
+                        ("raw", Json::from(pc.raw)),
+                        ("slowdown", Json::from(pc.slowdown)),
+                    ]),
+                ));
+            }
+            fields.push(("goroutines", goroutines_json(p)));
             if profile {
                 fields.push((
                     "latency",
@@ -420,13 +477,23 @@ fn batching(quick: bool, json: bool) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn chaos(quick: bool, json: bool, seed: u64, profile: bool) -> Result<(), AnyError> {
+fn chaos(
+    quick: bool,
+    json: bool,
+    seed: u64,
+    profile: bool,
+    proc_arm: bool,
+) -> Result<(), AnyError> {
     let config = if quick {
         ChaosConfig::quick(seed)
     } else {
         ChaosConfig::full(seed)
     };
-    let (soak, profiles) = chaos_exp::run_profiled(config)?;
+    let (soak, profiles) = if proc_arm {
+        chaos_exp::run_profiled_on(config, &[Backend::Proc])?
+    } else {
+        chaos_exp::run_profiled(config)?
+    };
     let violations: Vec<String> = soak
         .rows
         .iter()
@@ -520,8 +587,24 @@ fn ablations() -> Result<(), AnyError> {
         );
     }
 
+    println!("\nAblation 2b: LB_PROC process sandbox, unbounded arm (no key wall)");
+    for n in [20usize, 40] {
+        let s = ablation::proc_unbounded_study(n)?;
+        println!(
+            "  {:>3} enclosures: {:>3} calls, {:>3} children, {} key binds, {} evictions, \
+             {:>3} pipe msgs, {:>9} ns",
+            s.enclosures,
+            s.calls,
+            s.proc_spawns,
+            s.key_binds,
+            s.key_evictions,
+            s.pipe_msgs,
+            s.total_ns
+        );
+    }
+
     println!("\nAblation 3: enclosure scoping vs switch-per-call (§7)");
-    for backend in [Backend::Mpk, Backend::Vtx] {
+    for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
         let s = ablation::scoping_study(backend, 1_000, 50)?;
         #[allow(clippy::cast_precision_loss)]
         let ratio = s.per_call_ns as f64 / s.scoped_ns as f64;

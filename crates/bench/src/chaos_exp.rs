@@ -63,6 +63,12 @@ pub fn sites_for(backend: Backend) -> Vec<InjectionSite> {
             InjectionSite::VmExit,
             InjectionSite::Cr3Write,
         ],
+        Backend::Proc => vec![
+            InjectionSite::GatewayErrno,
+            InjectionSite::ProcFork,
+            InjectionSite::PipeEpipe,
+            InjectionSite::ChildCrash,
+        ],
     }
 }
 
@@ -99,6 +105,16 @@ pub struct ChaosRow {
     pub recorder_vm_exits: u64,
     /// Hardware ledger: VM EXITs.
     pub hw_vm_exits: u64,
+    /// Telemetry ledger: IPC crossings (LB_PROC).
+    pub recorder_ipc: u64,
+    /// Hardware ledger: IPC round-trips (LB_PROC).
+    pub hw_ipc_roundtrips: u64,
+    /// Telemetry ledger: sandbox child spawns (LB_PROC).
+    pub recorder_proc_spawns: u64,
+    /// Hardware ledger: sandbox child spawns (LB_PROC).
+    pub hw_proc_spawns: u64,
+    /// Supervisor-driven respawns after child crashes (LB_PROC).
+    pub proc_respawns: u64,
     /// Simulated nanoseconds the soak took.
     pub ns: u64,
 }
@@ -147,6 +163,11 @@ impl ChaosReport {
                         ("hw_guest_syscalls", Json::from(row.hw_guest_syscalls)),
                         ("recorder_vm_exits", Json::from(row.recorder_vm_exits)),
                         ("hw_vm_exits", Json::from(row.hw_vm_exits)),
+                        ("recorder_ipc", Json::from(row.recorder_ipc)),
+                        ("hw_ipc_roundtrips", Json::from(row.hw_ipc_roundtrips)),
+                        ("recorder_proc_spawns", Json::from(row.recorder_proc_spawns)),
+                        ("hw_proc_spawns", Json::from(row.hw_proc_spawns)),
+                        ("proc_respawns", Json::from(row.proc_respawns)),
                         ("sim_ns", Json::from(row.ns)),
                     ])
                 })),
@@ -175,9 +196,22 @@ pub fn run(config: ChaosConfig) -> Result<ChaosReport, Fault> {
 pub fn run_profiled(
     config: ChaosConfig,
 ) -> Result<(ChaosReport, Vec<crate::macrobench::BackendProfile>), Fault> {
+    run_profiled_on(config, &crate::BACKENDS)
+}
+
+/// [`run_profiled`] over an explicit backend set — the `repro chaos
+/// --backend=proc` path, which soaks only the process-sandbox arm.
+///
+/// # Errors
+///
+/// A fault escaping the containment layers.
+pub fn run_profiled_on(
+    config: ChaosConfig,
+    backends: &[Backend],
+) -> Result<(ChaosReport, Vec<crate::macrobench::BackendProfile>), Fault> {
     let mut rows = Vec::new();
     let mut profiles = Vec::new();
-    for backend in crate::BACKENDS {
+    for &backend in backends {
         let mut app = WikiApp::new(backend)?;
         let sites = sites_for(backend);
         let clock = app.runtime_mut().lb_mut().clock_mut();
@@ -214,6 +248,11 @@ pub fn run_profiled(
             hw_guest_syscalls: hw.guest_syscalls,
             recorder_vm_exits: c.vm_exits,
             hw_vm_exits: hw.vm_exits,
+            recorder_ipc: c.ipc_crossings,
+            hw_ipc_roundtrips: hw.ipc_roundtrips,
+            recorder_proc_spawns: c.proc_spawns,
+            hw_proc_spawns: hw.proc_spawns,
+            proc_respawns: c.proc_respawns,
             ns,
         });
     }
@@ -254,6 +293,14 @@ pub fn check_invariants(config: &ChaosConfig, row: &ChaosRow) -> Vec<String> {
         row.recorder_vm_exits == row.hw_vm_exits,
         "recorder and hardware disagree on VM EXITs",
     );
+    check(
+        row.recorder_ipc == row.hw_ipc_roundtrips,
+        "recorder and hardware disagree on IPC round-trips",
+    );
+    check(
+        row.recorder_proc_spawns == row.hw_proc_spawns,
+        "recorder and hardware disagree on child spawns",
+    );
     if row.backend == Backend::Baseline {
         check(
             row.injected_faults == 0 && row.degraded == 0,
@@ -270,7 +317,7 @@ mod tests {
     #[test]
     fn quick_soak_degrades_but_survives() {
         let report = run(ChaosConfig::quick(0xC4A05)).unwrap();
-        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows.len(), 4);
         for row in &report.rows {
             let violations = check_invariants(&report.config, row);
             assert!(violations.is_empty(), "{violations:?}");
@@ -278,6 +325,7 @@ mod tests {
         // Chaos actually happened on the protected backends.
         assert!(report.rows[1].injected_faults > 0, "{:?}", report.rows[1]);
         assert!(report.rows[2].injected_faults > 0, "{:?}", report.rows[2]);
+        assert!(report.rows[3].injected_faults > 0, "{:?}", report.rows[3]);
     }
 
     #[test]

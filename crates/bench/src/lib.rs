@@ -41,5 +41,6 @@ pub mod wiki_exp;
 
 pub use litterbox::Backend;
 
-/// The three measured configurations, in Table 1/2 column order.
-pub const BACKENDS: [Backend; 3] = [Backend::Baseline, Backend::Mpk, Backend::Vtx];
+/// The measured configurations, in Table 1/2 column order: the paper's
+/// three plus the LB_PROC process-sandbox fallback.
+pub const BACKENDS: [Backend; 4] = [Backend::Baseline, Backend::Mpk, Backend::Vtx, Backend::Proc];

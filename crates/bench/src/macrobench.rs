@@ -62,6 +62,10 @@ pub struct MacroRow {
     pub mpk: MacroCell,
     /// Measured LB_VTX.
     pub vtx: MacroCell,
+    /// Measured LB_PROC — populated by the `--backend=proc` three-way
+    /// run (`None` on the paper's two-backend default, which keeps the
+    /// default `repro table2` output byte-stable).
+    pub proc: Option<MacroCell>,
 }
 
 /// The paper's Table 2 values `(baseline_raw, mpk_slowdown, vtx_slowdown)`.
@@ -247,6 +251,22 @@ pub fn run_row_profiled(
     scale: MacroScale,
     trace: Option<usize>,
 ) -> Result<ProfiledRow, Fault> {
+    run_row_profiled_with(bench, scale, trace, false)
+}
+
+/// [`run_row_profiled`] with an LB_PROC arm: the same unmodified app
+/// runs under the process sandbox, and the row gains its three-way
+/// `proc` cell (`repro table2 --backend=proc`).
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn run_row_profiled_with(
+    bench: MacroBench,
+    scale: MacroScale,
+    trace: Option<usize>,
+    include_proc: bool,
+) -> Result<ProfiledRow, Fault> {
     let (base, base_prof) = measure_raw(bench, Backend::Baseline, scale, trace)?;
     let (mpk, mpk_prof) = measure_raw(bench, Backend::Mpk, scale, trace)?;
     let (vtx, vtx_prof) = measure_raw(bench, Backend::Vtx, scale, trace)?;
@@ -257,6 +277,17 @@ pub fn run_row_profiled(
             MacroBench::Bild => v / base,
             _ => base / v,
         }
+    };
+    let mut profiles = vec![base_prof, mpk_prof, vtx_prof];
+    let proc = if include_proc {
+        let (proc, proc_prof) = measure_raw(bench, Backend::Proc, scale, trace)?;
+        profiles.push(proc_prof);
+        Some(MacroCell {
+            raw: proc,
+            slowdown: slowdown(proc),
+        })
+    } else {
+        None
     };
     Ok(ProfiledRow {
         row: MacroRow {
@@ -273,8 +304,9 @@ pub fn run_row_profiled(
                 raw: vtx,
                 slowdown: slowdown(vtx),
             },
+            proc,
         },
-        profiles: vec![base_prof, mpk_prof, vtx_prof],
+        profiles,
     })
 }
 
@@ -305,9 +337,23 @@ pub fn table2_traced(scale: MacroScale, trace: Option<usize>) -> Result<Vec<Macr
 ///
 /// Workload faults.
 pub fn table2_profiled(scale: MacroScale, trace: Option<usize>) -> Result<Vec<ProfiledRow>, Fault> {
+    table2_profiled_with(scale, trace, false)
+}
+
+/// [`table2_profiled`] with the LB_PROC arm toggled on — every row
+/// gains its process-sandbox cell and profile.
+///
+/// # Errors
+///
+/// Workload faults.
+pub fn table2_profiled_with(
+    scale: MacroScale,
+    trace: Option<usize>,
+    include_proc: bool,
+) -> Result<Vec<ProfiledRow>, Fault> {
     MacroBench::ALL
         .into_iter()
-        .map(|bench| run_row_profiled(bench, scale, trace))
+        .map(|bench| run_row_profiled_with(bench, scale, trace, include_proc))
         .collect()
 }
 
@@ -334,6 +380,38 @@ mod tests {
             "FastHTTP's smaller service time amplifies VT-x overhead: {} vs {}",
             fast.vtx.slowdown,
             http.vtx.slowdown
+        );
+    }
+
+    #[test]
+    fn proc_arm_runs_the_unmodified_apps() {
+        let mut rows = Vec::new();
+        for bench in MacroBench::ALL {
+            let p = run_row_profiled_with(bench, MacroScale::quick(), None, true).unwrap();
+            let proc = p.row.proc.expect("three-way row has a proc cell");
+            assert!(
+                proc.slowdown > p.row.mpk.slowdown,
+                "{bench:?}: IPC-priced crossings dwarf WRPKRU pairs: {:?}",
+                p.row
+            );
+            assert_eq!(p.profiles.len(), 4);
+            assert_eq!(p.profiles[3].backend, Backend::Proc);
+            rows.push(p.row);
+        }
+        // Where the enclosure itself issues the syscalls (FastHTTP,
+        // §6.2), every one is an IPC round-trip — dearer than a VM EXIT.
+        let fast = &rows[2];
+        assert!(
+            fast.proc.unwrap().slowdown > fast.vtx.slowdown,
+            "enclosed syscall trace: PROC > VTX: {fast:?}"
+        );
+        // Where the serve loop is trusted (net/http) the process sandbox
+        // is the only backend that leaves trusted syscalls untaxed, so
+        // it beats VT-x — the flip side of the per-crossing price.
+        let http = &rows[1];
+        assert!(
+            http.proc.unwrap().slowdown < http.vtx.slowdown,
+            "trusted syscall trace: PROC < VTX: {http:?}"
         );
     }
 

@@ -25,6 +25,10 @@ pub struct MicroRow {
     pub mpk: u64,
     /// LB_VTX.
     pub vtx: u64,
+    /// LB_PROC, the process-sandbox fallback. The paper has no process
+    /// arm, so [`paper_table1`] carries 0 here and the renderer prints
+    /// no paper companion for this column.
+    pub proc: u64,
 }
 
 /// The paper's Table 1, for side-by-side reporting.
@@ -36,18 +40,21 @@ pub fn paper_table1() -> [MicroRow; 3] {
             baseline: 45,
             mpk: 86,
             vtx: 924,
+            proc: 0,
         },
         MicroRow {
             name: "transfer",
             baseline: 0,
             mpk: 1002,
             vtx: 158,
+            proc: 0,
         },
         MicroRow {
             name: "syscall",
             baseline: 387,
             mpk: 523,
             vtx: 4126,
+            proc: 0,
         },
     ]
 }
@@ -136,6 +143,9 @@ pub fn measure_syscall(backend: Backend, iters: u64) -> Result<u64, Fault> {
             Ok(())
         },
     )?;
+    // Warm up once so lazy per-backend setup (the PROC fork) is paid
+    // before the measurement, exactly as in `measure_call`.
+    enc.call(&mut app, 0)?;
     // Measure inside the enclosure only: subtract the measured empty-call
     // overhead (enter once, run iters syscalls).
     let call_overhead = measure_call(backend, 1)?;
@@ -156,18 +166,21 @@ pub fn table1(iters: u64) -> Result<[MicroRow; 3], Fault> {
             baseline: measure_call(Backend::Baseline, iters)?,
             mpk: measure_call(Backend::Mpk, iters)?,
             vtx: measure_call(Backend::Vtx, iters)?,
+            proc: measure_call(Backend::Proc, iters)?,
         },
         MicroRow {
             name: "transfer",
             baseline: measure_transfer(Backend::Baseline, iters)?,
             mpk: measure_transfer(Backend::Mpk, iters)?,
             vtx: measure_transfer(Backend::Vtx, iters)?,
+            proc: measure_transfer(Backend::Proc, iters)?,
         },
         MicroRow {
             name: "syscall",
             baseline: measure_syscall(Backend::Baseline, iters)?,
             mpk: measure_syscall(Backend::Mpk, iters)?,
             vtx: measure_syscall(Backend::Vtx, iters)?,
+            proc: measure_syscall(Backend::Proc, iters)?,
         },
     ])
 }
@@ -196,6 +209,24 @@ mod tests {
         assert_eq!(measure_syscall(Backend::Baseline, 100).unwrap(), 387);
         assert_eq!(measure_syscall(Backend::Mpk, 100).unwrap(), 523);
         assert_eq!(measure_syscall(Backend::Vtx, 100).unwrap(), 4126);
+    }
+
+    #[test]
+    fn proc_cells_are_ipc_priced_and_dearest() {
+        // Warm call: callsite check (1) + 2 pipe messages (8_400) +
+        // the closure call itself (45).
+        assert_eq!(measure_call(Backend::Proc, 100).unwrap(), 8_446);
+        // 4 pages ship as one pipe message.
+        assert_eq!(measure_transfer(Backend::Proc, 100).unwrap(), 4_200);
+        // kernel syscall (387) + IPC round-trip (8_400).
+        assert_eq!(measure_syscall(Backend::Proc, 100).unwrap(), 8_787);
+        // The acceptance ordering: per-syscall MPK < VTX < PROC.
+        let rows = table1(100).unwrap();
+        let syscall = rows[2];
+        assert!(
+            syscall.mpk < syscall.vtx && syscall.vtx < syscall.proc,
+            "{syscall:?}"
+        );
     }
 
     #[test]

@@ -21,16 +21,20 @@ pub fn render_table1(measured: &[MicroRow; 3]) -> String {
     let _ = writeln!(out, "Table 1: Microbenchmarks (nanoseconds)");
     let _ = writeln!(
         out,
-        "{:<10} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
-        "", "Baseline", "(paper)", "LB_MPK", "(paper)", "LB_VTX", "(paper)"
+        "{:<10} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9}",
+        "", "Baseline", "(paper)", "LB_MPK", "(paper)", "LB_VTX", "(paper)", "LB_PROC"
     );
     for (m, p) in measured.iter().zip(paper.iter()) {
         let _ = writeln!(
             out,
-            "{:<10} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
-            m.name, m.baseline, p.baseline, m.mpk, p.mpk, m.vtx, p.vtx
+            "{:<10} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9}",
+            m.name, m.baseline, p.baseline, m.mpk, p.mpk, m.vtx, p.vtx, m.proc
         );
     }
+    let _ = writeln!(
+        out,
+        "(LB_PROC is the process-sandbox fallback; the paper has no process arm)"
+    );
     out
 }
 
@@ -38,11 +42,17 @@ pub fn render_table1(measured: &[MicroRow; 3]) -> String {
 #[must_use]
 pub fn render_table2(rows: &[MacroRow]) -> String {
     let mut out = String::new();
+    let three_way = rows.iter().any(|r| r.proc.is_some());
     let _ = writeln!(out, "Table 2: Macrobenchmarks");
+    let proc_header = if three_way {
+        format!(" {:>9} {:>7} |", "LB_PROC", "slow")
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "{:<10} {:>14} | {:>9} {:>7} | {:>9} {:>7} | paper: mpk / vtx",
-        "benchmark", "baseline", "LB_MPK", "slow", "LB_VTX", "slow"
+        "{:<10} {:>14} | {:>9} {:>7} | {:>9} {:>7} |{} paper: mpk / vtx",
+        "benchmark", "baseline", "LB_MPK", "slow", "LB_VTX", "slow", proc_header
     );
     for row in rows {
         let (paper_base, paper_mpk, paper_vtx) = paper_values(row.bench);
@@ -52,15 +62,21 @@ pub fn render_table2(rows: &[MacroRow]) -> String {
                 _ => format!("{v:.0}req/s"),
             }
         };
+        let proc_cell = match row.proc {
+            Some(p) => format!(" {:>9} {:>6.2}x |", fmt_raw(p.raw), p.slowdown),
+            None if three_way => format!(" {:>9} {:>7} |", "-", "-"),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "{:<10} {:>14} | {:>9} {:>6.2}x | {:>9} {:>6.2}x | {:.2}x / {:.2}x  (paper base {})",
+            "{:<10} {:>14} | {:>9} {:>6.2}x | {:>9} {:>6.2}x |{} {:.2}x / {:.2}x  (paper base {})",
             row.bench.name(),
             fmt_raw(row.baseline.raw),
             fmt_raw(row.mpk.raw),
             row.mpk.slowdown,
             fmt_raw(row.vtx.raw),
             row.vtx.slowdown,
+            proc_cell,
             paper_mpk,
             paper_vtx,
             fmt_raw(paper_base),
@@ -357,6 +373,15 @@ pub fn render_chaos(report: &ChaosReport) -> String {
             row.recorder_vm_exits,
             row.hw_vm_exits,
         );
+        let _ = writeln!(
+            out,
+            "                    ipc {}={} | spawns {}={} (respawns {})",
+            row.recorder_ipc,
+            row.hw_ipc_roundtrips,
+            row.recorder_proc_spawns,
+            row.hw_proc_spawns,
+            row.proc_respawns,
+        );
     }
     out
 }
@@ -375,26 +400,30 @@ pub fn render_batching(report: &BatchingReport) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>9} {:>9} {:>14} {:>9} {:>12} {:>8} {:>8}",
+        "{:<10} {:>9} {:>9} {:>14} {:>9} {:>12} {:>8} {:>12} {:>8} {:>8}",
         "backend",
         "arm",
         "vm_exits",
         "vm_exit ns/req",
         "seccomp",
         "seccomp/req",
+        "ipc",
+        "ipc ns/req",
         "flushes",
         "batch"
     );
     for arm in &report.arms {
         let _ = writeln!(
             out,
-            "{:<10} {:>9} {:>9} {:>14.0} {:>9} {:>12.2} {:>8} {:>8.2}",
+            "{:<10} {:>9} {:>9} {:>14.0} {:>9} {:>12.2} {:>8} {:>12.0} {:>8} {:>8.2}",
             arm.backend.to_string(),
             if arm.batched { "batched" } else { "unbatched" },
             arm.vm_exits,
             arm.vm_exit_ns_per_request(),
             arm.seccomp_checks,
             arm.seccomp_per_request(),
+            arm.ipc_roundtrips,
+            arm.ipc_ns_per_request(),
             arm.batch_flushes,
             arm.mean_batch_size(),
         );
@@ -410,6 +439,14 @@ pub fn render_batching(report: &BatchingReport) -> String {
         out,
         "  LB_VTX charged VM EXIT tax reduction: {vtx_gain:.2}x"
     );
+    let proc_gain = report
+        .arm(litterbox::Backend::Proc, false)
+        .ipc_ns_per_request()
+        / report
+            .arm(litterbox::Backend::Proc, true)
+            .ipc_ns_per_request()
+            .max(f64::MIN_POSITIVE);
+    let _ = writeln!(out, "  LB_PROC charged IPC tax reduction: {proc_gain:.2}x");
     out
 }
 
@@ -470,10 +507,22 @@ mod tests {
                 raw: 13.91,
                 slowdown: 1.05,
             },
+            proc: None,
         };
         let text = render_table2(&[row]);
         assert!(text.contains("13.25ms"));
         assert!(text.contains("1.12x"));
+        assert!(!text.contains("LB_PROC"), "two-way table stays two-way");
+
+        let mut three = row;
+        three.proc = Some(MacroCell {
+            raw: 21.04,
+            slowdown: 1.59,
+        });
+        let text = render_table2(&[three]);
+        assert!(text.contains("LB_PROC"), "{text}");
+        assert!(text.contains("21.04ms"));
+        assert!(text.contains("1.59x"));
     }
 
     #[test]

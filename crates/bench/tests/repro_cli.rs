@@ -1,0 +1,61 @@
+//! The `repro` binary's CLI contract: an unknown subcommand must fail
+//! loudly and print the full menu, so a typo is self-correcting instead
+//! of pointing the user at the crate docs.
+
+use std::process::Command;
+
+/// Every subcommand `repro` dispatches on, in menu order.
+const COMMANDS: [&str; 14] = [
+    "table1",
+    "table2",
+    "table2-info",
+    "figure4",
+    "wiki",
+    "python",
+    "attribution",
+    "security",
+    "filter-dump",
+    "ablations",
+    "batching",
+    "chaos",
+    "trace-export",
+    "all",
+];
+
+#[test]
+fn unknown_subcommand_lists_the_menu_and_fails() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("frobnicate")
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success(), "unknown command must exit non-zero");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(
+        stderr.contains("unknown command 'frobnicate'"),
+        "names the typo: {stderr}"
+    );
+    for cmd in COMMANDS {
+        // Each command gets a menu line with a one-line description
+        // after it, not a bare name.
+        let described = stderr.lines().any(|l| {
+            let line = l.trim_start();
+            line.starts_with(cmd) && line[cmd.len()..].trim_start().len() > 10
+        });
+        assert!(described, "menu line for '{cmd}' missing:\n{stderr}");
+    }
+    assert!(
+        stderr.contains("--backend=proc"),
+        "the menu advertises the process-sandbox arm: {stderr}"
+    );
+}
+
+#[test]
+fn bad_backend_value_fails_fast() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["chaos", "--quick", "--backend=sgx"])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success(), "bad --backend must exit non-zero");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("--backend wants 'proc'"), "{stderr}");
+}

@@ -28,13 +28,19 @@ pub struct HwStats {
     pub key_binds: u64,
     /// Virtual-key evictions (hardware key recycled via a sweep).
     pub key_evictions: u64,
+    /// Sandbox child processes forked (LB_PROC lazy spawns + respawns).
+    pub proc_spawns: u64,
+    /// IPC round-trips to sandbox children (LB_PROC crossings).
+    pub ipc_roundtrips: u64,
+    /// Single socketpair messages (LB_PROC one-way traffic).
+    pub pipe_msgs: u64,
 }
 
 impl fmt::Display for HwStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "switches={} wrpkru={} guest_syscalls={} syscalls={} seccomp={} vm_exits={} transfers={} key_binds={} key_evictions={}",
+            "switches={} wrpkru={} guest_syscalls={} syscalls={} seccomp={} vm_exits={} transfers={} key_binds={} key_evictions={} proc_spawns={} ipc_roundtrips={} pipe_msgs={}",
             self.switch_pairs,
             self.wrpkru,
             self.guest_syscalls,
@@ -43,7 +49,10 @@ impl fmt::Display for HwStats {
             self.vm_exits,
             self.transfers,
             self.key_binds,
-            self.key_evictions
+            self.key_evictions,
+            self.proc_spawns,
+            self.ipc_roundtrips,
+            self.pipe_msgs
         )
     }
 }
@@ -322,6 +331,48 @@ impl Clock {
         self.stats.transfers += 1;
     }
 
+    /// Charges the `fork` + per-process seccomp install that spawns one
+    /// LB_PROC sandbox child (lazy, on the first switch into its
+    /// enclosure; `respawn` marks a supervisor-driven respawn after a
+    /// child crash).
+    pub fn charge_fork_spawn(&mut self, env: u32, respawn: bool) {
+        let ns = self.model.fork_spawn;
+        self.now_ns += ns;
+        self.stats.proc_spawns += 1;
+        self.recorder.record_op("fork_spawn", ns);
+        self.record(Event::ProcSpawn { env, respawn });
+    }
+
+    /// Charges one LB_PROC crossing: a request + reply round-trip over
+    /// the supervisor↔child socketpair.
+    pub fn charge_ipc_roundtrip(&mut self, env: u32) {
+        let ns = self.model.ipc_roundtrip;
+        self.now_ns += ns;
+        self.stats.ipc_roundtrips += 1;
+        self.recorder.record_op("ipc_roundtrip", ns);
+        self.record(Event::IpcCrossing { env });
+    }
+
+    /// Charges one one-way socketpair message (LB_PROC transfer
+    /// traffic: page contents shipped to/from a child's address space,
+    /// one message per 4-page unit).
+    pub fn charge_pipe_msg(&mut self) {
+        self.now_ns += self.model.pipe_msg;
+        self.stats.pipe_msgs += 1;
+    }
+
+    /// Charges an LB_PROC transfer over `pages` pages: the page
+    /// contents are shipped over the socketpair, one message per 4-page
+    /// unit, and the supervisor updates the images.
+    pub fn charge_proc_transfer_pages(&mut self, pages: u64) {
+        let units = pages.div_ceil(4).max(1);
+        let ns = self.model.pipe_msg * units;
+        self.now_ns += ns;
+        self.stats.pipe_msgs += units;
+        self.stats.transfers += 1;
+        self.recorder.record_op("proc_transfer", ns);
+    }
+
     /// Records a completed prolog/epilog switch pair.
     pub fn note_switch_pair(&mut self) {
         self.stats.switch_pairs += 1;
@@ -428,6 +479,24 @@ mod tests {
             2 * unit,
             "apportioned event ns must sum to the charged time"
         );
+    }
+
+    #[test]
+    fn proc_charges_accumulate_and_record() {
+        let mut c = Clock::new(CostModel::paper());
+        c.charge_fork_spawn(3, false);
+        c.charge_ipc_roundtrip(3);
+        c.charge_pipe_msg();
+        let m = *c.model();
+        assert_eq!(c.now_ns(), m.fork_spawn + m.ipc_roundtrip + m.pipe_msg);
+        assert_eq!(c.stats().proc_spawns, 1);
+        assert_eq!(c.stats().ipc_roundtrips, 1);
+        assert_eq!(c.stats().pipe_msgs, 1);
+        assert_eq!(c.recorder().counters().proc_spawns, 1);
+        assert_eq!(c.recorder().counters().ipc_crossings, 1);
+        let ops = c.recorder().op_hists();
+        assert_eq!(ops["fork_spawn"].sum(), m.fork_spawn);
+        assert_eq!(ops["ipc_roundtrip"].sum(), m.ipc_roundtrip);
     }
 
     #[test]

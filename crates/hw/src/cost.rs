@@ -16,6 +16,14 @@
 /// | `vm_exit` = 3739 | VT-x syscall 4126 ns = 387 + VM EXIT/RESUME roundtrip |
 /// | `pkey_mprotect` = 1002 | MPK transfer of a 4-page section |
 /// | `vtx_transfer` = 158 | VT-x transfer (guest syscall + presence bits) |
+/// | `pipe_msg` = 4200 | one `socketpair` message (calibrated from pipe ping-pong) |
+/// | `ipc_roundtrip` = 8400 | LB_PROC crossing = request + reply message |
+/// | `fork_spawn` = 250000 | `fork` + seccomp install for one sandbox child |
+///
+/// The LB_PROC constants extend Table 1 with the pngbox-style
+/// process-sandbox fallback: a proxied syscall costs
+/// `kernel_syscall + ipc_roundtrip` = 8787 ns, keeping the per-syscall
+/// ordering MPK (523) < VTX (4126) < PROC (8787).
 ///
 /// All macro results are derived from these constants plus workload-issued
 /// compute charges; nothing in the evaluation layer hard-codes a Table 2
@@ -45,6 +53,15 @@ pub struct CostModel {
     /// LB_VTX transfer: guest syscall + toggling presence bits in the
     /// relevant page tables.
     pub vtx_transfer: u64,
+    /// One message over a `socketpair` pipe between the supervisor and a
+    /// sandbox child (LB_PROC): syscall crossing + copy + wakeup.
+    pub pipe_msg: u64,
+    /// A full IPC round-trip to a sandbox child and back — the LB_PROC
+    /// crossing unit (request message + reply message).
+    pub ipc_roundtrip: u64,
+    /// `fork` + seccomp install + first-touch faults for one sandbox
+    /// child process (LB_PROC lazy spawn).
+    pub fork_spawn: u64,
 }
 
 impl CostModel {
@@ -61,6 +78,9 @@ impl CostModel {
             vm_exit: 3739,
             pkey_mprotect: 1002,
             vtx_transfer: 158,
+            pipe_msg: 4_200,
+            ipc_roundtrip: 8_400,
+            fork_spawn: 250_000,
         }
     }
 
@@ -78,6 +98,9 @@ impl CostModel {
             vm_exit: 0,
             pkey_mprotect: 0,
             vtx_transfer: 0,
+            pipe_msg: 0,
+            ipc_roundtrip: 0,
+            fork_spawn: 0,
         }
     }
 }
@@ -134,6 +157,28 @@ mod tests {
         assert_eq!(m.guest_syscall, 440);
         assert_eq!(m.seccomp_check, 136);
         assert_eq!(m.vtx_transfer, 158);
+    }
+
+    #[test]
+    fn paper_preset_reconstructs_proc_syscall_row() {
+        let m = CostModel::paper();
+        // One LB_PROC crossing is a request + reply over the socketpair.
+        assert_eq!(m.ipc_roundtrip, 2 * m.pipe_msg);
+        // A proxied syscall: host crossing + one IPC round-trip.
+        assert_eq!(m.kernel_syscall + m.ipc_roundtrip, 8787);
+    }
+
+    #[test]
+    fn proc_constants_are_pinned() {
+        // Same tripwire as `paper_constants_are_pinned_to_table1`, for
+        // the process-sandbox extension: the strict per-syscall ordering
+        // MPK < VTX < PROC depends on these.
+        let m = CostModel::paper();
+        assert_eq!(m.pipe_msg, 4_200, "socketpair message ≈ 4.2 µs");
+        assert_eq!(m.ipc_roundtrip, 8_400, "IPC round-trip ≈ 8.4 µs");
+        assert_eq!(m.fork_spawn, 250_000, "fork + seccomp install ≈ 250 µs");
+        assert!(m.kernel_syscall + m.seccomp_check < m.kernel_syscall + m.vm_exit);
+        assert!(m.kernel_syscall + m.vm_exit < m.kernel_syscall + m.ipc_roundtrip);
     }
 
     #[test]

@@ -37,11 +37,20 @@ pub enum InjectionSite {
     /// The single charged crossing of a batched-gateway flush is lost
     /// before any entry is serviced; the batch stays queued for retry.
     BatchFlush,
+    /// `fork` of a sandbox child fails transiently (EAGAIN); the
+    /// enclosure has no process yet, so the switch is refused (LB_PROC).
+    ProcFork,
+    /// A socketpair message to a sandbox child is lost to `EPIPE`; the
+    /// crossing fails before the child observes the request (LB_PROC).
+    PipeEpipe,
+    /// A sandbox child crashes mid-crossing; the supervisor reaps it and
+    /// respawns on the next switch (LB_PROC).
+    ChildCrash,
 }
 
 impl InjectionSite {
     /// Every site, in a stable order.
-    pub const ALL: [InjectionSite; 8] = [
+    pub const ALL: [InjectionSite; 11] = [
         InjectionSite::GatewayErrno,
         InjectionSite::Wrpkru,
         InjectionSite::PkeyMprotect,
@@ -50,6 +59,9 @@ impl InjectionSite {
         InjectionSite::InitAlloc,
         InjectionSite::TransferAlloc,
         InjectionSite::BatchFlush,
+        InjectionSite::ProcFork,
+        InjectionSite::PipeEpipe,
+        InjectionSite::ChildCrash,
     ];
 
     /// The site's stable tag (used in telemetry events and tests).
@@ -64,10 +76,13 @@ impl InjectionSite {
             InjectionSite::InitAlloc => "init_alloc",
             InjectionSite::TransferAlloc => "transfer_alloc",
             InjectionSite::BatchFlush => "batch_flush",
+            InjectionSite::ProcFork => "proc_fork",
+            InjectionSite::PipeEpipe => "pipe_epipe",
+            InjectionSite::ChildCrash => "child_crash",
         }
     }
 
-    fn bit(self) -> u8 {
+    fn bit(self) -> u16 {
         match self {
             InjectionSite::GatewayErrno => 1 << 0,
             InjectionSite::Wrpkru => 1 << 1,
@@ -77,6 +92,9 @@ impl InjectionSite {
             InjectionSite::InitAlloc => 1 << 5,
             InjectionSite::TransferAlloc => 1 << 6,
             InjectionSite::BatchFlush => 1 << 7,
+            InjectionSite::ProcFork => 1 << 8,
+            InjectionSite::PipeEpipe => 1 << 9,
+            InjectionSite::ChildCrash => 1 << 10,
         }
     }
 }
@@ -90,7 +108,7 @@ pub const PPM: u64 = 1_000_000;
 pub struct InjectionPlan {
     rng: XorShift,
     rate_ppm: u64,
-    sites: u8,
+    sites: u16,
     fired: u64,
     budget: Option<u64>,
 }

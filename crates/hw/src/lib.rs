@@ -10,6 +10,11 @@
 //!   one page table per enclosure, switches implemented as guest system
 //!   calls that rewrite CR3, and host syscalls proxied through hypercalls
 //!   (VM EXITs). Modeled by [`vtx::Vm`].
+//! * **Process sandboxes** (`LB_PROC`) — the hardware-free fallback: one
+//!   child process per enclosure, isolation by address-space separation,
+//!   crossings priced as socketpair IPC round-trips, syscalls proxied to
+//!   the supervisor behind per-process seccomp filters. Modeled by
+//!   [`proc::ProcSandbox`].
 //!
 //! Because the reproduction runs without the real hardware, time is
 //! *simulated*: every mechanism primitive advances a [`Clock`] by a cost
@@ -42,6 +47,7 @@ mod cost;
 mod cpu;
 pub mod inject;
 pub mod mpk;
+pub mod proc;
 pub mod vkey;
 pub mod vtx;
 

@@ -257,6 +257,37 @@ impl SeccompFilter {
         })
     }
 
+    /// Compiles a *per-process* filter for one policy: the LB_PROC
+    /// shape, where each sandbox child gets its own program installed at
+    /// `fork` time. Process identity replaces the PKRU dispatch — there
+    /// is exactly one environment per process, so the program is just
+    /// the architecture pin followed by the policy body, with no PKRU
+    /// load at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::bpf::BpfError`] if the policy's `connect`
+    /// allowlist makes the program exceed kernel limits.
+    pub fn compile_process(
+        policy: &SysPolicy,
+        mode: FilterMode,
+    ) -> Result<SeccompFilter, crate::bpf::BpfError> {
+        if let Some(list) = &policy.connect_allowlist {
+            if list.len() > MAX_CONNECT_ALLOWLIST {
+                return Err(crate::bpf::BpfError::BadProgramLength(list.len()));
+            }
+        }
+        let mut insns: Vec<Insn> = Vec::new();
+        insns.push(Insn::ld_abs(DATA_OFF_ARCH));
+        insns.push(Insn::jeq(AUDIT_ARCH_X86_64, 1, 0));
+        insns.push(Insn::ret(SECCOMP_RET_KILL_PROCESS));
+        insns.extend(Self::rule_body(policy, mode));
+        Ok(SeccompFilter {
+            program: Program::new(insns)?,
+            mode,
+        })
+    }
+
     fn rule_body(policy: &SysPolicy, mode: FilterMode) -> Vec<Insn> {
         let deny = mode.deny_verdict();
         let mut body = Vec::new();
@@ -419,6 +450,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn per_process_filter_ignores_pkru_and_matches_policy() {
+        let policy = SysPolicy::categories(CategorySet::only(SysCategory::Net));
+        let filter = SeccompFilter::compile_process(&policy, FilterMode::KillProcess).unwrap();
+        for sysno in Sysno::ALL {
+            let expected = policy.allows(sysno, &args());
+            // Process identity replaces PKRU dispatch: any PKRU value
+            // evaluates identically.
+            for pkru in [0u32, 0x5555_0000, 0xdead_0000] {
+                assert_eq!(
+                    filter.check(sysno, &args(), pkru),
+                    expected,
+                    "{sysno} under pkru {pkru:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_process_filter_honors_connect_allowlist_and_errno_mode() {
+        let good_ip = 0x0a00_0001u32;
+        let policy = SysPolicy::categories(CategorySet::only(SysCategory::Net))
+            .with_connect_allowlist(vec![good_ip]);
+        let filter =
+            SeccompFilter::compile_process(&policy, FilterMode::ReturnErrno(Errno::Eacces))
+                .unwrap();
+        let mut a = args();
+        a[1] = u64::from(good_ip);
+        assert!(filter.check(Sysno::Connect, &a, 0));
+        a[1] = 0x0808_0808;
+        assert_eq!(
+            filter.check_verdict(Sysno::Connect, &a, 0),
+            Verdict::Errno(13)
+        );
+        assert_eq!(
+            filter.check_verdict(Sysno::Open, &args(), 0),
+            Verdict::Errno(13)
+        );
     }
 
     #[test]

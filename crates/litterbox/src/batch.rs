@@ -169,6 +169,14 @@ impl LitterBox {
                     allowed: true,
                 });
             }
+            Backend::Proc => {
+                // One IPC round-trip to the supervisor covers the whole
+                // (environment, batch) pair; the trusted environment is
+                // the supervisor itself and needs no crossing.
+                if enclosed {
+                    self.clock_mut().charge_ipc_roundtrip(env.0);
+                }
+            }
             Backend::Baseline => {}
         }
 
@@ -433,5 +441,88 @@ mod tests {
         let read = lb.batch_take_completions();
         assert_eq!(read[0].result, Ok(BatchReply::Bytes(b"hello".to_vec())));
         lb.epilog(t).unwrap();
+    }
+
+    #[test]
+    fn batched_proc_flush_charges_one_ipc_roundtrip() {
+        let (mut lb, cs) = lab(Backend::Proc);
+        lb.enable_batching();
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        let before = lb.stats().ipc_roundtrips;
+        for _ in 0..8 {
+            lb.batch_enqueue(1, BatchOp::Getuid).unwrap();
+        }
+        assert_eq!(lb.batch_flush().unwrap(), 8);
+        assert_eq!(
+            lb.stats().ipc_roundtrips - before,
+            1,
+            "one round-trip to the supervisor amortizes the whole batch"
+        );
+        let done = lb.batch_take_completions();
+        assert_eq!(done.len(), 8);
+        assert!(done.iter().all(|c| c.result.is_ok()));
+        lb.epilog(t).unwrap();
+    }
+
+    #[test]
+    fn trusted_proc_batches_pay_no_crossing() {
+        let (mut lb, _cs) = lab(Backend::Proc);
+        lb.enable_batching();
+        lb.batch_enqueue(0, BatchOp::Getuid).unwrap();
+        let before = lb.stats().ipc_roundtrips;
+        lb.batch_flush().unwrap();
+        // The supervisor is the kernel-facing process: its own batch
+        // crosses no process boundary, unlike the VT-x host round-trip.
+        assert_eq!(lb.stats().ipc_roundtrips - before, 0);
+        let done = lb.batch_take_completions();
+        assert_eq!(done[0].result, Ok(BatchReply::Num(1000)));
+    }
+
+    enclosure_support::props! {
+        /// An empty flush is free on every backend: `Ok(0)`, no
+        /// crossing charged, no telemetry emitted.
+        fn empty_flush_charges_nothing(rng, cases = 16) {
+            let backend = *rng.choose(&[
+                Backend::Baseline,
+                Backend::Mpk,
+                Backend::Vtx,
+                Backend::Proc,
+            ]);
+            let (mut lb, cs) = lab(backend);
+            lb.telemetry_mut().enable_trace(4_096);
+            lb.enable_batching();
+            // Flush from the trusted environment and from inside the
+            // enclosure alike.
+            let token = if rng.range_usize(0, 2) == 1 {
+                Some(lb.prolog(EnclosureId(1), cs).unwrap())
+            } else {
+                None
+            };
+            let t0 = lb.now_ns();
+            let events = lb.telemetry().recent_events().count();
+            let flushes = lb.telemetry().counters().batch_flushes;
+            assert_eq!(lb.batch_flush().unwrap(), 0);
+            assert_eq!(lb.now_ns(), t0, "{backend}: charged an empty flush");
+            assert_eq!(lb.telemetry().recent_events().count(), events);
+            assert_eq!(lb.telemetry().counters().batch_flushes, flushes);
+            if let Some(t) = token {
+                lb.epilog(t).unwrap();
+            }
+        }
+
+        /// Submitting to a disabled gateway is a clean, typed error —
+        /// not a panic, not a silently dropped entry.
+        fn enqueue_after_disable_is_a_clean_error(rng, cases = 8) {
+            let backend = *rng.choose(&[Backend::Mpk, Backend::Vtx, Backend::Proc]);
+            let (mut lb, _cs) = lab(backend);
+            lb.enable_batching();
+            lb.disable_batching().unwrap();
+            let err = lb.batch_enqueue(1, BatchOp::Getuid).unwrap_err();
+            assert!(
+                matches!(&err, Fault::Init(msg) if msg.contains("enable_batching")),
+                "{err:?}"
+            );
+            assert_eq!(lb.batch_pending(), 0);
+        }
     }
 }

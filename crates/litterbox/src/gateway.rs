@@ -356,7 +356,7 @@ mod tests {
 
     #[test]
     fn none_policy_blocks_everything_inside() {
-        for backend in [Backend::Mpk, Backend::Vtx] {
+        for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
             let (mut lb, cs) = machine_with_enclosure(backend, SysPolicy::none());
             let t = lb.prolog(EnclosureId(1), cs).unwrap();
             assert!(lb.sys_getuid().unwrap_err().is_fault());
@@ -398,7 +398,7 @@ mod tests {
         use enclosure_kernel::net::{ipv4, SockAddr};
         let good = SockAddr::new(ipv4(198, 51, 100, 7), 22);
         let evil = SockAddr::new(ipv4(203, 0, 113, 9), 443);
-        for backend in [Backend::Mpk, Backend::Vtx] {
+        for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
             let (mut lb, cs) = machine_with_enclosure(
                 backend,
                 SysPolicy::categories(CategorySet::only(SysCategory::Net))
@@ -422,7 +422,7 @@ mod tests {
     #[test]
     fn errno_filter_mode_degrades_denials_to_errnos() {
         use enclosure_kernel::FilterMode;
-        for backend in [Backend::Mpk, Backend::Vtx] {
+        for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
             let mut lb = LitterBox::new(backend);
             lb.set_filter_mode(FilterMode::ReturnErrno(Errno::Eacces))
                 .unwrap();
@@ -495,6 +495,42 @@ mod tests {
         let t0 = lb.now_ns();
         lb.sys_getuid().unwrap();
         assert_eq!(lb.now_ns() - t0, 523, "387 + seccomp 136");
+    }
+
+    #[test]
+    fn proc_syscall_cost_is_an_ipc_roundtrip() {
+        let (mut lb, cs) = machine_with_enclosure(Backend::Proc, SysPolicy::all());
+        // The supervisor calls the kernel directly — no proxy tax.
+        let t0 = lb.now_ns();
+        lb.sys_getuid().unwrap();
+        assert_eq!(lb.now_ns() - t0, 387, "trusted: kernel syscall only");
+        // An enclosed call is proxied over the socketpair: kernel
+        // syscall (387) + one IPC round-trip (8_400).
+        let t = lb.prolog(EnclosureId(1), cs).unwrap();
+        let t0 = lb.now_ns();
+        lb.sys_getuid().unwrap();
+        assert_eq!(lb.now_ns() - t0, 8_787, "387 + IPC round-trip 8_400");
+        lb.epilog(t).unwrap();
+    }
+
+    /// The acceptance ordering for enclosed syscalls: the cheaper the
+    /// isolation hardware, the cheaper the crossing — MPK < VT-x < a
+    /// whole process round-trip.
+    #[test]
+    fn enclosed_syscall_costs_order_mpk_vtx_proc() {
+        let mut measured = Vec::new();
+        for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
+            let (mut lb, cs) = machine_with_enclosure(backend, SysPolicy::all());
+            let t = lb.prolog(EnclosureId(1), cs).unwrap();
+            let t0 = lb.now_ns();
+            lb.sys_getuid().unwrap();
+            measured.push(lb.now_ns() - t0);
+            lb.epilog(t).unwrap();
+        }
+        assert!(
+            measured[0] < measured[1] && measured[1] < measured[2],
+            "enclosed per-syscall cost must order MPK < VTX < PROC: {measured:?}"
+        );
     }
 
     #[test]

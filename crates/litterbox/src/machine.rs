@@ -4,6 +4,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use enclosure_hw::mpk::{Pkru, NUM_KEYS};
+use enclosure_hw::proc::{ProcError, ProcSandbox, SpawnRecord};
 use enclosure_hw::vtx::{EnvId, Vm, VtxError, TRUSTED_ENV};
 use enclosure_hw::{Clock, CostModel, Cpu, HwStats, InjectionSite, VirtualKey, VirtualKeyTable};
 use enclosure_kernel::seccomp::{SeccompFilter, SeccompRule, SysPolicy};
@@ -24,6 +25,7 @@ const INIT_NS_PER_PACKAGE: u64 = 2_000;
 const INIT_NS_PER_PAGE: u64 = 500;
 const INIT_NS_PER_ENV_VTX: u64 = 4_000_000; // KVM + per-enclosure page-table setup
 const INIT_NS_PER_ENV_MPK: u64 = 3_000; // key setup + seccomp rule
+const INIT_NS_PER_ENV_PROC: u64 = 15_000; // socketpair + per-process filter compile (fork is lazy)
 
 /// Which enforcement mechanism backs the enclosures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +37,10 @@ pub enum Backend {
     Mpk,
     /// Intel VT-x (`LB_VTX`).
     Vtx,
+    /// Process sandboxes (`LB_PROC`): one child process per enclosure,
+    /// isolation by address-space separation, crossings priced as IPC
+    /// round-trips — the fallback for hosts with neither MPK nor VT-x.
+    Proc,
 }
 
 impl std::fmt::Display for Backend {
@@ -43,6 +49,7 @@ impl std::fmt::Display for Backend {
             Backend::Baseline => write!(f, "Baseline"),
             Backend::Mpk => write!(f, "LB_MPK"),
             Backend::Vtx => write!(f, "LB_VTX"),
+            Backend::Proc => write!(f, "LB_PROC"),
         }
     }
 }
@@ -179,6 +186,13 @@ enum HwState {
     Vtx {
         vm: Vm,
     },
+    Proc {
+        sandbox: ProcSandbox,
+        /// Per-process seccomp programs, one per environment: compiled
+        /// at build (no PKRU dispatch — process identity replaces it)
+        /// and installed into each child at `fork` time.
+        filters: HashMap<EnvId, SeccompFilter>,
+    },
 }
 
 /// Name of LitterBox's always-mapped API package (§5.3).
@@ -214,6 +228,11 @@ pub struct LitterBox {
     /// is hard-pinned by the running working set, a hot meta is still
     /// evictable (pinning must never introduce a new failure mode).
     hot_pinned: Vec<VirtualKey>,
+    /// Self-time already discounted per package by [`Self::age_hot_signal`]:
+    /// the effective pinning signal is the attribution ledger's self-ns
+    /// minus this. Empty until the first decay, so the signal is exactly
+    /// the raw ledger by default.
+    hot_discount: BTreeMap<String, u64>,
     /// Opt-in: coalesce the victim sweeps of one switch into a single
     /// charged `pkey_mprotect` unit count over the combined pages.
     coalesce_sweeps: bool,
@@ -254,6 +273,7 @@ impl LitterBox {
             filter_mode: FilterMode::KillProcess,
             mpk_key_mode: MpkKeyMode::default(),
             hot_pinned: Vec::new(),
+            hot_discount: BTreeMap::new(),
             coalesce_sweeps: false,
             batch: None,
         }
@@ -433,6 +453,20 @@ impl LitterBox {
                             writeln!(out, "  page table: {} pages mapped", table.mapped_pages());
                     }
                 }
+                HwState::Proc { sandbox, .. } => {
+                    if let Some(table) = sandbox.table(env) {
+                        let process = match sandbox.pid_of(env) {
+                            Some(pid) if sandbox.is_spawned(env) => format!("pid {pid}"),
+                            Some(pid) => format!("pid {pid} (crashed)"),
+                            None => "not spawned".to_owned(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "  sandbox: {} pages mapped, {process}",
+                            table.mapped_pages()
+                        );
+                    }
+                }
             }
         }
         out
@@ -457,6 +491,16 @@ impl LitterBox {
     pub fn switch_cache_stats(&self) -> Option<SwitchCacheStats> {
         match &self.hw {
             HwState::Mpk { cache, .. } => Some(*cache),
+            _ => None,
+        }
+    }
+
+    /// The LB_PROC supervisor's spawn ledger: every child `fork` in
+    /// order, respawns flagged. `None` on other backends.
+    #[must_use]
+    pub fn proc_spawn_ledger(&self) -> Option<&[SpawnRecord]> {
+        match &self.hw {
+            HwState::Proc { sandbox, .. } => Some(sandbox.spawn_ledger()),
             _ => None,
         }
     }
@@ -853,6 +897,7 @@ impl LitterBox {
             Backend::Baseline => 0,
             Backend::Mpk => INIT_NS_PER_ENV_MPK,
             Backend::Vtx => INIT_NS_PER_ENV_VTX,
+            Backend::Proc => INIT_NS_PER_ENV_PROC,
         };
         let cost = if self.backend == Backend::Baseline {
             0
@@ -882,11 +927,21 @@ impl LitterBox {
                 }
             }
         }
-        let hw = match self.backend {
+        let mut hw = match self.backend {
             Backend::Baseline => HwState::Baseline,
             Backend::Mpk => self.build_mpk(&envs, &clustering)?,
             Backend::Vtx => self.build_vtx(&envs)?,
+            Backend::Proc => self.build_proc(&envs)?,
         };
+
+        // An incremental rebuild must not kill running children: the
+        // supervisor swaps in new images and filters, but a surviving
+        // environment keeps its already-spawned process (and pid).
+        if let (HwState::Proc { sandbox, .. }, HwState::Proc { sandbox: old, .. }) =
+            (&mut hw, &self.hw)
+        {
+            sandbox.adopt_spawned(old);
+        }
 
         // Preserve the current environment across incremental rebuilds
         // (dynamic imports happen mid-execution, §5.2); fall back to
@@ -1053,6 +1108,40 @@ impl LitterBox {
             }
         }
         Ok(HwState::Vtx { vm })
+    }
+
+    fn build_proc(&self, envs: &HashMap<EnvId, EnvInfo>) -> Result<HwState, Fault> {
+        // Address-space images are view-derived page tables, exactly as
+        // LB_VTX builds them — the enforcement differs (a child process
+        // simply has nothing else mapped), not the view semantics.
+        let build_table = |name: &str, view: &ViewMap| {
+            let mut table = PageTable::new(name);
+            for (pkg, rights) in view {
+                if let Some(info) = self.packages.get(pkg) {
+                    for section in &info.sections {
+                        let effective = section.default_rights().intersection(*rights);
+                        if !effective.is_none() {
+                            table.map_range(section.range(), effective, 0);
+                        }
+                    }
+                }
+            }
+            table
+        };
+        let trusted = build_table("supervisor", &envs[&TRUSTED_ENV].view);
+        let mut sandbox = ProcSandbox::new(trusted);
+        let mut filters = HashMap::new();
+        for (env, info) in envs {
+            if *env != TRUSTED_ENV {
+                sandbox.install(*env, build_table(&info.name, &info.view));
+            }
+            // One per-process program per environment (process identity
+            // replaces the PKRU dispatch), installed at fork time.
+            let filter = SeccompFilter::compile_process(&info.policy, self.filter_mode)
+                .map_err(|e| Fault::Init(format!("per-process seccomp compile failed: {e}")))?;
+            filters.insert(*env, filter);
+        }
+        Ok(HwState::Proc { sandbox, filters })
     }
 
     // ------------------------------------------------------------------
@@ -1384,6 +1473,18 @@ impl LitterBox {
                     })?;
                 Ok(())
             }
+            HwState::Proc { sandbox, .. } => {
+                // Lazy spawn + request message into a child; reply
+                // message back to the supervisor (infallible, so
+                // `recover_to_trusted` always converges).
+                sandbox
+                    .switch(target, self.cpu.clock_mut())
+                    .map_err(|e| match e {
+                        ProcError::ForkFailed(_) => Fault::Transient { site: "proc_fork" },
+                        ProcError::UnknownEnv(_) => Fault::UnknownEnclosure(EnclosureId(target.0)),
+                    })?;
+                Ok(())
+            }
         }
     }
 
@@ -1550,6 +1651,31 @@ impl LitterBox {
                 }
                 Ok(())
             }
+            HwState::Proc { sandbox, .. } => {
+                // The supervisor ships the page contents over the pipe
+                // (one message per 4-page unit) and rewrites each
+                // child's image with the rights *its* view grants.
+                self.cpu
+                    .clock_mut()
+                    .charge_proc_transfer_pages(range.page_len());
+                for (env, info) in &self.envs {
+                    let rights = info
+                        .view
+                        .get(to)
+                        .copied()
+                        .unwrap_or(Access::NONE)
+                        .intersection(Access::RW);
+                    let table = sandbox
+                        .table_mut(*env)
+                        .expect("every environment has an installed image");
+                    if rights.is_none() {
+                        table.unmap_range(range);
+                    } else {
+                        table.map_range(range, rights, 0);
+                    }
+                }
+                Ok(())
+            }
         }
     }
 
@@ -1674,13 +1800,10 @@ impl LitterBox {
         self.hot_pinned.clear();
     }
 
-    /// The top-`k` packages by span self-time in the attribution
-    /// ledger — the telemetry signal behind [`Self::pin_hot_packages`].
+    /// Raw span self-time per package from the attribution ledger.
     /// Multi-package scopes (`"a+b"`) credit each member; the trusted
-    /// placeholder scope is skipped. Ties break alphabetically so the
-    /// pick is deterministic.
-    #[must_use]
-    pub fn hot_packages_by_self_time(&self, k: usize) -> Vec<String> {
+    /// placeholder scope is skipped.
+    fn raw_self_time(&self) -> BTreeMap<String, u64> {
         let mut by_pkg: BTreeMap<String, u64> = BTreeMap::new();
         for (scope, cost) in self.telemetry().attribution() {
             for pkg in scope.package.split('+') {
@@ -1690,10 +1813,69 @@ impl LitterBox {
                 *by_pkg.entry(pkg.to_owned()).or_default() += cost.self_ns;
             }
         }
-        let mut ranked: Vec<(String, u64)> = by_pkg.into_iter().collect();
+        by_pkg
+    }
+
+    /// The top-`k` packages by *effective* span self-time — the raw
+    /// attribution ledger minus whatever [`Self::age_hot_signal`] has
+    /// decayed away — the telemetry signal behind
+    /// [`Self::pin_hot_packages`]. Until the first decay this is exactly
+    /// the raw ledger. A package whose signal has fully decayed is no
+    /// longer hot and is not ranked at all. Ties break alphabetically so
+    /// the pick is deterministic.
+    #[must_use]
+    pub fn hot_packages_by_self_time(&self, k: usize) -> Vec<String> {
+        let mut ranked: Vec<(String, u64)> = self
+            .raw_self_time()
+            .into_iter()
+            .filter_map(|(pkg, raw)| {
+                let discount = self.hot_discount.get(&pkg).copied().unwrap_or(0);
+                let effective = raw.saturating_sub(discount);
+                (effective > 0).then_some((pkg, effective))
+            })
+            .collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked.into_iter().map(|(pkg, _)| pkg).collect()
+    }
+
+    /// Ages the pinning signal one half-life: every package's remaining
+    /// effective self-time is halved (the attribution ledger itself is
+    /// untouched — decay is bookkept as a per-package discount). Calling
+    /// this at phase boundaries keeps [`Self::hot_packages_by_self_time`]
+    /// tracking the *current* working set instead of the all-time one,
+    /// so a package that was hot an hour ago stops outranking the
+    /// packages that are hot now.
+    pub fn age_hot_signal(&mut self) {
+        for (pkg, raw) in self.raw_self_time() {
+            let entry = self.hot_discount.entry(pkg).or_insert(0);
+            let remaining = raw.saturating_sub(*entry);
+            *entry = raw - remaining / 2;
+        }
+    }
+
+    /// Re-derives the hot set from the aged signal and pins it: the
+    /// top-`k` packages by effective self-time replace the previous hot
+    /// set wholesale, so a pin whose package went cold is released.
+    /// Returns the packages now pinned (possibly fewer than `k`, or
+    /// none, when the signal has decayed away).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::UnknownPackage`] if the attribution ledger names a
+    /// package the machine does not know (a scope from before a rebuild).
+    pub fn refresh_hot_pins(&mut self, k: usize) -> Result<Vec<String>, Fault> {
+        let hot = self.hot_packages_by_self_time(k);
+        let refs: Vec<&str> = hot.iter().map(String::as_str).collect();
+        self.pin_hot_packages(&refs)?;
+        Ok(hot)
+    }
+
+    /// The virtual keys currently pinned hot (empty on non-MPK backends
+    /// and before any [`Self::pin_hot_packages`]).
+    #[must_use]
+    pub fn hot_pins(&self) -> &[VirtualKey] {
+        &self.hot_pinned
     }
 
     /// Opt-in: charge the victim sweeps of one switch as a single
@@ -1714,7 +1896,7 @@ impl LitterBox {
     ///
     /// [`Fault::SyscallDenied`] carrying the record and environment.
     pub fn filter_syscall(&mut self, record: SyscallRecord) -> Result<(), Fault> {
-        let allowed = match &self.hw {
+        let allowed = match &mut self.hw {
             HwState::Baseline => true,
             HwState::Mpk { filters, front, .. } => {
                 self.cpu.clock_mut().charge_seccomp();
@@ -1736,6 +1918,46 @@ impl LitterBox {
                 self.envs[&self.current]
                     .policy
                     .allows(record.sysno, &record.args)
+            }
+            HwState::Proc { sandbox, filters } => {
+                if self.current == TRUSTED_ENV {
+                    // The supervisor calls the kernel directly: no
+                    // child, no proxy, no per-process filter tax.
+                    true
+                } else {
+                    // An enclosed syscall is proxied to the supervisor
+                    // over the socketpair. The request message can be
+                    // lost (EPIPE) before the supervisor observes it...
+                    // Either failure is only *discovered* after a pipe
+                    // traversal (the write completes before EPIPE comes
+                    // back; a crash surfaces when the reply read fails),
+                    // so a faulted attempt still costs one message.
+                    if self.cpu.clock_mut().should_inject(InjectionSite::PipeEpipe) {
+                        self.cpu.clock_mut().charge_pipe_msg();
+                        return Err(self.trace_fault(Fault::Transient { site: "pipe_epipe" }));
+                    }
+                    // ...or the child can crash mid-request; the
+                    // supervisor reaps it and respawns on the next
+                    // switch into the enclosure.
+                    if self
+                        .cpu
+                        .clock_mut()
+                        .should_inject(InjectionSite::ChildCrash)
+                    {
+                        self.cpu.clock_mut().charge_pipe_msg();
+                        sandbox.mark_crashed(self.current);
+                        return Err(self.trace_fault(Fault::Transient {
+                            site: "child_crash",
+                        }));
+                    }
+                    self.cpu.clock_mut().charge_ipc_roundtrip(self.current.0);
+                    let filter = filters
+                        .get(&self.current)
+                        .expect("every environment's per-process filter is compiled at build");
+                    // The child's own seccomp program backs the proxy
+                    // (PKRU is irrelevant: process identity replaces it).
+                    filter.check(record.sysno, &record.args, 0)
+                }
             }
         };
         // The FilterSyscall *API event* is only meaningful for enclosed
@@ -1782,6 +2004,10 @@ impl LitterBox {
             HwState::Vtx { .. } => self.envs[&self.current]
                 .policy
                 .allows(record.sysno, &record.args),
+            HwState::Proc { filters, .. } => filters
+                .get(&self.current)
+                .expect("every environment's per-process filter is compiled at build")
+                .check(record.sysno, &record.args, 0),
         }
     }
 
@@ -1797,6 +2023,9 @@ impl LitterBox {
                 .check_mpk(table, addr, len, needed)
                 .map_err(Fault::Memory),
             HwState::Vtx { vm } => vm.check(addr, len, needed).map_err(Fault::Memory),
+            HwState::Proc { sandbox, .. } => {
+                sandbox.check(addr, len, needed).map_err(Fault::Memory)
+            }
         }
     }
 
@@ -2351,6 +2580,114 @@ mod tests {
         lb.epilog(token).unwrap();
         // callsite check (1) + 2 guest syscalls (880) = 881.
         assert_eq!(lb.now_ns() - start, 881);
+    }
+
+    #[test]
+    fn proc_switch_costs_are_ipc_priced() {
+        let (mut lb, f) = figure1(Backend::Proc);
+        // The first entry forks the child: callsite check (1) +
+        // fork_spawn (250_000) + 2 pipe messages (8_400).
+        let start = lb.now_ns();
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.epilog(token).unwrap();
+        assert_eq!(lb.now_ns() - start, 258_401);
+        // Warm entries are pure IPC: callsite check (1) + one pipe
+        // message each way (8_400) = 8_401 — dearer than MPK's 41 and
+        // VT-x's 881, as a process crossing should be.
+        let start = lb.now_ns();
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.epilog(token).unwrap();
+        assert_eq!(lb.now_ns() - start, 8_401);
+        assert_eq!(lb.stats().switch_pairs, 2);
+    }
+
+    #[test]
+    fn proc_children_spawn_lazily_and_exactly_once() {
+        let (mut lb, f) = figure1(Backend::Proc);
+        assert_eq!(lb.proc_spawn_ledger().unwrap().len(), 0, "fork is lazy");
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.epilog(token).unwrap();
+        let first = lb.proc_spawn_ledger().unwrap().to_vec();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].env, EnvId(1));
+        assert!(!first[0].respawn);
+        // Re-entry reuses the running child: same ledger, same pid.
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.epilog(token).unwrap();
+        assert_eq!(lb.proc_spawn_ledger().unwrap(), &first[..]);
+        assert_eq!(lb.telemetry().counters().proc_spawns, 1);
+        assert_eq!(lb.telemetry().counters().proc_respawns, 0);
+    }
+
+    #[test]
+    fn proc_child_crash_is_respawned_on_the_next_entry() {
+        let (mut lb, f) = figure1(Backend::Proc);
+        // Give the enclosure a syscall so the proxy path is reachable.
+        lb.enclosures.get_mut(&EnclosureId(1)).unwrap().policy = SysPolicy::all();
+        lb.rebuild().unwrap();
+
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        let old_pid = lb.proc_spawn_ledger().unwrap()[0].pid;
+        lb.clock_mut()
+            .arm_injection(enclosure_hw::InjectionPlan::once(InjectionSite::ChildCrash));
+        let err = lb.sys_getuid().unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        lb.clock_mut().disarm_injection();
+        lb.epilog(token).unwrap();
+
+        // The supervisor respawns on the next switch in, with a fresh
+        // pid and a ledger mark; the enclosure is serviceable again.
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        assert!(lb.sys_getuid().is_ok());
+        lb.epilog(token).unwrap();
+        let ledger = lb.proc_spawn_ledger().unwrap();
+        assert_eq!(ledger.len(), 2);
+        assert!(ledger[1].respawn);
+        assert_ne!(ledger[1].pid, old_pid);
+        assert_eq!(lb.telemetry().counters().proc_respawns, 1);
+    }
+
+    #[test]
+    fn hot_signal_ages_by_half_lives() {
+        let (mut lb, f) = figure1(Backend::Mpk);
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.clock_mut().advance(400);
+        lb.epilog(token).unwrap();
+        // Before any decay the signal is the raw ledger (back-compat).
+        let fresh = lb.hot_packages_by_self_time(2);
+        assert!(!fresh.is_empty(), "the enclosed call accrued self time");
+        // One half-life halves everything uniformly — no reorder.
+        lb.age_hot_signal();
+        assert_eq!(lb.hot_packages_by_self_time(2), fresh);
+        // Enough half-lives extinguish the signal: nothing is hot.
+        for _ in 0..12 {
+            lb.age_hot_signal();
+        }
+        assert!(lb.hot_packages_by_self_time(2).is_empty());
+        // Refreshing against a dead signal releases every pin.
+        lb.pin_hot_packages(&["img"]).unwrap();
+        assert_eq!(lb.hot_pins().len(), 1);
+        assert!(lb.refresh_hot_pins(2).unwrap().is_empty());
+        assert!(lb.hot_pins().is_empty());
+    }
+
+    #[test]
+    fn proc_incremental_init_keeps_running_children() {
+        let (mut lb, f) = figure1(Backend::Proc);
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.epilog(token).unwrap();
+        let before = lb.proc_spawn_ledger().unwrap().to_vec();
+
+        let mut prog = ProgramDesc::new();
+        prog.add_package(&mut lb, "late", 1, 1, 1).unwrap();
+        lb.init_incremental(prog).unwrap();
+
+        // The rebuild swapped images and filters but did not kill the
+        // child: same ledger, and re-entry does not fork again.
+        assert_eq!(lb.proc_spawn_ledger().unwrap(), &before[..]);
+        let token = lb.prolog(EnclosureId(1), f.callsite).unwrap();
+        lb.epilog(token).unwrap();
+        assert_eq!(lb.proc_spawn_ledger().unwrap().len(), 1);
     }
 
     #[test]

@@ -107,6 +107,22 @@ pub enum Event {
         ns: u64,
     },
 
+    /// A sandbox child process was forked (LB_PROC): the lazy spawn on
+    /// the first switch into an enclosure, or a supervisor-driven
+    /// respawn after a child crash.
+    ProcSpawn {
+        /// Environment the child backs.
+        env: u32,
+        /// Whether this was a respawn after a crash.
+        respawn: bool,
+    },
+    /// One charged IPC round-trip over the supervisor↔child socketpair
+    /// (the LB_PROC crossing unit).
+    IpcCrossing {
+        /// Environment whose child serviced the crossing.
+        env: u32,
+    },
+
     // --- Kernel ---------------------------------------------------------
     /// A syscall entered the kernel (post-filter).
     SyscallEntry {
@@ -263,6 +279,12 @@ impl fmt::Display for Event {
                 f,
                 "key_evict vk{vkey} frees hkey {hkey} pages={pages} ns={ns}"
             ),
+            Event::ProcSpawn { env, respawn } => write!(
+                f,
+                "proc_spawn env={env}{}",
+                if *respawn { " respawn" } else { "" }
+            ),
+            Event::IpcCrossing { env } => write!(f, "ipc_crossing env={env}"),
             Event::SyscallEntry {
                 sysno,
                 category,

@@ -56,6 +56,12 @@ pub struct Counters {
     pub key_eviction_pages: u64,
     /// Simulated nanoseconds spent in eviction sweeps.
     pub key_eviction_ns: u64,
+    /// Sandbox children forked (LB_PROC spawns + respawns).
+    pub proc_spawns: u64,
+    /// Supervisor-driven respawns after child crashes (LB_PROC).
+    pub proc_respawns: u64,
+    /// Charged IPC round-trips to sandbox children (LB_PROC crossings).
+    pub ipc_crossings: u64,
     /// Kernel syscall entries (post-filter).
     pub syscall_entries: u64,
     /// Kernel syscall entries made from inside an enclosure.
@@ -118,6 +124,9 @@ impl Counters {
             ("key_evictions", Json::U64(self.key_evictions)),
             ("key_eviction_pages", Json::U64(self.key_eviction_pages)),
             ("key_eviction_ns", Json::U64(self.key_eviction_ns)),
+            ("proc_spawns", Json::U64(self.proc_spawns)),
+            ("proc_respawns", Json::U64(self.proc_respawns)),
+            ("ipc_crossings", Json::U64(self.ipc_crossings)),
             ("syscall_entries", Json::U64(self.syscall_entries)),
             (
                 "enclosed_syscall_entries",
@@ -183,6 +192,13 @@ impl Counters {
                 self.key_eviction_pages += pages;
                 self.key_eviction_ns += ns;
             }
+            Event::ProcSpawn { respawn, .. } => {
+                self.proc_spawns += 1;
+                if *respawn {
+                    self.proc_respawns += 1;
+                }
+            }
+            Event::IpcCrossing { .. } => self.ipc_crossings += 1,
             Event::SyscallEntry { enclosed, .. } => {
                 self.syscall_entries += 1;
                 if *enclosed {

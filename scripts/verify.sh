@@ -70,6 +70,34 @@ trap 'rm -rf "$chaos_out"' EXIT
 ./target/release/repro chaos --seed=0xC4A05 > "$chaos_out/b.txt"
 cmp "$chaos_out/a.txt" "$chaos_out/b.txt"
 
+echo "== LB_PROC: chaos arm deterministic, ledger balanced =="
+./target/release/repro chaos --backend=proc --quick > "$chaos_out/p1.txt"
+./target/release/repro chaos --backend=proc --quick > "$chaos_out/p2.txt"
+cmp "$chaos_out/p1.txt" "$chaos_out/p2.txt"
+# The proc arm must actually run (one LB_PROC row) and its IPC/spawn
+# ledger must balance (recorder count == hardware count on both).
+grep -q "LB_PROC" "$chaos_out/p1.txt"
+grep -qE "ipc ([0-9]+)=\1" "$chaos_out/p1.txt"
+grep -qE "spawns ([0-9]+)=\1" "$chaos_out/p1.txt"
+
+echo "== LB_PROC: three-way Table 2 renders the extra column =="
+./target/release/repro table2 --quick --backend=proc > "$chaos_out/t2.txt"
+grep -q "LB_PROC" "$chaos_out/t2.txt"
+# All three app rows must carry a proc slowdown cell.
+for app in bild HTTP FastHTTP; do
+  grep -E "^$app " "$chaos_out/t2.txt" | grep -qE "[0-9]+\.[0-9]+x.*[0-9]+\.[0-9]+x.*[0-9]+\.[0-9]+x"
+done
+# Default output must stay byte-stable (no proc column without the flag).
+./target/release/repro table2 --quick > "$chaos_out/t2_default.txt"
+if grep -q "LB_PROC" "$chaos_out/t2_default.txt"; then
+  echo "verify: LB_PROC column leaked into the default table2 output" >&2
+  exit 1
+fi
+
+echo "== LB_PROC: containment suite =="
+cargo test -q --offline --test chaos_containment
+cargo test -q --offline -p litterbox proc
+
 echo "== trace export: chrome JSON parses, well-nested, monotonic =="
 trace_out="$(mktemp -d)"
 trap 'rm -rf "$chaos_out" "$trace_out"' EXIT

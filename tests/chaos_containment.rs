@@ -54,11 +54,16 @@ fn backends_for(site: InjectionSite) -> &'static [Backend] {
     match site {
         // Baseline prologs are vanilla calls (no environment switch),
         // so the gateway only sees enclosed callers on the hw backends.
-        InjectionSite::GatewayErrno | InjectionSite::BatchFlush => &[Backend::Mpk, Backend::Vtx],
+        InjectionSite::GatewayErrno | InjectionSite::BatchFlush => {
+            &[Backend::Mpk, Backend::Vtx, Backend::Proc]
+        }
         InjectionSite::Wrpkru | InjectionSite::PkeyMprotect => &[Backend::Mpk],
         InjectionSite::Cr3Write | InjectionSite::VmExit => &[Backend::Vtx],
+        InjectionSite::ProcFork | InjectionSite::PipeEpipe | InjectionSite::ChildCrash => {
+            &[Backend::Proc]
+        }
         InjectionSite::InitAlloc | InjectionSite::TransferAlloc => {
-            &[Backend::Baseline, Backend::Mpk, Backend::Vtx]
+            &[Backend::Baseline, Backend::Mpk, Backend::Vtx, Backend::Proc]
         }
     }
 }
@@ -68,7 +73,7 @@ fn backends_for(site: InjectionSite) -> &'static [Backend] {
 /// trusted environment either way.
 fn victim_op(lab: &mut Lab, site: InjectionSite) -> bool {
     match site {
-        InjectionSite::Wrpkru | InjectionSite::Cr3Write => {
+        InjectionSite::Wrpkru | InjectionSite::Cr3Write | InjectionSite::ProcFork => {
             match lab.lb.prolog(VICTIM, lab.callsite) {
                 Ok(token) => {
                     lab.lb.epilog(token).unwrap();
@@ -77,9 +82,20 @@ fn victim_op(lab: &mut Lab, site: InjectionSite) -> bool {
                 Err(_) => true,
             }
         }
-        InjectionSite::GatewayErrno | InjectionSite::VmExit => {
+        InjectionSite::GatewayErrno | InjectionSite::VmExit | InjectionSite::PipeEpipe => {
             let token = lab.lb.prolog(VICTIM, lab.callsite).unwrap();
             let faulted = lab.lb.sys_getuid().is_err();
+            lab.lb.epilog(token).unwrap();
+            faulted
+        }
+        InjectionSite::ChildCrash => {
+            let token = lab.lb.prolog(VICTIM, lab.callsite).unwrap();
+            let faulted = lab.lb.sys_getuid().is_err();
+            lab.lb.epilog(token).unwrap();
+            // The supervisor respawns the crashed child on the next
+            // entry; the enclosure is immediately serviceable again.
+            let token = lab.lb.prolog(VICTIM, lab.callsite).unwrap();
+            assert!(lab.lb.sys_getuid().is_ok());
             lab.lb.epilog(token).unwrap();
             faulted
         }
@@ -179,7 +195,7 @@ enclosure_support::props! {
     /// number of contained faults across random sites, the bystander
     /// enclosure still runs and the switch ledger still balances.
     fn fault_bursts_leave_the_machine_serviceable(rng, cases = 12) {
-        let backend = *rng.choose(&[Backend::Mpk, Backend::Vtx]);
+        let backend = *rng.choose(&[Backend::Mpk, Backend::Vtx, Backend::Proc]);
         let mut lab = build(backend);
         let bursts = rng.range_usize(1, 8);
         for _ in 0..bursts {
@@ -212,6 +228,15 @@ fn backends_for_backend(backend: Backend) -> &'static [InjectionSite] {
             InjectionSite::BatchFlush,
             InjectionSite::Cr3Write,
             InjectionSite::VmExit,
+            InjectionSite::InitAlloc,
+            InjectionSite::TransferAlloc,
+        ],
+        Backend::Proc => &[
+            InjectionSite::GatewayErrno,
+            InjectionSite::BatchFlush,
+            InjectionSite::ProcFork,
+            InjectionSite::PipeEpipe,
+            InjectionSite::ChildCrash,
             InjectionSite::InitAlloc,
             InjectionSite::TransferAlloc,
         ],

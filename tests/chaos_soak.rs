@@ -18,7 +18,7 @@ const SOAK: ChaosConfig = ChaosConfig {
 #[test]
 fn soak_degrades_gracefully_and_keeps_its_invariants() {
     let report = chaos_exp::run(SOAK).expect("no fault escapes containment");
-    assert_eq!(report.rows.len(), 3);
+    assert_eq!(report.rows.len(), 4);
     for row in &report.rows {
         let violations = chaos_exp::check_invariants(&report.config, row);
         assert!(violations.is_empty(), "{violations:?}");
@@ -28,12 +28,22 @@ fn soak_degrades_gracefully_and_keeps_its_invariants() {
     // armed sites make the pq path fail in bursts).
     let mpk = &report.rows[1];
     let vtx = &report.rows[2];
+    let proc = &report.rows[3];
     assert!(mpk.injected_faults > 0, "{mpk:?}");
     assert!(vtx.injected_faults > 0, "{vtx:?}");
     assert!(mpk.retried > 0, "in-place retries absorbed transients");
     assert!(vtx.served > 0, "the server never stopped serving: {vtx:?}");
     assert!(vtx.breaker_trips > 0, "{vtx:?}");
     assert!(vtx.quarantined > 0, "{vtx:?}");
+    // The process-sandbox arm soaks its own sites: faults landed, the
+    // server kept serving, and crashed children were respawned.
+    assert!(proc.injected_faults > 0, "{proc:?}");
+    assert!(proc.served > 0, "{proc:?}");
+    assert!(
+        proc.hw_proc_spawns > 0,
+        "children actually forked: {proc:?}"
+    );
+    assert!(proc.proc_respawns > 0, "crashes were respawned: {proc:?}");
 }
 
 /// Two soaks from the same seed are indistinguishable — chaos you can
