@@ -57,6 +57,11 @@ pub struct WikiApp {
     pub db: Rc<RefCell<HashMap<String, String>>>,
     latency: Rc<RefCell<Histogram>>,
     batched_io: bool,
+    /// Completed `serve_requests` calls. Each call listens on its own
+    /// port (`WIKI_PORT + calls`), because the previous call's listener
+    /// stays bound in the simulated kernel — this is what lets a fleet
+    /// shard serve its workload in many small batches on one app.
+    serve_calls: u64,
 }
 
 impl std::fmt::Debug for WikiApp {
@@ -113,6 +118,7 @@ impl WikiApp {
             db,
             latency: Rc::default(),
             batched_io: false,
+            serve_calls: 0,
         })
     }
 
@@ -156,6 +162,12 @@ impl WikiApp {
         let tally: Rc<RefCell<ChaosTally>> = Rc::default();
         let pq_enclosure = self.rt.enclosure("pq_enc").map_or(0, |e| e.id.0);
         let batched = self.batched_io;
+        // First call keeps the paper's port; later calls (fleet batch
+        // serving) each take a fresh one, since old listeners stay
+        // bound. The wrap keeps the port a u16 without colliding for
+        // any realistic number of calls.
+        let port = WIKI_PORT + u16::try_from(self.serve_calls % 40_000).expect("bounded");
+        self.serve_calls += 1;
         if batched {
             self.rt.lb_mut().enable_batching();
         }
@@ -181,7 +193,7 @@ impl WikiApp {
                         let setup = (|| -> Result<u32, SysError> {
                             let fd = retry_transient(&srv_tally, || ctx.lb_mut().sys_socket())?;
                             retry_transient(&srv_tally, || {
-                                ctx.lb_mut().sys_bind(fd, SockAddr::local(WIKI_PORT))
+                                ctx.lb_mut().sys_bind(fd, SockAddr::local(port))
                             })?;
                             retry_transient(&srv_tally, || ctx.lb_mut().sys_listen(fd))?;
                             Ok(fd)
@@ -465,7 +477,7 @@ impl WikiApp {
             let (kernel, _) = ctx.lb_mut().kernel_and_clock();
             let probe = kernel.socket(&mut scratch);
             if kernel
-                .connect(&mut scratch, probe, SockAddr::local(WIKI_PORT))
+                .connect(&mut scratch, probe, SockAddr::local(port))
                 .is_err()
             {
                 let _ = kernel.close(&mut scratch, probe);
@@ -491,7 +503,7 @@ impl WikiApp {
             for i in remaining.drain(..) {
                 let fd = kernel.socket(&mut scratch);
                 kernel
-                    .connect(&mut scratch, fd, SockAddr::local(WIKI_PORT))
+                    .connect(&mut scratch, fd, SockAddr::local(port))
                     .map_err(|e| Fault::Init(format!("client connect: {e}")))?;
                 send_req(kernel, &mut scratch, fd, i)?;
             }

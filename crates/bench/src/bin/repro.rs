@@ -14,6 +14,7 @@
 //! repro ablations            design-choice studies
 //! repro batching [--quick] [--json]  batched-gateway crossing-tax study
 //! repro chaos [--quick] [--json] [--seed=S] [--profile] [--backend=proc]  fault-injection soak
+//! repro fleet [--shards=N] [--mixed-backends] [--chaos] [--seed=S] [--quick] [--json]  fleet serving
 //! repro trace-export [--format=chrome|folded] [--quick]  span-tree export
 //! repro all [--quick]        everything above
 //! ```
@@ -25,7 +26,14 @@
 //! each block).
 //!
 //! `--seed=S` (decimal or `0x` hex) seeds the chaos soak's injection
-//! plan; two runs with the same seed produce byte-identical reports.
+//! plan and the fleet run's workload/chaos/jitter streams; two runs
+//! with the same seed produce byte-identical reports.
+//!
+//! `repro fleet` serves the heavy-tailed session workload on N wiki
+//! shards behind the health-checking load balancer; `--chaos` adds a
+//! deterministic mid-run shard kill plus low-rate random fleet and
+//! machine faults, and the run must still answer every admitted
+//! request (`--mixed-backends` cycles LB_MPK/LB_VTX/LB_PROC shards).
 //!
 //! `--backend=proc` opts `table2` into the three-way LB_MPK/LB_VTX/
 //! LB_PROC comparison (the extra column is omitted by default so the
@@ -45,6 +53,7 @@ use std::process::ExitCode;
 
 use enclosure_apps::plotlib::{self, PlotConfig};
 use enclosure_bench::chaos_exp::{self, ChaosConfig};
+use enclosure_bench::fleet_exp::{self, FleetExpConfig};
 use enclosure_bench::macrobench::{self, MacroScale};
 use enclosure_bench::trace_export::{self, TraceFormat};
 use enclosure_bench::{ablation, batching_exp, micro, python_exp, report, security_exp, wiki_exp};
@@ -91,6 +100,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let shards = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--shards=").map(str::parse))
+        .transpose();
+    let Ok(shards) = shards else {
+        eprintln!("--shards wants a shard count");
+        return ExitCode::FAILURE;
+    };
+    let mixed = args.iter().any(|a| a == "--mixed-backends");
+    let fleet_chaos = args.iter().any(|a| a == "--chaos");
     let command = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -112,6 +131,7 @@ fn main() -> ExitCode {
         "ablations" => ablations(),
         "batching" => batching(quick, json),
         "chaos" => chaos(quick, json, seed, profile, proc_arm),
+        "fleet" => fleet(quick, json, seed, shards, mixed, fleet_chaos),
         "trace-export" => trace_export_cmd(quick, format),
         "all" => table1(json)
             .and_then(|()| table2(quick, json, profile, trace, proc_arm))
@@ -123,7 +143,8 @@ fn main() -> ExitCode {
             .and_then(|()| security(trace, profile))
             .and_then(|()| ablations())
             .and_then(|()| batching(quick, json))
-            .and_then(|()| chaos(quick, json, seed, profile, proc_arm)),
+            .and_then(|()| chaos(quick, json, seed, profile, proc_arm))
+            .and_then(|()| fleet(quick, json, seed, shards, mixed, fleet_chaos)),
         other => {
             eprintln!("unknown command '{other}'\n");
             eprint!("{USAGE}");
@@ -159,11 +180,13 @@ commands:
   ablations     design-choice studies (clustering, keys, scoping, switches)
   batching      batched-gateway crossing-tax study
   chaos         seeded fault-injection soak with containment invariants
+  fleet         N-shard wiki fleet behind the health-checking balancer
   trace-export  span-tree export (Chrome trace JSON or folded stacks)
   all           everything above in order
 
 flags: --quick --json --profile --trace[=N] --seed=S --format=chrome|folded
        --backend=proc (three-way table2; process-sandbox chaos arm)
+       --shards=N --mixed-backends --chaos (fleet shard count / backend mix / fault arm)
 ";
 
 /// Default seed for `repro chaos` when `--seed=S` is not given.
@@ -522,6 +545,45 @@ fn chaos(
         Ok(())
     } else {
         Err(format!("chaos invariants violated:\n  {}", violations.join("\n  ")).into())
+    }
+}
+
+fn fleet(
+    quick: bool,
+    json: bool,
+    seed: u64,
+    shards: Option<usize>,
+    mixed: bool,
+    chaos: bool,
+) -> Result<(), AnyError> {
+    let mut config = if quick {
+        FleetExpConfig::quick(seed)
+    } else {
+        FleetExpConfig::full(seed)
+    };
+    if let Some(n) = shards {
+        config.shards = n.max(1);
+    }
+    config.mixed_backends = mixed;
+    config.chaos = chaos;
+    let (report, violations) = fleet_exp::run(config)?;
+    if json {
+        let mut value = report.to_json();
+        value.push(
+            "invariant_violations",
+            Json::arr(violations.iter().map(|v| Json::from(v.clone()))),
+        );
+        println!("{}", value.to_pretty());
+    } else {
+        print!("\n{}", report::render_fleet(&report));
+    }
+    if violations.is_empty() {
+        if !json {
+            println!("invariants: OK (zero loss, budget bounded, histogram mass conserved)");
+        }
+        Ok(())
+    } else {
+        Err(format!("fleet invariants violated:\n  {}", violations.join("\n  ")).into())
     }
 }
 

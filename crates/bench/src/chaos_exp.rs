@@ -50,26 +50,13 @@ impl ChaosConfig {
 }
 
 /// The failure sites armed for a backend: transient gateway errnos
-/// everywhere, plus the backend's own switch mechanism.
+/// everywhere, plus the backend's own switch mechanism. Baseline is
+/// the control arm — no sites armed, nothing fires, and the soak must
+/// come back with zero degradation. (Now just
+/// [`Backend::chaos_sites`], which the fleet balancer shares.)
 #[must_use]
 pub fn sites_for(backend: Backend) -> Vec<InjectionSite> {
-    match backend {
-        // Baseline is the control arm: no sites armed, nothing fires,
-        // and the soak must come back with zero degradation.
-        Backend::Baseline => vec![],
-        Backend::Mpk => vec![InjectionSite::GatewayErrno, InjectionSite::Wrpkru],
-        Backend::Vtx => vec![
-            InjectionSite::GatewayErrno,
-            InjectionSite::VmExit,
-            InjectionSite::Cr3Write,
-        ],
-        Backend::Proc => vec![
-            InjectionSite::GatewayErrno,
-            InjectionSite::ProcFork,
-            InjectionSite::PipeEpipe,
-            InjectionSite::ChildCrash,
-        ],
-    }
+    backend.chaos_sites().to_vec()
 }
 
 /// One backend's soak outcome plus the ledgers the invariants compare.

@@ -1,0 +1,115 @@
+//! Fleet serving study: N wiki shards behind the health-checking load
+//! balancer of `enclosure-fleet`.
+//!
+//! The experiment replays a heavy-tailed session workload against a
+//! fleet of independent machines and reports the merged fleet tail
+//! (p50/p99/p99.9 folded from per-shard histograms) plus the robustness
+//! ledger: failovers, retry-budget spend, crashes and respawns,
+//! ejections. With `--chaos` it also schedules a deterministic mid-run
+//! shard kill and arms the random fleet/backend sites, then proves the
+//! run lost zero accepted requests — the containment story of
+//! `tests/fleet_serving.rs` at experiment scale.
+//!
+//! Everything is simulated time from the seed: two runs with the same
+//! [`FleetExpConfig`] are byte-identical.
+
+use enclosure_fleet::{check_invariants, FleetConfig, FleetReport, WikiFleet};
+use litterbox::Fault;
+
+/// Parameters for one fleet run (the `repro fleet` knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetExpConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Total requests in the session workload.
+    pub requests: u64,
+    /// Master seed (workload, chaos, and jitter all derive from it).
+    pub seed: u64,
+    /// Cycle shard backends through LB_MPK → LB_VTX → LB_PROC.
+    pub mixed_backends: bool,
+    /// Arm the deterministic shard kill plus random fleet/backend chaos.
+    pub chaos: bool,
+}
+
+impl FleetExpConfig {
+    /// The full study: a hundred thousand requests across the fleet.
+    #[must_use]
+    pub fn full(seed: u64) -> FleetExpConfig {
+        FleetExpConfig {
+            shards: 4,
+            requests: 100_000,
+            seed,
+            mixed_backends: false,
+            chaos: false,
+        }
+    }
+
+    /// A bounded run for `--quick` and CI gates.
+    #[must_use]
+    pub fn quick(seed: u64) -> FleetExpConfig {
+        FleetExpConfig {
+            requests: 2_000,
+            ..FleetExpConfig::full(seed)
+        }
+    }
+
+    /// Lowers to the balancer's own config.
+    #[must_use]
+    pub fn to_fleet(&self) -> FleetConfig {
+        let mut cfg = FleetConfig::new(self.shards, self.requests, self.seed);
+        if self.mixed_backends {
+            cfg = cfg.mixed_backends();
+        }
+        if self.chaos {
+            cfg = cfg.with_chaos();
+        }
+        cfg
+    }
+}
+
+/// Runs the fleet, returning the report plus any robustness-invariant
+/// violations (zero-loss, retry budget, histogram mass, respawn). A
+/// non-empty violation list is a finding, not a flake: the run is
+/// deterministic.
+///
+/// # Errors
+///
+/// A machine fault escaping the balancer's containment layers.
+pub fn run(config: FleetExpConfig) -> Result<(FleetReport, Vec<String>), Fault> {
+    let fleet_cfg = config.to_fleet();
+    let report = WikiFleet::new(fleet_cfg.clone())?.run()?;
+    let violations = check_invariants(&fleet_cfg, &report);
+    Ok((report, violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fleet_is_deterministic_and_loses_nothing() {
+        let cfg = FleetExpConfig {
+            chaos: true,
+            ..FleetExpConfig::quick(0xF1EE7)
+        };
+        let (a, violations) = run(cfg).unwrap();
+        let (b, _) = run(cfg).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+        assert_eq!(a.responses(), a.admitted);
+        assert!(a.crashes > 0, "the targeted kill fired");
+    }
+
+    #[test]
+    fn mixed_backend_fleet_serves_the_whole_workload() {
+        let (report, violations) = run(FleetExpConfig {
+            mixed_backends: true,
+            ..FleetExpConfig::quick(11)
+        })
+        .unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(report.client_ok, report.admitted);
+        let states: Vec<&str> = report.rows.iter().map(|r| r.state).collect();
+        assert!(states.iter().all(|s| *s == "healthy"), "{states:?}");
+    }
+}

@@ -10,6 +10,9 @@
 //!   and graceful degradation under chaos);
 //! * [`batching_exp`] — the batched-gateway study (charged crossing tax
 //!   per request, unbatched vs batched arms);
+//! * [`fleet_exp`] — fleet-scale serving: N wiki shards behind the
+//!   health-checking load balancer, with failover, retry budgets, and
+//!   fleet-level chaos;
 //! * [`python_exp`] — the §6.4 Python experiments (conservative vs
 //!   decoupled metadata, switch counts, init share);
 //! * [`security_exp`] — the §6.5 attack/defense matrix;
@@ -30,6 +33,7 @@
 pub mod ablation;
 pub mod batching_exp;
 pub mod chaos_exp;
+pub mod fleet_exp;
 pub mod macrobench;
 pub mod micro;
 pub mod python_exp;

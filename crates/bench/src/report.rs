@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use enclosure_fleet::FleetReport;
 use enclosure_telemetry::{Histogram, SpanCost, SpanScope, MAIN_TRACK};
 
 use crate::batching_exp::BatchingReport;
@@ -447,6 +448,101 @@ pub fn render_batching(report: &BatchingReport) -> String {
             .ipc_ns_per_request()
             .max(f64::MIN_POSITIVE);
     let _ = writeln!(out, "  LB_PROC charged IPC tax reduction: {proc_gain:.2}x");
+    out
+}
+
+/// Renders the fleet serving study: the client ledger, the robustness
+/// counters, the merged fleet tail, and one row per shard. All values
+/// are simulated time from the seed, so the output is byte-identical
+/// across runs.
+#[must_use]
+pub fn render_fleet(report: &FleetReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fleet serving: seed {:#x}, {} shards, {} requests, chaos {}",
+        report.seed,
+        report.rows.len(),
+        report.admitted,
+        if report.chaos { "on" } else { "off" },
+    );
+    let _ = writeln!(
+        out,
+        "  client ledger: {} ok + {} degraded + {} lb-degraded = {} responses ({} admitted)",
+        report.client_ok,
+        report.client_degraded,
+        report.lb_degraded,
+        report.responses(),
+        report.admitted,
+    );
+    let _ = writeln!(
+        out,
+        "  robustness: {} failovers, {} rerouted, {} hedged ({} wins), \
+         {} crashes, {} partitions, {} probe flaps",
+        report.failovers,
+        report.rerouted,
+        report.hedged,
+        report.hedge_wins,
+        report.crashes,
+        report.partitions,
+        report.probe_flaps,
+    );
+    let _ = writeln!(
+        out,
+        "  retry budget: {} consumed / {} capacity (+{} refilled), {} denied",
+        report.budget_consumed,
+        report.budget_capacity,
+        report.budget_refilled,
+        report.budget_denied,
+    );
+    let _ = writeln!(
+        out,
+        "  fleet tail (merged {} samples): p50 {} ns | p90 {} ns | p99 {} ns | p99.9 {} ns",
+        report.merged_latency.count(),
+        report.merged_latency.percentile(500),
+        report.merged_latency.percentile(900),
+        report.merged_latency.percentile(990),
+        report.merged_latency.percentile(999),
+    );
+    let _ = writeln!(
+        out,
+        "  {} rounds, {} simulated fleet ns",
+        report.rounds, report.fleet_ns
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<8} {:<10} {:>4} {:>8} {:>9} {:>7} {:>8} {:>7} {:>6} {:>9} {:>12}",
+        "shard",
+        "backend",
+        "state",
+        "gen",
+        "served",
+        "degraded",
+        "crash",
+        "respawn",
+        "eject",
+        "flaps",
+        "p99 ns",
+        "sim ns"
+    );
+    for row in &report.rows {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<8} {:<10} {:>4} {:>8} {:>9} {:>7} {:>8} {:>7} {:>6} {:>9} {:>12}",
+            row.id,
+            row.backend.to_string(),
+            row.state,
+            row.generation,
+            row.served,
+            row.degraded,
+            row.crashes,
+            row.respawns,
+            row.ejections,
+            row.probe_failures,
+            row.latency.percentile(990),
+            row.sim_ns,
+        );
+    }
     out
 }
 

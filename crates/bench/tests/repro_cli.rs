@@ -5,7 +5,7 @@
 use std::process::Command;
 
 /// Every subcommand `repro` dispatches on, in menu order.
-const COMMANDS: [&str; 14] = [
+const COMMANDS: [&str; 15] = [
     "table1",
     "table2",
     "table2-info",
@@ -18,6 +18,7 @@ const COMMANDS: [&str; 14] = [
     "ablations",
     "batching",
     "chaos",
+    "fleet",
     "trace-export",
     "all",
 ];

@@ -67,5 +67,5 @@ mod view;
 pub use app::{App, AppBuilder, AppInfo};
 pub use enclosure::{Enclosure, EnclosureCtx};
 pub use policy::{Policy, PolicyError};
-pub use supervisor::{RetryPolicy, Supervisor, SupervisorError};
+pub use supervisor::{jittered_backoff, RetryPolicy, Supervisor, SupervisorError};
 pub use view::compute_view;

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+use enclosure_support::XorShift;
 use enclosure_telemetry::Event;
 use litterbox::{EnclosureId, Fault};
 
@@ -94,6 +95,7 @@ impl SupervisorError {
 pub struct Supervisor {
     policy: RetryPolicy,
     states: HashMap<EnclosureId, BreakerState>,
+    jitter: Option<XorShift>,
 }
 
 impl Supervisor {
@@ -103,7 +105,21 @@ impl Supervisor {
         Supervisor {
             policy,
             states: HashMap::new(),
+            jitter: None,
         }
+    }
+
+    /// Enables deterministic seeded backoff jitter: each retry's wait
+    /// becomes `base + uniform[0, base/2]`, drawn from an [`XorShift`]
+    /// stream seeded with `seed`. Derive `seed` from the chaos plan
+    /// seed (XOR a shard id) so simultaneous failures across shards
+    /// desynchronize instead of producing lock-step retry waves, while
+    /// every run stays byte-identical per seed. Without this call the
+    /// schedule is the exact un-jittered exponential.
+    #[must_use]
+    pub fn with_jitter_seed(mut self, seed: u64) -> Supervisor {
+        self.jitter = Some(XorShift::new(seed));
+        self
     }
 
     /// The policy in force.
@@ -175,7 +191,7 @@ impl Supervisor {
                     app.lb.recover_to_trusted();
                     if fault.is_transient() && attempt < self.policy.max_retries {
                         attempt += 1;
-                        let backoff = self.policy.backoff_base_ns << (attempt - 1);
+                        let backoff = jittered_backoff(&self.policy, attempt, self.jitter.as_mut());
                         app.lb.clock_mut().record(Event::Retry {
                             enclosure: id.0,
                             attempt,
@@ -198,6 +214,21 @@ impl Supervisor {
                 }
             }
         }
+    }
+}
+
+/// The wait before retry `attempt` (1-based) under `policy`: the
+/// exponential `backoff_base_ns << (attempt - 1)`, plus — when `jitter`
+/// is supplied — a deterministic uniform draw in `[0, base/2]`. The
+/// fleet balancer reuses this for shard-respawn scheduling so a
+/// supervised enclosure and a respawning shard follow the same
+/// schedule shape.
+#[must_use]
+pub fn jittered_backoff(policy: &RetryPolicy, attempt: u32, jitter: Option<&mut XorShift>) -> u64 {
+    let base = policy.backoff_base_ns << (attempt.max(1) - 1);
+    match jitter {
+        Some(rng) => base + rng.range_u64(0, base / 2 + 1),
+        None => base,
     }
 }
 
@@ -317,6 +348,50 @@ mod tests {
         app.lb.clock_mut().disarm_injection();
         sup.reset(enc.id());
         assert_eq!(sup.call(&mut enc, &mut app, ()).unwrap(), 7);
+    }
+
+    #[test]
+    fn jittered_backoff_is_seeded_and_bounded() {
+        let policy = RetryPolicy {
+            backoff_base_ns: 1_000,
+            ..RetryPolicy::default()
+        };
+        // No jitter: the exact exponential the earlier PRs pinned.
+        assert_eq!(jittered_backoff(&policy, 1, None), 1_000);
+        assert_eq!(jittered_backoff(&policy, 3, None), 4_000);
+        // Same seed ⇒ same schedule; every wait in [base, 1.5*base].
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for attempt in 1..=6u32 {
+            let base = policy.backoff_base_ns << (attempt - 1);
+            let wa = jittered_backoff(&policy, attempt, Some(&mut a));
+            let wb = jittered_backoff(&policy, attempt, Some(&mut b));
+            assert_eq!(wa, wb);
+            assert!((base..=base + base / 2).contains(&wa), "{attempt}: {wa}");
+        }
+        // Different seeds desynchronize somewhere along the schedule.
+        let mut c = XorShift::new(1);
+        let mut d = XorShift::new(2);
+        let sched = |rng: &mut XorShift| -> Vec<u64> {
+            (1..=8)
+                .map(|n| jittered_backoff(&policy, n, Some(rng)))
+                .collect()
+        };
+        assert_ne!(sched(&mut c), sched(&mut d));
+    }
+
+    #[test]
+    fn jittered_supervisor_charges_at_least_the_base_backoff() {
+        let mut app = app(Backend::Mpk);
+        let mut enc = declare(&mut app);
+        let mut sup = Supervisor::new(RetryPolicy::default()).with_jitter_seed(7);
+        app.lb
+            .clock_mut()
+            .arm_injection(InjectionPlan::once(InjectionSite::Wrpkru));
+        let t0 = app.lb.now_ns();
+        assert_eq!(sup.call(&mut enc, &mut app, ()).unwrap(), 7);
+        assert!(app.lb.now_ns() - t0 >= 1_000);
+        assert_eq!(app.lb.telemetry().counters().retries, 1);
     }
 
     #[test]

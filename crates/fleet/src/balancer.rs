@@ -1,0 +1,950 @@
+//! The simulated load balancer: session-affine routing over N shards
+//! with health probes, outlier ejection, failover under a global retry
+//! budget, optional hedging, graceful drain, and supervisor-driven
+//! respawn. The whole fleet is a pure function of its
+//! [`FleetConfig`] — two runs with the same config are byte-identical.
+//!
+//! Time model: shards serve their batches in parallel, so one balancer
+//! round advances fleet time by the *slowest* shard batch of that
+//! round (plus a fixed probe overhead). Each shard's own clock keeps
+//! its private serving time; fleet time only sequences balancer
+//! decisions (respawn deadlines, round counting).
+
+use enclosure_apps::wiki::WikiApp;
+use enclosure_core::{jittered_backoff, RetryPolicy};
+use enclosure_hw::{InjectionPlan, InjectionSite};
+use enclosure_support::Json;
+use enclosure_telemetry::{Histogram, Recorder};
+use litterbox::{Backend, Fault};
+
+use crate::budget::RetryBudget;
+use crate::session;
+use crate::shard::{Shard, ShardChaos, ShardState, Workload};
+
+/// Simulated nanoseconds of balancer overhead per round (probe fan-out
+/// and routing-table upkeep).
+pub const PROBE_ROUND_NS: u64 = 2_000;
+
+/// Fleet-time advance for a round in which no shard served anything
+/// (everything queued behind a respawn deadline).
+pub const IDLE_ROUND_NS: u64 = 250_000;
+
+/// Batches a shard must have served before latency-outlier detection
+/// trusts its baseline.
+const BASELINE_WARMUP_REQS: u64 = 64;
+
+/// Everything that parameterizes a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Backend per shard (the length is the shard count).
+    pub backends: Vec<Backend>,
+    /// Total requests in the session workload.
+    pub requests: u64,
+    /// Max requests dispatched to one shard per round.
+    pub batch: u64,
+    /// Master seed: workload, chaos, and jitter all derive from it.
+    pub seed: u64,
+    /// Arm fleet- and machine-level chaos.
+    pub chaos: bool,
+    /// Per-query rate for the balancer's random fleet sites
+    /// (`shard_crash`/`lb_partition`/`probe_flap`) when chaos is on.
+    pub fleet_rate_ppm: u64,
+    /// Per-query rate for each shard's machine-level backend sites
+    /// when chaos is on.
+    pub backend_rate_ppm: u64,
+    /// Additionally schedule one deterministic `shard_crash` at about a
+    /// quarter of the run on a seed-picked shard (the containment arm:
+    /// early enough that the victim provably re-serves before the end).
+    pub targeted_crash: bool,
+    /// Mirror requests from latency-flagged shards onto the fastest
+    /// healthy peer; the duplicate answers if the primary fails.
+    pub hedge: bool,
+    /// Respawn backoff schedule (reuses the supervisor's policy; the
+    /// attempt number is the shard's crash count).
+    pub respawn: RetryPolicy,
+    /// Retry-budget bucket size.
+    pub budget_capacity: u64,
+    /// Retry-budget refill per round.
+    pub budget_refill: u64,
+    /// Consecutive probe failures (or latency strikes) that eject.
+    pub eject_after: u32,
+    /// Rounds an ejected shard sits out before probation.
+    pub eject_cooldown_rounds: u64,
+    /// Clean probes required to leave probation.
+    pub probation_probes: u32,
+    /// Latency strike threshold: a batch whose mean exceeds
+    /// `latency_mult ×` the shard's own baseline is a strike.
+    pub latency_mult: u64,
+    /// Gracefully drain this shard at this round (tests/ops rehearsal).
+    pub drain_at: Option<(u64, usize)>,
+}
+
+impl FleetConfig {
+    /// A homogeneous LB_MPK fleet of `shards` shards.
+    #[must_use]
+    pub fn new(shards: usize, requests: u64, seed: u64) -> FleetConfig {
+        FleetConfig {
+            backends: vec![Backend::Mpk; shards.max(1)],
+            requests,
+            batch: 16,
+            seed,
+            chaos: false,
+            fleet_rate_ppm: 1_500,
+            backend_rate_ppm: 20_000,
+            targeted_crash: false,
+            hedge: false,
+            respawn: RetryPolicy {
+                max_retries: 0,
+                // Roughly one dispatch round: a crashed shard is back
+                // in probation quickly, but repeated crashes double it.
+                backoff_base_ns: 500_000,
+                breaker_threshold: u64::MAX,
+            },
+            budget_capacity: 64,
+            budget_refill: 8,
+            eject_after: 3,
+            eject_cooldown_rounds: 8,
+            probation_probes: 2,
+            latency_mult: 8,
+            drain_at: None,
+        }
+    }
+
+    /// Cycles the shard backends through LB_MPK → LB_VTX → LB_PROC
+    /// (the heterogeneous deployment PAPERS.md reports in the wild).
+    #[must_use]
+    pub fn mixed_backends(mut self) -> FleetConfig {
+        const CYCLE: [Backend; 3] = [Backend::Mpk, Backend::Vtx, Backend::Proc];
+        for (i, b) in self.backends.iter_mut().enumerate() {
+            *b = CYCLE[i % CYCLE.len()];
+        }
+        self
+    }
+
+    /// Arms chaos: the deterministic mid-run shard kill plus low-rate
+    /// random fleet and machine sites.
+    #[must_use]
+    pub fn with_chaos(mut self) -> FleetConfig {
+        self.chaos = true;
+        self.targeted_crash = true;
+        self
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.backends.len()
+    }
+}
+
+/// Per-shard slice of a [`FleetReport`].
+#[derive(Debug, Clone)]
+pub struct ShardRow {
+    /// Shard id.
+    pub id: usize,
+    /// Backend the shard ran.
+    pub backend: Backend,
+    /// Final health state label.
+    pub state: &'static str,
+    /// Machine generation at the end (1 = never crashed).
+    pub generation: u32,
+    /// Requests answered successfully.
+    pub served: u64,
+    /// Requests answered with a 503 by the app.
+    pub degraded: u64,
+    /// In-place transient retries inside the app.
+    pub retried: u64,
+    /// Requests fast-failed by an open breaker inside the app.
+    pub quarantined: u64,
+    /// Requests served by post-respawn generations.
+    pub served_after_respawn: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Size of every batch dispatched to this shard, in order — the
+    /// dispatch trace a single machine can replay to reproduce the
+    /// shard's exact request stream.
+    pub batch_sizes: Vec<u64>,
+    /// Crashes suffered.
+    pub crashes: u64,
+    /// Respawns completed.
+    pub respawns: u64,
+    /// Outlier ejections.
+    pub ejections: u64,
+    /// Failed probes.
+    pub probe_failures: u64,
+    /// Simulated ns on this shard's clocks (all generations).
+    pub sim_ns: u64,
+    /// Per-request latency histogram (all generations).
+    pub latency: Histogram,
+    /// Merged telemetry view (all generations).
+    pub telemetry: Recorder,
+}
+
+/// What one fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The seed the run derived everything from.
+    pub seed: u64,
+    /// Whether chaos was armed.
+    pub chaos: bool,
+    /// Per-shard rows, in shard order.
+    pub rows: Vec<ShardRow>,
+    /// All shard latency histograms merged (the fleet tail).
+    pub merged_latency: Histogram,
+    /// All shard recorders merged into one fleet view.
+    pub merged_telemetry: Recorder,
+    /// Requests admitted by the balancer (== the configured workload).
+    pub admitted: u64,
+    /// Requests answered successfully, fleet-wide.
+    pub client_ok: u64,
+    /// Requests answered 503 by a shard app (graceful degradation).
+    pub client_degraded: u64,
+    /// Requests 503'd by the balancer itself (dry retry budget or no
+    /// healthy shard).
+    pub lb_degraded: u64,
+    /// Failover retries dispatched to peers (budget-funded).
+    pub failovers: u64,
+    /// Queued-not-dispatched requests rerouted off dead shards (free:
+    /// first tries, not retries).
+    pub rerouted: u64,
+    /// Hedged (mirrored) requests dispatched.
+    pub hedged: u64,
+    /// Hedged batches where the mirror beat or replaced the primary.
+    pub hedge_wins: u64,
+    /// Shard crashes (targeted + random).
+    pub crashes: u64,
+    /// Reply-dropping partition rounds.
+    pub partitions: u64,
+    /// Probe flaps injected.
+    pub probe_flaps: u64,
+    /// Retry-budget accounting: bucket size.
+    pub budget_capacity: u64,
+    /// Tokens consumed by failovers.
+    pub budget_consumed: u64,
+    /// Tokens refilled over the run.
+    pub budget_refilled: u64,
+    /// Retries denied (each one became an `lb_degraded` 503).
+    pub budget_denied: u64,
+    /// The shard hit by the scheduled targeted kill, if one was armed.
+    pub victim: Option<usize>,
+    /// Balancer rounds executed.
+    pub rounds: u64,
+    /// Fleet wall time (simulated): max-parallel round advances.
+    pub fleet_ns: u64,
+    /// True if the round cap tripped (a bug — gated by invariants).
+    pub truncated: bool,
+}
+
+impl FleetReport {
+    /// Responses of any kind the client saw.
+    #[must_use]
+    pub fn responses(&self) -> u64 {
+        self.client_ok + self.client_degraded + self.lb_degraded
+    }
+
+    /// The full report as JSON (the `repro fleet --json` payload).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let quantiles = |h: &Histogram| {
+            Json::obj(
+                Histogram::QUANTILES
+                    .iter()
+                    .map(|&(name, pm)| (name, Json::U64(h.percentile(pm)))),
+            )
+        };
+        Json::obj([
+            ("seed", Json::U64(self.seed)),
+            ("chaos", Json::from(self.chaos)),
+            ("admitted", Json::U64(self.admitted)),
+            ("client_ok", Json::U64(self.client_ok)),
+            ("client_degraded", Json::U64(self.client_degraded)),
+            ("lb_degraded", Json::U64(self.lb_degraded)),
+            ("responses", Json::U64(self.responses())),
+            ("failovers", Json::U64(self.failovers)),
+            ("rerouted", Json::U64(self.rerouted)),
+            ("hedged", Json::U64(self.hedged)),
+            ("hedge_wins", Json::U64(self.hedge_wins)),
+            ("crashes", Json::U64(self.crashes)),
+            ("partitions", Json::U64(self.partitions)),
+            ("probe_flaps", Json::U64(self.probe_flaps)),
+            (
+                "retry_budget",
+                Json::obj([
+                    ("capacity", Json::U64(self.budget_capacity)),
+                    ("consumed", Json::U64(self.budget_consumed)),
+                    ("refilled", Json::U64(self.budget_refilled)),
+                    ("denied", Json::U64(self.budget_denied)),
+                ]),
+            ),
+            (
+                "victim",
+                match self.victim {
+                    Some(v) => Json::U64(v as u64),
+                    None => Json::Null,
+                },
+            ),
+            ("rounds", Json::U64(self.rounds)),
+            ("fleet_ns", Json::U64(self.fleet_ns)),
+            ("truncated", Json::from(self.truncated)),
+            ("latency", quantiles(&self.merged_latency)),
+            ("latency_count", Json::U64(self.merged_latency.count())),
+            (
+                "shards",
+                Json::arr(self.rows.iter().map(|r| {
+                    Json::obj([
+                        ("id", Json::U64(r.id as u64)),
+                        ("backend", Json::from(r.backend.to_string().as_str())),
+                        ("state", Json::from(r.state)),
+                        ("generation", Json::from(r.generation)),
+                        ("served", Json::U64(r.served)),
+                        ("degraded", Json::U64(r.degraded)),
+                        ("retried", Json::U64(r.retried)),
+                        ("quarantined", Json::U64(r.quarantined)),
+                        ("served_after_respawn", Json::U64(r.served_after_respawn)),
+                        ("batches", Json::U64(r.batches)),
+                        ("crashes", Json::U64(r.crashes)),
+                        ("respawns", Json::U64(r.respawns)),
+                        ("ejections", Json::U64(r.ejections)),
+                        ("probe_failures", Json::U64(r.probe_failures)),
+                        ("sim_ns", Json::U64(r.sim_ns)),
+                        ("latency_count", Json::U64(r.latency.count())),
+                        ("latency", quantiles(&r.latency)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// Checks the fleet-level robustness invariants on a finished run.
+/// Returns human-readable violations (empty = all good).
+#[must_use]
+pub fn check_invariants(config: &FleetConfig, report: &FleetReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut check = |ok: bool, what: String| {
+        if !ok {
+            violations.push(what);
+        }
+    };
+    check(
+        report.admitted == config.requests,
+        format!(
+            "admission must cover the workload: {} != {}",
+            report.admitted, config.requests
+        ),
+    );
+    check(
+        report.responses() == report.admitted,
+        format!(
+            "zero lost accepted requests: {} responses != {} admitted",
+            report.responses(),
+            report.admitted
+        ),
+    );
+    check(
+        report.budget_consumed <= report.budget_capacity + report.budget_refilled,
+        format!(
+            "retry budget exceeded: consumed {} > capacity {} + refilled {}",
+            report.budget_consumed, report.budget_capacity, report.budget_refilled
+        ),
+    );
+    let per_shard: u64 = report.rows.iter().map(|r| r.latency.count()).sum();
+    check(
+        report.merged_latency.count() == per_shard,
+        format!(
+            "merged histogram loses mass: {} != Σ per-shard {}",
+            report.merged_latency.count(),
+            per_shard
+        ),
+    );
+    check(!report.truncated, "round cap tripped".to_owned());
+    for row in &report.rows {
+        check(
+            row.crashes == row.respawns,
+            format!(
+                "shard {}: {} crashes but {} respawns",
+                row.id, row.crashes, row.respawns
+            ),
+        );
+        // Only the *scheduled* kill proves recovery: it fires early
+        // enough that the victim must re-serve before the run ends.
+        // Random `shard_crash` draws can land arbitrarily late, when
+        // no admissions remain to route home.
+        if config.targeted_crash && report.victim == Some(row.id) {
+            check(
+                row.served_after_respawn > 0,
+                format!("shard {}: respawned but never re-served", row.id),
+            );
+        }
+    }
+    violations
+}
+
+/// A fleet of wiki shards (the default workload).
+pub type WikiFleet = Fleet<WikiApp>;
+
+/// N shards plus the balancer state driving them.
+pub struct Fleet<W: Workload> {
+    cfg: FleetConfig,
+    shards: Vec<Shard<W>>,
+    plan: Option<InjectionPlan>,
+    budget: RetryBudget,
+    crash_schedule: Option<(u64, usize)>,
+    victim: Option<usize>,
+    now_ns: u64,
+    round: u64,
+    // Client ledger.
+    admitted: u64,
+    client_ok: u64,
+    client_degraded: u64,
+    lb_degraded: u64,
+    responded: u64,
+    // Balancer counters.
+    failovers: u64,
+    rerouted: u64,
+    hedged: u64,
+    hedge_wins: u64,
+    crashes: u64,
+    partitions: u64,
+    probe_flaps: u64,
+    truncated: bool,
+}
+
+impl<W: Workload> Fleet<W> {
+    /// Spawns every shard and prepares the balancer.
+    ///
+    /// # Errors
+    /// Propagates faults from spawning shard machines.
+    pub fn new(cfg: FleetConfig) -> Result<Fleet<W>, Fault> {
+        let chaos = cfg.chaos.then_some(ShardChaos {
+            seed: cfg.seed,
+            rate_ppm: cfg.backend_rate_ppm,
+        });
+        let mut shards = Vec::with_capacity(cfg.shards());
+        for (id, &backend) in cfg.backends.iter().enumerate() {
+            shards.push(Shard::spawn(id, backend, cfg.seed, chaos)?);
+        }
+        // The balancer's own injection plan: fleet sites only, so its
+        // draws never perturb any shard's machine stream.
+        let plan = cfg.chaos.then(|| {
+            InjectionPlan::new(cfg.seed ^ 0xf1ee_7000, cfg.fleet_rate_ppm).with_sites(&[
+                InjectionSite::ShardCrash,
+                InjectionSite::LbPartition,
+                InjectionSite::ProbeFlap,
+            ])
+        });
+        // The deterministic kill: one third into the workload (in
+        // rounds), on a seed-picked shard.
+        let crash_schedule = (cfg.chaos && cfg.targeted_crash).then(|| {
+            let total_rounds = cfg.requests / (cfg.batch * cfg.shards() as u64).max(1);
+            let round = (total_rounds / 4).max(2);
+            let victim = (cfg.seed % cfg.shards() as u64) as usize;
+            (round, victim)
+        });
+        let budget = RetryBudget::new(cfg.budget_capacity, cfg.budget_refill);
+        Ok(Fleet {
+            cfg,
+            shards,
+            plan,
+            budget,
+            victim: crash_schedule.map(|(_, victim)| victim),
+            crash_schedule,
+            now_ns: 0,
+            round: 0,
+            admitted: 0,
+            client_ok: 0,
+            client_degraded: 0,
+            lb_degraded: 0,
+            responded: 0,
+            failovers: 0,
+            rerouted: 0,
+            hedged: 0,
+            hedge_wins: 0,
+            crashes: 0,
+            partitions: 0,
+            probe_flaps: 0,
+            truncated: false,
+        })
+    }
+
+    /// The next routable shard at or after `home` in ring order, or
+    /// `None` if the whole fleet is unroutable.
+    fn route(&self, home: usize) -> Option<usize> {
+        let n = self.shards.len();
+        (0..n)
+            .map(|step| (home + step) % n)
+            .find(|&i| self.shards[i].takes_traffic())
+    }
+
+    /// Runs the whole workload and reports.
+    ///
+    /// # Errors
+    /// Propagates fatal faults from shard machines (transients and
+    /// chaos degrade gracefully and do not surface here).
+    pub fn run(mut self) -> Result<FleetReport, Fault> {
+        let sessions = session::generate(self.cfg.seed, self.cfg.requests);
+        let mut cursor = 0usize;
+        let admission_rate = self.cfg.batch * self.shards.len() as u64;
+        // Generous cap: the workload's round count plus slack for
+        // respawn waits. Tripping it is a bug, not a degradation.
+        let round_cap = 64 + 8 * (self.cfg.requests / admission_rate.max(1) + 1);
+
+        while self.responded < self.admitted || cursor < sessions.len() {
+            self.round += 1;
+            if self.round > round_cap {
+                // Fail loudly: degrade whatever is still queued so the
+                // ledger still balances, and flag the run.
+                for shard in &mut self.shards {
+                    self.lb_degraded += shard.pending;
+                    self.responded += shard.pending;
+                    shard.pending = 0;
+                }
+                self.truncated = true;
+                break;
+            }
+            if let Some((round, id)) = self.cfg.drain_at {
+                if self.round == round {
+                    self.drain(id);
+                }
+            }
+            self.respawn_due();
+            self.probe_all();
+            self.admit(&sessions, &mut cursor, admission_rate);
+            let served_ns = self.dispatch()?;
+            self.budget.tick();
+            self.now_ns += PROBE_ROUND_NS
+                + if served_ns == 0 {
+                    IDLE_ROUND_NS
+                } else {
+                    served_ns
+                };
+        }
+        Ok(self.report())
+    }
+
+    /// Marks a shard for graceful drain: routing stops now, the queue
+    /// flushes over the following rounds, then the shard retires.
+    fn drain(&mut self, id: usize) {
+        if self.shards[id].can_serve() {
+            self.shards[id].state = ShardState::Draining;
+        }
+    }
+
+    /// Respawns every crashed shard whose backoff deadline has passed.
+    fn respawn_due(&mut self) {
+        for shard in &mut self.shards {
+            if let ShardState::Crashed { respawn_at_ns } = shard.state {
+                if self.now_ns >= respawn_at_ns {
+                    // Respawn failures would only come from spawn-time
+                    // faults the original spawn already survived.
+                    shard
+                        .respawn()
+                        .expect("respawn re-runs a spawn that already succeeded");
+                }
+            }
+        }
+    }
+
+    /// One probe round: drives ejection (consecutive flaps), probation
+    /// adoption, and cooldown re-entry. Probes are balancer-side and
+    /// charge nothing to shard clocks — so a bystander's telemetry
+    /// cannot depend on how often the balancer probed it.
+    fn probe_all(&mut self) {
+        for i in 0..self.shards.len() {
+            let state = self.shards[i].state;
+            match state {
+                ShardState::Ejected { until_round } if self.round >= until_round => {
+                    self.shards[i].state = ShardState::Probation { clean: 0 };
+                }
+                _ => {}
+            }
+            let shard = &mut self.shards[i];
+            if !matches!(
+                shard.state,
+                ShardState::Healthy | ShardState::Probation { .. }
+            ) {
+                continue;
+            }
+            let flap = self
+                .plan
+                .as_mut()
+                .is_some_and(|p| p.should_fail(InjectionSite::ProbeFlap));
+            if flap {
+                self.probe_flaps += 1;
+                shard.probe_failures += 1;
+                shard.consecutive_probe_fails += 1;
+                if shard.consecutive_probe_fails >= self.cfg.eject_after {
+                    shard.consecutive_probe_fails = 0;
+                    shard.ejections += 1;
+                    shard.state = ShardState::Ejected {
+                        until_round: self.round + self.cfg.eject_cooldown_rounds,
+                    };
+                }
+            } else {
+                shard.consecutive_probe_fails = 0;
+                if let ShardState::Probation { clean } = shard.state {
+                    let clean = clean + 1;
+                    shard.state = if clean >= self.cfg.probation_probes {
+                        ShardState::Healthy
+                    } else {
+                        ShardState::Probation { clean }
+                    };
+                }
+            }
+        }
+    }
+
+    /// Admits sessions for this round: whole sessions, routed to their
+    /// home shard when it is routable and to the next ring peer
+    /// otherwise. Admission is a pure function of the round quota and
+    /// the session stream, never of serving outcomes — that is what
+    /// keeps bystander batch boundaries identical across chaos arms.
+    fn admit(&mut self, sessions: &[session::Session], cursor: &mut usize, rate: u64) {
+        let mut quota = rate;
+        while *cursor < sessions.len() && quota > 0 {
+            let s = sessions[*cursor];
+            *cursor += 1;
+            self.admitted += s.requests;
+            quota = quota.saturating_sub(s.requests);
+            match self.route(s.home_shard(self.shards.len())) {
+                Some(target) => self.shards[target].pending += s.requests,
+                None => {
+                    // Whole fleet unroutable: degrade at the balancer.
+                    self.lb_degraded += s.requests;
+                    self.responded += s.requests;
+                }
+            }
+        }
+    }
+
+    /// Dispatches one batch per serving shard; handles crash,
+    /// partition, hedging, failover, and drain completion. Returns the
+    /// slowest shard-batch time of the round (the parallel advance).
+    fn dispatch(&mut self) -> Result<u64, Fault> {
+        let mut round_adv = 0u64;
+        for i in 0..self.shards.len() {
+            if !self.shards[i].can_serve() {
+                continue;
+            }
+            let take = self.cfg.batch.min(self.shards[i].pending);
+            if take == 0 {
+                if self.shards[i].state == ShardState::Draining {
+                    self.shards[i].state = ShardState::Retired;
+                }
+                continue;
+            }
+            self.shards[i].pending -= take;
+
+            let crash = self.crash_now(i);
+            let partition = !crash
+                && self
+                    .plan
+                    .as_mut()
+                    .is_some_and(|p| p.should_fail(InjectionSite::LbPartition));
+
+            // Hedge: mirror the batch onto the fastest healthy peer
+            // when the primary is latency-flagged. The mirror's
+            // outcomes are used only if the primary's are lost.
+            let hedge_peer = (self.cfg.hedge && self.shards[i].latency_strikes > 0)
+                .then(|| self.hedge_peer(i))
+                .flatten();
+            let hedge_stats = match hedge_peer {
+                Some(p) => {
+                    self.hedged += take;
+                    let (stats, ns) = self.shards[p].serve_batch(take)?;
+                    round_adv = round_adv.max(ns);
+                    Some(stats)
+                }
+                None => None,
+            };
+
+            if crash {
+                self.crashes += 1;
+                // Mid-quantum kill: some prefix of the batch completed
+                // and its replies got out; the rest die in flight.
+                let completed = self.plan.as_mut().map_or(0, |p| p.roll(take));
+                if completed > 0 {
+                    let (stats, ns) = self.shards[i].serve_batch(completed)?;
+                    round_adv = round_adv.max(ns);
+                    self.credit(&stats);
+                }
+                let casualties = take - completed;
+                let stranded = self.shards[i].pending;
+                self.shards[i].pending = 0;
+                let attempt = u32::try_from(self.shards[i].crashes + 1).unwrap_or(u32::MAX);
+                let backoff =
+                    jittered_backoff(&self.cfg.respawn, attempt, Some(&mut self.shards[i].jitter));
+                self.shards[i].crash(self.now_ns + backoff);
+                if let Some(stats) = hedge_stats {
+                    // The mirror already holds the whole batch.
+                    self.credit(&stats);
+                    self.hedge_wins += 1;
+                } else {
+                    round_adv = round_adv.max(self.fail_over(i, casualties)?);
+                }
+                // The undispatched queue reroutes for free: those
+                // requests were never tried, so they are not retries.
+                if stranded > 0 {
+                    self.reroute(i, stranded);
+                }
+            } else if partition {
+                self.partitions += 1;
+                // The shard does the work but every reply is lost.
+                let (_, ns) = self.shards[i].serve_batch(take)?;
+                round_adv = round_adv.max(ns);
+                self.observe_latency(i, ns, take);
+                if let Some(stats) = hedge_stats {
+                    self.credit(&stats);
+                    self.hedge_wins += 1;
+                } else {
+                    round_adv = round_adv.max(self.fail_over(i, take)?);
+                }
+            } else {
+                let (stats, ns) = self.shards[i].serve_batch(take)?;
+                round_adv = round_adv.max(ns);
+                self.credit(&stats);
+                self.observe_latency(i, ns, take);
+            }
+        }
+        Ok(round_adv)
+    }
+
+    /// Should shard `i` crash in this round? Either the deterministic
+    /// scheduled kill or a random `shard_crash` draw.
+    fn crash_now(&mut self, i: usize) -> bool {
+        if let Some((round, victim)) = self.crash_schedule {
+            if self.round >= round && victim == i {
+                self.crash_schedule = None;
+                return true;
+            }
+        }
+        self.plan
+            .as_mut()
+            .is_some_and(|p| p.should_fail(InjectionSite::ShardCrash))
+    }
+
+    /// The fastest healthy peer of `i` (lowest own-baseline mean), for
+    /// hedging. `None` if no other shard is routable.
+    fn hedge_peer(&self, i: usize) -> Option<usize> {
+        (0..self.shards.len())
+            .filter(|&p| p != i && self.shards[p].takes_traffic())
+            .min_by_key(|&p| (self.shards[p].mean_ns_per_req(), p))
+    }
+
+    /// Adds a serve outcome to the client ledger.
+    fn credit(&mut self, stats: &enclosure_apps::httpd::ServeStats) {
+        self.client_ok += stats.served;
+        self.client_degraded += stats.degraded;
+        self.responded += stats.served + stats.degraded;
+    }
+
+    /// Latency-outlier bookkeeping after a normal batch on shard `i`.
+    fn observe_latency(&mut self, i: usize, ns: u64, reqs: u64) {
+        let shard = &mut self.shards[i];
+        let baseline = shard.mean_ns_per_req();
+        let warmed = shard.baseline_reqs() > BASELINE_WARMUP_REQS + reqs;
+        let mean = if reqs == 0 { 0 } else { ns / reqs };
+        if warmed && mean > baseline.saturating_mul(self.cfg.latency_mult) {
+            shard.latency_strikes += 1;
+            if shard.latency_strikes >= self.cfg.eject_after && shard.state == ShardState::Healthy {
+                shard.latency_strikes = 0;
+                shard.ejections += 1;
+                shard.state = ShardState::Ejected {
+                    until_round: self.round + self.cfg.eject_cooldown_rounds,
+                };
+            }
+        } else {
+            shard.latency_strikes = 0;
+        }
+    }
+
+    /// Retries `casualties` in-flight requests from dead shard `i` on
+    /// a peer, spending one budget token each. Denied retries degrade
+    /// to balancer 503s. Returns the peer's serving time.
+    fn fail_over(&mut self, i: usize, casualties: u64) -> Result<u64, Fault> {
+        if casualties == 0 {
+            return Ok(0);
+        }
+        let granted = match self.route((i + 1) % self.shards.len()) {
+            Some(_) => self.budget.take(casualties),
+            None => 0,
+        };
+        let denied = casualties - granted;
+        self.lb_degraded += denied;
+        self.responded += denied;
+        if granted == 0 {
+            return Ok(0);
+        }
+        // route() above proved a peer exists; re-resolve for the borrow.
+        let peer = self
+            .route((i + 1) % self.shards.len())
+            .expect("routable peer vanished within a round");
+        self.failovers += granted;
+        let (stats, ns) = self.shards[peer].serve_batch(granted)?;
+        self.credit(&stats);
+        Ok(ns)
+    }
+
+    /// Moves `stranded` never-dispatched requests from dead shard `i`
+    /// to the next routable peer (free: first tries, not retries).
+    fn reroute(&mut self, i: usize, stranded: u64) {
+        match self.route((i + 1) % self.shards.len()) {
+            Some(peer) => {
+                self.shards[peer].pending += stranded;
+                self.rerouted += stranded;
+            }
+            None => {
+                self.lb_degraded += stranded;
+                self.responded += stranded;
+            }
+        }
+    }
+
+    /// Builds the final report: per-shard rows plus merged fleet views.
+    fn report(mut self) -> FleetReport {
+        let mut merged_latency = Histogram::new();
+        let mut merged_telemetry = Recorder::new();
+        let mut rows = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            let latency = shard.latency();
+            let telemetry = shard.telemetry_view();
+            merged_latency.merge(&latency);
+            merged_telemetry.merge(&telemetry);
+            rows.push(ShardRow {
+                id: shard.id,
+                backend: shard.backend,
+                state: shard.state.name(),
+                generation: shard.generation,
+                served: shard.served,
+                degraded: shard.degraded,
+                retried: shard.retried,
+                quarantined: shard.quarantined,
+                served_after_respawn: shard.served_after_respawn,
+                batches: shard.batches,
+                batch_sizes: shard.batch_sizes.clone(),
+                crashes: shard.crashes,
+                respawns: shard.respawns,
+                ejections: shard.ejections,
+                probe_failures: shard.probe_failures,
+                sim_ns: shard.sim_ns(),
+                latency,
+                telemetry,
+            });
+        }
+        FleetReport {
+            seed: self.cfg.seed,
+            chaos: self.cfg.chaos,
+            rows,
+            merged_latency,
+            merged_telemetry,
+            admitted: self.admitted,
+            client_ok: self.client_ok,
+            client_degraded: self.client_degraded,
+            lb_degraded: self.lb_degraded,
+            failovers: self.failovers,
+            rerouted: self.rerouted,
+            hedged: self.hedged,
+            hedge_wins: self.hedge_wins,
+            crashes: self.crashes,
+            partitions: self.partitions,
+            probe_flaps: self.probe_flaps,
+            budget_capacity: self.cfg.budget_capacity,
+            budget_consumed: self.budget.consumed(),
+            budget_refilled: self.budget.refilled(),
+            budget_denied: self.budget.denied(),
+            victim: self.victim,
+            rounds: self.round,
+            fleet_ns: self.now_ns,
+            truncated: self.truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: FleetConfig) -> FleetReport {
+        WikiFleet::new(cfg).unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn clean_fleet_answers_everything() {
+        let cfg = FleetConfig::new(3, 600, 11);
+        let report = run(cfg.clone());
+        assert_eq!(check_invariants(&cfg, &report), Vec::<String>::new());
+        assert_eq!(report.client_ok, 600);
+        assert_eq!(report.lb_degraded + report.client_degraded, 0);
+        assert_eq!(report.crashes, 0);
+        assert!(report.rows.iter().all(|r| r.generation == 1));
+        assert_eq!(report.merged_latency.count(), 600);
+    }
+
+    #[test]
+    fn targeted_crash_loses_nothing_and_respawns() {
+        let mut cfg = FleetConfig::new(4, 1_200, 5).with_chaos();
+        // Surgical arm: only the scheduled kill, no random noise.
+        cfg.fleet_rate_ppm = 0;
+        cfg.backend_rate_ppm = 0;
+        let report = run(cfg.clone());
+        assert_eq!(check_invariants(&cfg, &report), Vec::<String>::new());
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.responses(), 1_200);
+        let victim = report.rows.iter().find(|r| r.crashes == 1).unwrap();
+        assert_eq!(victim.generation, 2);
+        assert!(victim.served_after_respawn > 0, "victim re-serves");
+        assert!(report.failovers > 0 || report.lb_degraded > 0);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let cfg = FleetConfig::new(4, 800, 0xF1EE7)
+            .mixed_backends()
+            .with_chaos();
+        let a = run(cfg.clone());
+        let b = run(cfg.clone());
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+        assert_eq!(check_invariants(&cfg, &a), Vec::<String>::new());
+    }
+
+    #[test]
+    fn drained_shard_retires_without_loss() {
+        let mut cfg = FleetConfig::new(3, 900, 21);
+        cfg.drain_at = Some((4, 1));
+        let report = run(cfg.clone());
+        assert_eq!(check_invariants(&cfg, &report), Vec::<String>::new());
+        let drained = &report.rows[1];
+        assert_eq!(drained.state, "retired");
+        assert_eq!(report.responses(), 900);
+        // The drained shard's load moved to its peers.
+        assert!(report.rows[0].served + report.rows[2].served > drained.served);
+    }
+
+    #[test]
+    fn hedging_mirrors_flagged_batches() {
+        let mut cfg = FleetConfig::new(3, 600, 9);
+        cfg.hedge = true;
+        // Zero multiplier: every warmed batch is an outlier, so the
+        // hedge path exercises constantly.
+        cfg.latency_mult = 0;
+        cfg.eject_after = u32::MAX; // keep everyone routable
+        let report = run(cfg.clone());
+        assert!(report.hedged > 0, "hedge fired: {report:?}");
+        assert_eq!(report.responses(), 600, "mirroring never double-counts");
+        let invariants = check_invariants(&cfg, &report);
+        assert_eq!(invariants, Vec::<String>::new());
+    }
+
+    #[test]
+    fn budget_denial_degrades_instead_of_storming() {
+        let mut cfg = FleetConfig::new(4, 1_200, 5).with_chaos();
+        cfg.fleet_rate_ppm = 0;
+        cfg.backend_rate_ppm = 0;
+        cfg.budget_capacity = 1;
+        cfg.budget_refill = 0;
+        let report = run(cfg.clone());
+        assert_eq!(check_invariants(&cfg, &report), Vec::<String>::new());
+        assert!(report.budget_consumed <= 1);
+        assert_eq!(report.responses(), 1_200, "denied retries 503, not lost");
+    }
+}

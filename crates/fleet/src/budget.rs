@@ -1,0 +1,120 @@
+//! The global retry budget: a token bucket that caps failover retries.
+//!
+//! When a shard crashes or partitions, every in-flight request on it
+//! wants to retry on a peer — and under a correlated failure that
+//! retry wave can exceed the original load (a retry storm). The budget
+//! makes the cap explicit: each failover retry costs one token, the
+//! bucket refills at a fixed per-round rate, and when it runs dry the
+//! balancer degrades the request to a 503 instead of amplifying load.
+//! Requests that were merely *re-queued* (never dispatched) move for
+//! free — they are first tries, not retries.
+
+/// Token-bucket retry budget shared by the whole fleet.
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    capacity: u64,
+    tokens: u64,
+    refill_per_round: u64,
+    consumed: u64,
+    refilled: u64,
+    denied: u64,
+}
+
+impl RetryBudget {
+    /// A full bucket holding `capacity` tokens, refilling
+    /// `refill_per_round` tokens at each balancer round boundary.
+    #[must_use]
+    pub fn new(capacity: u64, refill_per_round: u64) -> RetryBudget {
+        RetryBudget {
+            capacity,
+            tokens: capacity,
+            refill_per_round,
+            consumed: 0,
+            refilled: 0,
+            denied: 0,
+        }
+    }
+
+    /// Takes up to `want` tokens; returns how many were granted. The
+    /// shortfall is recorded as denied retries (the caller must 503
+    /// those requests rather than retry them).
+    pub fn take(&mut self, want: u64) -> u64 {
+        let granted = want.min(self.tokens);
+        self.tokens -= granted;
+        self.consumed += granted;
+        self.denied += want - granted;
+        granted
+    }
+
+    /// Round boundary: refill toward capacity. Refill that would
+    /// overflow the bucket is discarded (and not counted as refilled),
+    /// so `consumed ≤ capacity + refilled` always holds.
+    pub fn tick(&mut self) {
+        let add = self.refill_per_round.min(self.capacity - self.tokens);
+        self.tokens += add;
+        self.refilled += add;
+    }
+
+    /// Tokens currently available.
+    #[must_use]
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Total tokens granted to failover retries.
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Total tokens added back by round ticks.
+    #[must_use]
+    pub fn refilled(&self) -> u64 {
+        self.refilled
+    }
+
+    /// Retries refused because the bucket was dry.
+    #[must_use]
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    /// The bucket's conservation invariant: every consumed token was
+    /// either in the initial bucket or refilled, and the live balance
+    /// matches the ledger.
+    #[must_use]
+    pub fn invariant_holds(&self) -> bool {
+        self.consumed <= self.capacity + self.refilled
+            && self.tokens == self.capacity + self.refilled - self.consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_partially_then_denies() {
+        let mut b = RetryBudget::new(5, 0);
+        assert_eq!(b.take(3), 3);
+        assert_eq!(b.take(4), 2, "only 2 tokens left");
+        assert_eq!(b.take(1), 0);
+        assert_eq!(b.consumed(), 5);
+        assert_eq!(b.denied(), 3);
+        assert!(b.invariant_holds());
+    }
+
+    #[test]
+    fn refill_is_capped_at_capacity() {
+        let mut b = RetryBudget::new(4, 3);
+        b.tick();
+        assert_eq!(b.tokens(), 4, "full bucket stays full");
+        assert_eq!(b.refilled(), 0, "discarded refill is not ledgered");
+        assert_eq!(b.take(4), 4);
+        b.tick();
+        b.tick();
+        assert_eq!(b.tokens(), 4, "3 + 1, second tick clipped");
+        assert_eq!(b.refilled(), 4);
+        assert!(b.invariant_holds());
+    }
+}

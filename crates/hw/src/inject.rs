@@ -46,11 +46,22 @@ pub enum InjectionSite {
     /// A sandbox child crashes mid-crossing; the supervisor reaps it and
     /// respawns on the next switch (LB_PROC).
     ChildCrash,
+    /// A whole fleet shard crashes mid-quantum: the requests already
+    /// served in the current batch stand, the rest fail over to a peer.
+    /// Queried by the load balancer, never by a machine.
+    ShardCrash,
+    /// The balancer↔shard link partitions for one dispatch round: the
+    /// shard does the work but its replies are lost, so the balancer
+    /// must retry the whole batch elsewhere (at-least-once delivery).
+    LbPartition,
+    /// A health probe flaps: the probe reports failure although the
+    /// shard is healthy. Enough consecutive flaps eject a live shard.
+    ProbeFlap,
 }
 
 impl InjectionSite {
     /// Every site, in a stable order.
-    pub const ALL: [InjectionSite; 11] = [
+    pub const ALL: [InjectionSite; 14] = [
         InjectionSite::GatewayErrno,
         InjectionSite::Wrpkru,
         InjectionSite::PkeyMprotect,
@@ -62,6 +73,9 @@ impl InjectionSite {
         InjectionSite::ProcFork,
         InjectionSite::PipeEpipe,
         InjectionSite::ChildCrash,
+        InjectionSite::ShardCrash,
+        InjectionSite::LbPartition,
+        InjectionSite::ProbeFlap,
     ];
 
     /// The site's stable tag (used in telemetry events and tests).
@@ -79,6 +93,9 @@ impl InjectionSite {
             InjectionSite::ProcFork => "proc_fork",
             InjectionSite::PipeEpipe => "pipe_epipe",
             InjectionSite::ChildCrash => "child_crash",
+            InjectionSite::ShardCrash => "shard_crash",
+            InjectionSite::LbPartition => "lb_partition",
+            InjectionSite::ProbeFlap => "probe_flap",
         }
     }
 
@@ -95,6 +112,9 @@ impl InjectionSite {
             InjectionSite::ProcFork => 1 << 8,
             InjectionSite::PipeEpipe => 1 << 9,
             InjectionSite::ChildCrash => 1 << 10,
+            InjectionSite::ShardCrash => 1 << 11,
+            InjectionSite::LbPartition => 1 << 12,
+            InjectionSite::ProbeFlap => 1 << 13,
         }
     }
 }

@@ -43,6 +43,32 @@ pub enum Backend {
     Proc,
 }
 
+impl Backend {
+    /// The machine-level [`InjectionSite`]s that can actually fire on
+    /// this backend — the chaos sites a soak arms per machine. Baseline
+    /// is the control arm (nothing armed); fleet-level sites
+    /// (`ShardCrash`/`LbPartition`/`ProbeFlap`) are balancer concerns
+    /// and never appear here.
+    #[must_use]
+    pub fn chaos_sites(self) -> &'static [InjectionSite] {
+        match self {
+            Backend::Baseline => &[],
+            Backend::Mpk => &[InjectionSite::GatewayErrno, InjectionSite::Wrpkru],
+            Backend::Vtx => &[
+                InjectionSite::GatewayErrno,
+                InjectionSite::VmExit,
+                InjectionSite::Cr3Write,
+            ],
+            Backend::Proc => &[
+                InjectionSite::GatewayErrno,
+                InjectionSite::ProcFork,
+                InjectionSite::PipeEpipe,
+                InjectionSite::ChildCrash,
+            ],
+        }
+    }
+}
+
 impl std::fmt::Display for Backend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

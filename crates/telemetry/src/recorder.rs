@@ -149,6 +149,96 @@ impl Counters {
         ])
     }
 
+    /// Adds `other`'s counts field-by-field — the fleet-view fold for
+    /// per-shard counter sharding. Associative and commutative, so any
+    /// merge order over a set of shard recorders produces the same
+    /// totals. The exhaustive destructuring makes adding a counter
+    /// without extending the merge a compile error.
+    pub fn merge(&mut self, other: &Counters) {
+        let Counters {
+            inits,
+            incremental_inits,
+            init_ns,
+            prologs,
+            epilogs,
+            executes,
+            transfers,
+            transfer_pages,
+            filter_syscalls,
+            filter_denied,
+            view_updates,
+            faults,
+            wrpkru_writes,
+            cr3_writes,
+            vm_exits,
+            pkey_mprotects,
+            pkey_mprotect_pages,
+            key_binds,
+            key_evictions,
+            key_eviction_pages,
+            key_eviction_ns,
+            proc_spawns,
+            proc_respawns,
+            ipc_crossings,
+            syscall_entries,
+            enclosed_syscall_entries,
+            seccomp_verdicts,
+            seccomp_denied,
+            batch_flushes,
+            batched_syscalls,
+            reschedules,
+            span_transfers,
+            gc_pauses,
+            gc_pause_ns,
+            metadata_switches,
+            injected_faults,
+            retries,
+            breaker_trips,
+            breaker_fast_fails,
+            span_imbalances,
+        } = *other;
+        self.inits += inits;
+        self.incremental_inits += incremental_inits;
+        self.init_ns += init_ns;
+        self.prologs += prologs;
+        self.epilogs += epilogs;
+        self.executes += executes;
+        self.transfers += transfers;
+        self.transfer_pages += transfer_pages;
+        self.filter_syscalls += filter_syscalls;
+        self.filter_denied += filter_denied;
+        self.view_updates += view_updates;
+        self.faults += faults;
+        self.wrpkru_writes += wrpkru_writes;
+        self.cr3_writes += cr3_writes;
+        self.vm_exits += vm_exits;
+        self.pkey_mprotects += pkey_mprotects;
+        self.pkey_mprotect_pages += pkey_mprotect_pages;
+        self.key_binds += key_binds;
+        self.key_evictions += key_evictions;
+        self.key_eviction_pages += key_eviction_pages;
+        self.key_eviction_ns += key_eviction_ns;
+        self.proc_spawns += proc_spawns;
+        self.proc_respawns += proc_respawns;
+        self.ipc_crossings += ipc_crossings;
+        self.syscall_entries += syscall_entries;
+        self.enclosed_syscall_entries += enclosed_syscall_entries;
+        self.seccomp_verdicts += seccomp_verdicts;
+        self.seccomp_denied += seccomp_denied;
+        self.batch_flushes += batch_flushes;
+        self.batched_syscalls += batched_syscalls;
+        self.reschedules += reschedules;
+        self.span_transfers += span_transfers;
+        self.gc_pauses += gc_pauses;
+        self.gc_pause_ns += gc_pause_ns;
+        self.metadata_switches += metadata_switches;
+        self.injected_faults += injected_faults;
+        self.retries += retries;
+        self.breaker_trips += breaker_trips;
+        self.breaker_fast_fails += breaker_fast_fails;
+        self.span_imbalances += span_imbalances;
+    }
+
     fn bump(&mut self, event: &Event) {
         match event {
             Event::Init {
@@ -625,13 +715,64 @@ impl Recorder {
         }))
     }
 
+    /// Folds `other`'s *closed* ledgers into this recorder: counters,
+    /// attribution, track slices, track labels, and per-op histograms.
+    /// This is the fleet-view merge — each shard owns its recorder, and
+    /// a fleet report folds them into one view with no global state.
+    /// Associative, and mass-conserving for every ledger it touches.
+    ///
+    /// Open state is deliberately excluded: unclosed spans and the open
+    /// track slice belong to whoever still drives `other` (close the
+    /// slice with [`Recorder::flush_tracks`] before merging if the tail
+    /// matters), and the trace ring / span log stay per-shard — they are
+    /// debugging aids whose timestamps only make sense on their own
+    /// clock. Merge each source recorder exactly once per view; to keep
+    /// accumulating on the source afterwards without re-counting, reset
+    /// it with [`Recorder::reset_at`].
+    pub fn merge(&mut self, other: &Recorder) {
+        self.counters.merge(&other.counters);
+        for (scope, cost) in &other.attribution {
+            let dst = self.attribution.entry(scope.clone()).or_default();
+            dst.entries += cost.entries;
+            dst.total_ns += cost.total_ns;
+            dst.self_ns += cost.self_ns;
+        }
+        for (&key, &ns) in &other.track_ns {
+            *self.track_ns.entry(key).or_default() += ns;
+        }
+        for (&track, name) in &other.track_names {
+            self.track_names
+                .entry(track)
+                .or_insert_with(|| name.clone());
+        }
+        for (op, hist) in &other.ops {
+            self.ops.entry(op).or_default().merge(hist);
+        }
+    }
+
     /// Clears counters, the trace ring, open spans, attribution, the
     /// span log, track slices, and op histograms (the trace capacity
     /// and span-log settings are kept). A reset that finds spans still
     /// open — e.g. mid-enclosure — truncates them and records a
     /// [`Event::SpanImbalance`] into the fresh epoch instead of
     /// panicking or silently losing the fact.
+    ///
+    /// Only correct when simulated time also restarts at zero (the
+    /// clock-owned path, `Clock::reset`). If the clock keeps running,
+    /// use [`Recorder::reset_at`] instead — resetting the slice origin
+    /// to `0` under a non-zero clock would re-charge the whole `[0,
+    /// now)` prefix to the first slice closed after the reset,
+    /// double-counting every merged-out track nanosecond.
     pub fn reset(&mut self) {
+        self.reset_at(0);
+    }
+
+    /// [`Recorder::reset`] for a recorder whose clock is *not* being
+    /// rewound: clears all ledgers but restarts the track-slice origin
+    /// at `now_ns`, so the next `close_slice` charges only time that
+    /// actually elapsed after the reset. This is what a fleet shard
+    /// calls after its ledgers were merged into a fleet view mid-run.
+    pub fn reset_at(&mut self, now_ns: u64) {
         let dropped = self.spans.len() as u64;
         self.counters = Counters::default();
         self.ring.clear();
@@ -641,13 +782,13 @@ impl Recorder {
         self.span_log.clear();
         self.cur_track = MAIN_TRACK;
         self.cur_env = 0;
-        self.slice_start_ns = 0;
+        self.slice_start_ns = now_ns;
         self.track_ns.clear();
         self.track_names.clear();
         self.ops.clear();
         if dropped > 0 {
             self.record(
-                0,
+                now_ns,
                 Event::SpanImbalance {
                     at: "reset_with_open_spans",
                     dropped,
@@ -816,6 +957,95 @@ mod tests {
         assert_eq!(rec.recent_events().count(), 0);
         assert_eq!(rec.span_depth(), 0);
         assert!(rec.tracing());
+    }
+
+    #[test]
+    fn merge_folds_counters_attribution_tracks_and_ops() {
+        let mut a = Recorder::new();
+        a.record(0, Event::VmExit);
+        a.begin_span(0, SpanScope::new("e", "p", 1));
+        a.end_span(100);
+        a.switch_track(40, 1, "g1");
+        a.flush_tracks(90); // main/env0: 40, g1/env0: 50
+        a.record_op("switch", 134);
+
+        let mut b = Recorder::new();
+        b.record(0, Event::VmExit);
+        b.record(0, Event::MetadataSwitch);
+        b.begin_span(10, SpanScope::new("e", "p", 1));
+        b.end_span(40);
+        b.begin_span(50, SpanScope::new("f", "q", 2));
+        b.end_span(60);
+        b.switch_track(25, 2, "g2");
+        b.flush_tracks(30); // main/env0: 25, g2/env0: 5
+        b.record_op("switch", 134);
+        b.record_op("transfer", 9);
+
+        a.merge(&b);
+        let c = a.counters();
+        assert_eq!(c.vm_exits, 2);
+        assert_eq!(c.metadata_switches, 1);
+        let e = &a.attribution()[&SpanScope::new("e", "p", 1)];
+        assert_eq!((e.entries, e.total_ns), (2, 130));
+        assert_eq!(a.attribution()[&SpanScope::new("f", "q", 2)].total_ns, 10);
+        let total: u64 = a.track_costs().iter().map(|t| t.ns).sum();
+        assert_eq!(total, 90 + 30, "merged track ledger conserves mass");
+        assert_eq!(a.track_name(1), "g1");
+        assert_eq!(a.track_name(2), "g2");
+        assert_eq!(a.op_hists()["switch"].count(), 2);
+        assert_eq!(a.op_hists()["transfer"].sum(), 9);
+    }
+
+    #[test]
+    fn merge_is_associative_over_three_recorders() {
+        let rec = |seed: u64| {
+            let mut r = Recorder::new();
+            for _ in 0..seed {
+                r.record(0, Event::VmExit);
+            }
+            r.begin_span(0, SpanScope::new("e", "p", 1));
+            r.end_span(seed * 10);
+            r.flush_tracks(seed * 10);
+            r.record_op("switch", seed * 7);
+            r
+        };
+        let (a, b, c) = (rec(1), rec(2), rec(3));
+        // (a ⊕ b) ⊕ c
+        let mut left = Recorder::new();
+        left.merge(&a);
+        left.merge(&b);
+        let mut left2 = Recorder::new();
+        left2.merge(&left);
+        left2.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = Recorder::new();
+        right_inner.merge(&b);
+        right_inner.merge(&c);
+        let mut right = Recorder::new();
+        right.merge(&a);
+        right.merge(&right_inner);
+        assert_eq!(left2.counters(), right.counters());
+        assert_eq!(left2.attribution(), right.attribution());
+        assert_eq!(left2.track_costs(), right.track_costs());
+        assert_eq!(left2.op_hists(), right.op_hists());
+    }
+
+    #[test]
+    fn reset_at_restarts_slices_at_the_live_clock() {
+        let mut rec = Recorder::new();
+        rec.flush_tracks(500); // main/env0: [0, 500)
+        rec.reset_at(500);
+        rec.flush_tracks(560);
+        let costs = rec.track_costs();
+        assert_eq!(costs.len(), 1);
+        assert_eq!(
+            costs[0].ns, 60,
+            "post-reset slice must start at the reset point, not at 0"
+        );
+        // The plain reset keeps its clock-rewound contract.
+        rec.reset();
+        rec.flush_tracks(70);
+        assert_eq!(rec.track_costs()[0].ns, 70);
     }
 
     #[test]

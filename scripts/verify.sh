@@ -138,4 +138,43 @@ echo "== profile determinism: byte-identical percentile tables =="
 ./target/release/repro wiki --quick --profile > "$trace_out/p2.txt"
 cmp "$trace_out/p1.txt" "$trace_out/p2.txt"
 
+echo "== fleet: chaos run deterministic, zero loss, budget bounded =="
+fleet_out="$(mktemp -d)"
+trap 'rm -rf "$chaos_out" "$trace_out" "$fleet_out"' EXIT
+# The binary itself exits non-zero on any invariant violation; the
+# JSON asserts below re-check the ledgers independently.
+./target/release/repro fleet --quick --chaos --seed=5 > "$fleet_out/a.txt"
+./target/release/repro fleet --quick --chaos --seed=5 > "$fleet_out/b.txt"
+cmp "$fleet_out/a.txt" "$fleet_out/b.txt"
+./target/release/repro fleet --quick --chaos --seed=5 --json > "$fleet_out/a.json"
+./target/release/repro fleet --quick --chaos --seed=5 --json > "$fleet_out/b.json"
+cmp "$fleet_out/a.json" "$fleet_out/b.json"
+python3 - "$fleet_out/a.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert not doc["invariant_violations"], doc["invariant_violations"]
+# Zero lost accepted requests under the shard_crash arm.
+assert doc["crashes"] >= 1, "the targeted shard kill never fired"
+assert doc["responses"] == doc["admitted"], (
+    f"lost requests: {doc['responses']} responses != {doc['admitted']} admitted")
+# The retry budget is never exceeded.
+b = doc["retry_budget"]
+assert b["consumed"] <= b["capacity"] + b["refilled"], b
+# Merged-histogram totals == sum of per-shard request counts.
+per_shard = sum(s["latency_count"] for s in doc["shards"])
+assert doc["latency_count"] == per_shard, (
+    f"merged histogram loses mass: {doc['latency_count']} != {per_shard}")
+# The victim respawned and re-served before the run ended.
+victim = doc["shards"][doc["victim"]]
+assert victim["respawns"] >= 1 and victim["served_after_respawn"] > 0, victim
+print(f"fleet OK: {doc['admitted']} admitted, {doc['crashes']} crashes, "
+      f"{b['consumed']}/{b['capacity']}+{b['refilled']} budget, "
+      f"victim shard {doc['victim']} re-served {victim['served_after_respawn']}")
+PY
+
+echo "== fleet: tier-1 containment suite =="
+cargo test -q --offline --test fleet_serving
+
 echo "verify: OK"

@@ -65,6 +65,9 @@ fn backends_for(site: InjectionSite) -> &'static [Backend] {
         InjectionSite::InitAlloc | InjectionSite::TransferAlloc => {
             &[Backend::Baseline, Backend::Mpk, Backend::Vtx, Backend::Proc]
         }
+        // Fleet sites are queried by the load balancer, never by a
+        // machine, so no backend can fire them mid-enclosure.
+        InjectionSite::ShardCrash | InjectionSite::LbPartition | InjectionSite::ProbeFlap => &[],
     }
 }
 
@@ -123,6 +126,9 @@ fn victim_op(lab: &mut Lab, site: InjectionSite) -> bool {
             prog.add_package(&mut lab.lb, "late", 1, 1, 1).unwrap();
             lab.lb.init_incremental(prog).is_err()
         }
+        InjectionSite::ShardCrash | InjectionSite::LbPartition | InjectionSite::ProbeFlap => {
+            unreachable!("fleet sites have no machine-level victim operation")
+        }
     }
 }
 
@@ -134,7 +140,12 @@ fn bystander_call(lab: &mut Lab) {
 }
 
 fn chaos_vs_reference(rng: &mut XorShift, site: InjectionSite) {
-    let backend = *rng.choose(backends_for(site));
+    let candidates = backends_for(site);
+    if candidates.is_empty() {
+        // Fleet-level site: exercised by tests/fleet_serving.rs instead.
+        return;
+    }
+    let backend = *rng.choose(candidates);
     let warmups = rng.range_usize(0, 3);
 
     // Chaos arm: the victim operation takes exactly one injected fault.

@@ -393,3 +393,54 @@ fn conservative_switches_dwarf_decoupled() {
     );
     assert_eq!(optimized.counters.metadata_switches, 0);
 }
+
+/// The fleet's archive idiom: flush, merge the live recorder into an
+/// archive, `reset_at` the live clock, keep serving, merge again. The
+/// archive must account every track nanosecond exactly once — the
+/// pre-reset slice must not be double-counted by the second merge, and
+/// the merged counters must equal the sum of the two slices.
+#[test]
+fn merge_after_reset_counts_every_slice_exactly_once() {
+    let mut app = WikiApp::new(Backend::Mpk).unwrap();
+    let mut archive = Recorder::new();
+
+    app.serve_requests(6).unwrap();
+    let now = app.runtime().lb().now_ns();
+    let lb = app.runtime_mut().lb_mut();
+    lb.telemetry_mut().flush_tracks(now);
+    let slice1_ns: u64 = lb.telemetry().track_costs().iter().map(|t| t.ns).sum();
+    let slice1_prologs = lb.telemetry().counters().prologs;
+    archive.merge(lb.telemetry());
+    lb.telemetry_mut().reset_at(now);
+    assert_eq!(
+        lb.telemetry()
+            .track_costs()
+            .iter()
+            .map(|t| t.ns)
+            .sum::<u64>(),
+        0,
+        "reset_at empties the track ledger"
+    );
+
+    app.serve_requests(6).unwrap();
+    let now = app.runtime().lb().now_ns();
+    let lb = app.runtime_mut().lb_mut();
+    lb.telemetry_mut().flush_tracks(now);
+    let slice2_ns: u64 = lb.telemetry().track_costs().iter().map(|t| t.ns).sum();
+    let slice2_prologs = lb.telemetry().counters().prologs;
+    archive.merge(lb.telemetry());
+
+    assert!(slice1_ns > 0 && slice2_ns > 0, "both slices cost time");
+    assert_eq!(
+        archive.track_costs().iter().map(|t| t.ns).sum::<u64>(),
+        slice1_ns + slice2_ns,
+        "every nanosecond lands in the archive exactly once"
+    );
+    assert_eq!(archive.counters().prologs, slice1_prologs + slice2_prologs);
+    // `reset_at` keeps the live clock: a fresh span still costs time.
+    assert!(
+        archive.track_costs().iter().any(|t| t.ns > 0),
+        "{:?}",
+        archive.track_costs()
+    );
+}
