@@ -35,6 +35,12 @@ pub struct HttpConfig {
     /// crossings instead of one per syscall. Off by default: the
     /// paper's Table 2 rows measure the unbatched trace.
     pub batched_io: bool,
+    /// Route the reply tail through the completion-driven gateway:
+    /// syscalls are submitted for [`litterbox::CompletionToken`]s and
+    /// reaped by polling, with a drain flush standing in for the
+    /// scheduler's adaptive deadline when a request must retire before
+    /// one fires. Implies batching.
+    pub async_io: bool,
 }
 
 impl Default for HttpConfig {
@@ -45,6 +51,7 @@ impl Default for HttpConfig {
             parse_ns: 18_000,
             handler_ns: 33_000,
             batched_io: false,
+            async_io: false,
         }
     }
 }
@@ -161,7 +168,8 @@ impl HttpApp {
         // flush barrier, and the response tail flushes once — so a
         // request's ~11 crossings collapse to 4.
         let parse_ns = cfg.parse_ns;
-        let batched = cfg.batched_io;
+        let batched = cfg.batched_io || cfg.async_io;
+        let async_io = cfg.async_io;
         rt.register_fn("nethttp.ServeOne", move |ctx, arg: GoValue| {
             let listen_fd = u32::try_from(arg.as_int()?).expect("fd fits u32");
             let sys = |e: SysError| match e {
@@ -175,13 +183,24 @@ impl HttpApp {
                 Err(SysError::Errno(_)) => return Ok(GoValue::Bool(false)), // no pending conn
                 Err(e) => return Err(sys(e)),
             };
-            if batched {
+            // Pre-handler tokens under async submission: the prolog
+            // barrier of the enclosed call flushes them, and the tail
+            // poll below reaps them with the rest.
+            let mut tokens = Vec::new();
+            if async_io {
+                tokens.push(ctx.lb_mut().batch_submit(0, BatchOp::ClockGettime)?);
+            // read deadline
+            } else if batched {
                 ctx.lb_mut().batch_enqueue(0, BatchOp::ClockGettime)?; // read deadline
             } else {
                 ctx.lb_mut().sys_clock_gettime().map_err(sys)?; // read deadline
             }
             let head = ctx.lb_mut().sys_recv(conn, 4096).map_err(sys)?;
-            if batched {
+            if async_io {
+                tokens.push(ctx.lb_mut().batch_submit(0, BatchOp::ClockGettime)?); // write deadline
+                ctx.compute(parse_ns);
+                tokens.push(ctx.lb_mut().batch_submit(0, BatchOp::Futex)?); // netpoller wakeup
+            } else if batched {
                 ctx.lb_mut().batch_enqueue(0, BatchOp::ClockGettime)?; // write deadline
                 ctx.compute(parse_ns);
                 ctx.lb_mut().batch_enqueue(0, BatchOp::Futex)?; // netpoller wakeup
@@ -195,7 +214,44 @@ impl HttpApp {
                 .call_enclosed("handler_enc", GoValue::Bytes(head))?
                 .as_bytes()?;
             let (headers, body) = response.split_at(response.len().min(128));
-            if batched {
+            if async_io {
+                // Completion-driven: submit for tokens, then reap by
+                // poll. The single-threaded serve loop has no peer
+                // goroutines to overlap with, so a drain flush stands
+                // in for the scheduler's adaptive deadline when the
+                // request must retire before a trigger fires.
+                let lb = ctx.lb_mut();
+                let tail = [
+                    BatchOp::Send {
+                        fd: conn,
+                        data: headers.to_vec(),
+                    },
+                    BatchOp::Send {
+                        fd: conn,
+                        data: body.to_vec(),
+                    },
+                    BatchOp::ClockGettime, // access log
+                    BatchOp::Close { fd: conn },
+                    BatchOp::Futex,  // conn teardown wake
+                    BatchOp::Getpid, // log pid
+                ];
+                for op in tail {
+                    tokens.push(lb.batch_submit(0, op)?);
+                }
+                if !lb.batch_is_complete(*tokens.last().expect("six ops")) {
+                    lb.batch_flush_drain()?;
+                }
+                for t in tokens {
+                    match lb.batch_poll(t) {
+                        Some(c) => {
+                            if let Err(e) = c.result {
+                                return Err(Fault::Errno(e));
+                            }
+                        }
+                        None => return Err(Fault::Init("submitted op lost its completion".into())),
+                    }
+                }
+            } else if batched {
                 let lb = ctx.lb_mut();
                 lb.batch_enqueue(
                     0,
@@ -232,7 +288,9 @@ impl HttpApp {
             Ok(GoValue::Bool(true))
         });
 
-        if cfg.batched_io {
+        if cfg.async_io {
+            rt.lb_mut().enable_async_gateway();
+        } else if cfg.batched_io {
             rt.lb_mut().enable_batching();
         }
 
@@ -405,6 +463,29 @@ mod tests {
                     plain_stats.seccomp_checks
                 ),
             }
+        }
+    }
+
+    #[test]
+    fn async_io_serves_pages_and_reaps_every_token() {
+        let async_cfg = HttpConfig {
+            async_io: true,
+            ..HttpConfig::default()
+        };
+        for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
+            let mut app = HttpApp::new(backend, async_cfg).unwrap();
+            app.runtime_mut().lb_mut().clock_mut().reset();
+            let stats = app.serve_requests(10).unwrap();
+            assert_eq!(stats.served, 10, "{backend}");
+            // Every submitted op was reaped by poll inside ServeOne;
+            // nothing lingers in the completion ring.
+            assert!(
+                app.runtime_mut()
+                    .lb_mut()
+                    .batch_take_completions()
+                    .is_empty(),
+                "{backend}: completion ring drained by per-token polls"
+            );
         }
     }
 

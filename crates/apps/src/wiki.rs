@@ -57,6 +57,7 @@ pub struct WikiApp {
     pub db: Rc<RefCell<HashMap<String, String>>>,
     latency: Rc<RefCell<Histogram>>,
     batched_io: bool,
+    async_io: bool,
     /// Completed `serve_requests` calls. Each call listens on its own
     /// port (`WIKI_PORT + calls`), because the previous call's listener
     /// stays bound in the simulated kernel — this is what lets a fleet
@@ -118,6 +119,7 @@ impl WikiApp {
             db,
             latency: Rc::default(),
             batched_io: false,
+            async_io: false,
             serve_calls: 0,
         })
     }
@@ -127,6 +129,15 @@ impl WikiApp {
     /// by default — §6.3 measures the unbatched trace.
     pub fn set_batched_io(&mut self, on: bool) {
         self.batched_io = on;
+    }
+
+    /// Runs the batched gateway in completion-driven mode: an adaptive
+    /// flush policy replaces the per-quantum flush, so reply tails
+    /// accumulate until a size/deadline trigger or an environment
+    /// switch barrier pays the single charged crossing. Implies
+    /// batching.
+    pub fn set_async_io(&mut self, on: bool) {
+        self.async_io = on;
     }
 
     /// The runtime.
@@ -161,14 +172,16 @@ impl WikiApp {
         let reply_ch = self.rt.make_chan(64); // ○7
         let tally: Rc<RefCell<ChaosTally>> = Rc::default();
         let pq_enclosure = self.rt.enclosure("pq_enc").map_or(0, |e| e.id.0);
-        let batched = self.batched_io;
+        let batched = self.batched_io || self.async_io;
         // First call keeps the paper's port; later calls (fleet batch
         // serving) each take a fresh one, since old listeners stay
         // bound. The wrap keeps the port a u16 without colliding for
         // any realistic number of calls.
         let port = WIKI_PORT + u16::try_from(self.serve_calls % 40_000).expect("bounded");
         self.serve_calls += 1;
-        if batched {
+        if self.async_io {
+            self.rt.lb_mut().enable_async_gateway();
+        } else if batched {
             self.rt.lb_mut().enable_batching();
         }
 
@@ -590,6 +603,27 @@ mod tests {
                     ps.seccomp_checks
                 ),
             }
+        }
+    }
+
+    #[test]
+    fn async_io_serves_the_same_pages_as_batched() {
+        for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
+            let mut sync = WikiApp::new(backend).unwrap();
+            sync.set_batched_io(true);
+            sync.runtime_mut().lb_mut().clock_mut().reset();
+            let s = sync.serve_requests(10).unwrap();
+
+            let mut fut = WikiApp::new(backend).unwrap();
+            fut.set_async_io(true);
+            fut.runtime_mut().lb_mut().clock_mut().reset();
+            let a = fut.serve_requests(10).unwrap();
+
+            assert_eq!(a.served, s.served, "{backend}: same work either way");
+            assert!(
+                fut.db.borrow().keys().any(|k| k.starts_with("Note")),
+                "{backend}: POSTs still land under the async gateway"
+            );
         }
     }
 

@@ -1,31 +1,43 @@
 //! The batching study: how much of the crossing tax the batched syscall
 //! gateway amortizes away.
 //!
-//! Six arms — {LB_MPK, LB_VTX, LB_PROC} × {unbatched, batched} — serve
-//! the same FastHTTP workload (§6.2: the server itself is the
-//! enclosure, so its syscall trace crosses the boundary) at identical
-//! request counts. The charged crossing tax is read straight off the
-//! hardware ledger: VM EXITs × the calibrated per-exit cost under
-//! LB_VTX, seccomp evaluations under LB_MPK, IPC round-trips × the
-//! calibrated per-trip cost under LB_PROC. With batching the ring pays
-//! one VM EXIT (one seccomp evaluation, one IPC round-trip) per flushed
-//! (environment, batch) pair instead of one per syscall, so the
+//! Six sequential arms — {LB_MPK, LB_VTX, LB_PROC} × {unbatched,
+//! batched} — serve the same FastHTTP workload (§6.2: the server itself
+//! is the enclosure, so its syscall trace crosses the boundary) at
+//! identical request counts. The charged crossing tax is read straight
+//! off the hardware ledger: VM EXITs × the calibrated per-exit cost
+//! under LB_VTX, seccomp evaluations under LB_MPK, IPC round-trips ×
+//! the calibrated per-trip cost under LB_PROC. With batching the ring
+//! pays one VM EXIT (one seccomp evaluation, one IPC round-trip) per
+//! flushed (environment, batch) pair instead of one per syscall, so the
 //! per-request tax must drop ≥2× under LB_VTX and LB_PROC and the
-//! evaluation count must strictly shrink under LB_MPK. Everything is
-//! simulated time from the calibrated cost model, so two runs are
-//! byte-identical.
+//! evaluation count must strictly shrink under LB_MPK.
+//!
+//! Six more arms run the server with 8 concurrent worker goroutines —
+//! `batched_c8` (quantum flush) against `async_c8` (the completion-
+//! driven reactor: workers park on submission tokens and the adaptive
+//! flush policy decides when the accumulated batch crosses). This is
+//! the *throughput* claim, not just a charged-tax claim: with 8 workers
+//! feeding one batch, the reactor retires the same requests in fewer
+//! simulated ns end-to-end. Everything is simulated time from the
+//! calibrated cost model, so two runs are byte-identical.
 
 use enclosure_apps::fasthttp::{FastHttpApp, FastHttpConfig};
 use enclosure_hw::CostModel;
 use enclosure_support::Json;
+use enclosure_telemetry::Histogram;
 use litterbox::{Backend, Fault};
 
-/// One (backend, batched?) arm's ledger after serving the workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One (backend, mode) arm's ledger after serving the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchingArm {
     /// The backend measured.
     pub backend: Backend,
-    /// Whether the app routed deferrable I/O through the batched gateway.
+    /// Arm label: `unbatched`, `batched`, `batched_c8`, or `async_c8`
+    /// (`_c8` = 8 concurrent enclosed workers).
+    pub mode: &'static str,
+    /// Whether the app routed deferrable I/O through the batched gateway
+    /// (every mode but `unbatched`).
     pub batched: bool,
     /// Requests served (identical across arms).
     pub requests: u64,
@@ -41,6 +53,8 @@ pub struct BatchingArm {
     pub batched_syscalls: u64,
     /// Simulated ns the serve took.
     pub sim_ns: u64,
+    /// Per-request latency distribution (accept → reply).
+    pub latency: Histogram,
 }
 
 impl BatchingArm {
@@ -77,23 +91,34 @@ impl BatchingArm {
     }
 }
 
-/// The full study: all four arms at one request count.
+/// The full study: all twelve arms at one request count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchingReport {
     /// Requests served per arm.
     pub requests: u64,
-    /// Arms in (LB_MPK, LB_VTX, LB_PROC) × (unbatched, batched) order.
+    /// Arms in (LB_MPK, LB_VTX, LB_PROC) × (unbatched, batched) order,
+    /// then (LB_MPK, LB_VTX, LB_PROC) × (batched_c8, async_c8).
     pub arms: Vec<BatchingArm>,
 }
 
 impl BatchingReport {
-    /// The arm for `(backend, batched)`; the study always produces it.
+    /// The sequential arm for `(backend, batched)`; the study always
+    /// produces it. (The `_c8` concurrency arms are batched too — use
+    /// [`BatchingReport::arm_mode`] for those.)
     #[must_use]
     pub fn arm(&self, backend: Backend, batched: bool) -> &BatchingArm {
+        let mode = if batched { "batched" } else { "unbatched" };
+        self.arm_mode(backend, mode)
+    }
+
+    /// The arm for `(backend, mode)`; the study always produces all
+    /// twelve.
+    #[must_use]
+    pub fn arm_mode(&self, backend: Backend, mode: &str) -> &BatchingArm {
         self.arms
             .iter()
-            .find(|a| a.backend == backend && a.batched == batched)
-            .expect("all six arms present")
+            .find(|a| a.backend == backend && a.mode == mode)
+            .expect("all twelve arms present")
     }
 
     /// Serializes for `repro batching --json`. Every value is a pure
@@ -108,6 +133,7 @@ impl BatchingReport {
                 Json::arr(self.arms.iter().map(|a| {
                     Json::obj([
                         ("backend", Json::from(a.backend.to_string())),
+                        ("mode", Json::from(a.mode)),
                         ("batched", Json::from(a.batched)),
                         ("vm_exits", Json::from(a.vm_exits)),
                         ("seccomp_checks", Json::from(a.seccomp_checks)),
@@ -122,6 +148,10 @@ impl BatchingReport {
                         ("ipc_ns_per_request", Json::from(a.ipc_ns_per_request())),
                         ("mean_batch_size", Json::from(a.mean_batch_size())),
                         ("sim_ns", Json::from(a.sim_ns)),
+                        // Key order is fixed by construction (insertion
+                        // order of these literals), never by any locale
+                        // or hash seed — byte-identical across runs.
+                        ("latency", a.latency.to_json()),
                     ])
                 })),
             ),
@@ -129,7 +159,38 @@ impl BatchingReport {
     }
 }
 
-/// Runs all six arms with `requests` each.
+fn run_arm(
+    backend: Backend,
+    mode: &'static str,
+    requests: u64,
+    cfg: FastHttpConfig,
+) -> Result<BatchingArm, Fault> {
+    let mut app = FastHttpApp::new(backend)?;
+    app.runtime_mut().lb_mut().clock_mut().reset();
+    let t0 = app.runtime().lb().now_ns();
+    let stats = app.serve_requests(requests, cfg)?;
+    let sim_ns = app.runtime().lb().now_ns() - t0;
+    let hw = app.runtime().lb().stats();
+    let c = *app.runtime().lb().telemetry().counters();
+    Ok(BatchingArm {
+        backend,
+        mode,
+        batched: cfg.batched_io || cfg.async_io,
+        requests: stats.served,
+        vm_exits: hw.vm_exits,
+        seccomp_checks: hw.seccomp_checks,
+        ipc_roundtrips: hw.ipc_roundtrips,
+        batch_flushes: c.batch_flushes,
+        batched_syscalls: c.batched_syscalls,
+        sim_ns,
+        latency: app.latency(),
+    })
+}
+
+/// Runs all twelve arms with `requests` each: the six sequential
+/// (backend × unbatched/batched) arms, then the six 8-worker
+/// concurrency arms pitting the quantum-flushed gateway (`batched_c8`)
+/// against the completion-driven reactor (`async_c8`).
 ///
 /// # Errors
 ///
@@ -142,25 +203,23 @@ pub fn run(requests: u64) -> Result<BatchingReport, Fault> {
                 batched_io: batched,
                 ..FastHttpConfig::default()
             };
-            let mut app = FastHttpApp::new(backend)?;
-            app.runtime_mut().lb_mut().clock_mut().reset();
-            let t0 = app.runtime().lb().now_ns();
-            let stats = app.serve_requests(requests, cfg)?;
-            let sim_ns = app.runtime().lb().now_ns() - t0;
-            let hw = app.runtime().lb().stats();
-            let c = *app.runtime().lb().telemetry().counters();
-            arms.push(BatchingArm {
-                backend,
-                batched,
-                requests: stats.served,
-                vm_exits: hw.vm_exits,
-                seccomp_checks: hw.seccomp_checks,
-                ipc_roundtrips: hw.ipc_roundtrips,
-                batch_flushes: c.batch_flushes,
-                batched_syscalls: c.batched_syscalls,
-                sim_ns,
-            });
+            let mode = if batched { "batched" } else { "unbatched" };
+            arms.push(run_arm(backend, mode, requests, cfg)?);
         }
+    }
+    for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
+        let sync_c8 = FastHttpConfig {
+            batched_io: true,
+            workers: 8,
+            ..FastHttpConfig::default()
+        };
+        arms.push(run_arm(backend, "batched_c8", requests, sync_c8)?);
+        let async_c8 = FastHttpConfig {
+            async_io: true,
+            workers: 8,
+            ..FastHttpConfig::default()
+        };
+        arms.push(run_arm(backend, "async_c8", requests, async_c8)?);
     }
     Ok(BatchingReport { requests, arms })
 }
@@ -212,6 +271,43 @@ mod tests {
             plain.ipc_ns_per_request()
         );
         assert!(fast.batch_flushes > 0 && fast.mean_batch_size() > 1.0);
+    }
+
+    #[test]
+    fn async_reactor_beats_quantum_flush_under_concurrency() {
+        let report = run(40).unwrap();
+        for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
+            let sync = report.arm_mode(backend, "batched_c8");
+            let reactor = report.arm_mode(backend, "async_c8");
+            assert_eq!(sync.requests, reactor.requests, "identical workloads");
+            assert_eq!(
+                reactor.latency.count(),
+                reactor.requests,
+                "every request left a latency sample"
+            );
+            assert!(
+                reactor.sim_ns <= sync.sim_ns,
+                "{backend:?}: the reactor must not be slower end-to-end: \
+                 {} vs {} ns",
+                reactor.sim_ns,
+                sync.sim_ns
+            );
+            assert!(
+                reactor.mean_batch_size() > sync.mean_batch_size(),
+                "{backend:?}: parking accumulates bigger batches: {} vs {}",
+                reactor.mean_batch_size(),
+                sync.mean_batch_size()
+            );
+        }
+        // Where a crossing is expensive the win is strict, end-to-end.
+        let sync = report.arm_mode(Backend::Vtx, "batched_c8");
+        let reactor = report.arm_mode(Backend::Vtx, "async_c8");
+        assert!(
+            reactor.sim_ns < sync.sim_ns,
+            "LB_VTX: fewer VM EXITs must buy real throughput: {} vs {} ns",
+            reactor.sim_ns,
+            sync.sim_ns
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! repro ablations            design-choice studies
 //! repro batching [--quick] [--json]  batched-gateway crossing-tax study
 //! repro chaos [--quick] [--json] [--seed=S] [--profile] [--backend=proc]  fault-injection soak
-//! repro fleet [--shards=N] [--mixed-backends] [--chaos] [--seed=S] [--quick] [--json]  fleet serving
+//! repro fleet [--app=wiki|fasthttp] [--shards=N] [--mixed-backends] [--chaos] [--seed=S] [--quick] [--json]  fleet serving
 //! repro trace-export [--format=chrome|folded] [--quick]  span-tree export
 //! repro all [--quick]        everything above
 //! ```
@@ -29,8 +29,10 @@
 //! plan and the fleet run's workload/chaos/jitter streams; two runs
 //! with the same seed produce byte-identical reports.
 //!
-//! `repro fleet` serves the heavy-tailed session workload on N wiki
-//! shards behind the health-checking load balancer; `--chaos` adds a
+//! `repro fleet` serves the heavy-tailed session workload on N shards
+//! (`--app=wiki` by default, `--app=fasthttp` for the single-enclosure
+//! server) behind the health-checking load balancer, every shard on the
+//! completion-driven gateway; `--chaos` adds a
 //! deterministic mid-run shard kill plus low-rate random fleet and
 //! machine faults, and the run must still answer every admitted
 //! request (`--mixed-backends` cycles LB_MPK/LB_VTX/LB_PROC shards).
@@ -53,7 +55,7 @@ use std::process::ExitCode;
 
 use enclosure_apps::plotlib::{self, PlotConfig};
 use enclosure_bench::chaos_exp::{self, ChaosConfig};
-use enclosure_bench::fleet_exp::{self, FleetExpConfig};
+use enclosure_bench::fleet_exp::{self, FleetApp, FleetExpConfig};
 use enclosure_bench::macrobench::{self, MacroScale};
 use enclosure_bench::trace_export::{self, TraceFormat};
 use enclosure_bench::{ablation, batching_exp, micro, python_exp, report, security_exp, wiki_exp};
@@ -110,6 +112,14 @@ fn main() -> ExitCode {
     };
     let mixed = args.iter().any(|a| a == "--mixed-backends");
     let fleet_chaos = args.iter().any(|a| a == "--chaos");
+    let app = match args.iter().find_map(|a| a.strip_prefix("--app=")) {
+        None | Some("wiki") => FleetApp::Wiki,
+        Some("fasthttp") => FleetApp::FastHttp,
+        Some(other) => {
+            eprintln!("--app wants 'wiki' or 'fasthttp'; got '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
     let command = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -131,7 +141,7 @@ fn main() -> ExitCode {
         "ablations" => ablations(),
         "batching" => batching(quick, json),
         "chaos" => chaos(quick, json, seed, profile, proc_arm),
-        "fleet" => fleet(quick, json, seed, shards, mixed, fleet_chaos),
+        "fleet" => fleet(quick, json, seed, shards, mixed, fleet_chaos, app),
         "trace-export" => trace_export_cmd(quick, format),
         "all" => table1(json)
             .and_then(|()| table2(quick, json, profile, trace, proc_arm))
@@ -144,7 +154,7 @@ fn main() -> ExitCode {
             .and_then(|()| ablations())
             .and_then(|()| batching(quick, json))
             .and_then(|()| chaos(quick, json, seed, profile, proc_arm))
-            .and_then(|()| fleet(quick, json, seed, shards, mixed, fleet_chaos)),
+            .and_then(|()| fleet(quick, json, seed, shards, mixed, fleet_chaos, app)),
         other => {
             eprintln!("unknown command '{other}'\n");
             eprint!("{USAGE}");
@@ -180,13 +190,14 @@ commands:
   ablations     design-choice studies (clustering, keys, scoping, switches)
   batching      batched-gateway crossing-tax study
   chaos         seeded fault-injection soak with containment invariants
-  fleet         N-shard wiki fleet behind the health-checking balancer
+  fleet         N-shard fleet (wiki or fasthttp) behind the health-checking balancer
   trace-export  span-tree export (Chrome trace JSON or folded stacks)
   all           everything above in order
 
 flags: --quick --json --profile --trace[=N] --seed=S --format=chrome|folded
        --backend=proc (three-way table2; process-sandbox chaos arm)
        --shards=N --mixed-backends --chaos (fleet shard count / backend mix / fault arm)
+       --app=wiki|fasthttp (fleet shard workload)
 ";
 
 /// Default seed for `repro chaos` when `--seed=S` is not given.
@@ -555,6 +566,7 @@ fn fleet(
     shards: Option<usize>,
     mixed: bool,
     chaos: bool,
+    app: FleetApp,
 ) -> Result<(), AnyError> {
     let mut config = if quick {
         FleetExpConfig::quick(seed)
@@ -566,6 +578,7 @@ fn fleet(
     }
     config.mixed_backends = mixed;
     config.chaos = chaos;
+    config.app = app;
     let (report, violations) = fleet_exp::run(config)?;
     if json {
         let mut value = report.to_json();

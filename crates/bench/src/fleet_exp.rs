@@ -1,5 +1,7 @@
-//! Fleet serving study: N wiki shards behind the health-checking load
-//! balancer of `enclosure-fleet`.
+//! Fleet serving study: N shards (wiki by default, FastHTTP with
+//! `--app=fasthttp`) behind the health-checking load balancer of
+//! `enclosure-fleet`, all serving through the completion-driven
+//! gateway.
 //!
 //! The experiment replays a heavy-tailed session workload against a
 //! fleet of independent machines and reports the merged fleet tail
@@ -13,8 +15,17 @@
 //! Everything is simulated time from the seed: two runs with the same
 //! [`FleetExpConfig`] are byte-identical.
 
-use enclosure_fleet::{check_invariants, FleetConfig, FleetReport, WikiFleet};
+use enclosure_fleet::{check_invariants, FastHttpFleet, FleetConfig, FleetReport, WikiFleet};
 use litterbox::Fault;
+
+/// Which serving application the shards host (`--app=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetApp {
+    /// The wiki (mux + pq, two enclosures) — the default.
+    Wiki,
+    /// FastHTTP (the single-enclosure server under worker concurrency).
+    FastHttp,
+}
 
 /// Parameters for one fleet run (the `repro fleet` knobs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +40,8 @@ pub struct FleetExpConfig {
     pub mixed_backends: bool,
     /// Arm the deterministic shard kill plus random fleet/backend chaos.
     pub chaos: bool,
+    /// The workload the shards host.
+    pub app: FleetApp,
 }
 
 impl FleetExpConfig {
@@ -41,6 +54,7 @@ impl FleetExpConfig {
             seed,
             mixed_backends: false,
             chaos: false,
+            app: FleetApp::Wiki,
         }
     }
 
@@ -77,7 +91,10 @@ impl FleetExpConfig {
 /// A machine fault escaping the balancer's containment layers.
 pub fn run(config: FleetExpConfig) -> Result<(FleetReport, Vec<String>), Fault> {
     let fleet_cfg = config.to_fleet();
-    let report = WikiFleet::new(fleet_cfg.clone())?.run()?;
+    let report = match config.app {
+        FleetApp::Wiki => WikiFleet::new(fleet_cfg.clone())?.run()?,
+        FleetApp::FastHttp => FastHttpFleet::new(fleet_cfg.clone())?.run()?,
+    };
     let violations = check_invariants(&fleet_cfg, &report);
     Ok((report, violations))
 }
@@ -98,6 +115,19 @@ mod tests {
         assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
         assert_eq!(a.responses(), a.admitted);
         assert!(a.crashes > 0, "the targeted kill fired");
+    }
+
+    #[test]
+    fn fasthttp_fleet_arm_is_deterministic_and_loses_nothing() {
+        let cfg = FleetExpConfig {
+            app: FleetApp::FastHttp,
+            ..FleetExpConfig::quick(11)
+        };
+        let (a, violations) = run(cfg).unwrap();
+        let (b, _) = run(cfg).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+        assert_eq!(a.client_ok, a.admitted);
     }
 
     #[test]

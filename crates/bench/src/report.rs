@@ -401,7 +401,7 @@ pub fn render_batching(report: &BatchingReport) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>9} {:>9} {:>14} {:>9} {:>12} {:>8} {:>12} {:>8} {:>8}",
+        "{:<10} {:>10} {:>9} {:>14} {:>9} {:>12} {:>8} {:>12} {:>8} {:>8}",
         "backend",
         "arm",
         "vm_exits",
@@ -416,9 +416,9 @@ pub fn render_batching(report: &BatchingReport) -> String {
     for arm in &report.arms {
         let _ = writeln!(
             out,
-            "{:<10} {:>9} {:>9} {:>14.0} {:>9} {:>12.2} {:>8} {:>12.0} {:>8} {:>8.2}",
+            "{:<10} {:>10} {:>9} {:>14.0} {:>9} {:>12.2} {:>8} {:>12.0} {:>8} {:>8.2}",
             arm.backend.to_string(),
-            if arm.batched { "batched" } else { "unbatched" },
+            arm.mode,
             arm.vm_exits,
             arm.vm_exit_ns_per_request(),
             arm.seccomp_checks,
@@ -448,6 +448,22 @@ pub fn render_batching(report: &BatchingReport) -> String {
             .ipc_ns_per_request()
             .max(f64::MIN_POSITIVE);
     let _ = writeln!(out, "  LB_PROC charged IPC tax reduction: {proc_gain:.2}x");
+    for backend in [
+        litterbox::Backend::Mpk,
+        litterbox::Backend::Vtx,
+        litterbox::Backend::Proc,
+    ] {
+        let sync = report.arm_mode(backend, "batched_c8");
+        let reactor = report.arm_mode(backend, "async_c8");
+        let _ = writeln!(
+            out,
+            "  {} x8 workers, end-to-end: async {} ns vs batched {} ns ({:.2}x)",
+            backend,
+            reactor.sim_ns,
+            sync.sim_ns,
+            sync.sim_ns as f64 / (reactor.sim_ns as f64).max(f64::MIN_POSITIVE),
+        );
+    }
     out
 }
 

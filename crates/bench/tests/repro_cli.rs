@@ -60,3 +60,47 @@ fn bad_backend_value_fails_fast() {
     let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
     assert!(stderr.contains("--backend wants 'proc'"), "{stderr}");
 }
+
+#[test]
+fn bad_app_value_fails_fast() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fleet", "--quick", "--app=nginx"])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success(), "bad --app must exit non-zero");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(
+        stderr.contains("--app wants 'wiki' or 'fasthttp'"),
+        "{stderr}"
+    );
+}
+
+/// `repro batching --json` is byte-stable across runs — including the
+/// new 8-worker async arms and the per-arm latency histograms, whose
+/// key order is fixed by construction (never locale- or hash-seeded).
+#[test]
+fn batching_json_is_byte_identical_across_runs() {
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["batching", "--quick", "--json"])
+            .output()
+            .expect("spawn repro");
+        assert!(out.status.success(), "batching --json must succeed");
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "two runs must serialize identically");
+    for mode in [
+        "\"unbatched\"",
+        "\"batched\"",
+        "\"batched_c8\"",
+        "\"async_c8\"",
+    ] {
+        assert!(first.contains(mode), "arm {mode} missing from the JSON");
+    }
+    assert!(
+        first.contains("\"latency\""),
+        "per-arm latency histograms are serialized"
+    );
+}

@@ -10,6 +10,7 @@
 //! its private serving time; fleet time only sequences balancer
 //! decisions (respawn deadlines, round counting).
 
+use enclosure_apps::fasthttp::FastHttpApp;
 use enclosure_apps::wiki::WikiApp;
 use enclosure_core::{jittered_backoff, RetryPolicy};
 use enclosure_hw::{InjectionPlan, InjectionSite};
@@ -383,6 +384,9 @@ pub fn check_invariants(config: &FleetConfig, report: &FleetReport) -> Vec<Strin
 /// A fleet of wiki shards (the default workload).
 pub type WikiFleet = Fleet<WikiApp>;
 
+/// A fleet of FastHTTP shards (the `--app=fasthttp` arm).
+pub type FastHttpFleet = Fleet<FastHttpApp>;
+
 /// N shards plus the balancer state driving them.
 pub struct Fleet<W: Workload> {
     cfg: FleetConfig,
@@ -482,14 +486,17 @@ impl<W: Workload> Fleet<W> {
     /// Propagates fatal faults from shard machines (transients and
     /// chaos degrade gracefully and do not surface here).
     pub fn run(mut self) -> Result<FleetReport, Fault> {
-        let sessions = session::generate(self.cfg.seed, self.cfg.requests);
-        let mut cursor = 0usize;
+        // Streaming admission: sessions are drawn from the PRNG as the
+        // round quota pulls them, never materialized. Identical draw
+        // order to `session::generate`, so swapping the Vec for the
+        // stream changed no run byte-for-byte.
+        let mut sessions = session::SessionStream::new(self.cfg.seed, self.cfg.requests).peekable();
         let admission_rate = self.cfg.batch * self.shards.len() as u64;
         // Generous cap: the workload's round count plus slack for
         // respawn waits. Tripping it is a bug, not a degradation.
         let round_cap = 64 + 8 * (self.cfg.requests / admission_rate.max(1) + 1);
 
-        while self.responded < self.admitted || cursor < sessions.len() {
+        while self.responded < self.admitted || sessions.peek().is_some() {
             self.round += 1;
             if self.round > round_cap {
                 // Fail loudly: degrade whatever is still queued so the
@@ -509,7 +516,7 @@ impl<W: Workload> Fleet<W> {
             }
             self.respawn_due();
             self.probe_all();
-            self.admit(&sessions, &mut cursor, admission_rate);
+            self.admit(&mut sessions, admission_rate);
             let served_ns = self.dispatch()?;
             self.budget.tick();
             self.now_ns += PROBE_ROUND_NS
@@ -599,11 +606,10 @@ impl<W: Workload> Fleet<W> {
     /// otherwise. Admission is a pure function of the round quota and
     /// the session stream, never of serving outcomes — that is what
     /// keeps bystander batch boundaries identical across chaos arms.
-    fn admit(&mut self, sessions: &[session::Session], cursor: &mut usize, rate: u64) {
+    fn admit(&mut self, sessions: &mut std::iter::Peekable<session::SessionStream>, rate: u64) {
         let mut quota = rate;
-        while *cursor < sessions.len() && quota > 0 {
-            let s = sessions[*cursor];
-            *cursor += 1;
+        while quota > 0 {
+            let Some(s) = sessions.next() else { break };
             self.admitted += s.requests;
             quota = quota.saturating_sub(s.requests);
             match self.route(s.home_shard(self.shards.len())) {

@@ -93,6 +93,71 @@ impl RetryBudget {
 mod tests {
     use super::*;
 
+    enclosure_support::props! {
+        /// A zero-capacity bucket never grants: every retry is denied,
+        /// refill has nowhere to land, and the ledger stays balanced.
+        fn zero_capacity_denies_everything(rng, cases = 64) {
+            let mut b = RetryBudget::new(0, rng.range_u64(0, 1000));
+            let mut wanted = 0;
+            for _ in 0..rng.range_usize(1, 40) {
+                let want = rng.range_u64(0, 50);
+                wanted += want;
+                assert_eq!(b.take(want), 0, "no tokens can exist");
+                b.tick();
+                assert_eq!(b.tokens(), 0, "refill into zero capacity is discarded");
+            }
+            assert_eq!((b.consumed(), b.refilled(), b.denied()), (0, 0, wanted));
+            assert!(b.invariant_holds());
+        }
+
+        /// Refill rates near `u64::MAX` neither overflow the bucket nor
+        /// inflate the ledger: the applied refill is exactly the free
+        /// headroom, so `tokens` never exceeds `capacity`.
+        fn huge_refill_clips_to_headroom_without_overflow(rng, cases = 64) {
+            let capacity = rng.range_u64(1, 1_000);
+            let refill = u64::MAX - rng.range_u64(0, 3);
+            let mut b = RetryBudget::new(capacity, refill);
+            for _ in 0..rng.range_usize(1, 30) {
+                let drained = b.take(rng.range_u64(0, capacity * 2));
+                b.tick();
+                assert_eq!(b.tokens(), capacity, "one huge tick refills exactly what left");
+                assert!(drained <= capacity);
+                assert!(b.invariant_holds());
+            }
+        }
+
+        /// Any interleaving of same-round consumes and refills keeps the
+        /// conservation ledger exact: `tokens == capacity + refilled -
+        /// consumed` after every step, `tokens ≤ capacity` always, and
+        /// grants+denials partition the requests. This is the
+        /// concurrent-round ordering property — the balancer may take
+        /// for several shards before the round tick, in any order, and
+        /// the bucket cannot double-grant or leak.
+        fn interleaved_consume_refill_conserves_tokens(rng, cases = 64) {
+            let capacity = rng.range_u64(0, 200);
+            let refill = rng.range_u64(0, 50);
+            let mut b = RetryBudget::new(capacity, refill);
+            let mut wanted = 0;
+            for _ in 0..rng.range_usize(1, 200) {
+                if rng.next_bool() {
+                    let want = rng.range_u64(0, 40);
+                    wanted += want;
+                    let granted = b.take(want);
+                    assert!(granted <= want);
+                } else {
+                    b.tick();
+                }
+                assert!(b.tokens() <= capacity, "bucket can never exceed capacity");
+                assert!(b.invariant_holds(), "ledger drifted: {b:?}");
+            }
+            assert_eq!(
+                b.consumed() + b.denied(),
+                wanted,
+                "every requested token was granted or denied, exactly once"
+            );
+        }
+    }
+
     #[test]
     fn grants_partially_then_denies() {
         let mut b = RetryBudget::new(5, 0);

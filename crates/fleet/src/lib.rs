@@ -46,11 +46,11 @@ pub mod session;
 pub mod shard;
 
 pub use balancer::{
-    check_invariants, Fleet, FleetConfig, FleetReport, ShardRow, WikiFleet, IDLE_ROUND_NS,
-    PROBE_ROUND_NS,
+    check_invariants, FastHttpFleet, Fleet, FleetConfig, FleetReport, ShardRow, WikiFleet,
+    IDLE_ROUND_NS, PROBE_ROUND_NS,
 };
 pub use budget::RetryBudget;
-pub use session::{Session, MAX_SESSION_LEN};
+pub use session::{Session, SessionStream, MAX_SESSION_LEN};
 pub use shard::{Shard, ShardChaos, ShardState, Workload};
 
 pub use enclosure_telemetry::Recorder;

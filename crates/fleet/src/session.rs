@@ -35,29 +35,61 @@ impl Session {
     }
 }
 
-/// Generates the session stream for `total_requests` requests: session
-/// lengths are heavy-tailed (P(len ≥ 2^k) decays geometrically, capped
-/// at [`MAX_SESSION_LEN`]), and the final session is truncated so the
-/// stream sums to exactly `total_requests`.
-#[must_use]
-pub fn generate(seed: u64, total_requests: u64) -> Vec<Session> {
-    let mut rng = XorShift::new(seed ^ 0x5e55_10f5);
-    let mut sessions = Vec::new();
-    let mut remaining = total_requests;
-    let mut id = 0u64;
-    while remaining > 0 {
+/// Lazily generates the session stream for `total_requests` requests:
+/// session lengths are heavy-tailed (P(len ≥ 2^k) decays geometrically,
+/// capped at [`MAX_SESSION_LEN`]), and the final session is truncated so
+/// the stream sums to exactly `total_requests`.
+///
+/// The stream draws each session from the PRNG only when it is pulled,
+/// so the balancer admits directly off the iterator without ever
+/// materializing the full workload — a billion-request plan costs the
+/// same memory as a ten-request one. [`generate`] is this stream,
+/// collected; the draw order is identical, so the two are byte-for-byte
+/// interchangeable.
+#[derive(Debug, Clone)]
+pub struct SessionStream {
+    rng: XorShift,
+    remaining: u64,
+    next_id: u64,
+}
+
+impl SessionStream {
+    /// Starts the stream for `total_requests` requests under `seed`.
+    #[must_use]
+    pub fn new(seed: u64, total_requests: u64) -> SessionStream {
+        SessionStream {
+            rng: XorShift::new(seed ^ 0x5e55_10f5),
+            remaining: total_requests,
+            next_id: 0,
+        }
+    }
+}
+
+impl Iterator for SessionStream {
+    type Item = Session;
+
+    fn next(&mut self) -> Option<Session> {
+        if self.remaining == 0 {
+            return None;
+        }
         // Double the base length until a 1-in-4 stopping draw hits,
         // then spread uniformly within the reached tier.
         let mut base = 1u64;
-        while base < MAX_SESSION_LEN / 2 && rng.next_u64() % 4 != 0 {
+        while base < MAX_SESSION_LEN / 2 && self.rng.next_u64() % 4 != 0 {
             base *= 2;
         }
-        let len = (base + rng.range_u64(0, base)).min(remaining);
-        sessions.push(Session { id, requests: len });
-        remaining -= len;
-        id += 1;
+        let len = (base + self.rng.range_u64(0, base)).min(self.remaining);
+        let id = self.next_id;
+        self.remaining -= len;
+        self.next_id += 1;
+        Some(Session { id, requests: len })
     }
-    sessions
+}
+
+/// Materializes the whole session stream (see [`SessionStream`]).
+#[must_use]
+pub fn generate(seed: u64, total_requests: u64) -> Vec<Session> {
+    SessionStream::new(seed, total_requests).collect()
 }
 
 #[cfg(test)]
@@ -85,6 +117,24 @@ mod tests {
             "most sessions are short: {short}/{}",
             sessions.len()
         );
+    }
+
+    #[test]
+    fn streaming_admission_matches_the_materialized_generator() {
+        // A plan big enough that the stream holds over a million
+        // sessions — far beyond anything worth materializing — still
+        // produces, lazily, the exact sessions `generate` would.
+        let total = 40_000_000;
+        let materialized = generate(9, total);
+        assert!(
+            materialized.len() >= 1_000_000,
+            "heavy tail still averages short sessions: {}",
+            materialized.len()
+        );
+        let prefix: Vec<Session> = SessionStream::new(9, total).take(2_000).collect();
+        assert_eq!(prefix.as_slice(), &materialized[..2_000]);
+        let stream = SessionStream::new(9, total);
+        assert_eq!(stream.map(|s| s.requests).sum::<u64>(), total);
     }
 
     #[test]

@@ -16,8 +16,10 @@ use litterbox::{Backend, Fault, LitterBox};
 /// back — everything else (goroutines, enclosures, the batched
 /// gateway) stays inside the app.
 pub trait Workload {
-    /// Builds a fresh instance on `backend` with the batched syscall
-    /// gateway enabled (the fleet always serves over the batch ring).
+    /// Builds a fresh instance on `backend` with the completion-driven
+    /// gateway enabled (the fleet always serves over the reactor: an
+    /// adaptive flush policy decides when accumulated batches cross,
+    /// instead of a flush every scheduler quantum).
     ///
     /// # Errors
     /// Propagates any [`Fault`] raised while declaring the app.
@@ -45,7 +47,7 @@ pub trait Workload {
 impl Workload for WikiApp {
     fn build(backend: Backend) -> Result<Self, Fault> {
         let mut app = WikiApp::new(backend)?;
-        app.set_batched_io(true);
+        app.set_async_io(true);
         Ok(app)
     }
 
@@ -72,8 +74,12 @@ impl Workload for FastHttpApp {
     }
 
     fn serve(&mut self, n: u64) -> Result<ServeStats, Fault> {
+        // Completion-driven reply tails under worker concurrency: the
+        // workers park on their submission tokens and the adaptive
+        // flush (or a switch barrier) pays one crossing per batch.
         let cfg = FastHttpConfig {
-            batched_io: true,
+            async_io: true,
+            workers: 4,
             ..FastHttpConfig::default()
         };
         self.serve_requests(n, cfg)

@@ -299,7 +299,16 @@ impl GoRuntime {
     pub fn run_scheduler(&mut self) -> Result<(), Fault> {
         let cs = self.runtime_callsite;
         let mut idle_quanta = 0usize;
-        while let Some(gid) = self.sched.runq.pop_front() {
+        loop {
+            let Some(gid) = self.sched.runq.pop_front() else {
+                if self.sched.parked.is_empty() {
+                    break;
+                }
+                // Every remaining goroutine is parked on the reactor:
+                // force a drain flush and wake the completed set.
+                self.drain_for_parked(cs)?;
+                continue;
+            };
             let mut g = self.sched.goroutines[gid]
                 .take()
                 .expect("queued goroutine exists");
@@ -339,8 +348,23 @@ impl GoRuntime {
             // still current, so the whole quantum's syscalls share one
             // charged crossing attributed to this goroutine.
             let flushed = self.flush_quantum_batch();
-            self.end_quantum_span();
             let step = step.and_then(|s| flushed.map(|()| s));
+            // Park/wake bookkeeping nests inside the quantum's go.sched
+            // span: a parking goroutine records its park here, and any
+            // parked peers whose completions this quantum's flush posted
+            // are woken before the span closes.
+            if let Ok(Step::Park(token)) = step {
+                if !self.lb.batch_is_complete(token) {
+                    self.lb
+                        .clock_mut()
+                        .record(enclosure_telemetry::Event::GoPark {
+                            goroutine: gid as u64,
+                            token: token.seq(),
+                        });
+                }
+            }
+            self.wake_parked();
+            self.end_quantum_span();
             let step = match step {
                 Ok(step) => step,
                 Err(fault) => {
@@ -357,6 +381,17 @@ impl GoRuntime {
                 Step::Done => {
                     idle_quanta = 0;
                 }
+                Step::Park(token) => {
+                    self.sched.goroutines[gid] = Some(g);
+                    if self.lb.batch_is_complete(token) {
+                        // The flush above already posted this token's
+                        // completion: skip the park, stay runnable.
+                        self.sched.runq.push_back(gid);
+                    } else {
+                        self.sched.parked.push((gid, token));
+                    }
+                    idle_quanta = 0;
+                }
                 Step::Yield => {
                     self.sched.goroutines[gid] = Some(g);
                     self.sched.runq.push_back(gid);
@@ -365,13 +400,20 @@ impl GoRuntime {
                     } else {
                         idle_quanta += 1;
                         if idle_quanta > 2 * self.sched.pending() + 4 {
-                            let restore = self.execute_contained(EnvContext::trusted(), cs);
-                            self.switch_to_main_track();
-                            restore?;
-                            return Err(Fault::Init(format!(
-                                "scheduler deadlock: {} goroutines blocked without progress",
-                                self.sched.pending()
-                            )));
+                            if self.sched.parked.is_empty() {
+                                let restore = self.execute_contained(EnvContext::trusted(), cs);
+                                self.switch_to_main_track();
+                                restore?;
+                                return Err(Fault::Init(format!(
+                                    "scheduler deadlock: {} goroutines blocked without progress",
+                                    self.sched.pending()
+                                )));
+                            }
+                            // The runnable set is spinning on goroutines
+                            // parked in the reactor: drain it instead of
+                            // declaring deadlock.
+                            self.drain_for_parked(cs)?;
+                            idle_quanta = 0;
                         }
                     }
                 }
@@ -395,15 +437,95 @@ impl GoRuntime {
         if self.lb.batch_pending() == 0 {
             return Ok(());
         }
-        match self.lb.batch_flush() {
+        if self.lb.flush_policy().is_some() {
+            // Reactor mode: the batch accumulates across quanta and
+            // flushes only when the policy's deadline trigger is due
+            // (the size trigger fires inside `batch_submit`, and the
+            // switch barriers still bound every batch's lifetime).
+            if !self.lb.batch_flush_due() {
+                return Ok(());
+            }
+            return self.contained_flush(litterbox::LitterBox::batch_flush_deadline);
+        }
+        self.contained_flush(litterbox::LitterBox::batch_flush_quantum)
+    }
+
+    /// Runs one flush entry point with the transient-fault containment
+    /// the scheduler owes the program: a lost crossing is retried once
+    /// with injection suspended, so every queued entry completes
+    /// exactly once.
+    fn contained_flush(
+        &mut self,
+        flush: impl Fn(&mut LitterBox) -> Result<usize, Fault>,
+    ) -> Result<(), Fault> {
+        match flush(&mut self.lb) {
             Err(fault) if fault.is_transient() => {
                 self.lb.clock_mut().suspend_injection();
-                let retried = self.lb.batch_flush();
+                let retried = flush(&mut self.lb);
                 self.lb.clock_mut().resume_injection();
                 retried.map(|_| ())
             }
             other => other.map(|_| ()),
         }
+    }
+
+    /// Moves every parked goroutine whose completion has been posted
+    /// back onto the run queue (in park order), recording a `GoWake`
+    /// per woken goroutine. Returns how many woke.
+    fn wake_parked(&mut self) -> usize {
+        let mut woken = 0;
+        let mut i = 0;
+        while i < self.sched.parked.len() {
+            let (gid, token) = self.sched.parked[i];
+            if self.lb.batch_is_complete(token) {
+                self.sched.parked.remove(i);
+                self.lb
+                    .clock_mut()
+                    .record(enclosure_telemetry::Event::GoWake {
+                        goroutine: gid as u64,
+                        token: token.seq(),
+                    });
+                self.sched.runq.push_back(gid);
+                self.sched.progress = true;
+                woken += 1;
+            } else {
+                i += 1;
+            }
+        }
+        woken
+    }
+
+    /// The reactor's forced drain: when the runnable set is empty (or
+    /// spinning) and goroutines are parked, flush the gateway
+    /// regardless of policy and wake the completed set. Runs inside
+    /// its own `go.sched`-scoped span so park/wake telemetry stays
+    /// well-nested. A drain that wakes no one is a reactor stall —
+    /// the parked tokens can never complete — and faults rather than
+    /// spinning forever.
+    fn drain_for_parked(&mut self, cs: enclosure_vmem::Addr) -> Result<(), Fault> {
+        let env = self.lb.current_env().0;
+        {
+            let clock = self.lb.clock_mut();
+            let now = clock.now_ns();
+            clock.recorder_mut().begin_span(
+                now,
+                enclosure_telemetry::SpanScope::new("reactor.drain", GO_SCHED_PKG, env),
+            );
+        }
+        let flushed = self.contained_flush(litterbox::LitterBox::batch_flush_drain);
+        let woken = self.wake_parked();
+        self.end_quantum_span();
+        flushed?;
+        if woken == 0 {
+            let restore = self.execute_contained(EnvContext::trusted(), cs);
+            self.switch_to_main_track();
+            restore?;
+            return Err(Fault::Init(format!(
+                "reactor stall: {} goroutines parked on completions that never arrive",
+                self.sched.parked.len()
+            )));
+        }
+        Ok(())
     }
 
     /// Closes the telemetry span bracketing the current quantum.

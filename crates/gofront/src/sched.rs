@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use litterbox::{EnvContext, Fault};
+use litterbox::{CompletionToken, EnvContext, Fault};
 
 use crate::runtime::GoCtx;
 use crate::value::GoValue;
@@ -40,6 +40,12 @@ impl GoroutineId {
 pub enum Step {
     /// Run me again later (possibly blocked on a channel).
     Yield,
+    /// Park until the completion-driven gateway posts this token's
+    /// completion: the scheduler removes the goroutine from the run
+    /// queue and wakes it after the flush that services its entry. A
+    /// token that is already complete when the quantum ends skips the
+    /// park and the goroutine stays runnable.
+    Park(CompletionToken),
     /// This goroutine is finished.
     Done,
 }
@@ -86,6 +92,11 @@ pub(crate) struct Scheduler {
     pub channels: Vec<Channel>,
     pub goroutines: Vec<Option<Goroutine>>,
     pub runq: VecDeque<usize>,
+    /// Goroutines parked on a pending completion token, in park order.
+    /// They hold their slot in `goroutines` but are absent from `runq`
+    /// until a flush posts their completion and the scheduler wakes
+    /// them (FIFO over the parked set).
+    pub parked: Vec<(usize, CompletionToken)>,
     /// Set by successful channel ops and completions; cleared each round
     /// to detect deadlock.
     pub progress: bool,

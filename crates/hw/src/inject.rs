@@ -57,11 +57,20 @@ pub enum InjectionSite {
     /// A health probe flaps: the probe reports failure although the
     /// shard is healthy. Enough consecutive flaps eject a live shard.
     ProbeFlap,
+    /// A deadline-triggered flush of the completion-driven gateway is
+    /// lost before its charged crossing: the batch stays queued and the
+    /// reactor retries, so no submission is dropped.
+    FlushDeadline,
+    /// A single completion is corrupted on its way back from a flush:
+    /// the entry is posted with a transient errno instead of its
+    /// result, so the submitter still wakes (with the errno) and its
+    /// batch-mates are untouched — a completion is never silently lost.
+    CompletionLost,
 }
 
 impl InjectionSite {
     /// Every site, in a stable order.
-    pub const ALL: [InjectionSite; 14] = [
+    pub const ALL: [InjectionSite; 16] = [
         InjectionSite::GatewayErrno,
         InjectionSite::Wrpkru,
         InjectionSite::PkeyMprotect,
@@ -76,6 +85,8 @@ impl InjectionSite {
         InjectionSite::ShardCrash,
         InjectionSite::LbPartition,
         InjectionSite::ProbeFlap,
+        InjectionSite::FlushDeadline,
+        InjectionSite::CompletionLost,
     ];
 
     /// The site's stable tag (used in telemetry events and tests).
@@ -96,6 +107,8 @@ impl InjectionSite {
             InjectionSite::ShardCrash => "shard_crash",
             InjectionSite::LbPartition => "lb_partition",
             InjectionSite::ProbeFlap => "probe_flap",
+            InjectionSite::FlushDeadline => "flush_deadline",
+            InjectionSite::CompletionLost => "completion_lost",
         }
     }
 
@@ -115,6 +128,8 @@ impl InjectionSite {
             InjectionSite::ShardCrash => 1 << 11,
             InjectionSite::LbPartition => 1 << 12,
             InjectionSite::ProbeFlap => 1 << 13,
+            InjectionSite::FlushDeadline => 1 << 14,
+            InjectionSite::CompletionLost => 1 << 15,
         }
     }
 }

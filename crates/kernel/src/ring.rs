@@ -243,6 +243,40 @@ impl SyscallRing {
     pub fn take_completions(&mut self) -> Vec<Completion> {
         self.cq.drain(..).collect()
     }
+
+    /// True if the entry with sequence number `seq` has been serviced
+    /// and its completion is waiting to be reaped. The parking check:
+    /// a completion-driven submitter polls this to decide whether to
+    /// wake.
+    #[must_use]
+    pub fn is_completed(&self, seq: u64) -> bool {
+        self.cq.iter().any(|c| c.seq == seq)
+    }
+
+    /// Reaps exactly the completion for `seq`, if posted. A second call
+    /// for the same `seq` returns `None` — completions are delivered at
+    /// most once.
+    pub fn take_completion(&mut self, seq: u64) -> Option<Completion> {
+        let idx = self.cq.iter().position(|c| c.seq == seq)?;
+        self.cq.remove(idx)
+    }
+
+    /// Reaps all of `submitter`'s posted completions, preserving their
+    /// service (= submission) order; other submitters' completions stay
+    /// queued.
+    pub fn take_completions_for(&mut self, submitter: u64) -> Vec<Completion> {
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.cq.len());
+        for c in self.cq.drain(..) {
+            if c.submitter == submitter {
+                taken.push(c);
+            } else {
+                kept.push_back(c);
+            }
+        }
+        self.cq = kept;
+        taken
+    }
 }
 
 /// Services one descriptor against the kernel. Charges exactly what the
@@ -361,6 +395,36 @@ mod tests {
             data: vec![0; 100],
         };
         assert_eq!(send.record().args[2], 100);
+    }
+
+    #[test]
+    fn per_seq_and_per_submitter_reaping_is_exact() {
+        let mut k = Kernel::new();
+        let mut c = clock();
+        let mut ring = SyscallRing::new();
+        let a = ring.enqueue(1, BatchOp::Getuid);
+        let b = ring.enqueue(2, BatchOp::Getpid);
+        let d = ring.enqueue(1, BatchOp::Futex);
+        for sub in ring.drain_submissions() {
+            let result = service(&mut k, &mut c, &sub.op);
+            ring.complete(Completion {
+                seq: sub.seq,
+                submitter: sub.submitter,
+                sysno: sub.op.sysno(),
+                result,
+            });
+        }
+        assert!(ring.is_completed(a) && ring.is_completed(b) && ring.is_completed(d));
+        let taken = ring.take_completion(b).unwrap();
+        assert_eq!(taken.submitter, 2);
+        assert!(ring.take_completion(b).is_none(), "at-most-once delivery");
+        let ones = ring.take_completions_for(1);
+        assert_eq!(
+            ones.iter().map(|c| c.seq).collect::<Vec<_>>(),
+            vec![a, d],
+            "per-submitter FIFO preserved"
+        );
+        assert_eq!(ring.completed(), 0);
     }
 
     enclosure_support::props! {

@@ -43,11 +43,46 @@ use enclosure_telemetry::{Event, SpanScope};
 use crate::fault::Fault;
 use crate::machine::{Backend, LitterBox};
 
+/// A handle to one pending submission in the completion-driven
+/// gateway. A goroutine that holds a token can poll it, or hand it to
+/// the scheduler and **park** until a flush posts the completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompletionToken {
+    seq: u64,
+}
+
+impl CompletionToken {
+    /// The ring sequence number this token tracks.
+    #[must_use]
+    pub fn seq(self) -> u64 {
+        self.seq
+    }
+}
+
+/// The size/deadline hybrid governing when the completion-driven
+/// gateway flushes on its own. Either trigger suffices: the pending
+/// depth reaching `max_batch` flushes immediately (inside
+/// [`LitterBox::batch_submit`]), and a batch older than `deadline_ns`
+/// is flushed by the scheduler's [`LitterBox::batch_flush_deadline`].
+/// The switch barriers still flush unconditionally, so the policy can
+/// only make flushes *more* frequent than the environment switches —
+/// never let a batch mix environments or outlive an epilog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush as soon as this many entries are queued.
+    pub max_batch: usize,
+    /// Flush once the oldest queued entry is this old (simulated ns).
+    pub deadline_ns: u64,
+}
+
 /// The ring plus the environment its queued entries belong to.
 #[derive(Debug)]
 pub(crate) struct BatchState {
     pub(crate) ring: SyscallRing,
     pub(crate) env: EnvId,
+    /// Simulated time the oldest still-queued entry was enqueued —
+    /// the deadline trigger's reference point. `None` when empty.
+    pub(crate) oldest_enqueue_ns: Option<u64>,
 }
 
 impl LitterBox {
@@ -59,7 +94,64 @@ impl LitterBox {
             self.batch = Some(BatchState {
                 ring: SyscallRing::new(),
                 env: self.current_env(),
+                oldest_enqueue_ns: None,
             });
+        }
+    }
+
+    /// Turns the gateway into the completion-driven reactor: batching
+    /// plus an adaptive [`FlushPolicy`] sized from the per-op
+    /// histograms recorded so far (see
+    /// [`LitterBox::adaptive_flush_policy`]). Goroutines then use
+    /// [`LitterBox::batch_submit`] and park on the returned token
+    /// instead of flushing synchronously every quantum.
+    pub fn enable_async_gateway(&mut self) {
+        self.enable_batching();
+        let policy = self.adaptive_flush_policy();
+        self.flush_policy = Some(policy);
+    }
+
+    /// Installs (or clears) the reactor's flush policy. `None` restores
+    /// the legacy behavior: the scheduler flushes every quantum.
+    pub fn set_flush_policy(&mut self, policy: Option<FlushPolicy>) {
+        self.flush_policy = policy;
+    }
+
+    /// The flush policy in force, if any.
+    #[must_use]
+    pub fn flush_policy(&self) -> Option<FlushPolicy> {
+        self.flush_policy
+    }
+
+    /// Sizes a [`FlushPolicy`] from the per-op histograms recorded so
+    /// far (PR 4's cost telemetry): batches may grow to four times the
+    /// p90 of batch sizes already observed — headroom for several
+    /// concurrent submitters to share one crossing — clamped to
+    /// `[32, 256]`, and the deadline is eight environment switches'
+    /// worth of p50 prolog+epilog cost, so a parked goroutine never
+    /// waits an order of magnitude longer than the crossings the batch
+    /// amortizes. Deterministic: a pure function of the recorded
+    /// histograms (cold-start defaults apply when none exist yet).
+    #[must_use]
+    pub fn adaptive_flush_policy(&self) -> FlushPolicy {
+        let hists = self.telemetry().op_hists();
+        let p90_batch = hists.get("batch_size").map_or(0, |h| h.percentile(900));
+        #[allow(clippy::cast_possible_truncation)]
+        let max_batch = if p90_batch == 0 {
+            64
+        } else {
+            (4 * p90_batch).clamp(32, 256) as usize
+        };
+        let switch_ns = hists.get("switch_prolog").map_or(0, |h| h.percentile(500))
+            + hists.get("switch_epilog").map_or(0, |h| h.percentile(500));
+        let deadline_ns = if switch_ns == 0 {
+            150_000
+        } else {
+            (switch_ns * 8).clamp(25_000, 400_000)
+        };
+        FlushPolicy {
+            max_batch,
+            deadline_ns,
         }
     }
 
@@ -103,9 +195,48 @@ impl LitterBox {
         if stale {
             self.flush_batch_barrier();
         }
+        let now = self.now_ns();
         let batch = self.batch.as_mut().expect("checked above");
         batch.env = env;
-        Ok(batch.ring.enqueue(submitter, op))
+        if batch.ring.pending() == 0 {
+            batch.oldest_enqueue_ns = Some(now);
+        }
+        let seq = batch.ring.enqueue(submitter, op);
+        let depth = batch.ring.pending() as u64;
+        self.telemetry_mut().record_op("batch_pending_depth", depth);
+        Ok(seq)
+    }
+
+    /// The reactor's submission path: enqueues like
+    /// [`LitterBox::batch_enqueue`] but returns a [`CompletionToken`]
+    /// the goroutine can park on, and fires the size trigger of the
+    /// [`FlushPolicy`] when the pending depth reaches `max_batch`. A
+    /// transient fault on that eager flush is absorbed — the batch
+    /// stays queued and a later deadline/barrier flush retries it, so
+    /// the submission itself never fails once enqueued.
+    pub fn batch_submit(&mut self, submitter: u64, op: BatchOp) -> Result<CompletionToken, Fault> {
+        let seq = self.batch_enqueue(submitter, op)?;
+        if let Some(policy) = self.flush_policy {
+            if self.batch_pending() >= policy.max_batch {
+                let _ = self.flush_with_reason("size");
+            }
+        }
+        Ok(CompletionToken { seq })
+    }
+
+    /// Whether the token's entry has been flushed and its completion
+    /// is waiting to be reaped.
+    #[must_use]
+    pub fn batch_is_complete(&self, token: CompletionToken) -> bool {
+        self.batch
+            .as_ref()
+            .is_some_and(|b| b.ring.is_completed(token.seq))
+    }
+
+    /// Reaps one token's completion. At-most-once: the first call
+    /// after the flush returns `Some`, every later call `None`.
+    pub fn batch_poll(&mut self, token: CompletionToken) -> Option<Completion> {
+        self.batch.as_mut()?.ring.take_completion(token.seq)
     }
 
     /// Drains completed entries (FIFO per submitter).
@@ -113,6 +244,29 @@ impl LitterBox {
         self.batch
             .as_mut()
             .map_or_else(Vec::new, |b| b.ring.take_completions())
+    }
+
+    /// Drains one submitter's completed entries (FIFO), leaving every
+    /// other submitter's completions in the ring.
+    pub fn batch_take_completions_for(&mut self, submitter: u64) -> Vec<Completion> {
+        self.batch
+            .as_mut()
+            .map_or_else(Vec::new, |b| b.ring.take_completions_for(submitter))
+    }
+
+    /// Whether the [`FlushPolicy`] deadline trigger is due: a policy is
+    /// installed, entries are queued, and the oldest has waited at
+    /// least `deadline_ns` of simulated time.
+    #[must_use]
+    pub fn batch_flush_due(&self) -> bool {
+        let Some(policy) = self.flush_policy else {
+            return false;
+        };
+        self.batch.as_ref().is_some_and(|b| {
+            b.ring.pending() > 0
+                && b.oldest_enqueue_ns
+                    .is_some_and(|t| self.clock().now_ns() >= t + policy.deadline_ns)
+        })
     }
 
     /// Flushes the queued batch in **one charged crossing**: one VM
@@ -124,6 +278,45 @@ impl LitterBox {
     /// and a [`Fault::Transient`] is returned — retry after recovery
     /// and every entry completes exactly once.
     pub fn batch_flush(&mut self) -> Result<usize, Fault> {
+        self.flush_with_reason("explicit")
+    }
+
+    /// The scheduler's legacy per-quantum flush (no [`FlushPolicy`]
+    /// installed): identical to [`LitterBox::batch_flush`] but tagged
+    /// `quantum` in the flush-trigger telemetry.
+    pub fn batch_flush_quantum(&mut self) -> Result<usize, Fault> {
+        self.flush_with_reason("quantum")
+    }
+
+    /// The reactor's idle-drain flush: when every runnable goroutine is
+    /// parked, the scheduler forces a flush regardless of policy so no
+    /// goroutine waits forever. Tagged `drain` in telemetry.
+    pub fn batch_flush_drain(&mut self) -> Result<usize, Fault> {
+        self.flush_with_reason("drain")
+    }
+
+    /// The [`FlushPolicy`] deadline trigger. Before the charged
+    /// crossing it additionally queries the
+    /// [`InjectionSite::FlushDeadline`] chaos site: a deadline flush
+    /// can be lost as a whole, in which case the batch stays queued
+    /// (nothing serviced, nothing dropped) and the reactor retries.
+    pub fn batch_flush_deadline(&mut self) -> Result<usize, Fault> {
+        let live = self
+            .batch
+            .as_ref()
+            .is_some_and(|b| b.env != TRUSTED_ENV && b.ring.pending() > 0);
+        if live
+            && self.backend() != Backend::Baseline
+            && self.clock_mut().should_inject(InjectionSite::FlushDeadline)
+        {
+            return Err(self.trace_fault(Fault::Transient {
+                site: "flush_deadline",
+            }));
+        }
+        self.flush_with_reason("deadline")
+    }
+
+    fn flush_with_reason(&mut self, reason: &'static str) -> Result<usize, Fault> {
         let Some(mut state) = self.batch.take() else {
             return Ok(0);
         };
@@ -155,6 +348,7 @@ impl LitterBox {
                 now,
                 SpanScope::new("batch.flush", "litterbox.gateway", env.0),
             );
+            clock.record(Event::FlushTrigger { reason });
         }
 
         // One crossing per (environment, batch) — this is the whole
@@ -212,6 +406,20 @@ impl LitterBox {
                 let (kernel, clock) = self.kernel_and_clock();
                 ring::service(kernel, clock, &sub.op)
             };
+            // A single completion can be corrupted on its way back from
+            // the flush: it is posted with a transient errno instead of
+            // its result, so the submitter still wakes (with the errno)
+            // and batch-mates are untouched — never silently lost.
+            let result = if enclosed
+                && backend != Backend::Baseline
+                && self
+                    .clock_mut()
+                    .should_inject(InjectionSite::CompletionLost)
+            {
+                Err(self.pick_transient_errno())
+            } else {
+                result
+            };
             self.clock_mut().record(Event::BatchedSyscall {
                 sysno: record.sysno as u32,
             });
@@ -231,6 +439,7 @@ impl LitterBox {
         });
         let now = clock.now_ns();
         clock.recorder_mut().end_span(now);
+        state.oldest_enqueue_ns = None;
         self.batch = Some(state);
         Ok(n)
     }
@@ -245,7 +454,7 @@ impl LitterBox {
             return;
         }
         self.clock_mut().suspend_injection();
-        let flushed = self.batch_flush();
+        let flushed = self.flush_with_reason("barrier");
         self.clock_mut().resume_injection();
         debug_assert!(flushed.is_ok(), "barrier flushes run injection-suspended");
     }

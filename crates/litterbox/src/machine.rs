@@ -265,6 +265,9 @@ pub struct LitterBox {
     /// The batched syscall gateway's pending (environment, batch), when
     /// batching is enabled (see `crate::batch`).
     pub(crate) batch: Option<crate::batch::BatchState>,
+    /// The completion-driven reactor's size/deadline flush policy.
+    /// `None` keeps the legacy behavior (flush every quantum).
+    pub(crate) flush_policy: Option<crate::batch::FlushPolicy>,
 }
 
 impl LitterBox {
@@ -302,6 +305,7 @@ impl LitterBox {
             hot_discount: BTreeMap::new(),
             coalesce_sweeps: false,
             batch: None,
+            flush_policy: None,
         }
     }
 

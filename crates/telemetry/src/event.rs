@@ -156,6 +156,31 @@ pub enum Event {
         /// Raw syscall number.
         sysno: u32,
     },
+    /// What caused a batch flush: `"quantum"` (legacy per-quantum
+    /// flush), `"size"` (adaptive policy hit its batch-size threshold),
+    /// `"deadline"` (oldest submission aged past the policy deadline),
+    /// `"barrier"` (prolog/epilog/execute/recover switch barrier),
+    /// `"drain"` (scheduler ran out of runnable goroutines with parked
+    /// submitters), or `"explicit"` (application-requested flush).
+    FlushTrigger {
+        /// The trigger tag.
+        reason: &'static str,
+    },
+    /// A goroutine parked on a pending batch completion instead of
+    /// blocking its quantum on a flush.
+    GoPark {
+        /// Goroutine id.
+        goroutine: u64,
+        /// The completion token (ring sequence number) parked on.
+        token: u64,
+    },
+    /// A parked goroutine was woken because its completion posted.
+    GoWake {
+        /// Goroutine id.
+        goroutine: u64,
+        /// The completion token (ring sequence number) that posted.
+        token: u64,
+    },
 
     // --- gofront ---------------------------------------------------------
     /// The Go scheduler rescheduled a goroutine across environments via
@@ -304,6 +329,13 @@ impl fmt::Display for Event {
             }
             Event::BatchedSyscall { sysno } => {
                 write!(f, "batched_syscall sysno={sysno}")
+            }
+            Event::FlushTrigger { reason } => write!(f, "flush_trigger reason={reason}"),
+            Event::GoPark { goroutine, token } => {
+                write!(f, "go_park g{goroutine} token={token}")
+            }
+            Event::GoWake { goroutine, token } => {
+                write!(f, "go_wake g{goroutine} token={token}")
             }
             Event::Reschedule { goroutine, to_env } => {
                 write!(f, "reschedule g{goroutine} to_env={to_env}")

@@ -95,6 +95,23 @@ pub struct Counters {
     /// Span-stack truncations (unbalanced `end_span`, or `reset` with
     /// spans still open).
     pub span_imbalances: u64,
+    /// Goroutines parked on a pending batch completion.
+    pub go_parks: u64,
+    /// Parked goroutines woken by a posted completion.
+    pub go_wakes: u64,
+    /// Batch flushes triggered by the adaptive size threshold.
+    pub flush_size_triggers: u64,
+    /// Batch flushes triggered by the adaptive deadline.
+    pub flush_deadline_triggers: u64,
+    /// Batch flushes triggered at a scheduler quantum boundary.
+    pub flush_quantum_triggers: u64,
+    /// Batch flushes forced by a switch barrier (prolog/epilog/execute).
+    pub flush_barrier_triggers: u64,
+    /// Batch flushes requested explicitly by the application.
+    pub flush_explicit_triggers: u64,
+    /// Batch flushes draining the ring when only parked goroutines
+    /// remained runnable.
+    pub flush_drain_triggers: u64,
 }
 
 impl Counters {
@@ -146,6 +163,26 @@ impl Counters {
             ("breaker_trips", Json::U64(self.breaker_trips)),
             ("breaker_fast_fails", Json::U64(self.breaker_fast_fails)),
             ("span_imbalances", Json::U64(self.span_imbalances)),
+            ("go_parks", Json::U64(self.go_parks)),
+            ("go_wakes", Json::U64(self.go_wakes)),
+            ("flush_size_triggers", Json::U64(self.flush_size_triggers)),
+            (
+                "flush_deadline_triggers",
+                Json::U64(self.flush_deadline_triggers),
+            ),
+            (
+                "flush_quantum_triggers",
+                Json::U64(self.flush_quantum_triggers),
+            ),
+            (
+                "flush_barrier_triggers",
+                Json::U64(self.flush_barrier_triggers),
+            ),
+            (
+                "flush_explicit_triggers",
+                Json::U64(self.flush_explicit_triggers),
+            ),
+            ("flush_drain_triggers", Json::U64(self.flush_drain_triggers)),
         ])
     }
 
@@ -196,6 +233,14 @@ impl Counters {
             breaker_trips,
             breaker_fast_fails,
             span_imbalances,
+            go_parks,
+            go_wakes,
+            flush_size_triggers,
+            flush_deadline_triggers,
+            flush_quantum_triggers,
+            flush_barrier_triggers,
+            flush_explicit_triggers,
+            flush_drain_triggers,
         } = *other;
         self.inits += inits;
         self.incremental_inits += incremental_inits;
@@ -237,6 +282,14 @@ impl Counters {
         self.breaker_trips += breaker_trips;
         self.breaker_fast_fails += breaker_fast_fails;
         self.span_imbalances += span_imbalances;
+        self.go_parks += go_parks;
+        self.go_wakes += go_wakes;
+        self.flush_size_triggers += flush_size_triggers;
+        self.flush_deadline_triggers += flush_deadline_triggers;
+        self.flush_quantum_triggers += flush_quantum_triggers;
+        self.flush_barrier_triggers += flush_barrier_triggers;
+        self.flush_explicit_triggers += flush_explicit_triggers;
+        self.flush_drain_triggers += flush_drain_triggers;
     }
 
     fn bump(&mut self, event: &Event) {
@@ -303,6 +356,16 @@ impl Counters {
             }
             Event::BatchFlush { .. } => self.batch_flushes += 1,
             Event::BatchedSyscall { .. } => self.batched_syscalls += 1,
+            Event::FlushTrigger { reason } => match *reason {
+                "size" => self.flush_size_triggers += 1,
+                "deadline" => self.flush_deadline_triggers += 1,
+                "quantum" => self.flush_quantum_triggers += 1,
+                "barrier" => self.flush_barrier_triggers += 1,
+                "drain" => self.flush_drain_triggers += 1,
+                _ => self.flush_explicit_triggers += 1,
+            },
+            Event::GoPark { .. } => self.go_parks += 1,
+            Event::GoWake { .. } => self.go_wakes += 1,
             Event::Reschedule { .. } => self.reschedules += 1,
             Event::SpanTransfer { .. } => self.span_transfers += 1,
             Event::GcPause { ns, .. } => {

@@ -41,6 +41,9 @@ grep -qE "^ +20 enclosures pinned-hot" "$abl_out"
 grep -qE "^ +40 enclosures pinned-hot" "$abl_out"
 rm -f "$abl_out"
 
+echo "== async gateway: differential harness on all three backends =="
+cargo test -q --offline --test async_gateway
+
 echo "== batching: batched arm amortizes the charged crossings =="
 batch_out="$(mktemp -d)"
 ./target/release/repro batching --json > "$batch_out/BENCH_batching.json"
@@ -51,15 +54,30 @@ import json, sys
 
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-arms = {(a["backend"], a["batched"]): a for a in doc["arms"]}
-vtx_plain = arms[("LB_VTX", False)]["vm_exit_ns_per_request"]
-vtx_batch = arms[("LB_VTX", True)]["vm_exit_ns_per_request"]
+arms = {(a["backend"], a["mode"]): a for a in doc["arms"]}
+vtx_plain = arms[("LB_VTX", "unbatched")]["vm_exit_ns_per_request"]
+vtx_batch = arms[("LB_VTX", "batched")]["vm_exit_ns_per_request"]
 assert vtx_batch <= vtx_plain, f"batched VTX crossing tax regressed: {vtx_batch} > {vtx_plain}"
 assert vtx_batch * 2 <= vtx_plain, f"batched VTX tax not halved: {vtx_batch} vs {vtx_plain}"
-mpk_plain = arms[("LB_MPK", False)]["seccomp_per_request"]
-mpk_batch = arms[("LB_MPK", True)]["seccomp_per_request"]
+mpk_plain = arms[("LB_MPK", "unbatched")]["seccomp_per_request"]
+mpk_batch = arms[("LB_MPK", "batched")]["seccomp_per_request"]
 assert mpk_batch < mpk_plain, f"batched MPK seccomp not reduced: {mpk_batch} vs {mpk_plain}"
-print(f"batching OK: VTX {vtx_plain:.0f} -> {vtx_batch:.0f} ns/req, MPK {mpk_plain} -> {mpk_batch} evals/req")
+# The throughput claim: under 8 concurrent workers the completion-
+# driven reactor retires the same requests in no more end-to-end ns
+# than the quantum-flushed gateway, strictly fewer where a crossing is
+# expensive (LB_VTX).
+for backend in ("LB_MPK", "LB_VTX", "LB_PROC"):
+    sync = arms[(backend, "batched_c8")]
+    reactor = arms[(backend, "async_c8")]
+    assert reactor["sim_ns"] <= sync["sim_ns"], (
+        f"{backend}: async arm slower end-to-end: {reactor['sim_ns']} > {sync['sim_ns']}")
+    assert reactor["latency"]["count"] == sync["latency"]["count"], (
+        f"{backend}: async arm lost latency mass")
+vtx_sync = arms[("LB_VTX", "batched_c8")]["sim_ns"]
+vtx_async = arms[("LB_VTX", "async_c8")]["sim_ns"]
+assert vtx_async < vtx_sync, f"LB_VTX async arm must win outright: {vtx_async} vs {vtx_sync}"
+print(f"batching OK: VTX {vtx_plain:.0f} -> {vtx_batch:.0f} ns/req, MPK {mpk_plain} -> {mpk_batch} evals/req, "
+      f"x8 VTX {vtx_sync} -> {vtx_async} ns end-to-end")
 PY
 rm -rf "$batch_out"
 
@@ -173,6 +191,12 @@ print(f"fleet OK: {doc['admitted']} admitted, {doc['crashes']} crashes, "
       f"{b['consumed']}/{b['capacity']}+{b['refilled']} budget, "
       f"victim shard {doc['victim']} re-served {victim['served_after_respawn']}")
 PY
+
+echo "== fleet: fasthttp arm on the reactor, deterministic =="
+./target/release/repro fleet --quick --app=fasthttp > "$fleet_out/f1.txt"
+./target/release/repro fleet --quick --app=fasthttp > "$fleet_out/f2.txt"
+cmp "$fleet_out/f1.txt" "$fleet_out/f2.txt"
+grep -q "invariants: OK" "$fleet_out/f1.txt"
 
 echo "== fleet: tier-1 containment suite =="
 cargo test -q --offline --test fleet_serving

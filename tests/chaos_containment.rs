@@ -54,9 +54,10 @@ fn backends_for(site: InjectionSite) -> &'static [Backend] {
     match site {
         // Baseline prologs are vanilla calls (no environment switch),
         // so the gateway only sees enclosed callers on the hw backends.
-        InjectionSite::GatewayErrno | InjectionSite::BatchFlush => {
-            &[Backend::Mpk, Backend::Vtx, Backend::Proc]
-        }
+        InjectionSite::GatewayErrno
+        | InjectionSite::BatchFlush
+        | InjectionSite::FlushDeadline
+        | InjectionSite::CompletionLost => &[Backend::Mpk, Backend::Vtx, Backend::Proc],
         InjectionSite::Wrpkru | InjectionSite::PkeyMprotect => &[Backend::Mpk],
         InjectionSite::Cr3Write | InjectionSite::VmExit => &[Backend::Vtx],
         InjectionSite::ProcFork | InjectionSite::PipeEpipe | InjectionSite::ChildCrash => {
@@ -114,6 +115,46 @@ fn victim_op(lab: &mut Lab, site: InjectionSite) -> bool {
             lab.lb.epilog(token).unwrap();
             let done = lab.lb.batch_take_completions();
             assert_eq!(done.len(), 2, "both entries complete despite the fault");
+            lab.lb.disable_batching().unwrap();
+            faulted
+        }
+        InjectionSite::FlushDeadline => {
+            // A lost deadline flush leaves the whole batch queued —
+            // nothing serviced, nothing dropped — and the epilog's
+            // flush barrier then retires it, so both arms end with an
+            // empty ring and every submission completed.
+            lab.lb.enable_async_gateway();
+            let token = lab.lb.prolog(VICTIM, lab.callsite).unwrap();
+            let a = lab.lb.batch_submit(7, litterbox::BatchOp::Getuid).unwrap();
+            let b = lab.lb.batch_submit(7, litterbox::BatchOp::Getpid).unwrap();
+            let faulted = lab.lb.batch_flush_deadline().is_err();
+            lab.lb.epilog(token).unwrap();
+            assert!(
+                lab.lb.batch_is_complete(a) && lab.lb.batch_is_complete(b),
+                "both submissions complete despite the lost deadline flush"
+            );
+            let done = lab.lb.batch_take_completions_for(7);
+            assert_eq!(done.len(), 2, "both completions reaped");
+            lab.lb.disable_batching().unwrap();
+            faulted
+        }
+        InjectionSite::CompletionLost => {
+            // A corrupted completion posts a transient errno instead of
+            // its result: the submitter still wakes (with the errno)
+            // and its batch-mate is untouched — never silently lost.
+            lab.lb.enable_async_gateway();
+            let token = lab.lb.prolog(VICTIM, lab.callsite).unwrap();
+            let a = lab.lb.batch_submit(7, litterbox::BatchOp::Getuid).unwrap();
+            let b = lab.lb.batch_submit(7, litterbox::BatchOp::Getpid).unwrap();
+            lab.lb.batch_flush().unwrap();
+            let ra = lab.lb.batch_poll(a).expect("completion posted");
+            let rb = lab.lb.batch_poll(b).expect("completion posted");
+            let faulted = ra.result.is_err() || rb.result.is_err();
+            assert!(
+                ra.result.is_ok() || rb.result.is_ok(),
+                "a lost completion never poisons its batch-mate"
+            );
+            lab.lb.epilog(token).unwrap();
             lab.lb.disable_batching().unwrap();
             faulted
         }
@@ -229,6 +270,8 @@ fn backends_for_backend(backend: Backend) -> &'static [InjectionSite] {
         Backend::Mpk => &[
             InjectionSite::GatewayErrno,
             InjectionSite::BatchFlush,
+            InjectionSite::FlushDeadline,
+            InjectionSite::CompletionLost,
             InjectionSite::Wrpkru,
             InjectionSite::PkeyMprotect,
             InjectionSite::InitAlloc,
@@ -237,6 +280,8 @@ fn backends_for_backend(backend: Backend) -> &'static [InjectionSite] {
         Backend::Vtx => &[
             InjectionSite::GatewayErrno,
             InjectionSite::BatchFlush,
+            InjectionSite::FlushDeadline,
+            InjectionSite::CompletionLost,
             InjectionSite::Cr3Write,
             InjectionSite::VmExit,
             InjectionSite::InitAlloc,
@@ -245,6 +290,8 @@ fn backends_for_backend(backend: Backend) -> &'static [InjectionSite] {
         Backend::Proc => &[
             InjectionSite::GatewayErrno,
             InjectionSite::BatchFlush,
+            InjectionSite::FlushDeadline,
+            InjectionSite::CompletionLost,
             InjectionSite::ProcFork,
             InjectionSite::PipeEpipe,
             InjectionSite::ChildCrash,

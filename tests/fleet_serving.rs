@@ -15,7 +15,7 @@
 //!   re-serves before the run ends.
 
 use enclosure_apps::wiki::WikiApp;
-use enclosure_fleet::{check_invariants, FleetConfig, FleetReport, WikiFleet};
+use enclosure_fleet::{check_invariants, FastHttpFleet, FleetConfig, FleetReport, WikiFleet};
 use enclosure_telemetry::Histogram;
 
 fn run(cfg: &FleetConfig) -> FleetReport {
@@ -39,7 +39,7 @@ enclosure_support::props! {
         let mut merged = Histogram::new();
         for row in &report.rows {
             let mut machine = WikiApp::new(row.backend).unwrap();
-            machine.set_batched_io(true);
+            machine.set_async_io(true);
             for &n in &row.batch_sizes {
                 machine.serve_requests(n).unwrap();
             }
@@ -74,6 +74,59 @@ fn chaos_runs_are_byte_identical_per_seed() {
     );
     assert!(a.crashes > 0, "the targeted kill fired");
     assert_eq!(a.responses(), a.admitted, "zero loss under chaos");
+}
+
+/// The `--app=fasthttp` fleet arm: the balancer is generic over its
+/// workload, so FastHTTP shards serve the same heavy-tailed session
+/// stream through the completion-driven gateway. The dispatch trace is
+/// pinned row-by-row so the arm cannot drift silently — any change to
+/// admission, routing, or the FastHTTP serve path that moves a single
+/// request shows up here.
+#[test]
+fn fasthttp_fleet_serves_a_pinned_dispatch_trace() {
+    let cfg = FleetConfig::new(3, 600, 11);
+    let report = FastHttpFleet::new(cfg.clone()).unwrap().run().unwrap();
+    let violations = check_invariants(&cfg, &report);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(report.admitted, 600);
+    assert_eq!(report.responses(), 600);
+    assert_eq!(report.client_ok, 600, "clean arm: every request 200 OK");
+
+    let rows: Vec<(usize, Vec<u64>)> = report
+        .rows
+        .iter()
+        .map(|r| (r.id, r.batch_sizes.clone()))
+        .collect();
+    let pinned: Vec<(usize, Vec<u64>)> = vec![
+        (
+            0,
+            vec![
+                8, 15, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 7,
+            ],
+        ),
+        (
+            1,
+            vec![
+                16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 16, 1,
+            ],
+        ),
+        (2, vec![1, 16, 16, 16, 16, 8]),
+    ];
+    assert_eq!(rows, pinned, "dispatch trace drifted");
+    for row in &report.rows {
+        assert_eq!(
+            row.latency.count(),
+            row.batch_sizes.iter().sum::<u64>(),
+            "shard {}: every dispatched request left a latency sample",
+            row.id
+        );
+        assert_eq!(row.state, "healthy");
+    }
+
+    // Two identically-seeded runs are byte-identical, same as the wiki
+    // arm.
+    let again = FastHttpFleet::new(cfg).unwrap().run().unwrap();
+    assert_eq!(report.to_json().to_pretty(), again.to_json().to_pretty());
 }
 
 /// The containment proof: a surgical mid-run kill of one shard (no
