@@ -17,7 +17,7 @@ use std::rc::Rc;
 use enclosure_gofront::{sched::Recv, GoProgram, GoRuntime, GoSource, GoValue, Step};
 use enclosure_hw::Clock;
 use enclosure_kernel::net::SockAddr;
-use enclosure_telemetry::Histogram;
+use enclosure_telemetry::{Event, Histogram};
 use litterbox::{Backend, BatchOp, Fault, SysError};
 
 use crate::chaos::{render_unavailable, retry_transient, ChaosTally};
@@ -274,7 +274,11 @@ impl FastHttpApp {
                                     accepted += 1;
                                     degraded += 1;
                                     if let Some(t0) = accept_ns.remove(&conn) {
-                                        latency.borrow_mut().record(ctx.lb().now_ns() - t0);
+                                        let ns = ctx.lb().now_ns() - t0;
+                                        latency.borrow_mut().record(ns);
+                                        ctx.lb_mut()
+                                            .clock_mut()
+                                            .record(Event::RequestServed { ns, ok: false });
                                     }
                                 }
                                 Err(e) => return Err(io_fault(e)),
@@ -337,6 +341,7 @@ impl FastHttpApp {
                             retry_transient(&srv_tally, || ctx.lb_mut().sys_clock_gettime())?;
                             Ok(())
                         })();
+                        let mut ok = true;
                         match sent {
                             Ok(()) => {}
                             Err(e) if e.is_transient() => {
@@ -344,11 +349,16 @@ impl FastHttpApp {
                                 let _ = ctx.lb_mut().sys_close(conn);
                                 ctx.lb_mut().clock_mut().resume_injection();
                                 srv_tally.borrow_mut().degraded += 1;
+                                ok = false;
                             }
                             Err(e) => return Err(io_fault(e)),
                         }
                         if let Some(t0) = accept_ns.remove(&conn) {
-                            latency.borrow_mut().record(ctx.lb().now_ns() - t0);
+                            let ns = ctx.lb().now_ns() - t0;
+                            latency.borrow_mut().record(ns);
+                            ctx.lb_mut()
+                                .clock_mut()
+                                .record(Event::RequestServed { ns, ok });
                         }
                         replied += 1;
                     }
@@ -501,7 +511,11 @@ impl FastHttpApp {
                     };
                     if let Some((conn, t0)) = shipped.take() {
                         let _ = ctx.lb_mut().batch_take_completions_for(u64::from(conn));
-                        latency.borrow_mut().record(ctx.lb().now_ns() - t0);
+                        let ns = ctx.lb().now_ns() - t0;
+                        latency.borrow_mut().record(ns);
+                        ctx.lb_mut()
+                            .clock_mut()
+                            .record(Event::RequestServed { ns, ok: true });
                         replied.set(replied.get() + 1);
                     }
                     if replied.get() >= n {
@@ -572,7 +586,11 @@ impl FastHttpApp {
                         ctx.lb_mut().sys_close(conn).map_err(io_fault)?;
                         ctx.lb_mut().sys_futex().map_err(io_fault)?;
                         ctx.lb_mut().sys_clock_gettime().map_err(io_fault)?;
-                        latency.borrow_mut().record(ctx.lb().now_ns() - t0);
+                        let ns = ctx.lb().now_ns() - t0;
+                        latency.borrow_mut().record(ns);
+                        ctx.lb_mut()
+                            .clock_mut()
+                            .record(Event::RequestServed { ns, ok: true });
                         replied.set(replied.get() + 1);
                         return Ok(Step::Yield);
                     }

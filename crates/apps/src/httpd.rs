@@ -13,7 +13,7 @@
 use enclosure_gofront::{GoProgram, GoRuntime, GoSource, GoValue};
 use enclosure_hw::Clock;
 use enclosure_kernel::net::SockAddr;
-use enclosure_telemetry::Histogram;
+use enclosure_telemetry::{Event, Histogram};
 use litterbox::{Backend, BatchOp, Fault, SysError};
 
 use crate::chaos::ChaosTally;
@@ -370,7 +370,12 @@ impl HttpApp {
             if !ok {
                 return Err(Fault::Init("server saw no pending connection".into()));
             }
-            self.latency.record(self.rt.lb().now_ns() - req_t0);
+            let req_ns = self.rt.lb().now_ns() - req_t0;
+            self.latency.record(req_ns);
+            self.rt
+                .lb_mut()
+                .clock_mut()
+                .record(Event::RequestServed { ns: req_ns, ok });
             served += 1;
             // Client: drain the response (unmeasured).
             let (kernel, _) = self.rt.lb_mut().kernel_and_clock();

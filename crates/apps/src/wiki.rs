@@ -258,7 +258,11 @@ impl WikiApp {
                                     accepted += 1;
                                     degraded += 1;
                                     if let Some(t0) = accept_ns.remove(&conn) {
-                                        latency.borrow_mut().record(ctx.lb().now_ns() - t0);
+                                        let ns = ctx.lb().now_ns() - t0;
+                                        latency.borrow_mut().record(ns);
+                                        ctx.lb_mut()
+                                            .clock_mut()
+                                            .record(Event::RequestServed { ns, ok: false });
                                     }
                                 }
                                 Err(e) => return Err(io_fault(e)),
@@ -300,6 +304,7 @@ impl WikiApp {
                             retry_transient(&srv_tally, || ctx.lb_mut().sys_close(conn))?;
                             Ok(())
                         })();
+                        let mut ok = !response.starts_with(b"HTTP/1.1 503");
                         match sent {
                             Ok(()) => {}
                             Err(e) if e.is_transient() => {
@@ -308,14 +313,19 @@ impl WikiApp {
                                 ctx.lb_mut().clock_mut().resume_injection();
                                 // Count each request's degradation once:
                                 // a 503 from the glue already did.
-                                if !response.starts_with(b"HTTP/1.1 503") {
+                                if ok {
                                     srv_tally.borrow_mut().degraded += 1;
                                 }
+                                ok = false;
                             }
                             Err(e) => return Err(io_fault(e)),
                         }
                         if let Some(t0) = accept_ns.remove(&conn) {
-                            latency.borrow_mut().record(ctx.lb().now_ns() - t0);
+                            let ns = ctx.lb().now_ns() - t0;
+                            latency.borrow_mut().record(ns);
+                            ctx.lb_mut()
+                                .clock_mut()
+                                .record(Event::RequestServed { ns, ok });
                         }
                         replied += 1;
                     }

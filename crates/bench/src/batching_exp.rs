@@ -51,6 +51,12 @@ pub struct BatchingArm {
     pub batch_flushes: u64,
     /// Telemetry: syscalls serviced through the ring.
     pub batched_syscalls: u64,
+    /// Flush attribution: (reason, count) per flush trigger, in fixed
+    /// reason order. The counts sum to `batch_flushes`.
+    pub flush_reasons: [(&'static str, u64); 6],
+    /// Ring depth sampled at every enqueue (the `batch_pending_depth`
+    /// per-op histogram) — how backed up the ring ran while filling.
+    pub pending_depth: Histogram,
     /// Simulated ns the serve took.
     pub sim_ns: u64,
     /// Per-request latency distribution (accept → reply).
@@ -141,6 +147,15 @@ impl BatchingReport {
                         ("batch_flushes", Json::from(a.batch_flushes)),
                         ("batched_syscalls", Json::from(a.batched_syscalls)),
                         (
+                            "flush_reasons",
+                            Json::obj(
+                                a.flush_reasons
+                                    .iter()
+                                    .map(|&(reason, count)| (reason, Json::from(count))),
+                            ),
+                        ),
+                        ("pending_depth", a.pending_depth.to_json()),
+                        (
                             "vm_exit_ns_per_request",
                             Json::from(a.vm_exit_ns_per_request()),
                         ),
@@ -172,6 +187,14 @@ fn run_arm(
     let sim_ns = app.runtime().lb().now_ns() - t0;
     let hw = app.runtime().lb().stats();
     let c = *app.runtime().lb().telemetry().counters();
+    let pending_depth = app
+        .runtime()
+        .lb()
+        .telemetry()
+        .op_hists()
+        .get("batch_pending_depth")
+        .cloned()
+        .unwrap_or_default();
     Ok(BatchingArm {
         backend,
         mode,
@@ -182,6 +205,15 @@ fn run_arm(
         ipc_roundtrips: hw.ipc_roundtrips,
         batch_flushes: c.batch_flushes,
         batched_syscalls: c.batched_syscalls,
+        flush_reasons: [
+            ("size", c.flush_size_triggers),
+            ("deadline", c.flush_deadline_triggers),
+            ("quantum", c.flush_quantum_triggers),
+            ("barrier", c.flush_barrier_triggers),
+            ("explicit", c.flush_explicit_triggers),
+            ("drain", c.flush_drain_triggers),
+        ],
+        pending_depth,
         sim_ns,
         latency: app.latency(),
     })
@@ -313,5 +345,33 @@ mod tests {
     #[test]
     fn same_workload_same_report() {
         assert_eq!(run(10).unwrap(), run(10).unwrap());
+    }
+
+    #[test]
+    fn flush_reasons_attribute_every_flush_and_depth_samples_match() {
+        let report = run(20).unwrap();
+        for arm in &report.arms {
+            let attributed: u64 = arm.flush_reasons.iter().map(|&(_, n)| n).sum();
+            assert_eq!(
+                attributed, arm.batch_flushes,
+                "{} {}: every flush has exactly one reason",
+                arm.backend, arm.mode
+            );
+            assert_eq!(
+                arm.pending_depth.count(),
+                arm.batched_syscalls,
+                "{} {}: one depth sample per enqueued syscall",
+                arm.backend,
+                arm.mode
+            );
+            if arm.batch_flushes > 0 {
+                assert!(
+                    arm.pending_depth.max() > 1,
+                    "{} {}: the ring actually backed up",
+                    arm.backend,
+                    arm.mode
+                );
+            }
+        }
     }
 }

@@ -12,9 +12,12 @@
 //! repro security [--profile] §6.5 recreated attacks
 //! repro filter-dump          compiled seccomp-BPF for the Figure 1 program
 //! repro ablations            design-choice studies
-//! repro batching [--quick] [--json]  batched-gateway crossing-tax study
+//! repro batching [--quick] [--json] [--profile]  batched-gateway crossing-tax study
 //! repro chaos [--quick] [--json] [--seed=S] [--profile] [--backend=proc]  fault-injection soak
 //! repro fleet [--app=wiki|fasthttp] [--shards=N] [--mixed-backends] [--chaos] [--seed=S] [--quick] [--json]  fleet serving
+//! repro monitor [--shards=N] [--chaos] [--seed=S] [--quick] [--json]  windowed SLO dashboard
+//! repro flightrec [--seed=S] [--json]  black-box flight-recorder dump
+//! repro counters [--list]    counter registry with descriptions
 //! repro trace-export [--format=chrome|folded] [--quick]  span-tree export
 //! repro all [--quick]        everything above
 //! ```
@@ -42,8 +45,22 @@
 //! paper-shaped output stays byte-stable) and points `chaos` at the
 //! process-sandbox arm alone (its three fault sites plus the gateway).
 //!
+//! `repro monitor` arms the windowed SLO monitor on the fleet: every
+//! shard cuts fixed-width metric windows from its simulated clock, the
+//! balancer drains them per round, and the dashboard renders one row
+//! per fleet-merged window (QPS, p50/p99, error rate, burn rate, parks
+//! and wakes, flush attribution). `--chaos` runs the kill-one-shard
+//! rehearsal — a deterministic brownout before the scheduled kill —
+//! and the run fails unless the advisory degradation signal strictly
+//! leads the balancer's outlier ejection.
+//!
+//! `repro flightrec` serves a wiki under low-rate injection with the
+//! flight recorder armed: the first fault freezes the last windows and
+//! the event ring into a dump that is byte-identical per seed.
+//!
 //! `--profile` adds per-request latency percentiles (p50/p90/p99/p99.9)
-//! and per-operation cost distributions to the serving workloads; all
+//! and per-operation cost distributions to the serving workloads (for
+//! `batching`, per-arm flush attribution and ring-depth tables); all
 //! values are simulated ns, so two runs are byte-identical.
 //!
 //! `repro trace-export` serves the wiki workload with the span log
@@ -57,6 +74,7 @@ use enclosure_apps::plotlib::{self, PlotConfig};
 use enclosure_bench::chaos_exp::{self, ChaosConfig};
 use enclosure_bench::fleet_exp::{self, FleetApp, FleetExpConfig};
 use enclosure_bench::macrobench::{self, MacroScale};
+use enclosure_bench::monitor_exp::{self, MonitorExpConfig};
 use enclosure_bench::trace_export::{self, TraceFormat};
 use enclosure_bench::{ablation, batching_exp, micro, python_exp, report, security_exp, wiki_exp};
 use enclosure_gofront::{GoProgram, GoSource};
@@ -139,9 +157,15 @@ fn main() -> ExitCode {
         "security" => security(trace, profile),
         "filter-dump" => filter_dump(),
         "ablations" => ablations(),
-        "batching" => batching(quick, json),
+        "batching" => batching(quick, json, profile),
         "chaos" => chaos(quick, json, seed, profile, proc_arm),
         "fleet" => fleet(quick, json, seed, shards, mixed, fleet_chaos, app),
+        "monitor" => monitor(quick, json, seed, shards, fleet_chaos),
+        "flightrec" => flightrec(json, seed),
+        "counters" => {
+            print!("\n{}", report::render_counters_list());
+            Ok(())
+        }
         "trace-export" => trace_export_cmd(quick, format),
         "all" => table1(json)
             .and_then(|()| table2(quick, json, profile, trace, proc_arm))
@@ -152,9 +176,11 @@ fn main() -> ExitCode {
             .and_then(|()| attribution(quick, json, trace))
             .and_then(|()| security(trace, profile))
             .and_then(|()| ablations())
-            .and_then(|()| batching(quick, json))
+            .and_then(|()| batching(quick, json, profile))
             .and_then(|()| chaos(quick, json, seed, profile, proc_arm))
-            .and_then(|()| fleet(quick, json, seed, shards, mixed, fleet_chaos, app)),
+            .and_then(|()| fleet(quick, json, seed, shards, mixed, fleet_chaos, app))
+            .and_then(|()| monitor(quick, json, seed, shards, fleet_chaos))
+            .map(|()| print!("\n{}", report::render_counters_list())),
         other => {
             eprintln!("unknown command '{other}'\n");
             eprint!("{USAGE}");
@@ -191,6 +217,9 @@ commands:
   batching      batched-gateway crossing-tax study
   chaos         seeded fault-injection soak with containment invariants
   fleet         N-shard fleet (wiki or fasthttp) behind the health-checking balancer
+  monitor       windowed SLO dashboard over the fleet (burn rates, kill-one-shard rehearsal)
+  flightrec     black-box flight recorder dump (first fault freezes windows + event ring)
+  counters      counter registry with one-line descriptions
   trace-export  span-tree export (Chrome trace JSON or folded stacks)
   all           everything above in order
 
@@ -500,7 +529,7 @@ fn security(trace: Option<usize>, profile: bool) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn batching(quick: bool, json: bool) -> Result<(), AnyError> {
+fn batching(quick: bool, json: bool, profile: bool) -> Result<(), AnyError> {
     let requests = if quick { 20 } else { 200 };
     let study = batching_exp::run(requests)?;
     if json {
@@ -508,6 +537,9 @@ fn batching(quick: bool, json: bool) -> Result<(), AnyError> {
         return Ok(());
     }
     print!("\n{}", report::render_batching(&study));
+    if profile {
+        print!("\n{}", report::render_batching_profile(&study));
+    }
     Ok(())
 }
 
@@ -598,6 +630,57 @@ fn fleet(
     } else {
         Err(format!("fleet invariants violated:\n  {}", violations.join("\n  ")).into())
     }
+}
+
+fn monitor(
+    quick: bool,
+    json: bool,
+    seed: u64,
+    shards: Option<usize>,
+    chaos: bool,
+) -> Result<(), AnyError> {
+    let mut config = if quick {
+        MonitorExpConfig::quick(seed)
+    } else {
+        MonitorExpConfig::full(seed)
+    };
+    if let Some(n) = shards {
+        config.shards = n.max(1);
+    }
+    config.chaos = chaos;
+    let (report, violations) = monitor_exp::run(config)?;
+    if json {
+        let mut value = report.to_json();
+        value.push(
+            "invariant_violations",
+            Json::arr(violations.iter().map(|v| Json::from(v.clone()))),
+        );
+        println!("{}", value.to_pretty());
+    } else {
+        print!("\n{}", report::render_monitor(&report));
+    }
+    if violations.is_empty() {
+        if !json {
+            println!("invariants: OK (zero loss, windows conserve mass, signal leads ejection)");
+        }
+        Ok(())
+    } else {
+        Err(format!(
+            "monitor invariants violated:\n  {}",
+            violations.join("\n  ")
+        )
+        .into())
+    }
+}
+
+fn flightrec(json: bool, seed: u64) -> Result<(), AnyError> {
+    let recording = monitor_exp::flightrec(seed)?;
+    if json {
+        println!("{}", recording.to_json().to_pretty());
+        return Ok(());
+    }
+    print!("\n{}", report::render_flightrec(&recording));
+    Ok(())
 }
 
 fn trace_export_cmd(quick: bool, format: TraceFormat) -> Result<(), AnyError> {

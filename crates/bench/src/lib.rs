@@ -13,6 +13,10 @@
 //! * [`fleet_exp`] — fleet-scale serving: N wiki shards behind the
 //!   health-checking load balancer, with failover, retry budgets, and
 //!   fleet-level chaos;
+//! * [`monitor_exp`] — the SLO-monitoring study: the fleet with windowed
+//!   sampling and burn-rate alerting armed (the kill-one-shard
+//!   rehearsal where the advisory signal must lead the ejection), plus
+//!   the single-machine flight-recorder arm;
 //! * [`python_exp`] — the §6.4 Python experiments (conservative vs
 //!   decoupled metadata, switch counts, init share);
 //! * [`security_exp`] — the §6.5 attack/defense matrix;
@@ -36,6 +40,7 @@ pub mod chaos_exp;
 pub mod fleet_exp;
 pub mod macrobench;
 pub mod micro;
+pub mod monitor_exp;
 pub mod python_exp;
 pub mod report;
 pub mod security_exp;

@@ -4,7 +4,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use enclosure_fleet::FleetReport;
-use enclosure_telemetry::{Histogram, SpanCost, SpanScope, MAIN_TRACK};
+use enclosure_telemetry::{
+    BurnState, Counters, FlightRecording, Histogram, SpanCost, SpanScope, MAIN_TRACK,
+};
 
 use crate::batching_exp::BatchingReport;
 use crate::chaos_exp::ChaosReport;
@@ -448,6 +450,8 @@ pub fn render_batching(report: &BatchingReport) -> String {
             .ipc_ns_per_request()
             .max(f64::MIN_POSITIVE);
     let _ = writeln!(out, "  LB_PROC charged IPC tax reduction: {proc_gain:.2}x");
+    // (the `--profile` flush-reason / ring-depth tables live in
+    // `render_batching_profile` so this table stays byte-stable)
     for backend in [
         litterbox::Backend::Mpk,
         litterbox::Backend::Vtx,
@@ -462,6 +466,41 @@ pub fn render_batching(report: &BatchingReport) -> String {
             reactor.sim_ns,
             sync.sim_ns,
             sync.sim_ns as f64 / (reactor.sim_ns as f64).max(f64::MIN_POSITIVE),
+        );
+    }
+    out
+}
+
+/// Renders the batching study's `--profile` addendum: per-arm flush
+/// attribution (which trigger fired each charged crossing) and the
+/// ring-depth distribution sampled at every enqueue. Arms that never
+/// route through the ring are skipped.
+#[must_use]
+pub fn render_batching_profile(report: &BatchingReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Batching profile: flush attribution and ring depth");
+    for arm in report.arms.iter().filter(|a| a.batched) {
+        let reasons = arm
+            .flush_reasons
+            .iter()
+            .map(|&(reason, n)| format!("{reason} {n}"))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        let _ = writeln!(
+            out,
+            "  {:<8} {:<10} flushes {:>6}: {}",
+            arm.backend.to_string(),
+            arm.mode,
+            arm.batch_flushes,
+            reasons,
+        );
+        let _ = writeln!(
+            out,
+            "           pending depth n {:>8}  mean {:>3}  max {:>4} {}",
+            arm.pending_depth.count(),
+            arm.pending_depth.mean(),
+            arm.pending_depth.max(),
+            quantile_cells(&arm.pending_depth),
         );
     }
     out
@@ -558,6 +597,217 @@ pub fn render_fleet(report: &FleetReport) -> String {
             row.latency.percentile(990),
             row.sim_ns,
         );
+    }
+    out
+}
+
+/// Dashboard rows rendered for at most this many trailing windows (the
+/// burn state still walks every window, so the visible burn columns are
+/// exact).
+const MONITOR_DASHBOARD_WINDOWS: usize = 24;
+
+/// Compact per-window flush attribution: the non-zero trigger reasons.
+fn flush_reason_cells(c: &Counters) -> String {
+    let reasons = [
+        ("size", c.flush_size_triggers),
+        ("deadline", c.flush_deadline_triggers),
+        ("quantum", c.flush_quantum_triggers),
+        ("barrier", c.flush_barrier_triggers),
+        ("explicit", c.flush_explicit_triggers),
+        ("drain", c.flush_drain_triggers),
+    ];
+    let cells: Vec<String> = reasons
+        .iter()
+        .filter(|&&(_, n)| n > 0)
+        .map(|&(reason, n)| format!("{reason} {n}"))
+        .collect();
+    if cells.is_empty() {
+        "-".to_owned()
+    } else {
+        cells.join(" ")
+    }
+}
+
+/// Renders the monitored fleet run: the per-window dashboard over the
+/// fleet-merged ring (QPS, tail latency, error rate, burn rate, parks
+/// and wakes, flush attribution), the advisory degradation log, and
+/// the ejection timeline it predicted. Everything is simulated time
+/// from the seed, so the output is byte-identical across runs.
+#[must_use]
+pub fn render_monitor(report: &FleetReport) -> String {
+    let mut out = String::new();
+    let Some(monitor) = &report.monitor else {
+        let _ = writeln!(out, "monitor: not armed on this run");
+        return out;
+    };
+    let _ = writeln!(
+        out,
+        "SLO monitor: seed {:#x}, {} shards, {} requests, chaos {}, window {} ns",
+        report.seed,
+        report.rows.len(),
+        report.admitted,
+        if report.chaos { "on" } else { "off" },
+        monitor.window_ns,
+    );
+    let _ = writeln!(
+        out,
+        "  policy: p99 <= {} ns, error budget {} ppm, alert at fast {}m / slow {}m burn",
+        monitor.policy.latency_p99_ns,
+        monitor.policy.error_budget_ppm,
+        monitor.policy.fast_alert_milli,
+        monitor.policy.slow_alert_milli,
+    );
+    if let Some(b) = monitor.brownout {
+        let _ = writeln!(
+            out,
+            "  brownout: round {}, {} ppm injection, clock at {}/1000",
+            b.round, b.rate_ppm, b.throttle_milli,
+        );
+    }
+    let windows = monitor.ring.windows();
+    let shown = windows.len().min(MONITOR_DASHBOARD_WINDOWS);
+    let _ = writeln!(
+        out,
+        "  fleet-merged windows: {} held ({} shown), totals {} requests",
+        windows.len(),
+        shown,
+        monitor.ring.totals().requests(),
+    );
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>7} {:>9} {:>9} {:>9} {:>8} {:>6} {:>6} {:>6} {:>7}  {}",
+        "window",
+        "reqs",
+        "req/s",
+        "p50 ns",
+        "p99 ns",
+        "err ppm",
+        "burn",
+        "parks",
+        "wakes",
+        "flushes",
+        "flush reasons",
+    );
+    let mut burn = BurnState::default();
+    let skip = windows.len() - shown;
+    for (i, w) in windows.iter().enumerate() {
+        burn.observe(w.counters.requests_degraded, w.requests());
+        if i < skip {
+            continue;
+        }
+        let (fast, _) = burn.burn_milli(&monitor.policy);
+        let qps = w.requests() * 1_000_000_000 / w.width_ns.max(1);
+        let breached = monitor.degraded.iter().any(|d| d.window == w.index);
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>7} {:>9} {:>9} {:>9} {:>8} {:>6} {:>6} {:>6} {:>7}  {}{}",
+            w.index,
+            w.requests(),
+            qps,
+            w.latency.percentile(500),
+            w.latency.percentile(990),
+            w.error_ppm(),
+            fast,
+            w.counters.go_parks,
+            w.counters.go_wakes,
+            w.counters.batch_flushes,
+            flush_reason_cells(&w.counters),
+            if breached { "  << SLO breach" } else { "" },
+        );
+    }
+    if monitor.degraded.is_empty() {
+        let _ = writeln!(out, "  degradation log: empty (no window breached the SLO)");
+    } else {
+        let _ = writeln!(
+            out,
+            "  degradation log: {} advisory windows",
+            monitor.degraded.len()
+        );
+        for d in &monitor.degraded {
+            let _ = writeln!(
+                out,
+                "    round {:>4}  shard {}  window {:>5}  err {:>7} ppm  p99 {:>9} ns",
+                d.round, d.shard, d.window, d.error_ppm, d.p99_ns,
+            );
+        }
+    }
+    for &(shard, round) in &monitor.eject_rounds {
+        let _ = writeln!(out, "  ejection: shard {shard} at round {round}");
+    }
+    let fmt_round = |r: Option<u64>| r.map_or("-".to_owned(), |r| r.to_string());
+    let _ = writeln!(
+        out,
+        "  first degraded round {} vs first ejection round {} -> advisory signal led: {}",
+        fmt_round(monitor.first_degraded_round()),
+        fmt_round(monitor.first_eject_round()),
+        if monitor.degradation_led_ejection() {
+            "yes"
+        } else if monitor.first_eject_round().is_none() {
+            "n/a (no ejection)"
+        } else {
+            "NO"
+        },
+    );
+    let totals = monitor.ring.totals();
+    let _ = writeln!(
+        out,
+        "  shard-local alerts: {} SLO burns | balancer advisories: {} ShardDegraded events",
+        totals.counters.slo_burns,
+        monitor.telemetry.counters().shards_degraded,
+    );
+    out
+}
+
+/// Renders a frozen flight recording: the trigger, the windows leading
+/// up to it, and the event ring at freeze time. Byte-stable per seed.
+#[must_use]
+pub fn render_flightrec(recording: &FlightRecording) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Flight recording: frozen at {} ns by {}",
+        recording.at_ns, recording.trigger,
+    );
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>7} {:>9} {:>9} {:>8} {:>7} {:>9} {:>8}",
+        "window", "reqs", "p50 ns", "p99 ns", "err ppm", "faults", "injected", "flushes",
+    );
+    for w in &recording.windows {
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>7} {:>9} {:>9} {:>8} {:>7} {:>9} {:>8}",
+            w.index,
+            w.requests(),
+            w.latency.percentile(500),
+            w.latency.percentile(990),
+            w.error_ppm(),
+            w.counters.faults,
+            w.counters.injected_faults,
+            w.counters.batch_flushes,
+        );
+    }
+    let _ = writeln!(out, "  event ring ({} events):", recording.events.len());
+    for e in &recording.events {
+        let _ = writeln!(out, "    [{:>12} ns] {}", e.at_ns, e.event);
+    }
+    out
+}
+
+/// Renders the counter registry: every recorder counter with its
+/// one-line description, in `Counters::to_json` order.
+#[must_use]
+pub fn render_counters_list() -> String {
+    let registry = Counters::registry();
+    let mut out = String::new();
+    let _ = writeln!(out, "Counter registry: {} counters", registry.len());
+    let width = registry
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0);
+    for (name, description) in registry {
+        let _ = writeln!(out, "  {name:<width$}  {description}");
     }
     out
 }

@@ -5,7 +5,7 @@
 use std::process::Command;
 
 /// Every subcommand `repro` dispatches on, in menu order.
-const COMMANDS: [&str; 15] = [
+const COMMANDS: [&str; 18] = [
     "table1",
     "table2",
     "table2-info",
@@ -19,6 +19,9 @@ const COMMANDS: [&str; 15] = [
     "batching",
     "chaos",
     "fleet",
+    "monitor",
+    "flightrec",
+    "counters",
     "trace-export",
     "all",
 ];
@@ -102,5 +105,51 @@ fn batching_json_is_byte_identical_across_runs() {
     assert!(
         first.contains("\"latency\""),
         "per-arm latency histograms are serialized"
+    );
+    assert!(
+        first.contains("\"flush_reasons\""),
+        "per-arm flush attribution is serialized"
+    );
+}
+
+/// The kill-one-shard rehearsal through the CLI: the monitored chaos
+/// run must exit 0 with the advisory signal strictly leading the
+/// ejection, and two runs must render byte-identically.
+#[test]
+fn monitor_chaos_dashboard_shows_the_signal_leading_and_is_stable() {
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["monitor", "--quick", "--chaos", "--seed=7"])
+            .output()
+            .expect("spawn repro");
+        assert!(
+            out.status.success(),
+            "monitor --chaos must pass its invariants: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let first = run();
+    assert_eq!(first, run(), "two runs must render identically");
+    assert!(
+        first.contains("advisory signal led: yes"),
+        "degradation must lead ejection:\n{first}"
+    );
+    assert!(first.contains("SLO breach") || first.contains("degradation log"));
+}
+
+/// The counter registry renders one described line per counter.
+#[test]
+fn counters_lists_the_registry() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["counters", "--list"])
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("Counter registry:"));
+    assert!(
+        stdout.contains("shards_degraded") && stdout.contains("advisory"),
+        "new counters are listed with descriptions:\n{stdout}"
     );
 }

@@ -15,10 +15,11 @@ use enclosure_apps::wiki::WikiApp;
 use enclosure_core::{jittered_backoff, RetryPolicy};
 use enclosure_hw::{InjectionPlan, InjectionSite};
 use enclosure_support::Json;
-use enclosure_telemetry::{Histogram, Recorder};
+use enclosure_telemetry::{Event, Histogram, Recorder, WindowRing};
 use litterbox::{Backend, Fault};
 
 use crate::budget::RetryBudget;
+use crate::monitor::{DegradedWindow, MonitorConfig, MonitorReport};
 use crate::session;
 use crate::shard::{Shard, ShardChaos, ShardState, Workload};
 
@@ -78,6 +79,11 @@ pub struct FleetConfig {
     pub latency_mult: u64,
     /// Gracefully drain this shard at this round (tests/ops rehearsal).
     pub drain_at: Option<(u64, usize)>,
+    /// Opt-in SLO monitoring: shards sample windowed metrics, the
+    /// balancer drains them per round and logs advisory
+    /// `ShardDegraded` events. `None` (the default) changes nothing —
+    /// existing runs stay byte-identical.
+    pub monitor: Option<MonitorConfig>,
 }
 
 impl FleetConfig {
@@ -108,6 +114,7 @@ impl FleetConfig {
             probation_probes: 2,
             latency_mult: 8,
             drain_at: None,
+            monitor: None,
         }
     }
 
@@ -128,6 +135,13 @@ impl FleetConfig {
     pub fn with_chaos(mut self) -> FleetConfig {
         self.chaos = true;
         self.targeted_crash = true;
+        self
+    }
+
+    /// Arms the SLO monitor.
+    #[must_use]
+    pub fn with_monitor(mut self, monitor: MonitorConfig) -> FleetConfig {
+        self.monitor = Some(monitor);
         self
     }
 
@@ -234,6 +248,9 @@ pub struct FleetReport {
     pub fleet_ns: u64,
     /// True if the round cap tripped (a bug — gated by invariants).
     pub truncated: bool,
+    /// The SLO-monitor section, present only when
+    /// [`FleetConfig::monitor`] was armed.
+    pub monitor: Option<MonitorReport>,
 }
 
 impl FleetReport {
@@ -253,7 +270,7 @@ impl FleetReport {
                     .map(|&(name, pm)| (name, Json::U64(h.percentile(pm)))),
             )
         };
-        Json::obj([
+        let mut fields = vec![
             ("seed", Json::U64(self.seed)),
             ("chaos", Json::from(self.chaos)),
             ("admitted", Json::U64(self.admitted)),
@@ -313,7 +330,11 @@ impl FleetReport {
                     ])
                 })),
             ),
-        ])
+        ];
+        if let Some(monitor) = &self.monitor {
+            fields.push(("monitor", monitor.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -412,6 +433,10 @@ pub struct Fleet<W: Workload> {
     partitions: u64,
     probe_flaps: u64,
     truncated: bool,
+    // SLO-monitor state (all empty/None unless cfg.monitor is armed).
+    monitor_rec: Option<Recorder>,
+    degraded_log: Vec<DegradedWindow>,
+    eject_log: Vec<(usize, u64)>,
 }
 
 impl<W: Workload> Fleet<W> {
@@ -426,7 +451,7 @@ impl<W: Workload> Fleet<W> {
         });
         let mut shards = Vec::with_capacity(cfg.shards());
         for (id, &backend) in cfg.backends.iter().enumerate() {
-            shards.push(Shard::spawn(id, backend, cfg.seed, chaos)?);
+            shards.push(Shard::spawn(id, backend, cfg.seed, chaos, cfg.monitor)?);
         }
         // The balancer's own injection plan: fleet sites only, so its
         // draws never perturb any shard's machine stream.
@@ -446,6 +471,13 @@ impl<W: Workload> Fleet<W> {
             (round, victim)
         });
         let budget = RetryBudget::new(cfg.budget_capacity, cfg.budget_refill);
+        // The balancer's own monitor recorder: advisory ShardDegraded
+        // events land here, never on any shard.
+        let monitor_rec = cfg.monitor.map(|_| {
+            let mut rec = Recorder::new();
+            rec.enable_trace(64);
+            rec
+        });
         Ok(Fleet {
             cfg,
             shards,
@@ -468,6 +500,9 @@ impl<W: Workload> Fleet<W> {
             partitions: 0,
             probe_flaps: 0,
             truncated: false,
+            monitor_rec,
+            degraded_log: Vec::new(),
+            eject_log: Vec::new(),
         })
     }
 
@@ -514,6 +549,21 @@ impl<W: Workload> Fleet<W> {
                     self.drain(id);
                 }
             }
+            if let Some(brownout) = self.cfg.monitor.and_then(|m| m.brownout) {
+                if self.round == brownout.round {
+                    if let Some(victim) = self.victim {
+                        // Same derivation discipline as shard chaos: a
+                        // dedicated tag keeps the brownout stream
+                        // disjoint from every other plan's.
+                        let seed = self.cfg.seed ^ 0xb407_0000 ^ victim as u64;
+                        self.shards[victim].brownout(
+                            seed,
+                            brownout.rate_ppm,
+                            brownout.throttle_milli,
+                        );
+                    }
+                }
+            }
             self.respawn_due();
             self.probe_all();
             self.admit(&mut sessions, admission_rate);
@@ -525,6 +575,7 @@ impl<W: Workload> Fleet<W> {
                 } else {
                     served_ns
                 };
+            self.monitor_tick();
         }
         Ok(self.report())
     }
@@ -586,6 +637,7 @@ impl<W: Workload> Fleet<W> {
                     shard.state = ShardState::Ejected {
                         until_round: self.round + self.cfg.eject_cooldown_rounds,
                     };
+                    self.eject_log.push((i, self.round));
                 }
             } else {
                 shard.consecutive_probe_fails = 0;
@@ -758,10 +810,73 @@ impl<W: Workload> Fleet<W> {
                 shard.state = ShardState::Ejected {
                     until_round: self.round + self.cfg.eject_cooldown_rounds,
                 };
+                self.eject_log.push((i, self.round));
             }
         } else {
             shard.latency_strikes = 0;
         }
+    }
+
+    /// End-of-round monitor drain: pulls every window each shard
+    /// closed this round, evaluates it against the SLO policy, and
+    /// logs breaches as advisory [`Event::ShardDegraded`] events in
+    /// the balancer's own recorder. Purely observational — no routing
+    /// state changes here, so arming the monitor cannot perturb any
+    /// byte of an unmonitored run.
+    fn monitor_tick(&mut self) {
+        let Some(monitor) = self.cfg.monitor else {
+            return;
+        };
+        for i in 0..self.shards.len() {
+            for window in self.shards[i].drain_windows() {
+                if !monitor.slo.breached(&window) {
+                    continue;
+                }
+                let observed = DegradedWindow {
+                    round: self.round,
+                    shard: i,
+                    window: window.index,
+                    error_ppm: window.error_ppm(),
+                    p99_ns: window.latency.percentile(990),
+                };
+                self.degraded_log.push(observed);
+                if let Some(rec) = self.monitor_rec.as_mut() {
+                    rec.record(
+                        self.now_ns,
+                        Event::ShardDegraded {
+                            shard: i as u64,
+                            window: observed.window,
+                            error_ppm: observed.error_ppm,
+                            p99_ns: observed.p99_ns,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Builds the monitor section of the report: a final drain, the
+    /// per-shard and fleet-merged window rings, and the advisory logs.
+    fn build_monitor_report(&mut self) -> Option<MonitorReport> {
+        let monitor = self.cfg.monitor?;
+        self.monitor_tick();
+        let mut ring = WindowRing::new(monitor.ring_cap);
+        let mut shard_rings = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            shard.finish_monitor();
+            ring.merge(shard.window_ring());
+            shard_rings.push(shard.window_ring().clone());
+        }
+        Some(MonitorReport {
+            policy: monitor.slo,
+            window_ns: monitor.window_ns,
+            brownout: monitor.brownout,
+            ring,
+            shard_rings,
+            degraded: std::mem::take(&mut self.degraded_log),
+            eject_rounds: std::mem::take(&mut self.eject_log),
+            telemetry: self.monitor_rec.take().unwrap_or_else(Recorder::new),
+        })
     }
 
     /// Retries `casualties` in-flight requests from dead shard `i` on
@@ -808,6 +923,7 @@ impl<W: Workload> Fleet<W> {
 
     /// Builds the final report: per-shard rows plus merged fleet views.
     fn report(mut self) -> FleetReport {
+        let monitor = self.build_monitor_report();
         let mut merged_latency = Histogram::new();
         let mut merged_telemetry = Recorder::new();
         let mut rows = Vec::with_capacity(self.shards.len());
@@ -862,6 +978,7 @@ impl<W: Workload> Fleet<W> {
             rounds: self.round,
             fleet_ns: self.now_ns,
             truncated: self.truncated,
+            monitor,
         }
     }
 }
@@ -869,6 +986,7 @@ impl<W: Workload> Fleet<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::monitor::Brownout;
 
     fn run(cfg: FleetConfig) -> FleetReport {
         WikiFleet::new(cfg).unwrap().run().unwrap()
@@ -939,6 +1057,90 @@ mod tests {
         assert_eq!(report.responses(), 600, "mirroring never double-counts");
         let invariants = check_invariants(&cfg, &report);
         assert_eq!(invariants, Vec::<String>::new());
+    }
+
+    #[test]
+    fn monitor_off_changes_no_byte() {
+        let cfg = FleetConfig::new(4, 800, 0xF1EE7)
+            .mixed_backends()
+            .with_chaos();
+        let plain = run(cfg.clone());
+        let monitored = run(cfg.with_monitor(MonitorConfig::default()));
+        // Arming the sampler perturbs nothing the unmonitored report
+        // contains: every shard byte and every balancer decision is
+        // identical; only the monitor section appears.
+        assert!(monitored.monitor.is_some());
+        let mut replayed = monitored.clone();
+        replayed.monitor = None;
+        assert_eq!(
+            plain.to_json().to_pretty(),
+            replayed.to_json().to_pretty(),
+            "monitoring must be observational"
+        );
+    }
+
+    #[test]
+    fn monitor_windows_conserve_request_mass() {
+        let cfg = FleetConfig::new(3, 900, 21).with_monitor(MonitorConfig::default());
+        let report = run(cfg);
+        let monitor = report.monitor.as_ref().unwrap();
+        let totals = monitor.ring.totals();
+        assert_eq!(
+            totals.requests(),
+            report.merged_telemetry.counters().requests_ok
+                + report.merged_telemetry.counters().requests_degraded,
+            "Σ fleet windows == merged request counters"
+        );
+        let per_shard: u64 = monitor
+            .shard_rings
+            .iter()
+            .map(|r| r.totals().requests())
+            .sum();
+        assert_eq!(totals.requests(), per_shard, "fleet fold conserves mass");
+    }
+
+    #[test]
+    fn brownout_degradation_leads_ejection() {
+        let mut cfg = FleetConfig::new(4, 4_000, 7)
+            .with_chaos()
+            .with_monitor(MonitorConfig {
+                brownout: Some(Brownout {
+                    round: 8,
+                    rate_ppm: 400_000,
+                    throttle_milli: 12_000,
+                }),
+                ..MonitorConfig::default()
+            });
+        // Surgical arm: the brownout and the scheduled kill only. The
+        // outlier detector is tightened the way an operator would for
+        // a latency-sensitive tier: 2 strikes at 3× self-baseline —
+        // the baseline is cumulative, so it absorbs a sustained
+        // brownout within a few rounds and the ratio decays.
+        cfg.fleet_rate_ppm = 0;
+        cfg.backend_rate_ppm = 0;
+        cfg.latency_mult = 3;
+        cfg.eject_after = 2;
+        let report = run(cfg.clone());
+        assert_eq!(check_invariants(&cfg, &report), Vec::<String>::new());
+        let monitor = report.monitor.as_ref().unwrap();
+        eprintln!(
+            "first_degraded={:?} first_eject={:?} ejects={:?} degraded={} victim={:?}",
+            monitor.first_degraded_round(),
+            monitor.first_eject_round(),
+            monitor.eject_rounds,
+            monitor.degraded.len(),
+            report.victim,
+        );
+        assert!(
+            monitor.degradation_led_ejection(),
+            "advisory signal must lead the ejection: {:?} vs {:?}",
+            monitor.first_degraded_round(),
+            monitor.first_eject_round(),
+        );
+        // Every advisory observation names the browned-out victim.
+        let victim = report.victim.unwrap();
+        assert!(monitor.degraded.iter().all(|d| d.shard == victim));
+        assert!(monitor.telemetry.counters().shards_degraded >= 1);
     }
 
     #[test]

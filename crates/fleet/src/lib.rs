@@ -42,6 +42,7 @@
 
 pub mod balancer;
 pub mod budget;
+pub mod monitor;
 pub mod session;
 pub mod shard;
 
@@ -50,6 +51,7 @@ pub use balancer::{
     IDLE_ROUND_NS, PROBE_ROUND_NS,
 };
 pub use budget::RetryBudget;
+pub use monitor::{Brownout, DegradedWindow, MonitorConfig, MonitorReport};
 pub use session::{Session, SessionStream, MAX_SESSION_LEN};
 pub use shard::{Shard, ShardChaos, ShardState, Workload};
 

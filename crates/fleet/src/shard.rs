@@ -8,8 +8,10 @@ use enclosure_apps::httpd::ServeStats;
 use enclosure_apps::wiki::WikiApp;
 use enclosure_hw::InjectionPlan;
 use enclosure_support::XorShift;
-use enclosure_telemetry::{Histogram, Recorder};
+use enclosure_telemetry::{Histogram, MetricsWindow, Recorder, WindowRing};
 use litterbox::{Backend, Fault, LitterBox};
+
+use crate::monitor::MonitorConfig;
 
 /// A serving application a shard can host. The balancer only needs to
 /// build it, push batches of requests through it, and read its machine
@@ -169,6 +171,14 @@ pub struct Shard<W: Workload> {
     pub generation: u32,
     app: Option<W>,
     chaos: Option<ShardChaos>,
+    monitor: Option<MonitorConfig>,
+    // Windows drained from every generation, folded index-by-index (a
+    // respawned clock restarts at zero, so generation 2's window 0 is
+    // the same local epoch as generation 1's).
+    window_ring: WindowRing,
+    // Highest closed-window index already drained from the live
+    // generation's series (None = nothing drained yet).
+    drained_through: Option<u64>,
     // Telemetry archived from crashed generations, folded into the
     // live generation's ledgers at report time (Recorder::merge).
     archive: Recorder,
@@ -221,6 +231,7 @@ impl<W: Workload> Shard<W> {
         backend: Backend,
         seed: u64,
         chaos: Option<ShardChaos>,
+        monitor: Option<MonitorConfig>,
     ) -> Result<Shard<W>, Fault> {
         let mut shard = Shard {
             id,
@@ -230,6 +241,9 @@ impl<W: Workload> Shard<W> {
             generation: 0,
             app: None,
             chaos,
+            monitor,
+            window_ring: WindowRing::new(monitor.map_or(1, |m| m.ring_cap)),
+            drained_through: None,
             archive: Recorder::new(),
             archive_latency: Histogram::new(),
             archive_ns: 0,
@@ -270,8 +284,83 @@ impl<W: Workload> Shard<W> {
                     .arm_injection(InjectionPlan::new(seed, chaos.rate_ppm).with_sites(sites));
             }
         }
+        if let Some(monitor) = self.monitor {
+            // Enabling the sampler changes no event or counter the
+            // machine emits — shard bytes stay identical monitor-on
+            // vs. monitor-off; only the windowed view appears.
+            let rec = app.lb_mut().clock_mut().recorder_mut();
+            rec.enable_series(monitor.window_ns, monitor.ring_cap);
+            rec.set_slo(monitor.slo);
+        }
+        self.drained_through = None;
         self.app = Some(app);
         Ok(())
+    }
+
+    /// Applies a deterministic brownout to the live machine: re-arms
+    /// its injection plan at `rate_ppm` and throttles its clock — the
+    /// shard starts erroring *and* slowing down while still routable.
+    /// No-op on a dead shard.
+    pub fn brownout(&mut self, seed: u64, rate_ppm: u64, throttle_milli: u64) {
+        let Some(app) = self.app.as_mut() else {
+            return;
+        };
+        let sites = self.backend.chaos_sites();
+        let clock = app.lb_mut().clock_mut();
+        if rate_ppm > 0 && !sites.is_empty() {
+            clock.arm_injection(InjectionPlan::new(seed, rate_ppm).with_sites(sites));
+        }
+        if throttle_milli > 0 {
+            clock.set_throttle(throttle_milli);
+        }
+    }
+
+    /// Drains every window the live generation closed since the last
+    /// drain: folds them into the shard's lifetime ring and returns
+    /// them (oldest first) for the balancer to evaluate.
+    pub fn drain_windows(&mut self) -> Vec<MetricsWindow> {
+        let Some(app) = self.app.as_ref() else {
+            return Vec::new();
+        };
+        let Some(series) = app.lb().telemetry().series() else {
+            return Vec::new();
+        };
+        let fresh: Vec<MetricsWindow> = series
+            .ring()
+            .windows()
+            .iter()
+            .filter(|w| self.drained_through.is_none_or(|t| w.index > t))
+            .cloned()
+            .collect();
+        if let Some(last) = fresh.last() {
+            self.drained_through = Some(last.index);
+        }
+        for w in &fresh {
+            self.window_ring.merge_window(w);
+        }
+        fresh
+    }
+
+    /// Final monitor fold at report time: drains the closed tail and
+    /// folds the still-open live window so the lifetime ring carries
+    /// the shard's full mass.
+    pub fn finish_monitor(&mut self) {
+        self.drain_windows();
+        if let Some(app) = self.app.as_ref() {
+            if let Some(series) = app.lb().telemetry().series() {
+                let live = series.live();
+                if live != &MetricsWindow::new(live.index, live.width_ns) {
+                    self.window_ring.merge_window(live);
+                }
+            }
+        }
+    }
+
+    /// The shard's lifetime window ring (all generations drained so
+    /// far).
+    #[must_use]
+    pub fn window_ring(&self) -> &WindowRing {
+        &self.window_ring
     }
 
     /// True if the balancer may route *new* sessions here.
@@ -337,6 +426,9 @@ impl<W: Workload> Shard<W> {
     /// survive the machine) and schedules the respawn. The caller has
     /// already decided what happens to the queue.
     pub fn crash(&mut self, respawn_at_ns: u64) {
+        // The dying generation's windows survive in the lifetime ring
+        // even though its machine (and series) are about to go away.
+        self.finish_monitor();
         if let Some(mut app) = self.app.take() {
             let now = app.lb().now_ns();
             let rec = app.lb_mut().clock_mut().recorder_mut();

@@ -71,6 +71,7 @@ pub struct Clock {
     recorder: Recorder,
     injection: Option<InjectionPlan>,
     injection_suspended: u32,
+    throttle_milli: u64,
 }
 
 impl Clock {
@@ -84,7 +85,30 @@ impl Clock {
             recorder: Recorder::new(),
             injection: None,
             injection_suspended: 0,
+            throttle_milli: 1_000,
         }
+    }
+
+    /// Sets the clock's throttle in thousandths: 1000 (the default)
+    /// charges model costs verbatim; 4000 charges everything at 4× —
+    /// the simulated analog of thermal or cgroup throttling. Purely a
+    /// multiplier on subsequent charges; already-elapsed time is
+    /// untouched. The fleet's brownout uses this to make a shard
+    /// *genuinely slow*, not just erroring.
+    pub fn set_throttle(&mut self, milli: u64) {
+        self.throttle_milli = milli.max(1);
+    }
+
+    /// The current throttle, thousandths (1000 = none).
+    #[must_use]
+    pub fn throttle_milli(&self) -> u64 {
+        self.throttle_milli
+    }
+
+    /// Advances simulated time by `ns` scaled by the throttle — the
+    /// single funnel every charge goes through.
+    fn tick(&mut self, ns: u64) {
+        self.now_ns += ns * self.throttle_milli / 1_000;
     }
 
     /// Arms a fault-injection plan. Armed sites consult the plan on
@@ -188,46 +212,46 @@ impl Clock {
 
     /// Advances the clock by an arbitrary workload compute cost.
     pub fn advance(&mut self, ns: u64) {
-        self.now_ns += ns;
+        self.tick(ns);
     }
 
     /// Charges a vanilla closure call/return.
     pub fn charge_call(&mut self) {
-        self.now_ns += self.model.call_base;
+        self.tick(self.model.call_base);
     }
 
     /// Charges one PKRU write.
     pub fn charge_wrpkru(&mut self) {
-        self.now_ns += self.model.wrpkru;
+        self.tick(self.model.wrpkru);
         self.stats.wrpkru += 1;
     }
 
     /// Charges a call-site verification against the `.verif` list.
     pub fn charge_callsite_check(&mut self) {
-        self.now_ns += self.model.callsite_check;
+        self.tick(self.model.callsite_check);
     }
 
     /// Charges one LB_VTX guest syscall (CR3 rewrite path).
     pub fn charge_guest_syscall(&mut self) {
-        self.now_ns += self.model.guest_syscall;
+        self.tick(self.model.guest_syscall);
         self.stats.guest_syscalls += 1;
     }
 
     /// Charges a host syscall's user/kernel crossing.
     pub fn charge_kernel_syscall(&mut self) {
-        self.now_ns += self.model.kernel_syscall;
+        self.tick(self.model.kernel_syscall);
         self.stats.syscalls += 1;
     }
 
     /// Charges a seccomp-BPF evaluation.
     pub fn charge_seccomp(&mut self) {
-        self.now_ns += self.model.seccomp_check;
+        self.tick(self.model.seccomp_check);
         self.stats.seccomp_checks += 1;
     }
 
     /// Charges a VM EXIT/RESUME roundtrip.
     pub fn charge_vm_exit(&mut self) {
-        self.now_ns += self.model.vm_exit;
+        self.tick(self.model.vm_exit);
         self.stats.vm_exits += 1;
         self.record(Event::VmExit);
     }
@@ -243,7 +267,7 @@ impl Clock {
     pub fn charge_pkey_mprotect_pages(&mut self, pages: u64) {
         let units = pages.div_ceil(4).max(1);
         let ns = self.model.pkey_mprotect * units;
-        self.now_ns += ns;
+        self.tick(ns);
         self.stats.transfers += 1;
         self.recorder.record_op("pkey_mprotect", ns);
         self.record(Event::PkeyMprotect { pages });
@@ -257,7 +281,7 @@ impl Clock {
     pub fn charge_key_bind_pages(&mut self, vkey: u32, hkey: u8, pages: u64) {
         let units = pages.div_ceil(4).max(1);
         let ns = self.model.pkey_mprotect * units;
-        self.now_ns += ns;
+        self.tick(ns);
         self.stats.key_binds += 1;
         self.recorder.record_op("key_bind", ns);
         self.record(Event::KeyBind { vkey, hkey, pages });
@@ -270,7 +294,7 @@ impl Clock {
     pub fn charge_key_evict_pages(&mut self, vkey: u32, hkey: u8, pages: u64) {
         let units = pages.div_ceil(4).max(1);
         let ns = self.model.pkey_mprotect * units;
-        self.now_ns += ns;
+        self.tick(ns);
         self.stats.key_evictions += 1;
         self.recorder.record_op("key_evict", ns);
         self.record(Event::KeyEvict {
@@ -295,7 +319,7 @@ impl Clock {
         let total_pages: u64 = victims.iter().map(|(_, _, pages)| pages).sum();
         let units = total_pages.div_ceil(4).max(1);
         let total_ns = self.model.pkey_mprotect * units;
-        self.now_ns += total_ns;
+        self.tick(total_ns);
         self.recorder.record_op("key_evict_sweep", total_ns);
         let mut remaining_ns = total_ns;
         for (i, &(vkey, hkey, pages)) in victims.iter().enumerate() {
@@ -327,7 +351,7 @@ impl Clock {
     /// per 4 pages; presence-bit flips are cheap but still per-PTE).
     pub fn charge_vtx_transfer_pages(&mut self, pages: u64) {
         let units = pages.div_ceil(4).max(1);
-        self.now_ns += self.model.vtx_transfer * units;
+        self.tick(self.model.vtx_transfer * units);
         self.stats.transfers += 1;
     }
 
@@ -337,7 +361,7 @@ impl Clock {
     /// child crash).
     pub fn charge_fork_spawn(&mut self, env: u32, respawn: bool) {
         let ns = self.model.fork_spawn;
-        self.now_ns += ns;
+        self.tick(ns);
         self.stats.proc_spawns += 1;
         self.recorder.record_op("fork_spawn", ns);
         self.record(Event::ProcSpawn { env, respawn });
@@ -347,7 +371,7 @@ impl Clock {
     /// the supervisor↔child socketpair.
     pub fn charge_ipc_roundtrip(&mut self, env: u32) {
         let ns = self.model.ipc_roundtrip;
-        self.now_ns += ns;
+        self.tick(ns);
         self.stats.ipc_roundtrips += 1;
         self.recorder.record_op("ipc_roundtrip", ns);
         self.record(Event::IpcCrossing { env });
@@ -357,7 +381,7 @@ impl Clock {
     /// traffic: page contents shipped to/from a child's address space,
     /// one message per 4-page unit).
     pub fn charge_pipe_msg(&mut self) {
-        self.now_ns += self.model.pipe_msg;
+        self.tick(self.model.pipe_msg);
         self.stats.pipe_msgs += 1;
     }
 
@@ -367,7 +391,7 @@ impl Clock {
     pub fn charge_proc_transfer_pages(&mut self, pages: u64) {
         let units = pages.div_ceil(4).max(1);
         let ns = self.model.pipe_msg * units;
-        self.now_ns += ns;
+        self.tick(ns);
         self.stats.pipe_msgs += units;
         self.stats.transfers += 1;
         self.recorder.record_op("proc_transfer", ns);

@@ -439,6 +439,10 @@ impl LitterBox {
         });
         let now = clock.now_ns();
         clock.recorder_mut().end_span(now);
+        // Every flush reason converges here, so this is the reactor's
+        // sampler tick: metrics windows close at batch boundaries even
+        // when no further event lands in them.
+        clock.recorder_mut().tick_series(now);
         state.oldest_enqueue_ns = None;
         self.batch = Some(state);
         Ok(n)
@@ -450,6 +454,13 @@ impl LitterBox {
     /// cannot observe failing — fault coverage lives on the explicit
     /// [`LitterBox::batch_flush`] path.
     pub(crate) fn flush_batch_barrier(&mut self) {
+        // Barriers tick the window sampler even when there is nothing
+        // to flush: a switch boundary is a time edge worth observing,
+        // and the tick emits no events (so an empty barrier still
+        // charges — and records — nothing).
+        let clock = self.clock_mut();
+        let now = clock.now_ns();
+        clock.recorder_mut().tick_series(now);
         if self.batch.as_ref().is_none_or(|b| b.ring.pending() == 0) {
             return;
         }

@@ -182,6 +182,45 @@ pub enum Event {
         token: u64,
     },
 
+    // --- Serving / time-series --------------------------------------------
+    /// One application request left the serving path: `ns` is its
+    /// accept→reply latency in simulated nanoseconds, `ok` is whether
+    /// it completed cleanly (degraded responses — 503s, fast-fails,
+    /// exhausted retries — record `ok: false`). This is the per-request
+    /// signal the windowed sampler turns into QPS / error-rate /
+    /// latency series.
+    RequestServed {
+        /// Accept→reply simulated nanoseconds.
+        ns: u64,
+        /// Whether the request completed without degradation.
+        ok: bool,
+    },
+    /// The error-budget burn rate crossed the multi-window alert
+    /// thresholds when a metrics window closed (see `slo.rs`: fast
+    /// 5-window and slow 30-window horizons must both burn).
+    SloBurn {
+        /// Index of the window whose close fired the alert.
+        window: u64,
+        /// Error-budget burn over the fast horizon, in thousandths
+        /// (1000 = burning exactly at budget).
+        fast_burn_milli: u64,
+        /// Error-budget burn over the slow horizon, in thousandths.
+        slow_burn_milli: u64,
+    },
+    /// The fleet balancer observed an SLO-breaching metrics window on a
+    /// shard — an advisory early-warning signal only; routing and
+    /// ejection decisions are unchanged by it.
+    ShardDegraded {
+        /// Shard id.
+        shard: u64,
+        /// The breaching window's index on the shard's clock.
+        window: u64,
+        /// The window's error rate in parts per million.
+        error_ppm: u64,
+        /// The window's p99 latency in simulated nanoseconds.
+        p99_ns: u64,
+    },
+
     // --- gofront ---------------------------------------------------------
     /// The Go scheduler rescheduled a goroutine across environments via
     /// `Execute`.
@@ -337,6 +376,28 @@ impl fmt::Display for Event {
             Event::GoWake { goroutine, token } => {
                 write!(f, "go_wake g{goroutine} token={token}")
             }
+            Event::RequestServed { ns, ok } => write!(
+                f,
+                "request_served ns={ns} {}",
+                if *ok { "ok" } else { "degraded" }
+            ),
+            Event::SloBurn {
+                window,
+                fast_burn_milli,
+                slow_burn_milli,
+            } => write!(
+                f,
+                "slo_burn window={window} fast={fast_burn_milli} slow={slow_burn_milli}"
+            ),
+            Event::ShardDegraded {
+                shard,
+                window,
+                error_ppm,
+                p99_ns,
+            } => write!(
+                f,
+                "shard_degraded shard={shard} window={window} error_ppm={error_ppm} p99_ns={p99_ns}"
+            ),
             Event::Reschedule { goroutine, to_env } => {
                 write!(f, "reschedule g{goroutine} to_env={to_env}")
             }

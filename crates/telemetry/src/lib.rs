@@ -31,6 +31,12 @@
 //! * exporters — [`chrome_trace`] (Perfetto / `chrome://tracing`
 //!   JSON, one track per goroutine) and [`folded_stacks`] (flamegraph
 //!   text) serialize the span tree.
+//! * time series — [`Recorder::enable_series`] cuts every ledger above
+//!   into fixed-width [`MetricsWindow`]s on the simulated clock, held
+//!   in a bounded [`WindowRing`]; an [`SloPolicy`] evaluates each
+//!   window close with multi-window burn-rate alerting, and an armed
+//!   flight recorder freezes the recent windows + event ring into a
+//!   [`FlightRecording`] on the first fault/chaos/breaker event.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,10 +45,16 @@ mod event;
 mod export;
 mod hist;
 mod recorder;
+mod series;
+mod slo;
 
 pub use event::Event;
 pub use export::{chrome_trace, folded_stacks};
 pub use hist::Histogram;
 pub use recorder::{
     Counters, Recorder, SpanCost, SpanId, SpanNode, SpanScope, TracedEvent, TrackCost, MAIN_TRACK,
+};
+pub use series::{MetricsWindow, Series, WindowRing, DEFAULT_RING_CAP, DEFAULT_WINDOW_NS};
+pub use slo::{
+    is_flight_trigger, BurnState, FlightRecording, SloPolicy, FAST_WINDOWS, SLOW_WINDOWS,
 };

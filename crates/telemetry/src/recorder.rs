@@ -7,6 +7,8 @@ use enclosure_support::Json;
 
 use crate::event::Event;
 use crate::hist::Histogram;
+use crate::series::{MetricsWindow, Series};
+use crate::slo::{is_flight_trigger, FlightRecording, SloPolicy};
 
 /// Always-on monotonic counters, bumped on every [`Event`]. Each field
 /// is the number of occurrences (or accumulated quantity) since the
@@ -112,6 +114,15 @@ pub struct Counters {
     /// Batch flushes draining the ring when only parked goroutines
     /// remained runnable.
     pub flush_drain_triggers: u64,
+    /// Application requests that completed cleanly (accept→reply).
+    pub requests_ok: u64,
+    /// Application requests that completed degraded (503s, fast-fails,
+    /// exhausted retries).
+    pub requests_degraded: u64,
+    /// Multi-window error-budget burn alerts fired at window close.
+    pub slo_burns: u64,
+    /// Advisory shard-degradation signals logged by the fleet monitor.
+    pub shards_degraded: u64,
 }
 
 impl Counters {
@@ -183,7 +194,136 @@ impl Counters {
                 Json::U64(self.flush_explicit_triggers),
             ),
             ("flush_drain_triggers", Json::U64(self.flush_drain_triggers)),
+            ("requests_ok", Json::U64(self.requests_ok)),
+            ("requests_degraded", Json::U64(self.requests_degraded)),
+            ("slo_burns", Json::U64(self.slo_burns)),
+            ("shards_degraded", Json::U64(self.shards_degraded)),
         ])
+    }
+
+    /// The counter registry: every counter name paired with a one-line
+    /// description, in declaration (= [`Counters::to_json`]) order.
+    /// `repro counters --list` renders it, and a property test pins it
+    /// against the JSON dump so a counter cannot ship undocumented.
+    #[must_use]
+    pub fn registry() -> &'static [(&'static str, &'static str)] {
+        &[
+            ("inits", "full Init calls"),
+            ("incremental_inits", "incremental (lazy-import) Init calls"),
+            ("init_ns", "simulated ns of delayed initialization"),
+            ("prologs", "enclosure entries (Prolog calls)"),
+            ("epilogs", "enclosure exits (Epilog calls)"),
+            ("executes", "Execute reschedules to another environment"),
+            ("transfers", "Transfer calls between package arenas"),
+            ("transfer_pages", "pages moved by Transfer"),
+            ("filter_syscalls", "FilterSyscall evaluations"),
+            ("filter_denied", "FilterSyscall denials"),
+            ("view_updates", "enclosure view updates after declaration"),
+            ("faults", "faults raised (memory, denial, escalation, ...)"),
+            ("wrpkru_writes", "WRPKRU writes (MPK switches)"),
+            ("cr3_writes", "CR3 rewrites (VTX guest-syscall switches)"),
+            ("vm_exits", "VM EXITs to the host (VTX host syscalls)"),
+            ("pkey_mprotects", "pkey_mprotect invocations"),
+            ("pkey_mprotect_pages", "pages retagged by pkey_mprotect"),
+            ("key_binds", "virtual->hardware key bindings"),
+            (
+                "key_evictions",
+                "virtual-key evictions (hardware key recycled)",
+            ),
+            ("key_eviction_pages", "pages swept unreachable by evictions"),
+            ("key_eviction_ns", "simulated ns spent in eviction sweeps"),
+            (
+                "proc_spawns",
+                "sandbox children forked (LB_PROC spawns + respawns)",
+            ),
+            (
+                "proc_respawns",
+                "supervisor respawns after child crashes (LB_PROC)",
+            ),
+            (
+                "ipc_crossings",
+                "charged IPC round-trips to sandbox children (LB_PROC)",
+            ),
+            ("syscall_entries", "kernel syscall entries (post-filter)"),
+            (
+                "enclosed_syscall_entries",
+                "syscall entries made from inside an enclosure",
+            ),
+            ("seccomp_verdicts", "seccomp verdicts evaluated"),
+            ("seccomp_denied", "seccomp denials"),
+            (
+                "batch_flushes",
+                "batched-gateway flushes (one charged crossing each)",
+            ),
+            (
+                "batched_syscalls",
+                "syscalls serviced through batched flushes",
+            ),
+            ("reschedules", "goroutine reschedules across environments"),
+            ("span_transfers", "heap-span transfers"),
+            ("gc_pauses", "stop-the-world GC pauses"),
+            ("gc_pause_ns", "accumulated GC pause ns"),
+            (
+                "metadata_switches",
+                "metadata trusted round trips (two switches each)",
+            ),
+            (
+                "injected_faults",
+                "failures produced by the fault-injection plan",
+            ),
+            ("retries", "supervised retries after transient faults"),
+            (
+                "breaker_trips",
+                "circuit-breaker trips (enclosure quarantines)",
+            ),
+            (
+                "breaker_fast_fails",
+                "calls fast-failed against a quarantined enclosure",
+            ),
+            (
+                "span_imbalances",
+                "span-stack truncations (unbalanced end_span or reset)",
+            ),
+            (
+                "go_parks",
+                "goroutines parked on a pending batch completion",
+            ),
+            ("go_wakes", "parked goroutines woken by a posted completion"),
+            (
+                "flush_size_triggers",
+                "batch flushes from the adaptive size threshold",
+            ),
+            (
+                "flush_deadline_triggers",
+                "batch flushes from the adaptive deadline",
+            ),
+            (
+                "flush_quantum_triggers",
+                "batch flushes at a scheduler quantum boundary",
+            ),
+            (
+                "flush_barrier_triggers",
+                "batch flushes forced by a switch barrier",
+            ),
+            (
+                "flush_explicit_triggers",
+                "batch flushes requested by the application",
+            ),
+            (
+                "flush_drain_triggers",
+                "batch flushes draining for parked goroutines",
+            ),
+            ("requests_ok", "application requests completed cleanly"),
+            (
+                "requests_degraded",
+                "application requests completed degraded",
+            ),
+            ("slo_burns", "multi-window error-budget burn alerts"),
+            (
+                "shards_degraded",
+                "advisory shard-degradation signals (fleet monitor)",
+            ),
+        ]
     }
 
     /// Adds `other`'s counts field-by-field — the fleet-view fold for
@@ -241,6 +381,10 @@ impl Counters {
             flush_barrier_triggers,
             flush_explicit_triggers,
             flush_drain_triggers,
+            requests_ok,
+            requests_degraded,
+            slo_burns,
+            shards_degraded,
         } = *other;
         self.inits += inits;
         self.incremental_inits += incremental_inits;
@@ -290,9 +434,13 @@ impl Counters {
         self.flush_barrier_triggers += flush_barrier_triggers;
         self.flush_explicit_triggers += flush_explicit_triggers;
         self.flush_drain_triggers += flush_drain_triggers;
+        self.requests_ok += requests_ok;
+        self.requests_degraded += requests_degraded;
+        self.slo_burns += slo_burns;
+        self.shards_degraded += shards_degraded;
     }
 
-    fn bump(&mut self, event: &Event) {
+    pub(crate) fn bump(&mut self, event: &Event) {
         match event {
             Event::Init {
                 incremental, ns, ..
@@ -378,6 +526,15 @@ impl Counters {
             Event::BreakerTrip { .. } => self.breaker_trips += 1,
             Event::BreakerFastFail { .. } => self.breaker_fast_fails += 1,
             Event::SpanImbalance { .. } => self.span_imbalances += 1,
+            Event::RequestServed { ok, .. } => {
+                if *ok {
+                    self.requests_ok += 1;
+                } else {
+                    self.requests_degraded += 1;
+                }
+            }
+            Event::SloBurn { .. } => self.slo_burns += 1,
+            Event::ShardDegraded { .. } => self.shards_degraded += 1,
             Event::IncrementalInit { .. } => {}
         }
     }
@@ -521,6 +678,12 @@ pub struct Recorder {
     // Per-operation cost distributions (switches, pkey_mprotect
     // sweeps, key binds/evictions, ...).
     ops: BTreeMap<&'static str, Histogram>,
+    // Windowed time-series sampler (opt-in; every ledger above also
+    // accumulates into the live window while enabled).
+    series: Option<Box<Series>>,
+    // Flight recorder: armed depth (0 = disarmed) and the frozen dump.
+    flight_cap: usize,
+    flight: Option<Box<FlightRecording>>,
 }
 
 impl Recorder {
@@ -530,11 +693,26 @@ impl Recorder {
         Recorder::default()
     }
 
-    /// Records one event at simulated time `now_ns`: bumps counters and,
-    /// when tracing is enabled, appends to the bounded ring (evicting
-    /// the oldest event once full).
+    /// Records one event at simulated time `now_ns`: advances the
+    /// window sampler (when enabled), bumps counters (final and live
+    /// window), and, when tracing is enabled, appends to the bounded
+    /// ring (evicting the oldest event once full). The first
+    /// fault/chaos/breaker event freezes the armed flight recorder.
     pub fn record(&mut self, now_ns: u64, event: Event) {
+        self.advance_series(now_ns);
         self.counters.bump(&event);
+        if let Some(series) = &mut self.series {
+            series.observe(&event);
+        }
+        let freeze = self.flight_cap > 0 && self.flight.is_none() && is_flight_trigger(&event);
+        let trigger = freeze.then(|| event.clone());
+        self.push_ring(now_ns, event);
+        if let Some(trigger) = trigger {
+            self.freeze_flight(now_ns, trigger);
+        }
+    }
+
+    fn push_ring(&mut self, now_ns: u64, event: Event) {
         if self.ring_cap > 0 {
             if self.ring.len() == self.ring_cap {
                 self.ring.pop_front();
@@ -544,6 +722,87 @@ impl Recorder {
                 event,
             });
         }
+    }
+
+    /// Advances the window sampler to `now_ns`, recording any
+    /// [`Event::SloBurn`] alerts the window closes fired. Flush
+    /// barriers call this explicitly (via the clock) so windows close
+    /// at batch boundaries even when the boundary itself records no
+    /// event; every timestamped `record` also advances lazily.
+    pub fn tick_series(&mut self, now_ns: u64) {
+        self.advance_series(now_ns);
+    }
+
+    fn advance_series(&mut self, now_ns: u64) {
+        let alerts = match &mut self.series {
+            Some(series) => series.advance(now_ns),
+            None => return,
+        };
+        for alert in alerts {
+            self.counters.bump(&alert);
+            if let Some(series) = &mut self.series {
+                series.observe(&alert);
+            }
+            self.push_ring(now_ns, alert);
+        }
+    }
+
+    /// Enables the windowed time-series sampler: `width_ns`-wide
+    /// windows on this recorder's clock, at most `ring_cap` closed
+    /// windows held (older windows fold into the ring's totals
+    /// accumulator, so window mass is never lost). Re-enabling replaces
+    /// any existing series.
+    pub fn enable_series(&mut self, width_ns: u64, ring_cap: usize) {
+        self.series = Some(Box::new(Series::new(width_ns, ring_cap)));
+    }
+
+    /// Attaches an SLO policy to the enabled series; window closes
+    /// evaluate it and record [`Event::SloBurn`] when both burn
+    /// horizons alert. No-op until [`Recorder::enable_series`] ran.
+    pub fn set_slo(&mut self, policy: SloPolicy) {
+        if let Some(series) = &mut self.series {
+            series.set_slo(policy);
+        }
+    }
+
+    /// The window sampler, if enabled.
+    #[must_use]
+    pub fn series(&self) -> Option<&Series> {
+        self.series.as_deref()
+    }
+
+    /// Arms the flight recorder: the first fault/chaos/breaker event
+    /// freezes the last `depth` windows (live included) and the event
+    /// ring into a [`FlightRecording`]. `0` disarms.
+    pub fn arm_flight_recorder(&mut self, depth: usize) {
+        self.flight_cap = depth;
+    }
+
+    /// The frozen flight recording, if a trigger fired since arming.
+    #[must_use]
+    pub fn flight_recording(&self) -> Option<&FlightRecording> {
+        self.flight.as_deref()
+    }
+
+    /// Clears a frozen recording so the next trigger freezes again.
+    pub fn rearm_flight_recorder(&mut self) {
+        self.flight = None;
+    }
+
+    fn freeze_flight(&mut self, now_ns: u64, trigger: Event) {
+        let mut windows: Vec<MetricsWindow> = Vec::new();
+        if let Some(series) = &self.series {
+            let ring = series.ring().windows();
+            let keep = self.flight_cap.saturating_sub(1).min(ring.len());
+            windows.extend(ring.iter().skip(ring.len() - keep).cloned());
+            windows.push(series.live().clone());
+        }
+        self.flight = Some(Box::new(FlightRecording {
+            at_ns: now_ns,
+            trigger,
+            windows,
+            events: self.ring.iter().cloned().collect(),
+        }));
     }
 
     /// Enables event tracing with a ring of `capacity` events
@@ -682,12 +941,16 @@ impl Recorder {
     }
 
     fn close_slice(&mut self, now_ns: u64) {
+        self.advance_series(now_ns);
         let elapsed = now_ns.saturating_sub(self.slice_start_ns);
         if elapsed > 0 {
             *self
                 .track_ns
                 .entry((self.cur_track, self.cur_env))
                 .or_default() += elapsed;
+            if let Some(series) = &mut self.series {
+                series.observe_slice(elapsed);
+            }
         }
         self.slice_start_ns = now_ns;
     }
@@ -723,6 +986,9 @@ impl Recorder {
     /// (e.g. `"switch"`, `"pkey_mprotect"`, `"key_evict"`).
     pub fn record_op(&mut self, op: &'static str, ns: u64) {
         self.ops.entry(op).or_default().record(ns);
+        if let Some(series) = &mut self.series {
+            series.observe_op(op, ns);
+        }
     }
 
     /// Per-operation cost histograms, ordered by operation name.
@@ -849,6 +1115,19 @@ impl Recorder {
         self.track_ns.clear();
         self.track_names.clear();
         self.ops.clear();
+        // A fresh series epoch keeps the sampler settings (width, ring
+        // bound, SLO policy) but drops the windows, same as the trace
+        // ring keeping its capacity. The flight recorder stays armed;
+        // a frozen dump is cleared with the epoch.
+        if let Some(series) = &self.series {
+            let (width, slo) = (series.width_ns(), series.slo().copied());
+            let mut fresh = Series::new(width, series.ring().cap());
+            if let Some(policy) = slo {
+                fresh.set_slo(policy);
+            }
+            self.series = Some(Box::new(fresh));
+        }
+        self.flight = None;
         if dropped > 0 {
             self.record(
                 now_ns,
@@ -864,6 +1143,30 @@ impl Recorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A counter cannot ship undocumented: the registry must carry one
+    /// entry per [`Counters::to_json`] key, in the same order, with a
+    /// real description — adding a counter field without a registry
+    /// line (or with a placeholder description) fails here.
+    #[test]
+    fn registry_documents_every_counter_in_json_order() {
+        let Json::Obj(pairs) = Counters::default().to_json() else {
+            panic!("counters serialize to an object");
+        };
+        let registry = Counters::registry();
+        assert_eq!(
+            pairs.len(),
+            registry.len(),
+            "registry entry count matches the JSON dump"
+        );
+        for ((key, _), &(name, description)) in pairs.iter().zip(registry) {
+            assert_eq!(key, name, "registry order matches JSON key order");
+            assert!(
+                description.trim().len() >= 8,
+                "counter '{name}' is missing a usable description: {description:?}"
+            );
+        }
+    }
 
     #[test]
     fn counters_bump_per_event() {

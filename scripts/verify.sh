@@ -201,4 +201,64 @@ grep -q "invariants: OK" "$fleet_out/f1.txt"
 echo "== fleet: tier-1 containment suite =="
 cargo test -q --offline --test fleet_serving
 
+echo "== monitor: SLO dashboard deterministic, signal leads ejection =="
+monitor_out="$(mktemp -d)"
+trap 'rm -rf "$chaos_out" "$trace_out" "$fleet_out" "$monitor_out"' EXIT
+# Text and JSON are both byte-identical per seed; the binary itself
+# exits non-zero unless the advisory degradation signal strictly leads
+# the outlier ejection in the kill-one-shard rehearsal.
+./target/release/repro monitor --quick --chaos --seed=7 > "$monitor_out/a.txt"
+./target/release/repro monitor --quick --chaos --seed=7 > "$monitor_out/b.txt"
+cmp "$monitor_out/a.txt" "$monitor_out/b.txt"
+grep -q "advisory signal led: yes" "$monitor_out/a.txt"
+./target/release/repro monitor --quick --chaos --seed=7 --json > "$monitor_out/a.json"
+./target/release/repro monitor --quick --chaos --seed=7 --json > "$monitor_out/b.json"
+cmp "$monitor_out/a.json" "$monitor_out/b.json"
+python3 - "$monitor_out/a.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert not doc["invariant_violations"], doc["invariant_violations"]
+m = doc["monitor"]
+assert m["degradation_led_ejection"] is True, m
+assert m["first_degraded_round"] < m["first_eject_round"], m
+assert m["shards_degraded"] >= 1, m
+# Fleet-merged window mass covers every admitted request.
+mass = sum(w["requests_ok"] + w["requests_degraded"] for w in m["windows"])
+assert mass >= doc["admitted"] - 64, (mass, doc["admitted"])  # minus any evicted fold
+print(f"monitor OK: degraded r{m['first_degraded_round']} < eject r{m['first_eject_round']}, "
+      f"{len(m['degraded'])} advisories over {len(m['windows'])} windows")
+PY
+
+echo "== flight recorder: dump byte-stable per seed =="
+./target/release/repro flightrec --json > "$monitor_out/fr1.json"
+./target/release/repro flightrec --json > "$monitor_out/fr2.json"
+cmp "$monitor_out/fr1.json" "$monitor_out/fr2.json"
+
+echo "== perf snapshot: BENCH_9.json (ns/req per backend) =="
+./target/release/repro batching --quick --json > "$monitor_out/batching_quick.json"
+python3 - "$monitor_out/batching_quick.json" > BENCH_9.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+arms = {(a["backend"], a["mode"]): a for a in doc["arms"]}
+snapshot = {
+    "bench": "batching --quick",
+    "requests_per_arm": doc["requests"],
+    "backends": {
+        backend: {
+            "async_c8_ns_per_req": arms[(backend, "async_c8")]["sim_ns"] // doc["requests"],
+            "batched_c8_ns_per_req": arms[(backend, "batched_c8")]["sim_ns"] // doc["requests"],
+            "unbatched_ns_per_req": arms[(backend, "unbatched")]["sim_ns"] // doc["requests"],
+        }
+        for backend in ("LB_MPK", "LB_VTX", "LB_PROC")
+    },
+}
+json.dump(snapshot, sys.stdout, indent=2)
+print()
+PY
+python3 -c "import json; json.load(open('BENCH_9.json'))"
+
 echo "verify: OK"

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 
 use enclosure_apps::plotlib::{self, PlotConfig};
 use enclosure_apps::wiki::WikiApp;
+use enclosure_fleet::{FleetConfig, WikiFleet};
 use enclosure_pyfront::MetadataMode;
 use enclosure_repro::core::{App, Enclosure, Policy};
 use enclosure_telemetry::{Recorder, SpanScope, MAIN_TRACK};
@@ -392,6 +393,85 @@ fn conservative_switches_dwarf_decoupled() {
         conservative.counters.metadata_switches
     );
     assert_eq!(optimized.counters.metadata_switches, 0);
+}
+
+/// Span hygiene survives the fleet's hostile paths: a chaos run with a
+/// scheduled shard kill, random fleet faults, *and* a graceful drain
+/// must leave every shard's merged span stack balanced — crash
+/// teardown, respawn adoption, and drain flushes all close what they
+/// open. A regression here means some fleet path dropped or duplicated
+/// an `end_span`.
+#[test]
+fn fleet_chaos_and_drain_leave_span_stacks_balanced() {
+    let mut cfg = FleetConfig::new(3, 600, 11).mixed_backends().with_chaos();
+    cfg.drain_at = Some((6, 1));
+    let report = WikiFleet::new(cfg).unwrap().run().unwrap();
+    assert!(report.crashes > 0, "the scheduled kill fired");
+    for row in &report.rows {
+        assert_eq!(
+            row.telemetry.counters().span_imbalances,
+            0,
+            "shard {} ({}, state {}): unbalanced span stack",
+            row.id,
+            row.backend,
+            row.state,
+        );
+    }
+}
+
+/// Σ windows == final ledgers, end-to-end on every backend: with the
+/// windowed sampler armed (small ring, so eviction folding is
+/// exercised), the fold of every window ever cut — closed, evicted,
+/// and live — equals the recorder's end-of-run counters exactly.
+#[test]
+fn windowed_series_conserves_mass_on_every_backend() {
+    for backend in [Backend::Mpk, Backend::Vtx, Backend::Proc] {
+        let mut app = WikiApp::new(backend).unwrap();
+        app.set_async_io(true);
+        app.runtime_mut()
+            .lb_mut()
+            .clock_mut()
+            .recorder_mut()
+            .enable_series(50_000, 8);
+        app.serve_requests(40).unwrap();
+        let rec = app.runtime().lb().telemetry();
+        let series = rec.series().expect("sampler armed");
+        let totals = series.totals();
+        let c = rec.counters();
+        assert!(
+            series.ring().windows().len() <= 8,
+            "{backend}: ring stays bounded"
+        );
+        assert_eq!(totals.counters.requests_ok, c.requests_ok, "{backend}");
+        assert_eq!(
+            totals.counters.requests_degraded, c.requests_degraded,
+            "{backend}"
+        );
+        assert_eq!(totals.counters.batch_flushes, c.batch_flushes, "{backend}");
+        assert_eq!(totals.counters.go_parks, c.go_parks, "{backend}");
+        assert_eq!(totals.counters.go_wakes, c.go_wakes, "{backend}");
+        assert_eq!(
+            totals.counters.batched_syscalls, c.batched_syscalls,
+            "{backend}"
+        );
+        assert_eq!(
+            totals.latency.count(),
+            c.requests_ok + c.requests_degraded,
+            "{backend}: every served request left a window latency sample"
+        );
+    }
+}
+
+/// The black-box dump is evidence: two flight-recorder runs at the
+/// same seed freeze byte-identical recordings (windows, ring, trigger
+/// — the whole serialized dump).
+#[test]
+fn flight_recorder_dump_is_byte_identical_across_same_seed_runs() {
+    let a = enclosure_bench::monitor_exp::flightrec(0xC4A05).unwrap();
+    let b = enclosure_bench::monitor_exp::flightrec(0xC4A05).unwrap();
+    assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+    assert!(!a.windows.is_empty(), "windows captured");
+    assert!(!a.events.is_empty(), "event ring captured");
 }
 
 /// The fleet's archive idiom: flush, merge the live recorder into an
