@@ -8,8 +8,7 @@
 //! surface in [`ServeStats`](crate::httpd::ServeStats) so chaos soaks can
 //! assert on them.
 
-use std::cell::RefCell;
-
+use enclosure_support::Shared;
 use litterbox::SysError;
 
 /// How many times a transient errno is retried in place before the
@@ -36,7 +35,7 @@ pub struct ChaosTally {
 ///
 /// Whatever `op` last returned once retries are exhausted.
 pub fn retry_transient<T>(
-    tally: &RefCell<ChaosTally>,
+    tally: &Shared<ChaosTally>,
     mut op: impl FnMut() -> Result<T, SysError>,
 ) -> Result<T, SysError> {
     let mut attempts = 0;
@@ -64,7 +63,7 @@ mod tests {
 
     #[test]
     fn transient_errnos_are_retried_then_surfaced() {
-        let tally = RefCell::new(ChaosTally::default());
+        let tally = Shared::new(ChaosTally::default());
         let mut calls = 0;
         let out: Result<u32, SysError> = retry_transient(&tally, || {
             calls += 1;
@@ -86,7 +85,7 @@ mod tests {
 
     #[test]
     fn fatal_errors_pass_through_without_retry() {
-        let tally = RefCell::new(ChaosTally::default());
+        let tally = Shared::new(ChaosTally::default());
         let out: Result<(), SysError> =
             retry_transient(&tally, || Err(SysError::Errno(Errno::Eacces)));
         assert!(matches!(out, Err(SysError::Errno(Errno::Eacces))));

@@ -10,13 +10,12 @@
 //! page). The scheduler's `Execute` switches between their protection
 //! environments every hop.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use enclosure_gofront::{sched::Recv, GoProgram, GoRuntime, GoSource, GoValue, Step};
 use enclosure_hw::Clock;
 use enclosure_kernel::net::SockAddr;
+use enclosure_support::Shared;
 use enclosure_telemetry::{Event, Histogram};
 use litterbox::{Backend, BatchOp, Fault, SysError};
 
@@ -69,7 +68,7 @@ impl Default for FastHttpConfig {
 #[derive(Debug)]
 pub struct FastHttpApp {
     rt: GoRuntime,
-    latency: Rc<RefCell<Histogram>>,
+    latency: Shared<Histogram>,
     /// Completed `serve_requests` calls. Each call listens on its own
     /// port (`FASTHTTP_PORT + calls`), because the previous call's
     /// listener stays bound in the simulated kernel — this is what lets
@@ -122,7 +121,7 @@ impl FastHttpApp {
         let rt = program.build(backend)?;
         Ok(FastHttpApp {
             rt,
-            latency: Rc::default(),
+            latency: Shared::default(),
             serve_calls: 0,
         })
     }
@@ -165,7 +164,7 @@ impl FastHttpApp {
         }
         let req_ch = self.rt.make_chan(64);
         let resp_ch = self.rt.make_chan(64);
-        let tally: Rc<RefCell<ChaosTally>> = Rc::default();
+        let tally: Shared<ChaosTally> = Shared::default();
 
         // Enclosed server goroutine: listener setup, then per-request
         // accept/read/parse/forward and reply/close. Under fault
@@ -181,11 +180,11 @@ impl FastHttpApp {
         let mut accepted = 0u64;
         let mut replied = 0u64;
         let mut degraded = 0u64;
-        let srv_tally = Rc::clone(&tally);
+        let srv_tally = tally.clone();
         // Accept timestamp per live connection; closed out into the
         // latency histogram when the reply (or 503) leaves.
         let mut accept_ns: HashMap<u32, u64> = HashMap::new();
-        let latency = Rc::clone(&self.latency);
+        let latency = self.latency.clone();
         self.rt
             .spawn_enclosed("fasthttp-server", "server_enc", move |ctx| {
                 if let ServerState::Setup = state {
@@ -478,17 +477,17 @@ impl FastHttpApp {
             self.rt.lb_mut().enable_batching();
         }
         let use_batch = cfg.async_io || cfg.batched_io;
-        let listener: Rc<Cell<Option<u32>>> = Rc::default();
-        let accepted: Rc<Cell<u64>> = Rc::default();
-        let replied: Rc<Cell<u64>> = Rc::default();
-        let closed: Rc<Cell<bool>> = Rc::default();
+        let listener: Shared<Option<u32>> = Shared::default();
+        let accepted: Shared<u64> = Shared::default();
+        let replied: Shared<u64> = Shared::default();
+        let closed: Shared<bool> = Shared::default();
 
         for w in 0..cfg.workers {
-            let listener = Rc::clone(&listener);
-            let accepted = Rc::clone(&accepted);
-            let replied = Rc::clone(&replied);
-            let closed = Rc::clone(&closed);
-            let latency = Rc::clone(&self.latency);
+            let listener = listener.clone();
+            let accepted = accepted.clone();
+            let replied = replied.clone();
+            let closed = closed.clone();
+            let latency = self.latency.clone();
             let parse_ns = cfg.parse_ns;
             let async_io = cfg.async_io;
             // The reply tail this worker last shipped: reaped (and its

@@ -13,9 +13,9 @@
 //! kernel's network — the stand-in for the external Postgres instance of
 //! Figure 5 (○4/○5).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+
+use enclosure_support::Shared;
 
 use enclosure_kernel::net::{ipv4, Network, SockAddr};
 use litterbox::{Fault, LitterBox, SysError};
@@ -31,14 +31,14 @@ pub fn postgres_addr() -> SockAddr {
 pub fn install_postgres(
     net: &mut Network,
     pages: &[(&str, &str)],
-) -> Rc<RefCell<HashMap<String, String>>> {
-    let store: Rc<RefCell<HashMap<String, String>>> = Rc::new(RefCell::new(
+) -> Shared<HashMap<String, String>> {
+    let store: Shared<HashMap<String, String>> = Shared::new(
         pages
             .iter()
             .map(|(t, b)| ((*t).to_owned(), (*b).to_owned()))
             .collect(),
-    ));
-    let server_store = Rc::clone(&store);
+    );
+    let server_store = store.clone();
     net.register_remote(
         postgres_addr(),
         Some(Box::new(move |request: &[u8]| {
@@ -121,7 +121,7 @@ mod tests {
     use super::*;
     use litterbox::Backend;
 
-    fn machine_with_db() -> (LitterBox, Rc<RefCell<HashMap<String, String>>>) {
+    fn machine_with_db() -> (LitterBox, Shared<HashMap<String, String>>) {
         let mut lb = LitterBox::new(Backend::Baseline);
         let mut prog = litterbox::ProgramDesc::new();
         prog.add_package(&mut lb, "pq", 1, 1, 1).unwrap();

@@ -15,13 +15,12 @@
 //!   renders HTML ○7. It holds the page templates and the database
 //!   password, which neither enclosure can reach.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use enclosure_gofront::{sched::Recv, GoProgram, GoRuntime, GoSource, GoValue, Step};
 use enclosure_hw::Clock;
 use enclosure_kernel::net::SockAddr;
+use enclosure_support::Shared;
 use enclosure_telemetry::{Event, Histogram};
 use litterbox::{Backend, Fault, SysError};
 
@@ -54,8 +53,8 @@ fn io_fault(e: SysError) -> Fault {
 pub struct WikiApp {
     rt: GoRuntime,
     /// The simulated Postgres page store, for assertions.
-    pub db: Rc<RefCell<HashMap<String, String>>>,
-    latency: Rc<RefCell<Histogram>>,
+    pub db: Shared<HashMap<String, String>>,
+    latency: Shared<Histogram>,
     batched_io: bool,
     async_io: bool,
     /// Completed `serve_requests` calls. Each call listens on its own
@@ -117,7 +116,7 @@ impl WikiApp {
         Ok(WikiApp {
             rt,
             db,
-            latency: Rc::default(),
+            latency: Shared::default(),
             batched_io: false,
             async_io: false,
             serve_calls: 0,
@@ -170,7 +169,7 @@ impl WikiApp {
         let sql_ch = self.rt.make_chan(64); // ○3
         let rows_ch = self.rt.make_chan(64); // ○6
         let reply_ch = self.rt.make_chan(64); // ○7
-        let tally: Rc<RefCell<ChaosTally>> = Rc::default();
+        let tally: Shared<ChaosTally> = Shared::default();
         let pq_enclosure = self.rt.enclosure("pq_enc").map_or(0, |e| e.id.0);
         let batched = self.batched_io || self.async_io;
         // First call keeps the paper's port; later calls (fleet batch
@@ -193,11 +192,11 @@ impl WikiApp {
         let mut accepted = 0u64;
         let mut replied = 0u64;
         let mut degraded = 0u64;
-        let srv_tally = Rc::clone(&tally);
+        let srv_tally = tally.clone();
         // Accept timestamp per live connection; closed out into the
         // latency histogram when the reply (or 503) leaves.
         let mut accept_ns: HashMap<u32, u64> = HashMap::new();
-        let latency = Rc::clone(&self.latency);
+        let latency = self.latency.clone();
         self.rt
             .spawn_enclosed("wiki-server", "server_enc", move |ctx| {
                 let listen_fd = match listen {
@@ -340,7 +339,7 @@ impl WikiApp {
             })?;
 
         // ○A: trusted glue.
-        let glue_tally = Rc::clone(&tally);
+        let glue_tally = tally.clone();
         self.rt.spawn("wiki-glue", move |ctx| {
             let mut progressed = false;
             match ctx.chan_recv(parsed_ch)? {
@@ -418,7 +417,7 @@ impl WikiApp {
         let mut consecutive_failures = 0u32;
         let mut breaker_open = false;
         let mut fast_fails_since_trip = 0u32;
-        let pq_tally = Rc::clone(&tally);
+        let pq_tally = tally.clone();
         self.rt.spawn_enclosed("pq-proxy", "pq_enc", move |ctx| {
             let conn = match conn_state {
                 Some(c) => c,

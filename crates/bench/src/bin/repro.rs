@@ -14,7 +14,7 @@
 //! repro ablations            design-choice studies
 //! repro batching [--quick] [--json] [--profile]  batched-gateway crossing-tax study
 //! repro chaos [--quick] [--json] [--seed=S] [--profile] [--backend=proc]  fault-injection soak
-//! repro fleet [--app=wiki|fasthttp] [--shards=N] [--mixed-backends] [--chaos] [--seed=S] [--quick] [--json]  fleet serving
+//! repro fleet [--app=wiki|fasthttp] [--shards=N] [--mixed-backends] [--chaos] [--seed=S] [--quick] [--json] [--parallel[=T]] [--bench-out=PATH]  fleet serving
 //! repro monitor [--shards=N] [--chaos] [--seed=S] [--quick] [--json]  windowed SLO dashboard
 //! repro flightrec [--seed=S] [--json]  black-box flight-recorder dump
 //! repro counters [--list]    counter registry with descriptions
@@ -39,6 +39,12 @@
 //! deterministic mid-run shard kill plus low-rate random fleet and
 //! machine faults, and the run must still answer every admitted
 //! request (`--mixed-backends` cycles LB_MPK/LB_VTX/LB_PROC shards).
+//! `--parallel[=T]` executes each round's planned shard batches on T
+//! worker threads (default: detected cores) and reports wall-clock
+//! time; the report itself stays byte-identical to the sequential run.
+//! `--bench-out=PATH` (with `--parallel`) times the same run both ways
+//! and writes a `BENCH_*.json` speedup snapshot (for `batching`, the
+//! ns/req-per-backend snapshot).
 //!
 //! `--backend=proc` opts `table2` into the three-way LB_MPK/LB_VTX/
 //! LB_PROC comparison (the extra column is omitted by default so the
@@ -138,6 +144,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let parallel = match args.iter().find_map(|a| {
+        if a == "--parallel" {
+            Some("auto")
+        } else {
+            a.strip_prefix("--parallel=")
+        }
+    }) {
+        None => None,
+        Some("auto") => Some(detected_cores()),
+        Some(text) => match text.parse::<usize>() {
+            Ok(threads) if threads >= 1 => Some(threads),
+            _ => {
+                eprintln!("--parallel wants a worker thread count >= 1");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let bench_out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--bench-out=").map(String::from));
     let command = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -157,9 +183,19 @@ fn main() -> ExitCode {
         "security" => security(trace, profile),
         "filter-dump" => filter_dump(),
         "ablations" => ablations(),
-        "batching" => batching(quick, json, profile),
+        "batching" => batching(quick, json, profile, bench_out.as_deref()),
         "chaos" => chaos(quick, json, seed, profile, proc_arm),
-        "fleet" => fleet(quick, json, seed, shards, mixed, fleet_chaos, app),
+        "fleet" => fleet(
+            quick,
+            json,
+            seed,
+            shards,
+            mixed,
+            fleet_chaos,
+            app,
+            parallel,
+            bench_out.as_deref(),
+        ),
         "monitor" => monitor(quick, json, seed, shards, fleet_chaos),
         "flightrec" => flightrec(json, seed),
         "counters" => {
@@ -176,9 +212,21 @@ fn main() -> ExitCode {
             .and_then(|()| attribution(quick, json, trace))
             .and_then(|()| security(trace, profile))
             .and_then(|()| ablations())
-            .and_then(|()| batching(quick, json, profile))
+            .and_then(|()| batching(quick, json, profile, None))
             .and_then(|()| chaos(quick, json, seed, profile, proc_arm))
-            .and_then(|()| fleet(quick, json, seed, shards, mixed, fleet_chaos, app))
+            .and_then(|()| {
+                fleet(
+                    quick,
+                    json,
+                    seed,
+                    shards,
+                    mixed,
+                    fleet_chaos,
+                    app,
+                    parallel,
+                    None,
+                )
+            })
             .and_then(|()| monitor(quick, json, seed, shards, fleet_chaos))
             .map(|()| print!("\n{}", report::render_counters_list())),
         other => {
@@ -217,8 +265,8 @@ commands:
   batching      batched-gateway crossing-tax study
   chaos         seeded fault-injection soak with containment invariants
   fleet         N-shard fleet (wiki or fasthttp) behind the health-checking balancer
-  monitor       windowed SLO dashboard over the fleet (burn rates, kill-one-shard rehearsal)
   flightrec     black-box flight recorder dump (first fault freezes windows + event ring)
+  monitor       windowed SLO dashboard over the fleet (burn rates, kill-one-shard rehearsal)
   counters      counter registry with one-line descriptions
   trace-export  span-tree export (Chrome trace JSON or folded stacks)
   all           everything above in order
@@ -227,10 +275,17 @@ flags: --quick --json --profile --trace[=N] --seed=S --format=chrome|folded
        --backend=proc (three-way table2; process-sandbox chaos arm)
        --shards=N --mixed-backends --chaos (fleet shard count / backend mix / fault arm)
        --app=wiki|fasthttp (fleet shard workload)
+       --parallel[=T] (fleet worker threads, default detected cores; adds wall-clock timing)
+       --bench-out=PATH (write a BENCH_*.json perf snapshot: batching or fleet)
 ";
 
 /// Default seed for `repro chaos` when `--seed=S` is not given.
 const DEFAULT_CHAOS_SEED: u64 = 0xC4A05;
+
+/// What a bare `--parallel` means: one worker per detected core.
+fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
 
 fn parse_seed(text: &str) -> Option<u64> {
     match text.strip_prefix("0x") {
@@ -529,9 +584,17 @@ fn security(trace: Option<usize>, profile: bool) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn batching(quick: bool, json: bool, profile: bool) -> Result<(), AnyError> {
+fn batching(
+    quick: bool,
+    json: bool,
+    profile: bool,
+    bench_out: Option<&str>,
+) -> Result<(), AnyError> {
     let requests = if quick { 20 } else { 200 };
     let study = batching_exp::run(requests)?;
+    if let Some(path) = bench_out {
+        report::write_bench_snapshot(path, &report::batching_bench_snapshot(&study))?;
+    }
     if json {
         println!("{}", study.to_json().to_pretty());
         return Ok(());
@@ -591,6 +654,7 @@ fn chaos(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fleet(
     quick: bool,
     json: bool,
@@ -599,6 +663,8 @@ fn fleet(
     mixed: bool,
     chaos: bool,
     app: FleetApp,
+    parallel: Option<usize>,
+    bench_out: Option<&str>,
 ) -> Result<(), AnyError> {
     let mut config = if quick {
         FleetExpConfig::quick(seed)
@@ -611,13 +677,48 @@ fn fleet(
     config.mixed_backends = mixed;
     config.chaos = chaos;
     config.app = app;
-    let (report, violations) = fleet_exp::run(config)?;
+    config.parallelism = parallel.unwrap_or(1);
+    let (report, violations, elapsed) = fleet_exp::run_timed(config)?;
+    if let Some(path) = bench_out {
+        // The snapshot compares the same run sequentially vs on worker
+        // threads; both arms must report byte-identical bytes (the
+        // differential harness's claim, re-checked here for free).
+        let threads = parallel.ok_or("fleet --bench-out needs --parallel[=T]")?;
+        let (sequential_report, _, sequential_elapsed) = fleet_exp::run_timed(FleetExpConfig {
+            parallelism: 1,
+            ..config
+        })?;
+        if sequential_report.to_json().to_pretty() != report.to_json().to_pretty() {
+            return Err("parallel fleet report diverged from the sequential run".into());
+        }
+        report::write_bench_snapshot(
+            path,
+            &report::fleet_bench_snapshot(
+                &report,
+                threads,
+                detected_cores(),
+                sequential_elapsed,
+                elapsed,
+            ),
+        )?;
+    }
     if json {
         let mut value = report.to_json();
         value.push(
             "invariant_violations",
             Json::arr(violations.iter().map(|v| Json::from(v.clone()))),
         );
+        if let Some(threads) = parallel {
+            // Wall-clock time is the one deliberately nondeterministic
+            // section; byte-identity gates strip it before comparing.
+            value.push(
+                "timing",
+                Json::obj([
+                    ("threads", Json::from(threads)),
+                    ("wall_seconds", Json::from(elapsed.as_secs_f64())),
+                ]),
+            );
+        }
         println!("{}", value.to_pretty());
     } else {
         print!("\n{}", report::render_fleet(&report));
@@ -625,6 +726,13 @@ fn fleet(
     if violations.is_empty() {
         if !json {
             println!("invariants: OK (zero loss, budget bounded, histogram mass conserved)");
+            if let Some(threads) = parallel {
+                println!(
+                    "wall-clock: {:.3}s on {} worker threads",
+                    elapsed.as_secs_f64(),
+                    threads
+                );
+            }
         }
         Ok(())
     } else {

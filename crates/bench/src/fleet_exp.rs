@@ -42,6 +42,10 @@ pub struct FleetExpConfig {
     pub chaos: bool,
     /// The workload the shards host.
     pub app: FleetApp,
+    /// Worker threads for the execute phase (`--parallel[=T]`). 1 runs
+    /// inline; any value produces the same report bytes — parallelism
+    /// only moves wall-clock time.
+    pub parallelism: usize,
 }
 
 impl FleetExpConfig {
@@ -55,6 +59,7 @@ impl FleetExpConfig {
             mixed_backends: false,
             chaos: false,
             app: FleetApp::Wiki,
+            parallelism: 1,
         }
     }
 
@@ -77,7 +82,7 @@ impl FleetExpConfig {
         if self.chaos {
             cfg = cfg.with_chaos();
         }
-        cfg
+        cfg.with_parallelism(self.parallelism.max(1))
     }
 }
 
@@ -97,6 +102,28 @@ pub fn run(config: FleetExpConfig) -> Result<(FleetReport, Vec<String>), Fault> 
     };
     let violations = check_invariants(&fleet_cfg, &report);
     Ok((report, violations))
+}
+
+/// [`run`] plus the wall-clock duration of the fleet run itself
+/// (config lowering and invariant checking excluded). The report is
+/// identical for any `parallelism` — the duration is the only thing
+/// the thread count is allowed to change.
+///
+/// # Errors
+///
+/// A machine fault escaping the balancer's containment layers.
+pub fn run_timed(
+    config: FleetExpConfig,
+) -> Result<(FleetReport, Vec<String>, std::time::Duration), Fault> {
+    let fleet_cfg = config.to_fleet();
+    let started = std::time::Instant::now();
+    let report = match config.app {
+        FleetApp::Wiki => WikiFleet::new(fleet_cfg.clone())?.run()?,
+        FleetApp::FastHttp => FastHttpFleet::new(fleet_cfg.clone())?.run()?,
+    };
+    let elapsed = started.elapsed();
+    let violations = check_invariants(&fleet_cfg, &report);
+    Ok((report, violations, elapsed))
 }
 
 #[cfg(test)]
@@ -128,6 +155,26 @@ mod tests {
         assert!(violations.is_empty(), "{violations:?}");
         assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
         assert_eq!(a.client_ok, a.admitted);
+    }
+
+    #[test]
+    fn parallel_experiment_reports_identical_bytes() {
+        let cfg = FleetExpConfig {
+            chaos: true,
+            mixed_backends: true,
+            ..FleetExpConfig::quick(5)
+        };
+        let (sequential, _) = run(cfg).unwrap();
+        let (parallel, violations, _elapsed) = run_timed(FleetExpConfig {
+            parallelism: 4,
+            ..cfg
+        })
+        .unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(
+            sequential.to_json().to_pretty(),
+            parallel.to_json().to_pretty()
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@ const COMMANDS: [&str; 18] = [
     "batching",
     "chaos",
     "fleet",
-    "monitor",
     "flightrec",
+    "monitor",
     "counters",
     "trace-export",
     "all",
@@ -51,6 +51,51 @@ fn unknown_subcommand_lists_the_menu_and_fails() {
         stderr.contains("--backend=proc"),
         "the menu advertises the process-sandbox arm: {stderr}"
     );
+}
+
+/// The fleet cluster of the menu stays alphabetized (fleet <
+/// flightrec < monitor) and the `--parallel` flag is advertised.
+#[test]
+fn menu_keeps_fleet_cluster_alphabetized_and_advertises_parallel() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("frobnicate")
+        .output()
+        .expect("spawn repro");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(
+        stderr.contains("--parallel[=T]"),
+        "the menu advertises the parallel executor: {stderr}"
+    );
+    assert!(
+        stderr.contains("--bench-out=PATH"),
+        "the menu advertises the snapshot writer: {stderr}"
+    );
+    let line_of = |cmd: &str| {
+        stderr
+            .lines()
+            .position(|l| l.trim_start().starts_with(&format!("{cmd} ")))
+            .unwrap_or_else(|| panic!("menu line for '{cmd}' missing:\n{stderr}"))
+    };
+    let (fleet, flightrec, monitor) = (line_of("fleet"), line_of("flightrec"), line_of("monitor"));
+    assert!(
+        fleet < flightrec && flightrec < monitor,
+        "fleet/flightrec/monitor menu entries out of alphabetical order: \
+         lines {fleet}/{flightrec}/{monitor}\n{stderr}"
+    );
+}
+
+/// `--parallel=` rejects non-counts before any work runs.
+#[test]
+fn bad_parallel_value_fails_fast() {
+    for bad in ["--parallel=zero", "--parallel=0"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["fleet", "--quick", bad])
+            .output()
+            .expect("spawn repro");
+        assert!(!out.status.success(), "{bad} must exit non-zero");
+        let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+        assert!(stderr.contains("--parallel wants"), "{stderr}");
+    }
 }
 
 #[test]

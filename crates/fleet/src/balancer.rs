@@ -4,22 +4,35 @@
 //! respawn. The whole fleet is a pure function of its
 //! [`FleetConfig`] — two runs with the same config are byte-identical.
 //!
-//! Time model: shards serve their batches in parallel, so one balancer
-//! round advances fleet time by the *slowest* shard batch of that
-//! round (plus a fixed probe overhead). Each shard's own clock keeps
-//! its private serving time; fleet time only sequences balancer
-//! decisions (respawn deadlines, round counting).
+//! Time model: each shard carries an absolute virtual *ready time* on
+//! a [`VirtualClock`]. A round plans work in three phases — **plan**
+//! (sequential, in shard-index order: batch sizes, chaos draws, hedge
+//! arming, budget grants — every decision that touches shared state),
+//! **execute** (each shard serves its planned window independently,
+//! inline or on a worker-thread pool), and **fold** (sequential again:
+//! ledger credits, latency observation, span recording). Once the
+//! guaranteed window is planned, the catch-up scheduler
+//! ([`crate::sched::plan_catchup`]) grants backlogged shards extra
+//! batches that fit under the round's virtual-time deadline, so fast
+//! shards overlap the slow shard's window instead of idling. Because
+//! every shared-state decision happens at plan time and every fold
+//! runs in shard-index order, the executed report is byte-identical
+//! at any [`FleetConfig::parallelism`] — parallelism is a wall-clock
+//! lever, never a semantic one.
 
 use enclosure_apps::fasthttp::FastHttpApp;
+use enclosure_apps::httpd::ServeStats;
 use enclosure_apps::wiki::WikiApp;
 use enclosure_core::{jittered_backoff, RetryPolicy};
 use enclosure_hw::{InjectionPlan, InjectionSite};
+use enclosure_support::pool::run_scoped;
 use enclosure_support::Json;
 use enclosure_telemetry::{Event, Histogram, Recorder, WindowRing};
 use litterbox::{Backend, Fault};
 
 use crate::budget::RetryBudget;
 use crate::monitor::{DegradedWindow, MonitorConfig, MonitorReport};
+use crate::sched::{plan_catchup, BatchSpan, CatchupSlot, VirtualClock};
 use crate::session;
 use crate::shard::{Shard, ShardChaos, ShardState, Workload};
 
@@ -84,6 +97,10 @@ pub struct FleetConfig {
     /// `ShardDegraded` events. `None` (the default) changes nothing —
     /// existing runs stay byte-identical.
     pub monitor: Option<MonitorConfig>,
+    /// Worker threads for the execute phase (`<= 1` runs inline on the
+    /// calling thread). Purely a wall-clock lever: the report is
+    /// byte-identical at any setting.
+    pub parallelism: usize,
 }
 
 impl FleetConfig {
@@ -115,6 +132,7 @@ impl FleetConfig {
             latency_mult: 8,
             drain_at: None,
             monitor: None,
+            parallelism: 1,
         }
     }
 
@@ -142,6 +160,13 @@ impl FleetConfig {
     #[must_use]
     pub fn with_monitor(mut self, monitor: MonitorConfig) -> FleetConfig {
         self.monitor = Some(monitor);
+        self
+    }
+
+    /// Sets the execute-phase worker-thread count.
+    #[must_use]
+    pub fn with_parallelism(mut self, threads: usize) -> FleetConfig {
+        self.parallelism = threads;
         self
     }
 
@@ -222,10 +247,16 @@ pub struct FleetReport {
     /// Queued-not-dispatched requests rerouted off dead shards (free:
     /// first tries, not retries).
     pub rerouted: u64,
-    /// Hedged (mirrored) requests dispatched.
+    /// Requests for which a hedge was armed (a mirror reserved on the
+    /// fastest healthy peer at plan time).
     pub hedged: u64,
-    /// Hedged batches where the mirror beat or replaced the primary.
+    /// Hedged batches whose mirror was actually dispatched because the
+    /// primary's replies were lost (crash or partition).
     pub hedge_wins: u64,
+    /// Armed-hedge requests whose mirror was cancelled because the
+    /// primary completed — no duplicate work done, no virtual time
+    /// charged to the loser.
+    pub hedges_cancelled: u64,
     /// Shard crashes (targeted + random).
     pub crashes: u64,
     /// Reply-dropping partition rounds.
@@ -251,6 +282,11 @@ pub struct FleetReport {
     /// The SLO-monitor section, present only when
     /// [`FleetConfig::monitor`] was armed.
     pub monitor: Option<MonitorReport>,
+    /// Every executed batch as a `[start, end)` span on its shard's
+    /// virtual timeline, in fold order. Not serialized by
+    /// [`FleetReport::to_json`] (it would dwarf the report); rendered
+    /// by [`FleetReport::chrome_trace`].
+    pub spans: Vec<BatchSpan>,
 }
 
 impl FleetReport {
@@ -282,6 +318,7 @@ impl FleetReport {
             ("rerouted", Json::U64(self.rerouted)),
             ("hedged", Json::U64(self.hedged)),
             ("hedge_wins", Json::U64(self.hedge_wins)),
+            ("hedges_cancelled", Json::U64(self.hedges_cancelled)),
             ("crashes", Json::U64(self.crashes)),
             ("partitions", Json::U64(self.partitions)),
             ("probe_flaps", Json::U64(self.probe_flaps)),
@@ -335,6 +372,58 @@ impl FleetReport {
             fields.push(("monitor", monitor.to_json()));
         }
         Json::obj(fields)
+    }
+
+    /// Chrome trace-event JSON of the per-batch spans: one `tid` per
+    /// shard, one complete (`X`) event per batch. Loaded in Perfetto /
+    /// `chrome://tracing`, the catch-up scheduler's overlap is visible
+    /// as interleaved shard tracks — multiple batches on a fast track
+    /// inside one batch of a slow one.
+    #[must_use]
+    pub fn chrome_trace(&self) -> Json {
+        // Trace-event timestamps are microseconds.
+        let ts_us = |ns: u64| {
+            #[allow(clippy::cast_precision_loss)]
+            Json::F64(ns as f64 / 1000.0)
+        };
+        let mut events = Vec::new();
+        for row in &self.rows {
+            events.push(Json::obj([
+                ("ph", Json::from("M")),
+                ("name", Json::from("thread_name")),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(row.id as u64)),
+                (
+                    "args",
+                    Json::obj([(
+                        "name",
+                        Json::from(format!("shard-{} ({})", row.id, row.backend).as_str()),
+                    )]),
+                ),
+            ]));
+        }
+        for span in &self.spans {
+            events.push(Json::obj([
+                ("ph", Json::from("X")),
+                ("name", Json::from(span.label)),
+                ("cat", Json::from("fleet")),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(span.shard as u64)),
+                ("ts", ts_us(span.start_ns)),
+                ("dur", ts_us(span.end_ns - span.start_ns)),
+                (
+                    "args",
+                    Json::obj([
+                        ("round", Json::U64(span.round)),
+                        ("reqs", Json::U64(span.reqs)),
+                    ]),
+                ),
+            ]));
+        }
+        Json::obj([
+            ("traceEvents", Json::arr(events)),
+            ("displayTimeUnit", Json::from("ns")),
+        ])
     }
 }
 
@@ -408,6 +497,61 @@ pub type WikiFleet = Fleet<WikiApp>;
 /// A fleet of FastHTTP shards (the `--app=fasthttp` arm).
 pub type FastHttpFleet = Fleet<FastHttpApp>;
 
+/// How a planned batch folds into the client ledger. Decided entirely
+/// at plan time — the execute phase never consults it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchRole {
+    /// Guaranteed window batch: credit + latency observation.
+    Primary,
+    /// Catch-up grant from the virtual-time scheduler: folds exactly
+    /// like [`BatchRole::Primary`], labeled apart in the trace.
+    Catchup,
+    /// The completed prefix of a mid-batch crash: replies got out
+    /// (credit), but the dying machine's latency is not a baseline
+    /// observation.
+    CrashPrefix,
+    /// A partitioned batch: the shard did the work (latency observed)
+    /// but every reply was lost — hedge or failover answers instead.
+    PartitionLoss,
+    /// An armed hedge's mirror, dispatched on the peer because the
+    /// primary's replies are lost: credit.
+    HedgeMirror,
+    /// Budget-funded retries of crash casualties on a peer: credit.
+    Failover,
+}
+
+impl BatchRole {
+    fn label(self) -> &'static str {
+        match self {
+            BatchRole::Primary => "serve",
+            BatchRole::Catchup => "catchup",
+            BatchRole::CrashPrefix => "crash-prefix",
+            BatchRole::PartitionLoss => "partition",
+            BatchRole::HedgeMirror => "hedge",
+            BatchRole::Failover => "failover",
+        }
+    }
+}
+
+/// One batch the plan phase committed to a shard.
+#[derive(Debug, Clone)]
+struct PlannedBatch {
+    take: u64,
+    role: BatchRole,
+}
+
+/// Everything one shard executes this round, in dispatch order. The
+/// per-shard serve list is the canonical call sequence on that
+/// machine in both the inline and the parallel executor.
+#[derive(Debug, Default)]
+struct ShardPlan {
+    batches: Vec<PlannedBatch>,
+    /// Planned mid-round crash: the machine tears down *after* its
+    /// serve list (the crash prefix) completes, respawning at this
+    /// fleet time.
+    crash_respawn_at: Option<u64>,
+}
+
 /// N shards plus the balancer state driving them.
 pub struct Fleet<W: Workload> {
     cfg: FleetConfig,
@@ -429,6 +573,7 @@ pub struct Fleet<W: Workload> {
     rerouted: u64,
     hedged: u64,
     hedge_wins: u64,
+    hedges_cancelled: u64,
     crashes: u64,
     partitions: u64,
     probe_flaps: u64,
@@ -437,6 +582,9 @@ pub struct Fleet<W: Workload> {
     monitor_rec: Option<Recorder>,
     degraded_log: Vec<DegradedWindow>,
     eject_log: Vec<(usize, u64)>,
+    // Virtual-time engine state.
+    clock: VirtualClock,
+    spans: Vec<BatchSpan>,
 }
 
 impl<W: Workload> Fleet<W> {
@@ -478,6 +626,7 @@ impl<W: Workload> Fleet<W> {
             rec.enable_trace(64);
             rec
         });
+        let clock = VirtualClock::new(cfg.shards());
         Ok(Fleet {
             cfg,
             shards,
@@ -496,6 +645,7 @@ impl<W: Workload> Fleet<W> {
             rerouted: 0,
             hedged: 0,
             hedge_wins: 0,
+            hedges_cancelled: 0,
             crashes: 0,
             partitions: 0,
             probe_flaps: 0,
@@ -503,6 +653,8 @@ impl<W: Workload> Fleet<W> {
             monitor_rec,
             degraded_log: Vec::new(),
             eject_log: Vec::new(),
+            clock,
+            spans: Vec::new(),
         })
     }
 
@@ -567,14 +719,16 @@ impl<W: Workload> Fleet<W> {
             self.respawn_due();
             self.probe_all();
             self.admit(&mut sessions, admission_rate);
-            let served_ns = self.dispatch()?;
+            // Plan → execute → fold: all shared-state decisions happen
+            // in the sequential plan, the executor only runs each
+            // shard's private window, and the sequential fold advances
+            // the virtual clock — so the report is byte-identical at
+            // any parallelism.
+            self.clock.start_round(self.now_ns);
+            let plans = self.plan_round();
+            let results = self.execute(&plans);
+            self.fold(&plans, results)?;
             self.budget.tick();
-            self.now_ns += PROBE_ROUND_NS
-                + if served_ns == 0 {
-                    IDLE_ROUND_NS
-                } else {
-                    served_ns
-                };
             self.monitor_tick();
         }
         Ok(self.report())
@@ -675,12 +829,24 @@ impl<W: Workload> Fleet<W> {
         }
     }
 
-    /// Dispatches one batch per serving shard; handles crash,
-    /// partition, hedging, failover, and drain completion. Returns the
-    /// slowest shard-batch time of the round (the parallel advance).
-    fn dispatch(&mut self) -> Result<u64, Fault> {
-        let mut round_adv = 0u64;
-        for i in 0..self.shards.len() {
+    /// The plan phase: sequential, in shard-index order. Sizes every
+    /// batch of the round, draws all chaos (crash, partition, crash
+    /// prefix), arms or cancels hedges, grants failover budget,
+    /// reroutes stranded queues, and handles drain completion — every
+    /// decision that reads or writes shared balancer state. The
+    /// executor then only serves the planned windows.
+    fn plan_round(&mut self) -> Vec<ShardPlan> {
+        let n = self.shards.len();
+        let means: Vec<u64> = self.shards.iter().map(Shard::mean_ns_per_req).collect();
+        let mut plans: Vec<ShardPlan> = (0..n).map(|_| ShardPlan::default()).collect();
+        // Predicted per-shard finish times for everything planned so
+        // far (each shard's own cumulative mean is the predictor).
+        let mut pred_ready: Vec<u64> = (0..n).map(|i| self.clock.ready(i)).collect();
+        // Shards whose guaranteed batch was a clean serve — the only
+        // ones eligible for catch-up grants.
+        let mut clean = vec![false; n];
+
+        for i in 0..n {
             if !self.shards[i].can_serve() {
                 continue;
             }
@@ -700,21 +866,17 @@ impl<W: Workload> Fleet<W> {
                     .as_mut()
                     .is_some_and(|p| p.should_fail(InjectionSite::LbPartition));
 
-            // Hedge: mirror the batch onto the fastest healthy peer
-            // when the primary is latency-flagged. The mirror's
-            // outcomes are used only if the primary's are lost.
+            // Hedge arming is a plan-time decision: the mirror is
+            // reserved on the fastest healthy peer, but dispatched
+            // only if the primary's replies turn out to be lost —
+            // otherwise the duplicate is cancelled before any work or
+            // virtual time is spent on it.
             let hedge_peer = (self.cfg.hedge && self.shards[i].latency_strikes > 0)
                 .then(|| self.hedge_peer(i))
                 .flatten();
-            let hedge_stats = match hedge_peer {
-                Some(p) => {
-                    self.hedged += take;
-                    let (stats, ns) = self.shards[p].serve_batch(take)?;
-                    round_adv = round_adv.max(ns);
-                    Some(stats)
-                }
-                None => None,
-            };
+            if hedge_peer.is_some() {
+                self.hedged += take;
+            }
 
             if crash {
                 self.crashes += 1;
@@ -722,9 +884,11 @@ impl<W: Workload> Fleet<W> {
                 // and its replies got out; the rest die in flight.
                 let completed = self.plan.as_mut().map_or(0, |p| p.roll(take));
                 if completed > 0 {
-                    let (stats, ns) = self.shards[i].serve_batch(completed)?;
-                    round_adv = round_adv.max(ns);
-                    self.credit(&stats);
+                    pred_ready[i] += means[i].saturating_mul(completed);
+                    plans[i].batches.push(PlannedBatch {
+                        take: completed,
+                        role: BatchRole::CrashPrefix,
+                    });
                 }
                 let casualties = take - completed;
                 let stranded = self.shards[i].pending;
@@ -732,13 +896,31 @@ impl<W: Workload> Fleet<W> {
                 let attempt = u32::try_from(self.shards[i].crashes + 1).unwrap_or(u32::MAX);
                 let backoff =
                     jittered_backoff(&self.cfg.respawn, attempt, Some(&mut self.shards[i].jitter));
-                self.shards[i].crash(self.now_ns + backoff);
-                if let Some(stats) = hedge_stats {
-                    // The mirror already holds the whole batch.
-                    self.credit(&stats);
-                    self.hedge_wins += 1;
-                } else {
-                    round_adv = round_adv.max(self.fail_over(i, casualties)?);
+                let respawn_at_ns = self.now_ns + backoff;
+                plans[i].crash_respawn_at = Some(respawn_at_ns);
+                // The state flips at plan time so the rest of the plan
+                // routes around the dead shard; the machine teardown
+                // itself runs at execute, after the prefix serves.
+                self.shards[i].state = ShardState::Crashed { respawn_at_ns };
+                match hedge_peer {
+                    Some(p) if casualties > 0 => {
+                        self.hedge_wins += 1;
+                        pred_ready[p] += means[p].saturating_mul(casualties);
+                        plans[p].batches.push(PlannedBatch {
+                            take: casualties,
+                            role: BatchRole::HedgeMirror,
+                        });
+                    }
+                    Some(_) => self.hedges_cancelled += take,
+                    None => {
+                        if let Some((peer, granted)) = self.grant_failover(i, casualties) {
+                            pred_ready[peer] += means[peer].saturating_mul(granted);
+                            plans[peer].batches.push(PlannedBatch {
+                                take: granted,
+                                role: BatchRole::Failover,
+                            });
+                        }
+                    }
                 }
                 // The undispatched queue reroutes for free: those
                 // requests were never tried, so they are not retries.
@@ -748,23 +930,160 @@ impl<W: Workload> Fleet<W> {
             } else if partition {
                 self.partitions += 1;
                 // The shard does the work but every reply is lost.
-                let (_, ns) = self.shards[i].serve_batch(take)?;
-                round_adv = round_adv.max(ns);
-                self.observe_latency(i, ns, take);
-                if let Some(stats) = hedge_stats {
-                    self.credit(&stats);
-                    self.hedge_wins += 1;
-                } else {
-                    round_adv = round_adv.max(self.fail_over(i, take)?);
+                pred_ready[i] += means[i].saturating_mul(take);
+                plans[i].batches.push(PlannedBatch {
+                    take,
+                    role: BatchRole::PartitionLoss,
+                });
+                match hedge_peer {
+                    Some(p) => {
+                        self.hedge_wins += 1;
+                        pred_ready[p] += means[p].saturating_mul(take);
+                        plans[p].batches.push(PlannedBatch {
+                            take,
+                            role: BatchRole::HedgeMirror,
+                        });
+                    }
+                    None => {
+                        if let Some((peer, granted)) = self.grant_failover(i, take) {
+                            pred_ready[peer] += means[peer].saturating_mul(granted);
+                            plans[peer].batches.push(PlannedBatch {
+                                take: granted,
+                                role: BatchRole::Failover,
+                            });
+                        }
+                    }
                 }
             } else {
-                let (stats, ns) = self.shards[i].serve_batch(take)?;
-                round_adv = round_adv.max(ns);
-                self.credit(&stats);
-                self.observe_latency(i, ns, take);
+                pred_ready[i] += means[i].saturating_mul(take);
+                plans[i].batches.push(PlannedBatch {
+                    take,
+                    role: BatchRole::Primary,
+                });
+                clean[i] = true;
+                if hedge_peer.is_some() {
+                    // Primary completes: the reserved mirror never
+                    // dispatches, so the loser costs nothing.
+                    self.hedges_cancelled += take;
+                }
             }
         }
-        Ok(round_adv)
+
+        // Catch-up: the round is already committed through the
+        // predicted finish of its slowest planned shard; grant extra
+        // batches to backlogged clean shards that fit under it.
+        let deadline = (0..n)
+            .filter(|&i| !plans[i].batches.is_empty())
+            .map(|i| pred_ready[i])
+            .max();
+        if let Some(deadline) = deadline {
+            let slots: Vec<CatchupSlot> = (0..n)
+                .filter(|&i| clean[i] && self.shards[i].pending > 0)
+                .map(|i| CatchupSlot {
+                    shard: i,
+                    ready_ns: pred_ready[i],
+                    mean_ns_per_req: means[i],
+                    pending: self.shards[i].pending,
+                })
+                .collect();
+            for (i, take) in plan_catchup(deadline, self.cfg.batch, slots) {
+                self.shards[i].pending -= take;
+                plans[i].batches.push(PlannedBatch {
+                    take,
+                    role: BatchRole::Catchup,
+                });
+            }
+        }
+        plans
+    }
+
+    /// The execute phase: every shard serves its planned window (and
+    /// tears down, if a crash was planned) touching nothing but its
+    /// own state. `parallelism <= 1` runs inline; higher settings fan
+    /// the shard jobs out on a scoped pool — either way the per-shard
+    /// call sequence is the plan's, so the results are identical.
+    fn execute(&mut self, plans: &[ShardPlan]) -> Vec<Result<Vec<(ServeStats, u64)>, Fault>> {
+        let threads = self.cfg.parallelism.max(1);
+        let jobs: Vec<_> = self
+            .shards
+            .iter_mut()
+            .zip(plans)
+            .map(|(shard, plan)| {
+                move || -> Result<Vec<(ServeStats, u64)>, Fault> {
+                    let mut outs = Vec::with_capacity(plan.batches.len());
+                    for batch in &plan.batches {
+                        outs.push(shard.serve_batch(batch.take)?);
+                    }
+                    if let Some(respawn_at_ns) = plan.crash_respawn_at {
+                        shard.crash(respawn_at_ns);
+                    }
+                    Ok(outs)
+                }
+            })
+            .collect();
+        run_scoped(threads, jobs)
+    }
+
+    /// The fold phase: sequential again, in shard-index order. Credits
+    /// the client ledger per the plan's roles, observes latency for
+    /// outlier detection, stamps every batch onto its shard's virtual
+    /// timeline, and advances fleet time to the round's end.
+    fn fold(
+        &mut self,
+        plans: &[ShardPlan],
+        results: Vec<Result<Vec<(ServeStats, u64)>, Fault>>,
+    ) -> Result<(), Fault> {
+        let mut round_end = 0u64;
+        let mut served_any = false;
+        for (i, (plan, result)) in plans.iter().zip(results).enumerate() {
+            // The outlier detector samples once per control tick: a
+            // shard's observed batches aggregate into one latency
+            // observation per round, so catch-up grants widen the
+            // sample instead of multiplying the strike count (a
+            // browned-out shard must not burn through `eject_after`
+            // strikes inside a single round).
+            let mut observed_ns = 0u64;
+            let mut observed_reqs = 0u64;
+            let mut observed = false;
+            for (batch, (stats, ns)) in plan.batches.iter().zip(result?) {
+                let (start_ns, end_ns) = self.clock.advance(i, ns);
+                self.spans.push(BatchSpan {
+                    round: self.round,
+                    shard: i,
+                    start_ns,
+                    end_ns,
+                    reqs: batch.take,
+                    label: batch.role.label(),
+                });
+                served_any = true;
+                round_end = round_end.max(end_ns);
+                match batch.role {
+                    BatchRole::Primary | BatchRole::Catchup => {
+                        self.credit(&stats);
+                        observed_ns += ns;
+                        observed_reqs += batch.take;
+                        observed = true;
+                    }
+                    BatchRole::CrashPrefix | BatchRole::HedgeMirror | BatchRole::Failover => {
+                        self.credit(&stats);
+                    }
+                    BatchRole::PartitionLoss => {
+                        observed_ns += ns;
+                        observed_reqs += batch.take;
+                        observed = true;
+                    }
+                }
+            }
+            if observed {
+                self.observe_latency(i, observed_ns, observed_reqs);
+            }
+        }
+        self.now_ns = if served_any {
+            round_end + PROBE_ROUND_NS
+        } else {
+            self.now_ns + PROBE_ROUND_NS + IDLE_ROUND_NS
+        };
+        Ok(())
     }
 
     /// Should shard `i` crash in this round? Either the deterministic
@@ -879,14 +1198,16 @@ impl<W: Workload> Fleet<W> {
         })
     }
 
-    /// Retries `casualties` in-flight requests from dead shard `i` on
-    /// a peer, spending one budget token each. Denied retries degrade
-    /// to balancer 503s. Returns the peer's serving time.
-    fn fail_over(&mut self, i: usize, casualties: u64) -> Result<u64, Fault> {
+    /// Grants budget for retrying `casualties` in-flight requests from
+    /// dead shard `i` on a peer, one token each. Denied retries
+    /// degrade to balancer 503s at plan time. Returns the peer and
+    /// grant for the caller to plan the failover batch.
+    fn grant_failover(&mut self, i: usize, casualties: u64) -> Option<(usize, u64)> {
         if casualties == 0 {
-            return Ok(0);
+            return None;
         }
-        let granted = match self.route((i + 1) % self.shards.len()) {
+        let peer = self.route((i + 1) % self.shards.len());
+        let granted = match peer {
             Some(_) => self.budget.take(casualties),
             None => 0,
         };
@@ -894,16 +1215,10 @@ impl<W: Workload> Fleet<W> {
         self.lb_degraded += denied;
         self.responded += denied;
         if granted == 0 {
-            return Ok(0);
+            return None;
         }
-        // route() above proved a peer exists; re-resolve for the borrow.
-        let peer = self
-            .route((i + 1) % self.shards.len())
-            .expect("routable peer vanished within a round");
         self.failovers += granted;
-        let (stats, ns) = self.shards[peer].serve_batch(granted)?;
-        self.credit(&stats);
-        Ok(ns)
+        Some((peer.expect("granted implies a routable peer"), granted))
     }
 
     /// Moves `stranded` never-dispatched requests from dead shard `i`
@@ -967,6 +1282,7 @@ impl<W: Workload> Fleet<W> {
             rerouted: self.rerouted,
             hedged: self.hedged,
             hedge_wins: self.hedge_wins,
+            hedges_cancelled: self.hedges_cancelled,
             crashes: self.crashes,
             partitions: self.partitions,
             probe_flaps: self.probe_flaps,
@@ -979,6 +1295,7 @@ impl<W: Workload> Fleet<W> {
             fleet_ns: self.now_ns,
             truncated: self.truncated,
             monitor,
+            spans: std::mem::take(&mut self.spans),
         }
     }
 }

@@ -43,6 +43,7 @@
 pub mod balancer;
 pub mod budget;
 pub mod monitor;
+pub mod sched;
 pub mod session;
 pub mod shard;
 
@@ -52,6 +53,7 @@ pub use balancer::{
 };
 pub use budget::RetryBudget;
 pub use monitor::{Brownout, DegradedWindow, MonitorConfig, MonitorReport};
+pub use sched::{BatchSpan, CatchupSlot, VirtualClock};
 pub use session::{Session, SessionStream, MAX_SESSION_LEN};
 pub use shard::{Shard, ShardChaos, ShardState, Workload};
 

@@ -16,8 +16,9 @@ use crate::monitor::MonitorConfig;
 /// A serving application a shard can host. The balancer only needs to
 /// build it, push batches of requests through it, and read its machine
 /// back — everything else (goroutines, enclosures, the batched
-/// gateway) stays inside the app.
-pub trait Workload {
+/// gateway) stays inside the app. `Send` because the parallel fleet
+/// engine executes each shard's planned window on a worker thread.
+pub trait Workload: Send {
     /// Builds a fresh instance on `backend` with the completion-driven
     /// gateway enabled (the fleet always serves over the reactor: an
     /// adaptive flush policy decides when accumulated batches cross,

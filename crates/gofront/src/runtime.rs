@@ -2,7 +2,7 @@
 //! invocation, allocator integration, scheduler loop, and the trusted GC.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use enclosure_hw::CostModel;
 use enclosure_kernel::Kernel;
@@ -29,8 +29,9 @@ pub const GO_SCHED_PKG: &str = "go.sched";
 /// Registered function bodies are `Fn`, not `FnMut`: like real Go
 /// functions they must be reentrant (recursion, nested enclosure calls).
 /// Per-call state belongs on the stack (`GoCtx::stack_alloc`) or in
-/// simulated memory.
-type FnBox = Rc<dyn Fn(&mut GoCtx<'_>, GoValue) -> Result<GoValue, Fault>>;
+/// simulated memory. `Send + Sync` so a whole runtime can move across
+/// the fleet's worker threads (shared captures use `Arc`-based cells).
+type FnBox = Arc<dyn Fn(&mut GoCtx<'_>, GoValue) -> Result<GoValue, Fault> + Send + Sync>;
 
 /// A Go program under construction: sources waiting to be compiled,
 /// linked, and loaded.
@@ -124,9 +125,9 @@ impl GoRuntime {
     pub fn register_fn(
         &mut self,
         name: &str,
-        f: impl Fn(&mut GoCtx<'_>, GoValue) -> Result<GoValue, Fault> + 'static,
+        f: impl Fn(&mut GoCtx<'_>, GoValue) -> Result<GoValue, Fault> + Send + Sync + 'static,
     ) {
-        self.functions.insert(name.to_owned(), Rc::new(f));
+        self.functions.insert(name.to_owned(), Arc::new(f));
     }
 
     /// The machine.
@@ -229,7 +230,7 @@ impl GoRuntime {
     pub fn spawn(
         &mut self,
         name: &str,
-        f: impl FnMut(&mut GoCtx<'_>) -> Result<Step, Fault> + 'static,
+        f: impl FnMut(&mut GoCtx<'_>) -> Result<Step, Fault> + Send + 'static,
     ) -> GoroutineId {
         self.sched
             .spawn(name.to_owned(), EnvContext::trusted(), Box::new(f))
@@ -246,7 +247,7 @@ impl GoRuntime {
         &mut self,
         name: &str,
         enclosure: &str,
-        f: impl FnMut(&mut GoCtx<'_>) -> Result<Step, Fault> + 'static,
+        f: impl FnMut(&mut GoCtx<'_>) -> Result<Step, Fault> + Send + 'static,
     ) -> Result<GoroutineId, Fault> {
         let enc = self
             .enclosure(enclosure)
@@ -740,7 +741,7 @@ impl GoCtx<'_> {
     pub fn spawn(
         &mut self,
         name: &str,
-        f: impl FnMut(&mut GoCtx<'_>) -> Result<Step, Fault> + 'static,
+        f: impl FnMut(&mut GoCtx<'_>) -> Result<Step, Fault> + Send + 'static,
     ) -> GoroutineId {
         let env = self.rt.lb.current_env();
         self.rt

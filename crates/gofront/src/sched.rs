@@ -68,8 +68,10 @@ pub(crate) struct Channel {
     closed: bool,
 }
 
-/// The body of a goroutine: one scheduling quantum per call.
-pub type GoroutineFn = Box<dyn FnMut(&mut GoCtx<'_>) -> Result<Step, Fault>>;
+/// The body of a goroutine: one scheduling quantum per call. `Send` so
+/// a runtime (and the fleet shard owning it) can move across worker
+/// threads between quanta.
+pub type GoroutineFn = Box<dyn FnMut(&mut GoCtx<'_>) -> Result<Step, Fault> + Send>;
 
 pub(crate) struct Goroutine {
     pub name: String,

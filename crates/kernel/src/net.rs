@@ -71,7 +71,7 @@ pub struct ExfilRecord {
     pub data: Vec<u8>,
 }
 
-type Responder = Box<dyn FnMut(&[u8]) -> Option<Vec<u8>>>;
+type Responder = Box<dyn FnMut(&[u8]) -> Option<Vec<u8>> + Send>;
 
 struct RemoteHost {
     received: Vec<u8>,

@@ -1,7 +1,7 @@
 //! The simulated CPython interpreter with enclosure support.
 
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use enclosure_core::{compute_view, Policy};
 use enclosure_hw::CostModel;
@@ -77,7 +77,7 @@ struct PyEnclosure {
 
 /// Registered function bodies are `Fn` (reentrant), like real Python
 /// functions; per-call state lives in interpreter objects.
-type FnBox = Rc<dyn Fn(&mut PyCtx<'_>, PyValue) -> Result<PyValue, Fault>>;
+type FnBox = Arc<dyn Fn(&mut PyCtx<'_>, PyValue) -> Result<PyValue, Fault> + Send + Sync>;
 
 /// The simulated CPython interpreter (see the crate docs).
 pub struct Interpreter {
@@ -242,9 +242,9 @@ impl Interpreter {
     pub fn register_fn(
         &mut self,
         name: &str,
-        f: impl Fn(&mut PyCtx<'_>, PyValue) -> Result<PyValue, Fault> + 'static,
+        f: impl Fn(&mut PyCtx<'_>, PyValue) -> Result<PyValue, Fault> + Send + Sync + 'static,
     ) {
-        self.functions.insert(name.to_owned(), Rc::new(f));
+        self.functions.insert(name.to_owned(), Arc::new(f));
     }
 
     /// Imports a module (and, transitively, its dependencies), lazily:

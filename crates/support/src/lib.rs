@@ -11,6 +11,8 @@
 //!   (replaces the `proptest!` macro for our property tests).
 //! * [`sync`] — std `Mutex` re-export under the `parking_lot` names the
 //!   workspace previously used.
+//! * [`pool`] — a scoped fork/join thread pool (replaces `rayon` for
+//!   the parallel fleet engine).
 //! * [`bench`] — a wall-clock timing loop for the `harness = false`
 //!   bench targets (replaces `criterion`).
 
@@ -19,6 +21,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod sync;
@@ -26,3 +29,4 @@ pub mod sync;
 pub use bench::bench;
 pub use json::Json;
 pub use rng::XorShift;
+pub use sync::Shared;

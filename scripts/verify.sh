@@ -192,6 +192,36 @@ print(f"fleet OK: {doc['admitted']} admitted, {doc['crashes']} crashes, "
       f"victim shard {doc['victim']} re-served {victim['served_after_respawn']}")
 PY
 
+echo "== fleet: parallel == sequential byte-identity (±chaos) =="
+# The differential claim at the CLI boundary: the report (text and
+# JSON) must not change by one byte when the planned batches execute
+# on worker threads. Only the wall-clock timing section — the one
+# deliberately nondeterministic output — is stripped before comparing.
+for chaos_flag in "" "--chaos"; do
+  # shellcheck disable=SC2086
+  ./target/release/repro fleet --quick $chaos_flag --seed=5 > "$fleet_out/seq.txt"
+  # shellcheck disable=SC2086
+  ./target/release/repro fleet --quick $chaos_flag --seed=5 --parallel=4 > "$fleet_out/par.txt"
+  grep -q "^wall-clock: " "$fleet_out/par.txt"
+  cmp <(grep -v "^wall-clock: " "$fleet_out/par.txt") "$fleet_out/seq.txt"
+  # shellcheck disable=SC2086
+  ./target/release/repro fleet --quick $chaos_flag --seed=5 --json > "$fleet_out/seq.json"
+  # shellcheck disable=SC2086
+  ./target/release/repro fleet --quick $chaos_flag --seed=5 --parallel=4 --json > "$fleet_out/par.json"
+  python3 - "$fleet_out/seq.json" "$fleet_out/par.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    seq = json.load(f)
+with open(sys.argv[2]) as f:
+    par = json.load(f)
+timing = par.pop("timing")
+assert timing["threads"] == 4 and timing["wall_seconds"] > 0, timing
+assert json.dumps(seq, sort_keys=True) == json.dumps(par, sort_keys=True), \
+    "parallel fleet JSON diverged from sequential"
+PY
+done
+
 echo "== fleet: fasthttp arm on the reactor, deterministic =="
 ./target/release/repro fleet --quick --app=fasthttp > "$fleet_out/f1.txt"
 ./target/release/repro fleet --quick --app=fasthttp > "$fleet_out/f2.txt"
@@ -237,28 +267,39 @@ echo "== flight recorder: dump byte-stable per seed =="
 cmp "$monitor_out/fr1.json" "$monitor_out/fr2.json"
 
 echo "== perf snapshot: BENCH_9.json (ns/req per backend) =="
-./target/release/repro batching --quick --json > "$monitor_out/batching_quick.json"
-python3 - "$monitor_out/batching_quick.json" > BENCH_9.json <<'PY'
+# The unified report.rs snapshot writer replaces the old inline-python
+# transform; same shape, now regenerated by the binary itself.
+./target/release/repro batching --quick --bench-out=BENCH_9.json > /dev/null
+python3 - BENCH_9.json <<'PY'
 import json, sys
 
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-arms = {(a["backend"], a["mode"]): a for a in doc["arms"]}
-snapshot = {
-    "bench": "batching --quick",
-    "requests_per_arm": doc["requests"],
-    "backends": {
-        backend: {
-            "async_c8_ns_per_req": arms[(backend, "async_c8")]["sim_ns"] // doc["requests"],
-            "batched_c8_ns_per_req": arms[(backend, "batched_c8")]["sim_ns"] // doc["requests"],
-            "unbatched_ns_per_req": arms[(backend, "unbatched")]["sim_ns"] // doc["requests"],
-        }
-        for backend in ("LB_MPK", "LB_VTX", "LB_PROC")
-    },
-}
-json.dump(snapshot, sys.stdout, indent=2)
-print()
+assert doc["bench"] == "batching --quick", doc
+for backend in ("LB_MPK", "LB_VTX", "LB_PROC"):
+    arms = doc["backends"][backend]
+    assert {"async_c8_ns_per_req", "batched_c8_ns_per_req", "unbatched_ns_per_req"} <= set(arms), arms
 PY
-python3 -c "import json; json.load(open('BENCH_9.json'))"
+
+echo "== perf snapshot: BENCH_10.json (fleet wall-clock, seq vs parallel) =="
+cores="$(nproc)"
+./target/release/repro fleet --seed=5 --mixed-backends --parallel --bench-out=BENCH_10.json > /dev/null
+python3 - BENCH_10.json "$cores" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cores = int(sys.argv[2])
+assert doc["requests"] == 100000, doc
+assert doc["sequential_wall_seconds"] > 0 and doc["parallel_wall_seconds"] > 0, doc
+speedup = doc["wall_clock_speedup"]
+if cores >= 4:
+    assert speedup >= 1.5, (
+        f"parallel fleet speedup {speedup:.2f}x < 1.5x on {cores} cores")
+    print(f"fleet speedup OK: {speedup:.2f}x on {doc['threads']} threads ({cores} cores)")
+else:
+    print(f"NOTICE: {cores} core(s) detected (<4) — speedup gate skipped "
+          f"(measured {speedup:.2f}x on {doc['threads']} threads)")
+PY
 
 echo "verify: OK"

@@ -13,7 +13,8 @@ use enclosure_apps::wiki::WikiApp;
 use enclosure_fleet::{FleetConfig, WikiFleet};
 use enclosure_pyfront::MetadataMode;
 use enclosure_repro::core::{App, Enclosure, Policy};
-use enclosure_telemetry::{Recorder, SpanScope, MAIN_TRACK};
+use enclosure_support::XorShift;
+use enclosure_telemetry::{Event, Recorder, SpanScope, MAIN_TRACK};
 use litterbox::Backend;
 
 fn nested_workload(backend: Backend) -> App {
@@ -523,4 +524,118 @@ fn merge_after_reset_counts_every_slice_exactly_once() {
         "{:?}",
         archive.track_costs()
     );
+}
+
+/// A pseudo-random recorder exercising every ledger `merge` folds:
+/// counters (via events), span attribution, track slices, and op
+/// histograms. Track names are a fixed function of the track id
+/// (`g{track}`) because merge resolves name conflicts first-wins —
+/// with id-derived names, any merge order yields the same table, which
+/// is exactly the discipline the fleet's shard archives follow.
+fn arbitrary_recorder(rng: &mut XorShift) -> Recorder {
+    let mut rec = Recorder::new();
+    let mut now = 0u64;
+    for _ in 0..rng.range_u64(0, 6) {
+        match rng.range_u64(0, 4) {
+            0 => rec.record(now, Event::VmExit),
+            1 => rec.record(now, Event::MetadataSwitch),
+            2 => rec.record(now, Event::Fault { kind: "synthetic" }),
+            _ => rec.record(
+                now,
+                Event::Transfer {
+                    pages: rng.range_u64(1, 16),
+                    to: "peer".into(),
+                },
+            ),
+        }
+    }
+    for _ in 0..rng.range_u64(0, 4) {
+        let scope = match rng.range_u64(0, 3) {
+            0 => SpanScope::new("alpha", "lib", 1),
+            1 => SpanScope::new("beta", "anchor", 2),
+            _ => SpanScope::new("gamma", "lib", 1),
+        };
+        rec.begin_span(now, scope);
+        now += rng.range_u64(1, 64);
+        rec.end_span(now);
+        now += 1;
+    }
+    let track = rng.range_u64(1, 4);
+    rec.switch_track(now, track, &format!("g{track}"));
+    now += rng.range_u64(1, 48);
+    for _ in 0..rng.range_u64(0, 5) {
+        let op = if rng.next_bool() {
+            "switch"
+        } else {
+            "key_evict"
+        };
+        rec.record_op(op, rng.range_u64(1, 400));
+    }
+    rec.flush_tracks(now);
+    rec
+}
+
+/// Everything `Recorder::merge` folds, as one comparable string.
+/// `track_costs` sorts by (track, env) and the maps are BTreeMaps, so
+/// the rendering is canonical.
+fn recorder_snapshot(rec: &Recorder) -> String {
+    format!(
+        "{}\n{}\n{:?}\n{:?}",
+        rec.counters_json().to_pretty(),
+        rec.attribution_json().to_pretty(),
+        rec.track_costs(),
+        rec.op_hists(),
+    )
+}
+
+fn merged(a: &Recorder, b: &Recorder) -> Recorder {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+enclosure_support::props! {
+    /// `Counters::merge` is field-wise addition, so any fold order
+    /// over shard generations produces the same fleet counters.
+    fn counters_merge_is_commutative_and_associative(rng, cases = 64) {
+        let a = *arbitrary_recorder(rng).counters();
+        let b = *arbitrary_recorder(rng).counters();
+        let c = *arbitrary_recorder(rng).counters();
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "commutativity");
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "associativity");
+    }
+
+    /// `Recorder::merge` is associative across every ledger it folds —
+    /// the fleet may fold shard archives pairwise or left-to-right.
+    fn recorder_merge_is_associative(rng, cases = 32) {
+        let a = arbitrary_recorder(rng);
+        let b = arbitrary_recorder(rng);
+        let c = arbitrary_recorder(rng);
+        assert_eq!(
+            recorder_snapshot(&merged(&merged(&a, &b), &c)),
+            recorder_snapshot(&merged(&a, &merged(&b, &c))),
+        );
+    }
+
+    /// With id-derived track names (the caveat [`arbitrary_recorder`]
+    /// documents), `Recorder::merge` also commutes — shard order in the
+    /// report fold is presentation, not semantics.
+    fn recorder_merge_is_commutative(rng, cases = 32) {
+        let a = arbitrary_recorder(rng);
+        let b = arbitrary_recorder(rng);
+        assert_eq!(
+            recorder_snapshot(&merged(&a, &b)),
+            recorder_snapshot(&merged(&b, &a)),
+        );
+    }
 }
